@@ -1,0 +1,413 @@
+//! COUNT / SUM / AVG estimators with confidence intervals.
+
+use swh_core::sample::{Sample, SampleKind};
+use swh_core::value::SampleValue;
+use swh_rand::normal::normal_quantile;
+
+/// Values that can be aggregated numerically.
+pub trait Numeric: SampleValue {
+    /// Numeric magnitude used in SUM/AVG.
+    fn to_f64(&self) -> f64;
+}
+
+macro_rules! numeric_impl {
+    ($($t:ty),*) => {$(
+        impl Numeric for $t {
+            fn to_f64(&self) -> f64 {
+                *self as f64
+            }
+        }
+    )*};
+}
+
+numeric_impl!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+/// A point estimate with its standard error.
+///
+/// ```
+/// use swh_aqp::estimators::estimate_count;
+/// use swh_core::{FootprintPolicy, HybridReservoir, Sampler};
+/// use swh_rand::seeded_rng;
+///
+/// let mut rng = seeded_rng(1);
+/// let policy = FootprintPolicy::with_value_budget(2048);
+/// let sample = HybridReservoir::new(policy).sample_batch(0..100_000u64, &mut rng);
+/// let est = estimate_count(&sample, |v| v % 2 == 0);
+/// let (lo, hi) = est.confidence_interval(0.99);
+/// assert!(lo <= 50_000.0 && 50_000.0 <= hi);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Point estimate.
+    pub value: f64,
+    /// Estimated standard error (0 for exact answers).
+    pub std_error: f64,
+    /// True when the answer is exact (exhaustive sample).
+    pub exact: bool,
+}
+
+impl Estimate {
+    fn exact(value: f64) -> Self {
+        Self { value, std_error: 0.0, exact: true }
+    }
+
+    fn approximate(value: f64, std_error: f64) -> Self {
+        Self { value, std_error, exact: false }
+    }
+
+    /// Two-sided normal-theory confidence interval at the given level
+    /// (e.g. `0.95`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < level < 1`.
+    pub fn confidence_interval(&self, level: f64) -> (f64, f64) {
+        assert!(level > 0.0 && level < 1.0, "confidence level must lie in (0,1)");
+        if self.exact {
+            return (self.value, self.value);
+        }
+        let z = normal_quantile(0.5 + level / 2.0);
+        (self.value - z * self.std_error, self.value + z * self.std_error)
+    }
+
+    /// Half-width of the interval relative to the estimate (∞ when the
+    /// estimate is 0 and the error is not).
+    pub fn relative_error(&self, level: f64) -> f64 {
+        if self.exact {
+            return 0.0;
+        }
+        let (lo, hi) = self.confidence_interval(level);
+        let half = (hi - lo) / 2.0;
+        if self.value == 0.0 {
+            if half == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            half / self.value.abs()
+        }
+    }
+}
+
+/// Per-design expansion statistics shared by the estimators.
+struct Design {
+    /// Multiplier from sample totals to population totals.
+    expansion: f64,
+    /// Variance model.
+    kind: DesignKind,
+}
+
+enum DesignKind {
+    Exact,
+    Bernoulli { q: f64 },
+    Srs { n: f64, k: f64 },
+}
+
+fn design<T: SampleValue>(sample: &Sample<T>) -> Design {
+    match sample.kind() {
+        SampleKind::Exhaustive => Design { expansion: 1.0, kind: DesignKind::Exact },
+        SampleKind::Bernoulli { q, .. } | SampleKind::Concise { q } => {
+            // Concise samples are *not* uniform; estimates are best-effort
+            // and documented as biased. Same expansion arithmetic applies.
+            Design { expansion: 1.0 / q, kind: DesignKind::Bernoulli { q } }
+        }
+        SampleKind::Reservoir => {
+            let n = sample.parent_size() as f64;
+            let k = sample.size() as f64;
+            Design { expansion: if k > 0.0 { n / k } else { 0.0 }, kind: DesignKind::Srs { n, k } }
+        }
+    }
+}
+
+/// Estimate `COUNT(*) WHERE pred` over the sampled parent partition.
+pub fn estimate_count<T: SampleValue>(
+    sample: &Sample<T>,
+    mut pred: impl FnMut(&T) -> bool,
+) -> Estimate {
+    let m: u64 = sample
+        .histogram()
+        .iter()
+        .filter(|(v, _)| pred(v))
+        .map(|(_, c)| c)
+        .sum();
+    let d = design(sample);
+    match d.kind {
+        DesignKind::Exact => Estimate::exact(m as f64),
+        DesignKind::Bernoulli { q } => {
+            // Horvitz–Thompson: m/q; Var = m (1-q)/q².
+            let var = m as f64 * (1.0 - q) / (q * q);
+            Estimate::approximate(m as f64 * d.expansion, var.sqrt())
+        }
+        DesignKind::Srs { n, k } => {
+            if k == 0.0 {
+                return Estimate::approximate(0.0, 0.0);
+            }
+            let p_hat = m as f64 / k;
+            // Var(N·p̂) = N² p̂(1−p̂)/k · (1 − k/N)  (finite-population).
+            let var = n * n * p_hat * (1.0 - p_hat) / k * (1.0 - k / n);
+            Estimate::approximate(n * p_hat, var.max(0.0).sqrt())
+        }
+    }
+}
+
+/// Estimate `SUM(v) WHERE pred` over the sampled parent partition.
+pub fn estimate_sum<T: Numeric>(
+    sample: &Sample<T>,
+    mut pred: impl FnMut(&T) -> bool,
+) -> Estimate {
+    // Accumulate Σv and Σv² over matching sample elements (count-weighted).
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for (v, c) in sample.histogram().iter() {
+        if pred(v) {
+            let x = v.to_f64();
+            let cf = c as f64;
+            s1 += cf * x;
+            s2 += cf * x * x;
+        }
+    }
+    let d = design(sample);
+    match d.kind {
+        DesignKind::Exact => Estimate::exact(s1),
+        DesignKind::Bernoulli { q } => {
+            // HT: Σv/q; Var = (1−q)/q² Σv².
+            let var = (1.0 - q) / (q * q) * s2;
+            Estimate::approximate(s1 * d.expansion, var.max(0.0).sqrt())
+        }
+        DesignKind::Srs { n, k } => {
+            if k == 0.0 {
+                return Estimate::approximate(0.0, 0.0);
+            }
+            // Treat v·1{pred} as the per-element variable over the whole
+            // sample of size k.
+            let mean = s1 / k;
+            let var_elem = (s2 / k - mean * mean).max(0.0) * k / (k - 1.0).max(1.0);
+            let var = n * n * var_elem / k * (1.0 - k / n);
+            Estimate::approximate(n * mean, var.max(0.0).sqrt())
+        }
+    }
+}
+
+/// Estimate the population variance `VAR(v) WHERE pred` (plug-in
+/// estimator from the matching subsample, with the sample-variance
+/// correction). The reported standard error is a large-sample normal
+/// approximation based on the fourth central moment.
+pub fn estimate_variance<T: Numeric>(
+    sample: &Sample<T>,
+    mut pred: impl FnMut(&T) -> bool,
+) -> Estimate {
+    // Count-weighted moments over matching sample elements.
+    let (mut m, mut s1, mut s2) = (0.0f64, 0.0f64, 0.0f64);
+    for (v, c) in sample.histogram().iter() {
+        if pred(v) {
+            let x = v.to_f64();
+            let cf = c as f64;
+            m += cf;
+            s1 += cf * x;
+            s2 += cf * x * x;
+        }
+    }
+    if m < 2.0 {
+        return Estimate { value: f64::NAN, std_error: f64::INFINITY, exact: false };
+    }
+    let mean = s1 / m;
+    let var = (s2 / m - mean * mean).max(0.0);
+    if sample.kind() == SampleKind::Exhaustive {
+        return Estimate::exact(var);
+    }
+    // Unbiased-ish correction and SE via the fourth central moment.
+    let var_hat = var * m / (m - 1.0);
+    let mut s4 = 0.0f64;
+    for (v, c) in sample.histogram().iter() {
+        if pred(v) {
+            let d = v.to_f64() - mean;
+            s4 += c as f64 * d * d * d * d;
+        }
+    }
+    let mu4 = s4 / m;
+    // Var(s²) ≈ (μ4 − σ⁴)/m for large samples.
+    let se = ((mu4 - var * var).max(0.0) / m).sqrt();
+    Estimate::approximate(var_hat, se)
+}
+
+/// Estimate `AVG(v) WHERE pred` (ratio of SUM and COUNT estimates; the
+/// standard error uses the matching-subsample standard deviation).
+pub fn estimate_avg<T: Numeric>(
+    sample: &Sample<T>,
+    mut pred: impl FnMut(&T) -> bool,
+) -> Estimate {
+    let (mut s1, mut s2, mut m) = (0.0f64, 0.0f64, 0.0f64);
+    for (v, c) in sample.histogram().iter() {
+        if pred(v) {
+            let x = v.to_f64();
+            let cf = c as f64;
+            s1 += cf * x;
+            s2 += cf * x * x;
+            m += cf;
+        }
+    }
+    if m == 0.0 {
+        return Estimate::approximate(f64::NAN, f64::INFINITY);
+    }
+    let mean = s1 / m;
+    if sample.kind() == SampleKind::Exhaustive {
+        return Estimate::exact(mean);
+    }
+    let var_elem = (s2 / m - mean * mean).max(0.0) * m / (m - 1.0).max(1.0);
+    // FPC against the (unknown) matching population size: approximate with
+    // the matching fraction of the parent.
+    let n_match = sample.parent_size() as f64 * m / sample.size().max(1) as f64;
+    let fpc = (1.0 - m / n_match).max(0.0);
+    Estimate::approximate(mean, (var_elem / m * fpc).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::hybrid_bernoulli::HybridBernoulli;
+    use swh_core::hybrid_reservoir::HybridReservoir;
+    use swh_core::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    #[test]
+    fn exhaustive_answers_are_exact() {
+        let mut rng = seeded_rng(1);
+        let values: Vec<u64> = (0..1000).map(|i| i % 10).collect();
+        let s = HybridReservoir::new(policy(64)).sample_batch(values, &mut rng);
+        let c = estimate_count(&s, |v| *v < 5);
+        assert!(c.exact);
+        assert_eq!(c.value, 500.0);
+        assert_eq!(c.confidence_interval(0.95), (500.0, 500.0));
+        let sum = estimate_sum(&s, |_| true);
+        assert_eq!(sum.value, (0..10u64).sum::<u64>() as f64 * 100.0);
+        let avg = estimate_avg(&s, |_| true);
+        assert_eq!(avg.value, 4.5);
+    }
+
+    #[test]
+    fn reservoir_count_is_unbiased_and_covered() {
+        let mut rng = seeded_rng(2);
+        let n = 100_000u64;
+        let truth = (n / 2) as f64; // predicate: even values
+        let trials = 200;
+        let mut sum_est = 0.0;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let s = HybridReservoir::new(policy(1024)).sample_batch(0..n, &mut rng);
+            let e = estimate_count(&s, |v| v % 2 == 0);
+            sum_est += e.value;
+            let (lo, hi) = e.confidence_interval(0.95);
+            if (lo..=hi).contains(&truth) {
+                covered += 1;
+            }
+        }
+        let mean = sum_est / trials as f64;
+        assert!((mean / truth - 1.0).abs() < 0.01, "mean {mean} vs {truth}");
+        let coverage = covered as f64 / trials as f64;
+        assert!(coverage > 0.88, "coverage {coverage}");
+    }
+
+    #[test]
+    fn bernoulli_sum_is_unbiased() {
+        let mut rng = seeded_rng(3);
+        let n = 50_000u64;
+        let truth: f64 = (0..n).sum::<u64>() as f64;
+        let trials = 200;
+        let mut sum_est = 0.0;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let s = HybridBernoulli::new(policy(1024), n).sample_batch(0..n, &mut rng);
+            let e = estimate_sum(&s, |_| true);
+            sum_est += e.value;
+            let (lo, hi) = e.confidence_interval(0.95);
+            if (lo..=hi).contains(&truth) {
+                covered += 1;
+            }
+        }
+        let mean = sum_est / trials as f64;
+        assert!((mean / truth - 1.0).abs() < 0.01, "mean {mean} vs {truth}");
+        assert!(covered as f64 / trials as f64 > 0.85, "coverage {covered}/{trials}");
+    }
+
+    #[test]
+    fn avg_estimate_close_to_truth() {
+        let mut rng = seeded_rng(4);
+        let n = 100_000u64;
+        let s = HybridReservoir::new(policy(2048)).sample_batch(0..n, &mut rng);
+        let e = estimate_avg(&s, |_| true);
+        let truth = (n - 1) as f64 / 2.0;
+        assert!(
+            (e.value - truth).abs() < 5.0 * e.std_error,
+            "avg {} vs {truth} (se {})",
+            e.value,
+            e.std_error
+        );
+    }
+
+    #[test]
+    fn variance_exact_and_sampled() {
+        let mut rng = seeded_rng(7);
+        // Uniform 0..n: population variance = (n²−1)/12.
+        let n = 100_000u64;
+        let truth = ((n * n - 1) as f64) / 12.0;
+        // Exhaustive case: small population, exact answer.
+        let small = HybridReservoir::new(policy(1 << 18)).sample_batch(0..1_000u64, &mut rng);
+        let e = estimate_variance(&small, |_| true);
+        assert!(e.exact);
+        assert!((e.value - (1_000_000.0 - 1.0) / 12.0).abs() < 1.0);
+        // Sampled case: within a few standard errors of the truth.
+        let s = HybridReservoir::new(policy(4096)).sample_batch(0..n, &mut rng);
+        let e = estimate_variance(&s, |_| true);
+        assert!(!e.exact);
+        assert!(
+            (e.value - truth).abs() < 6.0 * e.std_error.max(truth * 0.01),
+            "variance {} vs {truth} (se {})",
+            e.value,
+            e.std_error
+        );
+    }
+
+    #[test]
+    fn variance_undefined_below_two_matches() {
+        let mut rng = seeded_rng(8);
+        let s = HybridReservoir::new(policy(64)).sample_batch(0..10_000u64, &mut rng);
+        let e = estimate_variance(&s, |v| *v == 3);
+        assert!(e.value.is_nan());
+    }
+
+    #[test]
+    fn empty_predicate_match() {
+        let mut rng = seeded_rng(5);
+        let s = HybridReservoir::new(policy(64)).sample_batch(0..10_000u64, &mut rng);
+        let c = estimate_count(&s, |v| *v > 1_000_000);
+        assert_eq!(c.value, 0.0);
+        let a = estimate_avg(&s, |v| *v > 1_000_000);
+        assert!(a.value.is_nan());
+    }
+
+    #[test]
+    fn relative_error_shrinks_with_sample_size() {
+        let mut rng = seeded_rng(6);
+        let n = 200_000u64;
+        let small = HybridReservoir::new(policy(256)).sample_batch(0..n, &mut rng);
+        let large = HybridReservoir::new(policy(8192)).sample_batch(0..n, &mut rng);
+        let e_small = estimate_count(&small, |v| v % 3 == 0);
+        let e_large = estimate_count(&large, |v| v % 3 == 0);
+        assert!(
+            e_large.relative_error(0.95) < e_small.relative_error(0.95),
+            "{} !< {}",
+            e_large.relative_error(0.95),
+            e_small.relative_error(0.95)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn bad_confidence_level_panics() {
+        Estimate::exact(1.0).confidence_interval(1.0);
+    }
+}

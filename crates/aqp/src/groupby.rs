@@ -1,0 +1,150 @@
+//! Per-group estimates from one uniform sample.
+
+use crate::estimators::{estimate_count, estimate_sum, Estimate, Numeric};
+use std::collections::BTreeMap;
+use swh_core::sample::Sample;
+use swh_core::value::SampleValue;
+
+/// Estimate `SELECT g, COUNT(*) GROUP BY g` where `g = group(v)`.
+///
+/// Returns one [`Estimate`] per group key observed in the sample, keyed in
+/// sorted order. Groups absent from the sample are (necessarily) absent
+/// from the output; with a uniform sample the missing groups are exactly
+/// those whose population frequency is below the sample's resolution.
+pub fn group_by_count<T: SampleValue, K: Ord + Clone>(
+    sample: &Sample<T>,
+    mut group: impl FnMut(&T) -> K,
+) -> BTreeMap<K, Estimate> {
+    // Collect the distinct group keys present, then estimate each via the
+    // shared COUNT machinery so all provenance logic lives in one place.
+    let mut keys: Vec<K> = sample.histogram().iter().map(|(v, _)| group(v)).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| {
+            let est = estimate_count(sample, |v| group(v) == k);
+            (k, est)
+        })
+        .collect()
+}
+
+/// Estimate `SELECT g, SUM(v) GROUP BY g` where `g = group(v)`.
+pub fn group_by_sum<T: Numeric, K: Ord + Clone>(
+    sample: &Sample<T>,
+    mut group: impl FnMut(&T) -> K,
+) -> BTreeMap<K, Estimate> {
+    let mut keys: Vec<K> = sample.histogram().iter().map(|(v, _)| group(v)).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| {
+            let est = estimate_sum(sample, |v| group(v) == k);
+            (k, est)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::hybrid_reservoir::HybridReservoir;
+    use swh_core::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    #[test]
+    fn exhaustive_group_counts_exact() {
+        let mut rng = seeded_rng(1);
+        let values: Vec<u64> = (0..900u64).map(|i| i % 3).collect();
+        let s = HybridReservoir::new(FootprintPolicy::with_value_budget(64))
+            .sample_batch(values, &mut rng);
+        let groups = group_by_count(&s, |v| *v);
+        assert_eq!(groups.len(), 3);
+        for e in groups.values() {
+            assert!(e.exact);
+            assert_eq!(e.value, 300.0);
+        }
+    }
+
+    #[test]
+    fn sampled_group_counts_sum_to_parent() {
+        // A reservoir sample's per-group COUNT estimates add up to the
+        // parent size exactly (each sampled element contributes N/k).
+        let mut rng = seeded_rng(2);
+        let n = 100_000u64;
+        let s = HybridReservoir::new(FootprintPolicy::with_value_budget(1024))
+            .sample_batch(0..n, &mut rng);
+        let groups = group_by_count(&s, |v| v % 5);
+        let total: f64 = groups.values().map(|e| e.value).sum();
+        assert!((total - n as f64).abs() < 1e-6, "total {total}");
+        // Each group is ~20% of the population.
+        for (g, e) in &groups {
+            assert!(
+                (e.value / n as f64 - 0.2).abs() < 0.05,
+                "group {g}: {}",
+                e.value
+            );
+            assert!(!e.exact);
+            assert!(e.std_error > 0.0);
+        }
+    }
+
+    #[test]
+    fn group_by_sum_exhaustive_exact() {
+        let mut rng = seeded_rng(4);
+        // Groups 0,1,2 with values g, g+10, g+20 appearing 100x each.
+        let values: Vec<u64> = (0..900u64).map(|i| (i % 3) + 10 * (i % 9 / 3)).collect();
+        let s = HybridReservoir::new(FootprintPolicy::with_value_budget(64))
+            .sample_batch(values.clone(), &mut rng);
+        let groups = group_by_sum(&s, |v| v % 10);
+        let mut truth: std::collections::BTreeMap<u64, f64> = Default::default();
+        for v in &values {
+            *truth.entry(v % 10).or_default() += *v as f64;
+        }
+        for (g, e) in &groups {
+            assert!(e.exact);
+            assert_eq!(e.value, truth[g], "group {g}");
+        }
+    }
+
+    #[test]
+    fn group_by_sum_sampled_near_truth() {
+        let mut rng = seeded_rng(5);
+        let n = 100_000u64;
+        let s = HybridReservoir::new(FootprintPolicy::with_value_budget(4096))
+            .sample_batch(0..n, &mut rng);
+        let groups = group_by_sum(&s, |v| v % 2);
+        for (g, e) in &groups {
+            let truth: f64 = (0..n).filter(|v| v % 2 == *g).map(|v| v as f64).sum();
+            assert!(
+                (e.value - truth).abs() < 6.0 * e.std_error,
+                "group {g}: {} vs {truth} (se {})",
+                e.value,
+                e.std_error
+            );
+        }
+    }
+
+    #[test]
+    fn group_estimates_cover_truth() {
+        let mut rng = seeded_rng(3);
+        let n = 50_000u64;
+        // Skewed groups: group g has frequency proportional to g+1.
+        let values: Vec<u64> = (0..n).map(|i| (i * i) % 4).collect();
+        let mut truth = std::collections::BTreeMap::new();
+        for v in &values {
+            *truth.entry(v % 4).or_insert(0u64) += 1;
+        }
+        let s = HybridReservoir::new(FootprintPolicy::with_value_budget(2048))
+            .sample_batch(values, &mut rng);
+        let groups = group_by_count(&s, |v| v % 4);
+        for (g, e) in &groups {
+            let t = truth[g] as f64;
+            let (lo, hi) = e.confidence_interval(0.999);
+            assert!(
+                (lo..=hi).contains(&t),
+                "group {g}: truth {t} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Approximate query processing over warehouse samples.
+//!
+//! The paper's motivation (§1): a sample warehouse exists "to support quick
+//! approximate analytics and metadata discovery". This crate provides the
+//! estimators that consume [`swh_core::Sample`]s, using each sample's
+//! provenance to apply the right estimation theory:
+//!
+//! * **Exhaustive** samples answer exactly (zero-width intervals);
+//! * **Bernoulli(q)** samples use Horvitz–Thompson estimators (`Σ/q`);
+//! * **Reservoir** (simple random) samples use classical SRS estimators
+//!   with finite-population correction.
+//!
+//! [`estimators`] covers COUNT/SUM/AVG with predicates and normal-theory
+//! confidence intervals, [`groupby`] produces per-group estimates,
+//! [`distinct`] estimates the number of distinct values (naive and Chao84),
+//! [`quantiles`] gives order-statistic quantile intervals, [`mod@profile`]
+//! assembles column profiles for metadata discovery, and [`stratified`]
+//! aggregates over stratified samples with per-stratum weighting (§4.1 of
+//! the paper).
+
+pub mod distinct;
+pub mod estimators;
+pub mod groupby;
+pub mod profile;
+pub mod query;
+pub mod quantiles;
+pub mod stratified;
+
+pub use distinct::{distinct_chao, distinct_naive};
+pub use estimators::{estimate_avg, estimate_count, estimate_sum, estimate_variance, Estimate, Numeric};
+pub use groupby::{group_by_count, group_by_sum};
+pub use profile::{profile, ColumnProfile};
+pub use query::{Aggregate, Predicate, Query};
+pub use quantiles::{estimate_median, estimate_quantile, QuantileEstimate};
+pub use stratified::{stratified_count, stratified_sum};

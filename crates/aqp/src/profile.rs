@@ -1,0 +1,168 @@
+//! Column profiling for automated metadata discovery — the paper's second
+//! motivating application (§1: "sampling has received attention as a useful
+//! tool for data integration tasks such as automated metadata discovery",
+//! citing the authors' own BHUNT/CORDS line of work).
+//!
+//! A [`ColumnProfile`] summarizes one data-set partition (or any merged
+//! union) from its warehouse sample alone: row count, distinct-value
+//! estimates, value range, most-common values with estimated frequencies,
+//! and the effective sampling fraction — the inputs schema-matching and
+//! constraint-discovery tools consume.
+
+use crate::distinct::{distinct_chao, distinct_naive};
+use crate::estimators::Estimate;
+use swh_core::sample::{Sample, SampleKind};
+use swh_core::value::SampleValue;
+
+/// Summary statistics of one column derived from its sample.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile<T> {
+    /// Number of rows in the parent (known exactly from provenance).
+    pub rows: u64,
+    /// Number of values in the sample the profile was computed from.
+    pub sample_size: u64,
+    /// Whether the profile is exact (exhaustive sample).
+    pub exact: bool,
+    /// Distinct values observed in the sample (lower bound for parent).
+    pub distinct_lower_bound: u64,
+    /// Chao84 estimate of the parent's distinct count.
+    pub distinct_estimate: f64,
+    /// Smallest sampled value.
+    pub min: Option<T>,
+    /// Largest sampled value.
+    pub max: Option<T>,
+    /// Most common values with estimated parent frequencies, descending.
+    pub most_common: Vec<(T, Estimate)>,
+    /// Effective sampling fraction `|S| / |D|`.
+    pub sampling_fraction: f64,
+}
+
+/// Build a profile from a sample, reporting at most `mcv_limit` most-common
+/// values.
+pub fn profile<T: SampleValue>(sample: &Sample<T>, mcv_limit: usize) -> ColumnProfile<T> {
+    let expansion = match sample.kind() {
+        SampleKind::Exhaustive => 1.0,
+        SampleKind::Bernoulli { q, .. } | SampleKind::Concise { q } => 1.0 / q,
+        SampleKind::Reservoir => {
+            if sample.size() > 0 {
+                sample.parent_size() as f64 / sample.size() as f64
+            } else {
+                0.0
+            }
+        }
+    };
+    let exact = sample.kind() == SampleKind::Exhaustive;
+
+    let pairs = sample.histogram().sorted_pairs();
+    let min = pairs.first().map(|(v, _)| v.clone());
+    let max = pairs.last().map(|(v, _)| v.clone());
+
+    // Top-m by sampled count (ties broken by value order for determinism).
+    let mut by_count = pairs;
+    by_count.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let most_common = by_count
+        .into_iter()
+        .take(mcv_limit)
+        .map(|(v, c)| {
+            let est = crate::estimators::estimate_count(sample, |x| *x == v);
+            debug_assert!((est.value - c as f64 * expansion).abs() < 1e-6 || !exact);
+            (v, est)
+        })
+        .collect();
+
+    ColumnProfile {
+        rows: sample.parent_size(),
+        sample_size: sample.size(),
+        exact,
+        distinct_lower_bound: distinct_naive(sample),
+        // Chao84 can explode on all-singleton samples (its f2 = 0 fallback);
+        // the parent size is always a valid upper bound.
+        distinct_estimate: distinct_chao(sample).min(sample.parent_size() as f64),
+        min,
+        max,
+        most_common,
+        sampling_fraction: sample.sampling_fraction(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::hybrid_reservoir::HybridReservoir;
+    use swh_core::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    #[test]
+    fn exhaustive_profile_is_exact() {
+        let mut rng = seeded_rng(1);
+        let values: Vec<u64> = (0..1_000).map(|i| i % 10).collect();
+        let s = HybridReservoir::new(policy(64)).sample_batch(values, &mut rng);
+        let p = profile(&s, 3);
+        assert!(p.exact);
+        assert_eq!(p.rows, 1_000);
+        assert_eq!(p.distinct_lower_bound, 10);
+        assert_eq!(p.distinct_estimate, 10.0);
+        assert_eq!(p.min, Some(0));
+        assert_eq!(p.max, Some(9));
+        assert_eq!(p.most_common.len(), 3);
+        for (_, e) in &p.most_common {
+            assert!(e.exact);
+            assert_eq!(e.value, 100.0);
+        }
+    }
+
+    #[test]
+    fn sampled_profile_estimates_mcvs() {
+        let mut rng = seeded_rng(2);
+        // Skewed: value 0 has 50%, 1 has 25%, rest spread over 1000 values.
+        let values: Vec<u64> = (0..100_000u64)
+            .map(|i| match i % 4 {
+                0 | 1 => 0,
+                2 => 1,
+                _ => 2 + (i % 40_000), // 10k distinct tail values
+            })
+            .collect();
+        let s = HybridReservoir::new(policy(2048)).sample_batch(values, &mut rng);
+        let p = profile(&s, 2);
+        assert!(!p.exact);
+        assert_eq!(p.rows, 100_000);
+        assert_eq!(p.most_common[0].0, 0);
+        assert_eq!(p.most_common[1].0, 1);
+        let top = &p.most_common[0].1;
+        assert!(
+            (top.value - 50_000.0).abs() < 6.0 * top.std_error,
+            "top MCV {} vs 50000",
+            top.value
+        );
+    }
+
+    #[test]
+    fn distinct_estimates_ordered() {
+        let mut rng = seeded_rng(3);
+        let values: Vec<u64> = (0..50_000u64).map(|i| i % 3_000).collect();
+        let s = HybridReservoir::new(policy(512)).sample_batch(values, &mut rng);
+        let p = profile(&s, 1);
+        assert!(p.distinct_estimate >= p.distinct_lower_bound as f64);
+        assert!(p.sampling_fraction > 0.0 && p.sampling_fraction < 1.0);
+    }
+
+    #[test]
+    fn empty_sample_profile() {
+        let s = swh_core::sample::Sample::<u64>::from_parts(
+            swh_core::histogram::CompactHistogram::new(),
+            swh_core::sample::SampleKind::Exhaustive,
+            0,
+            policy(8),
+        );
+        let p = profile(&s, 5);
+        assert_eq!(p.rows, 0);
+        assert!(p.min.is_none());
+        assert!(p.max.is_none());
+        assert!(p.most_common.is_empty());
+    }
+}

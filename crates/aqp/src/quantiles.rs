@@ -1,0 +1,172 @@
+//! Quantile estimation from uniform samples, with order-statistic
+//! confidence intervals.
+//!
+//! For a uniform sample of size `k`, the sample `φ`-quantile estimates the
+//! population `φ`-quantile; a distribution-free confidence interval comes
+//! from the binomial fluctuation of the rank: the interval between order
+//! statistics at ranks `kφ ± z √(k φ(1−φ))` covers the true quantile with
+//! the nominal probability (for `k` large enough).
+
+use swh_core::sample::{Sample, SampleKind};
+use swh_core::value::SampleValue;
+use swh_rand::normal::normal_quantile;
+
+/// A quantile estimate with an order-statistic confidence interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileEstimate<T> {
+    /// The sample quantile (point estimate).
+    pub value: T,
+    /// Lower interval endpoint.
+    pub lo: T,
+    /// Upper interval endpoint.
+    pub hi: T,
+    /// True when the answer is exact (exhaustive sample).
+    pub exact: bool,
+}
+
+/// Estimate the `phi`-quantile (`0 < phi < 1`) of the sampled parent with a
+/// two-sided interval at the given confidence `level`.
+///
+/// Returns `None` when the sample is empty.
+///
+/// # Panics
+/// Panics unless `0 < phi < 1` and `0 < level < 1`.
+pub fn estimate_quantile<T: SampleValue>(
+    sample: &Sample<T>,
+    phi: f64,
+    level: f64,
+) -> Option<QuantileEstimate<T>> {
+    assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0,1), got {phi}");
+    assert!(level > 0.0 && level < 1.0, "level must lie in (0,1), got {level}");
+    let k = sample.size();
+    if k == 0 {
+        return None;
+    }
+    // Sorted expansion indexed by rank. Sorted pairs + cumulative counts
+    // avoid materializing the bag.
+    let pairs = sample.histogram().sorted_pairs();
+    let value_at_rank = |rank: u64| -> &T {
+        let mut acc = 0u64;
+        for (v, c) in &pairs {
+            acc += c;
+            if rank < acc {
+                return v;
+            }
+        }
+        &pairs.last().expect("non-empty sample").0
+    };
+
+    let kf = k as f64;
+    let point_rank = ((kf * phi).ceil() as u64).clamp(1, k) - 1;
+    if sample.kind() == SampleKind::Exhaustive {
+        let v = value_at_rank(point_rank).clone();
+        return Some(QuantileEstimate { value: v.clone(), lo: v.clone(), hi: v, exact: true });
+    }
+    let z = normal_quantile(0.5 + level / 2.0);
+    let half = z * (kf * phi * (1.0 - phi)).sqrt();
+    let lo_rank = ((kf * phi - half).floor().max(0.0) as u64).min(k - 1);
+    let hi_rank = ((kf * phi + half).ceil() as u64).clamp(0, k - 1);
+    Some(QuantileEstimate {
+        value: value_at_rank(point_rank).clone(),
+        lo: value_at_rank(lo_rank).clone(),
+        hi: value_at_rank(hi_rank).clone(),
+        exact: false,
+    })
+}
+
+/// Median shortcut: `estimate_quantile(sample, 0.5, level)`.
+pub fn estimate_median<T: SampleValue>(
+    sample: &Sample<T>,
+    level: f64,
+) -> Option<QuantileEstimate<T>> {
+    estimate_quantile(sample, 0.5, level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::hybrid_reservoir::HybridReservoir;
+    use swh_core::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    #[test]
+    fn exhaustive_quantiles_are_exact() {
+        let mut rng = seeded_rng(1);
+        let s = HybridReservoir::new(policy(512)).sample_batch(0..100u64, &mut rng);
+        let q = estimate_quantile(&s, 0.5, 0.95).unwrap();
+        assert!(q.exact);
+        assert_eq!(q.value, 49);
+        assert_eq!(q.lo, q.hi);
+        let q99 = estimate_quantile(&s, 0.99, 0.95).unwrap();
+        assert_eq!(q99.value, 98);
+    }
+
+    #[test]
+    fn sampled_median_near_truth_with_coverage() {
+        let mut rng = seeded_rng(2);
+        let n = 100_000u64;
+        let trials = 200;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let s = HybridReservoir::new(policy(1024)).sample_batch(0..n, &mut rng);
+            let q = estimate_median(&s, 0.95).unwrap();
+            assert!(!q.exact);
+            let truth = n / 2;
+            if (q.lo..=q.hi).contains(&truth) {
+                covered += 1;
+            }
+            // Point estimate within a few percent.
+            assert!(
+                (q.value as f64 - truth as f64).abs() / (truth as f64) < 0.15,
+                "median {} vs {truth}",
+                q.value
+            );
+        }
+        let coverage = covered as f64 / trials as f64;
+        assert!(coverage > 0.88, "coverage {coverage}");
+    }
+
+    #[test]
+    fn extreme_quantiles_clamp_to_sample_range() {
+        let mut rng = seeded_rng(3);
+        let s = HybridReservoir::new(policy(64)).sample_batch(0..10_000u64, &mut rng);
+        let q = estimate_quantile(&s, 0.999, 0.99).unwrap();
+        let max_in_sample = s.histogram().sorted_pairs().last().unwrap().0;
+        assert!(q.hi <= max_in_sample);
+        assert!(q.lo <= q.value && q.value <= q.hi);
+    }
+
+    #[test]
+    fn duplicated_values_respect_multiplicity() {
+        let mut rng = seeded_rng(4);
+        // 90% zeros, 10% ones: median 0, 0.95-quantile 1.
+        let values: Vec<u64> = (0..1_000).map(|i| u64::from(i % 10 == 0)).collect();
+        let s = HybridReservoir::new(policy(4096)).sample_batch(values, &mut rng);
+        assert_eq!(estimate_quantile(&s, 0.5, 0.95).unwrap().value, 0);
+        assert_eq!(estimate_quantile(&s, 0.95, 0.95).unwrap().value, 1);
+    }
+
+    #[test]
+    fn empty_sample_returns_none() {
+        let s = swh_core::sample::Sample::<u64>::from_parts(
+            swh_core::histogram::CompactHistogram::new(),
+            SampleKind::Exhaustive,
+            0,
+            policy(8),
+        );
+        assert!(estimate_quantile(&s, 0.5, 0.95).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "phi must lie in (0,1)")]
+    fn rejects_bad_phi() {
+        let mut rng = seeded_rng(5);
+        let s = HybridReservoir::new(policy(8)).sample_batch(0..10u64, &mut rng);
+        estimate_quantile(&s, 1.0, 0.95);
+    }
+}

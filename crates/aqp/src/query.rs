@@ -1,0 +1,325 @@
+//! A small aggregate-query AST over integer columns, executable both
+//! **approximately** (against a warehouse sample, with a confidence
+//! interval) and **exactly** (against a full scan). Having one query value
+//! serve both paths lets the tooling report approximation accuracy —
+//! exactly the "quick approximate answers" trade the paper's introduction
+//! describes.
+
+use crate::estimators::{estimate_avg, estimate_count, estimate_sum, Estimate};
+use crate::quantiles::estimate_quantile;
+use swh_core::sample::Sample;
+
+/// Predicate over `i64` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Matches everything.
+    True,
+    /// `value % modulus == remainder` (Euclidean remainder).
+    ModEq {
+        /// Positive modulus.
+        modulus: i64,
+        /// Target remainder.
+        remainder: i64,
+    },
+    /// `lo ≤ value ≤ hi`.
+    Between {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+    /// Membership in an explicit set.
+    In(Vec<i64>),
+    /// Logical negation.
+    Not(Box<Predicate>),
+    /// Logical conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Logical disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against one value.
+    pub fn eval(&self, v: i64) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::ModEq { modulus, remainder } => v.rem_euclid(*modulus) == *remainder,
+            Predicate::Between { lo, hi } => (*lo..=*hi).contains(&v),
+            Predicate::In(set) => set.contains(&v),
+            Predicate::Not(p) => !p.eval(v),
+            Predicate::And(a, b) => a.eval(v) && b.eval(v),
+            Predicate::Or(a, b) => a.eval(v) || b.eval(v),
+        }
+    }
+
+    /// Parse the compact textual form used by the CLI:
+    /// `true`, `mod:M:R`, `between:LO:HI`, `in:V1,V2,...`, `not:(...)` is
+    /// not supported textually (compose programmatically).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut parts = s.splitn(3, ':');
+        match parts.next() {
+            Some("true") | Some("") | None => Ok(Predicate::True),
+            Some("mod") => {
+                let m: i64 = parts
+                    .next()
+                    .ok_or("mod needs a modulus")?
+                    .parse()
+                    .map_err(|_| "bad modulus")?;
+                let r: i64 = parts
+                    .next()
+                    .ok_or("mod needs a remainder")?
+                    .parse()
+                    .map_err(|_| "bad remainder")?;
+                if m <= 0 {
+                    return Err("modulus must be positive".into());
+                }
+                Ok(Predicate::ModEq { modulus: m, remainder: r })
+            }
+            Some("between") => {
+                let lo: i64 = parts
+                    .next()
+                    .ok_or("between needs a lower bound")?
+                    .parse()
+                    .map_err(|_| "bad lower bound")?;
+                let hi: i64 = parts
+                    .next()
+                    .ok_or("between needs an upper bound")?
+                    .parse()
+                    .map_err(|_| "bad upper bound")?;
+                Ok(Predicate::Between { lo, hi })
+            }
+            Some("in") => {
+                let list = parts.next().ok_or("in needs a value list")?;
+                let values: Result<Vec<i64>, _> =
+                    list.split(',').map(|t| t.trim().parse::<i64>()).collect();
+                Ok(Predicate::In(values.map_err(|_| "bad value in list")?))
+            }
+            Some(other) => Err(format!("unknown predicate '{other}'")),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::True => write!(f, "*"),
+            Predicate::ModEq { modulus, remainder } => write!(f, "v % {modulus} == {remainder}"),
+            Predicate::Between { lo, hi } => write!(f, "{lo} <= v <= {hi}"),
+            Predicate::In(set) => write!(f, "v in {set:?}"),
+            Predicate::Not(p) => write!(f, "not ({p})"),
+            Predicate::And(a, b) => write!(f, "({a}) and ({b})"),
+            Predicate::Or(a, b) => write!(f, "({a}) or ({b})"),
+        }
+    }
+}
+
+/// Aggregate function of a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregate {
+    /// `COUNT(*) WHERE pred`.
+    Count,
+    /// `SUM(v) WHERE pred`.
+    Sum,
+    /// `AVG(v) WHERE pred`.
+    Avg,
+    /// `phi`-quantile of matching values.
+    Quantile(f64),
+}
+
+/// An aggregate query with a predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The aggregate.
+    pub aggregate: Aggregate,
+    /// The row filter.
+    pub predicate: Predicate,
+}
+
+impl Query {
+    /// COUNT with a predicate.
+    pub fn count(predicate: Predicate) -> Self {
+        Self { aggregate: Aggregate::Count, predicate }
+    }
+
+    /// SUM with a predicate.
+    pub fn sum(predicate: Predicate) -> Self {
+        Self { aggregate: Aggregate::Sum, predicate }
+    }
+
+    /// AVG with a predicate.
+    pub fn avg(predicate: Predicate) -> Self {
+        Self { aggregate: Aggregate::Avg, predicate }
+    }
+
+    /// `phi`-quantile of matching values.
+    pub fn quantile(phi: f64, predicate: Predicate) -> Self {
+        Self { aggregate: Aggregate::Quantile(phi), predicate }
+    }
+
+    /// Approximate execution against a sample. Quantile queries with
+    /// non-trivial predicates restrict the sample first (the matching
+    /// subsample of a uniform sample is uniform over the matching
+    /// subpopulation).
+    pub fn estimate(&self, sample: &Sample<i64>) -> Estimate {
+        let pred = &self.predicate;
+        match self.aggregate {
+            Aggregate::Count => estimate_count(sample, |v| pred.eval(*v)),
+            Aggregate::Sum => estimate_sum(sample, |v| pred.eval(*v)),
+            Aggregate::Avg => estimate_avg(sample, |v| pred.eval(*v)),
+            Aggregate::Quantile(phi) => {
+                // Point estimate with the order-statistic interval mapped
+                // onto the Estimate shape (half-width as pseudo-SE).
+                match estimate_quantile(sample, phi, 0.95) {
+                    None => Estimate { value: f64::NAN, std_error: f64::INFINITY, exact: false },
+                    Some(q) => {
+                        let half = (q.hi - q.lo) as f64 / 2.0;
+                        Estimate {
+                            value: q.value as f64,
+                            // Normal 95% half-width corresponds to 1.96 SE.
+                            std_error: half / 1.96,
+                            exact: q.exact,
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exact execution against a full scan of the data.
+    pub fn exact<I: IntoIterator<Item = i64>>(&self, values: I) -> f64 {
+        let pred = &self.predicate;
+        match self.aggregate {
+            Aggregate::Count => values.into_iter().filter(|v| pred.eval(*v)).count() as f64,
+            Aggregate::Sum => values
+                .into_iter()
+                .filter(|v| pred.eval(*v))
+                .map(|v| v as f64)
+                .sum(),
+            Aggregate::Avg => {
+                let (mut s, mut n) = (0.0f64, 0u64);
+                for v in values.into_iter().filter(|v| pred.eval(*v)) {
+                    s += v as f64;
+                    n += 1;
+                }
+                if n == 0 {
+                    f64::NAN
+                } else {
+                    s / n as f64
+                }
+            }
+            Aggregate::Quantile(phi) => {
+                let mut matching: Vec<i64> =
+                    values.into_iter().filter(|v| pred.eval(*v)).collect();
+                if matching.is_empty() {
+                    return f64::NAN;
+                }
+                matching.sort_unstable();
+                let rank =
+                    ((matching.len() as f64 * phi).ceil() as usize).clamp(1, matching.len()) - 1;
+                matching[rank] as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::hybrid_reservoir::HybridReservoir;
+    use swh_core::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    #[test]
+    fn predicate_eval() {
+        assert!(Predicate::True.eval(5));
+        assert!(Predicate::ModEq { modulus: 3, remainder: 2 }.eval(5));
+        assert!(!Predicate::ModEq { modulus: 3, remainder: 2 }.eval(6));
+        // Euclidean remainder for negatives.
+        assert!(Predicate::ModEq { modulus: 3, remainder: 2 }.eval(-1));
+        assert!(Predicate::Between { lo: -2, hi: 2 }.eval(0));
+        assert!(!Predicate::Between { lo: -2, hi: 2 }.eval(3));
+        assert!(Predicate::In(vec![1, 5, 9]).eval(5));
+        let composite = Predicate::And(
+            Box::new(Predicate::Between { lo: 0, hi: 100 }),
+            Box::new(Predicate::Not(Box::new(Predicate::ModEq { modulus: 2, remainder: 0 }))),
+        );
+        assert!(composite.eval(7));
+        assert!(!composite.eval(8));
+        assert!(!composite.eval(-3));
+    }
+
+    #[test]
+    fn predicate_parse() {
+        assert_eq!(Predicate::parse("true").unwrap(), Predicate::True);
+        assert_eq!(
+            Predicate::parse("mod:4:1").unwrap(),
+            Predicate::ModEq { modulus: 4, remainder: 1 }
+        );
+        assert_eq!(
+            Predicate::parse("between:-5:10").unwrap(),
+            Predicate::Between { lo: -5, hi: 10 }
+        );
+        assert_eq!(Predicate::parse("in:1,2,3").unwrap(), Predicate::In(vec![1, 2, 3]));
+        assert!(Predicate::parse("mod:0:1").is_err());
+        assert!(Predicate::parse("frob:1").is_err());
+    }
+
+    #[test]
+    fn exact_matches_manual_computation() {
+        let values: Vec<i64> = (0..1000).collect();
+        assert_eq!(Query::count(Predicate::parse("mod:4:0").unwrap()).exact(values.clone()), 250.0);
+        assert_eq!(
+            Query::sum(Predicate::Between { lo: 0, hi: 9 }).exact(values.clone()),
+            45.0
+        );
+        assert_eq!(Query::avg(Predicate::True).exact(values.clone()), 499.5);
+        assert_eq!(Query::quantile(0.5, Predicate::True).exact(values), 499.0);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_within_ci() {
+        let mut rng = seeded_rng(5);
+        let values: Vec<i64> = (0..100_000).collect();
+        let s = HybridReservoir::new(FootprintPolicy::with_value_budget(2048))
+            .sample_batch(values.iter().copied(), &mut rng);
+        for q in [
+            Query::count(Predicate::ModEq { modulus: 5, remainder: 0 }),
+            Query::sum(Predicate::Between { lo: 0, hi: 49_999 }),
+            Query::avg(Predicate::True),
+        ] {
+            let est = q.estimate(&s);
+            let truth = q.exact(values.iter().copied());
+            let (lo, hi) = est.confidence_interval(0.999);
+            assert!(
+                (lo..=hi).contains(&truth) || (est.value - truth).abs() / truth.abs() < 0.05,
+                "{q:?}: est {} CI [{lo},{hi}] truth {truth}",
+                est.value
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_estimate_reasonable() {
+        let mut rng = seeded_rng(6);
+        let values: Vec<i64> = (0..50_000).collect();
+        let s = HybridReservoir::new(FootprintPolicy::with_value_budget(2048))
+            .sample_batch(values.iter().copied(), &mut rng);
+        let q = Query::quantile(0.9, Predicate::True);
+        let est = q.estimate(&s);
+        let truth = q.exact(values);
+        assert!((est.value - truth).abs() / truth < 0.1, "q90 {} vs {truth}", est.value);
+    }
+
+    #[test]
+    fn nan_on_empty_match() {
+        let q = Query::avg(Predicate::In(vec![]));
+        assert!(q.exact(0..100i64).is_nan());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Predicate::parse("mod:4:0").unwrap().to_string(), "v % 4 == 0");
+        assert_eq!(Predicate::True.to_string(), "*");
+    }
+}

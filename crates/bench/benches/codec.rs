@@ -1,0 +1,79 @@
+//! Persistence micro-benchmarks: sample encode/decode and full-scale
+//! partition write/scan throughput — the warehouse's roll-in/roll-out
+//! I/O path (requirement 4's compact storage made concrete).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swh_core::footprint::FootprintPolicy;
+use swh_core::hybrid_reservoir::HybridReservoir;
+use swh_core::sample::Sample;
+use swh_core::sampler::Sampler;
+use swh_rand::seeded_rng;
+use swh_warehouse::codec::{decode_sample, encode_sample};
+use swh_warehouse::fullstore::FullStore;
+use swh_warehouse::ids::{DatasetId, PartitionId, PartitionKey};
+use swh_workloads::dataset::{DataDistribution, DataSpec};
+
+fn sample_with(n_f: u64, dist: DataDistribution) -> Sample<u64> {
+    let mut rng = seeded_rng(1);
+    let spec = DataSpec::new(dist, 1 << 16, 2);
+    HybridReservoir::new(FootprintPolicy::with_value_budget(n_f))
+        .sample_batch(spec.stream(), &mut rng)
+}
+
+fn bench_sample_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_codec");
+    for (label, dist) in [
+        ("unique", DataDistribution::Unique),
+        ("zipf", DataDistribution::PAPER_ZIPF),
+    ] {
+        let s = sample_with(8192, dist);
+        let bytes = encode_sample(&s);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", label), &s, |b, s| {
+            b.iter(|| black_box(encode_sample(s).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", label), &bytes, |b, bytes| {
+            b.iter(|| {
+                let s: Sample<u64> = decode_sample(bytes).expect("decode");
+                black_box(s.size())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fullstore(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join("swh-bench-fullstore");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FullStore::open(&dir).expect("open");
+    let key = PartitionKey { dataset: DatasetId(1), partition: PartitionId::seq(0) };
+    let values: Vec<i64> = (0..(1 << 16)).collect();
+
+    let mut group = c.benchmark_group("fullstore");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("write_partition_64k", |b| {
+        b.iter(|| {
+            store.write_partition(key, values.iter().copied()).expect("write")
+        })
+    });
+    store.write_partition(key, values.iter().copied()).expect("write");
+    group.bench_function("read_partition_64k", |b| {
+        b.iter(|| {
+            let v: Vec<i64> = store.read_partition(key).expect("read");
+            black_box(v.len())
+        })
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_sample_codec, bench_fullstore
+}
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Sampler throughput micro-benchmarks.
+//!
+//! * Cross-scheme comparison: SB vs HB vs HR vs concise vs the plain
+//!   Bernoulli/reservoir building blocks on unique, uniform, and Zipfian
+//!   streams — the per-element cost behind Figures 9–14.
+//! * Ablation: reservoir skip strategies (per-element coin flips vs
+//!   Vitter's Algorithm X vs Algorithm Z) — the design choice behind the
+//!   `skip(n; k)` primitive.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use swh_core::bernoulli::BernoulliSampler;
+use swh_core::concise::ConciseSampler;
+use swh_core::footprint::FootprintPolicy;
+use swh_core::reservoir::ReservoirSampler;
+use swh_core::sampler::Sampler;
+use swh_core::sb::StratifiedBernoulli;
+use swh_rand::seeded_rng;
+use swh_rand::skip::SkipMode;
+use swh_warehouse::ingest::SamplerConfig;
+use swh_workloads::dataset::{DataDistribution, DataSpec};
+
+const N: u64 = 1 << 16;
+const N_F: u64 = 2048;
+
+fn bench_schemes(c: &mut Criterion) {
+    let policy = FootprintPolicy::with_value_budget(N_F);
+    let mut group = c.benchmark_group("sampler_throughput");
+    group.throughput(Throughput::Elements(N));
+
+    let dists = [
+        DataDistribution::Unique,
+        DataDistribution::PAPER_UNIFORM,
+        DataDistribution::PAPER_ZIPF,
+    ];
+    for dist in dists {
+        let values: Vec<u64> = DataSpec::new(dist, N, 1).stream().collect();
+        let q = (N_F as f64 / N as f64).min(1.0);
+
+        group.bench_with_input(BenchmarkId::new("SB", dist.label()), &values, |b, vals| {
+            let mut rng = seeded_rng(2);
+            b.iter(|| {
+                let s = StratifiedBernoulli::<u64>::new(q, policy, &mut rng)
+                    .sample_batch(vals.iter().copied(), &mut rng);
+                black_box(s.size())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HB", dist.label()), &values, |b, vals| {
+            let mut rng = seeded_rng(3);
+            let cfg = SamplerConfig::HybridBernoulli { expected_n: N, p_bound: 1e-3 };
+            b.iter(|| {
+                let s = cfg
+                    .build::<u64>(policy)
+                    .sample_batch(vals.iter().copied(), &mut rng);
+                black_box(s.size())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("HR", dist.label()), &values, |b, vals| {
+            let mut rng = seeded_rng(4);
+            b.iter(|| {
+                let s = SamplerConfig::HybridReservoir
+                    .build::<u64>(policy)
+                    .sample_batch(vals.iter().copied(), &mut rng);
+                black_box(s.size())
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("concise", dist.label()),
+            &values,
+            |b, vals| {
+                let mut rng = seeded_rng(5);
+                b.iter(|| {
+                    let s = ConciseSampler::<u64>::new(policy)
+                        .sample_batch(vals.iter().copied(), &mut rng);
+                    black_box(s.size())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plain_bernoulli", dist.label()),
+            &values,
+            |b, vals| {
+                let mut rng = seeded_rng(6);
+                b.iter(|| {
+                    let s = BernoulliSampler::<u64>::new(q, policy, &mut rng)
+                        .sample_batch(vals.iter().copied(), &mut rng);
+                    black_box(s.size())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plain_reservoir", dist.label()),
+            &values,
+            |b, vals| {
+                let mut rng = seeded_rng(7);
+                b.iter(|| {
+                    let s = ReservoirSampler::<u64>::new(policy, &mut rng)
+                        .sample_batch(vals.iter().copied(), &mut rng);
+                    black_box(s.size())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_skip_modes(c: &mut Criterion) {
+    let policy = FootprintPolicy::with_value_budget(N_F);
+    let values: Vec<u64> = (0..N).collect();
+    let mut group = c.benchmark_group("reservoir_skip_ablation");
+    group.throughput(Throughput::Elements(N));
+    for (name, mode) in [
+        ("coin_flip", SkipMode::CoinFlip),
+        ("algorithm_x", SkipMode::Sequential),
+        ("algorithm_z", SkipMode::Rejection),
+        ("auto", SkipMode::Auto),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = seeded_rng(8);
+            b.iter(|| {
+                let s = ReservoirSampler::with_capacity_and_mode(N_F, policy, mode, &mut rng)
+                    .sample_batch(values.iter().copied(), &mut rng);
+                black_box(s.size())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_schemes, bench_skip_modes
+}
+criterion_main!(benches);

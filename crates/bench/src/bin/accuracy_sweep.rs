@@ -1,0 +1,98 @@
+//! Accuracy sweep (extension experiment, not a paper figure): relative
+//! error and CI coverage of approximate answers as a function of the
+//! footprint bound — the quantitative version of the paper's motivation
+//! that a sample warehouse supports "quick approximate answers".
+//!
+//! For each footprint `n_F` the harness samples a partitioned data set with
+//! both HB and HR, merges, runs a query batch, and reports mean |relative
+//! error| and 95% CI coverage over repetitions.
+
+use swh_aqp::query::{Predicate, Query};
+use swh_bench::{section, CsvOut, Scale};
+use swh_core::footprint::FootprintPolicy;
+use swh_core::merge::merge_all;
+use swh_core::sample::Sample;
+use swh_core::sampler::Sampler;
+use swh_rand::seeded_rng;
+use swh_warehouse::ingest::SamplerConfig;
+use swh_workloads::dataset::{DataDistribution, DataSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let (population, parts) = match scale {
+        Scale::Smoke => (1u64 << 16, 4u64),
+        _ => (1u64 << 21, 16u64),
+    };
+    let reps = 20usize;
+    let queries = [
+        ("count_sel10%", Query::count(Predicate::ModEq { modulus: 10, remainder: 0 })),
+        ("count_sel1%", Query::count(Predicate::ModEq { modulus: 100, remainder: 0 })),
+        ("sum_all", Query::sum(Predicate::True)),
+        ("avg_all", Query::avg(Predicate::True)),
+    ];
+    // Ground truth over the exact value stream (unique integers).
+    let spec = DataSpec::new(DataDistribution::Unique, population, 0);
+    let truths: Vec<f64> = queries
+        .iter()
+        .map(|(_, q)| q.exact(spec.stream().map(|v| v as i64)))
+        .collect();
+
+    section(&format!(
+        "Accuracy sweep: population {population} unique values, {parts} partitions, \
+         {reps} repetitions per cell, scale = {scale}"
+    ));
+    println!(
+        "{:>4} {:>7} {:>14} | {:>10} {:>9} | {:>10} {:>9}",
+        "alg", "n_F", "query", "mean_rel_%", "cover_95", "", ""
+    );
+
+    let mut csv = CsvOut::new(
+        "accuracy_sweep",
+        "algorithm,n_f,query,mean_rel_err_pct,coverage_95",
+    );
+    for algo in ["HB", "HR"] {
+        for &n_f in &[256u64, 1024, 4096, 16_384] {
+            let policy = FootprintPolicy::with_value_budget(n_f);
+            let per = population / parts;
+            // Collect per-query stats across repetitions.
+            let mut abs_rel = vec![0.0f64; queries.len()];
+            let mut covered = vec![0u32; queries.len()];
+            for rep in 0..reps {
+                let mut rng = seeded_rng(1_000 * rep as u64 + n_f);
+                let samples: Vec<Sample<i64>> = spec
+                    .partitions(parts)
+                    .into_iter()
+                    .map(|stream| {
+                        let cfg = if algo == "HB" {
+                            SamplerConfig::HybridBernoulli { expected_n: per, p_bound: 1e-3 }
+                        } else {
+                            SamplerConfig::HybridReservoir
+                        };
+                        cfg.build::<i64>(policy)
+                            .sample_batch(stream.map(|v| v as i64), &mut rng)
+                    })
+                    .collect();
+                let merged = merge_all(samples, 1e-3, &mut rng).expect("merge");
+                for (qi, (_, q)) in queries.iter().enumerate() {
+                    let est = q.estimate(&merged);
+                    let truth = truths[qi];
+                    abs_rel[qi] += (est.value - truth).abs() / truth.abs();
+                    let (lo, hi) = est.confidence_interval(0.95);
+                    if (lo..=hi).contains(&truth) {
+                        covered[qi] += 1;
+                    }
+                }
+            }
+            for (qi, (name, _)) in queries.iter().enumerate() {
+                let mean_rel = 100.0 * abs_rel[qi] / reps as f64;
+                let coverage = covered[qi] as f64 / reps as f64;
+                println!(
+                    "{algo:>4} {n_f:>7} {name:>14} | {mean_rel:>9.3}% {coverage:>9.2} |"
+                );
+                csv.row(format!("{algo},{n_f},{name},{mean_rel:.4},{coverage:.3}"));
+            }
+        }
+    }
+    println!("\nExpect: error ~ 1/sqrt(n_F); coverage ~ 0.95 for count/sum/avg.");
+    csv.finish();
+}

@@ -1,0 +1,47 @@
+//! Figure 5: relative error of the closed-form rate approximation Eq. (1)
+//! against the exact solution of `f(q) = p`, for `N = 10^5`,
+//! `p ∈ [1e-5, 5e-3]`, and `n_F ∈ {10^2, 10^3, 10^4}`.
+//!
+//! The paper reports a maximum relative error of 2.765% over this grid,
+//! with typical errors far lower.
+
+use swh_bench::{section, CsvOut};
+use swh_core::qbound::{q_approx, q_exact};
+
+fn main() {
+    let n: u64 = 100_000;
+    let n_f_values: [u64; 3] = [100, 1_000, 10_000];
+    // Log-spaced p grid over the figure's x-axis [1e-5, 5e-3].
+    let p_grid: Vec<f64> = (0..25)
+        .map(|i| {
+            let lo: f64 = 1e-5;
+            let hi: f64 = 5e-3;
+            lo * (hi / lo).powf(i as f64 / 24.0)
+        })
+        .collect();
+
+    section(&format!("Figure 5: relative error of q(N,p,nF) approximation, N = {n}"));
+    println!("{:>12} {:>12} {:>14} {:>14} {:>12}", "p", "n_F", "q_approx", "q_exact", "rel_err_%");
+
+    let mut csv = CsvOut::new("fig05_qapprox", "p,n_f,q_approx,q_exact,rel_err_pct");
+    let mut max_err = 0.0f64;
+    let mut max_at = (0.0, 0u64);
+    for &n_f in &n_f_values {
+        for &p in &p_grid {
+            let qa = q_approx(n, p, n_f);
+            let qe = q_exact(n, p, n_f);
+            let rel = ((qa - qe) / qe).abs() * 100.0;
+            if rel > max_err {
+                max_err = rel;
+                max_at = (p, n_f);
+            }
+            println!("{p:>12.2e} {n_f:>12} {qa:>14.6e} {qe:>14.6e} {rel:>12.4}");
+            csv.row(format!("{p:.6e},{n_f},{qa:.10e},{qe:.10e},{rel:.6}"));
+        }
+    }
+    println!(
+        "\nmax relative error = {max_err:.3}% at p = {:.2e}, n_F = {} (paper: max = 2.765%)",
+        max_at.0, max_at.1
+    );
+    csv.finish();
+}

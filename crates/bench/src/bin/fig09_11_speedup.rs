@@ -1,0 +1,153 @@
+//! Figures 9–11: speedup — elapsed time (split into sampling and merging)
+//! versus partition count, for Algorithms SB, HB, and HR.
+//!
+//! Setup (paper §5): a single data set of `2^26` unique-valued elements is
+//! divided into `1, 2, ..., 1024` partitions; partitions are sampled in
+//! parallel and the per-partition samples are merged with a serial sequence
+//! of pairwise merges. The paper's observed shapes:
+//!
+//! * SB is fastest at every partition count and scales furthest
+//!   (elapsed time improves until 256–512 partitions);
+//! * HB is second, HR slightly slower; both bottom out at 32–64 partitions;
+//! * all three curves are U-shaped: sampling time falls with parallelism
+//!   while merge time grows with the number of merges.
+
+use swh_bench::{section, simulated_cpus, simulated_makespan, time_secs, CsvOut, Scale};
+use swh_core::footprint::FootprintPolicy;
+use swh_core::merge::merge_all;
+use swh_core::sample::Sample;
+use swh_core::sampler::Sampler;
+use swh_core::sb::StratifiedBernoulli;
+use swh_rand::seeded_rng;
+use swh_warehouse::ingest::SamplerConfig;
+use swh_workloads::dataset::{DataDistribution, DataSpec};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Algo {
+    Sb,
+    Hb,
+    Hr,
+}
+
+impl Algo {
+    fn label(self) -> &'static str {
+        match self {
+            Algo::Sb => "SB",
+            Algo::Hb => "HB",
+            Algo::Hr => "HR",
+        }
+    }
+}
+
+fn run_once(
+    algo: Algo,
+    spec: DataSpec,
+    partitions: u64,
+    n_f: u64,
+    cpus: usize,
+    seed: u64,
+) -> (f64, f64, u64) {
+    let policy = FootprintPolicy::with_value_budget(n_f);
+    let part_size = spec.population / partitions;
+    // SB's fixed rate targets a final sample of ~n_F elements overall.
+    let sb_rate = (n_f as f64 / spec.population as f64).min(1.0);
+
+    // Sample each partition, timing it individually; the elapsed sampling
+    // time is the makespan of the partition jobs on the simulated cluster
+    // (the paper instrumented per-process CPU time the same way).
+    let mut samples: Vec<Sample<u64>> = Vec::with_capacity(partitions as usize);
+    let mut durations = Vec::with_capacity(partitions as usize);
+    for (i, stream) in spec.partitions(partitions).into_iter().enumerate() {
+        let mut rng = seeded_rng(seed ^ (i as u64).wrapping_mul(0x9E37));
+        let (sample, t) = time_secs(|| match algo {
+            Algo::Sb => {
+                StratifiedBernoulli::<u64>::new(sb_rate, policy, &mut rng)
+                    .sample_batch(stream, &mut rng)
+            }
+            Algo::Hb => {
+                let cfg =
+                    SamplerConfig::HybridBernoulli { expected_n: part_size, p_bound: 1e-3 };
+                cfg.build::<u64>(policy).sample_batch(stream, &mut rng)
+            }
+            Algo::Hr => SamplerConfig::HybridReservoir
+                .build::<u64>(policy)
+                .sample_batch(stream, &mut rng),
+        });
+        samples.push(sample);
+        durations.push(t);
+    }
+    let sample_time = simulated_makespan(&durations, cpus);
+
+    // Merges are executed serially, exactly as in the paper's setup.
+    let mut rng = seeded_rng(seed.wrapping_add(1));
+    let (merged, merge_time) = time_secs(|| match algo {
+        Algo::Sb => StratifiedBernoulli::union(samples),
+        _ => merge_all(samples, 1e-3, &mut rng).expect("uniform merge"),
+    });
+    (sample_time, merge_time, merged.size())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let population = scale.speedup_population();
+    let n_f = scale.n_f();
+    let reps = scale.repetitions();
+    let cpus = simulated_cpus();
+
+    section(&format!(
+        "Figures 9-11: speedup, population = {population} unique values, n_F = {n_f}, \
+         {cpus} simulated CPUs (paper: 2 x dual-CPU machines), scale = {scale}"
+    ));
+    println!(
+        "{:>4} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "alg", "partitions", "sample_s", "merge_s", "total_s", "sample_size"
+    );
+
+    let mut csv = CsvOut::new(
+        "fig09_11_speedup",
+        "algorithm,partitions,sample_secs,merge_secs,total_secs,final_sample_size",
+    );
+    for algo in [Algo::Sb, Algo::Hb, Algo::Hr] {
+        let mut best = (f64::INFINITY, 0u64);
+        for &parts in &scale.partition_counts() {
+            if parts > population {
+                continue;
+            }
+            let (mut s_sum, mut m_sum, mut size_sum) = (0.0, 0.0, 0u64);
+            for rep in 0..reps {
+                let spec = DataSpec::new(DataDistribution::Unique, population, rep as u64);
+                let (s, m, size) =
+                    run_once(algo, spec, parts, n_f, cpus, 1000 * rep as u64 + parts);
+                s_sum += s;
+                m_sum += m;
+                size_sum += size;
+            }
+            let (s, m) = (s_sum / reps as f64, m_sum / reps as f64);
+            let size = size_sum / reps as u64;
+            let total = s + m;
+            if total < best.0 {
+                best = (total, parts);
+            }
+            println!(
+                "{:>4} {:>10} {:>12.3} {:>12.3} {:>12.3} {:>12}",
+                algo.label(),
+                parts,
+                s,
+                m,
+                total,
+                size
+            );
+            csv.row(format!(
+                "{},{parts},{s:.6},{m:.6},{total:.6},{size}",
+                algo.label()
+            ));
+        }
+        println!(
+            "  -> {} fastest at {} partitions ({:.3}s)",
+            algo.label(),
+            best.1,
+            best.0
+        );
+    }
+    csv.finish();
+}

@@ -1,0 +1,116 @@
+//! Figures 12–14: scaleup — total elapsed time as the number of partitions
+//! and the population grow together (32K elements per partition), for
+//! Algorithms SB, HB, and HR over the unique, uniform, and Zipfian data
+//! sets.
+//!
+//! The paper observes roughly linear scaleup for all three algorithms
+//! (straight lines on its log-seconds axis), with SB clearly fastest and
+//! HB ≈ HR. The Zipfian runs are cheap for the hybrid algorithms because
+//! samples remain exhaustive histograms (footnote 5).
+//!
+//! Elapsed sampling time is computed as the makespan of the per-partition
+//! sampling jobs on a simulated cluster of `SWH_CPUS` CPUs (default 4, the
+//! paper's testbed); merges run serially, as in the paper.
+
+use swh_bench::{section, simulated_cpus, simulated_makespan, time_secs, CsvOut, Scale};
+use swh_core::footprint::FootprintPolicy;
+use swh_core::merge::merge_all;
+use swh_core::sample::Sample;
+use swh_core::sampler::Sampler;
+use swh_core::sb::StratifiedBernoulli;
+use swh_rand::seeded_rng;
+use swh_warehouse::ingest::SamplerConfig;
+use swh_workloads::dataset::{DataDistribution, DataSpec};
+
+fn run_once(
+    algo: &str,
+    spec: DataSpec,
+    parts: u64,
+    per: u64,
+    n_f: u64,
+    cpus: usize,
+    seed: u64,
+) -> (f64, u64) {
+    let policy = FootprintPolicy::with_value_budget(n_f);
+    let q = (n_f as f64 / spec.population as f64).min(1.0);
+    let mut samples: Vec<Sample<u64>> = Vec::with_capacity(parts as usize);
+    let mut durations = Vec::with_capacity(parts as usize);
+    for (i, stream) in spec.partitions(parts).into_iter().enumerate() {
+        let mut rng = seeded_rng(seed ^ (i as u64).wrapping_mul(0x51_7c));
+        let (sample, t) = time_secs(|| match algo {
+            "SB" => StratifiedBernoulli::<u64>::new(q, policy, &mut rng)
+                .sample_batch(stream, &mut rng),
+            "HB" => SamplerConfig::HybridBernoulli { expected_n: per, p_bound: 1e-3 }
+                .build::<u64>(policy)
+                .sample_batch(stream, &mut rng),
+            _ => SamplerConfig::HybridReservoir
+                .build::<u64>(policy)
+                .sample_batch(stream, &mut rng),
+        });
+        samples.push(sample);
+        durations.push(t);
+    }
+    let sample_time = simulated_makespan(&durations, cpus);
+    let mut rng = seeded_rng(seed + 1);
+    let (merged, merge_time) = time_secs(|| match algo {
+        "SB" => StratifiedBernoulli::union(samples),
+        _ => merge_all(samples, 1e-3, &mut rng).expect("uniform merge"),
+    });
+    (sample_time + merge_time, merged.size())
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let per = scale.partition_size();
+    let n_f = scale.n_f();
+    let reps = scale.repetitions();
+    let cpus = simulated_cpus();
+
+    section(&format!(
+        "Figures 12-14: scaleup, {per} elements/partition, n_F = {n_f}, \
+         {cpus} simulated CPUs, scale = {scale}"
+    ));
+    println!(
+        "{:>4} {:>9} {:>6} {:>12} {:>14} {:>12}",
+        "alg", "dist", "scale", "total_s", "log10_total_s", "sample_size"
+    );
+
+    let mut csv = CsvOut::new(
+        "fig12_14_scaleup",
+        "algorithm,distribution,scale_factor,total_secs,final_sample_size",
+    );
+    let dists = [
+        DataDistribution::Unique,
+        DataDistribution::PAPER_UNIFORM,
+        DataDistribution::PAPER_ZIPF,
+    ];
+    for algo in ["SB", "HB", "HR"] {
+        for dist in dists {
+            for &sf in &scale.scale_factors() {
+                let population = sf * per;
+                let mut total_sum = 0.0;
+                let mut size_sum = 0u64;
+                for rep in 0..reps {
+                    let spec = DataSpec::new(dist, population, 31 + rep as u64);
+                    let seed = 77 * sf + rep as u64;
+                    let (t, size) = run_once(algo, spec, sf, per, n_f, cpus, seed);
+                    total_sum += t;
+                    size_sum += size;
+                }
+                let t = total_sum / reps as f64;
+                let size = size_sum / reps as u64;
+                println!(
+                    "{:>4} {:>9} {:>6} {:>12.3} {:>14.3} {:>12}",
+                    algo,
+                    dist.label(),
+                    sf,
+                    t,
+                    t.log10(),
+                    size
+                );
+                csv.row(format!("{algo},{},{sf},{t:.6},{size}", dist.label()));
+            }
+        }
+    }
+    csv.finish();
+}

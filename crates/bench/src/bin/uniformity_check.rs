@@ -1,0 +1,251 @@
+//! The §3.3 negative result and positive uniformity checks.
+//!
+//! Part 1 reproduces the paper's counterexample: over the population
+//! `{a, a, a, b, b, b}` with capacity for a single `(value, count)` pair,
+//! concise sampling produces `{(a,3)}` and `{(b,3)}` with positive
+//! probability but can **never** produce the mixed size-3 sample
+//! `{(a,2), b}` — which uniformity would make nine times likelier. Rare
+//! values are systematically underrepresented.
+//!
+//! Part 2 runs chi-square tests over a skewed population: for a uniform
+//! scheme, every *element* is equally likely to be sampled, so the expected
+//! sampled mass of each value is proportional to its population frequency.
+//! Algorithms HB, HR and SB pass; concise sampling fails decisively
+//! (rare values underrepresented — "data-element values that appear
+//! infrequently in the population will be underrepresented in a sample").
+
+use swh_bench::{section, CsvOut};
+use swh_core::concise::ConciseSampler;
+use swh_core::footprint::FootprintPolicy;
+use swh_core::hybrid_bernoulli::HybridBernoulli;
+use swh_core::hybrid_reservoir::HybridReservoir;
+use swh_core::sample::Sample;
+use swh_core::sampler::Sampler;
+use swh_core::sb::StratifiedBernoulli;
+use swh_rand::seeded_rng;
+use swh_rand::stats::{chi_square_p_value, chi_square_statistic};
+
+fn counterexample(csv: &mut CsvOut) {
+    section("Part 1 - concise-sampling counterexample (paper section 3.3)");
+    let mut rng = seeded_rng(42);
+    let policy = FootprintPolicy::with_value_budget(2); // one (value,count) pair
+    let population = [0u64, 0, 0, 1, 1, 1]; // a = 0, b = 1
+    let trials = 200_000;
+    let (mut a3, mut b3, mut mixed, mut other) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..trials {
+        let s = ConciseSampler::new(policy).sample_batch(population.iter().copied(), &mut rng);
+        match (s.histogram().count(&0), s.histogram().count(&1)) {
+            (3, 0) => a3 += 1,
+            (0, 3) => b3 += 1,
+            (2, 1) | (1, 2) => mixed += 1,
+            _ => other += 1,
+        }
+    }
+    println!("population = {{a,a,a,b,b,b}}, footprint = one (value,count) pair, {trials} trials");
+    println!("  H1 = {{(a,3)}}      : {a3:>7}  ({:.4}%)", 100.0 * a3 as f64 / trials as f64);
+    println!("  H2 = {{(b,3)}}      : {b3:>7}  ({:.4}%)", 100.0 * b3 as f64 / trials as f64);
+    println!("  H3 = {{(a,2),b}} or {{a,(b,2)}} : {mixed:>7}  (impossible under concise sampling)");
+    println!("  other outcomes   : {other:>7}");
+    println!(
+        "  uniformity would require P(H3) = 9 x P(H1) > 0; observed P(H3) = {}",
+        mixed as f64 / trials as f64
+    );
+    assert_eq!(mixed, 0, "mixed samples should be impossible");
+    csv.row(format!("counterexample,a3,{a3},"));
+    csv.row(format!("counterexample,b3,{b3},"));
+    csv.row(format!("counterexample,mixed,{mixed},"));
+}
+
+/// The skewed test population: values `0..20` appear 4 times each, values
+/// `100..120` once each (rare). 100 elements total.
+fn skewed_population() -> Vec<u64> {
+    let mut p = Vec::new();
+    for v in 0..20u64 {
+        for _ in 0..4 {
+            p.push(v);
+        }
+    }
+    p.extend(100..120u64);
+    p
+}
+
+/// Frequency of each distinct value in the population, as (value, freq).
+fn value_freqs(pop: &[u64]) -> Vec<(u64, u64)> {
+    let mut m = std::collections::BTreeMap::new();
+    for &v in pop {
+        *m.entry(v).or_insert(0u64) += 1;
+    }
+    m.into_iter().collect()
+}
+
+/// Chi-square of sampled mass per value against population proportions.
+fn value_mass_test(
+    label: &str,
+    mut sample_once: impl FnMut(&mut rand::rngs::SmallRng) -> Sample<u64>,
+    pop: &[u64],
+    trials: usize,
+    csv: &mut CsvOut,
+) {
+    let freqs = value_freqs(pop);
+    let mut rng = seeded_rng(7);
+    let mut mass: std::collections::BTreeMap<u64, u64> =
+        freqs.iter().map(|&(v, _)| (v, 0)).collect();
+    let mut total = 0u64;
+    for _ in 0..trials {
+        let s = sample_once(&mut rng);
+        for (v, c) in s.histogram().iter() {
+            *mass.get_mut(v).expect("sampled value must come from population") += c;
+            total += c;
+        }
+    }
+    let n = pop.len() as f64;
+    let obs: Vec<u64> = freqs.iter().map(|(v, _)| mass[v]).collect();
+    let exp: Vec<f64> = freqs
+        .iter()
+        .map(|&(_, f)| total as f64 * f as f64 / n)
+        .collect();
+    let stat = chi_square_statistic(&obs, &exp);
+    let pv = chi_square_p_value(stat, (obs.len() - 1) as f64);
+    let verdict = if pv > 1e-3 { "UNIFORM" } else { "NOT uniform" };
+    // Rare-value representation: sampled share of the 20 rare singletons
+    // (uniform schemes: 20/100 = 20%).
+    let rare: u64 = freqs.iter().filter(|(v, _)| *v >= 100).map(|(v, _)| mass[v]).sum();
+    let rare_share = 100.0 * rare as f64 / total as f64;
+    println!(
+        "  {label:<24} chi2 = {stat:>9.1}  p = {pv:>9.2e}  rare-value share = {rare_share:>5.2}% \
+         (uniform: 20%)  -> {verdict}"
+    );
+    csv.row(format!("inclusion,{label},{stat:.3},{pv:.6e}"));
+}
+
+fn main() {
+    let mut csv = CsvOut::new("uniformity_check", "part,metric,value,extra");
+    counterexample(&mut csv);
+
+    section("Part 2 - value-mass uniformity over a skewed population (chi-square)");
+    let pop = skewed_population();
+    let n = pop.len() as u64;
+    let trials = 40_000;
+    let policy = FootprintPolicy::with_value_budget(24);
+    println!(
+        "population: 100 elements (20 values x4 + 20 rare singletons), n_F = 24, {trials} trials"
+    );
+
+    value_mass_test(
+        "Algorithm HB (p=1e-3)",
+        |rng| HybridBernoulli::<u64>::new(policy, n).sample_batch(pop.iter().copied(), rng),
+        &pop,
+        trials,
+        &mut csv,
+    );
+    value_mass_test(
+        "Algorithm HR",
+        |rng| HybridReservoir::<u64>::new(policy).sample_batch(pop.iter().copied(), rng),
+        &pop,
+        trials,
+        &mut csv,
+    );
+    value_mass_test(
+        "Algorithm SB (q=0.25)",
+        |rng| {
+            let mut sb = StratifiedBernoulli::<u64>::new(0.25, policy, rng);
+            sb.observe_all(pop.iter().copied(), rng);
+            sb.finalize(rng)
+        },
+        &pop,
+        trials,
+        &mut csv,
+    );
+    value_mass_test(
+        "Concise sampling",
+        |rng| ConciseSampler::<u64>::new(policy).sample_batch(pop.iter().copied(), rng),
+        &pop,
+        trials,
+        &mut csv,
+    );
+    println!(
+        "\n(Note: the first-moment mass test is necessary but not sufficient; concise\n\
+         sampling can pass it on mild skew. Parts 1 and 3 are the decisive tests.)"
+    );
+
+    rare_survival(&mut csv);
+    println!("\nExpected: HB, HR, SB uniform; concise sampling NOT uniform (paper section 3.3).");
+    csv.finish();
+}
+
+/// Part 3 — rare-value survival. Population: one rare value followed by
+/// heavy duplicates of six common values. For ANY uniform scheme,
+/// `P(rare element sampled) = E[|S|] / n` by exchangeability; the reported
+/// ratio of the two sides must be ~1. Concise sampling evicts the rare
+/// singleton on (nearly) every purge while common values survive as pairs,
+/// driving the ratio far below 1 — the paper's "values that appear
+/// infrequently ... will be underrepresented".
+fn rare_survival(csv: &mut CsvOut) {
+    section("Part 3 - rare-value survival ratio (1.0 = uniform)");
+    const RARE: u64 = 999;
+    let mut pop = vec![RARE];
+    for v in 0..6u64 {
+        pop.extend(std::iter::repeat_n(v, 40));
+    }
+    let n = pop.len() as u64; // 241
+    let policy = FootprintPolicy::with_value_budget(12);
+    let trials = 30_000usize;
+    println!("population: 1 rare value + 6 values x40, n_F = 12 slots, {trials} trials");
+
+    type SampleFn = Box<dyn FnMut(&mut rand::rngs::SmallRng) -> Sample<u64>>;
+    let mut check = |label: &str, mut sample_once: SampleFn| {
+        let mut rng = seeded_rng(21);
+        let mut rare_mass = 0u64;
+        let mut total_mass = 0u64;
+        for _ in 0..trials {
+            let s = sample_once(&mut rng);
+            rare_mass += s.histogram().count(&RARE);
+            total_mass += s.size();
+        }
+        // Uniform schemes: E[count(RARE)] = E[|S|]/n (RARE appears once).
+        let expected = total_mass as f64 / n as f64;
+        let ratio = rare_mass as f64 / expected;
+        let verdict = if (0.8..1.25).contains(&ratio) { "UNIFORM" } else { "NOT uniform" };
+        println!(
+            "  {label:<24} rare sampled {rare_mass:>6} times, uniform expectation {expected:>8.1} \
+             -> ratio {ratio:>5.2}  {verdict}"
+        );
+        csv.row(format!("rare_survival,{label},{ratio:.4},"));
+        ratio
+    };
+
+    let p2 = policy;
+    let r_hb = check(
+        "Algorithm HB (p=1e-3)",
+        Box::new(move |rng| {
+            HybridBernoulli::<u64>::new(p2, 241).sample_batch(
+                std::iter::once(RARE)
+                    .chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
+                rng,
+            )
+        }),
+    );
+    let r_hr = check(
+        "Algorithm HR",
+        Box::new(move |rng| {
+            HybridReservoir::<u64>::new(p2).sample_batch(
+                std::iter::once(RARE)
+                    .chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
+                rng,
+            )
+        }),
+    );
+    let r_concise = check(
+        "Concise sampling",
+        Box::new(move |rng| {
+            ConciseSampler::<u64>::new(p2).sample_batch(
+                std::iter::once(RARE)
+                    .chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
+                rng,
+            )
+        }),
+    );
+    assert!((0.9..1.1).contains(&r_hb), "HB ratio {r_hb}");
+    assert!((0.9..1.1).contains(&r_hr), "HR ratio {r_hr}");
+    assert!(r_concise < 0.6, "concise ratio {r_concise} should show underrepresentation");
+}

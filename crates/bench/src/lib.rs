@@ -1,0 +1,261 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin` regenerates one figure (or figure group) of
+//! the paper's evaluation, printing the same series the paper plots and
+//! writing a CSV under `bench_results/`. Scales are selectable with the
+//! `SWH_SCALE` environment variable:
+//!
+//! * `paper` — the paper's full parameters (population `2^26`, partition
+//!   size 32K, three repetitions). Minutes of runtime.
+//! * `default` — a 16× reduced population that preserves every shape.
+//! * `smoke` — seconds; used by CI-style checks.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Scale of a harness run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's full experimental scale.
+    Paper,
+    /// Reduced (default) scale preserving all qualitative shapes.
+    Default,
+    /// Tiny smoke-test scale.
+    Smoke,
+}
+
+impl Scale {
+    /// Read the scale from `SWH_SCALE` (or the first CLI argument), falling
+    /// back to [`Scale::Default`].
+    pub fn from_env() -> Self {
+        let arg = std::env::args().nth(1);
+        let var = std::env::var("SWH_SCALE").ok();
+        match arg.as_deref().or(var.as_deref()) {
+            Some("paper") | Some("full") => Scale::Paper,
+            Some("smoke") => Scale::Smoke,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Speedup-experiment population (`2^26` at paper scale).
+    pub fn speedup_population(&self) -> u64 {
+        match self {
+            Scale::Paper => 1 << 26,
+            Scale::Default => 1 << 22,
+            Scale::Smoke => 1 << 16,
+        }
+    }
+
+    /// Elements per partition in scaleup/sample-size experiments
+    /// (32K at paper scale).
+    pub fn partition_size(&self) -> u64 {
+        match self {
+            Scale::Paper | Scale::Default => 32 * 1024,
+            Scale::Smoke => 2 * 1024,
+        }
+    }
+
+    /// Sample budget `n_F` (8192 at paper scale).
+    pub fn n_f(&self) -> u64 {
+        match self {
+            Scale::Paper | Scale::Default => 8192,
+            Scale::Smoke => 512,
+        }
+    }
+
+    /// Partition counts swept in the speedup and sample-size experiments.
+    pub fn partition_counts(&self) -> Vec<u64> {
+        match self {
+            Scale::Paper | Scale::Default => {
+                vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+            }
+            Scale::Smoke => vec![1, 4, 16, 64],
+        }
+    }
+
+    /// Scale factors of the scaleup experiments.
+    pub fn scale_factors(&self) -> Vec<u64> {
+        match self {
+            Scale::Paper => vec![32, 64, 128, 256, 512],
+            Scale::Default => vec![32, 64, 128, 256],
+            Scale::Smoke => vec![4, 8],
+        }
+    }
+
+    /// Number of independent repetitions averaged per data point (the
+    /// paper averages three).
+    pub fn repetitions(&self) -> usize {
+        match self {
+            Scale::Paper => 3,
+            Scale::Default => 3,
+            Scale::Smoke => 1,
+        }
+    }
+}
+
+impl Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Paper => write!(f, "paper"),
+            Scale::Default => write!(f, "default"),
+            Scale::Smoke => write!(f, "smoke"),
+        }
+    }
+}
+
+/// Wall-clock duration of `f` in seconds.
+pub fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Number of CPUs the *simulated* cluster has. The paper's testbed was two
+/// machines with dual 1.1 GHz Pentiums (4 CPUs); override with `SWH_CPUS`.
+pub fn simulated_cpus() -> usize {
+    std::env::var("SWH_CPUS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(4)
+}
+
+/// Elapsed time of running jobs with the given durations on `workers`
+/// parallel CPUs under an LPT (longest-processing-time-first) greedy
+/// schedule — the makespan.
+///
+/// The paper measured per-process CPU time on its cluster and reported
+/// elapsed time; on a single-core host we reproduce that methodology by
+/// measuring each partition's sampling CPU time and computing the elapsed
+/// time of the parallel schedule.
+pub fn simulated_makespan(durations: &[f64], workers: usize) -> f64 {
+    assert!(workers > 0, "need at least one worker");
+    if durations.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = durations.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("durations must be finite"));
+    let mut loads = vec![0.0f64; workers.min(sorted.len())];
+    for d in sorted {
+        // Assign to the least-loaded worker.
+        let min = loads
+            .iter_mut()
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+            .expect("at least one worker");
+        *min += d;
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+/// Run `jobs` sequentially, timing each, and return the outputs plus the
+/// per-job durations in seconds.
+pub fn run_timed_jobs<R>(jobs: impl IntoIterator<Item = Box<dyn FnOnce() -> R>>) -> (Vec<R>, Vec<f64>) {
+    let mut outs = Vec::new();
+    let mut times = Vec::new();
+    for job in jobs {
+        let (r, t) = time_secs(job);
+        outs.push(r);
+        times.push(t);
+    }
+    (outs, times)
+}
+
+/// CSV writer targeting `bench_results/<name>.csv` relative to the
+/// workspace root (falling back to the current directory).
+pub struct CsvOut {
+    path: PathBuf,
+    buf: String,
+}
+
+impl CsvOut {
+    /// Start a CSV with the given header row.
+    pub fn new(name: &str, header: &str) -> Self {
+        let mut root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        // Walk up to the workspace root (where Cargo.toml with [workspace]
+        // lives) so results land in one place regardless of cwd.
+        for _ in 0..4 {
+            if root.join("bench_results").is_dir() || root.join("Cargo.toml").is_file() {
+                break;
+            }
+            if let Some(parent) = root.parent() {
+                root = parent.to_path_buf();
+            }
+        }
+        let dir = root.join("bench_results");
+        let _ = fs::create_dir_all(&dir);
+        Self { path: dir.join(format!("{name}.csv")), buf: format!("{header}\n") }
+    }
+
+    /// Append one row.
+    pub fn row(&mut self, row: impl Display) {
+        self.buf.push_str(&row.to_string());
+        self.buf.push('\n');
+    }
+
+    /// Write the file to disk, reporting the path on stdout.
+    pub fn finish(self) {
+        match fs::File::create(&self.path).and_then(|mut f| f.write_all(self.buf.as_bytes())) {
+            Ok(()) => println!("\n[csv] {}", self.path.display()),
+            Err(e) => eprintln!("[csv] failed to write {}: {e}", self.path.display()),
+        }
+    }
+}
+
+/// Print a section header for harness output.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_parameters() {
+        let s = Scale::Default;
+        assert_eq!(s.n_f(), 8192);
+        assert_eq!(s.partition_size(), 32 * 1024);
+        assert_eq!(s.partition_counts().len(), 11);
+        assert_eq!(s.repetitions(), 3);
+    }
+
+    #[test]
+    fn paper_scale_matches_paper() {
+        let s = Scale::Paper;
+        assert_eq!(s.speedup_population(), 1 << 26);
+        assert_eq!(s.scale_factors(), vec![32, 64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn time_secs_returns_value() {
+        let (v, t) = time_secs(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn makespan_balanced_jobs() {
+        // 8 equal jobs on 4 workers: two rounds.
+        let d = vec![1.0; 8];
+        assert!((simulated_makespan(&d, 4) - 2.0).abs() < 1e-12);
+        // More workers than jobs: bounded by the longest job.
+        assert!((simulated_makespan(&d, 100) - 1.0).abs() < 1e-12);
+        // One worker: the sum.
+        assert!((simulated_makespan(&d, 1) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_lpt_handles_skew() {
+        let d = vec![4.0, 1.0, 1.0, 1.0, 1.0];
+        // LPT on 2 workers: [4] vs [1,1,1,1] -> makespan 4.
+        assert!((simulated_makespan(&d, 2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_empty() {
+        assert_eq!(simulated_makespan(&[], 4), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal dependency-free argument parsing for the `swh` binary.
+//!
+//! Grammar: `swh <command> [--flag value]... [positional]...`. Flags may
+//! appear in any order; unknown flags are errors so typos fail loudly.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: command name, flag map, positionals.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+/// Errors from parsing or flag extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` had no following value.
+    MissingValue(String),
+    /// A required flag was absent.
+    Required(String),
+    /// A flag value failed to parse.
+    Invalid { flag: String, value: String, expected: &'static str },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "missing command; run `swh help`"),
+            ArgError::MissingValue(flag) => write!(f, "flag --{flag} expects a value"),
+            ArgError::Required(flag) => write!(f, "required flag --{flag} is missing"),
+            ArgError::Invalid { flag, value, expected } => {
+                write!(f, "invalid value '{value}' for --{flag} (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse from an iterator of arguments (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter();
+        let command = iter.next().ok_or(ArgError::MissingCommand)?;
+        let mut flags = BTreeMap::new();
+        let mut positionals = Vec::new();
+        while let Some(a) = iter.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.into()))?;
+                flags.insert(name.to_string(), value);
+            } else {
+                positionals.push(a);
+            }
+        }
+        Ok(Self { command, flags, positionals })
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
+        self.get(flag).ok_or_else(|| ArgError::Required(flag.into()))
+    }
+
+    /// Optional parsed flag.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<Option<T>, ArgError> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v.parse::<T>().map(Some).map_err(|_| ArgError::Invalid {
+                flag: flag.into(),
+                value: v.into(),
+                expected,
+            }),
+        }
+    }
+
+    /// Required parsed flag.
+    pub fn require_parsed<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        self.get_parsed(flag, expected)?.ok_or_else(|| ArgError::Required(flag.into()))
+    }
+
+    /// Parsed flag with a default.
+    pub fn parsed_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        Ok(self.get_parsed(flag, expected)?.unwrap_or(default))
+    }
+
+    /// The positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_flags_positionals() {
+        let a = parse("ingest --store /tmp/x --dataset 3 file.txt").unwrap();
+        assert_eq!(a.command, "ingest");
+        assert_eq!(a.get("store"), Some("/tmp/x"));
+        assert_eq!(a.require_parsed::<u64>("dataset", "integer").unwrap(), 3);
+        assert_eq!(a.positionals(), &["file.txt".to_string()]);
+    }
+
+    #[test]
+    fn missing_command() {
+        assert_eq!(parse("").unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn missing_value() {
+        assert!(matches!(parse("ls --store").unwrap_err(), ArgError::MissingValue(_)));
+    }
+
+    #[test]
+    fn required_flag_error() {
+        let a = parse("ls").unwrap();
+        assert!(matches!(a.require("store").unwrap_err(), ArgError::Required(_)));
+    }
+
+    #[test]
+    fn invalid_parse_error() {
+        let a = parse("ls --dataset abc").unwrap();
+        assert!(matches!(
+            a.require_parsed::<u64>("dataset", "integer").unwrap_err(),
+            ArgError::Invalid { .. }
+        ));
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("ls").unwrap();
+        assert_eq!(a.parsed_or("nf", 8192u64, "integer").unwrap(), 8192);
+    }
+}

@@ -1,0 +1,430 @@
+//! The `swh` subcommands. Each command takes parsed [`Args`] and a writer,
+//! so the integration tests can drive them without spawning processes.
+
+use crate::args::{ArgError, Args};
+use rand::rngs::SmallRng;
+use std::error::Error;
+use std::io::{BufRead, Write};
+use swh_aqp::profile::profile;
+use swh_aqp::quantiles::estimate_median;
+use swh_aqp::query::{Predicate, Query};
+use swh_core::footprint::FootprintPolicy;
+use swh_core::merge::merge_all;
+use swh_core::sample::{Sample, SampleKind};
+use swh_core::sampler::Sampler;
+use swh_rand::seeded_rng;
+use swh_warehouse::ids::{DatasetId, PartitionId, PartitionKey};
+use swh_warehouse::ingest::SamplerConfig;
+use swh_warehouse::store::DiskStore;
+
+/// All program errors surface as `Box<dyn Error>`; the binary maps them to
+/// exit code 1.
+pub type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Dispatch a parsed command line.
+pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
+    match args.command.as_str() {
+        "help" | "--help" | "-h" => help(out),
+        "ingest" => ingest(args, out),
+        "ls" => ls(args, out),
+        "show" => show(args, out),
+        "query" => query(args, out),
+        "profile" => profile_cmd(args, out),
+        "estimate" => estimate(args, out),
+        "rm" => rm(args, out),
+        other => Err(format!("unknown command '{other}'; run `swh help`").into()),
+    }
+}
+
+fn help(out: &mut dyn Write) -> CmdResult {
+    writeln!(
+        out,
+        "swh - sample data warehouse (Brown & Haas, ICDE 2006)\n\
+         \n\
+         USAGE: swh <command> [flags]\n\
+         \n\
+         COMMANDS\n\
+         \x20 ingest    sample a partition's values into the store\n\
+         \x20           --store DIR --dataset N --partition SEQ [--stream S]\n\
+         \x20           [--nf 8192] [--algorithm hr|hb] [--expected N] [--seed X]\n\
+         \x20           [--file PATH]   (reads integers one per line; default stdin)\n\
+         \x20           [--generate unique:N|uniform:N:MAX|zipf:N:DOMAIN[:S]]\n\
+         \x20 ls        list stored partitions\n\
+         \x20           --store DIR [--dataset N]\n\
+         \x20 show      inspect one stored partition sample\n\
+         \x20           --store DIR --dataset N --partition SEQ [--stream S] [--top K]\n\
+         \x20 query     merge a range of partitions into one uniform sample\n\
+         \x20           --store DIR --dataset N [--from SEQ] [--to SEQ] [--seed X]\n\
+         \x20 profile   column profile from the merged sample\n\
+         \x20           --store DIR --dataset N [--mcv 5] [--seed X]\n\
+         \x20 estimate  approximate aggregates with a 95% CI\n\
+         \x20           --store DIR --dataset N --op count|sum|avg|median|qNN\n\
+         \x20           [--mod M --rem R]              (predicate: value % M == R)\n\
+         \x20           [--pred true|mod:M:R|between:LO:HI|in:V1,V2,...]\n\
+         \x20 rm        roll a partition sample out of the store\n\
+         \x20           --store DIR --dataset N --partition SEQ [--stream S]"
+    )?;
+    Ok(())
+}
+
+fn open_store(args: &Args) -> Result<DiskStore, Box<dyn Error>> {
+    Ok(DiskStore::open(args.require("store")?)?)
+}
+
+/// Resolve `--dataset` as either a numeric id or a registered name (names
+/// live in `names.tsv` inside the store directory and are auto-created on
+/// ingest).
+fn dataset_from(args: &Args, create: bool) -> Result<DatasetId, Box<dyn Error>> {
+    let raw = args.require("dataset")?;
+    if let Ok(id) = raw.parse::<u64>() {
+        return Ok(DatasetId(id));
+    }
+    let registry = swh_warehouse::registry::DatasetRegistry::open(args.require("store")?)?;
+    if create {
+        Ok(registry.resolve_or_create(raw)?)
+    } else {
+        registry
+            .lookup(raw)
+            .ok_or_else(|| format!("unknown dataset name '{raw}'").into())
+    }
+}
+
+fn key_from(args: &Args, create_dataset: bool) -> Result<PartitionKey, Box<dyn Error>> {
+    Ok(PartitionKey {
+        dataset: dataset_from(args, create_dataset)?,
+        partition: PartitionId {
+            stream: args.parsed_or("stream", 0u32, "integer")?,
+            seq: args.require_parsed("partition", "integer")?,
+        },
+    })
+}
+
+fn rng_from(args: &Args) -> Result<SmallRng, ArgError> {
+    Ok(seeded_rng(args.parsed_or("seed", 0x5eed_u64, "integer")?))
+}
+
+fn kind_str(kind: SampleKind) -> String {
+    match kind {
+        SampleKind::Exhaustive => "exhaustive".into(),
+        SampleKind::Bernoulli { q, .. } => format!("bernoulli(q={q:.6})"),
+        SampleKind::Reservoir => "reservoir".into(),
+        SampleKind::Concise { q } => format!("concise(q={q:.6}, NOT uniform)"),
+    }
+}
+
+fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = open_store(args)?;
+    let key = key_from(args, true)?;
+    let n_f: u64 = args.parsed_or("nf", 8192, "integer")?;
+    let policy = FootprintPolicy::with_value_budget(n_f);
+    let mut rng = rng_from(args)?;
+
+    let config = match args.get("algorithm").unwrap_or("hr") {
+        "hr" => SamplerConfig::HybridReservoir,
+        "hb" => SamplerConfig::HybridBernoulli {
+            expected_n: args.require_parsed("expected", "integer (HB needs --expected)")?,
+            p_bound: args.parsed_or("p", 1e-3, "probability")?,
+        },
+        other => return Err(format!("unknown algorithm '{other}' (hr|hb)").into()),
+    };
+    let mut sampler = config.build::<i64>(policy);
+
+    let mut read_values = |reader: &mut dyn BufRead| -> Result<(), Box<dyn Error>> {
+        let mut line = String::new();
+        let mut lineno = 0u64;
+        while reader.read_line(&mut line)? != 0 {
+            lineno += 1;
+            let t = line.trim();
+            if !t.is_empty() {
+                let v: i64 = t
+                    .parse()
+                    .map_err(|_| format!("line {lineno}: '{t}' is not an integer"))?;
+                sampler.observe(v, &mut rng);
+            }
+            line.clear();
+        }
+        Ok(())
+    };
+    // `--file PATH` or a bare positional path both work.
+    let file = args.get("file").or_else(|| args.positionals().first().map(String::as_str));
+    match (args.get("generate"), file) {
+        (Some(spec), _) => {
+            for v in generate_values(spec, &mut rng)? {
+                sampler.observe(v, &mut rng);
+            }
+        }
+        (None, Some(path)) => {
+            let f = std::fs::File::open(path)?;
+            read_values(&mut std::io::BufReader::new(f))?;
+        }
+        (None, None) => {
+            let stdin = std::io::stdin();
+            read_values(&mut stdin.lock())?;
+        }
+    }
+
+    let sample = sampler.finalize(&mut rng);
+    writeln!(
+        out,
+        "ingested {}: {} of {} values, kind {}, footprint {} bytes",
+        key,
+        sample.size(),
+        sample.parent_size(),
+        kind_str(sample.kind()),
+        sample.footprint_bytes()
+    )?;
+    store.save(key, &sample)?;
+    Ok(())
+}
+
+fn ls(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = open_store(args)?;
+    let datasets: Vec<DatasetId> = match args.get("dataset") {
+        Some(_) => vec![dataset_from(args, false)?],
+        None => {
+            // Scan the store directory for dsN subdirectories.
+            let mut ids = Vec::new();
+            for entry in std::fs::read_dir(store.root())? {
+                let name = entry?.file_name();
+                if let Some(n) = name.to_str().and_then(|s| s.strip_prefix("ds")) {
+                    if let Ok(id) = n.parse() {
+                        ids.push(DatasetId(id));
+                    }
+                }
+            }
+            ids.sort();
+            ids
+        }
+    };
+    if datasets.is_empty() {
+        writeln!(out, "(store is empty)")?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{:>8} {:>10} {:>12} {:>12} {:<24}",
+        "dataset", "partition", "parent", "sample", "kind"
+    )?;
+    for dataset in datasets {
+        for key in store.list(dataset)? {
+            let s: Sample<i64> = store.load(key)?;
+            writeln!(
+                out,
+                "{:>8} {:>10} {:>12} {:>12} {:<24}",
+                key.dataset.0,
+                format!("({},{})", key.partition.stream, key.partition.seq),
+                s.parent_size(),
+                s.size(),
+                kind_str(s.kind())
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn show(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = open_store(args)?;
+    let key = key_from(args, false)?;
+    let top: usize = args.parsed_or("top", 10, "integer")?;
+    let s: Sample<i64> = store.load(key)?;
+    writeln!(out, "partition {key}")?;
+    writeln!(out, "  kind            : {}", kind_str(s.kind()))?;
+    writeln!(out, "  parent size     : {}", s.parent_size())?;
+    writeln!(out, "  sample size     : {}", s.size())?;
+    writeln!(out, "  distinct values : {}", s.distinct())?;
+    writeln!(out, "  footprint       : {} bytes (bound {})", s.footprint_bytes(), s.policy().f_bytes())?;
+    let mut pairs = s.histogram().sorted_pairs();
+    pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    writeln!(out, "  top values      :")?;
+    for (v, c) in pairs.into_iter().take(top) {
+        writeln!(out, "    {v:>12} x {c}")?;
+    }
+    Ok(())
+}
+
+/// Merge the selected partitions of a dataset into one uniform sample.
+fn merged_sample(
+    args: &Args,
+    store: &DiskStore,
+    rng: &mut SmallRng,
+) -> Result<Sample<i64>, Box<dyn Error>> {
+    let dataset = dataset_from(args, false)?;
+    let from: u64 = args.parsed_or("from", 0, "integer")?;
+    let to: u64 = args.parsed_or("to", u64::MAX, "integer")?;
+    let p_bound: f64 = args.parsed_or("p", 1e-3, "probability")?;
+    let keys: Vec<PartitionKey> = store
+        .list(dataset)?
+        .into_iter()
+        .filter(|k| (from..=to).contains(&k.partition.seq))
+        .collect();
+    if keys.is_empty() {
+        return Err(format!("no partitions of dataset {dataset} in range {from}..={to}").into());
+    }
+    let mut samples = Vec::with_capacity(keys.len());
+    for key in keys {
+        samples.push(store.load::<i64>(key)?);
+    }
+    Ok(merge_all(samples, p_bound, rng)?)
+}
+
+fn query(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = open_store(args)?;
+    let mut rng = rng_from(args)?;
+    let s = merged_sample(args, &store, &mut rng)?;
+    writeln!(out, "uniform sample of the selected union:")?;
+    writeln!(out, "  rows covered : {}", s.parent_size())?;
+    writeln!(out, "  sample size  : {}", s.size())?;
+    writeln!(out, "  kind         : {}", kind_str(s.kind()))?;
+    if let Some(path) = args.get("export") {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(f, "value,count")?;
+        for (v, c) in s.histogram().sorted_pairs() {
+            writeln!(f, "{v},{c}")?;
+        }
+        writeln!(out, "  exported     : {path}")?;
+    }
+    Ok(())
+}
+
+fn profile_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = open_store(args)?;
+    let mut rng = rng_from(args)?;
+    let mcv: usize = args.parsed_or("mcv", 5, "integer")?;
+    let s = merged_sample(args, &store, &mut rng)?;
+    let p = profile(&s, mcv);
+    writeln!(out, "column profile ({} rows):", p.rows)?;
+    writeln!(
+        out,
+        "  sample          : {} values ({})",
+        p.sample_size,
+        if p.exact { "exact" } else { "approximate" }
+    )?;
+    writeln!(
+        out,
+        "  distinct values : >= {} observed, ~{:.0} estimated",
+        p.distinct_lower_bound, p.distinct_estimate
+    )?;
+    if let (Some(min), Some(max)) = (&p.min, &p.max) {
+        writeln!(out, "  range           : {min} ..= {max}")?;
+    }
+    if let Some(m) = estimate_median(&s, 0.95) {
+        writeln!(out, "  median          : ~{} (95% CI [{}, {}])", m.value, m.lo, m.hi)?;
+    }
+    writeln!(out, "  most common     :")?;
+    for (v, e) in &p.most_common {
+        let (lo, hi) = e.confidence_interval(0.95);
+        writeln!(out, "    {v:>12} ~ {:.0} (95% CI [{lo:.0}, {hi:.0}])", e.value)?;
+    }
+    Ok(())
+}
+
+fn estimate(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = open_store(args)?;
+    let mut rng = rng_from(args)?;
+    let s = merged_sample(args, &store, &mut rng)?;
+    // Predicate: either the structured --pred form ("mod:M:R",
+    // "between:LO:HI", "in:V1,V2", "true") or the legacy --mod/--rem pair.
+    let predicate = match args.get("pred") {
+        Some(p) => Predicate::parse(p).map_err(|e| format!("--pred: {e}"))?,
+        None => {
+            let modulus: i64 = args.parsed_or("mod", 1, "integer")?;
+            let remainder: i64 = args.parsed_or("rem", 0, "integer")?;
+            if modulus <= 0 {
+                return Err("--mod must be positive".into());
+            }
+            if modulus == 1 {
+                Predicate::True
+            } else {
+                Predicate::ModEq { modulus, remainder }
+            }
+        }
+    };
+    let op = args.require("op")?;
+    let query = match op {
+        "count" => Query::count(predicate.clone()),
+        "sum" => Query::sum(predicate.clone()),
+        "avg" => Query::avg(predicate.clone()),
+        "median" => Query::quantile(0.5, predicate.clone()),
+        other => {
+            if let Some(q) = other.strip_prefix("q") {
+                // qNN = quantile, e.g. q95.
+                let pct: f64 = q.parse().map_err(|_| format!("bad quantile op '{other}'"))?;
+                if !(pct > 0.0 && pct < 100.0) {
+                    return Err(format!(
+                        "quantile must lie strictly between 0 and 100, got {pct}"
+                    )
+                    .into());
+                }
+                Query::quantile(pct / 100.0, predicate.clone())
+            } else {
+                return Err(format!("unknown op '{other}' (count|sum|avg|median|qNN)").into());
+            }
+        }
+    };
+    let e = query.estimate(&s);
+    let (lo, hi) = e.confidence_interval(0.95);
+    writeln!(
+        out,
+        "{}({}) ~ {:.2}   95% CI [{:.2}, {:.2}]{}",
+        op.to_uppercase(),
+        render_pred(&predicate),
+        e.value,
+        lo,
+        hi,
+        if e.exact { "   (exact)" } else { "" }
+    )?;
+    Ok(())
+}
+
+/// Parse a `--generate` spec and produce the synthetic values:
+/// `unique:N` (1..=N), `uniform:N:MAX`, `zipf:N:DOMAIN[:S]`.
+fn generate_values(
+    spec: &str,
+    rng: &mut SmallRng,
+) -> Result<Vec<i64>, Box<dyn Error>> {
+    use rand::Rng as _;
+    let parts: Vec<&str> = spec.split(':').collect();
+    let parse_n = |s: &str| -> Result<u64, Box<dyn Error>> {
+        s.parse().map_err(|_| format!("bad count '{s}' in --generate").into())
+    };
+    match parts.as_slice() {
+        ["unique", n] => Ok((1..=parse_n(n)? as i64).collect()),
+        ["uniform", n, max] => {
+            let (n, max) = (parse_n(n)?, parse_n(max)?.max(1) as i64);
+            Ok((0..n).map(|_| rng.random_range(1..=max)).collect())
+        }
+        ["zipf", n, domain] | ["zipf", n, domain, _] => {
+            let s: f64 = if parts.len() == 4 {
+                parts[3].parse().map_err(|_| "bad zipf exponent")?
+            } else {
+                1.0
+            };
+            let z = swh_rand::zipf::Zipf::new(parse_n(domain)?, s);
+            let n = parse_n(n)?;
+            Ok((0..n).map(|_| z.sample(rng) as i64).collect())
+        }
+        _ => Err(format!(
+            "bad --generate spec '{spec}' (unique:N | uniform:N:MAX | zipf:N:DOMAIN[:S])"
+        )
+        .into()),
+    }
+}
+
+fn render_pred(p: &Predicate) -> String {
+    if *p == Predicate::True {
+        "*".to_string()
+    } else {
+        p.to_string()
+    }
+}
+
+fn rm(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = open_store(args)?;
+    let key = key_from(args, false)?;
+    if store.remove(key)? {
+        writeln!(out, "rolled out {key}")?;
+        Ok(())
+    } else {
+        Err(format!("no stored sample for {key}").into())
+    }
+}

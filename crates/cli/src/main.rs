@@ -1,0 +1,25 @@
+//! `swh` — command-line front end for the sample data warehouse.
+//!
+//! See `swh help` for usage, or the crate-level documentation of
+//! `swh-warehouse` for the underlying model.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if let Err(e) = commands::run(&parsed, &mut out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,335 @@
+//! End-to-end tests of the `swh` binary: ingest → ls → show → query →
+//! profile → estimate → rm, against a temporary store.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+fn swh() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_swh"))
+}
+
+fn tmp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("swh-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn write_values(path: &PathBuf, values: impl Iterator<Item = i64>) {
+    let mut f = std::fs::File::create(path).unwrap();
+    for v in values {
+        writeln!(f, "{v}").unwrap();
+    }
+}
+
+fn ok(out: &Output) -> String {
+    assert!(
+        out.status.success(),
+        "command failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn full_workflow() {
+    let store = tmp_store("workflow");
+    let store_s = store.to_str().unwrap();
+    let data = store.with_extension("txt");
+    // Two partitions: 0..50_000 and 50_000..120_000.
+    std::fs::create_dir_all(&store).unwrap();
+    write_values(&data, 0..50_000);
+    let out = swh()
+        .args([
+            "ingest", "--store", store_s, "--dataset", "1", "--partition", "0", "--nf",
+            "1024", "--file", data.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let text = ok(&out);
+    assert!(text.contains("50000 values"), "{text}");
+
+    write_values(&data, 50_000..120_000);
+    ok(&swh()
+        .args([
+            "ingest", "--store", store_s, "--dataset", "1", "--partition", "1", "--nf",
+            "1024", "--file", data.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap());
+
+    // ls shows both partitions.
+    let text = ok(&swh().args(["ls", "--store", store_s]).output().unwrap());
+    assert!(text.contains("(0,0)"), "{text}");
+    assert!(text.contains("(0,1)"), "{text}");
+    assert!(text.contains("reservoir"), "{text}");
+
+    // show details one partition.
+    let text = ok(&swh()
+        .args(["show", "--store", store_s, "--dataset", "1", "--partition", "0"])
+        .output()
+        .unwrap());
+    assert!(text.contains("parent size     : 50000"), "{text}");
+    assert!(text.contains("sample size     : 1024"), "{text}");
+
+    // query merges both into a uniform sample of 120_000 rows.
+    let text = ok(&swh()
+        .args(["query", "--store", store_s, "--dataset", "1"])
+        .output()
+        .unwrap());
+    assert!(text.contains("rows covered : 120000"), "{text}");
+    assert!(text.contains("sample size  : 1024"), "{text}");
+
+    // estimate AVG over everything: truth is ~59999.5.
+    let text = ok(&swh()
+        .args(["estimate", "--store", store_s, "--dataset", "1", "--op", "avg"])
+        .output()
+        .unwrap());
+    let value: f64 = text
+        .split('~')
+        .nth(1)
+        .unwrap()
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!((value - 59_999.5).abs() < 6_000.0, "avg {value} from: {text}");
+
+    // estimate COUNT with a predicate: multiples of 4 ~ 30_000.
+    let text = ok(&swh()
+        .args([
+            "estimate", "--store", store_s, "--dataset", "1", "--op", "count", "--mod",
+            "4", "--rem", "0",
+        ])
+        .output()
+        .unwrap());
+    assert!(text.contains("COUNT(v % 4 == 0)"), "{text}");
+
+    // Structured predicate + quantile op.
+    let text = ok(&swh()
+        .args([
+            "estimate", "--store", store_s, "--dataset", "1", "--op", "q90", "--pred",
+            "between:0:119999",
+        ])
+        .output()
+        .unwrap());
+    assert!(text.contains("Q90(0 <= v <= 119999)"), "{text}");
+
+    // profile prints distinct estimates and a median.
+    let text = ok(&swh()
+        .args(["profile", "--store", store_s, "--dataset", "1"])
+        .output()
+        .unwrap());
+    assert!(text.contains("column profile (120000 rows)"), "{text}");
+    assert!(text.contains("median"), "{text}");
+
+    // rm rolls one partition out; query then covers only the other.
+    ok(&swh()
+        .args(["rm", "--store", store_s, "--dataset", "1", "--partition", "0"])
+        .output()
+        .unwrap());
+    let text = ok(&swh()
+        .args(["query", "--store", store_s, "--dataset", "1"])
+        .output()
+        .unwrap());
+    assert!(text.contains("rows covered : 70000"), "{text}");
+
+    std::fs::remove_dir_all(&store).ok();
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn ingest_from_stdin_with_hb() {
+    let store = tmp_store("stdin");
+    let store_s = store.to_str().unwrap();
+    let mut child = swh()
+        .args([
+            "ingest", "--store", store_s, "--dataset", "2", "--partition", "0",
+            "--algorithm", "hb", "--expected", "10000", "--nf", "256",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for v in 0..10_000i64 {
+            writeln!(stdin, "{v}").unwrap();
+        }
+    }
+    let out = child.wait_with_output().unwrap();
+    let text = ok(&out);
+    assert!(text.contains("bernoulli"), "{text}");
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn export_csv() {
+    let store = tmp_store("export");
+    let store_s = store.to_str().unwrap();
+    let data = store.with_extension("csvsrc");
+    std::fs::create_dir_all(&store).unwrap();
+    write_values(&data, (0..300).map(|i| i % 3));
+    ok(&swh()
+        .args([
+            "ingest", "--store", store_s, "--dataset", "1", "--partition", "0", "--file",
+            data.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap());
+    let csv_path = store.with_extension("out.csv");
+    ok(&swh()
+        .args([
+            "query", "--store", store_s, "--dataset", "1", "--export",
+            csv_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap());
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.starts_with("value,count\n"), "{csv}");
+    assert!(csv.contains("0,100"), "{csv}");
+    assert!(csv.contains("2,100"), "{csv}");
+    std::fs::remove_dir_all(&store).ok();
+    std::fs::remove_file(&data).ok();
+    std::fs::remove_file(&csv_path).ok();
+}
+
+#[test]
+fn errors_are_reported() {
+    // Unknown command.
+    let out = swh().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let out = swh().args(["ls"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--store"));
+
+    // HB without --expected.
+    let store = tmp_store("err");
+    let out = swh()
+        .args([
+            "ingest", "--store", store.to_str().unwrap(), "--dataset", "1", "--partition",
+            "0", "--algorithm", "hb", "--file", "/nonexistent",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("expected"));
+
+    // Bad integer input.
+    let data = store.with_extension("bad");
+    std::fs::write(&data, "1\ntwo\n3\n").unwrap();
+    let out = swh()
+        .args([
+            "ingest", "--store", store.to_str().unwrap(), "--dataset", "1", "--partition",
+            "0", "--file", data.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+    std::fs::remove_dir_all(&store).ok();
+    std::fs::remove_file(&data).ok();
+}
+
+#[test]
+fn named_datasets_resolve_via_registry() {
+    let store = tmp_store("named");
+    let store_s = store.to_str().unwrap();
+    // Ingest under a name (auto-registered), then query by the same name.
+    ok(&swh()
+        .args([
+            "ingest", "--store", store_s, "--dataset", "orders.amount", "--partition",
+            "0", "--nf", "256", "--generate", "unique:5000",
+        ])
+        .output()
+        .unwrap());
+    let text = ok(&swh()
+        .args(["query", "--store", store_s, "--dataset", "orders.amount"])
+        .output()
+        .unwrap());
+    assert!(text.contains("rows covered : 5000"), "{text}");
+    // ls accepts the name too.
+    let text = ok(&swh()
+        .args(["ls", "--store", store_s, "--dataset", "orders.amount"])
+        .output()
+        .unwrap());
+    assert!(text.contains("(0,0)"), "{text}");
+    // Unknown names fail cleanly (no accidental creation on read).
+    let out = swh()
+        .args(["query", "--store", store_s, "--dataset", "no.such.column"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset name"));
+    // Out-of-range quantile ops error instead of panicking.
+    let out = swh()
+        .args([
+            "estimate", "--store", store_s, "--dataset", "orders.amount", "--op", "q150",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("between 0 and 100"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn ingest_generated_data() {
+    let store = tmp_store("generate");
+    let store_s = store.to_str().unwrap();
+    // Zipf domain 200 -> at most 400 compact slots, under the 512 bound,
+    // so that partition stays an exhaustive histogram.
+    for (seq, spec) in [(0, "unique:20000"), (1, "uniform:20000:1000000"), (2, "zipf:20000:200")]
+        .iter()
+        .enumerate()
+    {
+        let text = ok(&swh()
+            .args([
+                "ingest", "--store", store_s, "--dataset", "3", "--partition",
+                &seq.to_string(), "--nf", "512", "--generate", spec.1,
+            ])
+            .output()
+            .unwrap());
+        assert!(text.contains("20000 values"), "{text}");
+    }
+    // Zipf partition stays exhaustive (few distinct values).
+    let text = ok(&swh()
+        .args(["show", "--store", store_s, "--dataset", "3", "--partition", "2"])
+        .output()
+        .unwrap());
+    assert!(text.contains("exhaustive"), "{text}");
+    // Unique partition is a proper reservoir sample.
+    let text = ok(&swh()
+        .args(["show", "--store", store_s, "--dataset", "3", "--partition", "0"])
+        .output()
+        .unwrap());
+    assert!(text.contains("reservoir"), "{text}");
+    // Bad spec errors out.
+    let out = swh()
+        .args([
+            "ingest", "--store", store_s, "--dataset", "3", "--partition", "9",
+            "--generate", "nonsense:1",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&store).ok();
+}
+
+#[test]
+fn help_lists_commands() {
+    let text = ok(&swh().args(["help"]).output().unwrap());
+    for cmd in ["ingest", "ls", "show", "query", "profile", "estimate", "rm"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Plain Bernoulli sampling (§3.1): each arriving element is included with
+//! probability `q`, independently of all others.
+//!
+//! The implementation jumps between inclusions with geometric skips
+//! ([`swh_rand::skip::bernoulli_skip`]) rather than drawing a uniform per
+//! element — one of the "optimizations discussed in \[11\]" the paper applies.
+//! The sample is held in compact `(value, count)` form. Bernoulli sampling
+//! is uniform but its size is binomial, so the footprint is **not** bounded
+//! a priori; Algorithms HB/HR exist to fix exactly that.
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::sample::{Sample, SampleKind};
+use crate::sampler::Sampler;
+use crate::value::SampleValue;
+use rand::Rng;
+use swh_rand::skip::bernoulli_skip;
+
+/// Streaming `Bern(q)` sampler.
+#[derive(Debug, Clone)]
+pub struct BernoulliSampler<T: SampleValue> {
+    q: f64,
+    hist: CompactHistogram<T>,
+    /// Elements observed so far.
+    observed: u64,
+    /// How many further elements to pass over before the next inclusion.
+    skip_remaining: u64,
+    policy: FootprintPolicy,
+}
+
+impl<T: SampleValue> BernoulliSampler<T> {
+    /// Create a sampler with rate `q`. The policy is recorded for
+    /// provenance; plain Bernoulli sampling does not enforce it.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q ≤ 1`.
+    pub fn new<R: Rng + ?Sized>(q: f64, policy: FootprintPolicy, rng: &mut R) -> Self {
+        assert!(q > 0.0 && q <= 1.0, "Bernoulli rate must lie in (0, 1], got {q}");
+        Self {
+            q,
+            hist: CompactHistogram::new(),
+            observed: 0,
+            skip_remaining: bernoulli_skip(rng, q),
+            policy,
+        }
+    }
+
+    /// The sampling rate `q`.
+    pub fn rate(&self) -> f64 {
+        self.q
+    }
+}
+
+impl<T: SampleValue> Sampler<T> for BernoulliSampler<T> {
+    fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.observed += 1;
+        if self.skip_remaining > 0 {
+            self.skip_remaining -= 1;
+            return;
+        }
+        self.hist.insert_one(value);
+        self.skip_remaining = bernoulli_skip(rng, self.q);
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn current_size(&self) -> u64 {
+        self.hist.total()
+    }
+
+    fn finalize<R2: Rng + ?Sized>(self, _rng: &mut R2) -> Sample<T> {
+        Sample::from_parts_unchecked(
+            self.hist,
+            SampleKind::Bernoulli { q: self.q, p_bound: 1.0 },
+            self.observed,
+            self.policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+
+    fn policy() -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(1 << 20)
+    }
+
+    #[test]
+    fn rate_one_keeps_everything() {
+        let mut rng = seeded_rng(1);
+        let s = BernoulliSampler::new(1.0, policy(), &mut rng)
+            .sample_batch(0..1000u64, &mut rng);
+        assert_eq!(s.size(), 1000);
+        assert_eq!(s.parent_size(), 1000);
+    }
+
+    #[test]
+    fn sample_size_is_binomial() {
+        let mut rng = seeded_rng(2);
+        let (n, q, trials) = (10_000u64, 0.1, 300);
+        let sizes: Vec<f64> = (0..trials)
+            .map(|_| {
+                BernoulliSampler::new(q, policy(), &mut rng)
+                    .sample_batch(0..n, &mut rng)
+                    .size() as f64
+            })
+            .collect();
+        let mean = sizes.iter().sum::<f64>() / trials as f64;
+        let expect = n as f64 * q;
+        let sd = (n as f64 * q * (1.0 - q)).sqrt();
+        assert!(
+            (mean - expect).abs() < 5.0 * sd / (trials as f64).sqrt(),
+            "mean {mean} vs {expect}"
+        );
+        let var = sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
+        assert!((var / (sd * sd) - 1.0).abs() < 0.5, "var {var} vs {}", sd * sd);
+    }
+
+    #[test]
+    fn every_element_equally_likely() {
+        let mut rng = seeded_rng(3);
+        let (n, q, trials) = (50u64, 0.3, 20_000);
+        let mut incl = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let s = BernoulliSampler::new(q, policy(), &mut rng).sample_batch(0..n, &mut rng);
+            for (v, c) in s.histogram().iter() {
+                assert_eq!(c, 1);
+                incl[*v as usize] += 1;
+            }
+        }
+        for (v, &c) in incl.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            // sd ≈ sqrt(q(1-q)/trials) ≈ 0.0032; allow 5 sd.
+            assert!((freq - q).abs() < 0.017, "element {v}: freq {freq}");
+        }
+    }
+
+    #[test]
+    fn provenance_recorded() {
+        let mut rng = seeded_rng(4);
+        let s = BernoulliSampler::new(0.5, policy(), &mut rng).sample_batch(0..100u64, &mut rng);
+        match s.kind() {
+            SampleKind::Bernoulli { q, .. } => assert_eq!(q, 0.5),
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must lie in (0, 1]")]
+    fn rejects_zero_rate() {
+        BernoulliSampler::<u64>::new(0.0, policy(), &mut seeded_rng(1));
+    }
+}

@@ -1,0 +1,257 @@
+//! Bi-level Bernoulli sampling (Haas & König, SIGMOD 2004) — the paper's
+//! reference \[12\], cited among the ad hoc, on-demand sampling methods the
+//! warehouse approach replaces.
+//!
+//! Data in a real warehouse lives in *pages*; reading a page to sample one
+//! row costs a full page I/O. A bi-level scheme first samples pages with
+//! probability `page_rate`, then rows inside selected pages with
+//! probability `row_rate`: the effective row rate is
+//! `page_rate · row_rate`, but only a `page_rate` fraction of pages is
+//! ever touched. The price is **intra-page correlation**: rows of one page
+//! are included together or not at all (scaled by `row_rate`), so the
+//! scheme is *first-moment uniform* (every row has the same inclusion
+//! probability) but **not uniform** in the paper's subset sense, and
+//! variance of estimates grows with value clustering inside pages.
+//!
+//! The sampler is finalized with the non-mergeable
+//! [`SampleKind::Concise`] provenance carrying the effective rate:
+//! Horvitz–Thompson point estimates stay unbiased, but variance formulas
+//! that assume independence will be optimistic on clustered data — the
+//! unit tests demonstrate exactly this effect, which is the motivation for
+//! the paper's truly uniform HB/HR samples.
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::sample::{Sample, SampleKind};
+use crate::value::SampleValue;
+use rand::Rng;
+
+/// Streaming page-then-row Bernoulli sampler.
+#[derive(Debug, Clone)]
+pub struct BiLevelBernoulli<T: SampleValue> {
+    page_rate: f64,
+    row_rate: f64,
+    hist: CompactHistogram<T>,
+    pages_seen: u64,
+    pages_read: u64,
+    rows_seen: u64,
+    policy: FootprintPolicy,
+}
+
+impl<T: SampleValue> BiLevelBernoulli<T> {
+    /// Create a sampler with the given page- and row-level rates.
+    ///
+    /// # Panics
+    /// Panics unless both rates lie in `(0, 1]`.
+    pub fn new(page_rate: f64, row_rate: f64, policy: FootprintPolicy) -> Self {
+        assert!(page_rate > 0.0 && page_rate <= 1.0, "page rate must lie in (0,1]");
+        assert!(row_rate > 0.0 && row_rate <= 1.0, "row rate must lie in (0,1]");
+        Self {
+            page_rate,
+            row_rate,
+            hist: CompactHistogram::new(),
+            pages_seen: 0,
+            pages_read: 0,
+            rows_seen: 0,
+            policy,
+        }
+    }
+
+    /// Effective per-row sampling rate `page_rate · row_rate`.
+    pub fn effective_rate(&self) -> f64 {
+        self.page_rate * self.row_rate
+    }
+
+    /// Fraction of pages actually read so far (the I/O saving).
+    pub fn pages_read_fraction(&self) -> f64 {
+        if self.pages_seen == 0 {
+            0.0
+        } else {
+            self.pages_read as f64 / self.pages_seen as f64
+        }
+    }
+
+    /// Observe one page of rows. The page is either skipped entirely
+    /// (probability `1 − page_rate`, costing no row work) or read and its
+    /// rows sampled at `row_rate`.
+    pub fn observe_page<R: Rng + ?Sized, I: IntoIterator<Item = T>>(
+        &mut self,
+        rows: I,
+        rng: &mut R,
+    ) {
+        self.pages_seen += 1;
+        if rng.random::<f64>() >= self.page_rate {
+            // Page skipped: still counts toward the parent size.
+            self.rows_seen += rows.into_iter().count() as u64;
+            return;
+        }
+        self.pages_read += 1;
+        for row in rows {
+            self.rows_seen += 1;
+            if self.row_rate >= 1.0 || rng.random::<f64>() < self.row_rate {
+                self.hist.insert_one(row);
+            }
+        }
+    }
+
+    /// Rows observed (across skipped and read pages).
+    pub fn rows_seen(&self) -> u64 {
+        self.rows_seen
+    }
+
+    /// Finalize. The provenance is [`SampleKind::Concise`] with the
+    /// effective rate: first-moment-valid for estimation, excluded from
+    /// uniform merging.
+    pub fn finalize(self) -> Sample<T> {
+        let q = self.effective_rate();
+        Sample::from_parts_unchecked(
+            self.hist,
+            SampleKind::Concise { q },
+            self.rows_seen,
+            self.policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+
+    fn policy() -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(1 << 20)
+    }
+
+    /// Pages of `rows_per_page` rows; `pages` total; values supplied by f.
+    fn run(
+        page_rate: f64,
+        row_rate: f64,
+        pages: u64,
+        rows_per_page: u64,
+        value: impl Fn(u64, u64) -> u64,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Sample<u64> {
+        let mut s = BiLevelBernoulli::new(page_rate, row_rate, policy());
+        for p in 0..pages {
+            s.observe_page((0..rows_per_page).map(|r| value(p, r)), rng);
+        }
+        s.finalize()
+    }
+
+    #[test]
+    fn effective_rate_matches_mean_sample_size() {
+        let mut rng = seeded_rng(1);
+        let trials = 300;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let s = run(0.2, 0.5, 100, 50, |p, r| p * 50 + r, &mut rng);
+            assert_eq!(s.parent_size(), 5_000);
+            total += s.size();
+        }
+        let mean = total as f64 / trials as f64;
+        let expect = 5_000.0 * 0.1;
+        assert!((mean / expect - 1.0).abs() < 0.05, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn per_row_inclusion_is_first_moment_uniform() {
+        let mut rng = seeded_rng(2);
+        let trials = 10_000;
+        let mut incl = vec![0u64; 200];
+        for _ in 0..trials {
+            let s = run(0.5, 0.4, 10, 20, |p, r| p * 20 + r, &mut rng);
+            for (v, c) in s.histogram().iter() {
+                assert_eq!(c, 1);
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * 0.2;
+        for (v, &c) in incl.iter().enumerate() {
+            let z = (c as f64 - expect) / (expect * 0.8).sqrt();
+            assert!(z.abs() < 5.0, "row {v}: count {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn io_saving_matches_page_rate() {
+        let mut rng = seeded_rng(3);
+        let mut s: BiLevelBernoulli<u64> = BiLevelBernoulli::new(0.25, 1.0, policy());
+        for p in 0..4_000u64 {
+            s.observe_page((0..10).map(|r| p * 10 + r), &mut rng);
+        }
+        let frac = s.pages_read_fraction();
+        assert!((frac - 0.25).abs() < 0.03, "pages read {frac}");
+    }
+
+    #[test]
+    fn clustered_pages_inflate_estimator_variance() {
+        // COUNT(v == 1) where value 1 fills entire pages (perfect
+        // clustering) vs scattered uniformly across pages. Same effective
+        // rate, same truth; the clustered layout must show materially
+        // larger variance — the §3-style reason bi-level samples are not
+        // uniform.
+        let mut rng = seeded_rng(4);
+        let (pages, rows, rate_p, rate_r) = (200u64, 50u64, 0.3, 0.5);
+        let truth_pages = 20u64; // 20 pages of pure 1s = 1000 matching rows
+        let trials = 400;
+        let estimate = |clustered: bool, rng: &mut rand::rngs::SmallRng| -> Vec<f64> {
+            (0..trials)
+                .map(|_| {
+                    let s = run(
+                        rate_p,
+                        rate_r,
+                        pages,
+                        rows,
+                        |p, r| {
+                            let global = p * rows + r;
+                            let matching = if clustered {
+                                p < truth_pages
+                            } else {
+                                global % (pages / truth_pages) == 0
+                            };
+                            if matching {
+                                1
+                            } else {
+                                1_000_000 + global
+                            }
+                        },
+                        rng,
+                    );
+                    // HT estimate of matching rows at the effective rate.
+                    s.histogram().count(&1) as f64 / (rate_p * rate_r)
+                })
+                .collect()
+        };
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+        };
+        let clustered = estimate(true, &mut rng);
+        let scattered = estimate(false, &mut rng);
+        let truth = 1_000.0;
+        // Both unbiased...
+        let mean_c = clustered.iter().sum::<f64>() / trials as f64;
+        let mean_s = scattered.iter().sum::<f64>() / trials as f64;
+        assert!((mean_c / truth - 1.0).abs() < 0.1, "clustered mean {mean_c}");
+        assert!((mean_s / truth - 1.0).abs() < 0.1, "scattered mean {mean_s}");
+        // ...but clustering inflates variance by a large factor.
+        let (vc, vs) = (var(&clustered), var(&scattered));
+        assert!(
+            vc > 3.0 * vs,
+            "clustered variance {vc:.0} should dwarf scattered {vs:.0}"
+        );
+    }
+
+    #[test]
+    fn finalized_kind_is_non_mergeable() {
+        let mut rng = seeded_rng(5);
+        let s = run(0.5, 0.5, 10, 10, |p, r| p * 10 + r, &mut rng);
+        assert!(matches!(s.kind(), SampleKind::Concise { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "page rate must lie in (0,1]")]
+    fn rejects_bad_page_rate() {
+        BiLevelBernoulli::<u64>::new(0.0, 0.5, policy());
+    }
+}

@@ -1,0 +1,189 @@
+//! Concise sampling (Gibbons & Matias, SIGMOD 1998) — the prior art the
+//! paper analyzes in §3.3.
+//!
+//! The sample is kept as a bounded compact histogram. Arrivals are admitted
+//! by a Bernoulli mechanism whose rate `q` starts at 1 and is decreased by
+//! "purge" steps whenever an insertion would push the footprint past the
+//! bound: `q ← decay·q`, and every sampled element is independently retained
+//! with probability `decay` (a `Binomial(count, decay)` per pair). Purges
+//! repeat until the footprint drops.
+//!
+//! **Concise sampling is not uniform.** §3.3 exhibits the counterexample
+//! reproduced in this module's tests: over the population
+//! `{a, a, a, b, b, b}` with room for a single `(value, count)` pair, the
+//! compact samples `{(a,3)}` and `{(b,3)}` occur with positive probability
+//! while `{(a,2), b}` — another size-3 sample, nine times likelier under
+//! uniformity — can never be produced, because it needs 3 slots. The scheme
+//! is biased toward samples with fewer distinct values, underrepresenting
+//! rare values. It is implemented here to reproduce that negative result
+//! and as a performance baseline; use [`crate::HybridBernoulli`] or
+//! [`crate::HybridReservoir`] for statistically sound samples.
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::purge::purge_bernoulli;
+use crate::sample::{Sample, SampleKind};
+use crate::sampler::Sampler;
+use crate::value::SampleValue;
+use rand::Rng;
+
+/// Default multiplicative rate reduction per purge step.
+pub const DEFAULT_DECAY: f64 = 0.8;
+
+/// Streaming concise sampler with bounded footprint.
+#[derive(Debug, Clone)]
+pub struct ConciseSampler<T: SampleValue> {
+    hist: CompactHistogram<T>,
+    q: f64,
+    decay: f64,
+    observed: u64,
+    policy: FootprintPolicy,
+}
+
+impl<T: SampleValue> ConciseSampler<T> {
+    /// Create a concise sampler with the default purge decay.
+    pub fn new(policy: FootprintPolicy) -> Self {
+        Self::with_decay(policy, DEFAULT_DECAY)
+    }
+
+    /// Create a concise sampler with an explicit purge decay factor.
+    ///
+    /// # Panics
+    /// Panics unless `0 < decay < 1`.
+    pub fn with_decay(policy: FootprintPolicy, decay: f64) -> Self {
+        assert!(decay > 0.0 && decay < 1.0, "decay must lie in (0, 1), got {decay}");
+        Self { hist: CompactHistogram::new(), q: 1.0, decay, observed: 0, policy }
+    }
+
+    /// Current sampling rate `q`.
+    pub fn rate(&self) -> f64 {
+        self.q
+    }
+
+    /// Slots the histogram would occupy after inserting `v`.
+    fn slots_after_insert(&self, v: &T) -> u64 {
+        let delta = match self.hist.count(v) {
+            0 => 1, // new singleton
+            1 => 1, // singleton becomes a pair
+            _ => 0, // pair count increments in place
+        };
+        self.hist.slots() + delta
+    }
+}
+
+impl<T: SampleValue> Sampler<T> for ConciseSampler<T> {
+    fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.observed += 1;
+        if self.q < 1.0 && rng.random::<f64>() > self.q {
+            return;
+        }
+        // Purge until the insertion fits within the footprint bound.
+        while self.slots_after_insert(&value) > self.policy.n_f() {
+            self.q *= self.decay;
+            purge_bernoulli(&mut self.hist, self.decay, rng);
+            // The pending element must survive the purge too.
+            if rng.random::<f64>() > self.decay {
+                return;
+            }
+        }
+        self.hist.insert_one(value);
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn current_size(&self) -> u64 {
+        self.hist.total()
+    }
+
+    fn finalize<R2: Rng + ?Sized>(self, _rng: &mut R2) -> Sample<T> {
+        let kind = if self.q >= 1.0 {
+            SampleKind::Exhaustive
+        } else {
+            SampleKind::Concise { q: self.q }
+        };
+        Sample::from_parts_unchecked(self.hist, kind, self.observed, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+
+    #[test]
+    fn small_population_is_exhaustive() {
+        let mut rng = seeded_rng(1);
+        let s = ConciseSampler::new(FootprintPolicy::with_value_budget(100))
+            .sample_batch(vec![1u64, 1, 2, 3, 3, 3], &mut rng);
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+        assert_eq!(s.histogram().count(&1), 2);
+        assert_eq!(s.histogram().count(&3), 3);
+    }
+
+    #[test]
+    fn footprint_never_exceeds_bound() {
+        let mut rng = seeded_rng(2);
+        let policy = FootprintPolicy::with_value_budget(32);
+        let mut c = ConciseSampler::new(policy);
+        for v in 0..10_000u64 {
+            c.observe(v, &mut rng);
+            assert!(c.hist.slots() <= 32, "slots {} at v={v}", c.hist.slots());
+        }
+        let s = c.finalize(&mut rng);
+        assert!(s.slots() <= 32);
+        assert!(matches!(s.kind(), SampleKind::Concise { .. }));
+    }
+
+    #[test]
+    fn skewed_data_stays_exhaustive_longer() {
+        // Few distinct values: the histogram absorbs everything exactly.
+        let mut rng = seeded_rng(3);
+        let policy = FootprintPolicy::with_value_budget(32);
+        let values: Vec<u64> = (0..100_000u64).map(|i| i % 10).collect();
+        let s = ConciseSampler::new(policy).sample_batch(values, &mut rng);
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+        assert_eq!(s.size(), 100_000);
+        for v in 0..10u64 {
+            assert_eq!(s.histogram().count(&v), 10_000);
+        }
+    }
+
+    /// The §3.3 counterexample: population {a,a,a,b,b,b}, capacity one
+    /// (value, count) pair (2 slots). Uniformity would demand that if
+    /// {(a,3)} occurs then {(a,2), b} occurs too (nine times as often);
+    /// concise sampling can never produce it.
+    #[test]
+    fn non_uniformity_counterexample() {
+        let mut rng = seeded_rng(4);
+        let policy = FootprintPolicy::with_value_budget(2);
+        let population = vec![0u64, 0, 0, 1, 1, 1]; // a = 0, b = 1
+        let trials = 50_000;
+        let mut pure_a3 = 0u64; // {(a,3)}
+        let mut pure_b3 = 0u64; // {(b,3)}
+        let mut mixed_size3 = 0u64; // {(a,2), b} or {a, (b,2)}
+        for _ in 0..trials {
+            let s = ConciseSampler::new(policy).sample_batch(population.clone(), &mut rng);
+            let (a, b) = (s.histogram().count(&0), s.histogram().count(&1));
+            match (a, b) {
+                (3, 0) => pure_a3 += 1,
+                (0, 3) => pure_b3 += 1,
+                (2, 1) | (1, 2) => mixed_size3 += 1,
+                _ => {}
+            }
+        }
+        assert!(pure_a3 > 0, "{{(a,3)}} should occur");
+        assert!(pure_b3 > 0, "{{(b,3)}} should occur");
+        assert_eq!(
+            mixed_size3, 0,
+            "mixed size-3 samples are impossible under concise sampling"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "decay must lie in (0, 1)")]
+    fn rejects_bad_decay() {
+        ConciseSampler::<u64>::with_decay(FootprintPolicy::with_value_budget(8), 1.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Counting samples (Gibbons & Matias, SIGMOD 1998) — the deletion-capable
+//! extension of concise sampling that the paper discusses in §3.3: "The
+//! counting-sample scheme introduced in \[7\] is an extension of concise
+//! sampling that handles deletions in the parent warehouse."
+//!
+//! A counting sample holds `(value, count)` pairs where, **once a value
+//! enters the sample, its subsequent occurrences are counted exactly**.
+//! New values enter with probability `1/τ` (the threshold `τ = 1/q` rises
+//! as the footprint bound forces purges). Deletions in the parent simply
+//! decrement a tracked count.
+//!
+//! Like concise sampling, counting samples are **not uniform** (§3.3), so
+//! they cannot be merged by the HB/HR machinery; their value is (a) exact
+//! frequency tracking of heavy hitters under inserts *and deletes*, and
+//! (b) serving as the prior-art baseline in the evaluation. The classic
+//! frequency estimator `n + τ − 1` (for a value present with count `n`) is
+//! provided by [`CountingSampler::estimated_frequency`].
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::sample::{Sample, SampleKind};
+use crate::value::SampleValue;
+use rand::Rng;
+
+/// Default multiplicative threshold increase per purge step
+/// (`τ' = τ / DEFAULT_DECAY`, matching the concise sampler's decay).
+pub const DEFAULT_DECAY: f64 = 0.8;
+
+/// A bounded-footprint counting sample over an insert/delete stream.
+#[derive(Debug, Clone)]
+pub struct CountingSampler<T: SampleValue> {
+    hist: CompactHistogram<T>,
+    /// Current threshold `τ ≥ 1`; new values enter with probability `1/τ`.
+    tau: f64,
+    decay: f64,
+    policy: FootprintPolicy,
+    inserts: u64,
+    deletes: u64,
+}
+
+impl<T: SampleValue> CountingSampler<T> {
+    /// Create a counting sampler under the given footprint bound with the
+    /// default purge decay.
+    pub fn new(policy: FootprintPolicy) -> Self {
+        Self::with_decay(policy, DEFAULT_DECAY)
+    }
+
+    /// Create a counting sampler with an explicit purge decay in `(0, 1)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < decay < 1`.
+    pub fn with_decay(policy: FootprintPolicy, decay: f64) -> Self {
+        assert!(decay > 0.0 && decay < 1.0, "decay must lie in (0, 1), got {decay}");
+        Self {
+            hist: CompactHistogram::new(),
+            tau: 1.0,
+            decay,
+            policy,
+            inserts: 0,
+            deletes: 0,
+        }
+    }
+
+    /// Current threshold `τ` (sampling rate is `1/τ`).
+    pub fn threshold(&self) -> f64 {
+        self.tau
+    }
+
+    /// Net number of data elements currently in the parent
+    /// (inserts − deletes).
+    pub fn net_population(&self) -> u64 {
+        self.inserts - self.deletes
+    }
+
+    /// Number of data elements currently represented in the sample.
+    pub fn current_size(&self) -> u64 {
+        self.hist.total()
+    }
+
+    /// Borrow the underlying compact histogram.
+    pub fn histogram(&self) -> &CompactHistogram<T> {
+        &self.hist
+    }
+
+    fn slots_after_insert(&self, v: &T) -> u64 {
+        let delta = match self.hist.count(v) {
+            0 | 1 => 1,
+            _ => 0,
+        };
+        self.hist.slots() + delta
+    }
+
+    /// Raise the threshold and thin the sample (the counting-sample purge):
+    /// each value flips a coin with success `τ/τ'`; on failure one
+    /// occurrence is removed and further occurrences are removed with
+    /// probability `1 − 1/τ'` each until a success (or extinction).
+    fn purge<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let tau_new = self.tau / self.decay;
+        let keep_first = self.tau / tau_new; // = decay
+        let keep_rest = 1.0 / tau_new;
+        self.hist.transform_counts(|_, mut n| {
+            if rng.random::<f64>() < keep_first {
+                return n;
+            }
+            n -= 1;
+            while n > 0 && rng.random::<f64>() >= keep_rest {
+                n -= 1;
+            }
+            n
+        });
+        self.tau = tau_new;
+    }
+
+    /// Process one inserted data element.
+    pub fn insert<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.inserts += 1;
+        if self.hist.count(&value) > 0 {
+            // Tracked value: count exactly (never changes the footprint by
+            // more than the singleton->pair transition).
+            while self.slots_after_insert(&value) > self.policy.n_f() {
+                self.purge(rng);
+                if self.hist.count(&value) == 0 {
+                    // The value fell out during the purge; it must now
+                    // re-enter through the probabilistic gate.
+                    return self.try_admit(value, rng);
+                }
+            }
+            self.hist.insert_one(value);
+            return;
+        }
+        self.try_admit(value, rng);
+    }
+
+    fn try_admit<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        if self.tau > 1.0 && rng.random::<f64>() >= 1.0 / self.tau {
+            return;
+        }
+        while self.slots_after_insert(&value) > self.policy.n_f() {
+            self.purge(rng);
+            // The pending element must survive the raised threshold too.
+            if rng.random::<f64>() >= self.decay {
+                return;
+            }
+        }
+        self.hist.insert_one(value);
+    }
+
+    /// Process one deleted data element. Returns `true` when the deletion
+    /// touched the sample (the value was tracked).
+    ///
+    /// # Panics
+    /// Panics if more elements are deleted than were ever inserted.
+    pub fn delete(&mut self, value: &T) -> bool {
+        assert!(self.deletes < self.inserts, "delete without matching insert");
+        self.deletes += 1;
+        self.hist.remove_one(value)
+    }
+
+    /// The Gibbons–Matias frequency estimator for a tracked value: a value
+    /// present with count `n` entered the sample at rate `1/τ`, so its
+    /// expected true frequency is `n + τ − 1`. Returns 0.0 for untracked
+    /// values (frequency below the sample's resolution).
+    pub fn estimated_frequency(&self, value: &T) -> f64 {
+        match self.hist.count(value) {
+            0 => 0.0,
+            n => n as f64 + self.tau - 1.0,
+        }
+    }
+
+    /// Values whose estimated frequency is at least `threshold`, most
+    /// frequent first — the heavy-hitter report counting samples exist for.
+    pub fn heavy_hitters(&self, threshold: f64) -> Vec<(T, f64)> {
+        let mut out: Vec<(T, f64)> = self
+            .hist
+            .iter()
+            .map(|(v, n)| (v.clone(), n as f64 + self.tau - 1.0))
+            .filter(|(_, est)| *est >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Finalize into a [`Sample`]. Counting samples share concise
+    /// sampling's non-uniform provenance (`SampleKind::Concise`), so they
+    /// are excluded from uniform merging.
+    pub fn finalize(self) -> Sample<T> {
+        let kind = if self.tau <= 1.0 {
+            SampleKind::Exhaustive
+        } else {
+            SampleKind::Concise { q: 1.0 / self.tau }
+        };
+        let net = self.net_population();
+        Sample::from_parts_unchecked(self.hist, kind, net, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    #[test]
+    fn small_population_tracked_exactly() {
+        let mut rng = seeded_rng(1);
+        let mut c = CountingSampler::new(policy(64));
+        for v in [1u64, 2, 1, 3, 1, 2] {
+            c.insert(v, &mut rng);
+        }
+        assert_eq!(c.threshold(), 1.0);
+        assert_eq!(c.histogram().count(&1), 3);
+        assert_eq!(c.histogram().count(&2), 2);
+        assert_eq!(c.estimated_frequency(&1), 3.0);
+        let s = c.finalize();
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+    }
+
+    #[test]
+    fn deletions_reflected_exactly_while_exhaustive() {
+        let mut rng = seeded_rng(2);
+        let mut c = CountingSampler::new(policy(64));
+        for v in [1u64, 1, 1, 2, 2] {
+            c.insert(v, &mut rng);
+        }
+        assert!(c.delete(&1));
+        assert!(c.delete(&2));
+        assert!(c.delete(&2));
+        assert!(!c.delete(&2)); // no longer tracked
+        assert_eq!(c.histogram().count(&1), 2);
+        assert_eq!(c.histogram().count(&2), 0);
+        assert_eq!(c.net_population(), 1);
+    }
+
+    #[test]
+    fn footprint_never_exceeds_bound() {
+        let mut rng = seeded_rng(3);
+        let n_f = 32u64;
+        let mut c = CountingSampler::new(policy(n_f));
+        for v in 0..20_000u64 {
+            c.insert(v % 5_000, &mut rng);
+            assert!(c.histogram().slots() <= n_f, "slots {} at {v}", c.histogram().slots());
+        }
+        assert!(c.threshold() > 1.0);
+    }
+
+    #[test]
+    fn tracked_counts_are_exact_after_entry() {
+        // A value inserted heavily right after the sampler is fresh stays
+        // tracked with an exact count even as the threshold rises, as long
+        // as purges never evict it (counts survive purges with high
+        // probability when large).
+        let mut rng = seeded_rng(4);
+        let mut c = CountingSampler::new(policy(16));
+        // Heavy value interleaved with noise.
+        let mut heavy_inserted = 0u64;
+        for i in 0..50_000u64 {
+            if i % 5 == 0 {
+                c.insert(0u64, &mut rng);
+                heavy_inserted += 1;
+            } else {
+                c.insert(1_000 + (i % 2_000), &mut rng);
+            }
+        }
+        let tracked = c.histogram().count(&0);
+        assert!(tracked > 0, "heavy hitter fell out entirely");
+        let est = c.estimated_frequency(&0);
+        // Single-run estimate: right order of magnitude (the averaged
+        // unbiasedness check lives in estimator_is_roughly_unbiased_over_runs).
+        let rel = (est - heavy_inserted as f64).abs() / heavy_inserted as f64;
+        assert!(rel < 0.5, "estimate {est} vs true {heavy_inserted} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn heavy_hitters_ranked() {
+        let mut rng = seeded_rng(5);
+        let mut c = CountingSampler::new(policy(64));
+        for _ in 0..300 {
+            c.insert(7u64, &mut rng);
+        }
+        for _ in 0..100 {
+            c.insert(8u64, &mut rng);
+        }
+        c.insert(9u64, &mut rng);
+        let hh = c.heavy_hitters(50.0);
+        assert_eq!(hh.len(), 2);
+        assert_eq!(hh[0].0, 7);
+        assert_eq!(hh[1].0, 8);
+        assert!(hh[0].1 >= 300.0);
+    }
+
+    #[test]
+    fn estimator_is_roughly_unbiased_over_runs() {
+        // E[estimate] ~ true frequency for a mid-weight value.
+        let mut rng = seeded_rng(6);
+        let trials = 300;
+        let true_freq = 200u64;
+        let mut sum_est = 0.0;
+        for _ in 0..trials {
+            let mut c = CountingSampler::new(policy(16));
+            for i in 0..10_000u64 {
+                if i % 50 == 0 {
+                    c.insert(0u64, &mut rng); // 200 occurrences
+                } else {
+                    c.insert(1 + (i % 3_000), &mut rng);
+                }
+            }
+            sum_est += c.estimated_frequency(&0);
+        }
+        let mean = sum_est / trials as f64;
+        let rel = (mean - true_freq as f64).abs() / true_freq as f64;
+        assert!(rel < 0.15, "mean estimate {mean} vs {true_freq} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn finalize_kind_reflects_threshold() {
+        let mut rng = seeded_rng(7);
+        let mut c = CountingSampler::new(policy(8));
+        for v in 0..1_000u64 {
+            c.insert(v, &mut rng);
+        }
+        let s = c.finalize();
+        assert!(matches!(s.kind(), SampleKind::Concise { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "delete without matching insert")]
+    fn delete_underflow_panics() {
+        let mut c: CountingSampler<u64> = CountingSampler::new(policy(8));
+        c.delete(&1);
+    }
+}

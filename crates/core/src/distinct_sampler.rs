@@ -1,0 +1,258 @@
+//! Distinct sampling (Gibbons, VLDB 2001) — the paper's reference \[6\],
+//! "distinct sampling for highly-accurate answers to distinct values
+//! queries and event reports".
+//!
+//! Where the uniform schemes sample the *bag* of values, a distinct sampler
+//! samples the **domain of distinct values**: every distinct value is
+//! retained independently with probability `2^{-L}` (decided by a hash, so
+//! duplicates agree), where the level `L` grows just enough to respect the
+//! footprint bound. This yields
+//!
+//! * an unbiased distinct-count estimator `distinct_in_sample · 2^L`, far
+//!   more accurate than extrapolating from a uniform sample on
+//!   high-cardinality data; and
+//! * a uniform random sample of the *distinct values themselves*
+//!   (each retained value also carries its exact multiplicity since
+//!   retention, useful for metadata discovery).
+//!
+//! Like the paper's own samplers, the footprint is bounded a priori and the
+//! stored form is compact.
+
+use crate::footprint::FootprintPolicy;
+use crate::fxhash::FxHasher;
+use crate::histogram::CompactHistogram;
+use crate::value::SampleValue;
+use std::hash::{BuildHasher, BuildHasherDefault};
+
+/// Streaming distinct sampler with bounded footprint.
+#[derive(Debug, Clone)]
+pub struct DistinctSampler<T: SampleValue> {
+    /// Retained values with exact occurrence counts (since the value's
+    /// level qualified — values are never re-admitted, so counts are exact
+    /// from first sight or from level promotion onward).
+    hist: CompactHistogram<T>,
+    /// Current level: values with `hash_level(v) ≥ level` are retained.
+    level: u32,
+    policy: FootprintPolicy,
+    observed: u64,
+    hasher: BuildHasherDefault<FxHasher>,
+    /// Seed mixed into the hash so different samplers are independent.
+    seed: u64,
+}
+
+impl<T: SampleValue> DistinctSampler<T> {
+    /// Create a distinct sampler under the given footprint bound.
+    pub fn new(policy: FootprintPolicy) -> Self {
+        Self::with_seed(policy, 0)
+    }
+
+    /// Create a distinct sampler whose hash is salted with `seed`
+    /// (independent samplers for repeated experiments).
+    pub fn with_seed(policy: FootprintPolicy, seed: u64) -> Self {
+        Self {
+            hist: CompactHistogram::new(),
+            level: 0,
+            policy,
+            observed: 0,
+            hasher: BuildHasherDefault::default(),
+            seed,
+        }
+    }
+
+    /// Current level `L` (sampling probability of the distinct domain is
+    /// `2^{-L}`).
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// Elements observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// The retained `(value, count)` histogram: a `2^{-L}` domain sample
+    /// with exact per-value counts.
+    pub fn histogram(&self) -> &CompactHistogram<T> {
+        &self.hist
+    }
+
+    /// Hash level of a value: number of trailing one-bits of its salted,
+    /// finalizer-mixed hash, i.e. geometric with `P(level ≥ l) = 2^{-l}`.
+    ///
+    /// The raw Fx hash is too structured for bit-level use (e.g. it maps
+    /// `0u64` to 0), so a MurmurHash3-style avalanche finalizer is applied
+    /// after salting.
+    fn hash_level(&self, v: &T) -> u32 {
+        let h = self.hasher.hash_one(v) ^ self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(h).trailing_ones()
+    }
+
+    /// Process one arriving element.
+    pub fn observe(&mut self, value: T) {
+        self.observed += 1;
+        if self.hash_level(&value) < self.level {
+            return;
+        }
+        // Retained (or already-tracked) value: count exactly.
+        self.hist.insert_one(value);
+        // Enforce the footprint bound by raising the level and evicting.
+        while self.policy.compact_overflows(self.hist.slots()) {
+            self.level += 1;
+            let level = self.level;
+            // Partition retained values by their hash level.
+            let evict: Vec<T> = self
+                .hist
+                .iter()
+                .filter(|(v, _)| self.hash_level(v) < level)
+                .map(|(v, _)| v.clone())
+                .collect();
+            for v in evict {
+                self.hist.set_count(v, 0);
+            }
+        }
+    }
+
+    /// Observe every element of an iterator.
+    pub fn observe_all<I: IntoIterator<Item = T>>(&mut self, values: I) {
+        for v in values {
+            self.observe(v);
+        }
+    }
+
+    /// Unbiased estimate of the number of distinct values seen:
+    /// `|retained domain| · 2^L`.
+    pub fn estimated_distinct(&self) -> f64 {
+        self.hist.distinct() as f64 * 2f64.powi(self.level as i32)
+    }
+
+    /// Whether the estimate is exact (level 0: nothing was ever evicted).
+    pub fn is_exact(&self) -> bool {
+        self.level == 0
+    }
+}
+
+/// MurmurHash3 64-bit avalanche finalizer: every input bit affects every
+/// output bit.
+#[inline]
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    #[test]
+    fn low_cardinality_is_exact() {
+        let mut d = DistinctSampler::new(policy(64));
+        d.observe_all((0..10_000u64).map(|i| i % 20));
+        assert!(d.is_exact());
+        assert_eq!(d.estimated_distinct(), 20.0);
+        // Counts exact too.
+        assert_eq!(d.histogram().count(&0), 500);
+    }
+
+    #[test]
+    fn footprint_never_exceeds_bound() {
+        let n_f = 64u64;
+        let mut d = DistinctSampler::new(policy(n_f));
+        for v in 0..100_000u64 {
+            d.observe(v);
+            assert!(d.histogram().slots() <= n_f, "slots {} at {v}", d.histogram().slots());
+        }
+        assert!(d.level() > 0);
+    }
+
+    #[test]
+    fn estimate_accuracy_across_cardinalities() {
+        // Averaged over independent hash seeds, the estimate should land
+        // within a few percent of the true distinct count.
+        for &distinct in &[1_000u64, 10_000, 100_000] {
+            let runs = 30;
+            let mut sum = 0.0;
+            for seed in 0..runs {
+                let mut d = DistinctSampler::with_seed(policy(512), seed);
+                // Each value appears 3 times; arrival interleaved.
+                for rep in 0..3u64 {
+                    for v in 0..distinct {
+                        let _ = rep;
+                        d.observe(v * 7);
+                    }
+                }
+                sum += d.estimated_distinct();
+            }
+            let mean = sum / runs as f64;
+            let rel = (mean - distinct as f64).abs() / distinct as f64;
+            assert!(rel < 0.10, "distinct {distinct}: mean estimate {mean} (rel {rel:.3})");
+        }
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_estimate() {
+        // Same distinct domain with and without duplicates: the mean
+        // estimate must agree with the truth either way. (The two samplers
+        // need not agree run-by-run — duplicated values are stored as
+        // 2-slot pairs, so the duplicated stream reaches a higher level.)
+        let distinct = 50_000u64;
+        let runs = 30u64;
+        let (mut sum_a, mut sum_b) = (0.0, 0.0);
+        for seed in 0..runs {
+            let mut a = DistinctSampler::with_seed(policy(128), seed);
+            let mut b = DistinctSampler::with_seed(policy(128), seed + 1_000);
+            a.observe_all(0..distinct);
+            for _ in 0..5 {
+                b.observe_all(0..distinct);
+            }
+            sum_a += a.estimated_distinct();
+            sum_b += b.estimated_distinct();
+        }
+        let (mean_a, mean_b) = (sum_a / runs as f64, sum_b / runs as f64);
+        for (label, mean) in [("unique", mean_a), ("x5", mean_b)] {
+            let rel = (mean - distinct as f64).abs() / distinct as f64;
+            assert!(rel < 0.15, "{label}: mean estimate {mean} (rel {rel:.3})");
+        }
+    }
+
+    #[test]
+    fn retained_counts_are_exact_multiplicities() {
+        let mut d = DistinctSampler::new(policy(64));
+        // Values 0..10_000, value v appearing 1 + v%3 times.
+        for v in 0..10_000u64 {
+            for _ in 0..1 + v % 3 {
+                d.observe(v);
+            }
+        }
+        for (v, c) in d.histogram().iter() {
+            assert_eq!(c, 1 + v % 3, "count wrong for retained value {v}");
+        }
+    }
+
+    #[test]
+    fn domain_sample_is_unbiased_across_values() {
+        // Every distinct value retained with the same probability: over
+        // many seeds, each value's retention frequency ~ average.
+        let n = 200u64;
+        let runs = 2_000u64;
+        let mut retained = vec![0u64; n as usize];
+        for seed in 0..runs {
+            let mut d = DistinctSampler::with_seed(policy(32), seed);
+            d.observe_all(0..n);
+            for (v, _) in d.histogram().iter() {
+                retained[*v as usize] += 1;
+            }
+        }
+        let mean = retained.iter().sum::<u64>() as f64 / n as f64;
+        for (v, &c) in retained.iter().enumerate() {
+            let z = (c as f64 - mean) / mean.sqrt();
+            assert!(z.abs() < 6.0, "value {v}: retained {c} vs mean {mean:.1}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The a priori footprint bound shared by every bounded sampler.
+//!
+//! Requirement 3 of the paper (§2): "the storage required during and after
+//! sample creation be bounded a priori, so that there are no unexpected disk
+//! or memory shortages." The bound is expressed as `F` bytes; for
+//! fixed-width values of `w` bytes this corresponds to a maximum of
+//! `n_F = F / w` data-element values (the paper's notation).
+//!
+//! Storage accounting follows §3.3: a compact sample is a set of
+//! `(value, count)` pairs, except that singleton values (count 1) are stored
+//! as the bare value. Counts are stored at the same width as values, so in
+//! *value slots*:
+//!
+//! * a singleton costs **1** slot,
+//! * a `(value, count)` pair costs **2** slots,
+//! * an expanded bag of `m` values costs **m** slots.
+//!
+//! Because a pair summarizes at least two data elements, the compact
+//! footprint never exceeds the number of data elements represented; hence a
+//! sample whose *size* is at most `n_F` always fits in `F` bytes in either
+//! representation.
+
+/// A priori storage bound for one partition sample.
+///
+/// ```
+/// use swh_core::footprint::FootprintPolicy;
+///
+/// // 64 KiB of 8-byte values = 8192 value slots (the paper's n_F).
+/// let policy = FootprintPolicy::new(64 * 1024, 8);
+/// assert_eq!(policy.n_f(), 8192);
+/// assert!(policy.compact_overflows(8192));
+/// assert!(!policy.compact_overflows(8191));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FootprintPolicy {
+    /// Maximum number of value slots (`n_F` in the paper).
+    n_f: u64,
+    /// Width of one value slot in bytes (presentation only).
+    value_bytes: u64,
+}
+
+impl FootprintPolicy {
+    /// Bound expressed directly as a maximum number of data-element values
+    /// (`n_F`), assuming 8-byte values.
+    ///
+    /// # Panics
+    /// Panics if `n_f < 2`: the algorithms need room for at least one
+    /// `(value, count)` pair.
+    pub fn with_value_budget(n_f: u64) -> Self {
+        Self::new(n_f * 8, 8)
+    }
+
+    /// Bound expressed as `F` bytes of storage for values of `value_bytes`
+    /// bytes each, mirroring the paper's `F`/`n_F` correspondence.
+    ///
+    /// # Panics
+    /// Panics if `value_bytes == 0` or the resulting `n_F` is below 2.
+    pub fn new(f_bytes: u64, value_bytes: u64) -> Self {
+        assert!(value_bytes > 0, "value width must be positive");
+        let n_f = f_bytes / value_bytes;
+        assert!(
+            n_f >= 2,
+            "footprint bound of {f_bytes} bytes holds fewer than 2 values of {value_bytes} bytes"
+        );
+        Self { n_f, value_bytes }
+    }
+
+    /// Maximum number of data-element values a sample may hold (`n_F`).
+    #[inline]
+    pub fn n_f(&self) -> u64 {
+        self.n_f
+    }
+
+    /// The byte bound `F`.
+    #[inline]
+    pub fn f_bytes(&self) -> u64 {
+        self.n_f * self.value_bytes
+    }
+
+    /// Width of one value slot in bytes.
+    #[inline]
+    pub fn value_bytes(&self) -> u64 {
+        self.value_bytes
+    }
+
+    /// Whether a compact histogram occupying `slots` value slots is at or
+    /// over the bound (the overflow trigger in Figs. 2 and 7).
+    #[inline]
+    pub fn compact_overflows(&self, slots: u64) -> bool {
+        slots >= self.n_f
+    }
+
+    /// Convert a slot count to bytes.
+    #[inline]
+    pub fn slots_to_bytes(&self, slots: u64) -> u64 {
+        slots * self.value_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_budget_constructor() {
+        let p = FootprintPolicy::with_value_budget(8192);
+        assert_eq!(p.n_f(), 8192);
+        assert_eq!(p.f_bytes(), 8192 * 8);
+        assert_eq!(p.value_bytes(), 8);
+    }
+
+    #[test]
+    fn byte_constructor_rounds_down() {
+        let p = FootprintPolicy::new(100, 8);
+        assert_eq!(p.n_f(), 12);
+        assert_eq!(p.f_bytes(), 96);
+    }
+
+    #[test]
+    fn overflow_test_is_inclusive() {
+        let p = FootprintPolicy::with_value_budget(10);
+        assert!(!p.compact_overflows(9));
+        assert!(p.compact_overflows(10));
+        assert!(p.compact_overflows(11));
+    }
+
+    #[test]
+    fn slot_byte_conversion() {
+        let p = FootprintPolicy::new(64, 4);
+        assert_eq!(p.slots_to_bytes(3), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than 2 values")]
+    fn rejects_tiny_bound() {
+        FootprintPolicy::new(8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rejects_zero_width() {
+        FootprintPolicy::new(64, 0);
+    }
+}

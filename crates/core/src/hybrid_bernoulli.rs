@@ -1,0 +1,462 @@
+//! Algorithm HB — hybrid Bernoulli sampling (§4.1, Fig. 2 of the paper).
+//!
+//! The sampler attempts to keep an **exact** compact histogram of the
+//! partition (phase 1). If the histogram footprint reaches the bound `F`,
+//! it takes a `Bern(q)` subsample (`purgeBernoulli`) and continues as a
+//! Bernoulli sampler at rate `q` (phase 2), where `q = q(N, p, n_F)` is
+//! chosen from the *a priori known* partition size `N` so that the sample
+//! size exceeds `n_F` only with probability `p` (Eq. 1). In the unlikely
+//! event the sample still reaches `n_F` values, it falls back to reservoir
+//! sampling of size `n_F` (phase 3).
+//!
+//! Depending on the terminal phase, the finalized [`Sample`] is an exact
+//! histogram of the partition, (essentially) a `Bern(q)` sample, or a
+//! simple random sample of size `n_F` — always **uniform**, always within
+//! the footprint bound, and compact whenever possible.
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::purge::{purge_bernoulli, purge_reservoir};
+use crate::qbound::q_approx;
+use crate::sample::{Sample, SampleKind};
+use crate::sampler::Sampler;
+use crate::value::SampleValue;
+use rand::Rng;
+use swh_rand::skip::{bernoulli_skip, ReservoirSkip};
+
+/// Default target probability that a phase-2 sample exceeds `n_F`
+/// (the paper's experiments use `p = 0.001`).
+pub const DEFAULT_P_BOUND: f64 = 1e-3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Exact,
+    Bernoulli,
+    Reservoir,
+}
+
+/// Streaming Algorithm HB sampler.
+///
+/// ```
+/// use swh_core::{FootprintPolicy, HybridBernoulli, SampleKind, Sampler};
+/// use swh_rand::seeded_rng;
+///
+/// let mut rng = seeded_rng(1);
+/// let policy = FootprintPolicy::with_value_budget(512);
+/// // HB needs the (expected) partition size a priori to derive its rate.
+/// let sample = HybridBernoulli::new(policy, 100_000)
+///     .sample_batch(0..100_000u64, &mut rng);
+/// assert!(matches!(sample.kind(), SampleKind::Bernoulli { .. }));
+/// assert!(sample.size() <= 512);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridBernoulli<T: SampleValue> {
+    policy: FootprintPolicy,
+    /// A priori expected population size `N` used to derive `q`.
+    expected_n: u64,
+    p_bound: f64,
+    /// Phase-2 Bernoulli rate `q(N, p, n_F)`.
+    q: f64,
+    phase: Phase,
+    /// Compact sample: `S` in phase 1, the precomputed subsample `S′`
+    /// afterwards (until expansion).
+    hist: CompactHistogram<T>,
+    /// Expanded bag of values (valid once `expanded`).
+    bag: Vec<T>,
+    expanded: bool,
+    /// Elements observed so far (the paper's `i`).
+    observed: u64,
+    /// Phase 2: elements still to pass over before the next inclusion.
+    skip_remaining: u64,
+    /// Phase 3: 1-based index of the next element to include.
+    next_include: u64,
+    skip_gen: Option<ReservoirSkip>,
+}
+
+impl<T: SampleValue> HybridBernoulli<T> {
+    /// Create an HB sampler for a partition of known (expected) size
+    /// `expected_n`, with the default exceedance probability `p = 0.001`.
+    pub fn new(policy: FootprintPolicy, expected_n: u64) -> Self {
+        Self::with_p_bound(policy, expected_n, DEFAULT_P_BOUND)
+    }
+
+    /// Create an HB sampler with an explicit exceedance probability.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_bound < 1` and `expected_n ≥ 1`.
+    pub fn with_p_bound(policy: FootprintPolicy, expected_n: u64, p_bound: f64) -> Self {
+        let q = q_approx(expected_n, p_bound, policy.n_f());
+        Self {
+            policy,
+            expected_n,
+            p_bound,
+            q,
+            phase: Phase::Exact,
+            hist: CompactHistogram::new(),
+            bag: Vec::new(),
+            expanded: false,
+            observed: 0,
+            skip_remaining: 0,
+            next_include: 0,
+            skip_gen: None,
+        }
+    }
+
+    /// Resume sampling from a previously finalized sample, as `HBMerge`
+    /// (Fig. 6, lines 1–4) requires: the running sample is initialized to
+    /// `prior` and the algorithm placed in the phase matching the prior's
+    /// provenance. `expected_total_n` is the size of the *combined* parent
+    /// (prior partition plus the values about to be streamed), used to
+    /// derive `q` if the sampler later enters phase 2 from phase 1.
+    ///
+    /// # Panics
+    /// Panics if `prior` is a concise sample (not uniform, not resumable),
+    /// or if a Bernoulli/reservoir prior exceeds the policy's budget.
+    pub fn resume<R: Rng + ?Sized>(
+        prior: Sample<T>,
+        expected_total_n: u64,
+        p_bound: f64,
+        rng: &mut R,
+    ) -> Self {
+        let policy = prior.policy();
+        let n_f = policy.n_f();
+        let parent = prior.parent_size();
+        let kind = prior.kind();
+        let hist = prior.into_histogram();
+        match kind {
+            SampleKind::Exhaustive => {
+                let mut s = Self::with_p_bound(policy, expected_total_n, p_bound);
+                s.hist = hist;
+                s.observed = parent;
+                // The prior was within bounds by construction; if it sits at
+                // the boundary the next insertion will trigger the switch.
+                s
+            }
+            SampleKind::Bernoulli { q, p_bound: prior_p } => {
+                assert!(hist.total() <= n_f, "Bernoulli prior exceeds budget");
+                let mut s = Self::with_p_bound(policy, expected_total_n, prior_p);
+                // Continue at the prior's rate: the already-collected part
+                // was sampled at q and cannot be re-rated upward.
+                s.q = q;
+                s.phase = Phase::Bernoulli;
+                s.hist = hist;
+                s.observed = parent;
+                s.skip_remaining = bernoulli_skip(rng, q);
+                s
+            }
+            SampleKind::Reservoir => {
+                assert!(hist.total() <= n_f, "reservoir prior exceeds budget");
+                let k = hist.total();
+                let mut s = Self::with_p_bound(policy, expected_total_n, p_bound);
+                s.phase = Phase::Reservoir;
+                s.hist = hist;
+                s.observed = parent.max(k);
+                if k == 0 {
+                    // Degenerate capacity-0 reservoir: stays empty; no
+                    // insertion may ever fire (see HybridReservoir::resume).
+                    s.next_include = u64::MAX;
+                    s.skip_gen = None;
+                } else {
+                    let mut gen = ReservoirSkip::new(k, rng);
+                    s.next_include = s.observed + gen.skip(s.observed, rng);
+                    s.skip_gen = Some(gen);
+                }
+                s
+            }
+            SampleKind::Concise { .. } => {
+                panic!("concise samples are not uniform and cannot be resumed")
+            }
+        }
+    }
+
+    /// The phase-2 Bernoulli rate `q`.
+    pub fn rate(&self) -> f64 {
+        self.q
+    }
+
+    /// Current phase (1, 2, or 3), matching the paper's numbering.
+    pub fn phase(&self) -> u8 {
+        match self.phase {
+            Phase::Exact => 1,
+            Phase::Bernoulli => 2,
+            Phase::Reservoir => 3,
+        }
+    }
+
+    /// Current footprint in value slots (compact or expanded, whichever is
+    /// live). Never exceeds `n_F` — the invariant the tests assert.
+    pub fn current_slots(&self) -> u64 {
+        if self.expanded {
+            self.bag.len() as u64
+        } else {
+            self.hist.slots()
+        }
+    }
+
+    /// The a priori population size `N` this sampler derived its rate from.
+    pub fn expected_n(&self) -> u64 {
+        self.expected_n
+    }
+
+    fn expand_in_place(&mut self) {
+        debug_assert!(!self.expanded);
+        self.bag = std::mem::take(&mut self.hist).into_bag();
+        self.expanded = true;
+    }
+
+    /// Fig. 2 lines 3–10: footprint hit the bound; precompute the Bernoulli
+    /// subsample `S′` and pick the next phase.
+    fn leave_phase1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        purge_bernoulli(&mut self.hist, self.q, rng);
+        if self.hist.total() < self.policy.n_f() {
+            self.phase = Phase::Bernoulli;
+            self.skip_remaining = bernoulli_skip(rng, self.q);
+        } else {
+            // Subsample too large (low probability): reservoir fallback.
+            purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
+            self.phase = Phase::Reservoir;
+            let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
+            self.next_include = self.observed + gen.skip(self.observed, rng);
+            self.skip_gen = Some(gen);
+        }
+    }
+}
+
+impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
+    fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.observed += 1;
+        match self.phase {
+            Phase::Exact => {
+                self.hist.insert_one(value);
+                if self.policy.compact_overflows(self.hist.slots()) {
+                    self.leave_phase1(rng);
+                }
+            }
+            Phase::Bernoulli => {
+                if self.skip_remaining > 0 {
+                    self.skip_remaining -= 1;
+                    return;
+                }
+                if !self.expanded {
+                    self.expand_in_place();
+                }
+                self.bag.push(value);
+                self.skip_remaining = bernoulli_skip(rng, self.q);
+                if self.bag.len() as u64 == self.policy.n_f() {
+                    // Sample hit the hard bound (low probability): switch to
+                    // reservoir mode.
+                    self.phase = Phase::Reservoir;
+                    let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
+                    self.next_include = self.observed + gen.skip(self.observed, rng);
+                    self.skip_gen = Some(gen);
+                }
+            }
+            Phase::Reservoir => {
+                if self.observed == self.next_include {
+                    if !self.expanded {
+                        // Entered phase 3 directly from phase 1.
+                        self.expand_in_place();
+                    }
+                    let victim = rng.random_range(0..self.bag.len());
+                    self.bag[victim] = value;
+                    let gen = self.skip_gen.as_mut().expect("phase 3 has a skip generator");
+                    self.next_include = self.observed + gen.skip(self.observed, rng);
+                }
+            }
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn current_size(&self) -> u64 {
+        if self.expanded {
+            self.bag.len() as u64
+        } else {
+            self.hist.total()
+        }
+    }
+
+    fn finalize<R2: Rng + ?Sized>(self, _rng: &mut R2) -> Sample<T> {
+        let hist = if self.expanded {
+            CompactHistogram::from_bag(self.bag)
+        } else {
+            self.hist
+        };
+        let kind = match self.phase {
+            Phase::Exact => SampleKind::Exhaustive,
+            Phase::Bernoulli => SampleKind::Bernoulli { q: self.q, p_bound: self.p_bound },
+            Phase::Reservoir => SampleKind::Reservoir,
+        };
+        Sample::from_parts(hist, kind, self.observed, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    #[test]
+    fn small_distinct_population_stays_exact() {
+        let mut rng = seeded_rng(1);
+        // 10 distinct values repeated: footprint 20 slots < 64.
+        let values: Vec<u64> = (0..10_000u64).map(|i| i % 10).collect();
+        let s = HybridBernoulli::new(policy(64), 10_000).sample_batch(values, &mut rng);
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+        assert_eq!(s.size(), 10_000);
+        for v in 0..10u64 {
+            assert_eq!(s.histogram().count(&v), 1_000);
+        }
+    }
+
+    #[test]
+    fn unique_population_ends_in_bernoulli() {
+        let mut rng = seeded_rng(2);
+        let n = 100_000u64;
+        let s = HybridBernoulli::new(policy(1024), n).sample_batch(0..n, &mut rng);
+        match s.kind() {
+            SampleKind::Bernoulli { q, .. } => {
+                // E|S| = Nq, a bit under n_F.
+                let mean = n as f64 * q;
+                assert!(mean < 1024.0 && mean > 900.0, "mean {mean}");
+            }
+            k => panic!("expected Bernoulli, got {k:?}"),
+        }
+        assert!(s.size() <= 1024);
+        assert!(s.size() > 800, "size {} unexpectedly small", s.size());
+    }
+
+    #[test]
+    fn footprint_invariant_holds_throughout() {
+        let mut rng = seeded_rng(3);
+        let n_f = 128u64;
+        let mut hb = HybridBernoulli::new(policy(n_f), 50_000);
+        for v in 0..50_000u64 {
+            hb.observe(v, &mut rng);
+            assert!(hb.current_slots() <= n_f, "slots {} at v={v}", hb.current_slots());
+            assert!(hb.current_size() <= n_f.max(hb.observed()), "size over bound");
+        }
+        let s = hb.finalize(&mut rng);
+        assert!(s.slots() <= n_f);
+    }
+
+    #[test]
+    fn tiny_p_forces_reservoir_rarely() {
+        // With p = 0.5 the Bernoulli rate is aggressive, so phase 3 should
+        // occur in an appreciable fraction of runs; with p = 1e-5 it should
+        // be (nearly) absent.
+        let mut rng = seeded_rng(4);
+        let n = 20_000u64;
+        let runs = 200;
+        let count_phase3 = |p: f64, rng: &mut rand::rngs::SmallRng| {
+            (0..runs)
+                .filter(|_| {
+                    let s = HybridBernoulli::with_p_bound(policy(256), n, p)
+                        .sample_batch(0..n, rng);
+                    s.kind() == SampleKind::Reservoir
+                })
+                .count()
+        };
+        let aggressive = count_phase3(0.5, &mut rng);
+        let conservative = count_phase3(1e-5, &mut rng);
+        assert!(aggressive > 20, "p=0.5 should often overflow, got {aggressive}/{runs}");
+        assert_eq!(conservative, 0, "p=1e-5 should essentially never overflow");
+    }
+
+    #[test]
+    fn every_element_equally_likely_after_hybrid_transition() {
+        // End-to-end uniformity across the phase-1 → phase-2 transition:
+        // each of n elements must appear with equal frequency.
+        let mut rng = seeded_rng(5);
+        let (n, n_f, trials) = (200u64, 32u64, 30_000usize);
+        let mut incl = vec![0u64; n as usize];
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let s = HybridBernoulli::new(policy(n_f), n).sample_batch(0..n, &mut rng);
+            for (v, c) in s.histogram().iter() {
+                assert_eq!(c, 1);
+                incl[*v as usize] += 1;
+                total += 1;
+            }
+        }
+        let expect = total as f64 / n as f64;
+        for (v, &c) in incl.iter().enumerate() {
+            let z = (c as f64 - expect) / expect.sqrt();
+            assert!(z.abs() < 5.0, "element {v}: count {c}, expect {expect:.1}, z={z:.2}");
+        }
+    }
+
+    #[test]
+    fn mean_sample_size_tracks_nq() {
+        let mut rng = seeded_rng(6);
+        let (n, n_f) = (50_000u64, 512u64);
+        let trials = 100;
+        let mut sum = 0u64;
+        let mut q_used = 0.0;
+        for _ in 0..trials {
+            let s = HybridBernoulli::new(policy(n_f), n).sample_batch(0..n, &mut rng);
+            if let SampleKind::Bernoulli { q, .. } = s.kind() {
+                q_used = q;
+            }
+            sum += s.size();
+        }
+        let mean = sum as f64 / trials as f64;
+        let expect = n as f64 * q_used;
+        assert!((mean / expect - 1.0).abs() < 0.05, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn resume_from_exhaustive_continues_phase1() {
+        let mut rng = seeded_rng(7);
+        let s = HybridBernoulli::new(policy(64), 10).sample_batch(0..10u64, &mut rng);
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+        let mut hb = HybridBernoulli::resume(s, 20, 1e-3, &mut rng);
+        hb.observe_all(10..20u64, &mut rng);
+        let merged = hb.finalize(&mut rng);
+        assert_eq!(merged.kind(), SampleKind::Exhaustive);
+        assert_eq!(merged.size(), 20);
+        assert_eq!(merged.parent_size(), 20);
+    }
+
+    #[test]
+    fn resume_from_bernoulli_keeps_rate() {
+        let mut rng = seeded_rng(8);
+        let n = 100_000u64;
+        let s = HybridBernoulli::new(policy(512), n).sample_batch(0..n, &mut rng);
+        let q1 = match s.kind() {
+            SampleKind::Bernoulli { q, .. } => q,
+            k => panic!("{k:?}"),
+        };
+        let hb = HybridBernoulli::resume(s, 2 * n, 1e-3, &mut rng);
+        assert_eq!(hb.rate(), q1);
+        assert_eq!(hb.phase(), 2);
+    }
+
+    #[test]
+    fn observed_counts_all_arrivals() {
+        let mut rng = seeded_rng(9);
+        let mut hb = HybridBernoulli::new(policy(16), 1000);
+        hb.observe_all(0..1000u64, &mut rng);
+        assert_eq!(hb.observed(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "concise samples are not uniform")]
+    fn resume_rejects_concise() {
+        let mut rng = seeded_rng(10);
+        let h = CompactHistogram::from_bag(vec![1u64]);
+        let s = Sample::from_parts_unchecked(
+            h,
+            SampleKind::Concise { q: 0.5 },
+            10,
+            policy(8),
+        );
+        HybridBernoulli::resume(s, 20, 1e-3, &mut rng);
+    }
+}

@@ -1,0 +1,399 @@
+//! Algorithm HR — hybrid reservoir sampling (§4.2, Fig. 7 of the paper).
+//!
+//! Like Algorithm HB, the sampler keeps an exact compact histogram while the
+//! footprint permits (phase 1). When the footprint reaches the bound it
+//! switches to reservoir mode (phase 2): the next element selected by the
+//! skip function triggers `purgeReservoir(S, n_F)` — materializing a simple
+//! random subsample of everything seen so far — followed by expansion and
+//! the standard replace-a-victim step.
+//!
+//! HR needs **no a priori knowledge of the partition size** and always
+//! delivers either the exact histogram or a reservoir sample of exactly
+//! `n_F` elements, which is why its sample sizes are larger and more stable
+//! than HB's (Figs. 15–16 of the paper) at the cost of costlier merges.
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::purge::purge_reservoir;
+use crate::sample::{Sample, SampleKind};
+use crate::sampler::Sampler;
+use crate::value::SampleValue;
+use rand::Rng;
+use swh_rand::skip::ReservoirSkip;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Exact,
+    Reservoir,
+}
+
+/// Streaming Algorithm HR sampler.
+///
+/// ```
+/// use swh_core::{FootprintPolicy, HybridReservoir, SampleKind, Sampler};
+/// use swh_rand::seeded_rng;
+///
+/// let mut rng = seeded_rng(1);
+/// let policy = FootprintPolicy::with_value_budget(512);
+/// // No a priori size needed; the sample is pinned at n_F once sampling.
+/// let sample = HybridReservoir::new(policy).sample_batch(0..100_000u64, &mut rng);
+/// assert_eq!(sample.kind(), SampleKind::Reservoir);
+/// assert_eq!(sample.size(), 512);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HybridReservoir<T: SampleValue> {
+    policy: FootprintPolicy,
+    phase: Phase,
+    /// Compact sample (phase 1, and phase 2 before the lazy purge).
+    hist: CompactHistogram<T>,
+    /// Expanded bag (phase 2 after the first insertion).
+    bag: Vec<T>,
+    expanded: bool,
+    observed: u64,
+    next_include: u64,
+    skip_gen: Option<ReservoirSkip>,
+}
+
+impl<T: SampleValue> HybridReservoir<T> {
+    /// Create an HR sampler under the given footprint bound.
+    pub fn new(policy: FootprintPolicy) -> Self {
+        Self {
+            policy,
+            phase: Phase::Exact,
+            hist: CompactHistogram::new(),
+            bag: Vec::new(),
+            expanded: false,
+            observed: 0,
+            next_include: 0,
+            skip_gen: None,
+        }
+    }
+
+    /// Resume sampling from a previously finalized sample, as `HRMerge`
+    /// (Fig. 8, lines 1–4) requires.
+    ///
+    /// # Panics
+    /// Panics if `prior` is a Bernoulli or concise sample: HR state only
+    /// represents exhaustive or reservoir provenance. (`HRMerge` handles a
+    /// Bernoulli input by treating it as a conditional simple random
+    /// sample — see [`mod@crate::merge`].)
+    pub fn resume<R: Rng + ?Sized>(prior: Sample<T>, rng: &mut R) -> Self {
+        let policy = prior.policy();
+        let parent = prior.parent_size();
+        let kind = prior.kind();
+        let hist = prior.into_histogram();
+        match kind {
+            SampleKind::Exhaustive => {
+                let mut s = Self::new(policy);
+                s.hist = hist;
+                s.observed = parent;
+                s
+            }
+            SampleKind::Reservoir => {
+                let k = hist.total();
+                let mut s = Self::new(policy);
+                s.phase = Phase::Reservoir;
+                // The prior is already a materialized reservoir sample:
+                // expand it now so insertions need no purge.
+                s.bag = hist.into_bag();
+                s.expanded = true;
+                s.observed = parent.max(k);
+                if k == 0 {
+                    // Degenerate capacity-0 reservoir (a merge with an
+                    // empty sample of a non-empty parent): it stays empty
+                    // forever, so no insertion may ever fire.
+                    s.next_include = u64::MAX;
+                    s.skip_gen = None;
+                } else {
+                    let mut gen = ReservoirSkip::new(k, rng);
+                    s.next_include = s.observed + gen.skip(s.observed, rng);
+                    s.skip_gen = Some(gen);
+                }
+                s
+            }
+            SampleKind::Bernoulli { .. } | SampleKind::Concise { .. } => {
+                panic!("HybridReservoir::resume requires an exhaustive or reservoir prior")
+            }
+        }
+    }
+
+    /// Current phase (1 or 2), matching the paper's numbering.
+    pub fn phase(&self) -> u8 {
+        match self.phase {
+            Phase::Exact => 1,
+            Phase::Reservoir => 2,
+        }
+    }
+
+    /// Current footprint in value slots.
+    ///
+    /// Invariant: never exceeds `n_F` — in phase 2 before the lazy purge the
+    /// histogram footprint sits exactly at the bound.
+    pub fn current_slots(&self) -> u64 {
+        if self.expanded {
+            self.bag.len() as u64
+        } else {
+            self.hist.slots()
+        }
+    }
+}
+
+impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
+    fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.observed += 1;
+        match self.phase {
+            Phase::Exact => {
+                self.hist.insert_one(value);
+                if self.policy.compact_overflows(self.hist.slots()) {
+                    // Fig. 7 lines 3–5: switch to reservoir mode; the purge
+                    // happens lazily at the first skip-selected insertion.
+                    self.phase = Phase::Reservoir;
+                    let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
+                    self.next_include = self.observed + gen.skip(self.observed, rng);
+                    self.skip_gen = Some(gen);
+                }
+            }
+            Phase::Reservoir => {
+                if self.observed == self.next_include {
+                    if !self.expanded {
+                        purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
+                        self.bag = std::mem::take(&mut self.hist).into_bag();
+                        self.expanded = true;
+                    }
+                    let victim = rng.random_range(0..self.bag.len());
+                    self.bag[victim] = value;
+                    let gen = self.skip_gen.as_mut().expect("phase 2 has a skip generator");
+                    self.next_include = self.observed + gen.skip(self.observed, rng);
+                }
+            }
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn current_size(&self) -> u64 {
+        if self.expanded {
+            self.bag.len() as u64
+        } else {
+            self.hist.total()
+        }
+    }
+
+    fn finalize<R2: Rng + ?Sized>(self, rng: &mut R2) -> Sample<T> {
+        match self.phase {
+            Phase::Exact => Sample::from_parts(
+                self.hist,
+                SampleKind::Exhaustive,
+                self.observed,
+                self.policy,
+            ),
+            Phase::Reservoir => {
+                let (hist, size_is_everything) = if self.expanded {
+                    (CompactHistogram::from_bag(self.bag), false)
+                } else {
+                    // The stream ended between the phase switch and the
+                    // first skip-selected insertion. The histogram still
+                    // holds every element seen up to the switch.
+                    let everything = self.hist.total() == self.observed;
+                    (self.hist, everything)
+                };
+                if size_is_everything {
+                    // Nothing was ever skipped: the sample is exhaustive.
+                    return Sample::from_parts(
+                        hist,
+                        SampleKind::Exhaustive,
+                        self.observed,
+                        self.policy,
+                    );
+                }
+                let mut hist = hist;
+                if hist.total() > self.policy.n_f() {
+                    // Materialize the pending lazy purge: a reservoir of
+                    // n_F over the prefix; elements after the switch were
+                    // skipped by the skip distribution, so uniformity over
+                    // the whole stream is preserved (§3.2 conditioning).
+                    purge_reservoir(&mut hist, self.policy.n_f(), rng);
+                }
+                Sample::from_parts(hist, SampleKind::Reservoir, self.observed, self.policy)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+    use swh_rand::stats::{chi_square_p_value, chi_square_statistic};
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    #[test]
+    fn small_distinct_population_stays_exact() {
+        let mut rng = seeded_rng(1);
+        let values: Vec<u64> = (0..50_000u64).map(|i| i % 16).collect();
+        let s = HybridReservoir::new(policy(64)).sample_batch(values, &mut rng);
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+        assert_eq!(s.size(), 50_000);
+    }
+
+    #[test]
+    fn unique_population_ends_in_reservoir_of_exact_capacity() {
+        let mut rng = seeded_rng(2);
+        let n = 100_000u64;
+        let n_f = 1024u64;
+        let s = HybridReservoir::new(policy(n_f)).sample_batch(0..n, &mut rng);
+        assert_eq!(s.kind(), SampleKind::Reservoir);
+        assert_eq!(s.size(), n_f, "HR sample size is pinned at n_F");
+        assert_eq!(s.parent_size(), n);
+    }
+
+    #[test]
+    fn footprint_invariant_holds_throughout() {
+        let mut rng = seeded_rng(3);
+        let n_f = 128u64;
+        let mut hr = HybridReservoir::new(policy(n_f));
+        for v in 0..50_000u64 {
+            hr.observe(v, &mut rng);
+            assert!(hr.current_slots() <= n_f, "slots {} at v={v}", hr.current_slots());
+        }
+        let s = hr.finalize(&mut rng);
+        assert!(s.slots() <= n_f);
+        assert_eq!(s.size(), n_f);
+    }
+
+    #[test]
+    fn every_element_equally_likely_after_hybrid_transition() {
+        let mut rng = seeded_rng(4);
+        let (n, n_f, trials) = (120u64, 16u64, 30_000usize);
+        let mut incl = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let s = HybridReservoir::new(policy(n_f)).sample_batch(0..n, &mut rng);
+            assert_eq!(s.size(), n_f);
+            for (v, c) in s.histogram().iter() {
+                assert_eq!(c, 1);
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * n_f as f64 / n as f64;
+        let exp: Vec<f64> = vec![expect; n as usize];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, (n - 1) as f64);
+        assert!(pv > 1e-4, "inclusion not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn stream_ending_right_after_switch_is_handled() {
+        // Force the switch, then stop before any skip-selected insertion
+        // can fire. The finalized sample must be a uniform subsample of
+        // size n_F (or exhaustive if nothing was skipped).
+        let mut rng = seeded_rng(5);
+        let n_f = 16u64;
+        let mut hr = HybridReservoir::new(policy(n_f));
+        for v in 0..n_f {
+            hr.observe(v, &mut rng); // 16 distinct singletons: slots = 16
+        }
+        assert_eq!(hr.phase(), 2);
+        let s = hr.finalize(&mut rng);
+        // Nothing was skipped: all 16 elements are present.
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+        assert_eq!(s.size(), n_f);
+    }
+
+    #[test]
+    fn stream_ending_with_pending_purge_truncates_uniformly() {
+        // Values with duplicates so that the switch happens when the
+        // histogram holds more *elements* than n_F; stop immediately.
+        let mut rng = seeded_rng(6);
+        let n_f = 8u64;
+        let mut hr = HybridReservoir::new(policy(n_f));
+        // 4 pairs -> 8 slots after 8 arrivals of 4 distinct values... each
+        // value twice: slots = 2*4 = 8 = n_F triggers switch; total = 8.
+        for v in [1u64, 1, 2, 2, 3, 3, 4, 4] {
+            hr.observe(v, &mut rng);
+        }
+        assert_eq!(hr.phase(), 2);
+        // A few more arrivals that are skipped (never selected) keep the
+        // histogram unexpanded but make it non-exhaustive.
+        // next_include is at least observed+1 = 9; observe exactly until
+        // just before it so no insertion occurs.
+        let upto = hr.next_include - 1;
+        let had_skipped_arrivals = upto > hr.observed;
+        for v in hr.observed..upto {
+            hr.observe(v + 100, &mut rng);
+        }
+        let s = hr.finalize(&mut rng);
+        assert!(s.size() <= n_f);
+        if had_skipped_arrivals {
+            // Some arrivals were passed over: the sample is a proper subset.
+            assert_eq!(s.kind(), SampleKind::Reservoir);
+        } else {
+            // The skip was 1, so the stream ended exactly at the switch.
+            assert_eq!(s.kind(), SampleKind::Exhaustive);
+        }
+    }
+
+    #[test]
+    fn resume_from_exhaustive() {
+        let mut rng = seeded_rng(7);
+        let s = HybridReservoir::new(policy(64)).sample_batch(0..10u64, &mut rng);
+        let mut hr = HybridReservoir::resume(s, &mut rng);
+        hr.observe_all(10..20u64, &mut rng);
+        let merged = hr.finalize(&mut rng);
+        assert_eq!(merged.kind(), SampleKind::Exhaustive);
+        assert_eq!(merged.size(), 20);
+    }
+
+    #[test]
+    fn resume_from_reservoir_keeps_capacity() {
+        let mut rng = seeded_rng(8);
+        let n_f = 32u64;
+        let s = HybridReservoir::new(policy(n_f)).sample_batch(0..10_000u64, &mut rng);
+        assert_eq!(s.kind(), SampleKind::Reservoir);
+        let mut hr = HybridReservoir::resume(s, &mut rng);
+        hr.observe_all(10_000..20_000u64, &mut rng);
+        let merged = hr.finalize(&mut rng);
+        assert_eq!(merged.size(), n_f);
+        assert_eq!(merged.parent_size(), 20_000);
+    }
+
+    #[test]
+    fn resume_reservoir_remains_uniform() {
+        // Stream 0..60 through HR with n_f 12, then resume with 60..120;
+        // every element should appear with frequency 12/120.
+        let mut rng = seeded_rng(9);
+        let (n_f, trials) = (12u64, 20_000usize);
+        let mut incl = vec![0u64; 120];
+        for _ in 0..trials {
+            let s = HybridReservoir::new(policy(n_f)).sample_batch(0..60u64, &mut rng);
+            let mut hr = HybridReservoir::resume(s, &mut rng);
+            hr.observe_all(60..120u64, &mut rng);
+            for (v, _) in hr.finalize(&mut rng).histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * 12.0 / 120.0;
+        let exp: Vec<f64> = vec![expect; 120];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, 119.0);
+        assert!(pv > 1e-4, "resumed HR not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhaustive or reservoir prior")]
+    fn resume_rejects_bernoulli() {
+        let mut rng = seeded_rng(10);
+        let h = CompactHistogram::from_bag(vec![1u64]);
+        let s = Sample::from_parts(
+            h,
+            SampleKind::Bernoulli { q: 0.5, p_bound: 1e-3 },
+            10,
+            policy(8),
+        );
+        HybridReservoir::resume(s, &mut rng);
+    }
+}

@@ -1,0 +1,956 @@
+//! Merging partition samples into a uniform sample of the union (§4).
+//!
+//! This module implements the paper's two merge functions and a provenance
+//! dispatcher:
+//!
+//! * [`hb_merge`] — `HBMerge` (Fig. 6). Exhaustive inputs are re-streamed
+//!   into a resumed Algorithm HB; two Bernoulli samples are rate-equalized
+//!   with `purgeBernoulli` and joined (falling back to a bounded reservoir
+//!   when the joined footprint would exceed `F`); reservoir inputs are
+//!   delegated to `HRMerge`.
+//! * [`hr_merge`] — `HRMerge` (Fig. 8). Exhaustive inputs are re-streamed
+//!   into a resumed Algorithm HR; two simple random samples are merged by
+//!   drawing the split `L` from the hypergeometric distribution of Eq. (2)
+//!   and subsampling each side (`Theorem 1` guarantees the result is a
+//!   simple random sample of size `k = min(|S1|, |S2|)` from `D1 ∪ D2`).
+//! * [`merge`] — picks the right rule from the two samples' provenance, and
+//!   [`merge_all`] folds it over any number of partition samples (the
+//!   paper's serial pairwise merge).
+//!
+//! All rules require the two samples to share the same footprint policy and
+//! refuse concise samples (not uniform, §3.3).
+
+use crate::histogram::CompactHistogram;
+use crate::hybrid_bernoulli::HybridBernoulli;
+use crate::hybrid_reservoir::HybridReservoir;
+use crate::purge::{purge_bernoulli, purge_reservoir};
+use crate::qbound::q_approx;
+use crate::sample::{Sample, SampleKind};
+use crate::sampler::Sampler;
+use crate::value::SampleValue;
+use rand::Rng;
+use swh_rand::hypergeometric::Hypergeometric;
+use swh_rand::skip::ReservoirSkip;
+
+/// Why two samples could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// One of the inputs is a concise sample; concise sampling is not
+    /// uniform (§3.3) so no uniform merge exists.
+    ConciseNotMergeable,
+    /// The inputs were collected under different footprint policies.
+    PolicyMismatch,
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::ConciseNotMergeable => {
+                write!(f, "concise samples are not uniform and cannot be merged")
+            }
+            MergeError::PolicyMismatch => {
+                write!(f, "samples were collected under different footprint policies")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+fn check_mergeable<T: SampleValue>(s1: &Sample<T>, s2: &Sample<T>) -> Result<(), MergeError> {
+    if matches!(s1.kind(), SampleKind::Concise { .. })
+        || matches!(s2.kind(), SampleKind::Concise { .. })
+    {
+        return Err(MergeError::ConciseNotMergeable);
+    }
+    if s1.policy() != s2.policy() {
+        return Err(MergeError::PolicyMismatch);
+    }
+    Ok(())
+}
+
+/// Stream every data-element value represented by `hist` into `sampler`.
+/// No expansion is materialized; pairs are walked in place (the paper: "no
+/// expansion of S_i is required for such extraction").
+fn stream_into<T: SampleValue, S: Sampler<T>, R: Rng + ?Sized>(
+    sampler: &mut S,
+    hist: &CompactHistogram<T>,
+    rng: &mut R,
+) {
+    for (v, c) in hist.iter() {
+        for _ in 0..c {
+            sampler.observe(v.clone(), rng);
+        }
+    }
+}
+
+/// `HBMerge` (Fig. 6): merge two samples produced by Algorithm HB (or any
+/// samples with the same provenance vocabulary) over disjoint partitions.
+///
+/// `p_bound` is the target exceedance probability used to derive the merged
+/// Bernoulli rate `q(|D1| + |D2|, p, n_F)`.
+pub fn hb_merge<T: SampleValue, R: Rng + ?Sized>(
+    s1: Sample<T>,
+    s2: Sample<T>,
+    p_bound: f64,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    check_mergeable(&s1, &s2)?;
+    let combined_n = s1.parent_size() + s2.parent_size();
+
+    // Fig. 6 lines 1–4: at least one sample is exhaustive — re-stream its
+    // values into Algorithm HB resumed from the other sample. When both are
+    // exhaustive, stream the SMALLER one (the paper's figure is agnostic;
+    // the cost of this branch is exactly the streamed sample's size).
+    if s1.kind() == SampleKind::Exhaustive || s2.kind() == SampleKind::Exhaustive {
+        let (exhaustive, other) = match (s1.kind(), s2.kind()) {
+            (SampleKind::Exhaustive, SampleKind::Exhaustive) => {
+                if s1.size() <= s2.size() {
+                    (s1, s2)
+                } else {
+                    (s2, s1)
+                }
+            }
+            (SampleKind::Exhaustive, _) => (s1, s2),
+            _ => (s2, s1),
+        };
+        if other.kind() == SampleKind::Reservoir {
+            // Resuming HB from a reservoir prior is legal, but HR handles
+            // this case without needing a population-size estimate.
+            return hr_merge_with_exhaustive(exhaustive, other, rng);
+        }
+        let hist = exhaustive.into_histogram();
+        let mut hb = HybridBernoulli::resume(other, combined_n, p_bound, rng);
+        stream_into(&mut hb, &hist, rng);
+        return Ok(hb.finalize(rng));
+    }
+
+    // Fig. 6 lines 5–7: at least one reservoir sample — use HRMerge
+    // (a Bernoulli sample is conditionally a simple random sample, §3.2).
+    if s1.kind() == SampleKind::Reservoir || s2.kind() == SampleKind::Reservoir {
+        return hr_merge_reservoirs(s1, s2, rng);
+    }
+
+    // Fig. 6 lines 8–16: both Bernoulli.
+    let (q1, q2) = match (s1.kind(), s2.kind()) {
+        (SampleKind::Bernoulli { q: a, .. }, SampleKind::Bernoulli { q: b, .. }) => (a, b),
+        _ => unreachable!("all other kinds handled above"),
+    };
+    let policy = s1.policy();
+    let n_f = policy.n_f();
+    let q = q_approx(combined_n, p_bound, n_f).min(q1).min(q2);
+    let mut h1 = s1.into_histogram();
+    let mut h2 = s2.into_histogram();
+    // Equalize both samples to rate q: Bern(q/q_i) of a Bern(q_i) sample is
+    // a Bern(q) sample (§3.1).
+    purge_bernoulli(&mut h1, q / q1, rng);
+    purge_bernoulli(&mut h2, q / q2, rng);
+    if h1.joined_slots(&h2) <= n_f && h1.total() + h2.total() <= n_f {
+        h1.join(h2);
+        return Ok(Sample::from_parts(
+            h1,
+            SampleKind::Bernoulli { q, p_bound },
+            combined_n,
+            policy,
+        ));
+    }
+    // Low-probability fallback (lines 14–16): reservoir of size n_F over
+    // the concatenation of the two equalized samples. A simple random
+    // subsample of a Bernoulli sample is uniform (§3.2).
+    let hist = reservoir_of_concatenation(h1, h2, n_f, rng);
+    Ok(Sample::from_parts(hist, SampleKind::Reservoir, combined_n, policy))
+}
+
+/// `HRMerge` (Fig. 8): merge two samples produced by Algorithm HR over
+/// disjoint partitions.
+pub fn hr_merge<T: SampleValue, R: Rng + ?Sized>(
+    s1: Sample<T>,
+    s2: Sample<T>,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    check_mergeable(&s1, &s2)?;
+    // Fig. 8 lines 1–4: at least one exhaustive sample (stream the smaller
+    // when both are).
+    if s1.kind() == SampleKind::Exhaustive || s2.kind() == SampleKind::Exhaustive {
+        let (exhaustive, other) = match (s1.kind(), s2.kind()) {
+            (SampleKind::Exhaustive, SampleKind::Exhaustive) => {
+                if s1.size() <= s2.size() {
+                    (s1, s2)
+                } else {
+                    (s2, s1)
+                }
+            }
+            (SampleKind::Exhaustive, _) => (s1, s2),
+            _ => (s2, s1),
+        };
+        return hr_merge_with_exhaustive(exhaustive, other, rng);
+    }
+    hr_merge_reservoirs(s1, s2, rng)
+}
+
+/// Re-stream an exhaustive sample's values into Algorithm HR resumed from
+/// `other` (which must be exhaustive or reservoir; a Bernoulli sample is
+/// first reinterpreted as a conditional simple random sample, §3.2).
+fn hr_merge_with_exhaustive<T: SampleValue, R: Rng + ?Sized>(
+    exhaustive: Sample<T>,
+    other: Sample<T>,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    let other = match other.kind() {
+        SampleKind::Bernoulli { .. } => {
+            // Conditioned on its realized size, a Bernoulli sample is a
+            // simple random sample of its parent.
+            let policy = other.policy();
+            let parent = other.parent_size();
+            Sample::from_parts(other.into_histogram(), SampleKind::Reservoir, parent, policy)
+        }
+        _ => other,
+    };
+    let hist = exhaustive.into_histogram();
+    let mut hr = HybridReservoir::resume(other, rng);
+    stream_into(&mut hr, &hist, rng);
+    Ok(hr.finalize(rng))
+}
+
+/// Fig. 8 lines 5–12: merge two simple random samples via the
+/// hypergeometric split of Theorem 1. Bernoulli inputs are treated as
+/// conditional simple random samples of their realized sizes.
+fn hr_merge_reservoirs<T: SampleValue, R: Rng + ?Sized>(
+    s1: Sample<T>,
+    s2: Sample<T>,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    let policy = s1.policy();
+    let (n1, n2) = (s1.parent_size(), s2.parent_size());
+    // Degenerate cases: an empty *partition* contributes nothing.
+    if n1 == 0 {
+        return Ok(s2);
+    }
+    if n2 == 0 {
+        return Ok(s1);
+    }
+    let k = s1.size().min(s2.size());
+    let mut h1 = s1.into_histogram();
+    let mut h2 = s2.into_histogram();
+    // Fig. 8 lines 6–10: draw the split from Eq. (2) and subsample each
+    // side to its share.
+    let dist = Hypergeometric::new(n1, n2, k);
+    let l = dist.sample(rng);
+    purge_reservoir(&mut h1, l, rng);
+    purge_reservoir(&mut h2, k - l, rng);
+    h1.join(h2);
+    debug_assert_eq!(h1.total(), k);
+    Ok(Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy))
+}
+
+/// Reservoir sample of size `n_f` over the concatenation `h1 ++ h2`
+/// (the fallback of Fig. 6, lines 15–16): first `purgeReservoir(h1, n_f)`,
+/// then continue the same reservoir process over `h2`'s values.
+fn reservoir_of_concatenation<T: SampleValue, R: Rng + ?Sized>(
+    h1: CompactHistogram<T>,
+    h2: CompactHistogram<T>,
+    n_f: u64,
+    rng: &mut R,
+) -> CompactHistogram<T> {
+    let n1 = h1.total();
+    let mut h1 = h1;
+    purge_reservoir(&mut h1, n_f, rng);
+    let mut bag = h1.into_bag();
+    let mut t = n1;
+    let mut gen = ReservoirSkip::new(n_f, rng);
+    let mut next = if bag.len() as u64 == n_f && t >= n_f {
+        t + gen.skip(t, rng)
+    } else {
+        0 // still filling; set once full
+    };
+    for (v, c) in h2.iter() {
+        for _ in 0..c {
+            t += 1;
+            if (bag.len() as u64) < n_f {
+                bag.push(v.clone());
+                if bag.len() as u64 == n_f {
+                    next = t + gen.skip(t.max(n_f), rng);
+                }
+            } else if t == next {
+                let victim = rng.random_range(0..bag.len());
+                bag[victim] = v.clone();
+                next = t + gen.skip(t, rng);
+            }
+        }
+    }
+    CompactHistogram::from_bag(bag)
+}
+
+/// Merge two partition samples, choosing `HBMerge` or `HRMerge` from their
+/// provenance exactly as the paper's dispatch does.
+///
+/// ```
+/// use swh_core::{merge, FootprintPolicy, HybridReservoir, Sampler};
+/// use swh_rand::seeded_rng;
+///
+/// let mut rng = seeded_rng(1);
+/// let policy = FootprintPolicy::with_value_budget(256);
+/// let monday = HybridReservoir::new(policy).sample_batch(0..50_000u64, &mut rng);
+/// let tuesday = HybridReservoir::new(policy).sample_batch(50_000..80_000u64, &mut rng);
+/// let both = merge(monday, tuesday, 1e-3, &mut rng).unwrap();
+/// assert_eq!(both.parent_size(), 80_000);   // uniform over the union
+/// assert!(both.size() <= 256);              // still within the bound
+/// ```
+pub fn merge<T: SampleValue, R: Rng + ?Sized>(
+    s1: Sample<T>,
+    s2: Sample<T>,
+    p_bound: f64,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    check_mergeable(&s1, &s2)?;
+    match (s1.kind(), s2.kind()) {
+        (SampleKind::Reservoir, _) | (_, SampleKind::Reservoir) => {
+            if s1.kind() == SampleKind::Exhaustive || s2.kind() == SampleKind::Exhaustive {
+                hr_merge(s1, s2, rng)
+            } else {
+                hr_merge_reservoirs(s1, s2, rng)
+            }
+        }
+        _ => hb_merge(s1, s2, p_bound, rng),
+    }
+}
+
+/// Serial pairwise merge of any number of partition samples (the paper's
+/// experimental setup executes "a sequence of pairwise merges (serially) to
+/// create a uniform sample of the entire data set").
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn merge_all<T: SampleValue, R: Rng + ?Sized>(
+    samples: Vec<Sample<T>>,
+    p_bound: f64,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    assert!(!samples.is_empty(), "merge_all needs at least one sample");
+    let mut iter = samples.into_iter();
+    let mut acc = iter.next().unwrap();
+    for s in iter {
+        acc = merge(acc, s, p_bound, rng)?;
+    }
+    Ok(acc)
+}
+
+/// Balanced binary merge tree: merges halves recursively instead of folding
+/// left-to-right. Produces the same uniform distribution as [`merge_all`];
+/// with equal-size partitions it also keeps every HB intermediate at a
+/// higher Bernoulli rate (fewer rate reductions per element) and is the
+/// shape the paper's §4.2 alias-table optimization targets.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn merge_tree<T: SampleValue, R: Rng + ?Sized>(
+    mut samples: Vec<Sample<T>>,
+    p_bound: f64,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    assert!(!samples.is_empty(), "merge_tree needs at least one sample");
+    while samples.len() > 1 {
+        let mut next = Vec::with_capacity(samples.len().div_ceil(2));
+        let mut iter = samples.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(merge(a, b, p_bound, rng)?),
+                None => next.push(a),
+            }
+        }
+        samples = next;
+    }
+    Ok(samples.pop().expect("non-empty by construction"))
+}
+
+/// Direct `m`-way generalization of `HRMerge` (Fig. 8 / Theorem 1): the
+/// merged sample size is `k = min_i |S_i|`, and the per-partition shares
+/// `(L_1, ..., L_m)` are drawn from the **multivariate** hypergeometric
+/// distribution over the parent sizes, after which each sample is
+/// subsampled to its share and all are joined.
+///
+/// Every input is treated as a simple random sample of its realized size
+/// (exhaustive samples *are* simple random samples of size `|D_i|`;
+/// Bernoulli samples are conditionally so, §3.2). Note that one tiny
+/// partition therefore caps `k` — chained [`merge_all`] re-streams small
+/// exhaustive partitions instead and usually yields larger samples.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
+    samples: Vec<Sample<T>>,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    assert!(!samples.is_empty(), "hr_merge_multiway needs at least one sample");
+    for w in samples.windows(2) {
+        if w[0].policy() != w[1].policy() {
+            return Err(MergeError::PolicyMismatch);
+        }
+    }
+    if samples
+        .iter()
+        .any(|s| matches!(s.kind(), SampleKind::Concise { .. }))
+    {
+        return Err(MergeError::ConciseNotMergeable);
+    }
+    if samples.len() == 1 {
+        return Ok(samples.into_iter().next().unwrap());
+    }
+    let policy = samples[0].policy();
+    // Drop empty partitions (they contribute nothing, and zero-size
+    // samples of non-empty parents would needlessly force k = 0).
+    let (samples, empties): (Vec<_>, Vec<_>) =
+        samples.into_iter().partition(|s| s.parent_size() > 0);
+    let empty_parent: u64 = empties.iter().map(Sample::parent_size).sum();
+    debug_assert_eq!(empty_parent, 0);
+    if samples.is_empty() {
+        return Ok(Sample::from_parts(
+            CompactHistogram::new(),
+            SampleKind::Reservoir,
+            0,
+            policy,
+        ));
+    }
+    let k = samples.iter().map(Sample::size).min().unwrap_or(0);
+    let parents: Vec<u64> = samples.iter().map(Sample::parent_size).collect();
+    let total_parent: u64 = parents.iter().sum();
+    let shares = swh_rand::hypergeometric::sample_multivariate(rng, &parents, k);
+    let mut merged = CompactHistogram::new();
+    for (s, share) in samples.into_iter().zip(shares) {
+        let mut h = s.into_histogram();
+        purge_reservoir(&mut h, share, rng);
+        merged.join(h);
+    }
+    debug_assert_eq!(merged.total(), k);
+    Ok(Sample::from_parts(merged, SampleKind::Reservoir, total_parent, policy))
+}
+
+/// Cache of alias tables keyed by `(|D1|, |D2|, k)` for the repeated
+/// symmetric merges of §4.2: "the alias method can be used to increase
+/// generation efficiency" when "merges are performed in a symmetric
+/// pairwise fashion", because a balanced merge tree over equal partitions
+/// reuses one hypergeometric distribution per level.
+#[derive(Debug, Default)]
+pub struct HypergeometricCache {
+    tables: crate::fxhash::FxHashMap<(u64, u64, u64), swh_rand::alias::AliasTable>,
+}
+
+impl HypergeometricCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct distributions cached.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Draw the left share `L` for a merge of simple random samples over
+    /// parents of sizes `d1`, `d2` with merged size `k`, building (and
+    /// caching) the alias table on first use.
+    pub fn split<R: Rng + ?Sized>(&mut self, d1: u64, d2: u64, k: u64, rng: &mut R) -> u64 {
+        let table = self
+            .tables
+            .entry((d1, d2, k))
+            .or_insert_with(|| Hypergeometric::new(d1, d2, k).alias_table());
+        table.sample(rng)
+    }
+}
+
+/// `HRMerge` for two simple-random/Bernoulli samples with the split drawn
+/// through a [`HypergeometricCache`] — the fast path for symmetric merge
+/// trees. Exhaustive inputs are rejected (use [`hr_merge`], which
+/// re-streams them).
+pub fn hr_merge_cached<T: SampleValue, R: Rng + ?Sized>(
+    s1: Sample<T>,
+    s2: Sample<T>,
+    cache: &mut HypergeometricCache,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    check_mergeable(&s1, &s2)?;
+    let policy = s1.policy();
+    let (n1, n2) = (s1.parent_size(), s2.parent_size());
+    if n1 == 0 {
+        return Ok(s2);
+    }
+    if n2 == 0 {
+        return Ok(s1);
+    }
+    let k = s1.size().min(s2.size());
+    let l = cache.split(n1, n2, k, rng);
+    let mut h1 = s1.into_histogram();
+    let mut h2 = s2.into_histogram();
+    purge_reservoir(&mut h1, l, rng);
+    purge_reservoir(&mut h2, k - l, rng);
+    h1.join(h2);
+    Ok(Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy))
+}
+
+/// Balanced merge tree over simple random samples using a shared
+/// [`HypergeometricCache`]; with `2^j` equal partitions, only `j` alias
+/// tables are ever built.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn hr_merge_tree_cached<T: SampleValue, R: Rng + ?Sized>(
+    mut samples: Vec<Sample<T>>,
+    cache: &mut HypergeometricCache,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    assert!(!samples.is_empty(), "merge tree needs at least one sample");
+    while samples.len() > 1 {
+        let mut next = Vec::with_capacity(samples.len().div_ceil(2));
+        let mut iter = samples.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(hr_merge_cached(a, b, cache, rng)?),
+                None => next.push(a),
+            }
+        }
+        samples = next;
+    }
+    Ok(samples.pop().expect("non-empty by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::FootprintPolicy;
+    use swh_rand::seeded_rng;
+    use swh_rand::stats::{chi_square_p_value, chi_square_statistic};
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    fn reservoir_sample(
+        range: std::ops::Range<u64>,
+        n_f: u64,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Sample<u64> {
+        HybridReservoir::new(policy(n_f)).sample_batch(range, rng)
+    }
+
+    fn bernoulli_sample(
+        range: std::ops::Range<u64>,
+        n_f: u64,
+        p: f64,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Sample<u64> {
+        let n = range.end - range.start;
+        HybridBernoulli::with_p_bound(policy(n_f), n, p).sample_batch(range, rng)
+    }
+
+    #[test]
+    fn hr_merge_size_is_min_of_inputs() {
+        let mut rng = seeded_rng(1);
+        let s1 = reservoir_sample(0..10_000, 64, &mut rng);
+        let s2 = reservoir_sample(10_000..50_000, 64, &mut rng);
+        assert_eq!(s1.size(), 64);
+        assert_eq!(s2.size(), 64);
+        let m = hr_merge(s1, s2, &mut rng).unwrap();
+        assert_eq!(m.size(), 64);
+        assert_eq!(m.parent_size(), 50_000);
+        assert_eq!(m.kind(), SampleKind::Reservoir);
+    }
+
+    #[test]
+    fn hr_merge_is_uniform_over_union() {
+        // Merge reservoir samples of two unequal partitions; every element
+        // of the union must be included with probability k/(N1+N2).
+        let mut rng = seeded_rng(2);
+        let (n1, n2, n_f, trials) = (30u64, 90u64, 12u64, 20_000usize);
+        let mut incl = vec![0u64; (n1 + n2) as usize];
+        for _ in 0..trials {
+            let s1 = reservoir_sample(0..n1, n_f, &mut rng);
+            let s2 = reservoir_sample(n1..n1 + n2, n_f, &mut rng);
+            let m = hr_merge(s1, s2, &mut rng).unwrap();
+            assert_eq!(m.size(), n_f);
+            for (v, c) in m.histogram().iter() {
+                assert_eq!(c, 1);
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * n_f as f64 / (n1 + n2) as f64;
+        let exp: Vec<f64> = vec![expect; (n1 + n2) as usize];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, (n1 + n2 - 1) as f64);
+        assert!(pv > 1e-4, "HR merge not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn hb_merge_bernoulli_pair_is_uniform() {
+        let mut rng = seeded_rng(3);
+        let (n1, n2, n_f, trials) = (60u64, 60u64, 16u64, 20_000usize);
+        let mut incl = vec![0u64; (n1 + n2) as usize];
+        let mut total = 0u64;
+        for _ in 0..trials {
+            let s1 = bernoulli_sample(0..n1, n_f, 1e-3, &mut rng);
+            let s2 = bernoulli_sample(n1..n1 + n2, n_f, 1e-3, &mut rng);
+            let m = hb_merge(s1, s2, 1e-3, &mut rng).unwrap();
+            assert!(m.size() <= n_f);
+            for (v, c) in m.histogram().iter() {
+                assert_eq!(c, 1);
+                incl[*v as usize] += 1;
+                total += 1;
+            }
+        }
+        let expect = total as f64 / (n1 + n2) as f64;
+        let exp: Vec<f64> = vec![expect; (n1 + n2) as usize];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, (n1 + n2 - 1) as f64);
+        assert!(pv > 1e-4, "HB merge not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn hb_merge_exhaustive_pair_stays_exhaustive_when_small() {
+        let mut rng = seeded_rng(4);
+        let s1 = bernoulli_sample(0..10, 64, 1e-3, &mut rng);
+        let s2 = bernoulli_sample(10..20, 64, 1e-3, &mut rng);
+        assert_eq!(s1.kind(), SampleKind::Exhaustive);
+        assert_eq!(s2.kind(), SampleKind::Exhaustive);
+        let m = hb_merge(s1, s2, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.kind(), SampleKind::Exhaustive);
+        assert_eq!(m.size(), 20);
+        assert_eq!(m.parent_size(), 20);
+    }
+
+    #[test]
+    fn hb_merge_exhaustive_with_bernoulli() {
+        let mut rng = seeded_rng(5);
+        // Small exhaustive partition + large Bernoulli partition.
+        let s1 = bernoulli_sample(0..20, 128, 1e-3, &mut rng);
+        assert_eq!(s1.kind(), SampleKind::Exhaustive);
+        let s2 = bernoulli_sample(1_000..60_000, 128, 1e-3, &mut rng);
+        assert!(matches!(s2.kind(), SampleKind::Bernoulli { .. }));
+        let m = hb_merge(s1, s2, 1e-3, &mut rng).unwrap();
+        assert!(m.size() <= 128);
+        assert_eq!(m.parent_size(), 20 + 59_000);
+        assert!(matches!(m.kind(), SampleKind::Bernoulli { .. } | SampleKind::Reservoir));
+    }
+
+    /// Plain `Bern(q)` sample with the given footprint policy — clean input
+    /// for exercising the merge fallback without HB's phase machinery.
+    fn plain_bernoulli(
+        range: std::ops::Range<u64>,
+        q: f64,
+        n_f: u64,
+        rng: &mut rand::rngs::SmallRng,
+    ) -> Sample<u64> {
+        let s = crate::bernoulli::BernoulliSampler::new(q, policy(n_f), rng)
+            .sample_batch(range, rng);
+        // Rebrand through from_parts_unchecked so the policy check in merge
+        // sees matching budgets (plain Bernoulli samples can exceed n_F; the
+        // merge purges them down immediately).
+        s
+    }
+
+    #[test]
+    fn hb_merge_fallback_to_reservoir_bounds_size() {
+        // A loose target p makes the merged Bernoulli rate aggressive, so
+        // the joined sample frequently exceeds n_F, exercising the
+        // low-probability fallback (Fig. 6 lines 14–16).
+        let mut rng = seeded_rng(6);
+        let n_f = 32u64;
+        let mut saw_fallback = false;
+        for _ in 0..200 {
+            let s1 = plain_bernoulli(0..500, 0.2, n_f, &mut rng);
+            let s2 = plain_bernoulli(500..1_000, 0.2, n_f, &mut rng);
+            let m = hb_merge(s1, s2, 0.4, &mut rng).unwrap();
+            assert!(m.size() <= n_f, "size {} exceeds bound", m.size());
+            if m.kind() == SampleKind::Reservoir {
+                saw_fallback = true;
+                assert_eq!(m.size(), n_f);
+            }
+        }
+        assert!(saw_fallback, "expected the reservoir fallback to fire at p=0.4");
+    }
+
+    #[test]
+    fn hb_merge_fallback_is_uniform() {
+        // Uniformity must survive the fallback path. Inputs are clean
+        // Bern(q) samples so any bias would come from the merge itself.
+        let mut rng = seeded_rng(7);
+        let (n, n_f, trials) = (80u64, 16u64, 20_000usize);
+        let mut incl = vec![0u64; n as usize];
+        let mut total = 0u64;
+        let mut fallbacks = 0usize;
+        for _ in 0..trials {
+            let s1 = plain_bernoulli(0..n / 2, 0.5, n_f, &mut rng);
+            let s2 = plain_bernoulli(n / 2..n, 0.5, n_f, &mut rng);
+            let m = hb_merge(s1, s2, 0.4, &mut rng).unwrap();
+            if m.kind() == SampleKind::Reservoir {
+                fallbacks += 1;
+            }
+            for (v, c) in m.histogram().iter() {
+                assert_eq!(c, 1);
+                incl[*v as usize] += 1;
+                total += 1;
+            }
+        }
+        assert!(fallbacks > trials / 20, "fallback too rare to test ({fallbacks})");
+        let expect = total as f64 / n as f64;
+        let exp: Vec<f64> = vec![expect; n as usize];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, (n - 1) as f64);
+        assert!(pv > 1e-4, "fallback not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn hr_merge_exhaustive_with_reservoir() {
+        let mut rng = seeded_rng(8);
+        let s1 = reservoir_sample(0..20, 64, &mut rng);
+        assert_eq!(s1.kind(), SampleKind::Exhaustive);
+        let s2 = reservoir_sample(20..10_000, 64, &mut rng);
+        assert_eq!(s2.kind(), SampleKind::Reservoir);
+        let m = hr_merge(s1, s2, &mut rng).unwrap();
+        assert_eq!(m.size(), 64);
+        assert_eq!(m.parent_size(), 10_000);
+    }
+
+    #[test]
+    fn merge_dispatch_mixed_bernoulli_reservoir() {
+        let mut rng = seeded_rng(9);
+        let s1 = bernoulli_sample(0..50_000, 128, 1e-3, &mut rng);
+        let s2 = reservoir_sample(50_000..100_000, 128, &mut rng);
+        let m = merge(s1, s2, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.kind(), SampleKind::Reservoir);
+        assert!(m.size() <= 128);
+        assert_eq!(m.parent_size(), 100_000);
+    }
+
+    #[test]
+    fn merge_all_chains_many_partitions() {
+        let mut rng = seeded_rng(10);
+        let parts: Vec<Sample<u64>> = (0..16u64)
+            .map(|p| reservoir_sample(p * 1_000..(p + 1) * 1_000, 64, &mut rng))
+            .collect();
+        let m = merge_all(parts, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.parent_size(), 16_000);
+        assert_eq!(m.size(), 64);
+    }
+
+    #[test]
+    fn merge_all_uniform_across_four_partitions() {
+        let mut rng = seeded_rng(11);
+        let (n_parts, per, n_f, trials) = (4u64, 25u64, 10u64, 15_000usize);
+        let n = n_parts * per;
+        let mut incl = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let parts: Vec<Sample<u64>> = (0..n_parts)
+                .map(|p| reservoir_sample(p * per..(p + 1) * per, n_f, &mut rng))
+                .collect();
+            let m = merge_all(parts, 1e-3, &mut rng).unwrap();
+            for (v, _) in m.histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * n_f as f64 / n as f64;
+        let exp: Vec<f64> = vec![expect; n as usize];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, (n - 1) as f64);
+        assert!(pv > 1e-4, "chained merge not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn merge_rejects_concise() {
+        let mut rng = seeded_rng(12);
+        let c = Sample::from_parts_unchecked(
+            CompactHistogram::from_bag(vec![1u64]),
+            SampleKind::Concise { q: 0.5 },
+            100,
+            policy(8),
+        );
+        let s = reservoir_sample(0..100, 8, &mut rng);
+        assert_eq!(merge(c, s, 1e-3, &mut rng).unwrap_err(), MergeError::ConciseNotMergeable);
+    }
+
+    #[test]
+    fn merge_rejects_policy_mismatch() {
+        let mut rng = seeded_rng(13);
+        let s1 = reservoir_sample(0..100, 8, &mut rng);
+        let s2 = reservoir_sample(100..200, 16, &mut rng);
+        assert_eq!(merge(s1, s2, 1e-3, &mut rng).unwrap_err(), MergeError::PolicyMismatch);
+    }
+
+    #[test]
+    fn merge_empty_reservoir_sample_with_exhaustive_does_not_panic() {
+        // Regression: a size-0 sample with a NON-empty parent (possible
+        // when a tiny partition's Bernoulli draw selects nothing and an
+        // HR merge pins k at 0) used to panic when later merged with an
+        // exhaustive sample (empty-bag victim selection).
+        let mut rng = seeded_rng(30);
+        let empty_nonempty_parent = Sample::from_parts(
+            CompactHistogram::<u64>::new(),
+            SampleKind::Reservoir,
+            500,
+            policy(8),
+        );
+        let exhaustive = reservoir_sample(0..6, 8, &mut rng);
+        assert_eq!(exhaustive.kind(), SampleKind::Exhaustive);
+        let m = merge(empty_nonempty_parent.clone(), exhaustive.clone(), 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(m.parent_size(), 506);
+        // The degenerate capacity-0 reservoir stays empty.
+        assert_eq!(m.size(), 0);
+        // Symmetric order too.
+        let m = merge(exhaustive, empty_nonempty_parent, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.parent_size(), 506);
+    }
+
+    #[test]
+    fn merge_with_empty_partition_is_identity() {
+        let mut rng = seeded_rng(14);
+        let empty = Sample::from_parts(
+            CompactHistogram::<u64>::new(),
+            SampleKind::Reservoir,
+            0,
+            policy(8),
+        );
+        let s = reservoir_sample(0..1_000, 8, &mut rng);
+        let expected_size = s.size();
+        let m = hr_merge(empty, s, &mut rng).unwrap();
+        assert_eq!(m.size(), expected_size);
+        assert_eq!(m.parent_size(), 1_000);
+    }
+
+    #[test]
+    fn merge_tree_matches_merge_all_semantics() {
+        let mut rng = seeded_rng(20);
+        let parts: Vec<Sample<u64>> = (0..16u64)
+            .map(|p| reservoir_sample(p * 1_000..(p + 1) * 1_000, 64, &mut rng))
+            .collect();
+        let m = merge_tree(parts, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.parent_size(), 16_000);
+        assert_eq!(m.size(), 64);
+        assert_eq!(m.kind(), SampleKind::Reservoir);
+    }
+
+    #[test]
+    fn merge_tree_odd_count() {
+        let mut rng = seeded_rng(21);
+        let parts: Vec<Sample<u64>> = (0..7u64)
+            .map(|p| reservoir_sample(p * 500..(p + 1) * 500, 32, &mut rng))
+            .collect();
+        let m = merge_tree(parts, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.parent_size(), 3_500);
+    }
+
+    #[test]
+    fn multiway_merge_size_and_domain() {
+        let mut rng = seeded_rng(22);
+        let parts: Vec<Sample<u64>> = (0..8u64)
+            .map(|p| reservoir_sample(p * 2_000..(p + 1) * 2_000, 48, &mut rng))
+            .collect();
+        let m = hr_merge_multiway(parts, &mut rng).unwrap();
+        assert_eq!(m.size(), 48);
+        assert_eq!(m.parent_size(), 16_000);
+        for (v, _) in m.histogram().iter() {
+            assert!(*v < 16_000);
+        }
+    }
+
+    #[test]
+    fn multiway_merge_is_uniform() {
+        // 3 partitions of 20 elements, samples of 8, merged directly:
+        // every element included with probability 8/60.
+        let mut rng = seeded_rng(23);
+        let trials = 20_000usize;
+        let mut incl = vec![0u64; 60];
+        for _ in 0..trials {
+            let parts: Vec<Sample<u64>> = (0..3u64)
+                .map(|p| reservoir_sample(p * 20..(p + 1) * 20, 8, &mut rng))
+                .collect();
+            let m = hr_merge_multiway(parts, &mut rng).unwrap();
+            assert_eq!(m.size(), 8);
+            for (v, _) in m.histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * 8.0 / 60.0;
+        let exp = vec![expect; 60];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, 59.0);
+        assert!(pv > 1e-4, "multiway not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn multiway_single_sample_passthrough() {
+        let mut rng = seeded_rng(24);
+        let s = reservoir_sample(0..1_000, 16, &mut rng);
+        let expected = s.size();
+        let m = hr_merge_multiway(vec![s], &mut rng).unwrap();
+        assert_eq!(m.size(), expected);
+    }
+
+    #[test]
+    fn cached_merge_tree_reuses_tables_and_is_uniform() {
+        let mut rng = seeded_rng(25);
+        // 8 equal partitions -> balanced tree has 3 levels -> exactly 3
+        // distinct (d1, d2, k) triples.
+        let trials = 15_000usize;
+        let mut incl = vec![0u64; 80];
+        let mut cache = HypergeometricCache::new();
+        for _ in 0..trials {
+            let parts: Vec<Sample<u64>> = (0..8u64)
+                .map(|p| reservoir_sample(p * 10..(p + 1) * 10, 4, &mut rng))
+                .collect();
+            let m = hr_merge_tree_cached(parts, &mut cache, &mut rng).unwrap();
+            assert_eq!(m.size(), 4);
+            for (v, _) in m.histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        assert_eq!(cache.len(), 3, "one alias table per tree level");
+        let expect = trials as f64 * 4.0 / 80.0;
+        let exp = vec![expect; 80];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, 79.0);
+        assert!(pv > 1e-4, "cached tree not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn multiway_rejects_concise() {
+        let mut rng = seeded_rng(26);
+        let c = Sample::from_parts_unchecked(
+            CompactHistogram::from_bag(vec![1u64]),
+            SampleKind::Concise { q: 0.5 },
+            100,
+            policy(8),
+        );
+        let s = reservoir_sample(0..100, 8, &mut rng);
+        assert_eq!(
+            hr_merge_multiway(vec![c, s], &mut rng).unwrap_err(),
+            MergeError::ConciseNotMergeable
+        );
+    }
+
+    #[test]
+    fn hypergeometric_split_respects_sizes() {
+        // Repeated HR merges: left share L must average k·N1/(N1+N2).
+        let mut rng = seeded_rng(15);
+        let (n1, n2, n_f) = (1_000u64, 3_000u64, 32u64);
+        let trials = 2_000;
+        let mut left_total = 0u64;
+        for _ in 0..trials {
+            let s1 = reservoir_sample(0..n1, n_f, &mut rng);
+            let s2 = reservoir_sample(n1..n1 + n2, n_f, &mut rng);
+            let m = hr_merge(s1, s2, &mut rng).unwrap();
+            left_total += m
+                .histogram()
+                .iter()
+                .filter(|(v, _)| **v < n1)
+                .map(|(_, c)| c)
+                .sum::<u64>();
+        }
+        let mean_left = left_total as f64 / trials as f64;
+        let expect = n_f as f64 * n1 as f64 / (n1 + n2) as f64; // 8
+        assert!((mean_left - expect).abs() < 0.3, "mean {mean_left} vs {expect}");
+    }
+}

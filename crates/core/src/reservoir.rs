@@ -1,0 +1,193 @@
+//! Classic reservoir sampling (§3.2): maintain a simple random sample
+//! (without replacement) of fixed size `k` over a stream of unknown length.
+//!
+//! The first `k` arrivals fill the reservoir; afterwards the position of the
+//! next inclusion is generated directly with Vitter's skip function
+//! ([`swh_rand::skip::ReservoirSkip`]), and each inclusion replaces a
+//! uniformly chosen victim. The footprint is bounded a priori, but the
+//! sample is stored as an expanded bag, so there is no compactness benefit —
+//! Algorithm HR adds that.
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::sample::{Sample, SampleKind};
+use crate::sampler::Sampler;
+use crate::value::SampleValue;
+use rand::Rng;
+use swh_rand::skip::{ReservoirSkip, SkipMode};
+
+/// Streaming reservoir sampler of capacity `k`.
+#[derive(Debug, Clone)]
+pub struct ReservoirSampler<T: SampleValue> {
+    k: u64,
+    bag: Vec<T>,
+    observed: u64,
+    /// 1-based index of the next element to include (valid once full).
+    next_include: u64,
+    skip_gen: ReservoirSkip,
+    policy: FootprintPolicy,
+}
+
+impl<T: SampleValue> ReservoirSampler<T> {
+    /// Create a reservoir of capacity `k = policy.n_f()` with the default
+    /// skip strategy.
+    pub fn new<R: Rng + ?Sized>(policy: FootprintPolicy, rng: &mut R) -> Self {
+        Self::with_capacity_and_mode(policy.n_f(), policy, SkipMode::Auto, rng)
+    }
+
+    /// Create a reservoir with explicit capacity and skip strategy (the
+    /// ablation benchmarks compare [`SkipMode`]s).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_capacity_and_mode<R: Rng + ?Sized>(
+        k: u64,
+        policy: FootprintPolicy,
+        mode: SkipMode,
+        rng: &mut R,
+    ) -> Self {
+        assert!(k > 0, "reservoir capacity must be positive");
+        Self {
+            k,
+            bag: Vec::with_capacity(k.min(1 << 20) as usize),
+            observed: 0,
+            next_include: 0,
+            skip_gen: ReservoirSkip::with_mode(k, mode, rng),
+            policy,
+        }
+    }
+
+    /// Reservoir capacity `k`.
+    pub fn capacity(&self) -> u64 {
+        self.k
+    }
+}
+
+impl<T: SampleValue> Sampler<T> for ReservoirSampler<T> {
+    fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.observed += 1;
+        if (self.bag.len() as u64) < self.k {
+            // Filling phase: include deterministically.
+            self.bag.push(value);
+            if self.bag.len() as u64 == self.k {
+                self.next_include = self.observed + self.skip_gen.skip(self.observed, rng);
+            }
+            return;
+        }
+        if self.observed == self.next_include {
+            let victim = rng.random_range(0..self.bag.len());
+            self.bag[victim] = value;
+            self.next_include = self.observed + self.skip_gen.skip(self.observed, rng);
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn current_size(&self) -> u64 {
+        self.bag.len() as u64
+    }
+
+    fn finalize<R2: Rng + ?Sized>(self, _rng: &mut R2) -> Sample<T> {
+        let kind = if self.observed <= self.k {
+            // The reservoir holds the entire stream.
+            SampleKind::Exhaustive
+        } else {
+            SampleKind::Reservoir
+        };
+        Sample::from_parts(
+            CompactHistogram::from_bag(self.bag),
+            kind,
+            self.observed,
+            self.policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+    use swh_rand::stats::{chi_square_p_value, chi_square_statistic};
+
+    fn policy(k: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(k)
+    }
+
+    #[test]
+    fn short_stream_is_exhaustive() {
+        let mut rng = seeded_rng(1);
+        let s = ReservoirSampler::new(policy(100), &mut rng).sample_batch(0..50u64, &mut rng);
+        assert_eq!(s.size(), 50);
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+    }
+
+    #[test]
+    fn long_stream_is_exact_capacity() {
+        let mut rng = seeded_rng(2);
+        let s = ReservoirSampler::new(policy(64), &mut rng).sample_batch(0..10_000u64, &mut rng);
+        assert_eq!(s.size(), 64);
+        assert_eq!(s.kind(), SampleKind::Reservoir);
+        assert_eq!(s.parent_size(), 10_000);
+    }
+
+    #[test]
+    fn every_element_equally_likely() {
+        // Inclusion probability must be k/n for every element, in
+        // particular identical for early and late arrivals.
+        let mut rng = seeded_rng(3);
+        let (n, k, trials) = (40u64, 8u64, 30_000usize);
+        let mut incl = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let s = ReservoirSampler::with_capacity_and_mode(
+                k,
+                policy(k),
+                SkipMode::Auto,
+                &mut rng,
+            )
+            .sample_batch(0..n, &mut rng);
+            for (v, _) in s.histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * k as f64 / n as f64;
+        let exp: Vec<f64> = vec![expect; n as usize];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, (n - 1) as f64);
+        assert!(pv > 1e-4, "inclusion not uniform: chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn all_skip_modes_uniform() {
+        let mut rng = seeded_rng(4);
+        let (n, k, trials) = (30u64, 5u64, 20_000usize);
+        for mode in [SkipMode::CoinFlip, SkipMode::Sequential, SkipMode::Rejection] {
+            let mut incl = vec![0u64; n as usize];
+            for _ in 0..trials {
+                let s = ReservoirSampler::with_capacity_and_mode(k, policy(k), mode, &mut rng)
+                    .sample_batch(0..n, &mut rng);
+                for (v, _) in s.histogram().iter() {
+                    incl[*v as usize] += 1;
+                }
+            }
+            let expect = trials as f64 * k as f64 / n as f64;
+            let exp: Vec<f64> = vec![expect; n as usize];
+            let stat = chi_square_statistic(&incl, &exp);
+            let pv = chi_square_p_value(stat, (n - 1) as f64);
+            assert!(pv > 1e-4, "{mode:?}: chi2={stat:.1} p={pv:.2e}");
+        }
+    }
+
+    #[test]
+    fn duplicates_preserved_as_counts() {
+        let mut rng = seeded_rng(5);
+        // Stream of 1000 copies of the same value.
+        let s = ReservoirSampler::new(policy(10), &mut rng)
+            .sample_batch(std::iter::repeat_n(7u64, 1000), &mut rng);
+        assert_eq!(s.size(), 10);
+        assert_eq!(s.distinct(), 1);
+        assert_eq!(s.histogram().count(&7), 10);
+        assert_eq!(s.slots(), 2);
+    }
+}

@@ -1,0 +1,66 @@
+//! The common streaming-sampler interface.
+//!
+//! Every scheme in the paper processes one arriving data element at a time
+//! ("Algorithm HB … is executed for each data element upon arrival") and is
+//! finalized once the partition ends, converting the working state back to
+//! compact histogram form.
+
+use crate::sample::Sample;
+use crate::value::SampleValue;
+use rand::Rng;
+
+/// A sequential sampling scheme over a stream or batch of values.
+///
+/// ```
+/// use swh_core::{FootprintPolicy, HybridReservoir, Sampler};
+/// use swh_rand::seeded_rng;
+///
+/// let mut rng = seeded_rng(9);
+/// let mut sampler = HybridReservoir::new(FootprintPolicy::with_value_budget(32));
+/// for event in ["get", "put", "get", "del"].repeat(500) {
+///     sampler.observe(event, &mut rng);
+/// }
+/// assert_eq!(sampler.observed(), 2000);
+/// let sample = sampler.finalize(&mut rng);
+/// // Four distinct values: the histogram absorbed the stream exactly.
+/// assert_eq!(sample.histogram().count(&"get"), 1000);
+/// ```
+pub trait Sampler<T: SampleValue> {
+    /// Process one arriving data element.
+    fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R);
+
+    /// Number of data elements observed so far (the paper's index `i`).
+    fn observed(&self) -> u64;
+
+    /// Current sample size `|S|` (number of data-element values held).
+    fn current_size(&self) -> u64;
+
+    /// Finalize: convert the working sample to compact histogram form and
+    /// attach provenance. Takes the RNG because some finalizers must
+    /// materialize a pending subsample (e.g. Algorithm HR's lazy purge when
+    /// the stream ends between the phase switch and the first insertion).
+    fn finalize<R: Rng + ?Sized>(self, rng: &mut R) -> Sample<T>;
+
+    /// Convenience: observe every element of an iterator.
+    fn observe_all<R: Rng + ?Sized, I: IntoIterator<Item = T>>(&mut self, values: I, rng: &mut R)
+    where
+        Self: Sized,
+    {
+        for v in values {
+            self.observe(v, rng);
+        }
+    }
+
+    /// Convenience: sample an entire batch and finalize.
+    fn sample_batch<R: Rng + ?Sized, I: IntoIterator<Item = T>>(
+        mut self,
+        values: I,
+        rng: &mut R,
+    ) -> Sample<T>
+    where
+        Self: Sized,
+    {
+        self.observe_all(values, rng);
+        self.finalize(rng)
+    }
+}

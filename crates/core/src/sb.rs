@@ -1,0 +1,182 @@
+//! Algorithm SB — the "stratified Bernoulli" baseline of §5.
+//!
+//! SB samples every partition at one fixed rate `q` and merges by simply
+//! unioning the per-partition samples (valid because a union of disjoint
+//! `Bern(q)` samples is a `Bern(q)` sample of the union, §3.1). It is the
+//! speed benchmark in the paper's experiments: faster than HB/HR, but it
+//! offers **no** footprint bound, no sample-size control, and (as
+//! implemented in the paper's comparison) no compact storage — the price of
+//! the functionality HB and HR add.
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::sample::{Sample, SampleKind};
+use crate::sampler::Sampler;
+use crate::value::SampleValue;
+use rand::Rng;
+use swh_rand::skip::bernoulli_skip;
+
+/// Fixed-rate Bernoulli sampler storing its sample as a plain bag.
+#[derive(Debug, Clone)]
+pub struct StratifiedBernoulli<T: SampleValue> {
+    q: f64,
+    bag: Vec<T>,
+    observed: u64,
+    skip_remaining: u64,
+    policy: FootprintPolicy,
+}
+
+impl<T: SampleValue> StratifiedBernoulli<T> {
+    /// Create an SB sampler at rate `q`. The policy is carried for
+    /// provenance only; SB does not enforce any bound.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q ≤ 1`.
+    pub fn new<R: Rng + ?Sized>(q: f64, policy: FootprintPolicy, rng: &mut R) -> Self {
+        assert!(q > 0.0 && q <= 1.0, "SB rate must lie in (0, 1], got {q}");
+        Self { q, bag: Vec::new(), observed: 0, skip_remaining: bernoulli_skip(rng, q), policy }
+    }
+
+    /// The fixed sampling rate `q`.
+    pub fn rate(&self) -> f64 {
+        self.q
+    }
+
+    /// Union per-partition SB samples taken at the same rate: the result is
+    /// a `Bern(q)` sample of the union of the parents. This is SB's entire
+    /// "merge" — constant work per sample beyond concatenation.
+    ///
+    /// # Panics
+    /// Panics if the samples were taken at different rates.
+    pub fn union(samples: Vec<Sample<T>>) -> Sample<T> {
+        assert!(!samples.is_empty(), "union of zero samples");
+        let mut iter = samples.into_iter();
+        let first = iter.next().unwrap();
+        let policy = first.policy();
+        let (q0, p0) = match first.kind() {
+            SampleKind::Bernoulli { q, p_bound } => (q, p_bound),
+            k => panic!("SB union expects Bernoulli samples, got {k:?}"),
+        };
+        let mut parent = first.parent_size();
+        let mut hist = first.into_histogram();
+        for s in iter {
+            match s.kind() {
+                SampleKind::Bernoulli { q, .. } => {
+                    assert!(
+                        (q - q0).abs() < 1e-12,
+                        "SB union requires equal rates ({q} vs {q0})"
+                    );
+                }
+                k => panic!("SB union expects Bernoulli samples, got {k:?}"),
+            }
+            parent += s.parent_size();
+            hist.join(s.into_histogram());
+        }
+        Sample::from_parts_unchecked(
+            hist,
+            SampleKind::Bernoulli { q: q0, p_bound: p0 },
+            parent,
+            policy,
+        )
+    }
+}
+
+impl<T: SampleValue> Sampler<T> for StratifiedBernoulli<T> {
+    fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.observed += 1;
+        if self.skip_remaining > 0 {
+            self.skip_remaining -= 1;
+            return;
+        }
+        self.bag.push(value);
+        self.skip_remaining = bernoulli_skip(rng, self.q);
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    fn current_size(&self) -> u64 {
+        self.bag.len() as u64
+    }
+
+    fn finalize<R2: Rng + ?Sized>(self, _rng: &mut R2) -> Sample<T> {
+        Sample::from_parts_unchecked(
+            CompactHistogram::from_bag(self.bag),
+            SampleKind::Bernoulli { q: self.q, p_bound: 1.0 },
+            self.observed,
+            self.policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+
+    fn policy() -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(1 << 20)
+    }
+
+    #[test]
+    fn union_of_disjoint_partitions_is_bernoulli_of_union() {
+        let mut rng = seeded_rng(1);
+        let q = 0.05;
+        let parts: Vec<Sample<u64>> = (0..8u64)
+            .map(|p| {
+                StratifiedBernoulli::new(q, policy(), &mut rng)
+                    .sample_batch(p * 10_000..(p + 1) * 10_000, &mut rng)
+            })
+            .collect();
+        let merged = StratifiedBernoulli::union(parts);
+        assert_eq!(merged.parent_size(), 80_000);
+        // Size ~ Binomial(80_000, 0.05): mean 4000, sd ~62.
+        let size = merged.size() as f64;
+        assert!((size - 4000.0).abs() < 400.0, "size {size}");
+        match merged.kind() {
+            SampleKind::Bernoulli { q: qq, .. } => assert_eq!(qq, q),
+            k => panic!("{k:?}"),
+        }
+    }
+
+    #[test]
+    fn union_distribution_matches_single_pass() {
+        // Element inclusion frequency must be q regardless of partitioning.
+        let mut rng = seeded_rng(2);
+        let q = 0.3;
+        let trials = 5_000;
+        let mut incl = vec![0u64; 40];
+        for _ in 0..trials {
+            let s1 = StratifiedBernoulli::new(q, policy(), &mut rng)
+                .sample_batch(0..20u64, &mut rng);
+            let s2 = StratifiedBernoulli::new(q, policy(), &mut rng)
+                .sample_batch(20..40u64, &mut rng);
+            let m = StratifiedBernoulli::union(vec![s1, s2]);
+            for (v, _) in m.histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        for (v, &c) in incl.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!((freq - q).abs() < 0.04, "element {v}: freq {freq}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal rates")]
+    fn union_rejects_mismatched_rates() {
+        let mut rng = seeded_rng(3);
+        let s1 = StratifiedBernoulli::new(0.1, policy(), &mut rng)
+            .sample_batch(0..100u64, &mut rng);
+        let s2 = StratifiedBernoulli::new(0.2, policy(), &mut rng)
+            .sample_batch(100..200u64, &mut rng);
+        StratifiedBernoulli::union(vec![s1, s2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "union of zero samples")]
+    fn union_rejects_empty_input() {
+        StratifiedBernoulli::<u64>::union(vec![]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Stratified samples by concatenation (§4.1).
+//!
+//! The paper notes that samples produced by Algorithms HB or HR "can also be
+//! simply concatenated, yielding a stratified random sample of the
+//! concatenation of the parent data-set partitions". A stratified sample
+//! keeps each partition's sample (stratum) separate together with its parent
+//! size, so estimators can weight strata by `|D_i|` — often lower-variance
+//! than a single uniform merge when partitions differ systematically.
+
+use crate::sample::Sample;
+use crate::value::SampleValue;
+
+/// A list of per-partition samples treated as strata of one data set.
+#[derive(Debug, Clone)]
+pub struct StratifiedSample<T: SampleValue> {
+    strata: Vec<Sample<T>>,
+}
+
+impl<T: SampleValue> StratifiedSample<T> {
+    /// Concatenate per-partition samples into a stratified sample.
+    ///
+    /// # Panics
+    /// Panics if `strata` is empty.
+    pub fn new(strata: Vec<Sample<T>>) -> Self {
+        assert!(!strata.is_empty(), "stratified sample needs at least one stratum");
+        Self { strata }
+    }
+
+    /// Number of strata.
+    pub fn num_strata(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// The strata, in concatenation order.
+    pub fn strata(&self) -> &[Sample<T>] {
+        &self.strata
+    }
+
+    /// Total parent size across strata (`|D| = Σ |D_i|`).
+    pub fn parent_size(&self) -> u64 {
+        self.strata.iter().map(Sample::parent_size).sum()
+    }
+
+    /// Total number of sampled values across strata.
+    pub fn size(&self) -> u64 {
+        self.strata.iter().map(Sample::size).sum()
+    }
+
+    /// Append one more stratum.
+    pub fn push(&mut self, stratum: Sample<T>) {
+        self.strata.push(stratum);
+    }
+
+    /// Consume into the underlying samples (e.g. to merge them uniformly
+    /// with [`crate::merge::merge_all`] instead).
+    pub fn into_strata(self) -> Vec<Sample<T>> {
+        self.strata
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::footprint::FootprintPolicy;
+    use crate::hybrid_reservoir::HybridReservoir;
+    use crate::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    #[test]
+    fn concatenation_accumulates_sizes() {
+        let mut rng = seeded_rng(1);
+        let policy = FootprintPolicy::with_value_budget(32);
+        let s1 = HybridReservoir::new(policy).sample_batch(0..1000u64, &mut rng);
+        let s2 = HybridReservoir::new(policy).sample_batch(1000..3000u64, &mut rng);
+        let mut strat = StratifiedSample::new(vec![s1]);
+        strat.push(s2);
+        assert_eq!(strat.num_strata(), 2);
+        assert_eq!(strat.parent_size(), 3000);
+        assert_eq!(strat.size(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stratum")]
+    fn rejects_empty() {
+        StratifiedSample::<u64>::new(vec![]);
+    }
+}

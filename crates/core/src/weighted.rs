@@ -1,0 +1,270 @@
+//! Weighted ("biased") reservoir sampling — the third future-work design of
+//! §6, useful e.g. for biasing a warehouse sample toward recent partitions.
+//!
+//! Implements the Efraimidis–Spirakis A-Res scheme: each arriving element
+//! with weight `w > 0` draws a key `u^{1/w}` (`u` uniform) and the sampler
+//! keeps the `k` largest keys. For `k = 1` the selection probability is
+//! exactly `w_i / Σw`; in general the scheme realizes weighted sampling
+//! without replacement in one streaming pass with an `O(log k)` heap per
+//! inclusion.
+//!
+//! Weighted samples are **not** uniform (by design — that is the point), so
+//! they are finalized with the non-mergeable [`SampleKind::Concise`]
+//! provenance; estimation over them requires the recorded weights, which
+//! [`WeightedReservoir::finalize_weighted`] preserves.
+
+use crate::footprint::FootprintPolicy;
+use crate::histogram::CompactHistogram;
+use crate::sample::{Sample, SampleKind};
+use crate::value::SampleValue;
+use rand::Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Heap entry ordered by key ascending (min-heap via reversed compare).
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    key: f64,
+    weight: f64,
+    value: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap; we want the smallest key on
+        // top so it can be evicted first.
+        other.key.partial_cmp(&self.key).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Streaming weighted reservoir of capacity `k` (A-Res).
+#[derive(Debug, Clone)]
+pub struct WeightedReservoir<T: SampleValue> {
+    k: usize,
+    heap: BinaryHeap<Entry<T>>,
+    observed: u64,
+    total_weight: f64,
+    policy: FootprintPolicy,
+}
+
+impl<T: SampleValue> WeightedReservoir<T> {
+    /// Create a weighted reservoir of capacity `k = policy.n_f()`.
+    pub fn new(policy: FootprintPolicy) -> Self {
+        Self::with_capacity(policy.n_f() as usize, policy)
+    }
+
+    /// Create a weighted reservoir with explicit capacity.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_capacity(k: usize, policy: FootprintPolicy) -> Self {
+        assert!(k > 0, "capacity must be positive");
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+            observed: 0,
+            total_weight: 0.0,
+            policy,
+        }
+    }
+
+    /// Reservoir capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Elements observed so far.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Total weight observed so far.
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// Current number of retained elements.
+    pub fn current_size(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Observe one element with the given positive weight.
+    ///
+    /// # Panics
+    /// Panics unless `weight` is finite and positive.
+    pub fn observe<R: Rng + ?Sized>(&mut self, value: T, weight: f64, rng: &mut R) {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "weight must be positive and finite, got {weight}"
+        );
+        self.observed += 1;
+        self.total_weight += weight;
+        let u = loop {
+            let u = rng.random::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let key = u.powf(1.0 / weight);
+        if self.heap.len() < self.k {
+            self.heap.push(Entry { key, weight, value });
+        } else if let Some(min) = self.heap.peek() {
+            if key > min.key {
+                self.heap.pop();
+                self.heap.push(Entry { key, weight, value });
+            }
+        }
+    }
+
+    /// Finalize into `(sample, weights)`: the compact sample plus the
+    /// per-retained-element weights in histogram-independent `(value,
+    /// weight)` pairs (one per retained element, including duplicates).
+    pub fn finalize_weighted(self) -> (Sample<T>, Vec<(T, f64)>) {
+        let pairs: Vec<(T, f64)> = self
+            .heap
+            .into_iter()
+            .map(|e| (e.value, e.weight))
+            .collect();
+        let hist = CompactHistogram::from_bag(pairs.iter().map(|(v, _)| v.clone()));
+        let effective_q = if self.total_weight > 0.0 {
+            (pairs.len() as f64 / self.observed.max(1) as f64).min(1.0)
+        } else {
+            1.0
+        };
+        let kind = if self.observed as usize <= self.k {
+            SampleKind::Exhaustive
+        } else {
+            SampleKind::Concise { q: effective_q }
+        };
+        let sample = Sample::from_parts_unchecked(hist, kind, self.observed, self.policy);
+        (sample, pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+
+    fn policy() -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(1 << 16)
+    }
+
+    #[test]
+    fn short_stream_keeps_everything() {
+        let mut rng = seeded_rng(1);
+        let mut w = WeightedReservoir::with_capacity(10, policy());
+        for v in 0..5u64 {
+            w.observe(v, 1.0 + v as f64, &mut rng);
+        }
+        let (s, weights) = w.finalize_weighted();
+        assert_eq!(s.size(), 5);
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+        assert_eq!(weights.len(), 5);
+    }
+
+    #[test]
+    fn k1_selection_proportional_to_weight() {
+        // Classic A-Res property: with k = 1, P(select i) = w_i / Σw.
+        let mut rng = seeded_rng(2);
+        let weights = [1.0f64, 2.0, 3.0, 4.0];
+        let trials = 40_000usize;
+        let mut counts = [0u64; 4];
+        for _ in 0..trials {
+            let mut w = WeightedReservoir::with_capacity(1, policy());
+            for (v, &wt) in weights.iter().enumerate() {
+                w.observe(v as u64, wt, &mut rng);
+            }
+            let (s, _) = w.finalize_weighted();
+            let v = *s.histogram().iter().next().unwrap().0;
+            counts[v as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            let expect = weights[i] / total;
+            assert!(
+                (freq - expect).abs() < 0.01,
+                "element {i}: freq {freq:.4} vs {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_uniform_marginals() {
+        let mut rng = seeded_rng(3);
+        let (n, k, trials) = (30u64, 6usize, 20_000usize);
+        let mut incl = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let mut w = WeightedReservoir::with_capacity(k, policy());
+            for v in 0..n {
+                w.observe(v, 1.0, &mut rng);
+            }
+            let (s, _) = w.finalize_weighted();
+            for (v, _) in s.histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * k as f64 / n as f64;
+        for (v, &c) in incl.iter().enumerate() {
+            let z = (c as f64 - expect) / (expect * (1.0 - k as f64 / n as f64)).sqrt();
+            assert!(z.abs() < 5.0, "element {v}: count {c} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn heavy_weights_dominate() {
+        // Recency bias: the last 10 elements carry 100x weight and should
+        // fill most of the reservoir.
+        let mut rng = seeded_rng(4);
+        let trials = 2_000;
+        let mut recent = 0u64;
+        for _ in 0..trials {
+            let mut w = WeightedReservoir::with_capacity(5, policy());
+            for v in 0..100u64 {
+                let weight = if v >= 90 { 100.0 } else { 1.0 };
+                w.observe(v, weight, &mut rng);
+            }
+            let (s, _) = w.finalize_weighted();
+            recent += s.histogram().iter().filter(|(v, _)| **v >= 90).count() as u64;
+        }
+        let share = recent as f64 / (trials as f64 * 5.0);
+        assert!(share > 0.8, "recent share {share}");
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut rng = seeded_rng(5);
+        let mut w = WeightedReservoir::with_capacity(16, policy());
+        for v in 0..10_000u64 {
+            w.observe(v, 1.0 + (v % 7) as f64, &mut rng);
+            assert!(w.current_size() <= 16);
+        }
+        let (s, weights) = w.finalize_weighted();
+        assert_eq!(s.size(), 16);
+        assert_eq!(weights.len(), 16);
+        assert!(matches!(s.kind(), SampleKind::Concise { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn rejects_nonpositive_weight() {
+        let mut rng = seeded_rng(6);
+        let mut w: WeightedReservoir<u64> = WeightedReservoir::with_capacity(4, policy());
+        w.observe(1, 0.0, &mut rng);
+    }
+}

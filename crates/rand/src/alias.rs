@@ -1,0 +1,200 @@
+//! Walker/Vose alias method for O(1) sampling from a fixed discrete
+//! distribution.
+//!
+//! §4.2 of the paper recommends the alias method when "partition sizes and
+//! sample sizes are unchanging and merges are performed in a symmetric
+//! pairwise fashion", so that many draws are taken from a small collection of
+//! fixed hypergeometric vectors. The paper describes the classic table of
+//! probabilities `r_0..r_k` and aliases `a_0..a_k`; we build it with Vose's
+//! stable two-worklist construction.
+
+use rand::Rng;
+
+/// Precomputed alias table over outcomes `0..n`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability for each column.
+    prob: Vec<f64>,
+    /// Alias outcome used when the column's own outcome is rejected.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build an alias table from (possibly unnormalized) non-negative
+    /// weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            weights.len() <= u32::MAX as usize,
+            "alias table too large: {} outcomes",
+            weights.len()
+        );
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        let mut prob = vec![1.0f64; n];
+        let mut alias = vec![0u32; n];
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s as usize] = scaled[s as usize];
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Remaining columns (numerical leftovers) accept with probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+            alias[i as usize] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never constructible; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one outcome in O(1): pick a column uniformly, then accept it or
+    /// take its alias.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i as u64
+        } else {
+            self.alias[i] as u64
+        }
+    }
+
+    /// Reconstruct the probability each outcome is sampled with; used by
+    /// tests to confirm the table encodes the input distribution exactly.
+    pub fn outcome_probabilities(&self) -> Vec<f64> {
+        let n = self.prob.len();
+        let mut out = vec![0.0f64; n];
+        for i in 0..n {
+            out[i] += self.prob[i] / n as f64;
+            out[self.alias[i] as usize] += (1.0 - self.prob[i]) / n as f64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn encodes_distribution_exactly() {
+        let weights = [0.1, 0.4, 0.2, 0.3];
+        let t = AliasTable::new(&weights);
+        let probs = t.outcome_probabilities();
+        for (p, w) in probs.iter().zip(&weights) {
+            assert!((p - w).abs() < 1e-12, "{p} vs {w}");
+        }
+    }
+
+    #[test]
+    fn handles_unnormalized_weights() {
+        let weights = [2.0, 8.0, 6.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let probs = t.outcome_probabilities();
+        let expected = [0.1, 0.4, 0.3, 0.2];
+        for (p, e) in probs.iter().zip(&expected) {
+            assert!((p - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn handles_zero_weights() {
+        let weights = [0.0, 1.0, 0.0, 3.0];
+        let t = AliasTable::new(&weights);
+        let probs = t.outcome_probabilities();
+        assert!(probs[0] < 1e-12);
+        assert!(probs[2] < 1e-12);
+        assert!((probs[1] - 0.25).abs() < 1e-12);
+        assert!((probs[3] - 0.75).abs() < 1e-12);
+        // Sampling never yields a zero-weight outcome.
+        let mut rng = seeded_rng(5);
+        for _ in 0..1_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[7.0]);
+        let mut rng = seeded_rng(9);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match() {
+        let weights = [0.05, 0.15, 0.5, 0.25, 0.05];
+        let t = AliasTable::new(&weights);
+        let mut rng = seeded_rng(77);
+        let trials = 100_000usize;
+        let mut counts = [0u64; 5];
+        for _ in 0..trials {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        for (c, w) in counts.iter().zip(&weights) {
+            let freq = *c as f64 / trials as f64;
+            assert!(
+                (freq - w).abs() < 0.01,
+                "freq {freq:.4} vs weight {w} (counts {counts:?})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one outcome")]
+    fn rejects_empty() {
+        AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn rejects_negative() {
+        AliasTable::new(&[0.5, -0.1]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Exact binomial random variates.
+//!
+//! `purgeBernoulli` (Fig. 3 of the paper) thins each `(value, count)` pair of
+//! a compact sample by replacing `count` with a `Binomial(count, q)` draw, so
+//! the warehouse needs a binomial generator that is exact (the statistical
+//! uniformity guarantees of Algorithms HB/HR depend on it) and fast for the
+//! moderate counts that appear inside bounded-footprint samples.
+//!
+//! Strategy (following Devroye, *Non-Uniform Random Variate Generation*,
+//! which the paper cites as \[5\]):
+//!
+//! * tiny `n` — direct coin flipping, `O(n)` with trivial constants;
+//! * small mean `n·p̃` (with `p̃ = min(p, 1−p)`) — the *first-waiting-time*
+//!   method: successes are separated by geometric gaps, costing
+//!   `O(n·p̃ + 1)` expected time independent of `n`;
+//! * large mean — the BINV-style inversion from the mode, costing `O(√(n·p̃))`
+//!   expected steps with exact pmf recursion.
+
+use rand::Rng;
+
+/// Number of trials below which plain coin flipping is used.
+const DIRECT_LIMIT: u64 = 16;
+/// Mean below which the geometric waiting-time method is used.
+const WAITING_LIMIT: f64 = 32.0;
+
+/// Draw a `Binomial(n, p)` variate.
+///
+/// ```
+/// use swh_rand::{binomial, seeded_rng};
+///
+/// let mut rng = seeded_rng(3);
+/// let k = binomial(&mut rng, 1_000, 0.25);
+/// assert!(k <= 1_000);
+/// ```
+///
+/// # Panics
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    // Work with p̃ = min(p, 1-p) and flip the result if needed.
+    let flipped = p > 0.5;
+    let pt = if flipped { 1.0 - p } else { p };
+    let k = if n <= DIRECT_LIMIT {
+        direct(rng, n, pt)
+    } else if (n as f64) * pt <= WAITING_LIMIT {
+        waiting_time(rng, n, pt)
+    } else {
+        inversion_from_mode(rng, n, pt)
+    };
+    if flipped {
+        n - k
+    } else {
+        k
+    }
+}
+
+/// Coin-flipping generator: `O(n)`.
+fn direct<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    (0..n).filter(|_| rng.random::<f64>() < p).count() as u64
+}
+
+/// First-waiting-time generator: sum geometric gaps until they pass `n`.
+///
+/// Expected cost is `O(n·p + 1)`; exact because the gap between successive
+/// Bernoulli successes is geometric with parameter `p`.
+fn waiting_time<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let ln_q = (1.0 - p).ln();
+    debug_assert!(ln_q < 0.0);
+    let mut successes = 0u64;
+    // Position of the next success, 1-based.
+    let mut pos = 0u64;
+    loop {
+        // Geometric gap: floor(ln U / ln(1-p)) failures before next success.
+        let u = loop {
+            let u = rng.random::<f64>();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let gap = (u.ln() / ln_q).floor();
+        if gap >= (n - pos) as f64 {
+            return successes;
+        }
+        pos += gap as u64 + 1;
+        if pos > n {
+            return successes;
+        }
+        successes += 1;
+        if pos == n {
+            return successes;
+        }
+    }
+}
+
+/// Inversion from the mode with exact pmf recursion.
+///
+/// Starting from the mode `m`, the pmf is walked outward in both directions
+/// subtracting probability mass from a uniform draw. Expected number of
+/// steps is `O(σ) = O(√(n·p))`.
+fn inversion_from_mode<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
+    let nf = n as f64;
+    let q = 1.0 - p;
+    let mode = ((nf + 1.0) * p).floor().min(nf) as u64;
+    // pmf at the mode, via logs to avoid under/overflow.
+    let ln_pmf_mode = crate::stats::ln_choose(n, mode)
+        + mode as f64 * p.ln()
+        + (n - mode) as f64 * q.ln();
+    let pmf_mode = ln_pmf_mode.exp();
+
+    // Ratios: pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/q.
+    let ratio_up = |k: u64| ((n - k) as f64 / (k + 1) as f64) * (p / q);
+    // pmf(k-1)/pmf(k) = k/(n-k+1) * q/p.
+    let ratio_down = |k: u64| (k as f64 / (n - k + 1) as f64) * (q / p);
+
+    let mut u = rng.random::<f64>();
+    // Sweep outward: mode, mode+1, mode-1, mode+2, mode-2, ...
+    let mut up_k = mode;
+    let mut up_pmf = pmf_mode;
+    let mut down_k = mode;
+    let mut down_pmf = pmf_mode;
+
+    u -= pmf_mode;
+    if u <= 0.0 {
+        return mode;
+    }
+    loop {
+        let mut advanced = false;
+        if up_k < n {
+            up_pmf *= ratio_up(up_k);
+            up_k += 1;
+            u -= up_pmf;
+            if u <= 0.0 {
+                return up_k;
+            }
+            advanced = true;
+        }
+        if down_k > 0 {
+            down_pmf *= ratio_down(down_k);
+            down_k -= 1;
+            u -= down_pmf;
+            if u <= 0.0 {
+                return down_k;
+            }
+            advanced = true;
+        }
+        if !advanced {
+            // Floating point residue; the mass is exhausted. Return the mode
+            // (probability of reaching here is ~1e-15).
+            return mode;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use crate::stats::{chi_square_p_value, chi_square_statistic, ln_choose};
+
+    fn binomial_pmf(n: u64, p: f64, k: u64) -> f64 {
+        (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+    }
+
+    #[test]
+    fn edge_cases() {
+        let mut rng = seeded_rng(7);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn result_bounded_by_n() {
+        let mut rng = seeded_rng(11);
+        for &n in &[1u64, 5, 17, 100, 10_000] {
+            for &p in &[0.01, 0.3, 0.5, 0.7, 0.99] {
+                for _ in 0..50 {
+                    assert!(binomial(&mut rng, n, p) <= n);
+                }
+            }
+        }
+    }
+
+    /// Chi-square goodness-of-fit for all three internal strategies.
+    fn gof(n: u64, p: f64, trials: usize, seed: u64) {
+        let mut rng = seeded_rng(seed);
+        let mut counts = vec![0u64; n as usize + 1];
+        for _ in 0..trials {
+            counts[binomial(&mut rng, n, p) as usize] += 1;
+        }
+        // Pool cells with expected count < 5.
+        let mut obs = Vec::new();
+        let mut exp = Vec::new();
+        let mut pooled_o = 0u64;
+        let mut pooled_e = 0.0f64;
+        for k in 0..=n {
+            pooled_o += counts[k as usize];
+            pooled_e += binomial_pmf(n, p, k) * trials as f64;
+            if pooled_e >= 5.0 {
+                obs.push(pooled_o);
+                exp.push(pooled_e);
+                pooled_o = 0;
+                pooled_e = 0.0;
+            }
+        }
+        if pooled_e > 0.0 {
+            if let (Some(o), Some(e)) = (obs.last_mut(), exp.last_mut()) {
+                *o += pooled_o;
+                *e += pooled_e;
+            }
+        }
+        let stat = chi_square_statistic(&obs, &exp);
+        let pv = chi_square_p_value(stat, (obs.len() - 1) as f64);
+        assert!(pv > 1e-4, "n={n} p={p}: chi2={stat:.2}, p-value={pv:.2e}");
+    }
+
+    #[test]
+    fn goodness_of_fit_direct_path() {
+        gof(10, 0.3, 20_000, 101);
+    }
+
+    #[test]
+    fn goodness_of_fit_waiting_path() {
+        gof(1_000, 0.01, 20_000, 102);
+    }
+
+    #[test]
+    fn goodness_of_fit_inversion_path() {
+        gof(500, 0.4, 20_000, 103);
+    }
+
+    #[test]
+    fn goodness_of_fit_flipped_p() {
+        gof(200, 0.9, 20_000, 104);
+    }
+
+    #[test]
+    fn mean_and_variance_large_n() {
+        let mut rng = seeded_rng(42);
+        let (n, p, trials) = (100_000u64, 0.137, 4_000);
+        let draws: Vec<f64> = (0..trials).map(|_| binomial(&mut rng, n, p) as f64).collect();
+        let mean = draws.iter().sum::<f64>() / trials as f64;
+        let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
+        let true_mean = n as f64 * p;
+        let true_var = n as f64 * p * (1.0 - p);
+        // Mean within 5 standard errors.
+        let se = (true_var / trials as f64).sqrt();
+        assert!((mean - true_mean).abs() < 5.0 * se, "mean {mean} vs {true_mean}");
+        assert!((var / true_var - 1.0).abs() < 0.15, "var {var} vs {true_var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "p must lie in [0, 1]")]
+    fn rejects_invalid_p() {
+        binomial(&mut seeded_rng(1), 10, 1.5);
+    }
+}

@@ -1,0 +1,70 @@
+//! Exponential variates — inter-arrival times for simulating the streamed
+//! data-arrival scenarios of §2 (fluctuating arrival rates that motivate
+//! on-the-fly partitioning).
+
+use rand::Rng;
+
+/// Draw an `Exponential(rate)` variate (mean `1/rate`), by inversion.
+///
+/// # Panics
+/// Panics unless `rate` is finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+    let u = loop {
+        let u = rng.random::<f64>();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn mean_matches_rate() {
+        let mut rng = seeded_rng(1);
+        for &rate in &[0.5f64, 2.0, 100.0] {
+            let n = 50_000;
+            let sum: f64 = (0..n).map(|_| exponential(&mut rng, rate)).sum();
+            let mean = sum / n as f64;
+            let expect = 1.0 / rate;
+            // SE of the mean = expect / sqrt(n) — allow 5 SE.
+            assert!(
+                (mean - expect).abs() < 5.0 * expect / (n as f64).sqrt(),
+                "rate {rate}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn memoryless_tail() {
+        // P(X > t) = exp(-rate t): check at a few points.
+        let mut rng = seeded_rng(2);
+        let rate = 1.5;
+        let n = 100_000;
+        let draws: Vec<f64> = (0..n).map(|_| exponential(&mut rng, rate)).collect();
+        for &t in &[0.2f64, 0.5, 1.0, 2.0] {
+            let frac = draws.iter().filter(|&&x| x > t).count() as f64 / n as f64;
+            let expect = (-rate * t).exp();
+            assert!((frac - expect).abs() < 0.01, "t={t}: {frac} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn always_positive() {
+        let mut rng = seeded_rng(3);
+        for _ in 0..1_000 {
+            assert!(exponential(&mut rng, 3.0) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_bad_rate() {
+        exponential(&mut seeded_rng(1), 0.0);
+    }
+}

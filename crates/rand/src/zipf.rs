@@ -1,0 +1,151 @@
+//! Zipfian integer generator for the §5 workloads.
+//!
+//! The paper's third data set is "integer values over the range of 1 to 4000
+//! having a Zipf distribution". With such a small domain the cleanest exact
+//! generator is inversion over a precomputed CDF with binary search; we also
+//! expose the harmonic normalization so tests can check the pmf.
+
+use rand::Rng;
+
+/// Zipf distribution over `{1, ..., n}` with exponent `s > 0`:
+/// `P(X = i) ∝ i^{-s}`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    /// Cumulative probabilities, `cdf[i-1] = P(X ≤ i)`.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Precompute the CDF for domain size `n` and exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf domain must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive, got {s}");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += (i as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { n, s, cdf }
+    }
+
+    /// Domain size `n`.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    /// Probability of value `i` (1-based).
+    pub fn pmf(&self, i: u64) -> f64 {
+        if i == 0 || i > self.n {
+            return 0.0;
+        }
+        let idx = (i - 1) as usize;
+        if idx == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[idx] - self.cdf[idx - 1]
+        }
+    }
+
+    /// Draw one value in `{1, ..., n}` by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u = rng.random::<f64>();
+        self.cdf.partition_point(|&c| c < u) as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use crate::stats::{chi_square_p_value, chi_square_statistic};
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let s: f64 = (1..=100).map(|i| z.pmf(i)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_is_decreasing() {
+        let z = Zipf::new(50, 1.2);
+        for i in 1..50 {
+            assert!(z.pmf(i) > z.pmf(i + 1), "pmf not decreasing at {i}");
+        }
+    }
+
+    #[test]
+    fn pmf_ratio_matches_power_law() {
+        let z = Zipf::new(1000, 1.5);
+        // P(1)/P(2) = 2^1.5
+        let ratio = z.pmf(1) / z.pmf(2);
+        assert!((ratio - 2.0f64.powf(1.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = seeded_rng(5);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=10).contains(&v));
+        }
+    }
+
+    #[test]
+    fn sampling_goodness_of_fit() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = seeded_rng(6);
+        let trials = 50_000usize;
+        let mut counts = vec![0u64; 20];
+        for _ in 0..trials {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        let exp: Vec<f64> = (1..=20).map(|i| z.pmf(i) * trials as f64).collect();
+        let stat = chi_square_statistic(&counts, &exp);
+        let pv = chi_square_p_value(stat, 19.0);
+        assert!(pv > 1e-4, "chi2={stat:.1} p={pv:.2e}");
+    }
+
+    #[test]
+    fn paper_configuration_has_few_heavy_values() {
+        // Paper: range 1..4000 Zipf — the head dominates, so samples of such
+        // data remain exhaustive histograms (footnote 5).
+        let z = Zipf::new(4000, 1.0);
+        // Top-100 values carry the majority of the mass for s=1, n=4000.
+        let head: f64 = (1..=100).map(|i| z.pmf(i)).sum();
+        assert!(head > 0.5, "head mass {head}");
+    }
+
+    #[test]
+    fn single_value_domain() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = seeded_rng(7);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert!((z.pmf(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn rejects_empty_domain() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Thread-safe in-memory catalog of partition samples.
+//!
+//! The catalog is the heart of the sample warehouse in Fig. 1: sampled
+//! partitions `S_{i,j}` are *rolled in* as they are created, retrieved and
+//! merged in arbitrary combinations (`S_{*,2}`, `S_{1-2,3-7}`, ...), and
+//! *rolled out* when the corresponding full-scale partitions are dropped.
+
+use crate::ids::{DatasetId, PartitionId, PartitionKey};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use swh_core::merge::MergeError;
+use swh_core::sample::Sample;
+use swh_core::value::SampleValue;
+
+/// A rolled-in partition sample plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PartitionEntry<T: SampleValue> {
+    /// The uniform partition sample.
+    pub sample: Sample<T>,
+    /// Monotonic roll-in sequence number (warehouse-wide).
+    pub rolled_in_at: u64,
+}
+
+/// Errors from catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// The referenced dataset has no partitions rolled in.
+    UnknownDataset(DatasetId),
+    /// The referenced partition is not in the catalog.
+    UnknownPartition(PartitionKey),
+    /// A partition with this key is already rolled in.
+    DuplicatePartition(PartitionKey),
+    /// The requested selection matched no partitions.
+    EmptySelection,
+    /// Merging the selected samples failed.
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::UnknownDataset(d) => write!(f, "unknown dataset {d}"),
+            CatalogError::UnknownPartition(k) => write!(f, "unknown partition {k}"),
+            CatalogError::DuplicatePartition(k) => write!(f, "partition {k} already present"),
+            CatalogError::EmptySelection => write!(f, "selection matched no partitions"),
+            CatalogError::Merge(e) => write!(f, "merge failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<MergeError> for CatalogError {
+    fn from(e: MergeError) -> Self {
+        CatalogError::Merge(e)
+    }
+}
+
+/// Concurrent registry mapping `(dataset, partition)` to samples.
+///
+/// Reads (selection, merging into query samples) take a shared lock;
+/// roll-in/roll-out take the exclusive lock briefly. Merging clones the
+/// selected samples out of the catalog so the lock is never held across the
+/// merge computation.
+///
+/// ```
+/// use swh_core::{FootprintPolicy, HybridReservoir, Sampler};
+/// use swh_rand::seeded_rng;
+/// use swh_warehouse::{Catalog, DatasetId, PartitionId, PartitionKey};
+///
+/// let mut rng = seeded_rng(1);
+/// let policy = FootprintPolicy::with_value_budget(64);
+/// let catalog = Catalog::new();
+/// for day in 0..7u64 {
+///     let sample = HybridReservoir::new(policy)
+///         .sample_batch(day * 1_000..(day + 1) * 1_000, &mut rng);
+///     catalog
+///         .roll_in(
+///             PartitionKey { dataset: DatasetId(1), partition: PartitionId::seq(day) },
+///             sample,
+///         )
+///         .unwrap();
+/// }
+/// // Uniform sample over a weekend: days 5..7.
+/// let weekend = catalog
+///     .union_sample(DatasetId(1), |p| p.seq >= 5, 1e-3, &mut rng)
+///     .unwrap();
+/// assert_eq!(weekend.parent_size(), 2_000);
+/// ```
+#[derive(Debug, Default)]
+pub struct Catalog<T: SampleValue> {
+    inner: RwLock<BTreeMap<DatasetId, BTreeMap<PartitionId, PartitionEntry<T>>>>,
+    roll_seq: RwLock<u64>,
+}
+
+impl<T: SampleValue> Catalog<T> {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self { inner: RwLock::new(BTreeMap::new()), roll_seq: RwLock::new(0) }
+    }
+
+    /// Roll a partition sample into the warehouse.
+    pub fn roll_in(
+        &self,
+        key: PartitionKey,
+        sample: Sample<T>,
+    ) -> Result<(), CatalogError> {
+        let mut map = self.inner.write();
+        let ds = map.entry(key.dataset).or_default();
+        if ds.contains_key(&key.partition) {
+            return Err(CatalogError::DuplicatePartition(key));
+        }
+        let mut seq = self.roll_seq.write();
+        *seq += 1;
+        ds.insert(key.partition, PartitionEntry { sample, rolled_in_at: *seq });
+        Ok(())
+    }
+
+    /// Roll a partition sample out, returning it.
+    pub fn roll_out(&self, key: PartitionKey) -> Result<PartitionEntry<T>, CatalogError> {
+        let mut map = self.inner.write();
+        let ds = map.get_mut(&key.dataset).ok_or(CatalogError::UnknownDataset(key.dataset))?;
+        let entry = ds.remove(&key.partition).ok_or(CatalogError::UnknownPartition(key))?;
+        if ds.is_empty() {
+            map.remove(&key.dataset);
+        }
+        Ok(entry)
+    }
+
+    /// Clone one partition's sample out of the catalog.
+    pub fn get(&self, key: PartitionKey) -> Result<Sample<T>, CatalogError> {
+        let map = self.inner.read();
+        map.get(&key.dataset)
+            .and_then(|ds| ds.get(&key.partition))
+            .map(|e| e.sample.clone())
+            .ok_or(CatalogError::UnknownPartition(key))
+    }
+
+    /// All datasets currently present.
+    pub fn datasets(&self) -> Vec<DatasetId> {
+        self.inner.read().keys().copied().collect()
+    }
+
+    /// All partitions of a dataset, in id order.
+    pub fn partitions(&self, dataset: DatasetId) -> Result<Vec<PartitionId>, CatalogError> {
+        self.inner
+            .read()
+            .get(&dataset)
+            .map(|ds| ds.keys().copied().collect())
+            .ok_or(CatalogError::UnknownDataset(dataset))
+    }
+
+    /// Number of partitions rolled in across all datasets.
+    pub fn len(&self) -> usize {
+        self.inner.read().values().map(BTreeMap::len).sum()
+    }
+
+    /// True when the catalog holds no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clone the samples of the selected partitions (all partitions for
+    /// which `select` returns true), in partition order.
+    pub fn select(
+        &self,
+        dataset: DatasetId,
+        mut select: impl FnMut(PartitionId) -> bool,
+    ) -> Result<Vec<Sample<T>>, CatalogError> {
+        let map = self.inner.read();
+        let ds = map.get(&dataset).ok_or(CatalogError::UnknownDataset(dataset))?;
+        let picked: Vec<Sample<T>> = ds
+            .iter()
+            .filter(|(id, _)| select(**id))
+            .map(|(_, e)| e.sample.clone())
+            .collect();
+        if picked.is_empty() {
+            return Err(CatalogError::EmptySelection);
+        }
+        Ok(picked)
+    }
+
+    /// Produce a single uniform sample of the union of the selected
+    /// partitions (the warehouse's query primitive: `S_K` for
+    /// `K ⊆ {1..k}` in requirement 2 of §2). Executed with the cost-aware
+    /// merge plan ([`swh_core::planner::merge_planned`]), which produces
+    /// the same uniform distribution as a serial fold while re-streaming
+    /// large exhaustive histograms as little as possible.
+    pub fn union_sample<R: rand::Rng + ?Sized>(
+        &self,
+        dataset: DatasetId,
+        select: impl FnMut(PartitionId) -> bool,
+        p_bound: f64,
+        rng: &mut R,
+    ) -> Result<Sample<T>, CatalogError> {
+        let picked = self.select(dataset, select)?;
+        Ok(swh_core::planner::merge_planned(picked, p_bound, rng)?)
+    }
+
+    /// Fig. 1's grid queries (`S_{*,2}`, `S_{1-2,3-7}`, ...): a uniform
+    /// sample of the union of all partitions whose stream index and
+    /// sequence number fall in the given inclusive ranges.
+    pub fn union_sample_grid<R: rand::Rng + ?Sized>(
+        &self,
+        dataset: DatasetId,
+        streams: std::ops::RangeInclusive<u32>,
+        seqs: std::ops::RangeInclusive<u64>,
+        p_bound: f64,
+        rng: &mut R,
+    ) -> Result<Sample<T>, CatalogError> {
+        self.union_sample(
+            dataset,
+            |p| streams.contains(&p.stream) && seqs.contains(&p.seq),
+            p_bound,
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::hybrid_reservoir::HybridReservoir;
+    use swh_core::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    fn key(ds: u64, seq: u64) -> PartitionKey {
+        PartitionKey { dataset: DatasetId(ds), partition: PartitionId::seq(seq) }
+    }
+
+    fn sample(range: std::ops::Range<u64>, rng: &mut rand::rngs::SmallRng) -> Sample<u64> {
+        HybridReservoir::new(FootprintPolicy::with_value_budget(32)).sample_batch(range, rng)
+    }
+
+    #[test]
+    fn roll_in_get_roll_out() {
+        let mut rng = seeded_rng(1);
+        let cat = Catalog::new();
+        cat.roll_in(key(1, 0), sample(0..1000, &mut rng)).unwrap();
+        cat.roll_in(key(1, 1), sample(1000..2000, &mut rng)).unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.partitions(DatasetId(1)).unwrap().len(), 2);
+        let s = cat.get(key(1, 0)).unwrap();
+        assert_eq!(s.parent_size(), 1000);
+        let e = cat.roll_out(key(1, 0)).unwrap();
+        assert_eq!(e.sample.parent_size(), 1000);
+        assert_eq!(cat.len(), 1);
+        assert!(matches!(cat.get(key(1, 0)), Err(CatalogError::UnknownPartition(_))));
+    }
+
+    #[test]
+    fn duplicate_roll_in_rejected() {
+        let mut rng = seeded_rng(2);
+        let cat = Catalog::new();
+        cat.roll_in(key(1, 0), sample(0..100, &mut rng)).unwrap();
+        let err = cat.roll_in(key(1, 0), sample(0..100, &mut rng)).unwrap_err();
+        assert!(matches!(err, CatalogError::DuplicatePartition(_)));
+    }
+
+    #[test]
+    fn union_sample_merges_selection() {
+        let mut rng = seeded_rng(3);
+        let cat = Catalog::new();
+        for d in 0..7u64 {
+            cat.roll_in(key(1, d), sample(d * 1000..(d + 1) * 1000, &mut rng)).unwrap();
+        }
+        // "Weekly" sample = union of days 0..7.
+        let weekly = cat
+            .union_sample(DatasetId(1), |_| true, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(weekly.parent_size(), 7000);
+        assert!(weekly.size() <= 32);
+        // Partial selection: days 2..=3.
+        let partial = cat
+            .union_sample(DatasetId(1), |p| (2..=3).contains(&p.seq), 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(partial.parent_size(), 2000);
+    }
+
+    #[test]
+    fn grid_query_selects_stream_and_seq_ranges() {
+        // Fig. 1's D_{i,j} matrix: 3 streams x 8 days, values encode (i,j).
+        let mut rng = seeded_rng(9);
+        let cat = Catalog::new();
+        for stream in 0..3u32 {
+            for day in 0..8u64 {
+                let base = (stream as u64 * 8 + day) * 1_000;
+                let s = HybridReservoir::new(FootprintPolicy::with_value_budget(32))
+                    .sample_batch(base..base + 1_000, &mut rng);
+                cat.roll_in(
+                    PartitionKey {
+                        dataset: DatasetId(1),
+                        partition: PartitionId::new(stream, day),
+                    },
+                    s,
+                )
+                .unwrap();
+            }
+        }
+        // S_{1-2, 3-7}: streams 1..=2, days 3..=7 -> 10 partitions.
+        let s = cat
+            .union_sample_grid(DatasetId(1), 1..=2, 3..=7, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(s.parent_size(), 10_000);
+        for (v, _) in s.histogram().iter() {
+            let part = v / 1_000;
+            let (stream, day) = (part / 8, part % 8);
+            assert!((1..=2).contains(&stream), "value from stream {stream}");
+            assert!((3..=7).contains(&day), "value from day {day}");
+        }
+        // S_{*,2}: all streams, day 2 only.
+        let s = cat
+            .union_sample_grid(DatasetId(1), 0..=u32::MAX, 2..=2, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(s.parent_size(), 3_000);
+    }
+
+    #[test]
+    fn empty_selection_is_error() {
+        let mut rng = seeded_rng(4);
+        let cat = Catalog::new();
+        cat.roll_in(key(1, 0), sample(0..100, &mut rng)).unwrap();
+        let err = cat.union_sample(DatasetId(1), |_| false, 1e-3, &mut rng).unwrap_err();
+        assert_eq!(err, CatalogError::EmptySelection);
+    }
+
+    #[test]
+    fn unknown_dataset_is_error() {
+        let cat: Catalog<u64> = Catalog::new();
+        assert!(matches!(
+            cat.partitions(DatasetId(9)),
+            Err(CatalogError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn roll_sequence_is_monotonic() {
+        let mut rng = seeded_rng(5);
+        let cat = Catalog::new();
+        cat.roll_in(key(1, 0), sample(0..10, &mut rng)).unwrap();
+        cat.roll_in(key(1, 1), sample(10..20, &mut rng)).unwrap();
+        let a = cat.roll_out(key(1, 0)).unwrap().rolled_in_at;
+        let b = cat.roll_out(key(1, 1)).unwrap().rolled_in_at;
+        assert!(a < b);
+    }
+
+    #[test]
+    fn concurrent_roll_in_from_threads() {
+        let cat: Catalog<u64> = Catalog::new();
+        crossbeam::scope(|scope| {
+            for t in 0..8u64 {
+                let cat = &cat;
+                scope.spawn(move |_| {
+                    let mut rng = seeded_rng(100 + t);
+                    for s in 0..16u64 {
+                        cat.roll_in(
+                            PartitionKey {
+                                dataset: DatasetId(t),
+                                partition: PartitionId::seq(s),
+                            },
+                            sample(s * 10..(s + 1) * 10, &mut rng),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(cat.len(), 128);
+        assert_eq!(cat.datasets().len(), 8);
+    }
+}

@@ -1,0 +1,423 @@
+//! Compact binary serialization of samples.
+//!
+//! Requirement 4 of §2 asks for compact stored samples; the on-disk form
+//! mirrors the in-memory compact histogram: a header with provenance and
+//! policy, followed by `(value, count)` pairs where singleton counts are
+//! folded into a tag byte (the paper's "pairs of the form (v, 1) are
+//! represented simply by a single number"). Values are encoded through the
+//! [`ValueCodec`] trait; integers use fixed-width little-endian, strings and
+//! byte arrays are length-prefixed.
+//!
+//! No external serialization crate is used — the format is a few dozen
+//! lines and keeping it here avoids a heavyweight dependency for what is,
+//! by design, a flat structure.
+
+use swh_core::footprint::FootprintPolicy;
+use swh_core::histogram::CompactHistogram;
+use swh_core::sample::{Sample, SampleKind};
+use swh_core::value::SampleValue;
+
+/// Format magic: "SWHS" (Sample WareHouse Sample).
+const MAGIC: [u8; 4] = *b"SWHS";
+/// Format version.
+const VERSION: u8 = 1;
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte slice; the trailer checksum
+/// that lets the store detect torn or corrupted sample files.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table generated at first use (256 u32s, cheap and allocation-free).
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended prematurely.
+    UnexpectedEof,
+    /// Magic bytes or version did not match.
+    BadHeader,
+    /// A tag or enum discriminant was invalid.
+    Corrupt(&'static str),
+    /// The trailer checksum did not match the payload.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadHeader => write!(f, "bad magic or unsupported version"),
+            CodecError::Corrupt(what) => write!(f, "corrupt field: {what}"),
+            CodecError::ChecksumMismatch => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Values that can be persisted in the sample store.
+pub trait ValueCodec: SampleValue {
+    /// Append the encoded form of `self` to `out`.
+    fn encode_value(&self, out: &mut Vec<u8>);
+    /// Decode one value from the front of `buf`, advancing it.
+    fn decode_value(buf: &mut &[u8]) -> Result<Self, CodecError>;
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], CodecError> {
+    if buf.len() < n {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
+    Ok(f64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl ValueCodec for $t {
+            fn encode_value(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode_value(buf: &mut &[u8]) -> Result<Self, CodecError> {
+                Ok(<$t>::from_le_bytes(
+                    take(buf, std::mem::size_of::<$t>())?.try_into().unwrap(),
+                ))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl ValueCodec for String {
+    fn encode_value(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.len() as u64);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode_value(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = get_u64(buf)? as usize;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Corrupt("utf8 string"))
+    }
+}
+
+impl ValueCodec for Vec<u8> {
+    fn encode_value(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.len() as u64);
+        out.extend_from_slice(self);
+    }
+
+    fn decode_value(buf: &mut &[u8]) -> Result<Self, CodecError> {
+        let len = get_u64(buf)? as usize;
+        Ok(take(buf, len)?.to_vec())
+    }
+}
+
+/// Encode a sample into its compact binary form.
+pub fn encode_sample<T: ValueCodec>(sample: &Sample<T>) -> Vec<u8> {
+    let hist = sample.histogram();
+    let mut out = Vec::with_capacity(32 + hist.distinct() * 12);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    // Provenance.
+    match sample.kind() {
+        SampleKind::Exhaustive => out.push(1),
+        SampleKind::Bernoulli { q, p_bound } => {
+            out.push(2);
+            put_f64(&mut out, q);
+            put_f64(&mut out, p_bound);
+        }
+        SampleKind::Reservoir => out.push(3),
+        SampleKind::Concise { q } => {
+            out.push(4);
+            put_f64(&mut out, q);
+        }
+    }
+    put_u64(&mut out, sample.parent_size());
+    put_u64(&mut out, sample.policy().f_bytes());
+    put_u64(&mut out, sample.policy().value_bytes());
+    put_u64(&mut out, hist.distinct() as u64);
+    // Pairs in sorted order (canonical form). Tag 0 = singleton, 1 = pair.
+    for (v, c) in hist.sorted_pairs() {
+        if c == 1 {
+            out.push(0);
+            v.encode_value(&mut out);
+        } else {
+            out.push(1);
+            v.encode_value(&mut out);
+            put_u64(&mut out, c);
+        }
+    }
+    // Integrity trailer over everything so far.
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decode a sample from its binary form, verifying the CRC-32 trailer.
+pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecError> {
+    if input.len() < 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let (payload, trailer) = input.split_at(input.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    if crc32(payload) != stored {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    let mut buf = payload;
+    let buf = &mut buf;
+    if take(buf, 4)? != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    if take(buf, 1)?[0] != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    let kind = match take(buf, 1)?[0] {
+        1 => SampleKind::Exhaustive,
+        2 => {
+            let q = get_f64(buf)?;
+            let p_bound = get_f64(buf)?;
+            if !(0.0..=1.0).contains(&q) {
+                return Err(CodecError::Corrupt("bernoulli rate"));
+            }
+            SampleKind::Bernoulli { q, p_bound }
+        }
+        3 => SampleKind::Reservoir,
+        4 => {
+            let q = get_f64(buf)?;
+            SampleKind::Concise { q }
+        }
+        _ => return Err(CodecError::Corrupt("sample kind tag")),
+    };
+    let parent_size = get_u64(buf)?;
+    let f_bytes = get_u64(buf)?;
+    let value_bytes = get_u64(buf)?;
+    if value_bytes == 0 || f_bytes / value_bytes < 2 {
+        return Err(CodecError::Corrupt("footprint policy"));
+    }
+    let policy = FootprintPolicy::new(f_bytes, value_bytes);
+    let distinct = get_u64(buf)?;
+    let mut hist = CompactHistogram::new();
+    for _ in 0..distinct {
+        let tag = take(buf, 1)?[0];
+        let v = T::decode_value(buf)?;
+        let c = match tag {
+            0 => 1,
+            1 => {
+                let c = get_u64(buf)?;
+                if c < 2 {
+                    return Err(CodecError::Corrupt("pair count < 2"));
+                }
+                c
+            }
+            _ => return Err(CodecError::Corrupt("pair tag")),
+        };
+        hist.insert_count(v, c);
+    }
+    if !buf.is_empty() {
+        return Err(CodecError::Corrupt("trailing bytes"));
+    }
+    if hist.total() > parent_size {
+        return Err(CodecError::Corrupt("sample larger than parent"));
+    }
+    Ok(Sample::from_parts_unchecked(hist, kind, parent_size, policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_core::hybrid_bernoulli::HybridBernoulli;
+    use swh_core::hybrid_reservoir::HybridReservoir;
+    use swh_core::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    fn policy() -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(64)
+    }
+
+    #[test]
+    fn roundtrip_reservoir_sample() {
+        let mut rng = seeded_rng(1);
+        let s = HybridReservoir::new(policy()).sample_batch(0..10_000u64, &mut rng);
+        let bytes = encode_sample(&s);
+        let back: Sample<u64> = decode_sample(&bytes).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.kind(), s.kind());
+        assert_eq!(back.parent_size(), s.parent_size());
+        assert_eq!(back.policy(), s.policy());
+    }
+
+    #[test]
+    fn roundtrip_bernoulli_sample() {
+        let mut rng = seeded_rng(2);
+        let s = HybridBernoulli::new(policy(), 10_000).sample_batch(0..10_000u64, &mut rng);
+        let back: Sample<u64> = decode_sample(&encode_sample(&s)).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.kind(), s.kind());
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_with_duplicates() {
+        let mut rng = seeded_rng(3);
+        let values: Vec<u64> = (0..1000u64).map(|i| i % 7).collect();
+        let s = HybridReservoir::new(policy()).sample_batch(values, &mut rng);
+        assert_eq!(s.kind(), SampleKind::Exhaustive);
+        let back: Sample<u64> = decode_sample(&encode_sample(&s)).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.size(), 1000);
+    }
+
+    #[test]
+    fn roundtrip_string_values() {
+        let mut rng = seeded_rng(4);
+        let values: Vec<String> = (0..500).map(|i| format!("city-{}", i % 40)).collect();
+        let s = HybridReservoir::new(policy()).sample_batch(values, &mut rng);
+        let back: Sample<String> = decode_sample(&encode_sample(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn singleton_encoding_is_compact() {
+        let mut rng = seeded_rng(5);
+        // All distinct: every entry a singleton — 9 bytes each (tag + u64).
+        let s = HybridReservoir::new(policy()).sample_batch(0..50u64, &mut rng);
+        let bytes = encode_sample(&s);
+        // header: 4 magic + 1 version + 1 kind + 8*4 fields = 38 bytes,
+        // plus the 4-byte CRC trailer.
+        assert_eq!(bytes.len(), 38 + 50 * 9 + 4);
+    }
+
+    #[test]
+    fn golden_format_snapshot() {
+        // Lock the on-disk format: if this test fails, the format changed
+        // and VERSION must be bumped with a migration path.
+        let mut hist = CompactHistogram::new();
+        hist.insert_count(5u64, 3); // pair
+        hist.insert_count(9u64, 1); // singleton
+        let s = Sample::from_parts(
+            hist,
+            SampleKind::Bernoulli { q: 0.5, p_bound: 0.001 },
+            100,
+            FootprintPolicy::new(64, 8),
+        );
+        let bytes = encode_sample(&s);
+        let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
+        let expected = concat!(
+            "53574853",         // "SWHS"
+            "01",               // version 1
+            "02",               // kind: Bernoulli
+            "000000000000e03f", // q = 0.5 (f64 LE)
+            "fca9f1d24d62503f", // p = 0.001 (f64 LE)
+            "6400000000000000", // parent_size = 100
+            "4000000000000000", // F = 64 bytes
+            "0800000000000000", // value width = 8
+            "0200000000000000", // 2 distinct values
+            "01",               // tag: pair
+            "0500000000000000", // value 5
+            "0300000000000000", // count 3
+            "00",               // tag: singleton
+            "0900000000000000", // value 9
+        );
+        assert!(hex.starts_with(expected), "format drifted:\n  {hex}");
+        // Trailer = CRC32 of everything before it.
+        assert_eq!(bytes.len(), expected.len() / 2 + 4);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let mut rng = seeded_rng(6);
+        let s = HybridReservoir::new(policy()).sample_batch(0..100u64, &mut rng);
+        let bytes = encode_sample(&s);
+        for cut in [0usize, 3, 5, 10, bytes.len() - 1] {
+            let err = decode_sample::<u64>(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CodecError::UnexpectedEof
+                        | CodecError::BadHeader
+                        | CodecError::ChecksumMismatch
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        // Construct a payload with a valid CRC but the wrong magic.
+        let mut bytes = b"XXXX...".to_vec();
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_sample::<u64>(&bytes).unwrap_err(), CodecError::BadHeader);
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let mut rng = seeded_rng(7);
+        let s = HybridReservoir::new(policy()).sample_batch(0..100u64, &mut rng);
+        let good = encode_sample(&s);
+        // Flip one bit anywhere in the payload.
+        for pos in [0usize, 10, good.len() / 2, good.len() - 5] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x40;
+            assert_eq!(
+                decode_sample::<u64>(&bad).unwrap_err(),
+                CodecError::ChecksumMismatch,
+                "flip at {pos} undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut rng = seeded_rng(8);
+        let s = HybridReservoir::new(policy()).sample_batch(0..10u64, &mut rng);
+        let mut bytes = encode_sample(&s);
+        bytes.push(0xFF);
+        // An appended byte shifts the trailer, so the checksum fails.
+        assert_eq!(
+            decode_sample::<u64>(&bytes).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
+    }
+}

@@ -1,0 +1,295 @@
+//! The *full-scale* side of Fig. 1: partition data files holding the actual
+//! values, which the sample warehouse shadows.
+//!
+//! The paper assumes a full-scale warehouse exists; this module provides a
+//! minimal but real one — append-only partition files with a checksummed
+//! header, streaming scans, and partition roll-out — so examples and tests
+//! can compare approximate answers (from samples) against exact answers
+//! (from scans), and so ingestion can feed both sides from one pass.
+//!
+//! Layout mirrors [`crate::store::DiskStore`]:
+//! `<root>/ds<dataset>/p<stream>_<seq>.vals`, little-endian values through
+//! [`ValueCodec`], with a CRC-32 of the payload in the header.
+
+use crate::codec::{crc32, CodecError, ValueCodec};
+use crate::ids::{DatasetId, PartitionId, PartitionKey};
+use crate::store::StoreError;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic for full-scale partition files ("SWHV" = values).
+const MAGIC: [u8; 4] = *b"SWHV";
+
+/// Directory of full-scale partition data files.
+#[derive(Debug, Clone)]
+pub struct FullStore {
+    root: PathBuf,
+}
+
+impl FullStore {
+    /// Open (creating if needed) a full store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_path(&self, key: PartitionKey) -> PathBuf {
+        self.root
+            .join(format!("ds{}", key.dataset.0))
+            .join(format!("p{}_{}.vals", key.partition.stream, key.partition.seq))
+    }
+
+    /// Write one partition's values (replacing any previous file). Returns
+    /// the number of values written.
+    pub fn write_partition<T: ValueCodec, I: IntoIterator<Item = T>>(
+        &self,
+        key: PartitionKey,
+        values: I,
+    ) -> Result<u64, StoreError> {
+        let dir = self.file_path(key).parent().expect("file has parent").to_path_buf();
+        fs::create_dir_all(&dir)?;
+        // Encode the payload first so the header can carry count + CRC.
+        let mut payload = Vec::new();
+        let mut count = 0u64;
+        for v in values {
+            v.encode_value(&mut payload);
+            count += 1;
+        }
+        let final_path = self.file_path(key);
+        let tmp = final_path.with_extension("vals.tmp");
+        {
+            let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
+            f.write_all(&MAGIC)?;
+            f.write_all(&count.to_le_bytes())?;
+            f.write_all(&crc32(&payload).to_le_bytes())?;
+            f.write_all(&payload)?;
+            f.flush()?;
+        }
+        fs::rename(&tmp, &final_path)?;
+        Ok(count)
+    }
+
+    /// Read one partition's values into memory, verifying the checksum.
+    pub fn read_partition<T: ValueCodec>(
+        &self,
+        key: PartitionKey,
+    ) -> Result<Vec<T>, StoreError> {
+        let path = self.file_path(key);
+        let mut f = match fs::File::open(&path) {
+            Ok(f) => io::BufReader::new(f),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound(key))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut header = [0u8; 16];
+        f.read_exact(&mut header)?;
+        if header[0..4] != MAGIC {
+            return Err(StoreError::Codec(CodecError::BadHeader));
+        }
+        let count = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let stored_crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let mut payload = Vec::new();
+        f.read_to_end(&mut payload)?;
+        if crc32(&payload) != stored_crc {
+            return Err(StoreError::Codec(CodecError::ChecksumMismatch));
+        }
+        let mut buf = payload.as_slice();
+        let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+        for _ in 0..count {
+            out.push(T::decode_value(&mut buf)?);
+        }
+        if !buf.is_empty() {
+            return Err(StoreError::Codec(CodecError::Corrupt("trailing bytes")));
+        }
+        Ok(out)
+    }
+
+    /// Number of values in a stored partition (header read only).
+    pub fn partition_len(&self, key: PartitionKey) -> Result<u64, StoreError> {
+        let path = self.file_path(key);
+        let mut f = match fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound(key))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut header = [0u8; 16];
+        f.read_exact(&mut header)?;
+        if header[0..4] != MAGIC {
+            return Err(StoreError::Codec(CodecError::BadHeader));
+        }
+        Ok(u64::from_le_bytes(header[4..12].try_into().unwrap()))
+    }
+
+    /// Delete one partition's data (full-scale roll-out). Returns whether a
+    /// file was removed.
+    pub fn remove(&self, key: PartitionKey) -> Result<bool, StoreError> {
+        match fs::remove_file(self.file_path(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// List all stored partitions of a dataset, in id order.
+    pub fn list(&self, dataset: DatasetId) -> Result<Vec<PartitionKey>, StoreError> {
+        let dir = self.root.join(format!("ds{}", dataset.0));
+        let mut keys = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(keys),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".vals") else { continue };
+            let Some(body) = stem.strip_prefix('p') else { continue };
+            let Some((stream, seq)) = body.split_once('_') else { continue };
+            if let (Ok(stream), Ok(seq)) = (stream.parse(), seq.parse()) {
+                keys.push(PartitionKey { dataset, partition: PartitionId { stream, seq } });
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+
+    /// Stream every value of every partition of a dataset (partition
+    /// order), materializing one partition at a time. A partition that
+    /// fails to read (corruption, concurrent roll-out) surfaces as one
+    /// `Err` item and ends the scan, rather than aborting the process.
+    pub fn scan_dataset<T: ValueCodec>(
+        &self,
+        dataset: DatasetId,
+    ) -> Result<impl Iterator<Item = Result<T, StoreError>> + '_, StoreError> {
+        let keys = self.list(dataset)?;
+        let store = self.clone();
+        let mut current: Vec<T> = Vec::new();
+        let mut current_idx = 0usize;
+        let mut key_iter = keys.into_iter();
+        let mut failed = false;
+        Ok(std::iter::from_fn(move || loop {
+            if failed {
+                return None;
+            }
+            if current_idx < current.len() {
+                let v = current[current_idx].clone();
+                current_idx += 1;
+                return Some(Ok(v));
+            }
+            let key = key_iter.next()?;
+            match store.read_partition(key) {
+                Ok(values) => {
+                    current = values;
+                    current_idx = 0;
+                }
+                Err(e) => {
+                    failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("swh-full-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(ds: u64, seq: u64) -> PartitionKey {
+        PartitionKey { dataset: DatasetId(ds), partition: PartitionId::seq(seq) }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let store = FullStore::open(tmp_root("rt")).unwrap();
+        let values: Vec<i64> = (0..10_000).map(|i| i * 3 - 5_000).collect();
+        let n = store.write_partition(key(1, 0), values.iter().copied()).unwrap();
+        assert_eq!(n, 10_000);
+        assert_eq!(store.partition_len(key(1, 0)).unwrap(), 10_000);
+        let back: Vec<i64> = store.read_partition(key(1, 0)).unwrap();
+        assert_eq!(back, values);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn scan_dataset_concatenates_partitions() {
+        let store = FullStore::open(tmp_root("scan")).unwrap();
+        for seq in 0..4u64 {
+            store
+                .write_partition(key(1, seq), (seq * 100..(seq + 1) * 100).map(|v| v as i64))
+                .unwrap();
+        }
+        let all: Vec<i64> = store
+            .scan_dataset(DatasetId(1))
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(all.len(), 400);
+        assert_eq!(all, (0..400).collect::<Vec<i64>>());
+        // A corrupted partition surfaces as an Err item, not a panic.
+        let path = store.root().join("ds1").join("p0_2.vals");
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        let items: Vec<Result<i64, StoreError>> =
+            store.scan_dataset(DatasetId(1)).unwrap().collect();
+        assert!(items.iter().any(Result::is_err), "corruption not surfaced");
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let store = FullStore::open(tmp_root("corrupt")).unwrap();
+        store.write_partition(key(1, 0), (0..100).map(|v| v as i64)).unwrap();
+        // Flip a byte in the payload.
+        let path = store.root().join("ds1").join("p0_0.vals");
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 3] ^= 0x10;
+        fs::write(&path, bytes).unwrap();
+        let err = store.read_partition::<i64>(key(1, 0)).unwrap_err();
+        assert!(matches!(err, StoreError::Codec(CodecError::ChecksumMismatch)), "{err:?}");
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn remove_and_missing() {
+        let store = FullStore::open(tmp_root("rm")).unwrap();
+        store.write_partition(key(1, 0), [1i64, 2, 3]).unwrap();
+        assert!(store.remove(key(1, 0)).unwrap());
+        assert!(!store.remove(key(1, 0)).unwrap());
+        assert!(matches!(
+            store.read_partition::<i64>(key(1, 0)),
+            Err(StoreError::NotFound(_))
+        ));
+        assert!(store.list(DatasetId(1)).unwrap().is_empty());
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn empty_partition_roundtrip() {
+        let store = FullStore::open(tmp_root("empty")).unwrap();
+        store.write_partition::<i64, _>(key(1, 0), std::iter::empty()).unwrap();
+        assert_eq!(store.partition_len(key(1, 0)).unwrap(), 0);
+        assert!(store.read_partition::<i64>(key(1, 0)).unwrap().is_empty());
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+}

@@ -1,0 +1,83 @@
+//! Identifiers for data sets and their partitions.
+//!
+//! Following Fig. 1 of the paper, a data set `D` may be parallelized across
+//! CPUs as `D_1, D_2, ...` and each stream partitioned temporally into
+//! `D_{i,1}, D_{i,2}, ...`. A [`PartitionId`] carries both coordinates; the
+//! common single-stream case uses stream 0.
+
+use std::fmt;
+
+/// Identifier of a data set within the warehouse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub u64);
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Identifier of one partition of a data set: `(stream, seq)` — the paper's
+/// `D_{i,j}` with `i` the parallel stream and `j` the temporal sequence
+/// number (e.g. the day).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId {
+    /// Parallel-stream index (`i` in `D_{i,j}`).
+    pub stream: u32,
+    /// Temporal/sequence index (`j` in `D_{i,j}`).
+    pub seq: u64,
+}
+
+impl PartitionId {
+    /// Partition `j` of the single (0th) stream.
+    pub fn seq(seq: u64) -> Self {
+        Self { stream: 0, seq }
+    }
+
+    /// Partition `(i, j)`.
+    pub fn new(stream: u32, seq: u64) -> Self {
+        Self { stream, seq }
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.stream, self.seq)
+    }
+}
+
+/// Fully qualified partition key: dataset + partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionKey {
+    /// Owning dataset.
+    pub dataset: DatasetId,
+    /// Partition within the dataset.
+    pub partition: PartitionId,
+}
+
+impl fmt::Display for PartitionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.dataset, self.partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let key = PartitionKey {
+            dataset: DatasetId(3),
+            partition: PartitionId::new(1, 7),
+        };
+        assert_eq!(key.to_string(), "D3(1,7)");
+        assert_eq!(PartitionId::seq(5).to_string(), "(0,5)");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(PartitionId::new(0, 9) < PartitionId::new(1, 0));
+        assert!(PartitionId::seq(1) < PartitionId::seq(2));
+    }
+}

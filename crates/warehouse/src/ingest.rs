@@ -1,0 +1,468 @@
+//! Ingestion-side partitioning (§2 of the paper).
+//!
+//! * [`StreamRouter`] splits one incoming stream over `k` samplers, as when
+//!   "the incoming stream could be split over a number of machines and
+//!   samples from the concurrent sampling processes merged on demand".
+//! * [`RatioBoundedPartitioner`] performs the on-the-fly temporal
+//!   partitioning the paper describes for fluctuating arrival rates: a
+//!   partition is finalized as soon as the sample-to-parent ratio falls to a
+//!   specified lower bound, and a fresh partition (and sample) begins.
+//! * [`SamplerConfig`] selects which bounded algorithm ingestion uses.
+
+use std::hash::{BuildHasher, BuildHasherDefault};
+use swh_core::footprint::FootprintPolicy;
+use swh_core::fxhash::FxHasher;
+use swh_core::hybrid_bernoulli::HybridBernoulli;
+use swh_core::hybrid_reservoir::HybridReservoir;
+use swh_core::sample::Sample;
+use swh_core::sampler::Sampler;
+use swh_core::value::SampleValue;
+use rand::Rng;
+
+/// Which bounded-footprint algorithm ingestion should run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SamplerConfig {
+    /// Algorithm HB with the given expected partition size and exceedance
+    /// probability (requires the partition size a priori, §4.3).
+    HybridBernoulli {
+        /// Expected partition size `N`.
+        expected_n: u64,
+        /// Target `P{|S| > n_F}`.
+        p_bound: f64,
+    },
+    /// Algorithm HR (no a priori size needed).
+    HybridReservoir,
+}
+
+/// A sampler built from a [`SamplerConfig`] — the small closed set of
+/// algorithms ingestion supports.
+#[derive(Debug, Clone)]
+pub enum ConfiguredSampler<T: SampleValue> {
+    /// Algorithm HB.
+    Hb(HybridBernoulli<T>),
+    /// Algorithm HR.
+    Hr(HybridReservoir<T>),
+}
+
+impl SamplerConfig {
+    /// Instantiate a sampler for one partition.
+    pub fn build<T: SampleValue>(&self, policy: FootprintPolicy) -> ConfiguredSampler<T> {
+        match *self {
+            SamplerConfig::HybridBernoulli { expected_n, p_bound } => {
+                ConfiguredSampler::Hb(HybridBernoulli::with_p_bound(policy, expected_n, p_bound))
+            }
+            SamplerConfig::HybridReservoir => {
+                ConfiguredSampler::Hr(HybridReservoir::new(policy))
+            }
+        }
+    }
+}
+
+impl<T: SampleValue> Sampler<T> for ConfiguredSampler<T> {
+    fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        match self {
+            ConfiguredSampler::Hb(s) => s.observe(value, rng),
+            ConfiguredSampler::Hr(s) => s.observe(value, rng),
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        match self {
+            ConfiguredSampler::Hb(s) => s.observed(),
+            ConfiguredSampler::Hr(s) => s.observed(),
+        }
+    }
+
+    fn current_size(&self) -> u64 {
+        match self {
+            ConfiguredSampler::Hb(s) => s.current_size(),
+            ConfiguredSampler::Hr(s) => s.current_size(),
+        }
+    }
+
+    fn finalize<R: Rng + ?Sized>(self, rng: &mut R) -> Sample<T> {
+        match self {
+            ConfiguredSampler::Hb(s) => s.finalize(rng),
+            ConfiguredSampler::Hr(s) => s.finalize(rng),
+        }
+    }
+}
+
+/// How a stream is split across parallel samplers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Element `i` goes to sampler `i mod k`. Deterministic, perfectly
+    /// balanced; the resulting partitions interleave the stream.
+    RoundRobin,
+    /// Element goes to sampler `hash(value) mod k`. Keeps equal values
+    /// together (each sub-partition sees a disjoint *value* domain).
+    ///
+    /// Note: hash splitting makes partitions disjoint *bags* only if the
+    /// domains are; equal values always land together, so the partitions
+    /// are disjoint as value sets and their union reconstructs the stream.
+    ByValueHash,
+}
+
+/// Routes one incoming stream over `k` parallel samplers (Fig. 1's
+/// `D → D_1, D_2, ...` split) and finalizes them into per-partition
+/// samples.
+#[derive(Debug)]
+pub struct StreamRouter<T: SampleValue> {
+    samplers: Vec<ConfiguredSampler<T>>,
+    policy_split: SplitPolicy,
+    routed: u64,
+    hasher: BuildHasherDefault<FxHasher>,
+}
+
+impl<T: SampleValue> StreamRouter<T> {
+    /// Create a router over `k` samplers built from `config`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(
+        k: usize,
+        config: SamplerConfig,
+        policy: FootprintPolicy,
+        split: SplitPolicy,
+    ) -> Self {
+        assert!(k > 0, "need at least one sampler");
+        Self {
+            samplers: (0..k).map(|_| config.build(policy)).collect(),
+            policy_split: split,
+            routed: 0,
+            hasher: BuildHasherDefault::default(),
+        }
+    }
+
+    /// Number of parallel samplers.
+    pub fn fan_out(&self) -> usize {
+        self.samplers.len()
+    }
+
+    /// Route one arriving element to its sampler.
+    pub fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        let k = self.samplers.len();
+        let idx = match self.policy_split {
+            SplitPolicy::RoundRobin => (self.routed % k as u64) as usize,
+            SplitPolicy::ByValueHash => (self.hasher.hash_one(&value) % k as u64) as usize,
+        };
+        self.routed += 1;
+        self.samplers[idx].observe(value, rng);
+    }
+
+    /// Total elements routed.
+    pub fn observed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Finalize all samplers into per-partition samples (in sampler order).
+    pub fn finalize<R: Rng + ?Sized>(self, rng: &mut R) -> Vec<Sample<T>> {
+        self.samplers.into_iter().map(|s| s.finalize(rng)).collect()
+    }
+}
+
+/// On-the-fly partitioner: finalizes the current partition whenever the
+/// sample-to-parent ratio drops to `min_ratio` (§2: "we wait until the ratio
+/// of sampled data to observed parent data hits the specified lower bound,
+/// at which point we finalize the current data partition (and corresponding
+/// sample), and begin a new partition").
+///
+/// Built on Algorithm HR, whose fixed-size sample makes the ratio monotone
+/// within a partition.
+#[derive(Debug)]
+pub struct RatioBoundedPartitioner<T: SampleValue> {
+    policy: FootprintPolicy,
+    min_ratio: f64,
+    current: HybridReservoir<T>,
+    finished: Vec<Sample<T>>,
+}
+
+impl<T: SampleValue> RatioBoundedPartitioner<T> {
+    /// Create a partitioner that closes a partition once
+    /// `sample_size / observed ≤ min_ratio`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_ratio ≤ 1`.
+    pub fn new(policy: FootprintPolicy, min_ratio: f64) -> Self {
+        assert!(
+            min_ratio > 0.0 && min_ratio <= 1.0,
+            "ratio bound must lie in (0, 1], got {min_ratio}"
+        );
+        Self { policy, min_ratio, current: HybridReservoir::new(policy), finished: Vec::new() }
+    }
+
+    /// Feed one arriving element.
+    pub fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.current.observe(value, rng);
+        let observed = self.current.observed();
+        let ratio = self.current.current_size() as f64 / observed as f64;
+        if ratio <= self.min_ratio {
+            let full = std::mem::replace(&mut self.current, HybridReservoir::new(self.policy));
+            self.finished.push(full.finalize(rng));
+        }
+    }
+
+    /// Partitions finalized so far.
+    pub fn finished(&self) -> &[Sample<T>] {
+        &self.finished
+    }
+
+    /// End the stream: finalize the in-progress partition (if non-empty)
+    /// and return all partition samples in order.
+    pub fn finish<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<Sample<T>> {
+        if self.current.observed() > 0 {
+            let s = self.current.finalize(rng);
+            self.finished.push(s);
+        }
+        self.finished
+    }
+}
+
+/// Temporal partitioner: closes the current partition whenever the event
+/// time crosses a window boundary (§2's "partition the incoming data stream
+/// temporally, e.g., one partition per day"). The complement of
+/// [`RatioBoundedPartitioner`]: partitions have fixed time spans and
+/// variable sizes, instead of variable spans and bounded sampling ratios.
+#[derive(Debug)]
+pub struct TimePartitioner<T: SampleValue> {
+    policy: FootprintPolicy,
+    window: f64,
+    /// Exclusive end time of the current window.
+    current_end: f64,
+    current: HybridReservoir<T>,
+    finished: Vec<(u64, Sample<T>)>,
+    next_seq: u64,
+}
+
+impl<T: SampleValue> TimePartitioner<T> {
+    /// Partition a timestamped stream into windows of `window` time units
+    /// (the first window is `[0, window)`).
+    ///
+    /// # Panics
+    /// Panics unless `window` is finite and positive.
+    pub fn new(policy: FootprintPolicy, window: f64) -> Self {
+        assert!(window.is_finite() && window > 0.0, "window must be positive");
+        Self {
+            policy,
+            window,
+            current_end: window,
+            current: HybridReservoir::new(policy),
+            finished: Vec::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Feed one timestamped element. Timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics if `time` lies before the current window (i.e. in a window
+    /// that has already been closed).
+    pub fn observe_at<R: Rng + ?Sized>(&mut self, time: f64, value: T, rng: &mut R) {
+        assert!(
+            time >= self.current_end - self.window,
+            "event at t={time} belongs to an already-closed window \
+             (current window starts at {})",
+            self.current_end - self.window
+        );
+        while time >= self.current_end {
+            self.close_current(rng);
+        }
+        self.current.observe(value, rng);
+    }
+
+    fn close_current<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let full = std::mem::replace(&mut self.current, HybridReservoir::new(self.policy));
+        if full.observed() > 0 {
+            self.finished.push((self.next_seq, full.finalize(rng)));
+        }
+        self.next_seq += 1;
+        self.current_end += self.window;
+    }
+
+    /// Windows closed so far, as `(window_seq, sample)`.
+    pub fn finished(&self) -> &[(u64, Sample<T>)] {
+        &self.finished
+    }
+
+    /// End the stream: close the in-progress window (if non-empty) and
+    /// return all `(window_seq, sample)` pairs in order. Empty windows are
+    /// skipped but still consume sequence numbers, so `seq` reflects wall
+    /// clock.
+    pub fn finish<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<(u64, Sample<T>)> {
+        if self.current.observed() > 0 {
+            let s = self.current.finalize(rng);
+            self.finished.push((self.next_seq, s));
+        }
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_rand::seeded_rng;
+
+    fn policy(n_f: u64) -> FootprintPolicy {
+        FootprintPolicy::with_value_budget(n_f)
+    }
+
+    #[test]
+    fn time_partitioner_closes_on_boundaries() {
+        let mut rng = seeded_rng(30);
+        let mut p: TimePartitioner<u64> = TimePartitioner::new(policy(64), 1.0);
+        // 10 events in window 0, 5 in window 1, none in window 2, 3 in 3.
+        for i in 0..10u64 {
+            p.observe_at(0.05 * i as f64, i, &mut rng);
+        }
+        for i in 0..5u64 {
+            p.observe_at(1.1 + 0.1 * i as f64, 100 + i, &mut rng);
+        }
+        for i in 0..3u64 {
+            p.observe_at(3.2 + 0.1 * i as f64, 200 + i, &mut rng);
+        }
+        let windows = p.finish(&mut rng);
+        let seqs: Vec<u64> = windows.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 3], "empty window 2 skipped but numbered");
+        assert_eq!(windows[0].1.parent_size(), 10);
+        assert_eq!(windows[1].1.parent_size(), 5);
+        assert_eq!(windows[2].1.parent_size(), 3);
+    }
+
+    #[test]
+    fn time_partitioner_respects_footprint() {
+        let mut rng = seeded_rng(31);
+        let n_f = 16u64;
+        let mut p: TimePartitioner<u64> = TimePartitioner::new(policy(n_f), 10.0);
+        for i in 0..5_000u64 {
+            p.observe_at(i as f64 * 0.001, i, &mut rng);
+        }
+        let windows = p.finish(&mut rng);
+        assert_eq!(windows.len(), 1);
+        assert!(windows[0].1.size() <= n_f);
+        assert_eq!(windows[0].1.parent_size(), 5_000);
+    }
+
+    #[test]
+    fn round_robin_balances_exactly() {
+        let mut rng = seeded_rng(1);
+        let mut router: StreamRouter<u64> = StreamRouter::new(
+            4,
+            SamplerConfig::HybridReservoir,
+            policy(32),
+            SplitPolicy::RoundRobin,
+        );
+        for v in 0..1000u64 {
+            router.observe(v, &mut rng);
+        }
+        let samples = router.finalize(&mut rng);
+        assert_eq!(samples.len(), 4);
+        for s in &samples {
+            assert_eq!(s.parent_size(), 250);
+        }
+    }
+
+    #[test]
+    fn hash_split_keeps_equal_values_together() {
+        let mut rng = seeded_rng(2);
+        let mut router: StreamRouter<u64> = StreamRouter::new(
+            4,
+            SamplerConfig::HybridReservoir,
+            policy(1024),
+            SplitPolicy::ByValueHash,
+        );
+        for v in (0..4000u64).map(|i| i % 100) {
+            router.observe(v, &mut rng);
+        }
+        let samples = router.finalize(&mut rng);
+        // Each distinct value appears in exactly one partition.
+        let mut seen = std::collections::HashMap::new();
+        for (i, s) in samples.iter().enumerate() {
+            for (v, _) in s.histogram().iter() {
+                if let Some(prev) = seen.insert(*v, i) {
+                    panic!("value {v} in partitions {prev} and {i}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn router_samples_union_covers_stream() {
+        let mut rng = seeded_rng(3);
+        let mut router: StreamRouter<u64> = StreamRouter::new(
+            3,
+            SamplerConfig::HybridReservoir,
+            policy(4096),
+            SplitPolicy::RoundRobin,
+        );
+        for v in 0..3000u64 {
+            router.observe(v, &mut rng);
+        }
+        let samples = router.finalize(&mut rng);
+        // Small stream: all samples exhaustive; union = stream.
+        let total: u64 = samples.iter().map(Sample::size).sum();
+        assert_eq!(total, 3000);
+    }
+
+    #[test]
+    fn hb_config_builds_working_sampler() {
+        let mut rng = seeded_rng(4);
+        let cfg = SamplerConfig::HybridBernoulli { expected_n: 10_000, p_bound: 1e-3 };
+        let mut s: ConfiguredSampler<u64> = cfg.build(policy(128));
+        for v in 0..10_000u64 {
+            s.observe(v, &mut rng);
+        }
+        let sample = s.finalize(&mut rng);
+        assert!(sample.size() <= 128);
+        assert_eq!(sample.parent_size(), 10_000);
+    }
+
+    #[test]
+    fn ratio_partitioner_closes_partitions_at_bound() {
+        let mut rng = seeded_rng(5);
+        let n_f = 64u64;
+        let min_ratio = 0.25;
+        let mut p: RatioBoundedPartitioner<u64> =
+            RatioBoundedPartitioner::new(policy(n_f), min_ratio);
+        for v in 0..10_000u64 {
+            p.observe(v, &mut rng);
+        }
+        let parts = p.finish(&mut rng);
+        assert!(parts.len() > 1, "expected multiple partitions");
+        // Every finalized partition respects the ratio bound.
+        for s in &parts {
+            let ratio = s.size() as f64 / s.parent_size() as f64;
+            assert!(
+                ratio >= min_ratio - 1e-9,
+                "partition ratio {ratio} below bound (size {} parent {})",
+                s.size(),
+                s.parent_size()
+            );
+        }
+        // Partitions cover the stream exactly.
+        let covered: u64 = parts.iter().map(Sample::parent_size).sum();
+        assert_eq!(covered, 10_000);
+        // Partition size should be ~ n_f / min_ratio = 256 elements.
+        let first = parts[0].parent_size();
+        assert_eq!(first, (n_f as f64 / min_ratio) as u64);
+    }
+
+    #[test]
+    fn ratio_partitioner_handles_short_stream() {
+        let mut rng = seeded_rng(6);
+        let mut p: RatioBoundedPartitioner<u64> =
+            RatioBoundedPartitioner::new(policy(64), 0.25);
+        for v in 0..10u64 {
+            p.observe(v, &mut rng);
+        }
+        let parts = p.finish(&mut rng);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].size(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio bound must lie in (0, 1]")]
+    fn ratio_partitioner_rejects_bad_ratio() {
+        RatioBoundedPartitioner::<u64>::new(policy(8), 0.0);
+    }
+}

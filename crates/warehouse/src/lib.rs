@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! The sample data warehouse (§2 of the paper): a catalog of per-partition
+//! samples that "shadows" a full-scale warehouse.
+//!
+//! Data sets are bags of values that arrive in batches or streams and are
+//! divided into disjoint partitions. Each partition is sampled independently
+//! (possibly in parallel) with Algorithm HB or HR; the resulting
+//! [`swh_core::Sample`]s are rolled into the warehouse, retrieved and merged
+//! on demand into a uniform sample of any union of partitions, and rolled
+//! out when the underlying data leaves the full-scale warehouse.
+//!
+//! Layers:
+//!
+//! * [`ids`] — dataset/partition identifiers.
+//! * [`catalog`] — thread-safe in-memory registry of partition samples.
+//! * [`ingest`] — stream splitting (round-robin/hash), ratio-triggered
+//!   on-the-fly partitioning, and sampler configuration.
+//! * [`parallel`] — sampling many partitions on scoped worker threads.
+//! * [`codec`] + [`store`] — compact binary persistence of samples.
+//! * [`window`] — sliding-window roll-in/roll-out (daily partitions merged
+//!   into weekly/monthly samples, approximating stream-sampling schemes).
+//! * [`warehouse`] — the [`SampleWarehouse`] facade tying it together.
+
+pub mod catalog;
+pub mod codec;
+pub mod fullstore;
+pub mod ids;
+pub mod ingest;
+pub mod maintenance;
+pub mod parallel;
+pub mod registry;
+pub mod store;
+pub mod warehouse;
+pub mod window;
+
+pub use catalog::{Catalog, CatalogError, PartitionEntry};
+pub use codec::{decode_sample, encode_sample, CodecError, ValueCodec};
+pub use fullstore::FullStore;
+pub use ids::{DatasetId, PartitionId, PartitionKey};
+pub use maintenance::IncrementalSample;
+pub use ingest::{RatioBoundedPartitioner, SamplerConfig, SplitPolicy, StreamRouter, TimePartitioner};
+pub use parallel::sample_partitions_parallel;
+pub use registry::DatasetRegistry;
+pub use store::DiskStore;
+pub use warehouse::{SampleWarehouse, WarehouseError};
+pub use window::{SlidingWindow, TumblingWindow};

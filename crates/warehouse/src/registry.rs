@@ -1,0 +1,177 @@
+//! Human-readable dataset names.
+//!
+//! The paper's warehouse "comprises many data sets" — a column of a
+//! relational table, a leaf node of an XML schema — which tooling wants to
+//! address by name (`orders.amount`), not by numeric id. The registry maps
+//! names to [`DatasetId`]s, persists as a plain text file next to the
+//! stores (`names.tsv`: `id<TAB>name` per line), and hands out fresh ids.
+
+use crate::ids::DatasetId;
+use crate::store::StoreError;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Bidirectional name ↔ id map with optional file persistence.
+#[derive(Debug)]
+pub struct DatasetRegistry {
+    inner: RwLock<Inner>,
+    path: Option<PathBuf>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_name: BTreeMap<String, DatasetId>,
+    by_id: BTreeMap<DatasetId, String>,
+    next_id: u64,
+}
+
+impl DatasetRegistry {
+    /// In-memory registry (no persistence).
+    pub fn in_memory() -> Self {
+        Self { inner: RwLock::new(Inner::default()), path: None }
+    }
+
+    /// Open a registry persisted at `dir/names.tsv`, loading existing
+    /// entries.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        let path = dir.as_ref().join("names.tsv");
+        let mut inner = Inner::default();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for (lineno, line) in text.lines().enumerate() {
+                    let line = line.trim();
+                    if line.is_empty() {
+                        continue;
+                    }
+                    let Some((id, name)) = line.split_once('\t') else {
+                        return Err(StoreError::Codec(crate::codec::CodecError::Corrupt(
+                            "registry line missing tab",
+                        )));
+                    };
+                    let id: u64 = id.parse().map_err(|_| {
+                        StoreError::Codec(crate::codec::CodecError::Corrupt("registry id"))
+                    })?;
+                    let _ = lineno;
+                    inner.by_name.insert(name.to_string(), DatasetId(id));
+                    inner.by_id.insert(DatasetId(id), name.to_string());
+                    inner.next_id = inner.next_id.max(id + 1);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        Ok(Self { inner: RwLock::new(inner), path: Some(path) })
+    }
+
+    fn persist(&self, inner: &Inner) -> Result<(), StoreError> {
+        let Some(path) = &self.path else { return Ok(()) };
+        let tmp = path.with_extension("tsv.tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            for (id, name) in &inner.by_id {
+                writeln!(f, "{}\t{}", id.0, name)?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Resolve a name, registering it with a fresh id if unknown.
+    ///
+    /// # Panics
+    /// Panics if `name` contains a tab or newline (unrepresentable in the
+    /// persistent form).
+    pub fn resolve_or_create(&self, name: &str) -> Result<DatasetId, StoreError> {
+        assert!(
+            !name.contains('\t') && !name.contains('\n') && !name.is_empty(),
+            "dataset names must be non-empty and tab/newline-free"
+        );
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(name) {
+            return Ok(id);
+        }
+        let id = DatasetId(inner.next_id);
+        inner.next_id += 1;
+        inner.by_name.insert(name.to_string(), id);
+        inner.by_id.insert(id, name.to_string());
+        self.persist(&inner)?;
+        Ok(id)
+    }
+
+    /// Look a name up without creating it.
+    pub fn lookup(&self, name: &str) -> Option<DatasetId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Reverse lookup.
+    pub fn name_of(&self, id: DatasetId) -> Option<String> {
+        self.inner.read().by_id.get(&id).cloned()
+    }
+
+    /// All `(id, name)` pairs in id order.
+    pub fn entries(&self) -> Vec<(DatasetId, String)> {
+        self.inner.read().by_id.iter().map(|(id, n)| (*id, n.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swh-reg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn resolve_is_idempotent() {
+        let reg = DatasetRegistry::in_memory();
+        let a = reg.resolve_or_create("orders.amount").unwrap();
+        let b = reg.resolve_or_create("orders.amount").unwrap();
+        assert_eq!(a, b);
+        let c = reg.resolve_or_create("orders.zip").unwrap();
+        assert_ne!(a, c);
+        assert_eq!(reg.name_of(a).as_deref(), Some("orders.amount"));
+        assert_eq!(reg.lookup("orders.zip"), Some(c));
+        assert_eq!(reg.lookup("nope"), None);
+    }
+
+    #[test]
+    fn persists_and_reloads() {
+        let dir = tmp_dir("persist");
+        let (a, b);
+        {
+            let reg = DatasetRegistry::open(&dir).unwrap();
+            a = reg.resolve_or_create("alpha").unwrap();
+            b = reg.resolve_or_create("beta").unwrap();
+        }
+        let reg = DatasetRegistry::open(&dir).unwrap();
+        assert_eq!(reg.lookup("alpha"), Some(a));
+        assert_eq!(reg.lookup("beta"), Some(b));
+        // New ids continue after the persisted maximum.
+        let c = reg.resolve_or_create("gamma").unwrap();
+        assert!(c.0 > b.0);
+        assert_eq!(reg.entries().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let dir = tmp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("names.tsv"), "no-tab-here\n").unwrap();
+        assert!(DatasetRegistry::open(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "tab/newline-free")]
+    fn rejects_tab_in_name() {
+        DatasetRegistry::in_memory().resolve_or_create("a\tb").unwrap();
+    }
+}

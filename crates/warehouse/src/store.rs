@@ -1,0 +1,233 @@
+//! Disk-backed sample store.
+//!
+//! Persists encoded samples (see [`crate::codec`]) under a directory, one
+//! file per partition key. The layout is
+//! `<root>/ds<dataset>/p<stream>_<seq>.swhs`, human-inspectable and cheap
+//! to list. Writes go through a temp file + rename so a crash never leaves
+//! a torn sample behind.
+
+use crate::codec::{decode_sample, encode_sample, CodecError, ValueCodec};
+use crate::ids::{DatasetId, PartitionId, PartitionKey};
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use swh_core::sample::Sample;
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The stored bytes failed to decode.
+    Codec(CodecError),
+    /// No sample stored under that key.
+    NotFound(PartitionKey),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::NotFound(k) => write!(f, "no stored sample for {k}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// A directory of persisted partition samples.
+#[derive(Debug, Clone)]
+pub struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn dataset_dir(&self, dataset: DatasetId) -> PathBuf {
+        self.root.join(format!("ds{}", dataset.0))
+    }
+
+    fn file_path(&self, key: PartitionKey) -> PathBuf {
+        self.dataset_dir(key.dataset)
+            .join(format!("p{}_{}.swhs", key.partition.stream, key.partition.seq))
+    }
+
+    /// Persist a sample under `key`, replacing any previous version.
+    pub fn save<T: ValueCodec>(
+        &self,
+        key: PartitionKey,
+        sample: &Sample<T>,
+    ) -> Result<(), StoreError> {
+        let dir = self.dataset_dir(key.dataset);
+        fs::create_dir_all(&dir)?;
+        let bytes = encode_sample(sample);
+        let final_path = self.file_path(key);
+        let tmp_path = final_path.with_extension("swhs.tmp");
+        {
+            let mut f = io::BufWriter::new(fs::File::create(&tmp_path)?);
+            f.write_all(&bytes)?;
+            f.flush()?;
+        }
+        fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+
+    /// Load the sample stored under `key`.
+    pub fn load<T: ValueCodec>(&self, key: PartitionKey) -> Result<Sample<T>, StoreError> {
+        let path = self.file_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Err(StoreError::NotFound(key))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        Ok(decode_sample(&bytes)?)
+    }
+
+    /// Delete the sample stored under `key` (roll-out). Returns whether a
+    /// file was removed.
+    pub fn remove(&self, key: PartitionKey) -> Result<bool, StoreError> {
+        match fs::remove_file(self.file_path(key)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// List all partition keys stored for a dataset, in id order.
+    pub fn list(&self, dataset: DatasetId) -> Result<Vec<PartitionKey>, StoreError> {
+        let dir = self.dataset_dir(dataset);
+        let mut keys = Vec::new();
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(keys),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(stem) = name.strip_suffix(".swhs") else { continue };
+            let Some(body) = stem.strip_prefix('p') else { continue };
+            let Some((stream, seq)) = body.split_once('_') else { continue };
+            if let (Ok(stream), Ok(seq)) = (stream.parse(), seq.parse()) {
+                keys.push(PartitionKey {
+                    dataset,
+                    partition: PartitionId { stream, seq },
+                });
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::hybrid_reservoir::HybridReservoir;
+    use swh_core::sampler::Sampler;
+    use swh_rand::seeded_rng;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("swh-store-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key(ds: u64, seq: u64) -> PartitionKey {
+        PartitionKey { dataset: DatasetId(ds), partition: PartitionId::seq(seq) }
+    }
+
+    fn sample(range: std::ops::Range<u64>, rng: &mut rand::rngs::SmallRng) -> Sample<u64> {
+        HybridReservoir::new(FootprintPolicy::with_value_budget(32)).sample_batch(range, rng)
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = seeded_rng(1);
+        let store = DiskStore::open(tmp_root("roundtrip")).unwrap();
+        let s = sample(0..5000, &mut rng);
+        store.save(key(1, 0), &s).unwrap();
+        let back: Sample<u64> = store.load(key(1, 0)).unwrap();
+        assert_eq!(back, s);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn load_missing_is_not_found() {
+        let store = DiskStore::open(tmp_root("missing")).unwrap();
+        assert!(matches!(
+            store.load::<u64>(key(1, 0)),
+            Err(StoreError::NotFound(_))
+        ));
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn list_returns_sorted_keys() {
+        let mut rng = seeded_rng(2);
+        let store = DiskStore::open(tmp_root("list")).unwrap();
+        for seq in [5u64, 1, 3] {
+            store.save(key(2, seq), &sample(0..100, &mut rng)).unwrap();
+        }
+        let keys = store.list(DatasetId(2)).unwrap();
+        let seqs: Vec<u64> = keys.iter().map(|k| k.partition.seq).collect();
+        assert_eq!(seqs, vec![1, 3, 5]);
+        // Unknown dataset lists empty.
+        assert!(store.list(DatasetId(99)).unwrap().is_empty());
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn remove_rolls_out() {
+        let mut rng = seeded_rng(3);
+        let store = DiskStore::open(tmp_root("remove")).unwrap();
+        store.save(key(1, 0), &sample(0..100, &mut rng)).unwrap();
+        assert!(store.remove(key(1, 0)).unwrap());
+        assert!(!store.remove(key(1, 0)).unwrap());
+        assert!(matches!(
+            store.load::<u64>(key(1, 0)),
+            Err(StoreError::NotFound(_))
+        ));
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut rng = seeded_rng(4);
+        let store = DiskStore::open(tmp_root("overwrite")).unwrap();
+        let a = sample(0..100, &mut rng);
+        let b = sample(100..300, &mut rng);
+        store.save(key(1, 0), &a).unwrap();
+        store.save(key(1, 0), &b).unwrap();
+        let got: Sample<u64> = store.load(key(1, 0)).unwrap();
+        assert_eq!(got, b);
+        fs::remove_dir_all(store.root()).unwrap();
+    }
+}

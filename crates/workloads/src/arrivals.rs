@@ -1,0 +1,183 @@
+//! Timestamped arrival simulation for the paper's streaming scenarios
+//! (§2): values arrive as "a streamed sequence of singleton values" whose
+//! rate fluctuates, which is what motivates ratio-triggered on-the-fly
+//! partitioning and temporal partitioning by wall clock rather than count.
+//!
+//! An [`ArrivalProcess`] is a Poisson process with a piecewise-constant
+//! rate profile; it yields `(timestamp, value)` events where values come
+//! from any [`crate::dataset::DataDistribution`].
+
+use crate::dataset::DataSpec;
+use swh_rand::exponential::exponential;
+use swh_rand::seeded_rng;
+
+/// One constant-rate phase of the arrival profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePhase {
+    /// Events per unit time during this phase.
+    pub rate: f64,
+    /// Duration of the phase in time units.
+    pub duration: f64,
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Arrival {
+    /// Event time (time units since stream start).
+    pub time: f64,
+    /// The data value.
+    pub value: u64,
+}
+
+/// Poisson arrival process with a repeating piecewise-constant rate
+/// profile.
+#[derive(Debug, Clone)]
+pub struct ArrivalProcess {
+    phases: Vec<RatePhase>,
+    values: crate::dataset::ValueStream,
+    rng: rand::rngs::SmallRng,
+    /// Current absolute time.
+    now: f64,
+    /// Index into the (cyclic) phase list.
+    phase_idx: usize,
+    /// Time remaining in the current phase.
+    phase_left: f64,
+}
+
+impl ArrivalProcess {
+    /// Create a process yielding values of `spec` (its population is the
+    /// total number of events) with the given repeating rate profile.
+    ///
+    /// # Panics
+    /// Panics if `phases` is empty or any phase has non-positive rate or
+    /// duration.
+    pub fn new(spec: DataSpec, phases: Vec<RatePhase>, seed: u64) -> Self {
+        assert!(!phases.is_empty(), "need at least one rate phase");
+        for p in &phases {
+            assert!(p.rate > 0.0 && p.rate.is_finite(), "phase rate must be positive");
+            assert!(p.duration > 0.0 && p.duration.is_finite(), "phase duration must be positive");
+        }
+        let phase_left = phases[0].duration;
+        Self {
+            phases,
+            values: spec.stream(),
+            rng: seeded_rng(seed ^ 0xA11C_E5ED),
+            now: 0.0,
+            phase_idx: 0,
+            phase_left,
+        }
+    }
+
+    /// Current rate (events per time unit).
+    pub fn current_rate(&self) -> f64 {
+        self.phases[self.phase_idx].rate
+    }
+}
+
+impl Iterator for ArrivalProcess {
+    type Item = Arrival;
+
+    fn next(&mut self) -> Option<Arrival> {
+        let value = self.values.next()?;
+        // Advance time by an exponential gap, crossing phase boundaries
+        // with the standard thinning-free piecewise construction: a gap at
+        // rate r consumes `gap` time; if it exceeds the phase remainder the
+        // residual is re-drawn in the next phase (memorylessness).
+        loop {
+            let rate = self.phases[self.phase_idx].rate;
+            let gap = exponential(&mut self.rng, rate);
+            if gap <= self.phase_left {
+                self.now += gap;
+                self.phase_left -= gap;
+                return Some(Arrival { time: self.now, value });
+            }
+            // Cross into the next phase; by memorylessness we may simply
+            // redraw there.
+            self.now += self.phase_left;
+            self.phase_idx = (self.phase_idx + 1) % self.phases.len();
+            self.phase_left = self.phases[self.phase_idx].duration;
+        }
+    }
+}
+
+/// Convenience: a two-phase bursty profile — `quiet` rate for `quiet_dur`,
+/// then `burst` rate for `burst_dur`, repeating.
+pub fn bursty_profile(quiet: f64, quiet_dur: f64, burst: f64, burst_dur: f64) -> Vec<RatePhase> {
+    vec![
+        RatePhase { rate: quiet, duration: quiet_dur },
+        RatePhase { rate: burst, duration: burst_dur },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DataDistribution;
+
+    fn spec(n: u64) -> DataSpec {
+        DataSpec::new(DataDistribution::Unique, n, 1)
+    }
+
+    #[test]
+    fn yields_all_events_in_time_order() {
+        let p = ArrivalProcess::new(
+            spec(1_000),
+            vec![RatePhase { rate: 10.0, duration: 5.0 }],
+            3,
+        );
+        let events: Vec<Arrival> = p.collect();
+        assert_eq!(events.len(), 1_000);
+        for w in events.windows(2) {
+            assert!(w[1].time > w[0].time, "timestamps must increase");
+        }
+        // Values pass through unchanged.
+        assert_eq!(events[0].value, 1);
+        assert_eq!(events[999].value, 1_000);
+    }
+
+    #[test]
+    fn constant_rate_matches_event_density() {
+        let rate = 50.0;
+        let p = ArrivalProcess::new(
+            spec(20_000),
+            vec![RatePhase { rate, duration: 1e9 }],
+            4,
+        );
+        let events: Vec<Arrival> = p.collect();
+        let span = events.last().unwrap().time;
+        let measured = events.len() as f64 / span;
+        assert!(
+            (measured / rate - 1.0).abs() < 0.05,
+            "measured rate {measured} vs {rate}"
+        );
+    }
+
+    #[test]
+    fn bursty_profile_concentrates_events() {
+        // Quiet 10 ev/u for 10u, burst 1000 ev/u for 1u: most events land
+        // in burst windows even though they are 10x shorter.
+        let p = ArrivalProcess::new(
+            spec(50_000),
+            bursty_profile(10.0, 10.0, 1_000.0, 1.0),
+            5,
+        );
+        let mut burst_events = 0u64;
+        let mut total = 0u64;
+        for e in p {
+            let cycle_pos = e.time % 11.0;
+            if cycle_pos >= 10.0 {
+                burst_events += 1;
+            }
+            total += 1;
+        }
+        let share = burst_events as f64 / total as f64;
+        // Expected share = 1000/(10*10 + 1000*1) ≈ 0.909.
+        assert!((share - 0.909).abs() < 0.03, "burst share {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rate phase")]
+    fn rejects_empty_profile() {
+        ArrivalProcess::new(spec(10), vec![], 1);
+    }
+}

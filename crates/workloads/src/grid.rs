@@ -1,0 +1,119 @@
+//! The experimental grids of §5.
+//!
+//! * **Speedup** (Figs. 9–11): fixed population of `2^26` unique-valued
+//!   elements, partition counts `1, 2, 4, ..., 1024`.
+//! * **Scaleup** (Figs. 12–14): 32K elements per partition, scale factors
+//!   (= partition counts) `32, 64, 128, 256, 512`, all three distributions.
+//! * **Sample size** (Figs. 15–16): 32K elements per partition, all
+//!   partition counts, unique and uniform distributions.
+
+use crate::dataset::{DataDistribution, DataSpec};
+
+/// Elements per partition in the scaleup and sample-size experiments.
+pub const PAPER_PARTITION_SIZE: u64 = 32 * 1024;
+/// Population size in the speedup experiments (`2^26`).
+pub const PAPER_SPEEDUP_POPULATION: u64 = 1 << 26;
+/// Maximum number of data-element values per sample in the paper's setup.
+pub const PAPER_N_F: u64 = 8192;
+/// Partition counts used throughout the evaluation.
+pub const PAPER_PARTITION_COUNTS: [u64; 11] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+/// Scale factors of the scaleup experiments.
+pub const PAPER_SCALE_FACTORS: [u64; 5] = [32, 64, 128, 256, 512];
+
+/// One speedup measurement point: a fixed data set divided into
+/// `partitions` pieces.
+#[derive(Debug, Clone, Copy)]
+pub struct SpeedupScenario {
+    /// The data set to sample.
+    pub spec: DataSpec,
+    /// Number of partitions the batch is divided into.
+    pub partitions: u64,
+}
+
+/// One scaleup measurement point: `scale` partitions of
+/// [`PAPER_PARTITION_SIZE`] elements each.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleupScenario {
+    /// The data set to sample (population = scale × 32K).
+    pub spec: DataSpec,
+    /// Scale factor = partition count.
+    pub scale: u64,
+}
+
+/// Figs. 9–11 grid: population `2^26`, unique values, all partition counts.
+/// `population_override` lets callers shrink the run (the shapes are
+/// preserved at smaller scales; the full-size run matches the paper).
+pub fn paper_speedup_grid(population_override: Option<u64>, seed: u64) -> Vec<SpeedupScenario> {
+    let population = population_override.unwrap_or(PAPER_SPEEDUP_POPULATION);
+    PAPER_PARTITION_COUNTS
+        .iter()
+        .filter(|&&p| p <= population)
+        .map(|&partitions| SpeedupScenario {
+            spec: DataSpec::new(DataDistribution::Unique, population, seed),
+            partitions,
+        })
+        .collect()
+}
+
+/// Figs. 12–14 grid: all three distributions × all scale factors, 32K
+/// elements per partition. `partition_size_override` shrinks the run.
+pub fn paper_scaleup_grid(
+    partition_size_override: Option<u64>,
+    seed: u64,
+) -> Vec<ScaleupScenario> {
+    let per = partition_size_override.unwrap_or(PAPER_PARTITION_SIZE);
+    let dists = [
+        DataDistribution::Unique,
+        DataDistribution::PAPER_UNIFORM,
+        DataDistribution::PAPER_ZIPF,
+    ];
+    let mut out = Vec::new();
+    for dist in dists {
+        for &scale in &PAPER_SCALE_FACTORS {
+            out.push(ScaleupScenario {
+                spec: DataSpec::new(dist, scale * per, seed),
+                scale,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_grid_matches_paper() {
+        let g = paper_speedup_grid(None, 0);
+        assert_eq!(g.len(), 11);
+        assert!(g.iter().all(|s| s.spec.population == 1 << 26));
+        assert_eq!(g[0].partitions, 1);
+        assert_eq!(g[10].partitions, 1024);
+    }
+
+    #[test]
+    fn speedup_grid_shrinks() {
+        let g = paper_speedup_grid(Some(1 << 16), 0);
+        assert!(g.iter().all(|s| s.spec.population == 1 << 16));
+    }
+
+    #[test]
+    fn scaleup_grid_matches_paper() {
+        let g = paper_scaleup_grid(None, 0);
+        assert_eq!(g.len(), 15); // 3 distributions x 5 scales
+        let unique: Vec<_> = g
+            .iter()
+            .filter(|s| s.spec.distribution == DataDistribution::Unique)
+            .collect();
+        assert_eq!(unique.len(), 5);
+        assert_eq!(unique[0].spec.population, 32 * PAPER_PARTITION_SIZE);
+        assert_eq!(unique[4].spec.population, 512 * PAPER_PARTITION_SIZE);
+    }
+
+    #[test]
+    fn partition_counts_constant_matches_paper_range() {
+        assert_eq!(PAPER_PARTITION_COUNTS.len(), 11);
+        assert_eq!(PAPER_N_F, 8192);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Workload generators matching the paper's §5 evaluation.
+//!
+//! The experiments use three kinds of integer data sets:
+//!
+//! * **unique** — distinct integers `1..=N` (every value appears once);
+//! * **uniform** — integers drawn uniformly from `1..=1_000_000`;
+//! * **Zipfian** — integers from `1..=4000` with a Zipf distribution (few
+//!   distinct values dominate, so bounded samples typically stay exhaustive
+//!   — the paper's footnote 5).
+//!
+//! Population sizes range over `2^20 ..= 2^26` and partition counts over
+//! `1 ..= 1024`; [`grid`] builds exactly those scenario grids. Generators
+//! are deterministic given a seed, so every figure regeneration is
+//! repeatable.
+
+pub mod arrivals;
+pub mod dataset;
+pub mod grid;
+
+pub use arrivals::{bursty_profile, Arrival, ArrivalProcess, RatePhase};
+pub use dataset::{DataDistribution, DataSpec, ValueStream};
+pub use grid::{paper_scaleup_grid, paper_speedup_grid, ScaleupScenario, SpeedupScenario};

@@ -1,0 +1,77 @@
+//! Parallel bulk load (§2): a large initial batch is divided into
+//! partitions, sampled with Algorithm HB on worker threads, merged into a
+//! single uniform sample, persisted, and reloaded.
+//!
+//! ```sh
+//! cargo run --release --example parallel_ingest
+//! ```
+
+use sample_warehouse::sampling::{SampleKind, FootprintPolicy};
+use sample_warehouse::variates::seeded_rng;
+use sample_warehouse::warehouse::warehouse::Algorithm;
+use sample_warehouse::warehouse::{DatasetId, DiskStore, SampleWarehouse};
+use sample_warehouse::workloads::{DataDistribution, DataSpec};
+use std::time::Instant;
+
+fn main() {
+    let mut rng = seeded_rng(99);
+    let policy = FootprintPolicy::with_value_budget(8192);
+    let warehouse: SampleWarehouse<u64> =
+        SampleWarehouse::new(policy, Algorithm::HybridBernoulli, 1e-3);
+    let dataset = DatasetId(42);
+
+    // Bulk batch: 2^23 unique values divided into 64 partitions.
+    let population = 1u64 << 23;
+    let partitions = 64u64;
+    let spec = DataSpec::new(DataDistribution::Unique, population, 5);
+    let per_partition = population / partitions;
+
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let start = Instant::now();
+    warehouse
+        .ingest_partitions_parallel(
+            dataset,
+            spec.partitions(partitions),
+            Some(per_partition), // Algorithm HB knows each partition's size
+            threads,
+            1234,
+            0,
+        )
+        .expect("parallel bulk load");
+    let load_time = start.elapsed();
+    println!(
+        "bulk-loaded {population} values as {partitions} partitions on {threads} thread(s) \
+         in {load_time:.2?} ({:.1} M values/s)",
+        population as f64 / load_time.as_secs_f64() / 1e6
+    );
+
+    // Merge all partition samples into one uniform sample of the batch.
+    let start = Instant::now();
+    let sample = warehouse.query_all(dataset, &mut rng).expect("merge");
+    println!(
+        "merged {partitions} partition samples in {:.2?} -> {} values, kind {:?}",
+        start.elapsed(),
+        sample.size(),
+        sample.kind()
+    );
+    assert!(sample.size() <= 8192);
+    assert!(matches!(sample.kind(), SampleKind::Bernoulli { .. } | SampleKind::Reservoir));
+
+    // Persist the sample warehouse and reload it into a fresh instance.
+    let dir = std::env::temp_dir().join("swh-parallel-ingest-example");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DiskStore::open(&dir).expect("open store");
+    let written = warehouse.persist_all(&store).expect("persist");
+    let reloaded: SampleWarehouse<u64> =
+        SampleWarehouse::new(policy, Algorithm::HybridBernoulli, 1e-3);
+    let read = reloaded.load_dataset(&store, dataset).expect("reload");
+    println!("persisted {written} partition samples, reloaded {read}");
+    let again = reloaded.query_all(dataset, &mut rng).expect("reload query");
+    println!(
+        "reloaded warehouse answers: {} values over {} rows",
+        again.size(),
+        again.parent_size()
+    );
+    assert_eq!(again.parent_size(), population);
+    std::fs::remove_dir_all(&dir).ok();
+}

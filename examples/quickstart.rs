@@ -1,0 +1,55 @@
+//! Quickstart: sample two partitions of a data set with bounded footprint,
+//! merge them into one uniform sample, and answer an approximate query.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sample_warehouse::aqp::estimators::{estimate_avg, estimate_count};
+use sample_warehouse::sampling::{
+    merge, FootprintPolicy, HybridReservoir, Sample, Sampler,
+};
+use sample_warehouse::variates::seeded_rng;
+
+fn main() {
+    let mut rng = seeded_rng(2026);
+
+    // A footprint bound of 4096 data-element values (~32 KiB for u64):
+    // no sample — during or after collection — will ever exceed it.
+    let policy = FootprintPolicy::with_value_budget(4096);
+
+    // Two disjoint partitions of one data set, e.g. two days of events.
+    // Algorithm HR needs no a priori knowledge of the partition sizes.
+    let monday: Sample<u64> =
+        HybridReservoir::new(policy).sample_batch(0..600_000u64, &mut rng);
+    let tuesday: Sample<u64> =
+        HybridReservoir::new(policy).sample_batch(600_000..1_000_000u64, &mut rng);
+
+    println!("monday : sampled {:>5} of {:>7} values ({:?})", monday.size(), monday.parent_size(), monday.kind());
+    println!("tuesday: sampled {:>5} of {:>7} values ({:?})", tuesday.size(), tuesday.parent_size(), tuesday.kind());
+
+    // Merge into a single uniform sample of the union of both days.
+    let both = merge(monday, tuesday, 1e-3, &mut rng).expect("mergeable provenance");
+    println!(
+        "merged : {} values representing {} (footprint {} bytes <= bound {} bytes)",
+        both.size(),
+        both.parent_size(),
+        both.footprint_bytes(),
+        both.policy().f_bytes()
+    );
+
+    // Approximate analytics with confidence intervals.
+    let count = estimate_count(&both, |v| v % 10 == 0);
+    let (lo, hi) = count.confidence_interval(0.95);
+    println!(
+        "COUNT(v % 10 == 0) ~ {:.0}   (95% CI [{:.0}, {:.0}]; truth = 100000)",
+        count.value, lo, hi
+    );
+
+    let avg = estimate_avg(&both, |_| true);
+    let (lo, hi) = avg.confidence_interval(0.95);
+    println!(
+        "AVG(v)             ~ {:.0}   (95% CI [{:.0}, {:.0}]; truth = 499999.5)",
+        avg.value, lo, hi
+    );
+}

@@ -1,0 +1,75 @@
+//! Approximate vs. exact: the accuracy a sample warehouse buys for its
+//! footprint. Loads one data set into a full-scale store *and* its sample
+//! shadow, runs a query batch both ways, and prints the accuracy table for
+//! several footprint bounds.
+//!
+//! ```sh
+//! cargo run --release --example shadow_accuracy
+//! ```
+
+use sample_warehouse::aqp::query::{Predicate, Query};
+use sample_warehouse::sampling::FootprintPolicy;
+use sample_warehouse::warehouse::warehouse::Algorithm;
+use sample_warehouse::warehouse::{DatasetId, PartitionId, PartitionKey};
+use sample_warehouse::workloads::{DataDistribution, DataSpec};
+use sample_warehouse::ShadowedWarehouse;
+
+fn main() {
+    let dataset = DatasetId(1);
+    let spec = DataSpec::new(DataDistribution::PAPER_UNIFORM, 800_000, 5);
+    let queries = vec![
+        Query::count(Predicate::ModEq { modulus: 10, remainder: 0 }),
+        Query::count(Predicate::Between { lo: 900_000, hi: 1_000_000 }),
+        Query::sum(Predicate::True),
+        Query::avg(Predicate::Between { lo: 1, hi: 500_000 }),
+        Query::quantile(0.95, Predicate::True),
+    ];
+
+    println!(
+        "{:<34} {:>10} | {:>8} {:>8} {:>8}",
+        "query", "exact", "nF=512", "nF=4096", "nF=16384"
+    );
+    println!("{}", "-".repeat(78));
+
+    // Build one shadowed warehouse per footprint bound.
+    let mut results: Vec<Vec<f64>> = vec![Vec::new(); queries.len()];
+    let mut exact: Vec<f64> = Vec::new();
+    for (i, &n_f) in [512u64, 4096, 16_384].iter().enumerate() {
+        let root = std::env::temp_dir().join(format!("swh-shadow-example-{n_f}"));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut wh = ShadowedWarehouse::open(
+            &root,
+            FootprintPolicy::with_value_budget(n_f),
+            Algorithm::HybridReservoir,
+            2026,
+        )
+        .expect("open");
+        for (p, part) in spec.partitions(8).into_iter().enumerate() {
+            wh.ingest_partition(
+                PartitionKey { dataset, partition: PartitionId::seq(p as u64) },
+                part.map(|v| v as i64),
+            )
+            .expect("ingest");
+        }
+        let report = wh.accuracy_report(dataset, &queries).expect("report");
+        for (qi, row) in report.iter().enumerate() {
+            if i == 0 {
+                exact.push(row.exact);
+            }
+            results[qi].push(row.relative_error * 100.0);
+        }
+        std::fs::remove_dir_all(&root).ok();
+    }
+
+    for (qi, q) in queries.iter().enumerate() {
+        println!(
+            "{:<34} {:>10.3e} | {:>7.2}% {:>7.2}% {:>7.2}%",
+            format!("{:?}({})", q.aggregate, q.predicate),
+            exact[qi],
+            results[qi][0],
+            results[qi][1],
+            results[qi][2],
+        );
+    }
+    println!("\n(relative error of the approximate answer; larger footprint -> tighter)");
+}

@@ -1,0 +1,83 @@
+//! Stream scenarios from §2:
+//!
+//! 1. an "overwhelming" stream is split round-robin over several samplers
+//!    (as if over several machines) and the per-split samples are merged on
+//!    demand;
+//! 2. a stream with a fluctuating arrival rate is partitioned *on the fly*
+//!    so each partition's sample stays above a minimum sampling ratio.
+//!
+//! ```sh
+//! cargo run --release --example stream_split
+//! ```
+
+use sample_warehouse::sampling::{merge_all, FootprintPolicy, Sample};
+use sample_warehouse::variates::seeded_rng;
+use sample_warehouse::warehouse::ingest::{
+    RatioBoundedPartitioner, SamplerConfig, SplitPolicy, StreamRouter,
+};
+use sample_warehouse::workloads::{DataDistribution, DataSpec};
+
+fn main() {
+    let mut rng = seeded_rng(11);
+    let policy = FootprintPolicy::with_value_budget(1024);
+
+    // --- Scenario 1: split one stream over four "machines". -------------
+    let spec = DataSpec::new(DataDistribution::PAPER_UNIFORM, 400_000, 3);
+    let mut router: StreamRouter<u64> = StreamRouter::new(
+        4,
+        SamplerConfig::HybridReservoir,
+        policy,
+        SplitPolicy::RoundRobin,
+    );
+    for v in spec.stream() {
+        router.observe(v, &mut rng);
+    }
+    let split_samples: Vec<Sample<u64>> = router.finalize(&mut rng);
+    println!("stream of 400000 values split over 4 samplers:");
+    for (i, s) in split_samples.iter().enumerate() {
+        println!("  split {i}: {} of {} values", s.size(), s.parent_size());
+    }
+    let merged = merge_all(split_samples, 1e-3, &mut rng).expect("merge splits");
+    println!(
+        "merged on demand: {} values, uniform over all {} (kind {:?})\n",
+        merged.size(),
+        merged.parent_size(),
+        merged.kind()
+    );
+
+    // --- Scenario 2: ratio-triggered on-the-fly partitioning. -----------
+    // Keep every partition's sample at >= 1/32 of its parent: the partition
+    // closes as soon as the HR sample (fixed at n_F values) falls to that
+    // fraction, and a new partition begins.
+    let min_ratio = 1.0 / 32.0;
+    let mut partitioner: RatioBoundedPartitioner<u64> =
+        RatioBoundedPartitioner::new(policy, min_ratio);
+    // Bursty stream: volume varies by phase, total 300_000 values.
+    let bursty = DataSpec::new(DataDistribution::PAPER_UNIFORM, 300_000, 9);
+    for v in bursty.stream() {
+        partitioner.observe(v, &mut rng);
+    }
+    let parts = partitioner.finish(&mut rng);
+    println!(
+        "bursty stream partitioned on the fly into {} partitions (ratio bound {:.3}):",
+        parts.len(),
+        min_ratio
+    );
+    for (i, s) in parts.iter().take(5).enumerate() {
+        println!(
+            "  partition {i}: {} of {} values (ratio {:.4})",
+            s.size(),
+            s.parent_size(),
+            s.sampling_fraction()
+        );
+    }
+    if parts.len() > 5 {
+        println!("  ... and {} more", parts.len() - 5);
+    }
+    let all = merge_all(parts, 1e-3, &mut rng).expect("merge on-the-fly partitions");
+    println!(
+        "merged across all partitions: {} values over {} rows",
+        all.size(),
+        all.parent_size()
+    );
+}

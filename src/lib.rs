@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+
+//! # sample-warehouse
+//!
+//! A full reproduction of *Techniques for Warehousing of Sample Data*
+//! (Paul G. Brown & Peter J. Haas, ICDE 2006): bounded-footprint, compact,
+//! statistically **uniform** random sampling of data-set partitions, with
+//! merge operators that produce a uniform sample of any union of partitions.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`variates`] (`swh-rand`) — binomial, hypergeometric, alias-method,
+//!   normal-quantile, and skip-distance generators.
+//! * [`sampling`] (`swh-core`) — the paper's Algorithms HB and HR, the merge
+//!   functions HBMerge/HRMerge, and the reference schemes (Bernoulli,
+//!   reservoir, concise, stratified Bernoulli).
+//! * [`warehouse`] (`swh-warehouse`) — catalog, partitioners, parallel
+//!   ingestion, roll-in/roll-out, and union queries.
+//! * [`aqp`] (`swh-aqp`) — approximate-query estimators over samples.
+//! * [`workloads`] (`swh-workloads`) — the paper's §5 data generators and
+//!   Poisson arrival simulation.
+//! * [`shadow`] — [`ShadowedWarehouse`]: a full-scale store plus its sample
+//!   shadow, with approximate-vs-exact accuracy reporting.
+//!
+//! A command-line front end ships as the `swh` binary (`swh-cli` crate).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sample_warehouse::sampling::{FootprintPolicy, HybridReservoir, Sampler};
+//! use sample_warehouse::variates::seeded_rng;
+//!
+//! let mut rng = seeded_rng(42);
+//! // Footprint bound of 128 values; sample one million integers.
+//! let policy = FootprintPolicy::with_value_budget(128);
+//! let mut hr = HybridReservoir::new(policy);
+//! for v in 0..1_000_000u64 {
+//!     hr.observe(v, &mut rng);
+//! }
+//! let sample = hr.finalize(&mut rng);
+//! assert!(sample.size() <= 128);
+//! ```
+
+pub mod shadow;
+
+pub use shadow::{AccuracyRow, ShadowError, ShadowedWarehouse};
+pub use swh_aqp as aqp;
+pub use swh_core as sampling;
+pub use swh_rand as variates;
+pub use swh_warehouse as warehouse;
+pub use swh_workloads as workloads;

@@ -1,0 +1,122 @@
+//! Model-based testing of the warehouse catalog: random operation
+//! sequences executed against both the real `Catalog` and a trivial
+//! in-memory model must agree at every step.
+
+use proptest::prelude::*;
+use sample_warehouse::sampling::{FootprintPolicy, HybridReservoir, Sample, Sampler};
+use sample_warehouse::variates::seeded_rng;
+use sample_warehouse::warehouse::catalog::{Catalog, CatalogError};
+use sample_warehouse::warehouse::{DatasetId, PartitionId, PartitionKey};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    RollIn { dataset: u64, seq: u64, parent: u64 },
+    RollOut { dataset: u64, seq: u64 },
+    Get { dataset: u64, seq: u64 },
+    Partitions { dataset: u64 },
+    UnionAll { dataset: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Small key spaces so collisions (duplicates, missing keys) are common.
+    let ds = 0u64..3;
+    let seq = 0u64..5;
+    prop_oneof![
+        (ds.clone(), seq.clone(), 1u64..500).prop_map(|(dataset, seq, parent)| Op::RollIn {
+            dataset,
+            seq,
+            parent
+        }),
+        (ds.clone(), seq.clone()).prop_map(|(dataset, seq)| Op::RollOut { dataset, seq }),
+        (ds.clone(), seq.clone()).prop_map(|(dataset, seq)| Op::Get { dataset, seq }),
+        ds.clone().prop_map(|dataset| Op::Partitions { dataset }),
+        ds.prop_map(|dataset| Op::UnionAll { dataset }),
+    ]
+}
+
+fn key(dataset: u64, seq: u64) -> PartitionKey {
+    PartitionKey { dataset: DatasetId(dataset), partition: PartitionId::seq(seq) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn catalog_agrees_with_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut rng = seeded_rng(7);
+        let policy = FootprintPolicy::with_value_budget(16);
+        let catalog: Catalog<u64> = Catalog::new();
+        // Model: (dataset, seq) -> sample.
+        let mut model: BTreeMap<(u64, u64), Sample<u64>> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::RollIn { dataset, seq, parent } => {
+                    let sample = HybridReservoir::new(policy)
+                        .sample_batch(0..parent, &mut rng);
+                    let real = catalog.roll_in(key(dataset, seq), sample.clone());
+                    if let std::collections::btree_map::Entry::Vacant(e) =
+                        model.entry((dataset, seq))
+                    {
+                        prop_assert!(real.is_ok());
+                        e.insert(sample);
+                    } else {
+                        prop_assert!(matches!(
+                            real,
+                            Err(CatalogError::DuplicatePartition(_))
+                        ));
+                    }
+                }
+                Op::RollOut { dataset, seq } => {
+                    let real = catalog.roll_out(key(dataset, seq));
+                    match model.remove(&(dataset, seq)) {
+                        Some(expected) => {
+                            prop_assert_eq!(real.unwrap().sample, expected);
+                        }
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                Op::Get { dataset, seq } => {
+                    let real = catalog.get(key(dataset, seq));
+                    match model.get(&(dataset, seq)) {
+                        Some(expected) => prop_assert_eq!(&real.unwrap(), expected),
+                        None => prop_assert!(real.is_err()),
+                    }
+                }
+                Op::Partitions { dataset } => {
+                    let expected: Vec<u64> = model
+                        .keys()
+                        .filter(|(d, _)| *d == dataset)
+                        .map(|(_, s)| *s)
+                        .collect();
+                    match catalog.partitions(DatasetId(dataset)) {
+                        Ok(real) => {
+                            let real: Vec<u64> = real.into_iter().map(|p| p.seq).collect();
+                            prop_assert_eq!(real, expected);
+                        }
+                        Err(_) => prop_assert!(expected.is_empty()),
+                    }
+                }
+                Op::UnionAll { dataset } => {
+                    let expected_parent: u64 = model
+                        .iter()
+                        .filter(|((d, _), _)| *d == dataset)
+                        .map(|(_, s)| s.parent_size())
+                        .sum();
+                    let present = model.keys().any(|(d, _)| *d == dataset);
+                    match catalog.union_sample(DatasetId(dataset), |_| true, 1e-3, &mut rng) {
+                        Ok(s) => {
+                            prop_assert!(present);
+                            prop_assert_eq!(s.parent_size(), expected_parent);
+                            prop_assert!(s.size() <= 16);
+                        }
+                        Err(_) => prop_assert!(!present),
+                    }
+                }
+            }
+            // Global invariant: total partition count agrees.
+            prop_assert_eq!(catalog.len(), model.len());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration tests: workload generation → partitioned
+//! sampling → warehouse roll-in → union queries → AQP estimation.
+
+use sample_warehouse::aqp::estimators::{estimate_avg, estimate_count, estimate_sum};
+use sample_warehouse::sampling::{FootprintPolicy, SampleKind};
+use sample_warehouse::variates::seeded_rng;
+use sample_warehouse::warehouse::warehouse::Algorithm;
+use sample_warehouse::warehouse::{DatasetId, PartitionId, PartitionKey, SampleWarehouse};
+use sample_warehouse::workloads::{DataDistribution, DataSpec};
+
+fn key(seq: u64) -> PartitionKey {
+    PartitionKey { dataset: DatasetId(1), partition: PartitionId::seq(seq) }
+}
+
+#[test]
+fn pipeline_hr_uniform_data() {
+    let mut rng = seeded_rng(1);
+    let policy = FootprintPolicy::with_value_budget(4096);
+    let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
+    let spec = DataSpec::new(DataDistribution::PAPER_UNIFORM, 500_000, 3);
+    for (i, part) in spec.partitions(10).into_iter().enumerate() {
+        wh.ingest_partition(key(i as u64), part, None, &mut rng).unwrap();
+    }
+    let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
+    assert_eq!(s.parent_size(), 500_000);
+    assert_eq!(s.size(), 4096);
+
+    // Values are uniform over 1..=1_000_000: COUNT(v <= 250_000) ~ 125_000.
+    let c = estimate_count(&s, |v| *v <= 250_000);
+    let (lo, hi) = c.confidence_interval(0.999);
+    assert!(
+        (lo..=hi).contains(&125_000.0) || (c.value - 125_000.0).abs() / 125_000.0 < 0.05,
+        "count {} CI [{lo}, {hi}]",
+        c.value
+    );
+
+    // AVG ~ 500_000.
+    let a = estimate_avg(&s, |_| true);
+    assert!((a.value - 500_000.0).abs() / 500_000.0 < 0.05, "avg {}", a.value);
+}
+
+#[test]
+fn pipeline_hb_known_sizes() {
+    let mut rng = seeded_rng(2);
+    let policy = FootprintPolicy::with_value_budget(2048);
+    let wh: SampleWarehouse<u64> =
+        SampleWarehouse::new(policy, Algorithm::HybridBernoulli, 1e-3);
+    let spec = DataSpec::new(DataDistribution::Unique, 200_000, 0);
+    let per = 200_000 / 8;
+    for (i, part) in spec.partitions(8).into_iter().enumerate() {
+        wh.ingest_partition(key(i as u64), part, Some(per), &mut rng).unwrap();
+    }
+    let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
+    assert!(s.size() <= 2048);
+    assert!(s.size() > 1500, "merged HB sample suspiciously small: {}", s.size());
+    // SUM over unique 1..=N is N(N+1)/2.
+    let sum = estimate_sum(&s, |_| true);
+    let truth = 200_000.0 * 200_001.0 / 2.0;
+    assert!(
+        (sum.value - truth).abs() / truth < 0.05,
+        "sum {} vs {truth}",
+        sum.value
+    );
+}
+
+#[test]
+fn zipf_partitions_stay_exhaustive_and_merge_exactly() {
+    // Paper footnote 5: Zipfian data has few distinct values, so samples
+    // remain exhaustive histograms — and merges of exhaustive samples give
+    // exact answers.
+    let mut rng = seeded_rng(3);
+    let policy = FootprintPolicy::with_value_budget(8192);
+    let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
+    let spec = DataSpec::new(DataDistribution::PAPER_ZIPF, 100_000, 4);
+    let parts = spec.partitions(4);
+    // Ground truth over the *partitioned* generation (each partition has an
+    // independent value stream).
+    let truth: u64 = spec
+        .partitions(4)
+        .into_iter()
+        .flatten()
+        .filter(|&v| v == 1)
+        .count() as u64;
+    for (i, part) in parts.into_iter().enumerate() {
+        wh.ingest_partition(key(i as u64), part, None, &mut rng).unwrap();
+    }
+    let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
+    assert_eq!(s.kind(), SampleKind::Exhaustive);
+    assert_eq!(s.size(), 100_000);
+    let c = estimate_count(&s, |v| *v == 1);
+    assert!(c.exact);
+    assert_eq!(c.value, truth as f64);
+}
+
+#[test]
+fn partial_union_queries_cover_only_selection() {
+    let mut rng = seeded_rng(4);
+    let policy = FootprintPolicy::with_value_budget(512);
+    let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
+    // Partition i holds values [i*10_000, (i+1)*10_000).
+    for i in 0..10u64 {
+        wh.ingest_partition(key(i), i * 10_000..(i + 1) * 10_000, None, &mut rng)
+            .unwrap();
+    }
+    let s = wh
+        .query_union(DatasetId(1), |p| (3..=5).contains(&p.seq), &mut rng)
+        .unwrap();
+    assert_eq!(s.parent_size(), 30_000);
+    for (v, _) in s.histogram().iter() {
+        assert!((30_000..60_000).contains(v), "value {v} outside selected partitions");
+    }
+}
+
+#[test]
+fn mixed_provenance_partitions_merge() {
+    // Small partitions finish exhaustive, large ones as reservoir samples;
+    // the union query must handle the mix.
+    let mut rng = seeded_rng(5);
+    let policy = FootprintPolicy::with_value_budget(256);
+    let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
+    wh.ingest_partition(key(0), 0..100u64, None, &mut rng).unwrap(); // exhaustive
+    wh.ingest_partition(key(1), 100..50_100u64, None, &mut rng).unwrap(); // reservoir
+    wh.ingest_partition(key(2), 50_100..50_200u64, None, &mut rng).unwrap(); // exhaustive
+    let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
+    assert_eq!(s.parent_size(), 50_200);
+    assert!(s.size() <= 256);
+}
+
+#[test]
+fn string_valued_pipeline() {
+    // The machinery is generic over value types: run a full
+    // sample-merge-estimate pipeline over String values.
+    use sample_warehouse::aqp::estimators::estimate_count;
+    let mut rng = seeded_rng(21);
+    let policy = FootprintPolicy::with_value_budget(512);
+    let wh: SampleWarehouse<String> =
+        SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
+    let cities = ["tokyo", "lagos", "lima", "oslo", "pune"];
+    for p in 0..4u64 {
+        let values = (0..25_000u64).map(move |i| {
+            format!("{}-{}", cities[(i % 5) as usize], (p * 25_000 + i) % 97)
+        });
+        wh.ingest_partition(key(p), values, None, &mut rng).unwrap();
+    }
+    let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
+    assert_eq!(s.parent_size(), 100_000);
+    assert!(s.size() <= 512);
+    // ~20% of values start with "tokyo".
+    let c = estimate_count(&s, |v| v.starts_with("tokyo"));
+    assert!(
+        (c.value - 20_000.0).abs() < 6.0 * c.std_error.max(500.0),
+        "tokyo count {} (se {})",
+        c.value,
+        c.std_error
+    );
+}
+
+#[test]
+fn high_throughput_partition_count() {
+    // Many small partitions (stress the catalog + serial merge chain).
+    let mut rng = seeded_rng(6);
+    let policy = FootprintPolicy::with_value_budget(128);
+    let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
+    let parts: Vec<_> = (0..256u64).map(|p| p * 100..(p + 1) * 100).collect();
+    wh.ingest_partitions_parallel(DatasetId(1), parts, None, 4, 9, 0).unwrap();
+    assert_eq!(wh.catalog().len(), 256);
+    let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
+    assert_eq!(s.parent_size(), 25_600);
+    assert!(s.size() <= 128);
+}

@@ -1,0 +1,120 @@
+//! Integration tests of the shadowed warehouse: ingest into both sides,
+//! compare approximate and exact answers.
+
+use sample_warehouse::aqp::query::{Predicate, Query};
+use sample_warehouse::sampling::FootprintPolicy;
+use sample_warehouse::warehouse::warehouse::Algorithm;
+use sample_warehouse::warehouse::{DatasetId, PartitionId, PartitionKey};
+use sample_warehouse::ShadowedWarehouse;
+
+fn tmp_root(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("swh-shadow-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key(seq: u64) -> PartitionKey {
+    PartitionKey { dataset: DatasetId(1), partition: PartitionId::seq(seq) }
+}
+
+#[test]
+fn approx_tracks_exact_within_intervals() {
+    let root = tmp_root("acc");
+    let policy = FootprintPolicy::with_value_budget(4096);
+    let mut wh =
+        ShadowedWarehouse::open(&root, policy, Algorithm::HybridReservoir, 99).unwrap();
+    for p in 0..8u64 {
+        let lo = (p * 50_000) as i64;
+        wh.ingest_partition(key(p), lo..lo + 50_000).unwrap();
+    }
+    let queries = vec![
+        Query::count(Predicate::ModEq { modulus: 7, remainder: 0 }),
+        Query::sum(Predicate::Between { lo: 0, hi: 99_999 }),
+        Query::avg(Predicate::True),
+        Query::quantile(0.5, Predicate::True),
+    ];
+    let report = wh.accuracy_report(DatasetId(1), &queries).unwrap();
+    assert_eq!(report.len(), 4);
+    for row in &report {
+        assert!(
+            row.relative_error < 0.10,
+            "{:?}: est {} vs exact {} (rel {:.4})",
+            row.query,
+            row.estimate.value,
+            row.exact,
+            row.relative_error
+        );
+    }
+    // Point aggregates (not quantiles) should mostly be covered by the CI.
+    let covered = report.iter().take(3).filter(|r| r.covered_95).count();
+    assert!(covered >= 2, "only {covered}/3 point estimates covered");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn exact_answers_are_truly_exact() {
+    let root = tmp_root("exact");
+    let policy = FootprintPolicy::with_value_budget(256);
+    let mut wh =
+        ShadowedWarehouse::open(&root, policy, Algorithm::HybridBernoulli, 1).unwrap();
+    wh.ingest_partition(key(0), 0..10_000i64).unwrap();
+    wh.ingest_partition(key(1), 10_000..25_000i64).unwrap();
+    let q = Query::count(Predicate::ModEq { modulus: 5, remainder: 3 });
+    assert_eq!(wh.answer_exact(DatasetId(1), &q).unwrap(), 5_000.0);
+    let q = Query::sum(Predicate::Between { lo: 0, hi: 9 });
+    assert_eq!(wh.answer_exact(DatasetId(1), &q).unwrap(), 45.0);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn roll_out_removes_from_both_sides() {
+    let root = tmp_root("rollout");
+    let policy = FootprintPolicy::with_value_budget(128);
+    let mut wh =
+        ShadowedWarehouse::open(&root, policy, Algorithm::HybridReservoir, 2).unwrap();
+    wh.ingest_partition(key(0), 0..1_000i64).unwrap();
+    wh.ingest_partition(key(1), 1_000..3_000i64).unwrap();
+    wh.roll_out(key(0)).unwrap();
+    // Exact side no longer sees partition 0.
+    let q = Query::count(Predicate::True);
+    assert_eq!(wh.answer_exact(DatasetId(1), &q).unwrap(), 2_000.0);
+    // Sample side coverage shrinks accordingly.
+    let s = wh.dataset_sample(DatasetId(1)).unwrap();
+    assert_eq!(s.parent_size(), 2_000);
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn shrinking_footprint_degrades_accuracy_monotonically_in_expectation() {
+    // Not a strict monotonicity test (randomness), but the tiny-footprint
+    // estimate should have a visibly wider interval than the big one.
+    let root_a = tmp_root("bigf");
+    let root_b = tmp_root("smallf");
+    let mk = |root: &std::path::Path, n_f: u64| {
+        let mut wh = ShadowedWarehouse::open(
+            root,
+            FootprintPolicy::with_value_budget(n_f),
+            Algorithm::HybridReservoir,
+            7,
+        )
+        .unwrap();
+        for p in 0..4u64 {
+            let lo = (p * 25_000) as i64;
+            wh.ingest_partition(key(p), lo..lo + 25_000).unwrap();
+        }
+        wh
+    };
+    let mut big = mk(&root_a, 8_192);
+    let mut small = mk(&root_b, 128);
+    let q = Query::count(Predicate::ModEq { modulus: 2, remainder: 0 });
+    let e_big = big.answer_approx(DatasetId(1), &q).unwrap();
+    let e_small = small.answer_approx(DatasetId(1), &q).unwrap();
+    assert!(
+        e_big.std_error < e_small.std_error,
+        "big-footprint SE {} should beat small-footprint SE {}",
+        e_big.std_error,
+        e_small.std_error
+    );
+    std::fs::remove_dir_all(&root_a).ok();
+    std::fs::remove_dir_all(&root_b).ok();
+}

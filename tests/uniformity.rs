@@ -1,0 +1,140 @@
+//! Subset-level uniformity tests — the strongest form of the paper's
+//! definition: a scheme is uniform iff all samples of equal size are
+//! equally likely (`Γ(S; D) = Γ(S'; D)` whenever `|S| = |S'|`).
+//!
+//! Element-inclusion tests (in the unit suites) check first moments only;
+//! here we enumerate *entire subsets* on tiny populations and chi-square
+//! the full subset distribution.
+
+use sample_warehouse::sampling::{
+    hr_merge, FootprintPolicy, HybridReservoir, Sample, SampleKind, Sampler,
+};
+use sample_warehouse::variates::seeded_rng;
+use sample_warehouse::variates::stats::{chi_square_p_value, chi_square_statistic};
+use std::collections::HashMap;
+
+/// Canonical key of a sample's value set (all-distinct populations).
+fn subset_key(s: &Sample<u64>) -> Vec<u64> {
+    let mut v: Vec<u64> = s.histogram().iter().map(|(v, _)| *v).collect();
+    v.sort_unstable();
+    v
+}
+
+/// Number of `k`-subsets of an `n`-set.
+fn choose(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut r = 1u64;
+    for i in 0..k {
+        r = r * (n - i) / (i + 1);
+    }
+    r
+}
+
+#[test]
+fn hr_subset_distribution_is_uniform() {
+    // Population {0..6}, n_F = 3: HR yields exactly C(6,3) = 20 possible
+    // samples; each must appear with probability 1/20.
+    let mut rng = seeded_rng(1);
+    let (n, k, trials) = (6u64, 3u64, 60_000usize);
+    let policy = FootprintPolicy::with_value_budget(k);
+    let mut freq: HashMap<Vec<u64>, u64> = HashMap::new();
+    for _ in 0..trials {
+        let s = HybridReservoir::new(policy).sample_batch(0..n, &mut rng);
+        assert_eq!(s.size(), k);
+        *freq.entry(subset_key(&s)).or_insert(0) += 1;
+    }
+    let subsets = choose(n, k);
+    assert_eq!(freq.len() as u64, subsets, "not all subsets observed");
+    let obs: Vec<u64> = freq.values().copied().collect();
+    let exp = vec![trials as f64 / subsets as f64; subsets as usize];
+    let stat = chi_square_statistic(&obs, &exp);
+    let pv = chi_square_p_value(stat, (subsets - 1) as f64);
+    assert!(pv > 1e-4, "HR subset distribution not uniform: chi2={stat:.1} p={pv:.2e}");
+}
+
+#[test]
+fn hr_merge_subset_distribution_is_uniform() {
+    // Two partitions {0..4} and {4..8}, each sampled to 2 elements, merged
+    // to k = 2 over the 8-element union: all C(8,2) = 28 subsets equally
+    // likely (Theorem 1).
+    let mut rng = seeded_rng(2);
+    let trials = 80_000usize;
+    let policy = FootprintPolicy::with_value_budget(2);
+    let mut freq: HashMap<Vec<u64>, u64> = HashMap::new();
+    for _ in 0..trials {
+        let s1 = HybridReservoir::new(policy).sample_batch(0..4u64, &mut rng);
+        let s2 = HybridReservoir::new(policy).sample_batch(4..8u64, &mut rng);
+        assert_eq!(s1.kind(), SampleKind::Reservoir);
+        assert_eq!(s2.kind(), SampleKind::Reservoir);
+        let m = hr_merge(s1, s2, &mut rng).unwrap();
+        assert_eq!(m.size(), 2);
+        *freq.entry(subset_key(&m)).or_insert(0) += 1;
+    }
+    let subsets = choose(8, 2); // 28
+    assert_eq!(freq.len() as u64, subsets, "not all subsets observed");
+    let obs: Vec<u64> = freq.values().copied().collect();
+    let exp = vec![trials as f64 / subsets as f64; subsets as usize];
+    let stat = chi_square_statistic(&obs, &exp);
+    let pv = chi_square_p_value(stat, (subsets - 1) as f64);
+    assert!(
+        pv > 1e-4,
+        "merged subset distribution not uniform: chi2={stat:.1} p={pv:.2e}"
+    );
+}
+
+#[test]
+fn hr_merge_unequal_partitions_subset_uniform() {
+    // Asymmetric partitions: {0..3} (3 elements) and {3..9} (6 elements).
+    // Per-partition samples of size 2; merged k = 2 over 9 elements:
+    // C(9,2) = 36 equally likely pairs.
+    let mut rng = seeded_rng(3);
+    let trials = 90_000usize;
+    let policy = FootprintPolicy::with_value_budget(2);
+    let mut freq: HashMap<Vec<u64>, u64> = HashMap::new();
+    for _ in 0..trials {
+        let s1 = HybridReservoir::new(policy).sample_batch(0..3u64, &mut rng);
+        let s2 = HybridReservoir::new(policy).sample_batch(3..9u64, &mut rng);
+        let m = hr_merge(s1, s2, &mut rng).unwrap();
+        assert_eq!(m.size(), 2);
+        *freq.entry(subset_key(&m)).or_insert(0) += 1;
+    }
+    let subsets = choose(9, 2); // 36
+    assert_eq!(freq.len() as u64, subsets);
+    let obs: Vec<u64> = freq.values().copied().collect();
+    let exp = vec![trials as f64 / subsets as f64; subsets as usize];
+    let stat = chi_square_statistic(&obs, &exp);
+    let pv = chi_square_p_value(stat, (subsets - 1) as f64);
+    assert!(
+        pv > 1e-4,
+        "asymmetric merge not uniform: chi2={stat:.1} p={pv:.2e}"
+    );
+}
+
+#[test]
+fn three_way_merge_chain_subset_uniform() {
+    // Three partitions of 3 elements each, samples of size 2, chained
+    // pairwise merges: final k = 2 over 9 elements, 36 subsets.
+    let mut rng = seeded_rng(4);
+    let trials = 90_000usize;
+    let policy = FootprintPolicy::with_value_budget(2);
+    let mut freq: HashMap<Vec<u64>, u64> = HashMap::new();
+    for _ in 0..trials {
+        let s1 = HybridReservoir::new(policy).sample_batch(0..3u64, &mut rng);
+        let s2 = HybridReservoir::new(policy).sample_batch(3..6u64, &mut rng);
+        let s3 = HybridReservoir::new(policy).sample_batch(6..9u64, &mut rng);
+        let m12 = hr_merge(s1, s2, &mut rng).unwrap();
+        let m = hr_merge(m12, s3, &mut rng).unwrap();
+        assert_eq!(m.size(), 2);
+        *freq.entry(subset_key(&m)).or_insert(0) += 1;
+    }
+    let subsets = choose(9, 2);
+    assert_eq!(freq.len() as u64, subsets);
+    let obs: Vec<u64> = freq.values().copied().collect();
+    let exp = vec![trials as f64 / subsets as f64; subsets as usize];
+    let stat = chi_square_statistic(&obs, &exp);
+    let pv = chi_square_p_value(stat, (subsets - 1) as f64);
+    assert!(pv > 1e-4, "chained merge not uniform: chi2={stat:.1} p={pv:.2e}");
+}
