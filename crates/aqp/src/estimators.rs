@@ -48,11 +48,19 @@ pub struct Estimate {
 
 impl Estimate {
     fn exact(value: f64) -> Self {
-        Self { value, std_error: 0.0, exact: true }
+        Self {
+            value,
+            std_error: 0.0,
+            exact: true,
+        }
     }
 
     fn approximate(value: f64, std_error: f64) -> Self {
-        Self { value, std_error, exact: false }
+        Self {
+            value,
+            std_error,
+            exact: false,
+        }
     }
 
     /// Two-sided normal-theory confidence interval at the given level
@@ -61,12 +69,18 @@ impl Estimate {
     /// # Panics
     /// Panics unless `0 < level < 1`.
     pub fn confidence_interval(&self, level: f64) -> (f64, f64) {
-        assert!(level > 0.0 && level < 1.0, "confidence level must lie in (0,1)");
+        assert!(
+            level > 0.0 && level < 1.0,
+            "confidence level must lie in (0,1)"
+        );
         if self.exact {
             return (self.value, self.value);
         }
         let z = normal_quantile(0.5 + level / 2.0);
-        (self.value - z * self.std_error, self.value + z * self.std_error)
+        (
+            self.value - z * self.std_error,
+            self.value + z * self.std_error,
+        )
     }
 
     /// Half-width of the interval relative to the estimate (∞ when the
@@ -105,16 +119,25 @@ enum DesignKind {
 
 fn design<T: SampleValue>(sample: &Sample<T>) -> Design {
     match sample.kind() {
-        SampleKind::Exhaustive => Design { expansion: 1.0, kind: DesignKind::Exact },
+        SampleKind::Exhaustive => Design {
+            expansion: 1.0,
+            kind: DesignKind::Exact,
+        },
         SampleKind::Bernoulli { q, .. } | SampleKind::Concise { q } => {
             // Concise samples are *not* uniform; estimates are best-effort
             // and documented as biased. Same expansion arithmetic applies.
-            Design { expansion: 1.0 / q, kind: DesignKind::Bernoulli { q } }
+            Design {
+                expansion: 1.0 / q,
+                kind: DesignKind::Bernoulli { q },
+            }
         }
         SampleKind::Reservoir => {
             let n = sample.parent_size() as f64;
             let k = sample.size() as f64;
-            Design { expansion: if k > 0.0 { n / k } else { 0.0 }, kind: DesignKind::Srs { n, k } }
+            Design {
+                expansion: if k > 0.0 { n / k } else { 0.0 },
+                kind: DesignKind::Srs { n, k },
+            }
         }
     }
 }
@@ -151,10 +174,7 @@ pub fn estimate_count<T: SampleValue>(
 }
 
 /// Estimate `SUM(v) WHERE pred` over the sampled parent partition.
-pub fn estimate_sum<T: Numeric>(
-    sample: &Sample<T>,
-    mut pred: impl FnMut(&T) -> bool,
-) -> Estimate {
+pub fn estimate_sum<T: Numeric>(sample: &Sample<T>, mut pred: impl FnMut(&T) -> bool) -> Estimate {
     // Accumulate Σv and Σv² over matching sample elements (count-weighted).
     let (mut s1, mut s2) = (0.0f64, 0.0f64);
     for (v, c) in sample.histogram().iter() {
@@ -207,7 +227,11 @@ pub fn estimate_variance<T: Numeric>(
         }
     }
     if m < 2.0 {
-        return Estimate { value: f64::NAN, std_error: f64::INFINITY, exact: false };
+        return Estimate {
+            value: f64::NAN,
+            std_error: f64::INFINITY,
+            exact: false,
+        };
     }
     let mean = s1 / m;
     let var = (s2 / m - mean * mean).max(0.0);
@@ -231,10 +255,7 @@ pub fn estimate_variance<T: Numeric>(
 
 /// Estimate `AVG(v) WHERE pred` (ratio of SUM and COUNT estimates; the
 /// standard error uses the matching-subsample standard deviation).
-pub fn estimate_avg<T: Numeric>(
-    sample: &Sample<T>,
-    mut pred: impl FnMut(&T) -> bool,
-) -> Estimate {
+pub fn estimate_avg<T: Numeric>(sample: &Sample<T>, mut pred: impl FnMut(&T) -> bool) -> Estimate {
     let (mut s1, mut s2, mut m) = (0.0f64, 0.0f64, 0.0f64);
     for (v, c) in sample.histogram().iter() {
         if pred(v) {
@@ -330,7 +351,10 @@ mod tests {
         }
         let mean = sum_est / trials as f64;
         assert!((mean / truth - 1.0).abs() < 0.01, "mean {mean} vs {truth}");
-        assert!(covered as f64 / trials as f64 > 0.85, "coverage {covered}/{trials}");
+        assert!(
+            covered as f64 / trials as f64 > 0.85,
+            "coverage {covered}/{trials}"
+        );
     }
 
     #[test]

@@ -24,14 +24,16 @@ pub mod distinct;
 pub mod estimators;
 pub mod groupby;
 pub mod profile;
-pub mod query;
 pub mod quantiles;
+pub mod query;
 pub mod stratified;
 
 pub use distinct::{distinct_chao, distinct_naive};
-pub use estimators::{estimate_avg, estimate_count, estimate_sum, estimate_variance, Estimate, Numeric};
+pub use estimators::{
+    estimate_avg, estimate_count, estimate_sum, estimate_variance, Estimate, Numeric,
+};
 pub use groupby::{group_by_count, group_by_sum};
 pub use profile::{profile, ColumnProfile};
-pub use query::{Aggregate, Predicate, Query};
 pub use quantiles::{estimate_median, estimate_quantile, QuantileEstimate};
+pub use query::{Aggregate, Predicate, Query};
 pub use stratified::{stratified_count, stratified_sum};

@@ -37,7 +37,10 @@ pub fn estimate_quantile<T: SampleValue>(
     level: f64,
 ) -> Option<QuantileEstimate<T>> {
     assert!(phi > 0.0 && phi < 1.0, "phi must lie in (0,1), got {phi}");
-    assert!(level > 0.0 && level < 1.0, "level must lie in (0,1), got {level}");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "level must lie in (0,1), got {level}"
+    );
     let k = sample.size();
     if k == 0 {
         return None;
@@ -60,7 +63,12 @@ pub fn estimate_quantile<T: SampleValue>(
     let point_rank = ((kf * phi).ceil() as u64).clamp(1, k) - 1;
     if sample.kind() == SampleKind::Exhaustive {
         let v = value_at_rank(point_rank).clone();
-        return Some(QuantileEstimate { value: v.clone(), lo: v.clone(), hi: v, exact: true });
+        return Some(QuantileEstimate {
+            value: v.clone(),
+            lo: v.clone(),
+            hi: v,
+            exact: true,
+        });
     }
     let z = normal_quantile(0.5 + level / 2.0);
     let half = z * (kf * phi * (1.0 - phi)).sqrt();

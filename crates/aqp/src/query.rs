@@ -73,7 +73,10 @@ impl Predicate {
                 if m <= 0 {
                     return Err("modulus must be positive".into());
                 }
-                Ok(Predicate::ModEq { modulus: m, remainder: r })
+                Ok(Predicate::ModEq {
+                    modulus: m,
+                    remainder: r,
+                })
             }
             Some("between") => {
                 let lo: i64 = parts
@@ -138,22 +141,34 @@ pub struct Query {
 impl Query {
     /// COUNT with a predicate.
     pub fn count(predicate: Predicate) -> Self {
-        Self { aggregate: Aggregate::Count, predicate }
+        Self {
+            aggregate: Aggregate::Count,
+            predicate,
+        }
     }
 
     /// SUM with a predicate.
     pub fn sum(predicate: Predicate) -> Self {
-        Self { aggregate: Aggregate::Sum, predicate }
+        Self {
+            aggregate: Aggregate::Sum,
+            predicate,
+        }
     }
 
     /// AVG with a predicate.
     pub fn avg(predicate: Predicate) -> Self {
-        Self { aggregate: Aggregate::Avg, predicate }
+        Self {
+            aggregate: Aggregate::Avg,
+            predicate,
+        }
     }
 
     /// `phi`-quantile of matching values.
     pub fn quantile(phi: f64, predicate: Predicate) -> Self {
-        Self { aggregate: Aggregate::Quantile(phi), predicate }
+        Self {
+            aggregate: Aggregate::Quantile(phi),
+            predicate,
+        }
     }
 
     /// Approximate execution against a sample. Quantile queries with
@@ -170,7 +185,11 @@ impl Query {
                 // Point estimate with the order-statistic interval mapped
                 // onto the Estimate shape (half-width as pseudo-SE).
                 match estimate_quantile(sample, phi, 0.95) {
-                    None => Estimate { value: f64::NAN, std_error: f64::INFINITY, exact: false },
+                    None => Estimate {
+                        value: f64::NAN,
+                        std_error: f64::INFINITY,
+                        exact: false,
+                    },
                     Some(q) => {
                         let half = (q.hi - q.lo) as f64 / 2.0;
                         Estimate {
@@ -208,8 +227,7 @@ impl Query {
                 }
             }
             Aggregate::Quantile(phi) => {
-                let mut matching: Vec<i64> =
-                    values.into_iter().filter(|v| pred.eval(*v)).collect();
+                let mut matching: Vec<i64> = values.into_iter().filter(|v| pred.eval(*v)).collect();
                 if matching.is_empty() {
                     return f64::NAN;
                 }
@@ -233,16 +251,31 @@ mod tests {
     #[test]
     fn predicate_eval() {
         assert!(Predicate::True.eval(5));
-        assert!(Predicate::ModEq { modulus: 3, remainder: 2 }.eval(5));
-        assert!(!Predicate::ModEq { modulus: 3, remainder: 2 }.eval(6));
+        assert!(Predicate::ModEq {
+            modulus: 3,
+            remainder: 2
+        }
+        .eval(5));
+        assert!(!Predicate::ModEq {
+            modulus: 3,
+            remainder: 2
+        }
+        .eval(6));
         // Euclidean remainder for negatives.
-        assert!(Predicate::ModEq { modulus: 3, remainder: 2 }.eval(-1));
+        assert!(Predicate::ModEq {
+            modulus: 3,
+            remainder: 2
+        }
+        .eval(-1));
         assert!(Predicate::Between { lo: -2, hi: 2 }.eval(0));
         assert!(!Predicate::Between { lo: -2, hi: 2 }.eval(3));
         assert!(Predicate::In(vec![1, 5, 9]).eval(5));
         let composite = Predicate::And(
             Box::new(Predicate::Between { lo: 0, hi: 100 }),
-            Box::new(Predicate::Not(Box::new(Predicate::ModEq { modulus: 2, remainder: 0 }))),
+            Box::new(Predicate::Not(Box::new(Predicate::ModEq {
+                modulus: 2,
+                remainder: 0,
+            }))),
         );
         assert!(composite.eval(7));
         assert!(!composite.eval(8));
@@ -254,13 +287,19 @@ mod tests {
         assert_eq!(Predicate::parse("true").unwrap(), Predicate::True);
         assert_eq!(
             Predicate::parse("mod:4:1").unwrap(),
-            Predicate::ModEq { modulus: 4, remainder: 1 }
+            Predicate::ModEq {
+                modulus: 4,
+                remainder: 1
+            }
         );
         assert_eq!(
             Predicate::parse("between:-5:10").unwrap(),
             Predicate::Between { lo: -5, hi: 10 }
         );
-        assert_eq!(Predicate::parse("in:1,2,3").unwrap(), Predicate::In(vec![1, 2, 3]));
+        assert_eq!(
+            Predicate::parse("in:1,2,3").unwrap(),
+            Predicate::In(vec![1, 2, 3])
+        );
         assert!(Predicate::parse("mod:0:1").is_err());
         assert!(Predicate::parse("frob:1").is_err());
     }
@@ -268,7 +307,10 @@ mod tests {
     #[test]
     fn exact_matches_manual_computation() {
         let values: Vec<i64> = (0..1000).collect();
-        assert_eq!(Query::count(Predicate::parse("mod:4:0").unwrap()).exact(values.clone()), 250.0);
+        assert_eq!(
+            Query::count(Predicate::parse("mod:4:0").unwrap()).exact(values.clone()),
+            250.0
+        );
         assert_eq!(
             Query::sum(Predicate::Between { lo: 0, hi: 9 }).exact(values.clone()),
             45.0
@@ -284,7 +326,10 @@ mod tests {
         let s = HybridReservoir::new(FootprintPolicy::with_value_budget(2048))
             .sample_batch(values.iter().copied(), &mut rng);
         for q in [
-            Query::count(Predicate::ModEq { modulus: 5, remainder: 0 }),
+            Query::count(Predicate::ModEq {
+                modulus: 5,
+                remainder: 0,
+            }),
             Query::sum(Predicate::Between { lo: 0, hi: 49_999 }),
             Query::avg(Predicate::True),
         ] {
@@ -308,7 +353,11 @@ mod tests {
         let q = Query::quantile(0.9, Predicate::True);
         let est = q.estimate(&s);
         let truth = q.exact(values);
-        assert!((est.value - truth).abs() / truth < 0.1, "q90 {} vs {truth}", est.value);
+        assert!(
+            (est.value - truth).abs() / truth < 0.1,
+            "q90 {} vs {truth}",
+            est.value
+        );
     }
 
     #[test]
@@ -319,7 +368,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Predicate::parse("mod:4:0").unwrap().to_string(), "v % 4 == 0");
+        assert_eq!(
+            Predicate::parse("mod:4:0").unwrap().to_string(),
+            "v % 4 == 0"
+        );
         assert_eq!(Predicate::True.to_string(), "*");
     }
 }

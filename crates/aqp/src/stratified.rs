@@ -37,7 +37,11 @@ fn combine(parts: impl Iterator<Item = Estimate>) -> Estimate {
         var += e.std_error * e.std_error;
         exact &= e.exact;
     }
-    Estimate { value, std_error: var.sqrt(), exact }
+    Estimate {
+        value,
+        std_error: var.sqrt(),
+        exact,
+    }
 }
 
 #[cfg(test)]

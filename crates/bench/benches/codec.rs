@@ -47,7 +47,10 @@ fn bench_fullstore(c: &mut Criterion) {
     let dir = std::env::temp_dir().join("swh-bench-fullstore");
     let _ = std::fs::remove_dir_all(&dir);
     let store = FullStore::open(&dir).expect("open");
-    let key = PartitionKey { dataset: DatasetId(1), partition: PartitionId::seq(0) };
+    let key = PartitionKey {
+        dataset: DatasetId(1),
+        partition: PartitionId::seq(0),
+    };
     let values: Vec<i64> = (0..(1 << 16)).collect();
 
     let mut group = c.benchmark_group("fullstore");
@@ -55,10 +58,14 @@ fn bench_fullstore(c: &mut Criterion) {
     group.throughput(Throughput::Elements(values.len() as u64));
     group.bench_function("write_partition_64k", |b| {
         b.iter(|| {
-            store.write_partition(key, values.iter().copied()).expect("write")
+            store
+                .write_partition(key, values.iter().copied())
+                .expect("write")
         })
     });
-    store.write_partition(key, values.iter().copied()).expect("write");
+    store
+        .write_partition(key, values.iter().copied())
+        .expect("write");
     group.bench_function("read_partition_64k", |b| {
         b.iter(|| {
             let v: Vec<i64> = store.read_partition(key).expect("read");

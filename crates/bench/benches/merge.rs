@@ -16,9 +16,7 @@ fn hb_samples(n_f: u64, parts: u64, per: u64) -> Vec<Sample<u64>> {
     let policy = FootprintPolicy::with_value_budget(n_f);
     let mut rng = seeded_rng(1);
     (0..parts)
-        .map(|p| {
-            HybridBernoulli::new(policy, per).sample_batch(p * per..(p + 1) * per, &mut rng)
-        })
+        .map(|p| HybridBernoulli::new(policy, per).sample_batch(p * per..(p + 1) * per, &mut rng))
         .collect()
 }
 
@@ -47,8 +45,7 @@ fn bench_pairwise(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("HRMerge", n_f), &hr, |b, samples| {
             let mut rng = seeded_rng(4);
             b.iter(|| {
-                let m = hr_merge(samples[0].clone(), samples[1].clone(), &mut rng)
-                    .expect("merge");
+                let m = hr_merge(samples[0].clone(), samples[1].clone(), &mut rng).expect("merge");
                 black_box(m.size())
             })
         });
@@ -113,8 +110,8 @@ fn bench_tree_alias_cache(c: &mut Criterion) {
                 // sizes.
                 let mut cache = HypergeometricCache::new();
                 b.iter(|| {
-                    let m = hr_merge_tree_cached(samples.clone(), &mut cache, &mut rng)
-                        .expect("merge");
+                    let m =
+                        hr_merge_tree_cached(samples.clone(), &mut cache, &mut rng).expect("merge");
                     black_box(m.size())
                 })
             },

@@ -50,17 +50,29 @@ fn bench_purge_reservoir(c: &mut Criterion) {
     let mut group = c.benchmark_group("purge_reservoir");
     for (name, hist, m) in [
         ("flat_8192_to_4096", flat_histogram(8192), 4096u64),
-        ("skewed_8192of256_to_4096", skewed_histogram(256, 8192), 4096),
-        ("skewed_65536of1024_to_8192", skewed_histogram(1024, 65_536), 8192),
+        (
+            "skewed_8192of256_to_4096",
+            skewed_histogram(256, 8192),
+            4096,
+        ),
+        (
+            "skewed_65536of1024_to_8192",
+            skewed_histogram(1024, 65_536),
+            8192,
+        ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &(hist, m), |b, (h, m)| {
-            let mut rng = seeded_rng(3);
-            b.iter(|| {
-                let mut h = h.clone();
-                purge_reservoir(&mut h, *m, &mut rng);
-                black_box(h.total())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(hist, m),
+            |b, (h, m)| {
+                let mut rng = seeded_rng(3);
+                b.iter(|| {
+                    let mut h = h.clone();
+                    purge_reservoir(&mut h, *m, &mut rng);
+                    black_box(h.total())
+                })
+            },
+        );
     }
     group.finish();
 }

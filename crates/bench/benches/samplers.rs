@@ -47,7 +47,10 @@ fn bench_schemes(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("HB", dist.label()), &values, |b, vals| {
             let mut rng = seeded_rng(3);
-            let cfg = SamplerConfig::HybridBernoulli { expected_n: N, p_bound: 1e-3 };
+            let cfg = SamplerConfig::HybridBernoulli {
+                expected_n: N,
+                p_bound: 1e-3,
+            };
             b.iter(|| {
                 let s = cfg
                     .build::<u64>(policy)

@@ -8,11 +8,10 @@
 //! error| and 95% CI coverage over repetitions.
 
 use swh_aqp::query::{Predicate, Query};
-use swh_bench::{section, CsvOut, Scale};
+use swh_bench::{sample_batch_tracked, section, CsvOut, Scale};
 use swh_core::footprint::FootprintPolicy;
 use swh_core::merge::merge_all;
 use swh_core::sample::Sample;
-use swh_core::sampler::Sampler;
 use swh_rand::seeded_rng;
 use swh_warehouse::ingest::SamplerConfig;
 use swh_workloads::dataset::{DataDistribution, DataSpec};
@@ -25,8 +24,20 @@ fn main() {
     };
     let reps = 20usize;
     let queries = [
-        ("count_sel10%", Query::count(Predicate::ModEq { modulus: 10, remainder: 0 })),
-        ("count_sel1%", Query::count(Predicate::ModEq { modulus: 100, remainder: 0 })),
+        (
+            "count_sel10%",
+            Query::count(Predicate::ModEq {
+                modulus: 10,
+                remainder: 0,
+            }),
+        ),
+        (
+            "count_sel1%",
+            Query::count(Predicate::ModEq {
+                modulus: 100,
+                remainder: 0,
+            }),
+        ),
         ("sum_all", Query::sum(Predicate::True)),
         ("avg_all", Query::avg(Predicate::True)),
     ];
@@ -64,12 +75,18 @@ fn main() {
                     .into_iter()
                     .map(|stream| {
                         let cfg = if algo == "HB" {
-                            SamplerConfig::HybridBernoulli { expected_n: per, p_bound: 1e-3 }
+                            SamplerConfig::HybridBernoulli {
+                                expected_n: per,
+                                p_bound: 1e-3,
+                            }
                         } else {
                             SamplerConfig::HybridReservoir
                         };
-                        cfg.build::<i64>(policy)
-                            .sample_batch(stream.map(|v| v as i64), &mut rng)
+                        sample_batch_tracked(
+                            cfg.build::<i64>(policy),
+                            stream.map(|v| v as i64),
+                            &mut rng,
+                        )
                     })
                     .collect();
                 let merged = merge_all(samples, 1e-3, &mut rng).expect("merge");
@@ -86,9 +103,7 @@ fn main() {
             for (qi, (name, _)) in queries.iter().enumerate() {
                 let mean_rel = 100.0 * abs_rel[qi] / reps as f64;
                 let coverage = covered[qi] as f64 / reps as f64;
-                println!(
-                    "{algo:>4} {n_f:>7} {name:>14} | {mean_rel:>9.3}% {coverage:>9.2} |"
-                );
+                println!("{algo:>4} {n_f:>7} {name:>14} | {mean_rel:>9.3}% {coverage:>9.2} |");
                 csv.row(format!("{algo},{n_f},{name},{mean_rel:.4},{coverage:.3}"));
             }
         }

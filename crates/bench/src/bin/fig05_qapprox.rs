@@ -20,8 +20,13 @@ fn main() {
         })
         .collect();
 
-    section(&format!("Figure 5: relative error of q(N,p,nF) approximation, N = {n}"));
-    println!("{:>12} {:>12} {:>14} {:>14} {:>12}", "p", "n_F", "q_approx", "q_exact", "rel_err_%");
+    section(&format!(
+        "Figure 5: relative error of q(N,p,nF) approximation, N = {n}"
+    ));
+    println!(
+        "{:>12} {:>12} {:>14} {:>14} {:>12}",
+        "p", "n_F", "q_approx", "q_exact", "rel_err_%"
+    );
 
     let mut csv = CsvOut::new("fig05_qapprox", "p,n_f,q_approx,q_exact,rel_err_pct");
     let mut max_err = 0.0f64;

@@ -12,11 +12,13 @@
 //! * all three curves are U-shaped: sampling time falls with parallelism
 //!   while merge time grows with the number of merges.
 
-use swh_bench::{section, simulated_cpus, simulated_makespan, time_secs, CsvOut, Scale};
+use swh_bench::{
+    publish_stats, sample_batch_with_stats, section, simulated_cpus, simulated_makespan, time_secs,
+    CsvOut, Scale,
+};
 use swh_core::footprint::FootprintPolicy;
 use swh_core::merge::merge_all;
 use swh_core::sample::Sample;
-use swh_core::sampler::Sampler;
 use swh_core::sb::StratifiedBernoulli;
 use swh_rand::seeded_rng;
 use swh_warehouse::ingest::SamplerConfig;
@@ -59,20 +61,26 @@ fn run_once(
     let mut durations = Vec::with_capacity(partitions as usize);
     for (i, stream) in spec.partitions(partitions).into_iter().enumerate() {
         let mut rng = seeded_rng(seed ^ (i as u64).wrapping_mul(0x9E37));
-        let (sample, t) = time_secs(|| match algo {
-            Algo::Sb => {
-                StratifiedBernoulli::<u64>::new(sb_rate, policy, &mut rng)
-                    .sample_batch(stream, &mut rng)
-            }
+        let ((sample, stats), t) = time_secs(|| match algo {
+            Algo::Sb => sample_batch_with_stats(
+                StratifiedBernoulli::<u64>::new(sb_rate, policy, &mut rng),
+                stream,
+                &mut rng,
+            ),
             Algo::Hb => {
-                let cfg =
-                    SamplerConfig::HybridBernoulli { expected_n: part_size, p_bound: 1e-3 };
-                cfg.build::<u64>(policy).sample_batch(stream, &mut rng)
+                let cfg = SamplerConfig::HybridBernoulli {
+                    expected_n: part_size,
+                    p_bound: 1e-3,
+                };
+                sample_batch_with_stats(cfg.build::<u64>(policy), stream, &mut rng)
             }
-            Algo::Hr => SamplerConfig::HybridReservoir
-                .build::<u64>(policy)
-                .sample_batch(stream, &mut rng),
+            Algo::Hr => sample_batch_with_stats(
+                SamplerConfig::HybridReservoir.build::<u64>(policy),
+                stream,
+                &mut rng,
+            ),
         });
+        publish_stats(&stats);
         samples.push(sample);
         durations.push(t);
     }

@@ -12,11 +12,13 @@
 //! sampling jobs on a simulated cluster of `SWH_CPUS` CPUs (default 4, the
 //! paper's testbed); merges run serially, as in the paper.
 
-use swh_bench::{section, simulated_cpus, simulated_makespan, time_secs, CsvOut, Scale};
+use swh_bench::{
+    publish_stats, sample_batch_with_stats, section, simulated_cpus, simulated_makespan, time_secs,
+    CsvOut, Scale,
+};
 use swh_core::footprint::FootprintPolicy;
 use swh_core::merge::merge_all;
 use swh_core::sample::Sample;
-use swh_core::sampler::Sampler;
 use swh_core::sb::StratifiedBernoulli;
 use swh_rand::seeded_rng;
 use swh_warehouse::ingest::SamplerConfig;
@@ -37,16 +39,28 @@ fn run_once(
     let mut durations = Vec::with_capacity(parts as usize);
     for (i, stream) in spec.partitions(parts).into_iter().enumerate() {
         let mut rng = seeded_rng(seed ^ (i as u64).wrapping_mul(0x51_7c));
-        let (sample, t) = time_secs(|| match algo {
-            "SB" => StratifiedBernoulli::<u64>::new(q, policy, &mut rng)
-                .sample_batch(stream, &mut rng),
-            "HB" => SamplerConfig::HybridBernoulli { expected_n: per, p_bound: 1e-3 }
-                .build::<u64>(policy)
-                .sample_batch(stream, &mut rng),
-            _ => SamplerConfig::HybridReservoir
-                .build::<u64>(policy)
-                .sample_batch(stream, &mut rng),
+        let ((sample, stats), t) = time_secs(|| match algo {
+            "SB" => sample_batch_with_stats(
+                StratifiedBernoulli::<u64>::new(q, policy, &mut rng),
+                stream,
+                &mut rng,
+            ),
+            "HB" => sample_batch_with_stats(
+                SamplerConfig::HybridBernoulli {
+                    expected_n: per,
+                    p_bound: 1e-3,
+                }
+                .build::<u64>(policy),
+                stream,
+                &mut rng,
+            ),
+            _ => sample_batch_with_stats(
+                SamplerConfig::HybridReservoir.build::<u64>(policy),
+                stream,
+                &mut rng,
+            ),
         });
+        publish_stats(&stats);
         samples.push(sample);
         durations.push(t);
     }

@@ -15,10 +15,10 @@
 use swh_bench::{section, CsvOut, Scale};
 use swh_core::footprint::FootprintPolicy;
 use swh_core::merge::merge_all;
+use swh_rand::seeded_rng;
 use swh_warehouse::ingest::SamplerConfig;
 use swh_warehouse::parallel::sample_partitions_parallel;
 use swh_workloads::dataset::{DataDistribution, DataSpec};
-use swh_rand::seeded_rng;
 
 #[allow(clippy::too_many_arguments)]
 fn run(
@@ -73,7 +73,10 @@ fn main() {
     );
     let mut worst_gap = (0.0f64, 0u64);
     for &parts in &scale.partition_counts() {
-        let hb = |p: f64| SamplerConfig::HybridBernoulli { expected_n: per, p_bound: p };
+        let hb = |p: f64| SamplerConfig::HybridBernoulli {
+            expected_n: per,
+            p_bound: p,
+        };
         let hr = SamplerConfig::HybridReservoir;
         let uniq = DataDistribution::Unique;
         let unif = DataDistribution::PAPER_UNIFORM;

@@ -42,8 +42,14 @@ fn counterexample(csv: &mut CsvOut) {
         }
     }
     println!("population = {{a,a,a,b,b,b}}, footprint = one (value,count) pair, {trials} trials");
-    println!("  H1 = {{(a,3)}}      : {a3:>7}  ({:.4}%)", 100.0 * a3 as f64 / trials as f64);
-    println!("  H2 = {{(b,3)}}      : {b3:>7}  ({:.4}%)", 100.0 * b3 as f64 / trials as f64);
+    println!(
+        "  H1 = {{(a,3)}}      : {a3:>7}  ({:.4}%)",
+        100.0 * a3 as f64 / trials as f64
+    );
+    println!(
+        "  H2 = {{(b,3)}}      : {b3:>7}  ({:.4}%)",
+        100.0 * b3 as f64 / trials as f64
+    );
     println!("  H3 = {{(a,2),b}} or {{a,(b,2)}} : {mixed:>7}  (impossible under concise sampling)");
     println!("  other outcomes   : {other:>7}");
     println!(
@@ -94,7 +100,9 @@ fn value_mass_test(
     for _ in 0..trials {
         let s = sample_once(&mut rng);
         for (v, c) in s.histogram().iter() {
-            *mass.get_mut(v).expect("sampled value must come from population") += c;
+            *mass
+                .get_mut(v)
+                .expect("sampled value must come from population") += c;
             total += c;
         }
     }
@@ -109,7 +117,11 @@ fn value_mass_test(
     let verdict = if pv > 1e-3 { "UNIFORM" } else { "NOT uniform" };
     // Rare-value representation: sampled share of the 20 rare singletons
     // (uniform schemes: 20/100 = 20%).
-    let rare: u64 = freqs.iter().filter(|(v, _)| *v >= 100).map(|(v, _)| mass[v]).sum();
+    let rare: u64 = freqs
+        .iter()
+        .filter(|(v, _)| *v >= 100)
+        .map(|(v, _)| mass[v])
+        .sum();
     let rare_share = 100.0 * rare as f64 / total as f64;
     println!(
         "  {label:<24} chi2 = {stat:>9.1}  p = {pv:>9.2e}  rare-value share = {rare_share:>5.2}% \
@@ -205,7 +217,11 @@ fn rare_survival(csv: &mut CsvOut) {
         // Uniform schemes: E[count(RARE)] = E[|S|]/n (RARE appears once).
         let expected = total_mass as f64 / n as f64;
         let ratio = rare_mass as f64 / expected;
-        let verdict = if (0.8..1.25).contains(&ratio) { "UNIFORM" } else { "NOT uniform" };
+        let verdict = if (0.8..1.25).contains(&ratio) {
+            "UNIFORM"
+        } else {
+            "NOT uniform"
+        };
         println!(
             "  {label:<24} rare sampled {rare_mass:>6} times, uniform expectation {expected:>8.1} \
              -> ratio {ratio:>5.2}  {verdict}"
@@ -219,8 +235,7 @@ fn rare_survival(csv: &mut CsvOut) {
         "Algorithm HB (p=1e-3)",
         Box::new(move |rng| {
             HybridBernoulli::<u64>::new(p2, 241).sample_batch(
-                std::iter::once(RARE)
-                    .chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
+                std::iter::once(RARE).chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
                 rng,
             )
         }),
@@ -229,8 +244,7 @@ fn rare_survival(csv: &mut CsvOut) {
         "Algorithm HR",
         Box::new(move |rng| {
             HybridReservoir::<u64>::new(p2).sample_batch(
-                std::iter::once(RARE)
-                    .chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
+                std::iter::once(RARE).chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
                 rng,
             )
         }),
@@ -239,13 +253,15 @@ fn rare_survival(csv: &mut CsvOut) {
         "Concise sampling",
         Box::new(move |rng| {
             ConciseSampler::<u64>::new(p2).sample_batch(
-                std::iter::once(RARE)
-                    .chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
+                std::iter::once(RARE).chain((0..6u64).flat_map(|v| std::iter::repeat_n(v, 40))),
                 rng,
             )
         }),
     );
     assert!((0.9..1.1).contains(&r_hb), "HB ratio {r_hb}");
     assert!((0.9..1.1).contains(&r_hr), "HR ratio {r_hr}");
-    assert!(r_concise < 0.6, "concise ratio {r_concise} should show underrepresentation");
+    assert!(
+        r_concise < 0.6,
+        "concise ratio {r_concise} should show underrepresentation"
+    );
 }

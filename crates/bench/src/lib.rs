@@ -113,6 +113,52 @@ pub fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
+/// Like [`swh_core::sampler::Sampler::sample_batch`], but also returns the
+/// sampler's [`swh_core::SamplerStats`]. Timed harness loops use this and
+/// call [`publish_stats`] *outside* the timer, so metrics accounting never
+/// skews the measured sampling time.
+pub fn sample_batch_with_stats<T, S, R, I>(
+    mut sampler: S,
+    stream: I,
+    rng: &mut R,
+) -> (swh_core::sample::Sample<T>, swh_core::SamplerStats)
+where
+    T: swh_core::value::SampleValue,
+    S: swh_core::sampler::Sampler<T>,
+    R: rand::Rng + ?Sized,
+    I: IntoIterator<Item = T>,
+{
+    for v in stream {
+        sampler.observe(v, rng);
+    }
+    sampler.finalize_with_stats(rng)
+}
+
+/// Publish finalized-sampler stats to the global metrics registry, so the
+/// snapshot written by [`CsvOut::finish`] attributes the run (purge counts,
+/// phase transitions, footprint high-water marks).
+pub fn publish_stats(stats: &swh_core::SamplerStats) {
+    swh_warehouse::ingest::publish_sampler_stats(swh_obs::global(), stats);
+}
+
+/// [`sample_batch_with_stats`] + [`publish_stats`] in one step, for untimed
+/// call sites.
+pub fn sample_batch_tracked<T, S, R, I>(
+    sampler: S,
+    stream: I,
+    rng: &mut R,
+) -> swh_core::sample::Sample<T>
+where
+    T: swh_core::value::SampleValue,
+    S: swh_core::sampler::Sampler<T>,
+    R: rand::Rng + ?Sized,
+    I: IntoIterator<Item = T>,
+{
+    let (sample, stats) = sample_batch_with_stats(sampler, stream, rng);
+    publish_stats(&stats);
+    sample
+}
+
 /// Number of CPUs the *simulated* cluster has. The paper's testbed was two
 /// machines with dual 1.1 GHz Pentiums (4 CPUs); override with `SWH_CPUS`.
 pub fn simulated_cpus() -> usize {
@@ -152,7 +198,9 @@ pub fn simulated_makespan(durations: &[f64], workers: usize) -> f64 {
 
 /// Run `jobs` sequentially, timing each, and return the outputs plus the
 /// per-job durations in seconds.
-pub fn run_timed_jobs<R>(jobs: impl IntoIterator<Item = Box<dyn FnOnce() -> R>>) -> (Vec<R>, Vec<f64>) {
+pub fn run_timed_jobs<R>(
+    jobs: impl IntoIterator<Item = Box<dyn FnOnce() -> R>>,
+) -> (Vec<R>, Vec<f64>) {
     let mut outs = Vec::new();
     let mut times = Vec::new();
     for job in jobs {
@@ -186,7 +234,10 @@ impl CsvOut {
         }
         let dir = root.join("bench_results");
         let _ = fs::create_dir_all(&dir);
-        Self { path: dir.join(format!("{name}.csv")), buf: format!("{header}\n") }
+        Self {
+            path: dir.join(format!("{name}.csv")),
+            buf: format!("{header}\n"),
+        }
     }
 
     /// Append one row.
@@ -195,11 +246,22 @@ impl CsvOut {
         self.buf.push('\n');
     }
 
-    /// Write the file to disk, reporting the path on stdout.
+    /// Write the file to disk, reporting the path on stdout. Also drops the
+    /// run's metrics snapshot next to the data (`<name>.metrics.prom`) so a
+    /// slow figure run can be attributed — worker busy time, purge counts,
+    /// phase transitions — without rerunning it.
     pub fn finish(self) {
         match fs::File::create(&self.path).and_then(|mut f| f.write_all(self.buf.as_bytes())) {
             Ok(()) => println!("\n[csv] {}", self.path.display()),
             Err(e) => eprintln!("[csv] failed to write {}: {e}", self.path.display()),
+        }
+        let prom = swh_obs::global().snapshot().to_prometheus();
+        if !prom.is_empty() {
+            let metrics_path = self.path.with_extension("metrics.prom");
+            if fs::write(&metrics_path, &prom).is_ok() {
+                println!("[metrics] {}", metrics_path.display());
+            }
+            swh_obs::progress!(1, "{prom}");
         }
     }
 }

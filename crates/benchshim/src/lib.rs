@@ -1,0 +1,315 @@
+#![warn(missing_docs)]
+
+//! A minimal, dependency-free stand-in for the `criterion` benchmarking
+//! crate, exposing exactly the API surface the `swh-bench` suite uses:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. The bench files alias this crate as `criterion` in Cargo.toml,
+//! so their source is identical to what would run against the real crate.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, sizes a
+//! batch so one batch lasts roughly `measurement_time / sample_size`, then
+//! times `sample_size` batches and reports min/mean/max ns per iteration
+//! (plus throughput when the group declares one). That is cruder than
+//! criterion's bootstrapped analysis but keeps relative comparisons honest,
+//! which is all the ablation benches need.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver holding the run configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Untimed warm-up duration before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks. The group starts from the
+    /// driver's configuration and may override it per-group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            config: self.clone(),
+            _marker: std::marker::PhantomData,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group (`name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter` id, e.g. `BenchmarkId::new("encode", "zipf")`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+
+    /// Id carrying only a parameter, e.g. `BenchmarkId::from_parameter(64)`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed by one iteration.
+    Bytes(u64),
+    /// Elements processed by one iteration.
+    Elements(u64),
+}
+
+/// A named collection of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    config: Criterion,
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the number of timed batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            warm_up_time: self.config.warm_up_time,
+            measurement_time: self.config.measurement_time,
+            sample_size: self.config.sample_size,
+            samples_ns_per_iter: Vec::new(),
+        };
+        f(&mut b);
+        report(&self.name, &id.0, &b.samples_ns_per_iter, self.throughput);
+    }
+
+    /// Run one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Close the group (separator line in the report).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up (also provides a first per-iter estimate for batch sizing).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let est_ns_per_iter = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Size batches so the whole measurement fits the time budget.
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let batch = ((budget_ns / self.sample_size as f64 / est_ns_per_iter).floor() as u64)
+            .clamp(1, 1 << 24);
+        self.samples_ns_per_iter.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples_ns_per_iter
+                .push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{group}/{id:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let label = format!("{group}/{id}");
+    print!(
+        "{label:<56} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            print!("  thrpt: {:.2} Melem/s", n as f64 * 1e3 / mean);
+        }
+        Some(Throughput::Bytes(n)) => {
+            print!(
+                "  thrpt: {:.2} MiB/s",
+                n as f64 * 1e9 / mean / (1024.0 * 1024.0)
+            );
+        }
+        None => {}
+    }
+    println!();
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declare a named set of benchmark functions with a shared config, exactly
+/// like criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups, like criterion's macro.
+/// `cargo bench` passes `--bench` and filter arguments; the shim runs every
+/// benchmark unconditionally and ignores the command line.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("encode", "zipf").0, "encode/zipf");
+        assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        let mut x = 0u64;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("input", 3), &3u64, |b, &k| {
+            b.iter(|| k.wrapping_mul(x))
+        });
+        group.finish();
+    }
+}

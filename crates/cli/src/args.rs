@@ -1,7 +1,9 @@
 //! Minimal dependency-free argument parsing for the `swh` binary.
 //!
-//! Grammar: `swh <command> [--flag value]... [positional]...`. Flags may
-//! appear in any order; unknown flags are errors so typos fail loudly.
+//! Grammar: `swh <command> [--flag [value]]... [positional]...`. Flags may
+//! appear in any order. A `--flag` immediately followed by another `--flag`
+//! (or by the end of the line) is boolean and parses as the value `true`,
+//! so `swh ingest --stats --store DIR` works without an explicit argument.
 
 use std::collections::BTreeMap;
 
@@ -19,22 +21,30 @@ pub struct Args {
 pub enum ArgError {
     /// No subcommand given.
     MissingCommand,
-    /// A `--flag` had no following value.
-    MissingValue(String),
     /// A required flag was absent.
     Required(String),
     /// A flag value failed to parse.
-    Invalid { flag: String, value: String, expected: &'static str },
+    Invalid {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
 }
 
 impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgError::MissingCommand => write!(f, "missing command; run `swh help`"),
-            ArgError::MissingValue(flag) => write!(f, "flag --{flag} expects a value"),
             ArgError::Required(flag) => write!(f, "required flag --{flag} is missing"),
-            ArgError::Invalid { flag, value, expected } => {
-                write!(f, "invalid value '{value}' for --{flag} (expected {expected})")
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid value '{value}' for --{flag} (expected {expected})"
+                )
             }
         }
     }
@@ -45,19 +55,34 @@ impl std::error::Error for ArgError {}
 impl Args {
     /// Parse from an iterator of arguments (without the program name).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
-        let mut iter = args.into_iter();
+        let mut iter = args.into_iter().peekable();
         let command = iter.next().ok_or(ArgError::MissingCommand)?;
         let mut flags = BTreeMap::new();
         let mut positionals = Vec::new();
         while let Some(a) = iter.next() {
             if let Some(name) = a.strip_prefix("--") {
-                let value = iter.next().ok_or_else(|| ArgError::MissingValue(name.into()))?;
+                // A following token that is itself a flag (or absent) makes
+                // this a boolean flag. Negative numbers ("-1") still parse
+                // as values since only "--" introduces a flag.
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
                 flags.insert(name.to_string(), value);
             } else {
                 positionals.push(a);
             }
         }
-        Ok(Self { command, flags, positionals })
+        Ok(Self {
+            command,
+            flags,
+            positionals,
+        })
+    }
+
+    /// Boolean flag: present (bare or with any value except `false`/`0`).
+    pub fn flag(&self, name: &str) -> bool {
+        matches!(self.get(name), Some(v) if v != "false" && v != "0")
     }
 
     /// Optional string flag.
@@ -67,7 +92,8 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
-        self.get(flag).ok_or_else(|| ArgError::Required(flag.into()))
+        self.get(flag)
+            .ok_or_else(|| ArgError::Required(flag.into()))
     }
 
     /// Optional parsed flag.
@@ -92,7 +118,8 @@ impl Args {
         flag: &str,
         expected: &'static str,
     ) -> Result<T, ArgError> {
-        self.get_parsed(flag, expected)?.ok_or_else(|| ArgError::Required(flag.into()))
+        self.get_parsed(flag, expected)?
+            .ok_or_else(|| ArgError::Required(flag.into()))
     }
 
     /// Parsed flag with a default.
@@ -134,14 +161,27 @@ mod tests {
     }
 
     #[test]
-    fn missing_value() {
-        assert!(matches!(parse("ls --store").unwrap_err(), ArgError::MissingValue(_)));
+    fn bare_flags_are_boolean() {
+        let a = parse("ingest --stats --store /tmp/x --verbose").unwrap();
+        assert!(a.flag("stats"));
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+        assert_eq!(a.get("store"), Some("/tmp/x"));
+        // Explicit false disables the flag.
+        let a = parse("ingest --stats false").unwrap();
+        assert!(!a.flag("stats"));
+        // Negative numbers are values, not flags.
+        let a = parse("estimate --rem -1").unwrap();
+        assert_eq!(a.require_parsed::<i64>("rem", "integer").unwrap(), -1);
     }
 
     #[test]
     fn required_flag_error() {
         let a = parse("ls").unwrap();
-        assert!(matches!(a.require("store").unwrap_err(), ArgError::Required(_)));
+        assert!(matches!(
+            a.require("store").unwrap_err(),
+            ArgError::Required(_)
+        ));
     }
 
     #[test]

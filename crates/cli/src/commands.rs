@@ -10,8 +10,9 @@ use swh_aqp::quantiles::estimate_median;
 use swh_aqp::query::{Predicate, Query};
 use swh_core::footprint::FootprintPolicy;
 use swh_core::merge::merge_all;
-use swh_core::sample::{Sample, SampleKind};
+use swh_core::sample::Sample;
 use swh_core::sampler::Sampler;
+use swh_core::SamplerStats;
 use swh_rand::seeded_rng;
 use swh_warehouse::ids::{DatasetId, PartitionId, PartitionKey};
 use swh_warehouse::ingest::SamplerConfig;
@@ -23,6 +24,10 @@ pub type CmdResult = Result<(), Box<dyn Error>>;
 
 /// Dispatch a parsed command line.
 pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
+    // `--verbose` (level 1) or `--verbose N`; applies to every command.
+    if let Some(v) = args.get("verbose") {
+        swh_obs::set_verbosity(v.parse::<u8>().unwrap_or(u8::from(v != "false")));
+    }
     match args.command.as_str() {
         "help" | "--help" | "-h" => help(out),
         "ingest" => ingest(args, out),
@@ -31,6 +36,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "query" => query(args, out),
         "profile" => profile_cmd(args, out),
         "estimate" => estimate(args, out),
+        "metrics" => metrics_cmd(args, out),
         "rm" => rm(args, out),
         other => Err(format!("unknown command '{other}'; run `swh help`").into()),
     }
@@ -61,8 +67,17 @@ fn help(out: &mut dyn Write) -> CmdResult {
          \x20           --store DIR --dataset N --op count|sum|avg|median|qNN\n\
          \x20           [--mod M --rem R]              (predicate: value % M == R)\n\
          \x20           [--pred true|mod:M:R|between:LO:HI|in:V1,V2,...]\n\
+         \x20 metrics   run a synthetic workload and print its metrics\n\
+         \x20           [--n 40000] [--fan-out 4] [--nf 1024] [--seed X]\n\
+         \x20           [--format prom|json|both]\n\
          \x20 rm        roll a partition sample out of the store\n\
-         \x20           --store DIR --dataset N --partition SEQ [--stream S]"
+         \x20           --store DIR --dataset N --partition SEQ [--stream S]\n\
+         \n\
+         GLOBAL FLAGS\n\
+         \x20 --stats           after ingest/query/profile/estimate, print the\n\
+         \x20                   process metrics registry (same formats as metrics)\n\
+         \x20 --format FMT      exposition format: prom | json | both (default)\n\
+         \x20 --verbose [N]     progress chatter on stderr (or SWH_VERBOSE=N)"
     )?;
     Ok(())
 }
@@ -103,13 +118,26 @@ fn rng_from(args: &Args) -> Result<SmallRng, ArgError> {
     Ok(seeded_rng(args.parsed_or("seed", 0x5eed_u64, "integer")?))
 }
 
-fn kind_str(kind: SampleKind) -> String {
-    match kind {
-        SampleKind::Exhaustive => "exhaustive".into(),
-        SampleKind::Bernoulli { q, .. } => format!("bernoulli(q={q:.6})"),
-        SampleKind::Reservoir => "reservoir".into(),
-        SampleKind::Concise { q } => format!("concise(q={q:.6}, NOT uniform)"),
+/// Write the process-wide metrics registry in the format(s) selected by
+/// `--format prom|json|both` (default `both`).
+fn write_snapshot(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let snap = swh_obs::global().snapshot();
+    match args.get("format").unwrap_or("both") {
+        "prom" => write!(out, "{}", snap.to_prometheus())?,
+        "json" => writeln!(out, "{}", snap.to_json())?,
+        "both" => {
+            write!(out, "{}", snap.to_prometheus())?;
+            writeln!(out, "{}", snap.to_json())?;
+        }
+        other => return Err(format!("unknown --format '{other}' (prom|json|both)").into()),
     }
+    Ok(())
+}
+
+/// Publish one finalized sampler's [`SamplerStats`] into the global registry
+/// so `--stats` expositions carry the per-run phase/purge story.
+fn publish_sampler_stats(stats: &SamplerStats) {
+    swh_warehouse::ingest::publish_sampler_stats(swh_obs::global(), stats);
 }
 
 fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
@@ -146,7 +174,9 @@ fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
         Ok(())
     };
     // `--file PATH` or a bare positional path both work.
-    let file = args.get("file").or_else(|| args.positionals().first().map(String::as_str));
+    let file = args
+        .get("file")
+        .or_else(|| args.positionals().first().map(String::as_str));
     match (args.get("generate"), file) {
         (Some(spec), _) => {
             for v in generate_values(spec, &mut rng)? {
@@ -163,17 +193,22 @@ fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
         }
     }
 
-    let sample = sampler.finalize(&mut rng);
+    let (sample, stats) = sampler.finalize_with_stats(&mut rng);
+    publish_sampler_stats(&stats);
     writeln!(
         out,
         "ingested {}: {} of {} values, kind {}, footprint {} bytes",
         key,
         sample.size(),
         sample.parent_size(),
-        kind_str(sample.kind()),
+        sample.kind(),
         sample.footprint_bytes()
     )?;
     store.save(key, &sample)?;
+    if args.flag("stats") {
+        writeln!(out, "sampler stats: {stats}")?;
+        write_snapshot(args, out)?;
+    }
     Ok(())
 }
 
@@ -215,7 +250,7 @@ fn ls(args: &Args, out: &mut dyn Write) -> CmdResult {
                 format!("({},{})", key.partition.stream, key.partition.seq),
                 s.parent_size(),
                 s.size(),
-                kind_str(s.kind())
+                s.kind().to_string()
             )?;
         }
     }
@@ -228,11 +263,16 @@ fn show(args: &Args, out: &mut dyn Write) -> CmdResult {
     let top: usize = args.parsed_or("top", 10, "integer")?;
     let s: Sample<i64> = store.load(key)?;
     writeln!(out, "partition {key}")?;
-    writeln!(out, "  kind            : {}", kind_str(s.kind()))?;
+    writeln!(out, "  kind            : {}", s.kind())?;
     writeln!(out, "  parent size     : {}", s.parent_size())?;
     writeln!(out, "  sample size     : {}", s.size())?;
     writeln!(out, "  distinct values : {}", s.distinct())?;
-    writeln!(out, "  footprint       : {} bytes (bound {})", s.footprint_bytes(), s.policy().f_bytes())?;
+    writeln!(
+        out,
+        "  footprint       : {} bytes (bound {})",
+        s.footprint_bytes(),
+        s.policy().f_bytes()
+    )?;
     let mut pairs = s.histogram().sorted_pairs();
     pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     writeln!(out, "  top values      :")?;
@@ -264,7 +304,17 @@ fn merged_sample(
     for key in keys {
         samples.push(store.load::<i64>(key)?);
     }
-    Ok(merge_all(samples, p_bound, rng)?)
+    let g = swh_obs::global();
+    g.counter(
+        "swh_cli_merge_partitions_total",
+        "partition samples fed into CLI merges",
+    )
+    .add(samples.len() as u64);
+    let timer =
+        swh_obs::ScopeTimer::new(&g.histogram("swh_cli_merge_ns", "wall time of CLI merges"));
+    let merged = merge_all(samples, p_bound, rng)?;
+    timer.stop();
+    Ok(merged)
 }
 
 fn query(args: &Args, out: &mut dyn Write) -> CmdResult {
@@ -274,7 +324,7 @@ fn query(args: &Args, out: &mut dyn Write) -> CmdResult {
     writeln!(out, "uniform sample of the selected union:")?;
     writeln!(out, "  rows covered : {}", s.parent_size())?;
     writeln!(out, "  sample size  : {}", s.size())?;
-    writeln!(out, "  kind         : {}", kind_str(s.kind()))?;
+    writeln!(out, "  kind         : {}", s.kind())?;
     if let Some(path) = args.get("export") {
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
         writeln!(f, "value,count")?;
@@ -282,6 +332,9 @@ fn query(args: &Args, out: &mut dyn Write) -> CmdResult {
             writeln!(f, "{v},{c}")?;
         }
         writeln!(out, "  exported     : {path}")?;
+    }
+    if args.flag("stats") {
+        write_snapshot(args, out)?;
     }
     Ok(())
 }
@@ -308,12 +361,23 @@ fn profile_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
         writeln!(out, "  range           : {min} ..= {max}")?;
     }
     if let Some(m) = estimate_median(&s, 0.95) {
-        writeln!(out, "  median          : ~{} (95% CI [{}, {}])", m.value, m.lo, m.hi)?;
+        writeln!(
+            out,
+            "  median          : ~{} (95% CI [{}, {}])",
+            m.value, m.lo, m.hi
+        )?;
     }
     writeln!(out, "  most common     :")?;
     for (v, e) in &p.most_common {
         let (lo, hi) = e.confidence_interval(0.95);
-        writeln!(out, "    {v:>12} ~ {:.0} (95% CI [{lo:.0}, {hi:.0}])", e.value)?;
+        writeln!(
+            out,
+            "    {v:>12} ~ {:.0} (95% CI [{lo:.0}, {hi:.0}])",
+            e.value
+        )?;
+    }
+    if args.flag("stats") {
+        write_snapshot(args, out)?;
     }
     Ok(())
 }
@@ -348,12 +412,13 @@ fn estimate(args: &Args, out: &mut dyn Write) -> CmdResult {
         other => {
             if let Some(q) = other.strip_prefix("q") {
                 // qNN = quantile, e.g. q95.
-                let pct: f64 = q.parse().map_err(|_| format!("bad quantile op '{other}'"))?;
+                let pct: f64 = q
+                    .parse()
+                    .map_err(|_| format!("bad quantile op '{other}'"))?;
                 if !(pct > 0.0 && pct < 100.0) {
-                    return Err(format!(
-                        "quantile must lie strictly between 0 and 100, got {pct}"
-                    )
-                    .into());
+                    return Err(
+                        format!("quantile must lie strictly between 0 and 100, got {pct}").into(),
+                    );
                 }
                 Query::quantile(pct / 100.0, predicate.clone())
             } else {
@@ -373,19 +438,102 @@ fn estimate(args: &Args, out: &mut dyn Write) -> CmdResult {
         hi,
         if e.exact { "   (exact)" } else { "" }
     )?;
+    if args.flag("stats") {
+        write_snapshot(args, out)?;
+    }
+    Ok(())
+}
+
+/// Run a small self-contained synthetic workload through the instrumented
+/// ingest, parallel-sampling, and merge paths, then expose the resulting
+/// metrics. Exists so `swh metrics` shows the full metric surface without
+/// needing a populated store.
+fn metrics_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use swh_warehouse::catalog::Catalog;
+    use swh_warehouse::ingest::{SplitPolicy, StreamRouter};
+    use swh_warehouse::parallel::sample_partitions_parallel;
+
+    let n: u64 = args.parsed_or("n", 40_000, "integer")?;
+    let fan_out: usize = args.parsed_or("fan-out", 4, "integer")?;
+    let n_f: u64 = args.parsed_or("nf", 1024, "integer")?;
+    let seed: u64 = args.parsed_or("seed", 0x5eed, "integer")?;
+    let policy = FootprintPolicy::with_value_budget(n_f);
+    let mut rng = rng_from(args)?;
+
+    // 1. Route one synthetic stream over `fan_out` parallel HR samplers.
+    let mut router = StreamRouter::<i64>::new(
+        fan_out,
+        SamplerConfig::HybridReservoir,
+        policy,
+        SplitPolicy::RoundRobin,
+    );
+    for v in 0..n as i64 {
+        router.observe(v, &mut rng);
+    }
+    let routed = router.finalize(&mut rng);
+
+    // 2. Thread-parallel per-partition sampling (worker busy-time metrics).
+    let per_part = (n / fan_out.max(1) as u64).max(1);
+    let partitions: Vec<_> = (0..fan_out as i64)
+        .map(|p| (0..per_part as i64).map(move |i| p * 1_000_000 + i))
+        .collect();
+    let parallel = sample_partitions_parallel(
+        partitions,
+        |_| SamplerConfig::HybridReservoir.build::<i64>(policy),
+        fan_out.min(4),
+        seed,
+    );
+
+    // 3. One HB run so phase-transition and purge metrics are populated.
+    let mut hb = SamplerConfig::HybridBernoulli {
+        expected_n: n,
+        p_bound: 1e-3,
+    }
+    .build::<i64>(policy);
+    for v in 0..n as i64 {
+        hb.observe(v, &mut rng);
+    }
+    let (hb_sample, hb_stats) = hb.finalize_with_stats(&mut rng);
+    publish_sampler_stats(&hb_stats);
+
+    // 4. Roll everything into a catalog and merge it (catalog + merge metrics).
+    let catalog = Catalog::new();
+    let dataset = DatasetId(1);
+    for (seq, sample) in routed
+        .into_iter()
+        .chain(parallel)
+        .chain(std::iter::once(hb_sample))
+        .enumerate()
+    {
+        catalog.roll_in(
+            PartitionKey {
+                dataset,
+                partition: PartitionId {
+                    stream: 0,
+                    seq: seq as u64,
+                },
+            },
+            sample,
+        )?;
+    }
+    let merged = catalog.union_sample(dataset, |_| true, 1e-3, &mut rng)?;
+    swh_obs::progress!(
+        1,
+        "metrics workload: {n} elements x {fan_out} samplers, merged {} rows",
+        merged.parent_size()
+    );
+    write_snapshot(args, out)?;
     Ok(())
 }
 
 /// Parse a `--generate` spec and produce the synthetic values:
 /// `unique:N` (1..=N), `uniform:N:MAX`, `zipf:N:DOMAIN[:S]`.
-fn generate_values(
-    spec: &str,
-    rng: &mut SmallRng,
-) -> Result<Vec<i64>, Box<dyn Error>> {
+fn generate_values(spec: &str, rng: &mut SmallRng) -> Result<Vec<i64>, Box<dyn Error>> {
     use rand::Rng as _;
     let parts: Vec<&str> = spec.split(':').collect();
     let parse_n = |s: &str| -> Result<u64, Box<dyn Error>> {
-        s.parse().map_err(|_| format!("bad count '{s}' in --generate").into())
+        s.parse()
+            .map_err(|_| format!("bad count '{s}' in --generate").into())
     };
     match parts.as_slice() {
         ["unique", n] => Ok((1..=parse_n(n)? as i64).collect()),

@@ -42,8 +42,17 @@ fn full_workflow() {
     write_values(&data, 0..50_000);
     let out = swh()
         .args([
-            "ingest", "--store", store_s, "--dataset", "1", "--partition", "0", "--nf",
-            "1024", "--file", data.to_str().unwrap(),
+            "ingest",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--partition",
+            "0",
+            "--nf",
+            "1024",
+            "--file",
+            data.to_str().unwrap(),
         ])
         .output()
         .unwrap();
@@ -53,8 +62,17 @@ fn full_workflow() {
     write_values(&data, 50_000..120_000);
     ok(&swh()
         .args([
-            "ingest", "--store", store_s, "--dataset", "1", "--partition", "1", "--nf",
-            "1024", "--file", data.to_str().unwrap(),
+            "ingest",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--partition",
+            "1",
+            "--nf",
+            "1024",
+            "--file",
+            data.to_str().unwrap(),
         ])
         .output()
         .unwrap());
@@ -67,7 +85,15 @@ fn full_workflow() {
 
     // show details one partition.
     let text = ok(&swh()
-        .args(["show", "--store", store_s, "--dataset", "1", "--partition", "0"])
+        .args([
+            "show",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--partition",
+            "0",
+        ])
         .output()
         .unwrap());
     assert!(text.contains("parent size     : 50000"), "{text}");
@@ -83,7 +109,15 @@ fn full_workflow() {
 
     // estimate AVG over everything: truth is ~59999.5.
     let text = ok(&swh()
-        .args(["estimate", "--store", store_s, "--dataset", "1", "--op", "avg"])
+        .args([
+            "estimate",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--op",
+            "avg",
+        ])
         .output()
         .unwrap());
     let value: f64 = text
@@ -95,13 +129,25 @@ fn full_workflow() {
         .unwrap()
         .parse()
         .unwrap();
-    assert!((value - 59_999.5).abs() < 6_000.0, "avg {value} from: {text}");
+    assert!(
+        (value - 59_999.5).abs() < 6_000.0,
+        "avg {value} from: {text}"
+    );
 
     // estimate COUNT with a predicate: multiples of 4 ~ 30_000.
     let text = ok(&swh()
         .args([
-            "estimate", "--store", store_s, "--dataset", "1", "--op", "count", "--mod",
-            "4", "--rem", "0",
+            "estimate",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--op",
+            "count",
+            "--mod",
+            "4",
+            "--rem",
+            "0",
         ])
         .output()
         .unwrap());
@@ -110,7 +156,14 @@ fn full_workflow() {
     // Structured predicate + quantile op.
     let text = ok(&swh()
         .args([
-            "estimate", "--store", store_s, "--dataset", "1", "--op", "q90", "--pred",
+            "estimate",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--op",
+            "q90",
+            "--pred",
             "between:0:119999",
         ])
         .output()
@@ -127,7 +180,15 @@ fn full_workflow() {
 
     // rm rolls one partition out; query then covers only the other.
     ok(&swh()
-        .args(["rm", "--store", store_s, "--dataset", "1", "--partition", "0"])
+        .args([
+            "rm",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--partition",
+            "0",
+        ])
         .output()
         .unwrap());
     let text = ok(&swh()
@@ -146,8 +207,19 @@ fn ingest_from_stdin_with_hb() {
     let store_s = store.to_str().unwrap();
     let mut child = swh()
         .args([
-            "ingest", "--store", store_s, "--dataset", "2", "--partition", "0",
-            "--algorithm", "hb", "--expected", "10000", "--nf", "256",
+            "ingest",
+            "--store",
+            store_s,
+            "--dataset",
+            "2",
+            "--partition",
+            "0",
+            "--algorithm",
+            "hb",
+            "--expected",
+            "10000",
+            "--nf",
+            "256",
         ])
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
@@ -175,7 +247,14 @@ fn export_csv() {
     write_values(&data, (0..300).map(|i| i % 3));
     ok(&swh()
         .args([
-            "ingest", "--store", store_s, "--dataset", "1", "--partition", "0", "--file",
+            "ingest",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--partition",
+            "0",
+            "--file",
             data.to_str().unwrap(),
         ])
         .output()
@@ -183,7 +262,12 @@ fn export_csv() {
     let csv_path = store.with_extension("out.csv");
     ok(&swh()
         .args([
-            "query", "--store", store_s, "--dataset", "1", "--export",
+            "query",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--export",
             csv_path.to_str().unwrap(),
         ])
         .output()
@@ -213,8 +297,17 @@ fn errors_are_reported() {
     let store = tmp_store("err");
     let out = swh()
         .args([
-            "ingest", "--store", store.to_str().unwrap(), "--dataset", "1", "--partition",
-            "0", "--algorithm", "hb", "--file", "/nonexistent",
+            "ingest",
+            "--store",
+            store.to_str().unwrap(),
+            "--dataset",
+            "1",
+            "--partition",
+            "0",
+            "--algorithm",
+            "hb",
+            "--file",
+            "/nonexistent",
         ])
         .output()
         .unwrap();
@@ -226,8 +319,15 @@ fn errors_are_reported() {
     std::fs::write(&data, "1\ntwo\n3\n").unwrap();
     let out = swh()
         .args([
-            "ingest", "--store", store.to_str().unwrap(), "--dataset", "1", "--partition",
-            "0", "--file", data.to_str().unwrap(),
+            "ingest",
+            "--store",
+            store.to_str().unwrap(),
+            "--dataset",
+            "1",
+            "--partition",
+            "0",
+            "--file",
+            data.to_str().unwrap(),
         ])
         .output()
         .unwrap();
@@ -244,8 +344,17 @@ fn named_datasets_resolve_via_registry() {
     // Ingest under a name (auto-registered), then query by the same name.
     ok(&swh()
         .args([
-            "ingest", "--store", store_s, "--dataset", "orders.amount", "--partition",
-            "0", "--nf", "256", "--generate", "unique:5000",
+            "ingest",
+            "--store",
+            store_s,
+            "--dataset",
+            "orders.amount",
+            "--partition",
+            "0",
+            "--nf",
+            "256",
+            "--generate",
+            "unique:5000",
         ])
         .output()
         .unwrap());
@@ -270,7 +379,13 @@ fn named_datasets_resolve_via_registry() {
     // Out-of-range quantile ops error instead of panicking.
     let out = swh()
         .args([
-            "estimate", "--store", store_s, "--dataset", "orders.amount", "--op", "q150",
+            "estimate",
+            "--store",
+            store_s,
+            "--dataset",
+            "orders.amount",
+            "--op",
+            "q150",
         ])
         .output()
         .unwrap();
@@ -289,14 +404,27 @@ fn ingest_generated_data() {
     let store_s = store.to_str().unwrap();
     // Zipf domain 200 -> at most 400 compact slots, under the 512 bound,
     // so that partition stays an exhaustive histogram.
-    for (seq, spec) in [(0, "unique:20000"), (1, "uniform:20000:1000000"), (2, "zipf:20000:200")]
-        .iter()
-        .enumerate()
+    for (seq, spec) in [
+        (0, "unique:20000"),
+        (1, "uniform:20000:1000000"),
+        (2, "zipf:20000:200"),
+    ]
+    .iter()
+    .enumerate()
     {
         let text = ok(&swh()
             .args([
-                "ingest", "--store", store_s, "--dataset", "3", "--partition",
-                &seq.to_string(), "--nf", "512", "--generate", spec.1,
+                "ingest",
+                "--store",
+                store_s,
+                "--dataset",
+                "3",
+                "--partition",
+                &seq.to_string(),
+                "--nf",
+                "512",
+                "--generate",
+                spec.1,
             ])
             .output()
             .unwrap());
@@ -304,21 +432,44 @@ fn ingest_generated_data() {
     }
     // Zipf partition stays exhaustive (few distinct values).
     let text = ok(&swh()
-        .args(["show", "--store", store_s, "--dataset", "3", "--partition", "2"])
+        .args([
+            "show",
+            "--store",
+            store_s,
+            "--dataset",
+            "3",
+            "--partition",
+            "2",
+        ])
         .output()
         .unwrap());
     assert!(text.contains("exhaustive"), "{text}");
     // Unique partition is a proper reservoir sample.
     let text = ok(&swh()
-        .args(["show", "--store", store_s, "--dataset", "3", "--partition", "0"])
+        .args([
+            "show",
+            "--store",
+            store_s,
+            "--dataset",
+            "3",
+            "--partition",
+            "0",
+        ])
         .output()
         .unwrap());
     assert!(text.contains("reservoir"), "{text}");
     // Bad spec errors out.
     let out = swh()
         .args([
-            "ingest", "--store", store_s, "--dataset", "3", "--partition", "9",
-            "--generate", "nonsense:1",
+            "ingest",
+            "--store",
+            store_s,
+            "--dataset",
+            "3",
+            "--partition",
+            "9",
+            "--generate",
+            "nonsense:1",
         ])
         .output()
         .unwrap();

@@ -35,7 +35,10 @@ impl<T: SampleValue> BernoulliSampler<T> {
     /// # Panics
     /// Panics unless `0 < q ≤ 1`.
     pub fn new<R: Rng + ?Sized>(q: f64, policy: FootprintPolicy, rng: &mut R) -> Self {
-        assert!(q > 0.0 && q <= 1.0, "Bernoulli rate must lie in (0, 1], got {q}");
+        assert!(
+            q > 0.0 && q <= 1.0,
+            "Bernoulli rate must lie in (0, 1], got {q}"
+        );
         Self {
             q,
             hist: CompactHistogram::new(),
@@ -73,7 +76,10 @@ impl<T: SampleValue> Sampler<T> for BernoulliSampler<T> {
     fn finalize<R2: Rng + ?Sized>(self, _rng: &mut R2) -> Sample<T> {
         Sample::from_parts_unchecked(
             self.hist,
-            SampleKind::Bernoulli { q: self.q, p_bound: 1.0 },
+            SampleKind::Bernoulli {
+                q: self.q,
+                p_bound: 1.0,
+            },
             self.observed,
             self.policy,
         )
@@ -92,8 +98,7 @@ mod tests {
     #[test]
     fn rate_one_keeps_everything() {
         let mut rng = seeded_rng(1);
-        let s = BernoulliSampler::new(1.0, policy(), &mut rng)
-            .sample_batch(0..1000u64, &mut rng);
+        let s = BernoulliSampler::new(1.0, policy(), &mut rng).sample_batch(0..1000u64, &mut rng);
         assert_eq!(s.size(), 1000);
         assert_eq!(s.parent_size(), 1000);
     }
@@ -117,7 +122,11 @@ mod tests {
             "mean {mean} vs {expect}"
         );
         let var = sizes.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
-        assert!((var / (sd * sd) - 1.0).abs() < 0.5, "var {var} vs {}", sd * sd);
+        assert!(
+            (var / (sd * sd) - 1.0).abs() < 0.5,
+            "var {var} vs {}",
+            sd * sd
+        );
     }
 
     #[test]

@@ -44,8 +44,14 @@ impl<T: SampleValue> BiLevelBernoulli<T> {
     /// # Panics
     /// Panics unless both rates lie in `(0, 1]`.
     pub fn new(page_rate: f64, row_rate: f64, policy: FootprintPolicy) -> Self {
-        assert!(page_rate > 0.0 && page_rate <= 1.0, "page rate must lie in (0,1]");
-        assert!(row_rate > 0.0 && row_rate <= 1.0, "row rate must lie in (0,1]");
+        assert!(
+            page_rate > 0.0 && page_rate <= 1.0,
+            "page rate must lie in (0,1]"
+        );
+        assert!(
+            row_rate > 0.0 && row_rate <= 1.0,
+            "row rate must lie in (0,1]"
+        );
         Self {
             page_rate,
             row_rate,
@@ -150,7 +156,10 @@ mod tests {
         }
         let mean = total as f64 / trials as f64;
         let expect = 5_000.0 * 0.1;
-        assert!((mean / expect - 1.0).abs() < 0.05, "mean {mean} vs {expect}");
+        assert!(
+            (mean / expect - 1.0).abs() < 0.05,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]
@@ -232,8 +241,14 @@ mod tests {
         // Both unbiased...
         let mean_c = clustered.iter().sum::<f64>() / trials as f64;
         let mean_s = scattered.iter().sum::<f64>() / trials as f64;
-        assert!((mean_c / truth - 1.0).abs() < 0.1, "clustered mean {mean_c}");
-        assert!((mean_s / truth - 1.0).abs() < 0.1, "scattered mean {mean_s}");
+        assert!(
+            (mean_c / truth - 1.0).abs() < 0.1,
+            "clustered mean {mean_c}"
+        );
+        assert!(
+            (mean_s / truth - 1.0).abs() < 0.1,
+            "scattered mean {mean_s}"
+        );
         // ...but clustering inflates variance by a large factor.
         let (vc, vs) = (var(&clustered), var(&scattered));
         assert!(

@@ -51,8 +51,17 @@ impl<T: SampleValue> ConciseSampler<T> {
     /// # Panics
     /// Panics unless `0 < decay < 1`.
     pub fn with_decay(policy: FootprintPolicy, decay: f64) -> Self {
-        assert!(decay > 0.0 && decay < 1.0, "decay must lie in (0, 1), got {decay}");
-        Self { hist: CompactHistogram::new(), q: 1.0, decay, observed: 0, policy }
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "decay must lie in (0, 1), got {decay}"
+        );
+        Self {
+            hist: CompactHistogram::new(),
+            q: 1.0,
+            decay,
+            observed: 0,
+            policy,
+        }
     }
 
     /// Current sampling rate `q`.

@@ -50,7 +50,10 @@ impl<T: SampleValue> CountingSampler<T> {
     /// # Panics
     /// Panics unless `0 < decay < 1`.
     pub fn with_decay(policy: FootprintPolicy, decay: f64) -> Self {
-        assert!(decay > 0.0 && decay < 1.0, "decay must lie in (0, 1), got {decay}");
+        assert!(
+            decay > 0.0 && decay < 1.0,
+            "decay must lie in (0, 1), got {decay}"
+        );
         Self {
             hist: CompactHistogram::new(),
             tau: 1.0,
@@ -151,7 +154,10 @@ impl<T: SampleValue> CountingSampler<T> {
     /// # Panics
     /// Panics if more elements are deleted than were ever inserted.
     pub fn delete(&mut self, value: &T) -> bool {
-        assert!(self.deletes < self.inserts, "delete without matching insert");
+        assert!(
+            self.deletes < self.inserts,
+            "delete without matching insert"
+        );
         self.deletes += 1;
         self.hist.remove_one(value)
     }
@@ -241,7 +247,11 @@ mod tests {
         let mut c = CountingSampler::new(policy(n_f));
         for v in 0..20_000u64 {
             c.insert(v % 5_000, &mut rng);
-            assert!(c.histogram().slots() <= n_f, "slots {} at {v}", c.histogram().slots());
+            assert!(
+                c.histogram().slots() <= n_f,
+                "slots {} at {v}",
+                c.histogram().slots()
+            );
         }
         assert!(c.threshold() > 1.0);
     }
@@ -270,7 +280,10 @@ mod tests {
         // Single-run estimate: right order of magnitude (the averaged
         // unbiasedness check lives in estimator_is_roughly_unbiased_over_runs).
         let rel = (est - heavy_inserted as f64).abs() / heavy_inserted as f64;
-        assert!(rel < 0.5, "estimate {est} vs true {heavy_inserted} (rel {rel:.3})");
+        assert!(
+            rel < 0.5,
+            "estimate {est} vs true {heavy_inserted} (rel {rel:.3})"
+        );
     }
 
     #[test]
@@ -311,7 +324,10 @@ mod tests {
         }
         let mean = sum_est / trials as f64;
         let rel = (mean - true_freq as f64).abs() / true_freq as f64;
-        assert!(rel < 0.15, "mean estimate {mean} vs {true_freq} (rel {rel:.3})");
+        assert!(
+            rel < 0.15,
+            "mean estimate {mean} vs {true_freq} (rel {rel:.3})"
+        );
     }
 
     #[test]

@@ -166,7 +166,11 @@ mod tests {
         let mut d = DistinctSampler::new(policy(n_f));
         for v in 0..100_000u64 {
             d.observe(v);
-            assert!(d.histogram().slots() <= n_f, "slots {} at {v}", d.histogram().slots());
+            assert!(
+                d.histogram().slots() <= n_f,
+                "slots {} at {v}",
+                d.histogram().slots()
+            );
         }
         assert!(d.level() > 0);
     }
@@ -191,7 +195,10 @@ mod tests {
             }
             let mean = sum / runs as f64;
             let rel = (mean - distinct as f64).abs() / distinct as f64;
-            assert!(rel < 0.10, "distinct {distinct}: mean estimate {mean} (rel {rel:.3})");
+            assert!(
+                rel < 0.10,
+                "distinct {distinct}: mean estimate {mean} (rel {rel:.3})"
+            );
         }
     }
 

@@ -40,7 +40,11 @@ impl<T: SampleValue> Default for CompactHistogram<T> {
 impl<T: SampleValue> CompactHistogram<T> {
     /// Empty histogram.
     pub fn new() -> Self {
-        Self { counts: FxHashMap::default(), total: 0, singletons: 0 }
+        Self {
+            counts: FxHashMap::default(),
+            total: 0,
+            singletons: 0,
+        }
     }
 
     /// Build from a bag of values (the inverse of [`expand`](Self::expand)).

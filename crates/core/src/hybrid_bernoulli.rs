@@ -20,6 +20,7 @@ use crate::purge::{purge_bernoulli, purge_reservoir};
 use crate::qbound::q_approx;
 use crate::sample::{Sample, SampleKind};
 use crate::sampler::Sampler;
+use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
 use swh_rand::skip::{bernoulli_skip, ReservoirSkip};
@@ -71,6 +72,7 @@ pub struct HybridBernoulli<T: SampleValue> {
     /// Phase 3: 1-based index of the next element to include.
     next_include: u64,
     skip_gen: Option<ReservoirSkip>,
+    stats: SamplerStats,
 }
 
 impl<T: SampleValue> HybridBernoulli<T> {
@@ -99,6 +101,7 @@ impl<T: SampleValue> HybridBernoulli<T> {
             skip_remaining: 0,
             next_include: 0,
             skip_gen: None,
+            stats: SamplerStats::default(),
         }
     }
 
@@ -132,7 +135,10 @@ impl<T: SampleValue> HybridBernoulli<T> {
                 // the boundary the next insertion will trigger the switch.
                 s
             }
-            SampleKind::Bernoulli { q, p_bound: prior_p } => {
+            SampleKind::Bernoulli {
+                q,
+                p_bound: prior_p,
+            } => {
                 assert!(hist.total() <= n_f, "Bernoulli prior exceeds budget");
                 let mut s = Self::with_p_bound(policy, expected_total_n, prior_p);
                 // Continue at the prior's rate: the already-collected part
@@ -207,18 +213,53 @@ impl<T: SampleValue> HybridBernoulli<T> {
     /// Fig. 2 lines 3–10: footprint hit the bound; precompute the Bernoulli
     /// subsample `S′` and pick the next phase.
     fn leave_phase1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let start = std::time::Instant::now();
         purge_bernoulli(&mut self.hist, self.q, rng);
+        self.stats.record_purge(elapsed_ns(start));
+        self.stats.enter_phase2(self.observed);
         if self.hist.total() < self.policy.n_f() {
             self.phase = Phase::Bernoulli;
             self.skip_remaining = bernoulli_skip(rng, self.q);
         } else {
             // Subsample too large (low probability): reservoir fallback.
+            let start = std::time::Instant::now();
             purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
+            self.stats.record_purge(elapsed_ns(start));
+            self.stats.enter_phase3(self.observed);
             self.phase = Phase::Reservoir;
             let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
             self.next_include = self.observed + gen.skip(self.observed, rng);
             self.skip_gen = Some(gen);
         }
+    }
+
+    /// Human-readable name of the current phase.
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Exact => "exact histogram",
+            Phase::Bernoulli => "bernoulli",
+            Phase::Reservoir => "reservoir",
+        }
+    }
+}
+
+/// Nanoseconds since `start`, saturated to `u64`.
+pub(crate) fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl<T: SampleValue> std::fmt::Display for HybridBernoulli<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HB[phase {} ({}), q={:.6}, {}/{} slots, {} observed]",
+            self.phase(),
+            self.phase_name(),
+            self.q,
+            self.current_slots(),
+            self.policy.n_f(),
+            self.observed,
+        )
     }
 }
 
@@ -228,6 +269,7 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
         match self.phase {
             Phase::Exact => {
                 self.hist.insert_one(value);
+                self.stats.include();
                 if self.policy.compact_overflows(self.hist.slots()) {
                     self.leave_phase1(rng);
                 }
@@ -235,16 +277,19 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
             Phase::Bernoulli => {
                 if self.skip_remaining > 0 {
                     self.skip_remaining -= 1;
+                    self.stats.reject();
                     return;
                 }
                 if !self.expanded {
                     self.expand_in_place();
                 }
                 self.bag.push(value);
+                self.stats.include();
                 self.skip_remaining = bernoulli_skip(rng, self.q);
                 if self.bag.len() as u64 == self.policy.n_f() {
                     // Sample hit the hard bound (low probability): switch to
                     // reservoir mode.
+                    self.stats.enter_phase3(self.observed);
                     self.phase = Phase::Reservoir;
                     let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
                     self.next_include = self.observed + gen.skip(self.observed, rng);
@@ -259,11 +304,18 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
                     }
                     let victim = rng.random_range(0..self.bag.len());
                     self.bag[victim] = value;
-                    let gen = self.skip_gen.as_mut().expect("phase 3 has a skip generator");
+                    self.stats.include();
+                    let gen = self
+                        .skip_gen
+                        .as_mut()
+                        .expect("phase 3 has a skip generator");
                     self.next_include = self.observed + gen.skip(self.observed, rng);
+                } else {
+                    self.stats.reject();
                 }
             }
         }
+        self.stats.record_footprint(self.current_slots());
     }
 
     fn observed(&self) -> u64 {
@@ -286,10 +338,17 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
         };
         let kind = match self.phase {
             Phase::Exact => SampleKind::Exhaustive,
-            Phase::Bernoulli => SampleKind::Bernoulli { q: self.q, p_bound: self.p_bound },
+            Phase::Bernoulli => SampleKind::Bernoulli {
+                q: self.q,
+                p_bound: self.p_bound,
+            },
             Phase::Reservoir => SampleKind::Reservoir,
         };
         Sample::from_parts(hist, kind, self.observed, self.policy)
+    }
+
+    fn stats(&self) -> SamplerStats {
+        self.stats
     }
 }
 
@@ -339,8 +398,15 @@ mod tests {
         let mut hb = HybridBernoulli::new(policy(n_f), 50_000);
         for v in 0..50_000u64 {
             hb.observe(v, &mut rng);
-            assert!(hb.current_slots() <= n_f, "slots {} at v={v}", hb.current_slots());
-            assert!(hb.current_size() <= n_f.max(hb.observed()), "size over bound");
+            assert!(
+                hb.current_slots() <= n_f,
+                "slots {} at v={v}",
+                hb.current_slots()
+            );
+            assert!(
+                hb.current_size() <= n_f.max(hb.observed()),
+                "size over bound"
+            );
         }
         let s = hb.finalize(&mut rng);
         assert!(s.slots() <= n_f);
@@ -357,15 +423,18 @@ mod tests {
         let count_phase3 = |p: f64, rng: &mut rand::rngs::SmallRng| {
             (0..runs)
                 .filter(|_| {
-                    let s = HybridBernoulli::with_p_bound(policy(256), n, p)
-                        .sample_batch(0..n, rng);
+                    let s =
+                        HybridBernoulli::with_p_bound(policy(256), n, p).sample_batch(0..n, rng);
                     s.kind() == SampleKind::Reservoir
                 })
                 .count()
         };
         let aggressive = count_phase3(0.5, &mut rng);
         let conservative = count_phase3(1e-5, &mut rng);
-        assert!(aggressive > 20, "p=0.5 should often overflow, got {aggressive}/{runs}");
+        assert!(
+            aggressive > 20,
+            "p=0.5 should often overflow, got {aggressive}/{runs}"
+        );
         assert_eq!(conservative, 0, "p=1e-5 should essentially never overflow");
     }
 
@@ -388,7 +457,10 @@ mod tests {
         let expect = total as f64 / n as f64;
         for (v, &c) in incl.iter().enumerate() {
             let z = (c as f64 - expect) / expect.sqrt();
-            assert!(z.abs() < 5.0, "element {v}: count {c}, expect {expect:.1}, z={z:.2}");
+            assert!(
+                z.abs() < 5.0,
+                "element {v}: count {c}, expect {expect:.1}, z={z:.2}"
+            );
         }
     }
 
@@ -408,7 +480,10 @@ mod tests {
         }
         let mean = sum as f64 / trials as f64;
         let expect = n as f64 * q_used;
-        assert!((mean / expect - 1.0).abs() < 0.05, "mean {mean} vs {expect}");
+        assert!(
+            (mean / expect - 1.0).abs() < 0.05,
+            "mean {mean} vs {expect}"
+        );
     }
 
     #[test]
@@ -451,12 +526,7 @@ mod tests {
     fn resume_rejects_concise() {
         let mut rng = seeded_rng(10);
         let h = CompactHistogram::from_bag(vec![1u64]);
-        let s = Sample::from_parts_unchecked(
-            h,
-            SampleKind::Concise { q: 0.5 },
-            10,
-            policy(8),
-        );
+        let s = Sample::from_parts_unchecked(h, SampleKind::Concise { q: 0.5 }, 10, policy(8));
         HybridBernoulli::resume(s, 20, 1e-3, &mut rng);
     }
 }

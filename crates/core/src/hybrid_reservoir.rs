@@ -14,9 +14,11 @@
 
 use crate::footprint::FootprintPolicy;
 use crate::histogram::CompactHistogram;
+use crate::hybrid_bernoulli::elapsed_ns;
 use crate::purge::purge_reservoir;
 use crate::sample::{Sample, SampleKind};
 use crate::sampler::Sampler;
+use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
 use swh_rand::skip::ReservoirSkip;
@@ -52,6 +54,7 @@ pub struct HybridReservoir<T: SampleValue> {
     observed: u64,
     next_include: u64,
     skip_gen: Option<ReservoirSkip>,
+    stats: SamplerStats,
 }
 
 impl<T: SampleValue> HybridReservoir<T> {
@@ -66,6 +69,7 @@ impl<T: SampleValue> HybridReservoir<T> {
             observed: 0,
             next_include: 0,
             skip_gen: None,
+            stats: SamplerStats::default(),
         }
     }
 
@@ -136,6 +140,28 @@ impl<T: SampleValue> HybridReservoir<T> {
             self.hist.slots()
         }
     }
+
+    /// Human-readable name of the current phase.
+    pub fn phase_name(&self) -> &'static str {
+        match self.phase {
+            Phase::Exact => "exact histogram",
+            Phase::Reservoir => "reservoir",
+        }
+    }
+}
+
+impl<T: SampleValue> std::fmt::Display for HybridReservoir<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HR[phase {} ({}), {}/{} slots, {} observed]",
+            self.phase(),
+            self.phase_name(),
+            self.current_slots(),
+            self.policy.n_f(),
+            self.observed,
+        )
+    }
 }
 
 impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
@@ -144,9 +170,11 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
         match self.phase {
             Phase::Exact => {
                 self.hist.insert_one(value);
+                self.stats.include();
                 if self.policy.compact_overflows(self.hist.slots()) {
                     // Fig. 7 lines 3–5: switch to reservoir mode; the purge
                     // happens lazily at the first skip-selected insertion.
+                    self.stats.enter_phase2(self.observed);
                     self.phase = Phase::Reservoir;
                     let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
                     self.next_include = self.observed + gen.skip(self.observed, rng);
@@ -156,17 +184,26 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
             Phase::Reservoir => {
                 if self.observed == self.next_include {
                     if !self.expanded {
+                        let start = std::time::Instant::now();
                         purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
+                        self.stats.record_purge(elapsed_ns(start));
                         self.bag = std::mem::take(&mut self.hist).into_bag();
                         self.expanded = true;
                     }
                     let victim = rng.random_range(0..self.bag.len());
                     self.bag[victim] = value;
-                    let gen = self.skip_gen.as_mut().expect("phase 2 has a skip generator");
+                    self.stats.include();
+                    let gen = self
+                        .skip_gen
+                        .as_mut()
+                        .expect("phase 2 has a skip generator");
                     self.next_include = self.observed + gen.skip(self.observed, rng);
+                } else {
+                    self.stats.reject();
                 }
             }
         }
+        self.stats.record_footprint(self.current_slots());
     }
 
     fn observed(&self) -> u64 {
@@ -182,7 +219,15 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
     }
 
     fn finalize<R2: Rng + ?Sized>(self, rng: &mut R2) -> Sample<T> {
-        match self.phase {
+        self.finalize_with_stats(rng).0
+    }
+
+    fn stats(&self) -> SamplerStats {
+        self.stats
+    }
+
+    fn finalize_with_stats<R2: Rng + ?Sized>(mut self, rng: &mut R2) -> (Sample<T>, SamplerStats) {
+        let sample = match self.phase {
             Phase::Exact => Sample::from_parts(
                 self.hist,
                 SampleKind::Exhaustive,
@@ -201,12 +246,13 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                 };
                 if size_is_everything {
                     // Nothing was ever skipped: the sample is exhaustive.
-                    return Sample::from_parts(
+                    let s = Sample::from_parts(
                         hist,
                         SampleKind::Exhaustive,
                         self.observed,
                         self.policy,
                     );
+                    return (s, self.stats);
                 }
                 let mut hist = hist;
                 if hist.total() > self.policy.n_f() {
@@ -214,11 +260,14 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                     // n_F over the prefix; elements after the switch were
                     // skipped by the skip distribution, so uniformity over
                     // the whole stream is preserved (§3.2 conditioning).
+                    let start = std::time::Instant::now();
                     purge_reservoir(&mut hist, self.policy.n_f(), rng);
+                    self.stats.record_purge(elapsed_ns(start));
                 }
                 Sample::from_parts(hist, SampleKind::Reservoir, self.observed, self.policy)
             }
-        }
+        };
+        (sample, self.stats)
     }
 }
 
@@ -259,7 +308,11 @@ mod tests {
         let mut hr = HybridReservoir::new(policy(n_f));
         for v in 0..50_000u64 {
             hr.observe(v, &mut rng);
-            assert!(hr.current_slots() <= n_f, "slots {} at v={v}", hr.current_slots());
+            assert!(
+                hr.current_slots() <= n_f,
+                "slots {} at v={v}",
+                hr.current_slots()
+            );
         }
         let s = hr.finalize(&mut rng);
         assert!(s.slots() <= n_f);
@@ -283,7 +336,10 @@ mod tests {
         let exp: Vec<f64> = vec![expect; n as usize];
         let stat = chi_square_statistic(&incl, &exp);
         let pv = chi_square_p_value(stat, (n - 1) as f64);
-        assert!(pv > 1e-4, "inclusion not uniform: chi2={stat:.1} p={pv:.2e}");
+        assert!(
+            pv > 1e-4,
+            "inclusion not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
     }
 
     #[test]
@@ -380,7 +436,10 @@ mod tests {
         let exp: Vec<f64> = vec![expect; 120];
         let stat = chi_square_statistic(&incl, &exp);
         let pv = chi_square_p_value(stat, 119.0);
-        assert!(pv > 1e-4, "resumed HR not uniform: chi2={stat:.1} p={pv:.2e}");
+        assert!(
+            pv > 1e-4,
+            "resumed HR not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
     }
 
     #[test]
@@ -390,7 +449,10 @@ mod tests {
         let h = CompactHistogram::from_bag(vec![1u64]);
         let s = Sample::from_parts(
             h,
-            SampleKind::Bernoulli { q: 0.5, p_bound: 1e-3 },
+            SampleKind::Bernoulli {
+                q: 0.5,
+                p_bound: 1e-3,
+            },
             10,
             policy(8),
         );

@@ -40,6 +40,7 @@ pub mod reservoir;
 pub mod sample;
 pub mod sampler;
 pub mod sb;
+pub mod stats;
 pub mod stratified;
 pub mod systematic;
 pub mod value;
@@ -55,8 +56,8 @@ pub use histogram::CompactHistogram;
 pub use hybrid_bernoulli::HybridBernoulli;
 pub use hybrid_reservoir::HybridReservoir;
 pub use merge::{
-    hb_merge, hr_merge, hr_merge_cached, hr_merge_multiway, hr_merge_tree_cached, merge,
-    merge_all, merge_tree, HypergeometricCache, MergeError,
+    hb_merge, hr_merge, hr_merge_cached, hr_merge_multiway, hr_merge_tree_cached, merge, merge_all,
+    merge_tree, HypergeometricCache, MergeError,
 };
 pub use planner::{fold_cost, merge_planned, planned_cost, Skeleton};
 pub use qbound::{q_approx, q_exact};
@@ -64,6 +65,7 @@ pub use reservoir::ReservoirSampler;
 pub use sample::{Sample, SampleKind};
 pub use sampler::Sampler;
 pub use sb::StratifiedBernoulli;
+pub use stats::SamplerStats;
 pub use stratified::StratifiedSample;
 pub use systematic::SystematicSampler;
 pub use value::SampleValue;

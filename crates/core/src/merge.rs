@@ -49,7 +49,10 @@ impl std::fmt::Display for MergeError {
                 write!(f, "concise samples are not uniform and cannot be merged")
             }
             MergeError::PolicyMismatch => {
-                write!(f, "samples were collected under different footprint policies")
+                write!(
+                    f,
+                    "samples were collected under different footprint policies"
+                )
             }
         }
     }
@@ -158,7 +161,12 @@ pub fn hb_merge<T: SampleValue, R: Rng + ?Sized>(
     // the concatenation of the two equalized samples. A simple random
     // subsample of a Bernoulli sample is uniform (§3.2).
     let hist = reservoir_of_concatenation(h1, h2, n_f, rng);
-    Ok(Sample::from_parts(hist, SampleKind::Reservoir, combined_n, policy))
+    Ok(Sample::from_parts(
+        hist,
+        SampleKind::Reservoir,
+        combined_n,
+        policy,
+    ))
 }
 
 /// `HRMerge` (Fig. 8): merge two samples produced by Algorithm HR over
@@ -202,7 +210,12 @@ fn hr_merge_with_exhaustive<T: SampleValue, R: Rng + ?Sized>(
             // simple random sample of its parent.
             let policy = other.policy();
             let parent = other.parent_size();
-            Sample::from_parts(other.into_histogram(), SampleKind::Reservoir, parent, policy)
+            Sample::from_parts(
+                other.into_histogram(),
+                SampleKind::Reservoir,
+                parent,
+                policy,
+            )
         }
         _ => other,
     };
@@ -240,7 +253,12 @@ fn hr_merge_reservoirs<T: SampleValue, R: Rng + ?Sized>(
     purge_reservoir(&mut h2, k - l, rng);
     h1.join(h2);
     debug_assert_eq!(h1.total(), k);
-    Ok(Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy))
+    Ok(Sample::from_parts(
+        h1,
+        SampleKind::Reservoir,
+        n1 + n2,
+        policy,
+    ))
 }
 
 /// Reservoir sample of size `n_f` over the concatenation `h1 ++ h2`
@@ -381,7 +399,10 @@ pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
     samples: Vec<Sample<T>>,
     rng: &mut R,
 ) -> Result<Sample<T>, MergeError> {
-    assert!(!samples.is_empty(), "hr_merge_multiway needs at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "hr_merge_multiway needs at least one sample"
+    );
     for w in samples.windows(2) {
         if w[0].policy() != w[1].policy() {
             return Err(MergeError::PolicyMismatch);
@@ -422,7 +443,12 @@ pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
         merged.join(h);
     }
     debug_assert_eq!(merged.total(), k);
-    Ok(Sample::from_parts(merged, SampleKind::Reservoir, total_parent, policy))
+    Ok(Sample::from_parts(
+        merged,
+        SampleKind::Reservoir,
+        total_parent,
+        policy,
+    ))
 }
 
 /// Cache of alias tables keyed by `(|D1|, |D2|, k)` for the repeated
@@ -489,7 +515,12 @@ pub fn hr_merge_cached<T: SampleValue, R: Rng + ?Sized>(
     purge_reservoir(&mut h1, l, rng);
     purge_reservoir(&mut h2, k - l, rng);
     h1.join(h2);
-    Ok(Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy))
+    Ok(Sample::from_parts(
+        h1,
+        SampleKind::Reservoir,
+        n1 + n2,
+        policy,
+    ))
 }
 
 /// Balanced merge tree over simple random samples using a shared
@@ -632,7 +663,10 @@ mod tests {
         let m = hb_merge(s1, s2, 1e-3, &mut rng).unwrap();
         assert!(m.size() <= 128);
         assert_eq!(m.parent_size(), 20 + 59_000);
-        assert!(matches!(m.kind(), SampleKind::Bernoulli { .. } | SampleKind::Reservoir));
+        assert!(matches!(
+            m.kind(),
+            SampleKind::Bernoulli { .. } | SampleKind::Reservoir
+        ));
     }
 
     /// Plain `Bern(q)` sample with the given footprint policy — clean input
@@ -643,8 +677,8 @@ mod tests {
         n_f: u64,
         rng: &mut rand::rngs::SmallRng,
     ) -> Sample<u64> {
-        let s = crate::bernoulli::BernoulliSampler::new(q, policy(n_f), rng)
-            .sample_batch(range, rng);
+        let s =
+            crate::bernoulli::BernoulliSampler::new(q, policy(n_f), rng).sample_batch(range, rng);
         // Rebrand through from_parts_unchecked so the policy check in merge
         // sees matching budgets (plain Bernoulli samples can exceed n_F; the
         // merge purges them down immediately).
@@ -669,7 +703,10 @@ mod tests {
                 assert_eq!(m.size(), n_f);
             }
         }
-        assert!(saw_fallback, "expected the reservoir fallback to fire at p=0.4");
+        assert!(
+            saw_fallback,
+            "expected the reservoir fallback to fire at p=0.4"
+        );
     }
 
     #[test]
@@ -694,7 +731,10 @@ mod tests {
                 total += 1;
             }
         }
-        assert!(fallbacks > trials / 20, "fallback too rare to test ({fallbacks})");
+        assert!(
+            fallbacks > trials / 20,
+            "fallback too rare to test ({fallbacks})"
+        );
         let expect = total as f64 / n as f64;
         let exp: Vec<f64> = vec![expect; n as usize];
         let stat = chi_square_statistic(&incl, &exp);
@@ -755,7 +795,10 @@ mod tests {
         let exp: Vec<f64> = vec![expect; n as usize];
         let stat = chi_square_statistic(&incl, &exp);
         let pv = chi_square_p_value(stat, (n - 1) as f64);
-        assert!(pv > 1e-4, "chained merge not uniform: chi2={stat:.1} p={pv:.2e}");
+        assert!(
+            pv > 1e-4,
+            "chained merge not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
     }
 
     #[test]
@@ -768,7 +811,10 @@ mod tests {
             policy(8),
         );
         let s = reservoir_sample(0..100, 8, &mut rng);
-        assert_eq!(merge(c, s, 1e-3, &mut rng).unwrap_err(), MergeError::ConciseNotMergeable);
+        assert_eq!(
+            merge(c, s, 1e-3, &mut rng).unwrap_err(),
+            MergeError::ConciseNotMergeable
+        );
     }
 
     #[test]
@@ -776,7 +822,10 @@ mod tests {
         let mut rng = seeded_rng(13);
         let s1 = reservoir_sample(0..100, 8, &mut rng);
         let s2 = reservoir_sample(100..200, 16, &mut rng);
-        assert_eq!(merge(s1, s2, 1e-3, &mut rng).unwrap_err(), MergeError::PolicyMismatch);
+        assert_eq!(
+            merge(s1, s2, 1e-3, &mut rng).unwrap_err(),
+            MergeError::PolicyMismatch
+        );
     }
 
     #[test]
@@ -794,8 +843,13 @@ mod tests {
         );
         let exhaustive = reservoir_sample(0..6, 8, &mut rng);
         assert_eq!(exhaustive.kind(), SampleKind::Exhaustive);
-        let m = merge(empty_nonempty_parent.clone(), exhaustive.clone(), 1e-3, &mut rng)
-            .unwrap();
+        let m = merge(
+            empty_nonempty_parent.clone(),
+            exhaustive.clone(),
+            1e-3,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(m.parent_size(), 506);
         // The degenerate capacity-0 reservoir stays empty.
         assert_eq!(m.size(), 0);
@@ -912,7 +966,10 @@ mod tests {
         let exp = vec![expect; 80];
         let stat = chi_square_statistic(&incl, &exp);
         let pv = chi_square_p_value(stat, 79.0);
-        assert!(pv > 1e-4, "cached tree not uniform: chi2={stat:.1} p={pv:.2e}");
+        assert!(
+            pv > 1e-4,
+            "cached tree not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
     }
 
     #[test]
@@ -951,6 +1008,9 @@ mod tests {
         }
         let mean_left = left_total as f64 / trials as f64;
         let expect = n_f as f64 * n1 as f64 / (n1 + n2) as f64; // 8
-        assert!((mean_left - expect).abs() < 0.3, "mean {mean_left} vs {expect}");
+        assert!(
+            (mean_left - expect).abs() < 0.3,
+            "mean {mean_left} vs {expect}"
+        );
     }
 }

@@ -47,7 +47,10 @@ pub struct Skeleton {
 impl Skeleton {
     /// Skeleton of a live sample.
     pub fn of<T: SampleValue>(s: &Sample<T>) -> Self {
-        Self { size: s.size(), exhaustive: s.kind() == SampleKind::Exhaustive }
+        Self {
+            size: s.size(),
+            exhaustive: s.kind() == SampleKind::Exhaustive,
+        }
     }
 
     fn merged_with(self, other: Self, n_f: u64) -> Self {
@@ -55,9 +58,15 @@ impl Skeleton {
             // A join of histograms stays exhaustive until the footprint
             // bound forces sampling (optimistic for costing purposes).
             let total = self.size + other.size;
-            Self { size: total.min(n_f.max(1)), exhaustive: total <= n_f }
+            Self {
+                size: total.min(n_f.max(1)),
+                exhaustive: total <= n_f,
+            }
         } else {
-            Self { size: (self.size + other.size).min(n_f.max(1)), exhaustive: false }
+            Self {
+                size: (self.size + other.size).min(n_f.max(1)),
+                exhaustive: false,
+            }
         }
     }
 }
@@ -80,8 +89,11 @@ pub fn planned_cost(skeletons: &[Skeleton], n_f: u64) -> u64 {
     let mut cost = 0u64;
     let mut exhaustive: Vec<Skeleton> =
         skeletons.iter().copied().filter(|s| s.exhaustive).collect();
-    let bounded: Vec<Skeleton> =
-        skeletons.iter().copied().filter(|s| !s.exhaustive).collect();
+    let bounded: Vec<Skeleton> = skeletons
+        .iter()
+        .copied()
+        .filter(|s| !s.exhaustive)
+        .collect();
     // Descending fold: the accumulator is always the largest so far; every
     // other exhaustive sample is the (streamed) smaller side exactly once.
     exhaustive.sort_by_key(|s| std::cmp::Reverse(s.size));
@@ -126,7 +138,10 @@ pub fn merge_planned<T: SampleValue, R: Rng + ?Sized>(
     p_bound: f64,
     rng: &mut R,
 ) -> Result<Sample<T>, MergeError> {
-    assert!(!samples.is_empty(), "merge_planned needs at least one sample");
+    assert!(
+        !samples.is_empty(),
+        "merge_planned needs at least one sample"
+    );
     let (mut exhaustive, bounded): (Vec<_>, Vec<_>) = samples
         .into_iter()
         .partition(|s| s.kind() == SampleKind::Exhaustive);
@@ -183,7 +198,10 @@ mod tests {
         // streams the (growing) accumulator at almost every step, while
         // the descending plan streams each sample once.
         let sk: Vec<Skeleton> = (0..16)
-            .map(|i| Skeleton { size: 1u64 << i, exhaustive: true })
+            .map(|i| Skeleton {
+                size: 1u64 << i,
+                exhaustive: true,
+            })
             .collect();
         let n_f = 1 << 30; // stays exhaustive throughout
         let fold = fold_cost(&sk, n_f);
@@ -209,9 +227,15 @@ mod tests {
             let mut sk: Vec<Skeleton> = (0..n)
                 .map(|_| {
                     if rng.random_bool(0.5) {
-                        Skeleton { size: rng.random_range(1..1_000_000), exhaustive: true }
+                        Skeleton {
+                            size: rng.random_range(1..1_000_000),
+                            exhaustive: true,
+                        }
                     } else {
-                        Skeleton { size: rng.random_range(1..=n_f), exhaustive: false }
+                        Skeleton {
+                            size: rng.random_range(1..=n_f),
+                            exhaustive: false,
+                        }
                     }
                 })
                 .collect();
@@ -227,8 +251,12 @@ mod tests {
 
     #[test]
     fn costs_equal_for_homogeneous_bounded_samples() {
-        let sk: Vec<Skeleton> =
-            (0..16).map(|_| Skeleton { size: 512, exhaustive: false }).collect();
+        let sk: Vec<Skeleton> = (0..16)
+            .map(|_| Skeleton {
+                size: 512,
+                exhaustive: false,
+            })
+            .collect();
         assert_eq!(fold_cost(&sk, 512), planned_cost(&sk, 512));
     }
 
@@ -245,9 +273,7 @@ mod tests {
         }
         for p in 0..6u64 {
             let lo = 1_000 + p * 2_000;
-            samples.push(
-                HybridReservoir::new(policy(64)).sample_batch(lo..lo + 2_000, &mut rng),
-            );
+            samples.push(HybridReservoir::new(policy(64)).sample_batch(lo..lo + 2_000, &mut rng));
         }
         let total: u64 = samples.iter().map(Sample::parent_size).sum();
         let m = merge_planned(samples, 1e-3, &mut rng).unwrap();
@@ -276,7 +302,10 @@ mod tests {
         let exp = vec![expect; 60];
         let stat = chi_square_statistic(&incl, &exp);
         let pv = chi_square_p_value(stat, 59.0);
-        assert!(pv > 1e-4, "planned merge not uniform: chi2={stat:.1} p={pv:.2e}");
+        assert!(
+            pv > 1e-4,
+            "planned merge not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ struct Fenwick {
 impl Fenwick {
     fn new(len: usize) -> Self {
         let top = len.next_power_of_two().max(1);
-        Self { tree: vec![0; len + 1], top }
+        Self {
+            tree: vec![0; len + 1],
+            top,
+        }
     }
 
     /// Add `delta` at index `i` (0-based).

@@ -140,13 +140,9 @@ mod tests {
         let (n, k, trials) = (40u64, 8u64, 30_000usize);
         let mut incl = vec![0u64; n as usize];
         for _ in 0..trials {
-            let s = ReservoirSampler::with_capacity_and_mode(
-                k,
-                policy(k),
-                SkipMode::Auto,
-                &mut rng,
-            )
-            .sample_batch(0..n, &mut rng);
+            let s =
+                ReservoirSampler::with_capacity_and_mode(k, policy(k), SkipMode::Auto, &mut rng)
+                    .sample_batch(0..n, &mut rng);
             for (v, _) in s.histogram().iter() {
                 incl[*v as usize] += 1;
             }
@@ -155,14 +151,21 @@ mod tests {
         let exp: Vec<f64> = vec![expect; n as usize];
         let stat = chi_square_statistic(&incl, &exp);
         let pv = chi_square_p_value(stat, (n - 1) as f64);
-        assert!(pv > 1e-4, "inclusion not uniform: chi2={stat:.1} p={pv:.2e}");
+        assert!(
+            pv > 1e-4,
+            "inclusion not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
     }
 
     #[test]
     fn all_skip_modes_uniform() {
         let mut rng = seeded_rng(4);
         let (n, k, trials) = (30u64, 5u64, 20_000usize);
-        for mode in [SkipMode::CoinFlip, SkipMode::Sequential, SkipMode::Rejection] {
+        for mode in [
+            SkipMode::CoinFlip,
+            SkipMode::Sequential,
+            SkipMode::Rejection,
+        ] {
             let mut incl = vec![0u64; n as usize];
             for _ in 0..trials {
                 let s = ReservoirSampler::with_capacity_and_mode(k, policy(k), mode, &mut rng)

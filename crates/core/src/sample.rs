@@ -51,6 +51,17 @@ impl SampleKind {
     }
 }
 
+impl std::fmt::Display for SampleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleKind::Exhaustive => write!(f, "exhaustive"),
+            SampleKind::Bernoulli { q, .. } => write!(f, "bernoulli(q={q:.6})"),
+            SampleKind::Reservoir => write!(f, "reservoir"),
+            SampleKind::Concise { q } => write!(f, "concise(q={q:.6}, NOT uniform)"),
+        }
+    }
+}
+
 /// A finalized, compact, uniform sample of one (possibly merged) partition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample<T: SampleValue> {
@@ -90,7 +101,12 @@ impl<T: SampleValue> Sample<T> {
                 policy.n_f()
             );
         }
-        Self { hist, kind, parent_size, policy }
+        Self {
+            hist,
+            kind,
+            parent_size,
+            policy,
+        }
     }
 
     /// Assemble a sample without the footprint assertion. Needed for the
@@ -112,7 +128,12 @@ impl<T: SampleValue> Sample<T> {
             hist.total(),
             parent_size
         );
-        Self { hist, kind, parent_size, policy }
+        Self {
+            hist,
+            kind,
+            parent_size,
+            policy,
+        }
     }
 
     /// Number of data elements in the sample (`|S|`).
@@ -205,7 +226,10 @@ impl<T: SampleValue> Sample<T> {
     /// # Panics
     /// Panics unless `0 < ratio ≤ 1`, or if called on a concise sample.
     pub fn thin<R: rand::Rng + ?Sized>(&self, ratio: f64, rng: &mut R) -> Sample<T> {
-        assert!(ratio > 0.0 && ratio <= 1.0, "thinning ratio must lie in (0, 1]");
+        assert!(
+            ratio > 0.0 && ratio <= 1.0,
+            "thinning ratio must lie in (0, 1]"
+        );
         assert!(
             !matches!(self.kind, SampleKind::Concise { .. }),
             "thinning a non-uniform concise sample does not yield a uniform sample"
@@ -213,17 +237,24 @@ impl<T: SampleValue> Sample<T> {
         let mut hist = self.hist.clone();
         crate::purge::purge_bernoulli(&mut hist, ratio, rng);
         let kind = match self.kind {
-            SampleKind::Bernoulli { q, p_bound } => {
-                SampleKind::Bernoulli { q: q * ratio, p_bound }
-            }
-            SampleKind::Exhaustive => SampleKind::Bernoulli { q: ratio, p_bound: 1.0 },
+            SampleKind::Bernoulli { q, p_bound } => SampleKind::Bernoulli {
+                q: q * ratio,
+                p_bound,
+            },
+            SampleKind::Exhaustive => SampleKind::Bernoulli {
+                q: ratio,
+                p_bound: 1.0,
+            },
             _ => {
                 let eff = if self.parent_size > 0 {
                     (self.size() as f64 / self.parent_size as f64) * ratio
                 } else {
                     ratio
                 };
-                SampleKind::Bernoulli { q: eff.min(1.0), p_bound: 1.0 }
+                SampleKind::Bernoulli {
+                    q: eff.min(1.0),
+                    p_bound: 1.0,
+                }
             }
         };
         Sample::from_parts(hist, kind, self.parent_size, self.policy)
@@ -254,7 +285,14 @@ mod tests {
     #[test]
     fn phases_match_paper() {
         assert_eq!(SampleKind::Exhaustive.phase(), 1);
-        assert_eq!(SampleKind::Bernoulli { q: 0.5, p_bound: 0.01 }.phase(), 2);
+        assert_eq!(
+            SampleKind::Bernoulli {
+                q: 0.5,
+                p_bound: 0.01
+            }
+            .phase(),
+            2
+        );
         assert_eq!(SampleKind::Reservoir.phase(), 3);
     }
 
@@ -288,7 +326,12 @@ mod tests {
         use swh_rand::seeded_rng;
         let mut rng = seeded_rng(21);
         let h = CompactHistogram::from_bag((0..100u64).collect::<Vec<_>>());
-        let s = Sample::from_parts(h, SampleKind::Reservoir, 10_000, FootprintPolicy::with_value_budget(128));
+        let s = Sample::from_parts(
+            h,
+            SampleKind::Reservoir,
+            10_000,
+            FootprintPolicy::with_value_budget(128),
+        );
         let small = s.subsample(10, &mut rng);
         assert_eq!(small.size(), 10);
         assert_eq!(small.kind(), SampleKind::Reservoir);
@@ -303,7 +346,12 @@ mod tests {
         use swh_rand::seeded_rng;
         let mut rng = seeded_rng(22);
         let h = CompactHistogram::from_bag(vec![1u64, 1, 2]);
-        let s = Sample::from_parts(h, SampleKind::Exhaustive, 3, FootprintPolicy::with_value_budget(8));
+        let s = Sample::from_parts(
+            h,
+            SampleKind::Exhaustive,
+            3,
+            FootprintPolicy::with_value_budget(8),
+        );
         let same = s.subsample(10, &mut rng);
         assert_eq!(same.kind(), SampleKind::Exhaustive);
         let cut = s.subsample(2, &mut rng);
@@ -318,7 +366,10 @@ mod tests {
         let h = CompactHistogram::from_bag((0..50u64).collect::<Vec<_>>());
         let s = Sample::from_parts(
             h,
-            SampleKind::Bernoulli { q: 0.5, p_bound: 1e-3 },
+            SampleKind::Bernoulli {
+                q: 0.5,
+                p_bound: 1e-3,
+            },
             100,
             FootprintPolicy::with_value_budget(128),
         );

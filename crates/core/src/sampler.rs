@@ -6,6 +6,7 @@
 //! compact histogram form.
 
 use crate::sample::Sample;
+use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
 
@@ -40,6 +41,24 @@ pub trait Sampler<T: SampleValue> {
     /// materialize a pending subsample (e.g. Algorithm HR's lazy purge when
     /// the stream ends between the phase switch and the first insertion).
     fn finalize<R: Rng + ?Sized>(self, rng: &mut R) -> Sample<T>;
+
+    /// Execution statistics collected so far. Schemes that do not track
+    /// statistics return the zeroed default; the hybrid samplers override
+    /// this with real phase-transition, purge, and footprint accounting.
+    fn stats(&self) -> SamplerStats {
+        SamplerStats::default()
+    }
+
+    /// Finalize and hand back the run's statistics alongside the sample.
+    /// Overridden by samplers whose finalization performs additional
+    /// stat-worthy work (e.g. Algorithm HR's pending lazy purge).
+    fn finalize_with_stats<R: Rng + ?Sized>(self, rng: &mut R) -> (Sample<T>, SamplerStats)
+    where
+        Self: Sized,
+    {
+        let stats = self.stats();
+        (self.finalize(rng), stats)
+    }
 
     /// Convenience: observe every element of an iterator.
     fn observe_all<R: Rng + ?Sized, I: IntoIterator<Item = T>>(&mut self, values: I, rng: &mut R)

@@ -34,7 +34,13 @@ impl<T: SampleValue> StratifiedBernoulli<T> {
     /// Panics unless `0 < q ≤ 1`.
     pub fn new<R: Rng + ?Sized>(q: f64, policy: FootprintPolicy, rng: &mut R) -> Self {
         assert!(q > 0.0 && q <= 1.0, "SB rate must lie in (0, 1], got {q}");
-        Self { q, bag: Vec::new(), observed: 0, skip_remaining: bernoulli_skip(rng, q), policy }
+        Self {
+            q,
+            bag: Vec::new(),
+            observed: 0,
+            skip_remaining: bernoulli_skip(rng, q),
+            policy,
+        }
     }
 
     /// The fixed sampling rate `q`.
@@ -103,7 +109,10 @@ impl<T: SampleValue> Sampler<T> for StratifiedBernoulli<T> {
     fn finalize<R2: Rng + ?Sized>(self, _rng: &mut R2) -> Sample<T> {
         Sample::from_parts_unchecked(
             CompactHistogram::from_bag(self.bag),
-            SampleKind::Bernoulli { q: self.q, p_bound: 1.0 },
+            SampleKind::Bernoulli {
+                q: self.q,
+                p_bound: 1.0,
+            },
             self.observed,
             self.policy,
         )
@@ -148,10 +157,10 @@ mod tests {
         let trials = 5_000;
         let mut incl = vec![0u64; 40];
         for _ in 0..trials {
-            let s1 = StratifiedBernoulli::new(q, policy(), &mut rng)
-                .sample_batch(0..20u64, &mut rng);
-            let s2 = StratifiedBernoulli::new(q, policy(), &mut rng)
-                .sample_batch(20..40u64, &mut rng);
+            let s1 =
+                StratifiedBernoulli::new(q, policy(), &mut rng).sample_batch(0..20u64, &mut rng);
+            let s2 =
+                StratifiedBernoulli::new(q, policy(), &mut rng).sample_batch(20..40u64, &mut rng);
             let m = StratifiedBernoulli::union(vec![s1, s2]);
             for (v, _) in m.histogram().iter() {
                 incl[*v as usize] += 1;
@@ -167,10 +176,10 @@ mod tests {
     #[should_panic(expected = "equal rates")]
     fn union_rejects_mismatched_rates() {
         let mut rng = seeded_rng(3);
-        let s1 = StratifiedBernoulli::new(0.1, policy(), &mut rng)
-            .sample_batch(0..100u64, &mut rng);
-        let s2 = StratifiedBernoulli::new(0.2, policy(), &mut rng)
-            .sample_batch(100..200u64, &mut rng);
+        let s1 =
+            StratifiedBernoulli::new(0.1, policy(), &mut rng).sample_batch(0..100u64, &mut rng);
+        let s2 =
+            StratifiedBernoulli::new(0.2, policy(), &mut rng).sample_batch(100..200u64, &mut rng);
         StratifiedBernoulli::union(vec![s1, s2]);
     }
 

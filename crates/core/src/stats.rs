@@ -1,0 +1,171 @@
+//! Per-sampler execution statistics.
+//!
+//! The paper's cost model (§5) argues that bounded-footprint sampling keeps
+//! maintenance cheap *because* phase transitions and purges are rare and the
+//! footprint never grows past `n_F`. [`SamplerStats`] makes those claims
+//! observable: every hybrid sampler tracks inclusions vs rejections, the
+//! stream indices of its phase transitions, purge invocations with their
+//! total duration, and the footprint high-water mark. The fields are plain
+//! integers updated on the single-threaded observe path (a few ALU ops per
+//! element); publication into the process-wide `swh-obs` registry happens at
+//! finalize time in the warehouse layer, keeping the hot path allocation-
+//! and atomic-free.
+
+/// Counters collected by one sampler run (one partition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SamplerStats {
+    /// Elements that entered the sample (phase-1 inserts, phase-2 Bernoulli
+    /// inclusions, phase-3 reservoir replacements).
+    pub inclusions: u64,
+    /// Elements observed but not added to the sample.
+    pub rejections: u64,
+    /// 1-based stream index at which the sampler left phase 1, if it did.
+    pub to_phase2_at: Option<u64>,
+    /// 1-based stream index at which the sampler entered its terminal
+    /// reservoir phase (HB phase 3), if it did. An HB run that overflows
+    /// straight out of phase 1 records both transitions at the same index.
+    pub to_phase3_at: Option<u64>,
+    /// Number of purge invocations (`purgeBernoulli` / `purgeReservoir`).
+    pub purges: u64,
+    /// Total wall-clock nanoseconds spent inside purges.
+    pub purge_ns: u64,
+    /// Largest footprint (value slots) the working sample ever occupied.
+    pub footprint_hwm: u64,
+}
+
+impl SamplerStats {
+    /// Record one element entering the sample.
+    #[inline]
+    pub fn include(&mut self) {
+        self.inclusions += 1;
+    }
+
+    /// Record one element passed over.
+    #[inline]
+    pub fn reject(&mut self) {
+        self.rejections += 1;
+    }
+
+    /// Record the phase-1 → phase-2 transition at stream index `at`.
+    /// Idempotent: only the first call sticks (there is at most one real
+    /// transition per run; the invariant is asserted by tests).
+    #[inline]
+    pub fn enter_phase2(&mut self, at: u64) {
+        if self.to_phase2_at.is_none() {
+            self.to_phase2_at = Some(at);
+        }
+    }
+
+    /// Record the transition into the terminal reservoir phase at stream
+    /// index `at`. Idempotent like [`SamplerStats::enter_phase2`].
+    #[inline]
+    pub fn enter_phase3(&mut self, at: u64) {
+        if self.to_phase3_at.is_none() {
+            self.to_phase3_at = Some(at);
+        }
+    }
+
+    /// Record one purge that took `ns` nanoseconds.
+    #[inline]
+    pub fn record_purge(&mut self, ns: u64) {
+        self.purges += 1;
+        self.purge_ns += ns;
+    }
+
+    /// Raise the footprint high-water mark to `slots` if larger.
+    #[inline]
+    pub fn record_footprint(&mut self, slots: u64) {
+        if slots > self.footprint_hwm {
+            self.footprint_hwm = slots;
+        }
+    }
+
+    /// Total elements observed (inclusions + rejections).
+    pub fn observed(&self) -> u64 {
+        self.inclusions + self.rejections
+    }
+
+    /// Fraction of observed elements included, in `[0, 1]` (zero when
+    /// nothing was observed).
+    pub fn inclusion_rate(&self) -> f64 {
+        let n = self.observed();
+        if n == 0 {
+            0.0
+        } else {
+            self.inclusions as f64 / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SamplerStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "included {}/{} ({:.2}%), footprint hwm {} slots, {} purge{} ({} ns)",
+            self.inclusions,
+            self.observed(),
+            100.0 * self.inclusion_rate(),
+            self.footprint_hwm,
+            self.purges,
+            if self.purges == 1 { "" } else { "s" },
+            self.purge_ns,
+        )?;
+        match (self.to_phase2_at, self.to_phase3_at) {
+            (None, None) => write!(f, ", stayed in phase 1"),
+            (Some(p2), None) => write!(f, ", phase 1\u{2192}2 at element {p2}"),
+            (Some(p2), Some(p3)) => {
+                write!(
+                    f,
+                    ", phase 1\u{2192}2 at element {p2}, 2\u{2192}3 at element {p3}"
+                )
+            }
+            (None, Some(p3)) => write!(f, ", entered reservoir at element {p3}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_are_recorded_once() {
+        let mut s = SamplerStats::default();
+        s.enter_phase2(100);
+        s.enter_phase2(200);
+        assert_eq!(s.to_phase2_at, Some(100));
+        s.enter_phase3(300);
+        s.enter_phase3(400);
+        assert_eq!(s.to_phase3_at, Some(300));
+    }
+
+    #[test]
+    fn accounting_identities() {
+        let mut s = SamplerStats::default();
+        for _ in 0..30 {
+            s.include();
+        }
+        for _ in 0..70 {
+            s.reject();
+        }
+        s.record_footprint(12);
+        s.record_footprint(9);
+        s.record_purge(500);
+        s.record_purge(250);
+        assert_eq!(s.observed(), 100);
+        assert!((s.inclusion_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(s.footprint_hwm, 12);
+        assert_eq!(s.purges, 2);
+        assert_eq!(s.purge_ns, 750);
+    }
+
+    #[test]
+    fn display_summarizes_phases() {
+        let mut s = SamplerStats::default();
+        assert!(s.to_string().contains("stayed in phase 1"));
+        s.enter_phase2(64);
+        assert!(s.to_string().contains("phase 1→2 at element 64"));
+        s.enter_phase3(128);
+        assert!(s.to_string().contains("2→3 at element 128"));
+    }
+}

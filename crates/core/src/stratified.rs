@@ -22,7 +22,10 @@ impl<T: SampleValue> StratifiedSample<T> {
     /// # Panics
     /// Panics if `strata` is empty.
     pub fn new(strata: Vec<Sample<T>>) -> Self {
-        assert!(!strata.is_empty(), "stratified sample needs at least one stratum");
+        assert!(
+            !strata.is_empty(),
+            "stratified sample needs at least one stratum"
+        );
         Self { strata }
     }
 

@@ -83,7 +83,9 @@ impl<T: SampleValue> Sampler<T> for SystematicSampler<T> {
             SampleKind::Exhaustive
         } else {
             // Honest provenance: not uniform over subsets, not mergeable.
-            SampleKind::Concise { q: 1.0 / self.stride as f64 }
+            SampleKind::Concise {
+                q: 1.0 / self.stride as f64,
+            }
         };
         Sample::from_parts_unchecked(self.hist, kind, self.observed, self.policy)
     }
@@ -110,8 +112,8 @@ mod tests {
     fn sample_size_is_deterministic_up_to_one() {
         let mut rng = seeded_rng(2);
         for _ in 0..50 {
-            let s = SystematicSampler::new(7, policy(), &mut rng)
-                .sample_batch(0..1_000u64, &mut rng);
+            let s =
+                SystematicSampler::new(7, policy(), &mut rng).sample_batch(0..1_000u64, &mut rng);
             // floor(1000/7) = 142 or 143 depending on offset.
             assert!(s.size() == 142 || s.size() == 143, "size {}", s.size());
         }

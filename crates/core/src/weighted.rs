@@ -134,11 +134,7 @@ impl<T: SampleValue> WeightedReservoir<T> {
     /// per-retained-element weights in histogram-independent `(value,
     /// weight)` pairs (one per retained element, including duplicates).
     pub fn finalize_weighted(self) -> (Sample<T>, Vec<(T, f64)>) {
-        let pairs: Vec<(T, f64)> = self
-            .heap
-            .into_iter()
-            .map(|e| (e.value, e.weight))
-            .collect();
+        let pairs: Vec<(T, f64)> = self.heap.into_iter().map(|e| (e.value, e.weight)).collect();
         let hist = CompactHistogram::from_bag(pairs.iter().map(|(v, _)| v.clone()));
         let effective_q = if self.total_weight > 0.0 {
             (pairs.len() as f64 / self.observed.max(1) as f64).min(1.0)

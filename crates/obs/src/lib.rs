@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! # swh-obs — observability for the sample warehouse
+//!
+//! The paper's premise is that sample maintenance must stay *cheap* relative
+//! to full-warehouse ETL (§1, §5 of Brown & Haas, ICDE 2006). Verifying that
+//! requires a measurement substrate: where does ingest time go, how often do
+//! the hybrid samplers purge, when do they cross phase boundaries, and what
+//! does a merge cost? This crate is that substrate — with **zero external
+//! dependencies**, so it can sit below every other workspace crate.
+//!
+//! Building blocks:
+//!
+//! * [`Counter`] — monotone atomic counter.
+//! * [`Gauge`] — signed atomic gauge with `record_max` for high-water marks.
+//! * [`Histogram`] — log-bucketed (power-of-two) value histogram with
+//!   `p50/p90/p99/max` estimation; the unit is whatever the caller records
+//!   (latencies are recorded in nanoseconds by convention, suffix `_ns`).
+//! * [`Registry`] — a named-metric registry. [`global()`] returns the
+//!   process-wide instance; tests construct private registries for
+//!   interference-free assertions.
+//! * [`ScopeTimer`] — a span timer recording elapsed nanoseconds into a
+//!   [`Histogram`] on drop.
+//! * [`Snapshot`] — a point-in-time copy of a registry, rendered with
+//!   [`Snapshot::to_prometheus`] (text exposition) or [`Snapshot::to_json`].
+//! * [`progress!`] — verbosity-gated progress output to stderr, replacing
+//!   ad-hoc `eprintln!` in binaries so quiet runs are actually quiet.
+//!
+//! ```
+//! use swh_obs::{Registry, ScopeTimer};
+//!
+//! let registry = Registry::new();
+//! let ingested = registry.counter("ingested_total", "elements ingested");
+//! let latency = registry.histogram("batch_ns", "per-batch latency (ns)");
+//! {
+//!     let _span = ScopeTimer::new(&latency);
+//!     for _ in 0..1000 {
+//!         ingested.inc();
+//!     }
+//! }
+//! let snap = registry.snapshot();
+//! assert!(snap.to_prometheus().contains("ingested_total 1000"));
+//! assert!(snap.to_json().contains("\"ingested_total\""));
+//! ```
+
+mod metrics;
+mod progress;
+mod registry;
+mod timer;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use progress::{set_verbosity, verbosity, write_progress};
+pub use registry::{global, MetricValue, Registry, Snapshot};
+pub use timer::ScopeTimer;

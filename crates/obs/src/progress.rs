@@ -1,0 +1,69 @@
+//! Verbosity-gated progress output.
+//!
+//! Binaries used to sprinkle ad-hoc `eprintln!` status lines; this module
+//! replaces them with one gate so quiet runs are actually quiet. The level
+//! defaults to `0` (silent) and can be raised programmatically
+//! ([`set_verbosity`]) or through the `SWH_VERBOSE` environment variable.
+//! Data output (CSV rows, query results) still goes to stdout unconditionally
+//! — only *progress chatter* belongs here.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(0);
+static ENV_INIT: OnceLock<()> = OnceLock::new();
+
+/// Current verbosity level (0 = silent).
+pub fn verbosity() -> u8 {
+    ENV_INIT.get_or_init(|| {
+        if let Ok(v) = std::env::var("SWH_VERBOSE") {
+            let level = match v.trim() {
+                "" | "0" | "false" => 0,
+                s => s.parse::<u8>().unwrap_or(1),
+            };
+            VERBOSITY.store(level, Ordering::Relaxed);
+        }
+    });
+    VERBOSITY.load(Ordering::Relaxed)
+}
+
+/// Override the verbosity level (wins over `SWH_VERBOSE`).
+pub fn set_verbosity(level: u8) {
+    // Make sure a later env read cannot clobber an explicit override.
+    ENV_INIT.get_or_init(|| ());
+    VERBOSITY.store(level, Ordering::Relaxed);
+}
+
+/// Write one progress line to stderr if `level` is enabled. Prefer the
+/// [`progress!`](crate::progress!) macro.
+pub fn write_progress(level: u8, args: std::fmt::Arguments<'_>) {
+    if verbosity() >= level {
+        eprintln!("{args}");
+    }
+}
+
+/// Verbosity-gated `eprintln!`: `progress!(1, "merged {n} partitions")`
+/// prints only when the level is at least 1.
+#[macro_export]
+macro_rules! progress {
+    ($level:expr, $($arg:tt)*) => {
+        $crate::write_progress($level, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_quiet_and_override_wins() {
+        // Tests run without SWH_VERBOSE; the default must be silent.
+        set_verbosity(0);
+        assert_eq!(verbosity(), 0);
+        set_verbosity(2);
+        assert_eq!(verbosity(), 2);
+        crate::progress!(3, "suppressed at level {}", 3);
+        crate::progress!(1, "emitted at level {}", 1);
+        set_verbosity(0);
+    }
+}

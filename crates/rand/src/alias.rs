@@ -27,7 +27,10 @@ impl AliasTable {
     /// Panics if `weights` is empty, contains a negative or non-finite
     /// value, or sums to zero.
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            !weights.is_empty(),
+            "alias table needs at least one outcome"
+        );
         assert!(
             weights.len() <= u32::MAX as usize,
             "alias table too large: {} outcomes",

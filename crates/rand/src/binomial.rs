@@ -108,9 +108,8 @@ fn inversion_from_mode<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     let q = 1.0 - p;
     let mode = ((nf + 1.0) * p).floor().min(nf) as u64;
     // pmf at the mode, via logs to avoid under/overflow.
-    let ln_pmf_mode = crate::stats::ln_choose(n, mode)
-        + mode as f64 * p.ln()
-        + (n - mode) as f64 * q.ln();
+    let ln_pmf_mode =
+        crate::stats::ln_choose(n, mode) + mode as f64 * p.ln() + (n - mode) as f64 * q.ln();
     let pmf_mode = ln_pmf_mode.exp();
 
     // Ratios: pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/q.
@@ -244,15 +243,23 @@ mod tests {
     fn mean_and_variance_large_n() {
         let mut rng = seeded_rng(42);
         let (n, p, trials) = (100_000u64, 0.137, 4_000);
-        let draws: Vec<f64> = (0..trials).map(|_| binomial(&mut rng, n, p) as f64).collect();
+        let draws: Vec<f64> = (0..trials)
+            .map(|_| binomial(&mut rng, n, p) as f64)
+            .collect();
         let mean = draws.iter().sum::<f64>() / trials as f64;
         let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
         let true_mean = n as f64 * p;
         let true_var = n as f64 * p * (1.0 - p);
         // Mean within 5 standard errors.
         let se = (true_var / trials as f64).sqrt();
-        assert!((mean - true_mean).abs() < 5.0 * se, "mean {mean} vs {true_mean}");
-        assert!((var / true_var - 1.0).abs() < 0.15, "var {var} vs {true_var}");
+        assert!(
+            (mean - true_mean).abs() < 5.0 * se,
+            "mean {mean} vs {true_mean}"
+        );
+        assert!(
+            (var / true_var - 1.0).abs() < 0.15,
+            "var {var} vs {true_var}"
+        );
     }
 
     #[test]

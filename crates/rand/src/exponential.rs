@@ -9,7 +9,10 @@ use rand::Rng;
 /// # Panics
 /// Panics unless `rate` is finite and positive.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
-    assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "rate must be positive, got {rate}"
+    );
     let u = loop {
         let u = rng.random::<f64>();
         if u > 0.0 {

@@ -100,7 +100,13 @@ impl Hypergeometric {
         if let Some(last) = cdf.last_mut() {
             *last = 1.0;
         }
-        Self { d1, d2, k, probs, cdf }
+        Self {
+            d1,
+            d2,
+            k,
+            probs,
+            cdf,
+        }
     }
 
     /// `P(L = l)`; zero outside the feasible support.
@@ -163,11 +169,7 @@ impl Hypergeometric {
 ///
 /// # Panics
 /// Panics if `k` exceeds the total population.
-pub fn sample_multivariate<R: Rng + ?Sized>(
-    rng: &mut R,
-    populations: &[u64],
-    k: u64,
-) -> Vec<u64> {
+pub fn sample_multivariate<R: Rng + ?Sized>(rng: &mut R, populations: &[u64], k: u64) -> Vec<u64> {
     let total: u64 = populations.iter().sum();
     assert!(k <= total, "draw {k} exceeds total population {total}");
     let mut remaining_total = total;
@@ -252,7 +254,12 @@ mod tests {
         let h = Hypergeometric::new(1 << 26, 1 << 26, 8192);
         let s: f64 = h.probs().iter().sum();
         assert!((s - 1.0).abs() < 1e-9);
-        let mean: f64 = h.probs().iter().enumerate().map(|(l, p)| l as f64 * p).sum();
+        let mean: f64 = h
+            .probs()
+            .iter()
+            .enumerate()
+            .map(|(l, p)| l as f64 * p)
+            .sum();
         assert!((mean - h.mean()).abs() / h.mean() < 1e-6);
     }
 

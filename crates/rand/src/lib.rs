@@ -66,7 +66,12 @@ mod tests {
     fn seeded_rng_differs_across_seeds() {
         let mut a = seeded_rng(1);
         let mut b = seeded_rng(2);
-        let same = (0..100).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
-        assert!(same < 3, "different seeds should diverge, got {same} collisions");
+        let same = (0..100)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
+        assert!(
+            same < 3,
+            "different seeds should diverge, got {same} collisions"
+        );
     }
 }

@@ -36,7 +36,10 @@ pub fn normal_pdf(x: f64) -> f64 {
 /// # Panics
 /// Panics unless `0 < u < 1`.
 pub fn normal_quantile(u: f64) -> f64 {
-    assert!(u > 0.0 && u < 1.0, "normal_quantile requires 0 < u < 1, got {u}");
+    assert!(
+        u > 0.0 && u < 1.0,
+        "normal_quantile requires 0 < u < 1, got {u}"
+    );
     let mut z = quantile_estimate(u);
     // Newton refinement: z ← z − (Φ(z) − u)/φ(z). Two steps suffice from a
     // starting point already accurate to ~1e-6.

@@ -102,7 +102,10 @@ pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
 /// fraction of Numerical Recipes (`betacf`), with the symmetry transform for
 /// fast convergence.
 pub fn regularized_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "beta parameters must be positive (a={a}, b={b})");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "beta parameters must be positive (a={a}, b={b})"
+    );
     assert!((0.0..=1.0).contains(&x), "x must lie in [0, 1], got {x}");
     if x == 0.0 {
         return 0.0;
@@ -110,10 +113,8 @@ pub fn regularized_beta(a: f64, b: f64, x: f64) -> f64 {
     if x == 1.0 {
         return 1.0;
     }
-    let front = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b)
-        + a * x.ln()
-        + b * (1.0 - x).ln())
-    .exp();
+    let front =
+        (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
     if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cf(a, b, x) / a
     } else {
@@ -239,7 +240,11 @@ mod tests {
         // Gamma(1/2) = sqrt(pi)
         assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
         // Gamma(3/2) = sqrt(pi)/2
-        assert_close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-10);
+        assert_close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-10,
+        );
     }
 
     #[test]
@@ -283,7 +288,11 @@ mod tests {
         }
         // I_x(2, 2) = 3x^2 - 2x^3.
         for &x in &[0.1, 0.3, 0.5, 0.9] {
-            assert_close(regularized_beta(2.0, 2.0, x), 3.0 * x * x - 2.0 * x * x * x, 1e-12);
+            assert_close(
+                regularized_beta(2.0, 2.0, x),
+                3.0 * x * x - 2.0 * x * x * x,
+                1e-12,
+            );
         }
         // Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
         assert_close(

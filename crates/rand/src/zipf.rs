@@ -24,7 +24,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is not finite and positive.
     pub fn new(n: u64, s: f64) -> Self {
         assert!(n > 0, "Zipf domain must be non-empty");
-        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive, got {s}");
+        assert!(
+            s.is_finite() && s > 0.0,
+            "Zipf exponent must be positive, got {s}"
+        );
         let mut cdf = Vec::with_capacity(n as usize);
         let mut acc = 0.0f64;
         for i in 1..=n {

@@ -6,8 +6,8 @@
 //! *rolled out* when the corresponding full-scale partitions are dropped.
 
 use crate::ids::{DatasetId, PartitionId, PartitionKey};
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::RwLock;
 use swh_core::merge::MergeError;
 use swh_core::sample::Sample;
 use swh_core::value::SampleValue;
@@ -87,49 +87,120 @@ impl From<MergeError> for CatalogError {
 ///     .unwrap();
 /// assert_eq!(weekend.parent_size(), 2_000);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog<T: SampleValue> {
     inner: RwLock<BTreeMap<DatasetId, BTreeMap<PartitionId, PartitionEntry<T>>>>,
     roll_seq: RwLock<u64>,
+    metrics: CatalogMetrics,
+}
+
+/// Cached handles to the catalog's operation counters. Handles are resolved
+/// once per catalog so the per-op cost is one relaxed atomic increment, not
+/// a registry lookup.
+#[derive(Debug, Clone)]
+struct CatalogMetrics {
+    roll_ins: swh_obs::Counter,
+    roll_outs: swh_obs::Counter,
+    gets: swh_obs::Counter,
+    selects: swh_obs::Counter,
+    union_merges: swh_obs::Counter,
+    merge_ns: swh_obs::Histogram,
+}
+
+impl CatalogMetrics {
+    fn in_registry(registry: &swh_obs::Registry) -> Self {
+        Self {
+            roll_ins: registry.counter(
+                "swh_catalog_roll_ins_total",
+                "Partition samples rolled into the catalog",
+            ),
+            roll_outs: registry.counter(
+                "swh_catalog_roll_outs_total",
+                "Partition samples rolled out of the catalog",
+            ),
+            gets: registry.counter(
+                "swh_catalog_gets_total",
+                "Single-partition sample retrievals",
+            ),
+            selects: registry.counter(
+                "swh_catalog_selects_total",
+                "Partition selection scans over the catalog",
+            ),
+            union_merges: registry.counter(
+                "swh_catalog_union_merges_total",
+                "Union-sample merge queries executed",
+            ),
+            merge_ns: registry.histogram(
+                "swh_catalog_merge_ns",
+                "Wall-clock nanoseconds per union-sample merge",
+            ),
+        }
+    }
+}
+
+impl<T: SampleValue> Default for Catalog<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<T: SampleValue> Catalog<T> {
-    /// Empty catalog.
+    /// Empty catalog, reporting its operation counts to the global
+    /// [`swh_obs`] registry.
     pub fn new() -> Self {
-        Self { inner: RwLock::new(BTreeMap::new()), roll_seq: RwLock::new(0) }
+        Self::with_registry(swh_obs::global())
+    }
+
+    /// Empty catalog reporting into an explicit metrics registry (tests use
+    /// a private registry to assert exact counts).
+    pub fn with_registry(registry: &swh_obs::Registry) -> Self {
+        Self {
+            inner: RwLock::new(BTreeMap::new()),
+            roll_seq: RwLock::new(0),
+            metrics: CatalogMetrics::in_registry(registry),
+        }
     }
 
     /// Roll a partition sample into the warehouse.
-    pub fn roll_in(
-        &self,
-        key: PartitionKey,
-        sample: Sample<T>,
-    ) -> Result<(), CatalogError> {
-        let mut map = self.inner.write();
+    pub fn roll_in(&self, key: PartitionKey, sample: Sample<T>) -> Result<(), CatalogError> {
+        let mut map = self.inner.write().unwrap();
         let ds = map.entry(key.dataset).or_default();
         if ds.contains_key(&key.partition) {
             return Err(CatalogError::DuplicatePartition(key));
         }
-        let mut seq = self.roll_seq.write();
+        let mut seq = self.roll_seq.write().unwrap();
         *seq += 1;
-        ds.insert(key.partition, PartitionEntry { sample, rolled_in_at: *seq });
+        ds.insert(
+            key.partition,
+            PartitionEntry {
+                sample,
+                rolled_in_at: *seq,
+            },
+        );
+        self.metrics.roll_ins.inc();
         Ok(())
     }
 
     /// Roll a partition sample out, returning it.
     pub fn roll_out(&self, key: PartitionKey) -> Result<PartitionEntry<T>, CatalogError> {
-        let mut map = self.inner.write();
-        let ds = map.get_mut(&key.dataset).ok_or(CatalogError::UnknownDataset(key.dataset))?;
-        let entry = ds.remove(&key.partition).ok_or(CatalogError::UnknownPartition(key))?;
+        let mut map = self.inner.write().unwrap();
+        let ds = map
+            .get_mut(&key.dataset)
+            .ok_or(CatalogError::UnknownDataset(key.dataset))?;
+        let entry = ds
+            .remove(&key.partition)
+            .ok_or(CatalogError::UnknownPartition(key))?;
         if ds.is_empty() {
             map.remove(&key.dataset);
         }
+        self.metrics.roll_outs.inc();
         Ok(entry)
     }
 
     /// Clone one partition's sample out of the catalog.
     pub fn get(&self, key: PartitionKey) -> Result<Sample<T>, CatalogError> {
-        let map = self.inner.read();
+        self.metrics.gets.inc();
+        let map = self.inner.read().unwrap();
         map.get(&key.dataset)
             .and_then(|ds| ds.get(&key.partition))
             .map(|e| e.sample.clone())
@@ -138,13 +209,14 @@ impl<T: SampleValue> Catalog<T> {
 
     /// All datasets currently present.
     pub fn datasets(&self) -> Vec<DatasetId> {
-        self.inner.read().keys().copied().collect()
+        self.inner.read().unwrap().keys().copied().collect()
     }
 
     /// All partitions of a dataset, in id order.
     pub fn partitions(&self, dataset: DatasetId) -> Result<Vec<PartitionId>, CatalogError> {
         self.inner
             .read()
+            .unwrap()
             .get(&dataset)
             .map(|ds| ds.keys().copied().collect())
             .ok_or(CatalogError::UnknownDataset(dataset))
@@ -152,7 +224,7 @@ impl<T: SampleValue> Catalog<T> {
 
     /// Number of partitions rolled in across all datasets.
     pub fn len(&self) -> usize {
-        self.inner.read().values().map(BTreeMap::len).sum()
+        self.inner.read().unwrap().values().map(BTreeMap::len).sum()
     }
 
     /// True when the catalog holds no partitions.
@@ -167,8 +239,11 @@ impl<T: SampleValue> Catalog<T> {
         dataset: DatasetId,
         mut select: impl FnMut(PartitionId) -> bool,
     ) -> Result<Vec<Sample<T>>, CatalogError> {
-        let map = self.inner.read();
-        let ds = map.get(&dataset).ok_or(CatalogError::UnknownDataset(dataset))?;
+        self.metrics.selects.inc();
+        let map = self.inner.read().unwrap();
+        let ds = map
+            .get(&dataset)
+            .ok_or(CatalogError::UnknownDataset(dataset))?;
         let picked: Vec<Sample<T>> = ds
             .iter()
             .filter(|(id, _)| select(**id))
@@ -194,7 +269,11 @@ impl<T: SampleValue> Catalog<T> {
         rng: &mut R,
     ) -> Result<Sample<T>, CatalogError> {
         let picked = self.select(dataset, select)?;
-        Ok(swh_core::planner::merge_planned(picked, p_bound, rng)?)
+        let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
+        let merged = swh_core::planner::merge_planned(picked, p_bound, rng)?;
+        timer.stop();
+        self.metrics.union_merges.inc();
+        Ok(merged)
     }
 
     /// Fig. 1's grid queries (`S_{*,2}`, `S_{1-2,3-7}`, ...): a uniform
@@ -226,7 +305,10 @@ mod tests {
     use swh_rand::seeded_rng;
 
     fn key(ds: u64, seq: u64) -> PartitionKey {
-        PartitionKey { dataset: DatasetId(ds), partition: PartitionId::seq(seq) }
+        PartitionKey {
+            dataset: DatasetId(ds),
+            partition: PartitionId::seq(seq),
+        }
     }
 
     fn sample(range: std::ops::Range<u64>, rng: &mut rand::rngs::SmallRng) -> Sample<u64> {
@@ -238,7 +320,8 @@ mod tests {
         let mut rng = seeded_rng(1);
         let cat = Catalog::new();
         cat.roll_in(key(1, 0), sample(0..1000, &mut rng)).unwrap();
-        cat.roll_in(key(1, 1), sample(1000..2000, &mut rng)).unwrap();
+        cat.roll_in(key(1, 1), sample(1000..2000, &mut rng))
+            .unwrap();
         assert_eq!(cat.len(), 2);
         assert_eq!(cat.partitions(DatasetId(1)).unwrap().len(), 2);
         let s = cat.get(key(1, 0)).unwrap();
@@ -246,7 +329,10 @@ mod tests {
         let e = cat.roll_out(key(1, 0)).unwrap();
         assert_eq!(e.sample.parent_size(), 1000);
         assert_eq!(cat.len(), 1);
-        assert!(matches!(cat.get(key(1, 0)), Err(CatalogError::UnknownPartition(_))));
+        assert!(matches!(
+            cat.get(key(1, 0)),
+            Err(CatalogError::UnknownPartition(_))
+        ));
     }
 
     #[test]
@@ -254,7 +340,9 @@ mod tests {
         let mut rng = seeded_rng(2);
         let cat = Catalog::new();
         cat.roll_in(key(1, 0), sample(0..100, &mut rng)).unwrap();
-        let err = cat.roll_in(key(1, 0), sample(0..100, &mut rng)).unwrap_err();
+        let err = cat
+            .roll_in(key(1, 0), sample(0..100, &mut rng))
+            .unwrap_err();
         assert!(matches!(err, CatalogError::DuplicatePartition(_)));
     }
 
@@ -263,7 +351,8 @@ mod tests {
         let mut rng = seeded_rng(3);
         let cat = Catalog::new();
         for d in 0..7u64 {
-            cat.roll_in(key(1, d), sample(d * 1000..(d + 1) * 1000, &mut rng)).unwrap();
+            cat.roll_in(key(1, d), sample(d * 1000..(d + 1) * 1000, &mut rng))
+                .unwrap();
         }
         // "Weekly" sample = union of days 0..7.
         let weekly = cat
@@ -321,7 +410,9 @@ mod tests {
         let mut rng = seeded_rng(4);
         let cat = Catalog::new();
         cat.roll_in(key(1, 0), sample(0..100, &mut rng)).unwrap();
-        let err = cat.union_sample(DatasetId(1), |_| false, 1e-3, &mut rng).unwrap_err();
+        let err = cat
+            .union_sample(DatasetId(1), |_| false, 1e-3, &mut rng)
+            .unwrap_err();
         assert_eq!(err, CatalogError::EmptySelection);
     }
 
@@ -348,10 +439,10 @@ mod tests {
     #[test]
     fn concurrent_roll_in_from_threads() {
         let cat: Catalog<u64> = Catalog::new();
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for t in 0..8u64 {
                 let cat = &cat;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rng = seeded_rng(100 + t);
                     for s in 0..16u64 {
                         cat.roll_in(
@@ -365,8 +456,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(cat.len(), 128);
         assert_eq!(cat.datasets().len(), 8);
     }

@@ -32,7 +32,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
         for (i, entry) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -253,7 +257,12 @@ pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecErro
     if hist.total() > parent_size {
         return Err(CodecError::Corrupt("sample larger than parent"));
     }
-    Ok(Sample::from_parts_unchecked(hist, kind, parent_size, policy))
+    Ok(Sample::from_parts_unchecked(
+        hist,
+        kind,
+        parent_size,
+        policy,
+    ))
 }
 
 #[cfg(test)]
@@ -329,7 +338,10 @@ mod tests {
         hist.insert_count(9u64, 1); // singleton
         let s = Sample::from_parts(
             hist,
-            SampleKind::Bernoulli { q: 0.5, p_bound: 0.001 },
+            SampleKind::Bernoulli {
+                q: 0.5,
+                p_bound: 0.001,
+            },
             100,
             FootprintPolicy::new(64, 8),
         );
@@ -388,7 +400,10 @@ mod tests {
         let mut bytes = b"XXXX...".to_vec();
         let crc = crc32(&bytes);
         bytes.extend_from_slice(&crc.to_le_bytes());
-        assert_eq!(decode_sample::<u64>(&bytes).unwrap_err(), CodecError::BadHeader);
+        assert_eq!(
+            decode_sample::<u64>(&bytes).unwrap_err(),
+            CodecError::BadHeader
+        );
     }
 
     #[test]

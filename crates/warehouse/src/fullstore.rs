@@ -41,9 +41,10 @@ impl FullStore {
     }
 
     fn file_path(&self, key: PartitionKey) -> PathBuf {
-        self.root
-            .join(format!("ds{}", key.dataset.0))
-            .join(format!("p{}_{}.vals", key.partition.stream, key.partition.seq))
+        self.root.join(format!("ds{}", key.dataset.0)).join(format!(
+            "p{}_{}.vals",
+            key.partition.stream, key.partition.seq
+        ))
     }
 
     /// Write one partition's values (replacing any previous file). Returns
@@ -53,7 +54,11 @@ impl FullStore {
         key: PartitionKey,
         values: I,
     ) -> Result<u64, StoreError> {
-        let dir = self.file_path(key).parent().expect("file has parent").to_path_buf();
+        let dir = self
+            .file_path(key)
+            .parent()
+            .expect("file has parent")
+            .to_path_buf();
         fs::create_dir_all(&dir)?;
         // Encode the payload first so the header can carry count + CRC.
         let mut payload = Vec::new();
@@ -77,16 +82,11 @@ impl FullStore {
     }
 
     /// Read one partition's values into memory, verifying the checksum.
-    pub fn read_partition<T: ValueCodec>(
-        &self,
-        key: PartitionKey,
-    ) -> Result<Vec<T>, StoreError> {
+    pub fn read_partition<T: ValueCodec>(&self, key: PartitionKey) -> Result<Vec<T>, StoreError> {
         let path = self.file_path(key);
         let mut f = match fs::File::open(&path) {
             Ok(f) => io::BufReader::new(f),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Err(StoreError::NotFound(key))
-            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound(key)),
             Err(e) => return Err(e.into()),
         };
         let mut header = [0u8; 16];
@@ -117,9 +117,7 @@ impl FullStore {
         let path = self.file_path(key);
         let mut f = match fs::File::open(&path) {
             Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Err(StoreError::NotFound(key))
-            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound(key)),
             Err(e) => return Err(e.into()),
         };
         let mut header = [0u8; 16];
@@ -152,11 +150,20 @@ impl FullStore {
         for entry in entries {
             let name = entry?.file_name();
             let Some(name) = name.to_str() else { continue };
-            let Some(stem) = name.strip_suffix(".vals") else { continue };
-            let Some(body) = stem.strip_prefix('p') else { continue };
-            let Some((stream, seq)) = body.split_once('_') else { continue };
+            let Some(stem) = name.strip_suffix(".vals") else {
+                continue;
+            };
+            let Some(body) = stem.strip_prefix('p') else {
+                continue;
+            };
+            let Some((stream, seq)) = body.split_once('_') else {
+                continue;
+            };
             if let (Ok(stream), Ok(seq)) = (stream.parse(), seq.parse()) {
-                keys.push(PartitionKey { dataset, partition: PartitionId { stream, seq } });
+                keys.push(PartitionKey {
+                    dataset,
+                    partition: PartitionId { stream, seq },
+                });
             }
         }
         keys.sort();
@@ -206,21 +213,25 @@ mod tests {
     use super::*;
 
     fn tmp_root(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("swh-full-test-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("swh-full-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
 
     fn key(ds: u64, seq: u64) -> PartitionKey {
-        PartitionKey { dataset: DatasetId(ds), partition: PartitionId::seq(seq) }
+        PartitionKey {
+            dataset: DatasetId(ds),
+            partition: PartitionId::seq(seq),
+        }
     }
 
     #[test]
     fn write_read_roundtrip() {
         let store = FullStore::open(tmp_root("rt")).unwrap();
         let values: Vec<i64> = (0..10_000).map(|i| i * 3 - 5_000).collect();
-        let n = store.write_partition(key(1, 0), values.iter().copied()).unwrap();
+        let n = store
+            .write_partition(key(1, 0), values.iter().copied())
+            .unwrap();
         assert_eq!(n, 10_000);
         assert_eq!(store.partition_len(key(1, 0)).unwrap(), 10_000);
         let back: Vec<i64> = store.read_partition(key(1, 0)).unwrap();
@@ -258,7 +269,9 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let store = FullStore::open(tmp_root("corrupt")).unwrap();
-        store.write_partition(key(1, 0), (0..100).map(|v| v as i64)).unwrap();
+        store
+            .write_partition(key(1, 0), (0..100).map(|v| v as i64))
+            .unwrap();
         // Flip a byte in the payload.
         let path = store.root().join("ds1").join("p0_0.vals");
         let mut bytes = fs::read(&path).unwrap();
@@ -266,7 +279,10 @@ mod tests {
         bytes[n - 3] ^= 0x10;
         fs::write(&path, bytes).unwrap();
         let err = store.read_partition::<i64>(key(1, 0)).unwrap_err();
-        assert!(matches!(err, StoreError::Codec(CodecError::ChecksumMismatch)), "{err:?}");
+        assert!(
+            matches!(err, StoreError::Codec(CodecError::ChecksumMismatch)),
+            "{err:?}"
+        );
         fs::remove_dir_all(store.root()).unwrap();
     }
 
@@ -287,7 +303,9 @@ mod tests {
     #[test]
     fn empty_partition_roundtrip() {
         let store = FullStore::open(tmp_root("empty")).unwrap();
-        store.write_partition::<i64, _>(key(1, 0), std::iter::empty()).unwrap();
+        store
+            .write_partition::<i64, _>(key(1, 0), std::iter::empty())
+            .unwrap();
         assert_eq!(store.partition_len(key(1, 0)).unwrap(), 0);
         assert!(store.read_partition::<i64>(key(1, 0)).unwrap().is_empty());
         fs::remove_dir_all(store.root()).unwrap();

@@ -9,6 +9,7 @@
 //!   specified lower bound, and a fresh partition (and sample) begins.
 //! * [`SamplerConfig`] selects which bounded algorithm ingestion uses.
 
+use rand::Rng;
 use std::hash::{BuildHasher, BuildHasherDefault};
 use swh_core::footprint::FootprintPolicy;
 use swh_core::fxhash::FxHasher;
@@ -17,7 +18,56 @@ use swh_core::hybrid_reservoir::HybridReservoir;
 use swh_core::sample::Sample;
 use swh_core::sampler::Sampler;
 use swh_core::value::SampleValue;
-use rand::Rng;
+use swh_core::SamplerStats;
+
+/// Publish one finalized sampler's [`SamplerStats`] into a metrics registry
+/// under the shared `swh_sampler_*` names, so any front end (CLI, bench
+/// harnesses) exposes per-run sampler behaviour the same way.
+pub fn publish_sampler_stats(registry: &swh_obs::Registry, stats: &SamplerStats) {
+    registry
+        .counter(
+            "swh_sampler_inclusions_total",
+            "elements included by finalized samplers",
+        )
+        .add(stats.inclusions);
+    registry
+        .counter(
+            "swh_sampler_rejections_total",
+            "elements rejected by finalized samplers",
+        )
+        .add(stats.rejections);
+    registry
+        .counter(
+            "swh_sampler_purges_total",
+            "footprint purges run by finalized samplers",
+        )
+        .add(stats.purges);
+    registry
+        .counter("swh_sampler_purge_ns_total", "nanoseconds spent purging")
+        .add(stats.purge_ns);
+    registry
+        .gauge(
+            "swh_sampler_footprint_hwm_slots",
+            "high-water mark of occupied sample slots",
+        )
+        .record_max(i64::try_from(stats.footprint_hwm).unwrap_or(i64::MAX));
+    if let Some(at) = stats.to_phase2_at {
+        registry
+            .gauge(
+                "swh_sampler_phase2_transition_at",
+                "element index of the phase 1 -> 2 switch",
+            )
+            .set(i64::try_from(at).unwrap_or(i64::MAX));
+    }
+    if let Some(at) = stats.to_phase3_at {
+        registry
+            .gauge(
+                "swh_sampler_phase3_transition_at",
+                "element index of the phase 2 -> 3 switch",
+            )
+            .set(i64::try_from(at).unwrap_or(i64::MAX));
+    }
+}
 
 /// Which bounded-footprint algorithm ingestion should run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,12 +98,11 @@ impl SamplerConfig {
     /// Instantiate a sampler for one partition.
     pub fn build<T: SampleValue>(&self, policy: FootprintPolicy) -> ConfiguredSampler<T> {
         match *self {
-            SamplerConfig::HybridBernoulli { expected_n, p_bound } => {
-                ConfiguredSampler::Hb(HybridBernoulli::with_p_bound(policy, expected_n, p_bound))
-            }
-            SamplerConfig::HybridReservoir => {
-                ConfiguredSampler::Hr(HybridReservoir::new(policy))
-            }
+            SamplerConfig::HybridBernoulli {
+                expected_n,
+                p_bound,
+            } => ConfiguredSampler::Hb(HybridBernoulli::with_p_bound(policy, expected_n, p_bound)),
+            SamplerConfig::HybridReservoir => ConfiguredSampler::Hr(HybridReservoir::new(policy)),
         }
     }
 }
@@ -86,6 +135,74 @@ impl<T: SampleValue> Sampler<T> for ConfiguredSampler<T> {
             ConfiguredSampler::Hr(s) => s.finalize(rng),
         }
     }
+
+    fn stats(&self) -> swh_core::stats::SamplerStats {
+        match self {
+            ConfiguredSampler::Hb(s) => s.stats(),
+            ConfiguredSampler::Hr(s) => s.stats(),
+        }
+    }
+
+    fn finalize_with_stats<R: Rng + ?Sized>(
+        self,
+        rng: &mut R,
+    ) -> (Sample<T>, swh_core::stats::SamplerStats) {
+        match self {
+            ConfiguredSampler::Hb(s) => s.finalize_with_stats(rng),
+            ConfiguredSampler::Hr(s) => s.finalize_with_stats(rng),
+        }
+    }
+}
+
+/// Element counters flush in batches of this size (a power of two). A
+/// relaxed atomic increment per element roughly doubles the cost of the
+/// cheap reservoir-phase observe path (~5 ns), while a batched flush is
+/// unmeasurable; the counter lags the true count by at most one batch until
+/// finalize.
+const ELEMENT_FLUSH: u64 = 4096;
+
+/// Cached counter handles shared by the ingestion-side components.
+#[derive(Debug, Clone)]
+struct IngestMetrics {
+    elements: swh_obs::Counter,
+    partitions: swh_obs::Counter,
+    inclusions: swh_obs::Counter,
+}
+
+impl IngestMetrics {
+    fn router(registry: &swh_obs::Registry) -> Self {
+        Self {
+            elements: registry.counter(
+                "swh_router_elements_total",
+                "Elements routed to parallel samplers",
+            ),
+            partitions: registry.counter(
+                "swh_router_partitions_total",
+                "Partition samples finalized by routers",
+            ),
+            inclusions: registry.counter(
+                "swh_router_inclusions_total",
+                "Elements included in samples across all routed partitions",
+            ),
+        }
+    }
+
+    fn partitioner(registry: &swh_obs::Registry) -> Self {
+        Self {
+            elements: registry.counter(
+                "swh_partitioner_elements_total",
+                "Elements observed by on-the-fly partitioners",
+            ),
+            partitions: registry.counter(
+                "swh_partitioner_partitions_total",
+                "Partitions closed by on-the-fly partitioners",
+            ),
+            inclusions: registry.counter(
+                "swh_partitioner_inclusions_total",
+                "Elements included in samples across all closed partitions",
+            ),
+        }
+    }
 }
 
 /// How a stream is split across parallel samplers.
@@ -112,14 +229,31 @@ pub struct StreamRouter<T: SampleValue> {
     policy_split: SplitPolicy,
     routed: u64,
     hasher: BuildHasherDefault<FxHasher>,
+    metrics: IngestMetrics,
 }
 
 impl<T: SampleValue> StreamRouter<T> {
-    /// Create a router over `k` samplers built from `config`.
+    /// Create a router over `k` samplers built from `config`, reporting to
+    /// the global [`swh_obs`] registry.
     ///
     /// # Panics
     /// Panics if `k == 0`.
     pub fn new(
+        k: usize,
+        config: SamplerConfig,
+        policy: FootprintPolicy,
+        split: SplitPolicy,
+    ) -> Self {
+        Self::with_registry(swh_obs::global(), k, config, policy, split)
+    }
+
+    /// [`StreamRouter::new`] against an explicit metrics registry (tests use
+    /// a private registry to assert exact counts).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn with_registry(
+        registry: &swh_obs::Registry,
         k: usize,
         config: SamplerConfig,
         policy: FootprintPolicy,
@@ -131,6 +265,7 @@ impl<T: SampleValue> StreamRouter<T> {
             policy_split: split,
             routed: 0,
             hasher: BuildHasherDefault::default(),
+            metrics: IngestMetrics::router(registry),
         }
     }
 
@@ -147,6 +282,9 @@ impl<T: SampleValue> StreamRouter<T> {
             SplitPolicy::ByValueHash => (self.hasher.hash_one(&value) % k as u64) as usize,
         };
         self.routed += 1;
+        if self.routed & (ELEMENT_FLUSH - 1) == 0 {
+            self.metrics.elements.add(ELEMENT_FLUSH);
+        }
         self.samplers[idx].observe(value, rng);
     }
 
@@ -157,7 +295,17 @@ impl<T: SampleValue> StreamRouter<T> {
 
     /// Finalize all samplers into per-partition samples (in sampler order).
     pub fn finalize<R: Rng + ?Sized>(self, rng: &mut R) -> Vec<Sample<T>> {
-        self.samplers.into_iter().map(|s| s.finalize(rng)).collect()
+        let metrics = self.metrics;
+        metrics.elements.add(self.routed & (ELEMENT_FLUSH - 1));
+        self.samplers
+            .into_iter()
+            .map(|s| {
+                let (sample, stats) = s.finalize_with_stats(rng);
+                metrics.partitions.inc();
+                metrics.inclusions.add(stats.inclusions);
+                sample
+            })
+            .collect()
     }
 }
 
@@ -175,30 +323,60 @@ pub struct RatioBoundedPartitioner<T: SampleValue> {
     min_ratio: f64,
     current: HybridReservoir<T>,
     finished: Vec<Sample<T>>,
+    /// Elements seen across all partitions (drives batched counter flushes).
+    seen: u64,
+    metrics: IngestMetrics,
 }
 
 impl<T: SampleValue> RatioBoundedPartitioner<T> {
     /// Create a partitioner that closes a partition once
-    /// `sample_size / observed ≤ min_ratio`.
+    /// `sample_size / observed ≤ min_ratio`, reporting to the global
+    /// [`swh_obs`] registry.
     ///
     /// # Panics
     /// Panics unless `0 < min_ratio ≤ 1`.
     pub fn new(policy: FootprintPolicy, min_ratio: f64) -> Self {
+        Self::with_registry(swh_obs::global(), policy, min_ratio)
+    }
+
+    /// [`RatioBoundedPartitioner::new`] against an explicit metrics registry.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_ratio ≤ 1`.
+    pub fn with_registry(
+        registry: &swh_obs::Registry,
+        policy: FootprintPolicy,
+        min_ratio: f64,
+    ) -> Self {
         assert!(
             min_ratio > 0.0 && min_ratio <= 1.0,
             "ratio bound must lie in (0, 1], got {min_ratio}"
         );
-        Self { policy, min_ratio, current: HybridReservoir::new(policy), finished: Vec::new() }
+        Self {
+            policy,
+            min_ratio,
+            current: HybridReservoir::new(policy),
+            finished: Vec::new(),
+            seen: 0,
+            metrics: IngestMetrics::partitioner(registry),
+        }
     }
 
     /// Feed one arriving element.
     pub fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
         self.current.observe(value, rng);
+        self.seen += 1;
+        if self.seen & (ELEMENT_FLUSH - 1) == 0 {
+            self.metrics.elements.add(ELEMENT_FLUSH);
+        }
         let observed = self.current.observed();
         let ratio = self.current.current_size() as f64 / observed as f64;
         if ratio <= self.min_ratio {
             let full = std::mem::replace(&mut self.current, HybridReservoir::new(self.policy));
-            self.finished.push(full.finalize(rng));
+            let (sample, stats) = full.finalize_with_stats(rng);
+            self.metrics.partitions.inc();
+            self.metrics.inclusions.add(stats.inclusions);
+            self.finished.push(sample);
         }
     }
 
@@ -210,9 +388,12 @@ impl<T: SampleValue> RatioBoundedPartitioner<T> {
     /// End the stream: finalize the in-progress partition (if non-empty)
     /// and return all partition samples in order.
     pub fn finish<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<Sample<T>> {
+        self.metrics.elements.add(self.seen & (ELEMENT_FLUSH - 1));
         if self.current.observed() > 0 {
-            let s = self.current.finalize(rng);
-            self.finished.push(s);
+            let (sample, stats) = self.current.finalize_with_stats(rng);
+            self.metrics.partitions.inc();
+            self.metrics.inclusions.add(stats.inclusions);
+            self.finished.push(sample);
         }
         self.finished
     }
@@ -232,16 +413,35 @@ pub struct TimePartitioner<T: SampleValue> {
     current: HybridReservoir<T>,
     finished: Vec<(u64, Sample<T>)>,
     next_seq: u64,
+    /// Elements seen across all windows (drives batched counter flushes).
+    seen: u64,
+    metrics: IngestMetrics,
 }
 
 impl<T: SampleValue> TimePartitioner<T> {
     /// Partition a timestamped stream into windows of `window` time units
-    /// (the first window is `[0, window)`).
+    /// (the first window is `[0, window)`), reporting to the global
+    /// [`swh_obs`] registry.
     ///
     /// # Panics
     /// Panics unless `window` is finite and positive.
     pub fn new(policy: FootprintPolicy, window: f64) -> Self {
-        assert!(window.is_finite() && window > 0.0, "window must be positive");
+        Self::with_registry(swh_obs::global(), policy, window)
+    }
+
+    /// [`TimePartitioner::new`] against an explicit metrics registry.
+    ///
+    /// # Panics
+    /// Panics unless `window` is finite and positive.
+    pub fn with_registry(
+        registry: &swh_obs::Registry,
+        policy: FootprintPolicy,
+        window: f64,
+    ) -> Self {
+        assert!(
+            window.is_finite() && window > 0.0,
+            "window must be positive"
+        );
         Self {
             policy,
             window,
@@ -249,6 +449,8 @@ impl<T: SampleValue> TimePartitioner<T> {
             current: HybridReservoir::new(policy),
             finished: Vec::new(),
             next_seq: 0,
+            seen: 0,
+            metrics: IngestMetrics::partitioner(registry),
         }
     }
 
@@ -268,12 +470,19 @@ impl<T: SampleValue> TimePartitioner<T> {
             self.close_current(rng);
         }
         self.current.observe(value, rng);
+        self.seen += 1;
+        if self.seen & (ELEMENT_FLUSH - 1) == 0 {
+            self.metrics.elements.add(ELEMENT_FLUSH);
+        }
     }
 
     fn close_current<R: Rng + ?Sized>(&mut self, rng: &mut R) {
         let full = std::mem::replace(&mut self.current, HybridReservoir::new(self.policy));
         if full.observed() > 0 {
-            self.finished.push((self.next_seq, full.finalize(rng)));
+            let (sample, stats) = full.finalize_with_stats(rng);
+            self.metrics.partitions.inc();
+            self.metrics.inclusions.add(stats.inclusions);
+            self.finished.push((self.next_seq, sample));
         }
         self.next_seq += 1;
         self.current_end += self.window;
@@ -289,9 +498,12 @@ impl<T: SampleValue> TimePartitioner<T> {
     /// skipped but still consume sequence numbers, so `seq` reflects wall
     /// clock.
     pub fn finish<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<(u64, Sample<T>)> {
+        self.metrics.elements.add(self.seen & (ELEMENT_FLUSH - 1));
         if self.current.observed() > 0 {
-            let s = self.current.finalize(rng);
-            self.finished.push((self.next_seq, s));
+            let (sample, stats) = self.current.finalize_with_stats(rng);
+            self.metrics.partitions.inc();
+            self.metrics.inclusions.add(stats.inclusions);
+            self.finished.push((self.next_seq, sample));
         }
         self.finished
     }
@@ -407,7 +619,10 @@ mod tests {
     #[test]
     fn hb_config_builds_working_sampler() {
         let mut rng = seeded_rng(4);
-        let cfg = SamplerConfig::HybridBernoulli { expected_n: 10_000, p_bound: 1e-3 };
+        let cfg = SamplerConfig::HybridBernoulli {
+            expected_n: 10_000,
+            p_bound: 1e-3,
+        };
         let mut s: ConfiguredSampler<u64> = cfg.build(policy(128));
         for v in 0..10_000u64 {
             s.observe(v, &mut rng);
@@ -450,8 +665,7 @@ mod tests {
     #[test]
     fn ratio_partitioner_handles_short_stream() {
         let mut rng = seeded_rng(6);
-        let mut p: RatioBoundedPartitioner<u64> =
-            RatioBoundedPartitioner::new(policy(64), 0.25);
+        let mut p: RatioBoundedPartitioner<u64> = RatioBoundedPartitioner::new(policy(64), 0.25);
         for v in 0..10u64 {
             p.observe(v, &mut rng);
         }
@@ -464,5 +678,81 @@ mod tests {
     #[should_panic(expected = "ratio bound must lie in (0, 1]")]
     fn ratio_partitioner_rejects_bad_ratio() {
         RatioBoundedPartitioner::<u64>::new(policy(8), 0.0);
+    }
+
+    #[test]
+    fn router_metrics_match_observed_and_finalized_counts() {
+        let registry = swh_obs::Registry::new();
+        let mut rng = seeded_rng(7);
+        let mut router: StreamRouter<u64> = StreamRouter::with_registry(
+            &registry,
+            3,
+            SamplerConfig::HybridReservoir,
+            policy(64),
+            SplitPolicy::RoundRobin,
+        );
+        for v in 0..5_000u64 {
+            router.observe(v, &mut rng);
+        }
+        // Mid-stream the counter lags by at most one flush batch...
+        let mid = registry.snapshot().counter("swh_router_elements_total");
+        assert!(
+            mid <= router.observed() && router.observed() - mid < 4096,
+            "mid count {mid}"
+        );
+        let observed = router.observed();
+        let samples = router.finalize(&mut rng);
+        // ...and finalize flushes the remainder exactly.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("swh_router_elements_total"), observed);
+        assert_eq!(
+            snap.counter("swh_router_partitions_total"),
+            samples.len() as u64
+        );
+        // Every finalized sample's rows were counted as inclusions at some
+        // point; the counter tracks gross inclusions (pre-eviction), so it
+        // bounds the surviving sample sizes from above.
+        let surviving: u64 = samples.iter().map(|s| s.size()).sum();
+        assert!(
+            snap.counter("swh_router_inclusions_total") >= surviving,
+            "inclusions {} < surviving rows {surviving}",
+            snap.counter("swh_router_inclusions_total")
+        );
+    }
+
+    #[test]
+    fn partitioner_metrics_match_finished_partitions() {
+        let registry = swh_obs::Registry::new();
+        let mut rng = seeded_rng(8);
+        let mut p: RatioBoundedPartitioner<u64> =
+            RatioBoundedPartitioner::with_registry(&registry, policy(64), 0.25);
+        for v in 0..2_000u64 {
+            p.observe(v, &mut rng);
+        }
+        let parts = p.finish(&mut rng);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("swh_partitioner_elements_total"), 2_000);
+        assert_eq!(
+            snap.counter("swh_partitioner_partitions_total"),
+            parts.len() as u64
+        );
+    }
+
+    #[test]
+    fn time_partitioner_metrics_match_windows() {
+        let registry = swh_obs::Registry::new();
+        let mut rng = seeded_rng(9);
+        let mut p: TimePartitioner<u64> =
+            TimePartitioner::with_registry(&registry, policy(64), 10.0);
+        for t in 0..95u64 {
+            p.observe_at(t as f64, t, &mut rng);
+        }
+        let windows = p.finish(&mut rng);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("swh_partitioner_elements_total"), 95);
+        assert_eq!(
+            snap.counter("swh_partitioner_partitions_total"),
+            windows.len() as u64
+        );
     }
 }

@@ -38,8 +38,10 @@ pub use catalog::{Catalog, CatalogError, PartitionEntry};
 pub use codec::{decode_sample, encode_sample, CodecError, ValueCodec};
 pub use fullstore::FullStore;
 pub use ids::{DatasetId, PartitionId, PartitionKey};
+pub use ingest::{
+    RatioBoundedPartitioner, SamplerConfig, SplitPolicy, StreamRouter, TimePartitioner,
+};
 pub use maintenance::IncrementalSample;
-pub use ingest::{RatioBoundedPartitioner, SamplerConfig, SplitPolicy, StreamRouter, TimePartitioner};
 pub use parallel::sample_partitions_parallel;
 pub use registry::DatasetRegistry;
 pub use store::DiskStore;

@@ -25,16 +25,44 @@ pub struct IncrementalSample<T: SampleValue> {
     p_bound: f64,
     current: Option<Sample<T>>,
     batches: u64,
+    batches_total: swh_obs::Counter,
+    merge_ns: swh_obs::Histogram,
 }
 
 impl<T: SampleValue> IncrementalSample<T> {
-    /// Create an empty maintainer.
+    /// Create an empty maintainer, reporting to the global [`swh_obs`]
+    /// registry.
     ///
     /// # Panics
     /// Panics unless `0 < p_bound < 1`.
     pub fn new(policy: FootprintPolicy, p_bound: f64) -> Self {
+        Self::with_registry(swh_obs::global(), policy, p_bound)
+    }
+
+    /// [`IncrementalSample::new`] against an explicit metrics registry.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p_bound < 1`.
+    pub fn with_registry(
+        registry: &swh_obs::Registry,
+        policy: FootprintPolicy,
+        p_bound: f64,
+    ) -> Self {
         assert!(p_bound > 0.0 && p_bound < 1.0, "p_bound must lie in (0,1)");
-        Self { policy, p_bound, current: None, batches: 0 }
+        Self {
+            policy,
+            p_bound,
+            current: None,
+            batches: 0,
+            batches_total: registry.counter(
+                "swh_maintenance_batches_total",
+                "Update batches absorbed into incrementally maintained samples",
+            ),
+            merge_ns: registry.histogram(
+                "swh_maintenance_merge_ns",
+                "Wall-clock nanoseconds per incremental batch merge",
+            ),
+        }
     }
 
     /// Number of batches absorbed so far.
@@ -63,7 +91,10 @@ impl<T: SampleValue> IncrementalSample<T> {
         rng: &mut R,
     ) -> Result<(), MergeError> {
         let config = match expected_n {
-            Some(n) => SamplerConfig::HybridBernoulli { expected_n: n, p_bound: self.p_bound },
+            Some(n) => SamplerConfig::HybridBernoulli {
+                expected_n: n,
+                p_bound: self.p_bound,
+            },
             None => SamplerConfig::HybridReservoir,
         };
         let mut sampler = config.build::<T>(self.policy);
@@ -72,9 +103,15 @@ impl<T: SampleValue> IncrementalSample<T> {
         }
         let delta = sampler.finalize(rng);
         self.batches += 1;
+        self.batches_total.inc();
         self.current = Some(match self.current.take() {
             None => delta,
-            Some(base) => merge(base, delta, self.p_bound, rng)?,
+            Some(base) => {
+                let timer = swh_obs::ScopeTimer::new(&self.merge_ns);
+                let merged = merge(base, delta, self.p_bound, rng)?;
+                timer.stop();
+                merged
+            }
         });
         Ok(())
     }
@@ -92,12 +129,14 @@ mod tests {
         let policy = FootprintPolicy::with_value_budget(1024);
         let mut inc = IncrementalSample::new(policy, 1e-3);
         // Bulk load.
-        inc.apply_batch(0..100_000u64, Some(100_000), &mut rng).unwrap();
+        inc.apply_batch(0..100_000u64, Some(100_000), &mut rng)
+            .unwrap();
         assert_eq!(inc.covered(), 100_000);
         // Ten smaller deltas.
         for d in 0..10u64 {
             let lo = 100_000 + d * 5_000;
-            inc.apply_batch(lo..lo + 5_000, Some(5_000), &mut rng).unwrap();
+            inc.apply_batch(lo..lo + 5_000, Some(5_000), &mut rng)
+                .unwrap();
         }
         assert_eq!(inc.batches(), 11);
         assert_eq!(inc.covered(), 150_000);
@@ -132,7 +171,10 @@ mod tests {
         let exp = vec![expect; 120];
         let stat = chi_square_statistic(&incl, &exp);
         let pv = chi_square_p_value(stat, 119.0);
-        assert!(pv > 1e-4, "incremental sample not uniform: chi2={stat:.1} p={pv:.2e}");
+        assert!(
+            pv > 1e-4,
+            "incremental sample not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
     }
 
     #[test]

@@ -5,13 +5,22 @@
 //! a bounded pool of worker threads; each worker samples its partitions
 //! independently with its own deterministic RNG, and results are returned
 //! in partition order so downstream merges are reproducible.
+//!
+//! Every run publishes worker utilization into the process-wide `swh-obs`
+//! registry: per-worker busy time (`swh_parallel_worker_busy_ns`), the
+//! number of partitions drained from the shared queue, total elements
+//! observed, and the purge work reported by each partition's sampler.
 
+use std::sync::Mutex;
 use swh_core::sample::Sample;
 use swh_core::sampler::Sampler;
+use swh_core::stats::SamplerStats;
 use swh_core::value::SampleValue;
+use swh_obs::Registry;
 use swh_rand::seeded_rng;
 
-/// Sample many partitions concurrently.
+/// Sample many partitions concurrently, publishing worker metrics to the
+/// global [`swh_obs`] registry.
 ///
 /// * `partitions` — one value-iterator per partition (consumed).
 /// * `make_sampler` — builds a fresh sampler for a partition, given the
@@ -19,11 +28,31 @@ use swh_rand::seeded_rng;
 /// * `threads` — number of worker threads (capped at the partition count).
 /// * `seed` — base RNG seed; partition `i` samples with seed `seed + i`.
 ///
-/// Returns the finalized samples in partition order.
+/// Returns the finalized samples in partition order. Results depend only on
+/// `(partitions, seed)` — never on `threads` — because every partition gets
+/// its own RNG stream.
 ///
 /// # Panics
 /// Panics if `threads == 0` or a worker panics.
 pub fn sample_partitions_parallel<T, I, S, F>(
+    partitions: Vec<I>,
+    make_sampler: F,
+    threads: usize,
+    seed: u64,
+) -> Vec<Sample<T>>
+where
+    T: SampleValue,
+    I: Iterator<Item = T> + Send,
+    S: Sampler<T>,
+    F: Fn(usize) -> S + Sync,
+{
+    sample_partitions_parallel_in(swh_obs::global(), partitions, make_sampler, threads, seed)
+}
+
+/// [`sample_partitions_parallel`] against an explicit metrics registry
+/// (tests use a private registry to assert exact counts).
+pub fn sample_partitions_parallel_in<T, I, S, F>(
+    registry: &Registry,
     partitions: Vec<I>,
     make_sampler: F,
     threads: usize,
@@ -41,35 +70,78 @@ where
         return Vec::new();
     }
     let threads = threads.min(n);
-    // Work queue: (index, iterator), protected by a mutex; results slotted
-    // by index.
-    let queue = parking_lot::Mutex::new(
-        partitions.into_iter().enumerate().collect::<Vec<(usize, I)>>(),
+    let worker_busy = registry.histogram(
+        "swh_parallel_worker_busy_ns",
+        "Busy wall-clock nanoseconds per parallel-ingest worker",
     );
-    let results: Vec<parking_lot::Mutex<Option<Sample<T>>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let partitions_total = registry.counter(
+        "swh_parallel_partitions_total",
+        "Partitions drained from the parallel-ingest work queue",
+    );
+    let elements_total = registry.counter(
+        "swh_parallel_elements_total",
+        "Data elements observed by parallel-ingest workers",
+    );
+    let purges_total = registry.counter(
+        "swh_parallel_purges_total",
+        "Sampler purge invocations during parallel ingest",
+    );
+    let purge_ns_total = registry.counter(
+        "swh_parallel_purge_ns_total",
+        "Nanoseconds spent inside sampler purges during parallel ingest",
+    );
+    // Work queue: (index, iterator), protected by a mutex; results slotted
+    // by index so output order matches partition order regardless of which
+    // worker finishes when.
+    let queue = Mutex::new(
+        partitions
+            .into_iter()
+            .enumerate()
+            .collect::<Vec<(usize, I)>>(),
+    );
+    type ResultSlot<T> = Mutex<Option<(Sample<T>, SamplerStats)>>;
+    let results: Vec<ResultSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
     let make_sampler = &make_sampler;
     let queue = &queue;
     let results = &results;
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(move |_| loop {
-                let item = queue.lock().pop();
-                let Some((idx, stream)) = item else { break };
-                let mut rng = seeded_rng(seed.wrapping_add(idx as u64));
-                let mut sampler = make_sampler(idx);
-                for v in stream {
-                    sampler.observe(v, &mut rng);
+            let worker_busy = worker_busy.clone();
+            let partitions_total = partitions_total.clone();
+            scope.spawn(move || {
+                let start = std::time::Instant::now();
+                let mut drained = 0u64;
+                loop {
+                    let item = queue.lock().unwrap().pop();
+                    let Some((idx, stream)) = item else { break };
+                    drained += 1;
+                    let mut rng = seeded_rng(seed.wrapping_add(idx as u64));
+                    let mut sampler = make_sampler(idx);
+                    for v in stream {
+                        sampler.observe(v, &mut rng);
+                    }
+                    *results[idx].lock().unwrap() = Some(sampler.finalize_with_stats(&mut rng));
                 }
-                *results[idx].lock() = Some(sampler.finalize(&mut rng));
+                partitions_total.add(drained);
+                worker_busy.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             });
         }
-    })
-    .expect("worker thread panicked");
-    results
+    });
+    let samples: Vec<Sample<T>> = results
         .iter()
-        .map(|slot| slot.lock().take().expect("every partition produced a sample"))
-        .collect()
+        .map(|slot| {
+            let (sample, stats) = slot
+                .lock()
+                .unwrap()
+                .take()
+                .expect("every partition produced a sample");
+            elements_total.add(stats.observed());
+            purges_total.add(stats.purges);
+            purge_ns_total.add(stats.purge_ns);
+            sample
+        })
+        .collect();
+    samples
 }
 
 #[cfg(test)]
@@ -86,12 +158,8 @@ mod tests {
     #[test]
     fn parallel_matches_partition_structure() {
         let parts: Vec<_> = (0..16u64).map(|p| p * 1000..(p + 1) * 1000).collect();
-        let samples = sample_partitions_parallel(
-            parts,
-            |_| HybridReservoir::<u64>::new(policy(64)),
-            4,
-            42,
-        );
+        let samples =
+            sample_partitions_parallel(parts, |_| HybridReservoir::<u64>::new(policy(64)), 4, 42);
         assert_eq!(samples.len(), 16);
         for (i, s) in samples.iter().enumerate() {
             assert_eq!(s.parent_size(), 1000, "partition {i}");
@@ -107,15 +175,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let make = || -> Vec<std::ops::Range<u64>> {
-            (0..8u64).map(|p| p * 100..(p + 1) * 100).collect()
-        };
-        let a = sample_partitions_parallel(
-            make(),
-            |_| HybridReservoir::<u64>::new(policy(16)),
-            4,
-            7,
-        );
+        let make =
+            || -> Vec<std::ops::Range<u64>> { (0..8u64).map(|p| p * 100..(p + 1) * 100).collect() };
+        let a =
+            sample_partitions_parallel(make(), |_| HybridReservoir::<u64>::new(policy(16)), 4, 7);
         let b = sample_partitions_parallel(
             make(),
             |_| HybridReservoir::<u64>::new(policy(16)),
@@ -131,12 +194,8 @@ mod tests {
     #[test]
     fn more_threads_than_partitions() {
         let parts: Vec<_> = (0..2u64).map(|p| p * 10..(p + 1) * 10).collect();
-        let samples = sample_partitions_parallel(
-            parts,
-            |_| HybridReservoir::<u64>::new(policy(16)),
-            64,
-            1,
-        );
+        let samples =
+            sample_partitions_parallel(parts, |_| HybridReservoir::<u64>::new(policy(16)), 64, 1);
         assert_eq!(samples.len(), 2);
     }
 
@@ -149,5 +208,27 @@ mod tests {
             1,
         );
         assert!(samples.is_empty());
+    }
+
+    #[test]
+    fn worker_metrics_account_for_every_partition_and_element() {
+        let registry = Registry::new();
+        let parts: Vec<_> = (0..10u64).map(|p| p * 500..(p + 1) * 500).collect();
+        let samples = sample_partitions_parallel_in(
+            &registry,
+            parts,
+            |_| HybridReservoir::<u64>::new(policy(32)),
+            3,
+            11,
+        );
+        assert_eq!(samples.len(), 10);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("swh_parallel_partitions_total"), 10);
+        assert_eq!(snap.counter("swh_parallel_elements_total"), 10 * 500);
+        // 3 workers ran, each recording one busy-time observation.
+        assert_eq!(snap.histogram("swh_parallel_worker_busy_ns").count, 3);
+        // Every partition overflows 32 slots, so each purged at least once.
+        let purges = snap.counter("swh_parallel_purges_total");
+        assert!(purges >= 10, "expected ≥10 purges, got {purges}");
     }
 }

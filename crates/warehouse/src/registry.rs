@@ -8,10 +8,10 @@
 
 use crate::ids::DatasetId;
 use crate::store::StoreError;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::RwLock;
 
 /// Bidirectional name ↔ id map with optional file persistence.
 #[derive(Debug)]
@@ -30,7 +30,10 @@ struct Inner {
 impl DatasetRegistry {
     /// In-memory registry (no persistence).
     pub fn in_memory() -> Self {
-        Self { inner: RwLock::new(Inner::default()), path: None }
+        Self {
+            inner: RwLock::new(Inner::default()),
+            path: None,
+        }
     }
 
     /// Open a registry persisted at `dir/names.tsv`, loading existing
@@ -63,11 +66,16 @@ impl DatasetRegistry {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
-        Ok(Self { inner: RwLock::new(inner), path: Some(path) })
+        Ok(Self {
+            inner: RwLock::new(inner),
+            path: Some(path),
+        })
     }
 
     fn persist(&self, inner: &Inner) -> Result<(), StoreError> {
-        let Some(path) = &self.path else { return Ok(()) };
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
         let tmp = path.with_extension("tsv.tmp");
         {
             let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
@@ -90,7 +98,7 @@ impl DatasetRegistry {
             !name.contains('\t') && !name.contains('\n') && !name.is_empty(),
             "dataset names must be non-empty and tab/newline-free"
         );
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().unwrap();
         if let Some(&id) = inner.by_name.get(name) {
             return Ok(id);
         }
@@ -104,17 +112,23 @@ impl DatasetRegistry {
 
     /// Look a name up without creating it.
     pub fn lookup(&self, name: &str) -> Option<DatasetId> {
-        self.inner.read().by_name.get(name).copied()
+        self.inner.read().unwrap().by_name.get(name).copied()
     }
 
     /// Reverse lookup.
     pub fn name_of(&self, id: DatasetId) -> Option<String> {
-        self.inner.read().by_id.get(&id).cloned()
+        self.inner.read().unwrap().by_id.get(&id).cloned()
     }
 
     /// All `(id, name)` pairs in id order.
     pub fn entries(&self) -> Vec<(DatasetId, String)> {
-        self.inner.read().by_id.iter().map(|(id, n)| (*id, n.clone())).collect()
+        self.inner
+            .read()
+            .unwrap()
+            .by_id
+            .iter()
+            .map(|(id, n)| (*id, n.clone()))
+            .collect()
     }
 }
 
@@ -172,6 +186,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "tab/newline-free")]
     fn rejects_tab_in_name() {
-        DatasetRegistry::in_memory().resolve_or_create("a\tb").unwrap();
+        DatasetRegistry::in_memory()
+            .resolve_or_create("a\tb")
+            .unwrap();
     }
 }

@@ -72,8 +72,10 @@ impl DiskStore {
     }
 
     fn file_path(&self, key: PartitionKey) -> PathBuf {
-        self.dataset_dir(key.dataset)
-            .join(format!("p{}_{}.swhs", key.partition.stream, key.partition.seq))
+        self.dataset_dir(key.dataset).join(format!(
+            "p{}_{}.swhs",
+            key.partition.stream, key.partition.seq
+        ))
     }
 
     /// Persist a sample under `key`, replacing any previous version.
@@ -101,9 +103,7 @@ impl DiskStore {
         let path = self.file_path(key);
         let bytes = match fs::read(&path) {
             Ok(b) => b,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {
-                return Err(StoreError::NotFound(key))
-            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound(key)),
             Err(e) => return Err(e.into()),
         };
         Ok(decode_sample(&bytes)?)
@@ -131,9 +131,15 @@ impl DiskStore {
         for entry in entries {
             let name = entry?.file_name();
             let Some(name) = name.to_str() else { continue };
-            let Some(stem) = name.strip_suffix(".swhs") else { continue };
-            let Some(body) = stem.strip_prefix('p') else { continue };
-            let Some((stream, seq)) = body.split_once('_') else { continue };
+            let Some(stem) = name.strip_suffix(".swhs") else {
+                continue;
+            };
+            let Some(body) = stem.strip_prefix('p') else {
+                continue;
+            };
+            let Some((stream, seq)) = body.split_once('_') else {
+                continue;
+            };
             if let (Ok(stream), Ok(seq)) = (stream.parse(), seq.parse()) {
                 keys.push(PartitionKey {
                     dataset,
@@ -161,7 +167,10 @@ mod tests {
     }
 
     fn key(ds: u64, seq: u64) -> PartitionKey {
-        PartitionKey { dataset: DatasetId(ds), partition: PartitionId::seq(seq) }
+        PartitionKey {
+            dataset: DatasetId(ds),
+            partition: PartitionId::seq(seq),
+        }
     }
 
     fn sample(range: std::ops::Range<u64>, rng: &mut rand::rngs::SmallRng) -> Sample<u64> {

@@ -38,7 +38,10 @@ impl std::fmt::Display for WarehouseError {
             WarehouseError::Catalog(e) => write!(f, "{e}"),
             WarehouseError::Store(e) => write!(f, "{e}"),
             WarehouseError::MissingExpectedSize => {
-                write!(f, "Algorithm HB requires the expected partition size a priori")
+                write!(
+                    f,
+                    "Algorithm HB requires the expected partition size a priori"
+                )
             }
         }
     }
@@ -75,7 +78,12 @@ impl<T: SampleValue> SampleWarehouse<T> {
     /// experiments default to `0.001`); it also parameterizes merges.
     pub fn new(policy: FootprintPolicy, algorithm: Algorithm, p_bound: f64) -> Self {
         assert!(p_bound > 0.0 && p_bound < 1.0, "p_bound must lie in (0,1)");
-        Self { catalog: Catalog::new(), policy, algorithm, p_bound }
+        Self {
+            catalog: Catalog::new(),
+            policy,
+            algorithm,
+            p_bound,
+        }
     }
 
     /// The footprint policy partitions are sampled under.
@@ -91,7 +99,10 @@ impl<T: SampleValue> SampleWarehouse<T> {
     fn sampler_config(&self, expected_n: Option<u64>) -> Result<SamplerConfig, WarehouseError> {
         match self.algorithm {
             Algorithm::HybridBernoulli => expected_n
-                .map(|n| SamplerConfig::HybridBernoulli { expected_n: n, p_bound: self.p_bound })
+                .map(|n| SamplerConfig::HybridBernoulli {
+                    expected_n: n,
+                    p_bound: self.p_bound,
+                })
                 .ok_or(WarehouseError::MissingExpectedSize),
             Algorithm::HybridReservoir => Ok(SamplerConfig::HybridReservoir),
         }
@@ -166,7 +177,9 @@ impl<T: SampleValue> SampleWarehouse<T> {
         select: impl FnMut(PartitionId) -> bool,
         rng: &mut R,
     ) -> Result<Sample<T>, WarehouseError> {
-        Ok(self.catalog.union_sample(dataset, select, self.p_bound, rng)?)
+        Ok(self
+            .catalog
+            .union_sample(dataset, select, self.p_bound, rng)?)
     }
 
     /// Uniform sample of the entire data set (all partitions).
@@ -220,7 +233,10 @@ mod tests {
     }
 
     fn key(seq: u64) -> PartitionKey {
-        PartitionKey { dataset: DatasetId(1), partition: PartitionId::seq(seq) }
+        PartitionKey {
+            dataset: DatasetId(1),
+            partition: PartitionId::seq(seq),
+        }
     }
 
     #[test]
@@ -244,7 +260,8 @@ mod tests {
             .ingest_partition(key(0), 0..1000u64, None, &mut rng)
             .unwrap_err();
         assert!(matches!(err, WarehouseError::MissingExpectedSize));
-        w.ingest_partition(key(0), 0..1000u64, Some(1000), &mut rng).unwrap();
+        w.ingest_partition(key(0), 0..1000u64, Some(1000), &mut rng)
+            .unwrap();
         let s = w.query_all(DatasetId(1), &mut rng).unwrap();
         assert!(s.size() <= 64);
     }
@@ -254,7 +271,8 @@ mod tests {
         let mut rng = seeded_rng(3);
         let w = wh(32, Algorithm::HybridReservoir);
         let parts: Vec<_> = (0..8u64).map(|p| p * 500..(p + 1) * 500).collect();
-        w.ingest_partitions_parallel(DatasetId(1), parts, None, 4, 99, 0).unwrap();
+        w.ingest_partitions_parallel(DatasetId(1), parts, None, 4, 99, 0)
+            .unwrap();
         assert_eq!(w.catalog().len(), 8);
         let s = w.query_all(DatasetId(1), &mut rng).unwrap();
         assert_eq!(s.parent_size(), 4000);
@@ -264,8 +282,10 @@ mod tests {
     fn roll_out_removes_from_queries() {
         let mut rng = seeded_rng(4);
         let w = wh(32, Algorithm::HybridReservoir);
-        w.ingest_partition(key(0), 0..1000u64, None, &mut rng).unwrap();
-        w.ingest_partition(key(1), 1000..2000u64, None, &mut rng).unwrap();
+        w.ingest_partition(key(0), 0..1000u64, None, &mut rng)
+            .unwrap();
+        w.ingest_partition(key(1), 1000..2000u64, None, &mut rng)
+            .unwrap();
         let out = w.roll_out(key(0)).unwrap();
         assert_eq!(out.parent_size(), 1000);
         let s = w.query_all(DatasetId(1), &mut rng).unwrap();

@@ -27,7 +27,10 @@ impl<T: SampleValue> SlidingWindow<T> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        Self { capacity, entries: VecDeque::with_capacity(capacity + 1) }
+        Self {
+            capacity,
+            entries: VecDeque::with_capacity(capacity + 1),
+        }
     }
 
     /// Window capacity in partitions.
@@ -53,7 +56,10 @@ impl<T: SampleValue> SlidingWindow<T> {
     /// Panics if `seq` is not greater than the last rolled-in sequence.
     pub fn roll_in(&mut self, seq: u64, sample: Sample<T>) -> Option<(u64, Sample<T>)> {
         if let Some((last, _)) = self.entries.back() {
-            assert!(seq > *last, "window sequence must increase ({seq} after {last})");
+            assert!(
+                seq > *last,
+                "window sequence must increase ({seq} after {last})"
+            );
         }
         self.entries.push_back((seq, sample));
         if self.entries.len() > self.capacity {
@@ -111,7 +117,11 @@ impl<T: SampleValue> TumblingWindow<T> {
     pub fn new(width: usize, p_bound: f64) -> Self {
         assert!(width > 0, "window width must be positive");
         assert!(p_bound > 0.0 && p_bound < 1.0, "p_bound must lie in (0,1)");
-        Self { width, pending: Vec::with_capacity(width), p_bound }
+        Self {
+            width,
+            pending: Vec::with_capacity(width),
+            p_bound,
+        }
     }
 
     /// Partitions currently accumulated (always `< width` after `roll_in`
@@ -129,7 +139,10 @@ impl<T: SampleValue> TumblingWindow<T> {
         rng: &mut R,
     ) -> Result<Option<(u64, u64, Sample<T>)>, MergeError> {
         if let Some((last, _)) = self.pending.last() {
-            assert!(seq > *last, "window sequence must increase ({seq} after {last})");
+            assert!(
+                seq > *last,
+                "window sequence must increase ({seq} after {last})"
+            );
         }
         self.pending.push((seq, sample));
         if self.pending.len() < self.width {
@@ -230,7 +243,10 @@ mod tests {
         let exp: Vec<f64> = vec![expect; n as usize];
         let stat = chi_square_statistic(&incl, &exp);
         let pv = chi_square_p_value(stat, (n - 1) as f64);
-        assert!(pv > 1e-4, "window sample not uniform: chi2={stat:.1} p={pv:.2e}");
+        assert!(
+            pv > 1e-4,
+            "window sample not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
     }
 
     #[test]
@@ -263,7 +279,9 @@ mod tests {
         let mut w: TumblingWindow<u64> = TumblingWindow::new(3, 1e-3);
         let mut out = None;
         for day in 0..3u64 {
-            out = w.roll_in(day, day_sample(day, 400, 8, &mut rng), &mut rng).unwrap();
+            out = w
+                .roll_in(day, day_sample(day, 400, 8, &mut rng), &mut rng)
+                .unwrap();
         }
         let (_, _, s) = out.expect("window full");
         for (v, _) in s.histogram().iter() {

@@ -54,8 +54,14 @@ impl ArrivalProcess {
     pub fn new(spec: DataSpec, phases: Vec<RatePhase>, seed: u64) -> Self {
         assert!(!phases.is_empty(), "need at least one rate phase");
         for p in &phases {
-            assert!(p.rate > 0.0 && p.rate.is_finite(), "phase rate must be positive");
-            assert!(p.duration > 0.0 && p.duration.is_finite(), "phase duration must be positive");
+            assert!(
+                p.rate > 0.0 && p.rate.is_finite(),
+                "phase rate must be positive"
+            );
+            assert!(
+                p.duration > 0.0 && p.duration.is_finite(),
+                "phase duration must be positive"
+            );
         }
         let phase_left = phases[0].duration;
         Self {
@@ -89,7 +95,10 @@ impl Iterator for ArrivalProcess {
             if gap <= self.phase_left {
                 self.now += gap;
                 self.phase_left -= gap;
-                return Some(Arrival { time: self.now, value });
+                return Some(Arrival {
+                    time: self.now,
+                    value,
+                });
             }
             // Cross into the next phase; by memorylessness we may simply
             // redraw there.
@@ -104,8 +113,14 @@ impl Iterator for ArrivalProcess {
 /// then `burst` rate for `burst_dur`, repeating.
 pub fn bursty_profile(quiet: f64, quiet_dur: f64, burst: f64, burst_dur: f64) -> Vec<RatePhase> {
     vec![
-        RatePhase { rate: quiet, duration: quiet_dur },
-        RatePhase { rate: burst, duration: burst_dur },
+        RatePhase {
+            rate: quiet,
+            duration: quiet_dur,
+        },
+        RatePhase {
+            rate: burst,
+            duration: burst_dur,
+        },
     ]
 }
 
@@ -122,7 +137,10 @@ mod tests {
     fn yields_all_events_in_time_order() {
         let p = ArrivalProcess::new(
             spec(1_000),
-            vec![RatePhase { rate: 10.0, duration: 5.0 }],
+            vec![RatePhase {
+                rate: 10.0,
+                duration: 5.0,
+            }],
             3,
         );
         let events: Vec<Arrival> = p.collect();
@@ -140,7 +158,10 @@ mod tests {
         let rate = 50.0;
         let p = ArrivalProcess::new(
             spec(20_000),
-            vec![RatePhase { rate, duration: 1e9 }],
+            vec![RatePhase {
+                rate,
+                duration: 1e9,
+            }],
             4,
         );
         let events: Vec<Arrival> = p.collect();
@@ -156,11 +177,7 @@ mod tests {
     fn bursty_profile_concentrates_events() {
         // Quiet 10 ev/u for 10u, burst 1000 ev/u for 1u: most events land
         // in burst windows even though they are 10x shorter.
-        let p = ArrivalProcess::new(
-            spec(50_000),
-            bursty_profile(10.0, 10.0, 1_000.0, 1.0),
-            5,
-        );
+        let p = ArrivalProcess::new(spec(50_000), bursty_profile(10.0, 10.0, 1_000.0, 1.0), 5);
         let mut burst_events = 0u64;
         let mut total = 0u64;
         for e in p {

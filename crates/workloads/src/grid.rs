@@ -57,10 +57,7 @@ pub fn paper_speedup_grid(population_override: Option<u64>, seed: u64) -> Vec<Sp
 
 /// Figs. 12–14 grid: all three distributions × all scale factors, 32K
 /// elements per partition. `partition_size_override` shrinks the run.
-pub fn paper_scaleup_grid(
-    partition_size_override: Option<u64>,
-    seed: u64,
-) -> Vec<ScaleupScenario> {
+pub fn paper_scaleup_grid(partition_size_override: Option<u64>, seed: u64) -> Vec<ScaleupScenario> {
     let per = partition_size_override.unwrap_or(PAPER_PARTITION_SIZE);
     let dists = [
         DataDistribution::Unique,

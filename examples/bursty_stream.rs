@@ -49,7 +49,10 @@ fn main() {
         by_ratio.observe(a.value, &mut rng);
     }
     let parts = by_ratio.finish(&mut rng);
-    println!("ratio-bounded partitions (>= 1/16 coverage): {} partitions", parts.len());
+    println!(
+        "ratio-bounded partitions (>= 1/16 coverage): {} partitions",
+        parts.len()
+    );
     let worst = parts
         .iter()
         .map(|s| s.sampling_fraction())

@@ -29,7 +29,10 @@ fn main() {
     for day in 0..30u64 {
         let volume = 40_000 + 17_000 * (day % 3); // fluctuating arrival rate
         let spec = DataSpec::new(DataDistribution::PAPER_UNIFORM, volume, 100 + day);
-        let key = PartitionKey { dataset: orders, partition: PartitionId::seq(day) };
+        let key = PartitionKey {
+            dataset: orders,
+            partition: PartitionId::seq(day),
+        };
         warehouse
             .ingest_partition(key, spec.stream(), None, &mut rng)
             .expect("roll-in");
@@ -79,10 +82,15 @@ fn main() {
     // warehouse drops those partitions.
     for day in 0..7u64 {
         warehouse
-            .roll_out(PartitionKey { dataset: orders, partition: PartitionId::seq(day) })
+            .roll_out(PartitionKey {
+                dataset: orders,
+                partition: PartitionId::seq(day),
+            })
             .expect("roll-out");
     }
-    let trimmed = warehouse.query_all(orders, &mut rng).expect("post roll-out");
+    let trimmed = warehouse
+        .query_all(orders, &mut rng)
+        .expect("post roll-out");
     println!(
         "rolled out week 1: remaining coverage {} rows -> {} values",
         trimmed.parent_size(),

@@ -8,8 +8,8 @@
 //! ```
 
 use sample_warehouse::sampling::{
-    hr_merge_multiway, hr_merge_tree_cached, merge_all, merge_planned, merge_tree,
-    FootprintPolicy, HybridReservoir, HypergeometricCache, Sample, Sampler,
+    hr_merge_multiway, hr_merge_tree_cached, merge_all, merge_planned, merge_tree, FootprintPolicy,
+    HybridReservoir, HypergeometricCache, Sample, Sampler,
 };
 use sample_warehouse::variates::seeded_rng;
 use std::time::Instant;
@@ -24,23 +24,36 @@ fn partitions(parts: u64, per: u64, n_f: u64, rng: &mut rand::rngs::SmallRng) ->
 fn main() {
     let mut rng = seeded_rng(4);
     let (parts, per, n_f) = (64u64, 32_768u64, 4_096u64);
+    println!("{} partitions x {} elements, n_F = {}\n", parts, per, n_f);
     println!(
-        "{} partitions x {} elements, n_F = {}\n",
-        parts, per, n_f
+        "{:<28} {:>10} {:>12} {:>10}",
+        "strategy", "time", "sample size", "covers"
     );
-    println!("{:<28} {:>10} {:>12} {:>10}", "strategy", "time", "sample size", "covers");
 
     let mut cache = HypergeometricCache::new();
-    type Runner<'a> = Box<dyn FnMut(Vec<Sample<u64>>, &mut rand::rngs::SmallRng) -> Sample<u64> + 'a>;
+    type Runner<'a> =
+        Box<dyn FnMut(Vec<Sample<u64>>, &mut rand::rngs::SmallRng) -> Sample<u64> + 'a>;
     let strategies: Vec<(&str, Runner)> = vec![
-        ("serial fold (paper)", Box::new(|s, rng| merge_all(s, 1e-3, rng).unwrap())),
-        ("balanced tree", Box::new(|s, rng| merge_tree(s, 1e-3, rng).unwrap())),
+        (
+            "serial fold (paper)",
+            Box::new(|s, rng| merge_all(s, 1e-3, rng).unwrap()),
+        ),
+        (
+            "balanced tree",
+            Box::new(|s, rng| merge_tree(s, 1e-3, rng).unwrap()),
+        ),
         (
             "cached symmetric tree",
             Box::new(|s, rng| hr_merge_tree_cached(s, &mut cache, rng).unwrap()),
         ),
-        ("direct multiway", Box::new(|s, rng| hr_merge_multiway(s, rng).unwrap())),
-        ("cost-aware plan", Box::new(|s, rng| merge_planned(s, 1e-3, rng).unwrap())),
+        (
+            "direct multiway",
+            Box::new(|s, rng| hr_merge_multiway(s, rng).unwrap()),
+        ),
+        (
+            "cost-aware plan",
+            Box::new(|s, rng| merge_planned(s, 1e-3, rng).unwrap()),
+        ),
     ];
 
     for (name, mut run) in strategies {

@@ -17,21 +17,31 @@ use sample_warehouse::workloads::{DataDistribution, DataSpec};
 fn main() {
     let mut rng = seeded_rng(17);
     let policy = FootprintPolicy::with_value_budget(4096);
-    let wh: SampleWarehouse<u64> =
-        SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
+    let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
 
     // Three "columns" with very different shapes, each ingested as four
     // partitions.
     let columns = [
         (DatasetId(1), "order_id (unique)", DataDistribution::Unique),
-        (DatasetId(2), "customer_zip (uniform)", DataDistribution::PAPER_UNIFORM),
-        (DatasetId(3), "product_code (zipf)", DataDistribution::PAPER_ZIPF),
+        (
+            DatasetId(2),
+            "customer_zip (uniform)",
+            DataDistribution::PAPER_UNIFORM,
+        ),
+        (
+            DatasetId(3),
+            "product_code (zipf)",
+            DataDistribution::PAPER_ZIPF,
+        ),
     ];
     for (id, _, dist) in columns {
         let spec = DataSpec::new(dist, 400_000, id.0);
         for (i, part) in spec.partitions(4).into_iter().enumerate() {
             wh.ingest_partition(
-                PartitionKey { dataset: id, partition: PartitionId::seq(i as u64) },
+                PartitionKey {
+                    dataset: id,
+                    partition: PartitionId::seq(i as u64),
+                },
                 part,
                 None,
                 &mut rng,
@@ -55,14 +65,24 @@ fn main() {
             "  distinct values     : >= {} observed, ~{:.0} estimated (Chao84)",
             p.distinct_lower_bound, p.distinct_estimate
         );
-        println!("  value range         : {:?} ..= {:?}", p.min.unwrap(), p.max.unwrap());
+        println!(
+            "  value range         : {:?} ..= {:?}",
+            p.min.unwrap(),
+            p.max.unwrap()
+        );
         if let Some(m) = estimate_median(&sample, 0.95) {
-            println!("  median              : ~{} (95% CI [{}, {}])", m.value, m.lo, m.hi);
+            println!(
+                "  median              : ~{} (95% CI [{}, {}])",
+                m.value, m.lo, m.hi
+            );
         }
         println!("  most common values  :");
         for (v, est) in &p.most_common {
             let (lo, hi) = est.confidence_interval(0.95);
-            println!("    {v:>8} ~ {:>9.0} occurrences (95% CI [{lo:.0}, {hi:.0}])", est.value);
+            println!(
+                "    {v:>8} ~ {:>9.0} occurrences (95% CI [{lo:.0}, {hi:.0}])",
+                est.value
+            );
         }
         println!();
     }

@@ -6,7 +6,7 @@
 //! cargo run --release --example parallel_ingest
 //! ```
 
-use sample_warehouse::sampling::{SampleKind, FootprintPolicy};
+use sample_warehouse::sampling::{FootprintPolicy, SampleKind};
 use sample_warehouse::variates::seeded_rng;
 use sample_warehouse::warehouse::warehouse::Algorithm;
 use sample_warehouse::warehouse::{DatasetId, DiskStore, SampleWarehouse};
@@ -55,7 +55,10 @@ fn main() {
         sample.kind()
     );
     assert!(sample.size() <= 8192);
-    assert!(matches!(sample.kind(), SampleKind::Bernoulli { .. } | SampleKind::Reservoir));
+    assert!(matches!(
+        sample.kind(),
+        SampleKind::Bernoulli { .. } | SampleKind::Reservoir
+    ));
 
     // Persist the sample warehouse and reload it into a fresh instance.
     let dir = std::env::temp_dir().join("swh-parallel-ingest-example");

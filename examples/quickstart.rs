@@ -6,9 +6,7 @@
 //! ```
 
 use sample_warehouse::aqp::estimators::{estimate_avg, estimate_count};
-use sample_warehouse::sampling::{
-    merge, FootprintPolicy, HybridReservoir, Sample, Sampler,
-};
+use sample_warehouse::sampling::{merge, FootprintPolicy, HybridReservoir, Sample, Sampler};
 use sample_warehouse::variates::seeded_rng;
 
 fn main() {
@@ -20,13 +18,22 @@ fn main() {
 
     // Two disjoint partitions of one data set, e.g. two days of events.
     // Algorithm HR needs no a priori knowledge of the partition sizes.
-    let monday: Sample<u64> =
-        HybridReservoir::new(policy).sample_batch(0..600_000u64, &mut rng);
+    let monday: Sample<u64> = HybridReservoir::new(policy).sample_batch(0..600_000u64, &mut rng);
     let tuesday: Sample<u64> =
         HybridReservoir::new(policy).sample_batch(600_000..1_000_000u64, &mut rng);
 
-    println!("monday : sampled {:>5} of {:>7} values ({:?})", monday.size(), monday.parent_size(), monday.kind());
-    println!("tuesday: sampled {:>5} of {:>7} values ({:?})", tuesday.size(), tuesday.parent_size(), tuesday.kind());
+    println!(
+        "monday : sampled {:>5} of {:>7} values ({:?})",
+        monday.size(),
+        monday.parent_size(),
+        monday.kind()
+    );
+    println!(
+        "tuesday: sampled {:>5} of {:>7} values ({:?})",
+        tuesday.size(),
+        tuesday.parent_size(),
+        tuesday.kind()
+    );
 
     // Merge into a single uniform sample of the union of both days.
     let both = merge(monday, tuesday, 1e-3, &mut rng).expect("mergeable provenance");

@@ -18,8 +18,14 @@ fn main() {
     let dataset = DatasetId(1);
     let spec = DataSpec::new(DataDistribution::PAPER_UNIFORM, 800_000, 5);
     let queries = vec![
-        Query::count(Predicate::ModEq { modulus: 10, remainder: 0 }),
-        Query::count(Predicate::Between { lo: 900_000, hi: 1_000_000 }),
+        Query::count(Predicate::ModEq {
+            modulus: 10,
+            remainder: 0,
+        }),
+        Query::count(Predicate::Between {
+            lo: 900_000,
+            hi: 1_000_000,
+        }),
         Query::sum(Predicate::True),
         Query::avg(Predicate::Between { lo: 1, hi: 500_000 }),
         Query::quantile(0.95, Predicate::True),
@@ -46,7 +52,10 @@ fn main() {
         .expect("open");
         for (p, part) in spec.partitions(8).into_iter().enumerate() {
             wh.ingest_partition(
-                PartitionKey { dataset, partition: PartitionId::seq(p as u64) },
+                PartitionKey {
+                    dataset,
+                    partition: PartitionId::seq(p as u64),
+                },
                 part.map(|v| v as i64),
             )
             .expect("ingest");

@@ -1,8 +1,12 @@
 //! Model-based testing of the warehouse catalog: random operation
 //! sequences executed against both the real `Catalog` and a trivial
 //! in-memory model must agree at every step.
+//!
+//! Operation sequences are generated from a seeded RNG (small key spaces so
+//! duplicates and missing keys are common), one sequence per case index.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::Rng;
 use sample_warehouse::sampling::{FootprintPolicy, HybridReservoir, Sample, Sampler};
 use sample_warehouse::variates::seeded_rng;
 use sample_warehouse::warehouse::catalog::{Catalog, CatalogError};
@@ -18,70 +22,76 @@ enum Op {
     UnionAll { dataset: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
+fn random_op(rng: &mut SmallRng) -> Op {
     // Small key spaces so collisions (duplicates, missing keys) are common.
-    let ds = 0u64..3;
-    let seq = 0u64..5;
-    prop_oneof![
-        (ds.clone(), seq.clone(), 1u64..500).prop_map(|(dataset, seq, parent)| Op::RollIn {
+    let dataset = rng.random_range(0u64..3);
+    let seq = rng.random_range(0u64..5);
+    match rng.random_range(0u8..5) {
+        0 => Op::RollIn {
             dataset,
             seq,
-            parent
-        }),
-        (ds.clone(), seq.clone()).prop_map(|(dataset, seq)| Op::RollOut { dataset, seq }),
-        (ds.clone(), seq.clone()).prop_map(|(dataset, seq)| Op::Get { dataset, seq }),
-        ds.clone().prop_map(|dataset| Op::Partitions { dataset }),
-        ds.prop_map(|dataset| Op::UnionAll { dataset }),
-    ]
+            parent: rng.random_range(1u64..500),
+        },
+        1 => Op::RollOut { dataset, seq },
+        2 => Op::Get { dataset, seq },
+        3 => Op::Partitions { dataset },
+        _ => Op::UnionAll { dataset },
+    }
 }
 
 fn key(dataset: u64, seq: u64) -> PartitionKey {
-    PartitionKey { dataset: DatasetId(dataset), partition: PartitionId::seq(seq) }
+    PartitionKey {
+        dataset: DatasetId(dataset),
+        partition: PartitionId::seq(seq),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn catalog_agrees_with_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
-        let mut rng = seeded_rng(7);
-        let policy = FootprintPolicy::with_value_budget(16);
+#[test]
+fn catalog_agrees_with_model() {
+    let mut rng = seeded_rng(7);
+    let policy = FootprintPolicy::with_value_budget(16);
+    for case in 0..48u64 {
+        let n_ops = rng.random_range(1..60usize);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let catalog: Catalog<u64> = Catalog::new();
         // Model: (dataset, seq) -> sample.
         let mut model: BTreeMap<(u64, u64), Sample<u64>> = BTreeMap::new();
 
         for op in ops {
             match op {
-                Op::RollIn { dataset, seq, parent } => {
-                    let sample = HybridReservoir::new(policy)
-                        .sample_batch(0..parent, &mut rng);
+                Op::RollIn {
+                    dataset,
+                    seq,
+                    parent,
+                } => {
+                    let sample = HybridReservoir::new(policy).sample_batch(0..parent, &mut rng);
                     let real = catalog.roll_in(key(dataset, seq), sample.clone());
                     if let std::collections::btree_map::Entry::Vacant(e) =
                         model.entry((dataset, seq))
                     {
-                        prop_assert!(real.is_ok());
+                        assert!(real.is_ok(), "case {case}");
                         e.insert(sample);
                     } else {
-                        prop_assert!(matches!(
-                            real,
-                            Err(CatalogError::DuplicatePartition(_))
-                        ));
+                        assert!(
+                            matches!(real, Err(CatalogError::DuplicatePartition(_))),
+                            "case {case}"
+                        );
                     }
                 }
                 Op::RollOut { dataset, seq } => {
                     let real = catalog.roll_out(key(dataset, seq));
                     match model.remove(&(dataset, seq)) {
                         Some(expected) => {
-                            prop_assert_eq!(real.unwrap().sample, expected);
+                            assert_eq!(real.unwrap().sample, expected, "case {case}");
                         }
-                        None => prop_assert!(real.is_err()),
+                        None => assert!(real.is_err(), "case {case}"),
                     }
                 }
                 Op::Get { dataset, seq } => {
                     let real = catalog.get(key(dataset, seq));
                     match model.get(&(dataset, seq)) {
-                        Some(expected) => prop_assert_eq!(&real.unwrap(), expected),
-                        None => prop_assert!(real.is_err()),
+                        Some(expected) => assert_eq!(&real.unwrap(), expected, "case {case}"),
+                        None => assert!(real.is_err(), "case {case}"),
                     }
                 }
                 Op::Partitions { dataset } => {
@@ -93,9 +103,9 @@ proptest! {
                     match catalog.partitions(DatasetId(dataset)) {
                         Ok(real) => {
                             let real: Vec<u64> = real.into_iter().map(|p| p.seq).collect();
-                            prop_assert_eq!(real, expected);
+                            assert_eq!(real, expected, "case {case}");
                         }
-                        Err(_) => prop_assert!(expected.is_empty()),
+                        Err(_) => assert!(expected.is_empty(), "case {case}"),
                     }
                 }
                 Op::UnionAll { dataset } => {
@@ -107,16 +117,16 @@ proptest! {
                     let present = model.keys().any(|(d, _)| *d == dataset);
                     match catalog.union_sample(DatasetId(dataset), |_| true, 1e-3, &mut rng) {
                         Ok(s) => {
-                            prop_assert!(present);
-                            prop_assert_eq!(s.parent_size(), expected_parent);
-                            prop_assert!(s.size() <= 16);
+                            assert!(present, "case {case}");
+                            assert_eq!(s.parent_size(), expected_parent, "case {case}");
+                            assert!(s.size() <= 16, "case {case}");
                         }
-                        Err(_) => prop_assert!(!present),
+                        Err(_) => assert!(!present, "case {case}"),
                     }
                 }
             }
             // Global invariant: total partition count agrees.
-            prop_assert_eq!(catalog.len(), model.len());
+            assert_eq!(catalog.len(), model.len(), "case {case}");
         }
     }
 }

@@ -9,7 +9,10 @@ use sample_warehouse::warehouse::{DatasetId, PartitionId, PartitionKey, SampleWa
 use sample_warehouse::workloads::{DataDistribution, DataSpec};
 
 fn key(seq: u64) -> PartitionKey {
-    PartitionKey { dataset: DatasetId(1), partition: PartitionId::seq(seq) }
+    PartitionKey {
+        dataset: DatasetId(1),
+        partition: PartitionId::seq(seq),
+    }
 }
 
 #[test]
@@ -19,7 +22,8 @@ fn pipeline_hr_uniform_data() {
     let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
     let spec = DataSpec::new(DataDistribution::PAPER_UNIFORM, 500_000, 3);
     for (i, part) in spec.partitions(10).into_iter().enumerate() {
-        wh.ingest_partition(key(i as u64), part, None, &mut rng).unwrap();
+        wh.ingest_partition(key(i as u64), part, None, &mut rng)
+            .unwrap();
     }
     let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
     assert_eq!(s.parent_size(), 500_000);
@@ -36,23 +40,31 @@ fn pipeline_hr_uniform_data() {
 
     // AVG ~ 500_000.
     let a = estimate_avg(&s, |_| true);
-    assert!((a.value - 500_000.0).abs() / 500_000.0 < 0.05, "avg {}", a.value);
+    assert!(
+        (a.value - 500_000.0).abs() / 500_000.0 < 0.05,
+        "avg {}",
+        a.value
+    );
 }
 
 #[test]
 fn pipeline_hb_known_sizes() {
     let mut rng = seeded_rng(2);
     let policy = FootprintPolicy::with_value_budget(2048);
-    let wh: SampleWarehouse<u64> =
-        SampleWarehouse::new(policy, Algorithm::HybridBernoulli, 1e-3);
+    let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridBernoulli, 1e-3);
     let spec = DataSpec::new(DataDistribution::Unique, 200_000, 0);
     let per = 200_000 / 8;
     for (i, part) in spec.partitions(8).into_iter().enumerate() {
-        wh.ingest_partition(key(i as u64), part, Some(per), &mut rng).unwrap();
+        wh.ingest_partition(key(i as u64), part, Some(per), &mut rng)
+            .unwrap();
     }
     let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
     assert!(s.size() <= 2048);
-    assert!(s.size() > 1500, "merged HB sample suspiciously small: {}", s.size());
+    assert!(
+        s.size() > 1500,
+        "merged HB sample suspiciously small: {}",
+        s.size()
+    );
     // SUM over unique 1..=N is N(N+1)/2.
     let sum = estimate_sum(&s, |_| true);
     let truth = 200_000.0 * 200_001.0 / 2.0;
@@ -82,7 +94,8 @@ fn zipf_partitions_stay_exhaustive_and_merge_exactly() {
         .filter(|&v| v == 1)
         .count() as u64;
     for (i, part) in parts.into_iter().enumerate() {
-        wh.ingest_partition(key(i as u64), part, None, &mut rng).unwrap();
+        wh.ingest_partition(key(i as u64), part, None, &mut rng)
+            .unwrap();
     }
     let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
     assert_eq!(s.kind(), SampleKind::Exhaustive);
@@ -107,7 +120,10 @@ fn partial_union_queries_cover_only_selection() {
         .unwrap();
     assert_eq!(s.parent_size(), 30_000);
     for (v, _) in s.histogram().iter() {
-        assert!((30_000..60_000).contains(v), "value {v} outside selected partitions");
+        assert!(
+            (30_000..60_000).contains(v),
+            "value {v} outside selected partitions"
+        );
     }
 }
 
@@ -118,9 +134,12 @@ fn mixed_provenance_partitions_merge() {
     let mut rng = seeded_rng(5);
     let policy = FootprintPolicy::with_value_budget(256);
     let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
-    wh.ingest_partition(key(0), 0..100u64, None, &mut rng).unwrap(); // exhaustive
-    wh.ingest_partition(key(1), 100..50_100u64, None, &mut rng).unwrap(); // reservoir
-    wh.ingest_partition(key(2), 50_100..50_200u64, None, &mut rng).unwrap(); // exhaustive
+    wh.ingest_partition(key(0), 0..100u64, None, &mut rng)
+        .unwrap(); // exhaustive
+    wh.ingest_partition(key(1), 100..50_100u64, None, &mut rng)
+        .unwrap(); // reservoir
+    wh.ingest_partition(key(2), 50_100..50_200u64, None, &mut rng)
+        .unwrap(); // exhaustive
     let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
     assert_eq!(s.parent_size(), 50_200);
     assert!(s.size() <= 256);
@@ -137,9 +156,8 @@ fn string_valued_pipeline() {
         SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
     let cities = ["tokyo", "lagos", "lima", "oslo", "pune"];
     for p in 0..4u64 {
-        let values = (0..25_000u64).map(move |i| {
-            format!("{}-{}", cities[(i % 5) as usize], (p * 25_000 + i) % 97)
-        });
+        let values = (0..25_000u64)
+            .map(move |i| format!("{}-{}", cities[(i % 5) as usize], (p * 25_000 + i) % 97));
         wh.ingest_partition(key(p), values, None, &mut rng).unwrap();
     }
     let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
@@ -162,7 +180,8 @@ fn high_throughput_partition_count() {
     let policy = FootprintPolicy::with_value_budget(128);
     let wh: SampleWarehouse<u64> = SampleWarehouse::new(policy, Algorithm::HybridReservoir, 1e-3);
     let parts: Vec<_> = (0..256u64).map(|p| p * 100..(p + 1) * 100).collect();
-    wh.ingest_partitions_parallel(DatasetId(1), parts, None, 4, 9, 0).unwrap();
+    wh.ingest_partitions_parallel(DatasetId(1), parts, None, 4, 9, 0)
+        .unwrap();
     assert_eq!(wh.catalog().len(), 256);
     let s = wh.query_all(DatasetId(1), &mut rng).unwrap();
     assert_eq!(s.parent_size(), 25_600);

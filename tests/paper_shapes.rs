@@ -27,9 +27,15 @@ fn fig05_rate_approximation_error_bounded() {
             max_rel = max_rel.max(((qa - qe) / qe).abs());
         }
     }
-    assert!(max_rel < 0.03, "max relative error {max_rel:.4} exceeds paper's 2.765%");
+    assert!(
+        max_rel < 0.03,
+        "max relative error {max_rel:.4} exceeds paper's 2.765%"
+    );
     // And it is not trivially tiny either — the paper's corner case is real.
-    assert!(max_rel > 0.005, "max relative error {max_rel:.4} suspiciously small");
+    assert!(
+        max_rel > 0.005,
+        "max relative error {max_rel:.4} suspiciously small"
+    );
 }
 
 fn merged_sizes(
@@ -53,7 +59,9 @@ fn merged_sizes(
                     None => HybridReservoir::new(policy(n_f)).sample_batch(stream, &mut rng),
                 })
                 .collect();
-            merge_all(samples, hb_p.unwrap_or(1e-3), &mut rng).unwrap().size()
+            merge_all(samples, hb_p.unwrap_or(1e-3), &mut rng)
+                .unwrap()
+                .size()
         })
         .collect()
 }
@@ -81,7 +89,10 @@ fn fig15_hb_sizes_smaller_and_p_insensitive() {
     let (m3, m5) = (mean(&hb3), mean(&hb5));
     // Below n_F but not by much (paper: worst gap ~9%).
     assert!(m3 < n_f as f64, "HB mean {m3} not below n_F");
-    assert!(m3 > 0.85 * n_f as f64, "HB mean {m3} more than 15% below n_F");
+    assert!(
+        m3 > 0.85 * n_f as f64,
+        "HB mean {m3} more than 15% below n_F"
+    );
     // Nearly insensitive to p. (At this reduced scale n_F/N = 25%, so the
     // z_p·σ slack is relatively larger than at paper scale where the
     // curves almost coincide; 10% is the loose-scale bound.)
@@ -138,7 +149,11 @@ fn zipf_samples_stay_exhaustive() {
         .map(|s| HybridReservoir::new(policy(8_192)).sample_batch(s, &mut rng))
         .collect();
     for s in &samples {
-        assert_eq!(s.kind(), SampleKind::Exhaustive, "Zipf partition not exhaustive");
+        assert_eq!(
+            s.kind(),
+            SampleKind::Exhaustive,
+            "Zipf partition not exhaustive"
+        );
     }
     let merged = merge_all(samples, 1e-3, &mut rng).unwrap();
     assert_eq!(merged.kind(), SampleKind::Exhaustive);

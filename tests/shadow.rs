@@ -14,21 +14,26 @@ fn tmp_root(tag: &str) -> std::path::PathBuf {
 }
 
 fn key(seq: u64) -> PartitionKey {
-    PartitionKey { dataset: DatasetId(1), partition: PartitionId::seq(seq) }
+    PartitionKey {
+        dataset: DatasetId(1),
+        partition: PartitionId::seq(seq),
+    }
 }
 
 #[test]
 fn approx_tracks_exact_within_intervals() {
     let root = tmp_root("acc");
     let policy = FootprintPolicy::with_value_budget(4096);
-    let mut wh =
-        ShadowedWarehouse::open(&root, policy, Algorithm::HybridReservoir, 99).unwrap();
+    let mut wh = ShadowedWarehouse::open(&root, policy, Algorithm::HybridReservoir, 99).unwrap();
     for p in 0..8u64 {
         let lo = (p * 50_000) as i64;
         wh.ingest_partition(key(p), lo..lo + 50_000).unwrap();
     }
     let queries = vec![
-        Query::count(Predicate::ModEq { modulus: 7, remainder: 0 }),
+        Query::count(Predicate::ModEq {
+            modulus: 7,
+            remainder: 0,
+        }),
         Query::sum(Predicate::Between { lo: 0, hi: 99_999 }),
         Query::avg(Predicate::True),
         Query::quantile(0.5, Predicate::True),
@@ -55,11 +60,13 @@ fn approx_tracks_exact_within_intervals() {
 fn exact_answers_are_truly_exact() {
     let root = tmp_root("exact");
     let policy = FootprintPolicy::with_value_budget(256);
-    let mut wh =
-        ShadowedWarehouse::open(&root, policy, Algorithm::HybridBernoulli, 1).unwrap();
+    let mut wh = ShadowedWarehouse::open(&root, policy, Algorithm::HybridBernoulli, 1).unwrap();
     wh.ingest_partition(key(0), 0..10_000i64).unwrap();
     wh.ingest_partition(key(1), 10_000..25_000i64).unwrap();
-    let q = Query::count(Predicate::ModEq { modulus: 5, remainder: 3 });
+    let q = Query::count(Predicate::ModEq {
+        modulus: 5,
+        remainder: 3,
+    });
     assert_eq!(wh.answer_exact(DatasetId(1), &q).unwrap(), 5_000.0);
     let q = Query::sum(Predicate::Between { lo: 0, hi: 9 });
     assert_eq!(wh.answer_exact(DatasetId(1), &q).unwrap(), 45.0);
@@ -70,8 +77,7 @@ fn exact_answers_are_truly_exact() {
 fn roll_out_removes_from_both_sides() {
     let root = tmp_root("rollout");
     let policy = FootprintPolicy::with_value_budget(128);
-    let mut wh =
-        ShadowedWarehouse::open(&root, policy, Algorithm::HybridReservoir, 2).unwrap();
+    let mut wh = ShadowedWarehouse::open(&root, policy, Algorithm::HybridReservoir, 2).unwrap();
     wh.ingest_partition(key(0), 0..1_000i64).unwrap();
     wh.ingest_partition(key(1), 1_000..3_000i64).unwrap();
     wh.roll_out(key(0)).unwrap();
@@ -106,7 +112,10 @@ fn shrinking_footprint_degrades_accuracy_monotonically_in_expectation() {
     };
     let mut big = mk(&root_a, 8_192);
     let mut small = mk(&root_b, 128);
-    let q = Query::count(Predicate::ModEq { modulus: 2, remainder: 0 });
+    let q = Query::count(Predicate::ModEq {
+        modulus: 2,
+        remainder: 0,
+    });
     let e_big = big.answer_approx(DatasetId(1), &q).unwrap();
     let e_small = small.answer_approx(DatasetId(1), &q).unwrap();
     assert!(

@@ -10,7 +10,9 @@ use sample_warehouse::sampling::FootprintPolicy;
 use sample_warehouse::variates::seeded_rng;
 use sample_warehouse::warehouse::warehouse::Algorithm;
 use sample_warehouse::warehouse::window::SlidingWindow;
-use sample_warehouse::warehouse::{DatasetId, DiskStore, PartitionId, PartitionKey, SampleWarehouse};
+use sample_warehouse::warehouse::{
+    DatasetId, DiskStore, PartitionId, PartitionKey, SampleWarehouse,
+};
 
 fn churn(cycles: u64, seed: u64) {
     let mut rng = seeded_rng(seed);
@@ -33,7 +35,10 @@ fn churn(cycles: u64, seed: u64) {
         let size = rng.random_range(50..3_000u64);
         let domain = rng.random_range(5..2_000u64);
         let base = next_seq * 10_000;
-        let key = PartitionKey { dataset, partition: PartitionId::seq(next_seq) };
+        let key = PartitionKey {
+            dataset,
+            partition: PartitionId::seq(next_seq),
+        };
         wh.ingest_partition(key, (0..size).map(|i| base + i % domain), None, &mut rng)
             .expect("ingest");
         let sample = wh.catalog().get(key).expect("present");
@@ -47,7 +52,10 @@ fn churn(cycles: u64, seed: u64) {
         // Occasionally roll the oldest partition out everywhere.
         if live.len() > 8 {
             let seq = live.remove(0);
-            let key = PartitionKey { dataset, partition: PartitionId::seq(seq) };
+            let key = PartitionKey {
+                dataset,
+                partition: PartitionId::seq(seq),
+            };
             let out = wh.roll_out(key).expect("roll out");
             covered -= out.parent_size();
             store.remove(key).expect("store remove");
@@ -60,15 +68,25 @@ fn churn(cycles: u64, seed: u64) {
 
         // Window sample covers at most the last 5 partitions.
         let w = window.window_sample(1e-3, &mut rng).expect("window");
-        assert!(w.parent_size() <= covered + 30_000, "window larger than plausible");
+        assert!(
+            w.parent_size() <= covered + 30_000,
+            "window larger than plausible"
+        );
 
         // Periodic persistence check: reload one random live partition and
         // compare bit-for-bit.
         if cycle % 7 == 0 {
             let seq = live[rng.random_range(0..live.len())];
-            let key = PartitionKey { dataset, partition: PartitionId::seq(seq) };
+            let key = PartitionKey {
+                dataset,
+                partition: PartitionId::seq(seq),
+            };
             let reloaded = store.load::<u64>(key).expect("load");
-            assert_eq!(reloaded, wh.catalog().get(key).expect("live"), "cycle {cycle}");
+            assert_eq!(
+                reloaded,
+                wh.catalog().get(key).expect("live"),
+                "cycle {cycle}"
+            );
         }
     }
     std::fs::remove_dir_all(&dir).ok();

@@ -52,7 +52,10 @@ fn hr_subset_distribution_is_uniform() {
     let exp = vec![trials as f64 / subsets as f64; subsets as usize];
     let stat = chi_square_statistic(&obs, &exp);
     let pv = chi_square_p_value(stat, (subsets - 1) as f64);
-    assert!(pv > 1e-4, "HR subset distribution not uniform: chi2={stat:.1} p={pv:.2e}");
+    assert!(
+        pv > 1e-4,
+        "HR subset distribution not uniform: chi2={stat:.1} p={pv:.2e}"
+    );
 }
 
 #[test]
@@ -136,5 +139,8 @@ fn three_way_merge_chain_subset_uniform() {
     let exp = vec![trials as f64 / subsets as f64; subsets as usize];
     let stat = chi_square_statistic(&obs, &exp);
     let pv = chi_square_p_value(stat, (subsets - 1) as f64);
-    assert!(pv > 1e-4, "chained merge not uniform: chi2={stat:.1} p={pv:.2e}");
+    assert!(
+        pv > 1e-4,
+        "chained merge not uniform: chi2={stat:.1} p={pv:.2e}"
+    );
 }
