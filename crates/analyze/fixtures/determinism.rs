@@ -1,0 +1,37 @@
+//! Fixture: every determinism violation the pass must catch. Analyzed under
+//! a virtual `crates/core/src/` path by `swh-analyze fixtures`; never built.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+fn entropy_sources() {
+    let mut rng = rand::thread_rng();
+    let _ = rng;
+    let seeded = rand::rngs::StdRng::from_entropy();
+    let _ = seeded;
+}
+
+fn wall_clock() -> u64 {
+    let start = Instant::now();
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default();
+    start.elapsed().as_nanos() as u64 + t.as_nanos() as u64
+}
+
+fn default_hashers() {
+    let map: HashMap<u64, u64> = HashMap::new();
+    let set: HashSet<u64> = HashSet::with_capacity(8);
+    let collected = (0..4).map(|i| (i, i)).collect::<HashMap<u64, u64>>();
+    let _ = (map, set, collected);
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: tests may hash however they like.
+    #[test]
+    fn test_scope_is_exempt() {
+        let _ = std::collections::HashMap::<u64, u64>::new();
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,35 @@
+//! Fixture: numeric-cast and float-cmp violations. Analyzed under a virtual
+//! probability-file path (`crates/rand/src/hypergeometric.rs`) by
+//! `swh-analyze fixtures`; never built.
+
+fn bare_casts(n: u64, x: f64, idx: usize) -> f64 {
+    let a = n as f64;
+    let b = x as u64;
+    let c = idx as f64;
+    let d = x as f32;
+    a + b as f64 + c + f64::from(d)
+}
+
+fn float_compares(p: f64, q: f64) -> bool {
+    if p == 0.0 {
+        return false;
+    }
+    if q != 1.0 {
+        return true;
+    }
+    p == q || 0.5 == p
+}
+
+fn allowed_site(n: u64) -> f64 {
+    // swh-analyze: allow(numeric-cast) -- fixture demonstrating the escape hatch
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scope_is_exempt() {
+        let n: u64 = 7;
+        assert!(n as f64 == 7.0);
+    }
+}

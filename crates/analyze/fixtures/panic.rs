@@ -1,0 +1,30 @@
+//! Fixture: panic-hygiene violations. Analyzed under a virtual
+//! `crates/warehouse/src/` path by `swh-analyze fixtures`; never built.
+
+fn unwraps(v: Vec<u64>) -> u64 {
+    let first = v.first().unwrap();
+    let last = v.last().expect("non-empty");
+    first + last
+}
+
+fn literal_index(v: &[u64]) -> u64 {
+    v[0] + v[1]
+}
+
+fn allowed_site(v: &[u64]) -> u64 {
+    // swh-analyze: allow(panic) -- fixture demonstrating the escape hatch
+    v[0]
+}
+
+fn fine(v: &[u64], i: usize) -> u64 {
+    v.get(i).copied().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_scope_is_exempt() {
+        let v = vec![1u64];
+        assert_eq!(v[0], *v.first().unwrap());
+    }
+}

@@ -1,0 +1,175 @@
+//! Test-scope tracking: which tokens live inside `#[cfg(test)]` / `#[test]`
+//! items. The lint rules police *library* code; test code is exempt (tests
+//! may unwrap, compare floats exactly, and hash however they like).
+
+use crate::lexer::{Token, TokenKind};
+
+/// For each token index, `true` when the token is inside a test-only scope:
+/// an item annotated `#[cfg(test)]` (typically `mod tests`) or `#[test]`.
+pub fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut depth: usize = 0;
+    // Depth at which the enclosing test scope opened; tokens are test code
+    // while this is set. Only the outermost test scope matters.
+    let mut test_open_depth: Option<usize> = None;
+    // An attribute marking the *next* item as test-only was seen and we are
+    // waiting for that item's opening brace.
+    let mut pending_test = false;
+
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        // Attribute: `#` `[` ... `]` (also `#![...]`). Scan it wholesale so
+        // braces inside attributes (e.g. `#[cfg(any(test, feature = "x"))]`)
+        // never confuse the depth counter.
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct("!") {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].is_punct("[") {
+                // Find the matching `]`.
+                let mut bracket = 0usize;
+                let start = j;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("[") {
+                        bracket += 1;
+                    } else if tokens[j].is_punct("]") {
+                        bracket -= 1;
+                        if bracket == 0 {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let attr = &tokens[start..j.min(tokens.len())];
+                if attr_is_test(attr) {
+                    pending_test = true;
+                }
+                // Mark attribute tokens with the current scope state.
+                let end = j.min(tokens.len().saturating_sub(1));
+                for flag in &mut mask[i..=end] {
+                    *flag = test_open_depth.is_some();
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        match &t.kind {
+            TokenKind::Punct("{") => {
+                mask[i] = test_open_depth.is_some();
+                if pending_test && test_open_depth.is_none() {
+                    test_open_depth = Some(depth);
+                }
+                pending_test = false;
+                depth += 1;
+            }
+            TokenKind::Punct("}") => {
+                depth = depth.saturating_sub(1);
+                if test_open_depth == Some(depth) {
+                    mask[i] = true; // closing brace still belongs to the scope
+                    test_open_depth = None;
+                    i += 1;
+                    continue;
+                }
+                mask[i] = test_open_depth.is_some();
+            }
+            TokenKind::Punct(";") => {
+                // `#[cfg(test)] use foo;` — the attribute covered a
+                // braceless item; stop waiting for a brace.
+                if depth == 0 || test_open_depth.is_none() {
+                    pending_test = false;
+                }
+                mask[i] = test_open_depth.is_some();
+            }
+            _ => {
+                mask[i] = test_open_depth.is_some();
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Does this attribute token slice (from `[` to before `]`) mark a
+/// test-only item? Matches `#[test]`, `#[cfg(test)]`, and any `cfg(...)`
+/// whose argument list mentions `test` (e.g. `cfg(any(test, fuzzing))`).
+fn attr_is_test(attr: &[Token]) -> bool {
+    let idents: Vec<&str> = attr.iter().filter_map(Token::ident).collect();
+    match idents.as_slice() {
+        ["test"] => true,
+        _ => idents.first() == Some(&"cfg") && idents.contains(&"test"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn mask_for_ident(src: &str, name: &str) -> Vec<bool> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        lexed
+            .tokens
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.ident() == Some(name))
+            .map(|(_, m)| *m)
+            .collect()
+    }
+
+    const SRC: &str = r#"
+        fn lib_code() { let a = production; }
+
+        #[cfg(test)]
+        mod tests {
+            use super::*;
+            #[test]
+            fn t() { let b = testcode; }
+        }
+
+        fn more_lib() { let c = production2; }
+    "#;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        assert_eq!(mask_for_ident(SRC, "production"), vec![false]);
+        assert_eq!(mask_for_ident(SRC, "testcode"), vec![true]);
+        assert_eq!(mask_for_ident(SRC, "production2"), vec![false]);
+    }
+
+    #[test]
+    fn bare_test_attr_fn_is_masked() {
+        let src = "#[test]\nfn t() { let x = inside; }\nfn f() { let y = outside; }";
+        assert_eq!(mask_for_ident(src, "inside"), vec![true]);
+        assert_eq!(mask_for_ident(src, "outside"), vec![false]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_masked() {
+        let src =
+            "#[cfg(any(test, feature = \"slow\"))]\nmod helpers { fn h() { let x = inside; } }";
+        assert_eq!(mask_for_ident(src, "inside"), vec![true]);
+    }
+
+    #[test]
+    fn cfg_feature_is_not_masked() {
+        let src = "#[cfg(feature = \"extra\")]\nfn f() { let x = notest; }";
+        assert_eq!(mask_for_ident(src, "notest"), vec![false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn f() { let x = after; }";
+        assert_eq!(mask_for_ident(src, "after"), vec![false]);
+    }
+
+    #[test]
+    fn nested_braces_inside_test_stay_masked() {
+        let src =
+            "#[cfg(test)]\nmod t { fn a() { if x { let y = deep; } } }\nfn g() { let z = out; }";
+        assert_eq!(mask_for_ident(src, "deep"), vec![true]);
+        assert_eq!(mask_for_ident(src, "out"), vec![false]);
+    }
+}

@@ -1,0 +1,482 @@
+//! A minimal Rust lexer: tokens with line numbers, plus line comments
+//! (the carrier of `swh-analyze: allow(...)` directives).
+//!
+//! This is deliberately *not* a parser. The lint rules in this workspace
+//! key off short token sequences (`std :: time`, `as f64`, `. unwrap (`),
+//! so a faithful tokenization — one that never mistakes a string literal,
+//! comment, char literal, or lifetime for code — is all that is needed,
+//! and it keeps the tool dependency-free for the offline build.
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line the token starts on.
+    pub line: u32,
+    pub kind: TokenKind,
+}
+
+/// Token classification: only the distinctions the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`as`, `unwrap`, `HashMap`, ...).
+    Ident(String),
+    /// Integer literal (`3`, `0xff`, `1_000u64`).
+    Int,
+    /// Floating-point literal (`0.5`, `1e-3`, `2.0f32`).
+    Float,
+    /// Punctuation, longest-match for the operators the rules inspect
+    /// (`::`, `==`, `!=`, `..=`, ...); everything else single-char.
+    Punct(&'static str),
+    /// A lifetime (`'a`) — emitted so char literals are unambiguous.
+    Lifetime,
+}
+
+/// A `//` line comment, with its text (after the slashes) and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineComment {
+    pub line: u32,
+    pub text: String,
+}
+
+/// Lexer output: the token stream and every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "..", "<<",
+    ">>", "+=", "-=", "*=", "/=", "%=", "^=", "|=", "&=",
+];
+
+/// Single-character punctuation we emit as static strings.
+fn single_punct(c: char) -> Option<&'static str> {
+    // Cover ASCII punctuation used in Rust source; anything unknown is
+    // skipped (the rules never match on it).
+    const TABLE: &[(char, &str)] = &[
+        ('(', "("),
+        (')', ")"),
+        ('[', "["),
+        (']', "]"),
+        ('{', "{"),
+        ('}', "}"),
+        ('<', "<"),
+        ('>', ">"),
+        (',', ","),
+        (';', ";"),
+        (':', ":"),
+        ('.', "."),
+        ('#', "#"),
+        ('&', "&"),
+        ('|', "|"),
+        ('+', "+"),
+        ('-', "-"),
+        ('*', "*"),
+        ('/', "/"),
+        ('%', "%"),
+        ('^', "^"),
+        ('!', "!"),
+        ('=', "="),
+        ('?', "?"),
+        ('@', "@"),
+        ('$', "$"),
+        ('~', "~"),
+    ];
+    TABLE.iter().find(|(k, _)| *k == c).map(|(_, v)| *v)
+}
+
+/// Tokenize `source`, stripping comments and string/char literals.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && bytes[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && bytes[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(LineComment {
+                line,
+                text: bytes[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nesting).
+        if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if bytes[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if bytes[j] == '/' && j + 1 < n && bytes[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if bytes[j] == '*' && j + 1 < n && bytes[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br"", rb is invalid.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (skip, is_raw) = match (c, bytes[i + 1]) {
+                ('r', '"') | ('r', '#') => (1, true),
+                ('b', 'r') if i + 2 < n && (bytes[i + 2] == '"' || bytes[i + 2] == '#') => {
+                    (2, true)
+                }
+                ('b', '"') => (1, false),
+                ('b', '\'') => {
+                    // Byte char literal b'x' (possibly escaped).
+                    let mut j = i + 2;
+                    if j < n && bytes[j] == '\\' {
+                        j += 1;
+                    }
+                    while j < n && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                _ => (0, false),
+            };
+            if skip > 0 {
+                if is_raw {
+                    // Count hashes, then scan to `"#...#` of same arity.
+                    let mut j = i + skip;
+                    let mut hashes = 0;
+                    while j < n && bytes[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    debug_assert!(j < n && bytes[j] == '"');
+                    j += 1;
+                    'scan: while j < n {
+                        if bytes[j] == '\n' {
+                            line += 1;
+                        } else if bytes[j] == '"' {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while k < n && seen < hashes && bytes[k] == '#' {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    continue;
+                } else {
+                    i += skip; // fall through to the normal string scanner
+                               // at bytes[i] == '"'.
+                }
+            }
+        }
+        // Plain string literal.
+        if i < n && bytes[i] == '"' {
+            let mut j = i + 1;
+            while j < n {
+                match bytes[j] {
+                    '\\' => j += 2,
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // 'x' or '\n' is a char literal; 'ident (no closing quote
+            // immediately after one identifier char run) is a lifetime.
+            if i + 1 < n && bytes[i + 1] == '\\' {
+                let mut j = i + 2;
+                while j < n && bytes[j] != '\'' {
+                    j += 1;
+                }
+                i = j + 1;
+                continue;
+            }
+            // Scan the identifier-ish run after the quote.
+            let mut j = i + 1;
+            while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                j += 1;
+            }
+            if j < n && bytes[j] == '\'' && j > i + 1 && j - i - 1 == 1 {
+                // Exactly one char between quotes: char literal.
+                i = j + 1;
+                continue;
+            }
+            if j < n && bytes[j] == '\'' && j - (i + 1) > 1 {
+                // Multi-char between quotes can't be a lifetime pair; it is
+                // malformed or something like '\u{..}' handled above. Skip.
+                i = j + 1;
+                continue;
+            }
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Lifetime,
+            });
+            i = j;
+            continue;
+        }
+        // Number literal.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut is_float = false;
+            // Hex/octal/binary: consume alphanumerics and underscores.
+            if c == '0' && j < n && matches!(bytes[j], 'x' | 'o' | 'b') {
+                j += 1;
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                    j += 1;
+                }
+                // Fractional part: a dot followed by a digit (not `1.max()`
+                // or `0..n`).
+                if j + 1 < n && bytes[j] == '.' && bytes[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                        j += 1;
+                    }
+                } else if j < n
+                    && bytes[j] == '.'
+                    && (j + 1 >= n
+                        || (!bytes[j + 1].is_ascii_alphanumeric()
+                            && bytes[j + 1] != '.'
+                            && bytes[j + 1] != '_'))
+                {
+                    // Trailing-dot float like `1.`.
+                    is_float = true;
+                    j += 1;
+                }
+                // Exponent.
+                if j < n && (bytes[j] == 'e' || bytes[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < n && (bytes[k] == '+' || bytes[k] == '-') {
+                        k += 1;
+                    }
+                    if k < n && bytes[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < n && (bytes[j].is_ascii_digit() || bytes[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+                // Type suffix (u64, f32, ...).
+                let suffix_start = j;
+                while j < n && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                if j > suffix_start && bytes[suffix_start] == 'f' {
+                    is_float = true;
+                }
+            }
+            out.tokens.push(Token {
+                line,
+                kind: if is_float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
+            });
+            i = j;
+            continue;
+        }
+        // Identifier / keyword (including raw identifiers `r#ident`).
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < n && (bytes[j].is_alphanumeric() || bytes[j] == '_') {
+                j += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Ident(bytes[i..j].iter().collect()),
+            });
+            i = j;
+            continue;
+        }
+        // Multi-char punctuation, longest match.
+        let mut matched = false;
+        for p in PUNCTS {
+            let pl = p.len();
+            if i + pl <= n && bytes[i..i + pl].iter().collect::<String>() == **p {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Punct(p),
+                });
+                i += pl;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        if let Some(p) = single_punct(c) {
+            out.tokens.push(Token {
+                line,
+                kind: TokenKind::Punct(p),
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True when this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r#"
+            // thread_rng in a comment
+            let s = "thread_rng in a string";
+            /* block thread_rng */
+            let t = 'x';
+        "#;
+        assert!(!idents(src).contains(&"thread_rng".to_string()));
+        assert!(idents(src).contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        let src = r##"let s = r#"unwrap() inside"#; let u = 1;"##;
+        assert!(!idents(src).contains(&"unwrap".to_string()));
+        assert!(idents(src).contains(&"u".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+    }
+
+    #[test]
+    fn float_and_int_literals_are_distinguished() {
+        let lexed = lex("let a = 1.5; let b = 2; let c = 1e-3; let d = 0x10; let e = 1.0f32;");
+        let floats = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Float)
+            .count();
+        let ints = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Int)
+            .count();
+        assert_eq!(floats, 3);
+        assert_eq!(ints, 2);
+    }
+
+    #[test]
+    fn range_is_not_a_float() {
+        let lexed = lex("for i in 0..10 {}");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Float));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("..")));
+    }
+
+    #[test]
+    fn method_on_int_is_not_a_float() {
+        let lexed = lex("let x = 1.max(2);");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokenKind::Float));
+        assert!(lexed.tokens.iter().any(|t| t.ident() == Some("max")));
+    }
+
+    #[test]
+    fn comments_are_collected_with_lines() {
+        let src = "let a = 1;\n// swh-analyze: allow(panic) -- reason\nlet b = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("allow(panic)"));
+    }
+
+    #[test]
+    fn multichar_puncts_are_maximal() {
+        let lexed = lex("if a == b && c != d { e :: f }");
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("==")));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("!=")));
+        assert!(lexed.tokens.iter().any(|t| t.is_punct("::")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let a = \"line\nbreak\";\nlet marker = 1;";
+        let lexed = lex(src);
+        let marker = lexed
+            .tokens
+            .iter()
+            .find(|t| t.ident() == Some("marker"))
+            .expect("marker token");
+        assert_eq!(marker.line, 3);
+    }
+}

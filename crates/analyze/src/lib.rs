@@ -1,0 +1,296 @@
+//! swh-analyze: the workspace's own static-analysis pass.
+//!
+//! Three rule families defend the statistical contracts of Brown & Haas
+//! (ICDE 2006) that ordinary tests cannot see:
+//!
+//! * **determinism** — sampling and merge paths must be a pure function of
+//!   (input stream, seed). OS entropy, wall-clock time, and default-hasher
+//!   maps (randomly keyed SipHash ⇒ random iteration order) are banned in
+//!   `swh-core`, `swh-rand`, and `swh-warehouse` library code.
+//! * **numeric-cast / float-cmp** — probability code (the distributions in
+//!   `swh-rand`, the q-bound of Eq. 1, the AQP estimators) must not use bare
+//!   `as` casts or exact float comparisons; the checked helpers in
+//!   `swh_rand::checked` (re-exported via `swh_core::stats`) make precision
+//!   loss a panic instead of a silent bias.
+//! * **panic** — library code in the sampling crates must not
+//!   `unwrap`/`expect`/index-by-literal; every intentional exception carries
+//!   a `// swh-analyze: allow(<rule>) -- <reason>` directive, and the report
+//!   counts those so reviewers can watch the budget.
+//!
+//! The pass is deliberately dependency-free: a token-level lexer
+//! ([`lexer`]), a `#[cfg(test)]` scope tracker ([`context`]), and lexical
+//! rules ([`rules`]). That is the same offline-shim philosophy as
+//! `randshim`/`benchshim` — the container has no crates.io access, so the
+//! analyzer cannot lean on `syn`. Token-level matching is sound for the
+//! constructs these rules target (method calls, paths, casts, comparisons);
+//! it does not try to be a general Rust front-end.
+
+pub mod context;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::{Finding, Rule, ALL_RULES};
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    pub findings: Vec<Finding>,
+    /// Malformed `swh-analyze:` directives — always errors.
+    pub invalid_directives: Vec<(u32, String)>,
+    /// Allow directives that matched no finding (stale allows are errors:
+    /// they would silently mask future regressions at that site).
+    pub unused_allows: Vec<(u32, Rule)>,
+}
+
+/// Analyze one file's source under a workspace-relative `path` (which
+/// determines rule applicability). `path` must use `/` separators.
+pub fn analyze_source(path: &str, source: &str) -> FileReport {
+    let lexed = lexer::lex(source);
+    let mask = context::test_mask(&lexed.tokens);
+    let mut findings = rules::scan(path, &lexed.tokens, &mask);
+    let (allows, invalid) = rules::parse_directives(&lexed.comments);
+
+    // A directive covers its own line when code shares the line (trailing
+    // comment); otherwise the first token line after it (comment-above form).
+    let mut token_lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    token_lines.sort_unstable();
+    token_lines.dedup();
+    let target_line = |dir_line: u32| -> u32 {
+        if token_lines.binary_search(&dir_line).is_ok() {
+            dir_line
+        } else {
+            token_lines
+                .iter()
+                .copied()
+                .find(|&l| l > dir_line)
+                .unwrap_or(dir_line)
+        }
+    };
+
+    let mut unused = Vec::new();
+    for allow in &allows {
+        let line = target_line(allow.line);
+        for &rule in &allow.rules {
+            let mut hit = false;
+            for f in findings.iter_mut() {
+                if f.line == line && f.rule == rule {
+                    f.allowed = true;
+                    hit = true;
+                }
+            }
+            if !hit {
+                unused.push((allow.line, rule));
+            }
+        }
+    }
+
+    FileReport {
+        findings,
+        invalid_directives: invalid.into_iter().map(|d| (d.line, d.reason)).collect(),
+        unused_allows: unused,
+    }
+}
+
+/// Aggregated result over a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub violations: Vec<Finding>,
+    pub allowed: Vec<Finding>,
+    pub errors: Vec<String>,
+}
+
+impl Report {
+    pub fn merge_file(&mut self, rel_path: &str, fr: FileReport) {
+        self.files_scanned += 1;
+        for f in fr.findings {
+            if f.allowed {
+                self.allowed.push(f);
+            } else {
+                self.violations.push(f);
+            }
+        }
+        for (line, reason) in fr.invalid_directives {
+            self.errors.push(format!(
+                "{rel_path}:{line}: invalid swh-analyze directive: {reason}"
+            ));
+        }
+        for (line, rule) in fr.unused_allows {
+            self.errors.push(format!(
+                "{rel_path}:{line}: unused allow({}) — no matching finding; remove the directive",
+                rule.name()
+            ));
+        }
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty() && self.errors.is_empty()
+    }
+
+    /// Render the human-readable report (diagnostics then per-rule summary).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.violations {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path,
+                f.line,
+                f.rule.name(),
+                f.message
+            ));
+        }
+        for e in &self.errors {
+            out.push_str(&format!("{e}\n"));
+        }
+        let mut viol: BTreeMap<Rule, usize> = BTreeMap::new();
+        let mut allo: BTreeMap<Rule, usize> = BTreeMap::new();
+        for f in &self.violations {
+            *viol.entry(f.rule).or_default() += 1;
+        }
+        for f in &self.allowed {
+            *allo.entry(f.rule).or_default() += 1;
+        }
+        out.push_str(&format!(
+            "\nswh-analyze: {} files scanned\n",
+            self.files_scanned
+        ));
+        for rule in ALL_RULES {
+            out.push_str(&format!(
+                "  {:<14} {} violation(s), {} allowed\n",
+                rule.name(),
+                viol.get(&rule).copied().unwrap_or(0),
+                allo.get(&rule).copied().unwrap_or(0),
+            ));
+        }
+        if !self.errors.is_empty() {
+            out.push_str(&format!("  {} directive error(s)\n", self.errors.len()));
+        }
+        out.push_str(if self.is_clean() {
+            "result: PASS\n"
+        } else {
+            "result: FAIL\n"
+        });
+        out
+    }
+}
+
+/// Walk the workspace from `root`, collecting `.rs` files to scan.
+///
+/// Skips `target/`, VCS metadata, and the analyzer's own fixture corpus
+/// (fixtures intentionally violate every rule; they are exercised by the
+/// `fixtures` subcommand under virtual paths instead).
+pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Run the full workspace check from `root`.
+pub fn check_workspace(root: &Path) -> Report {
+    let mut report = Report::default();
+    for path in workspace_rs_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match fs::read_to_string(&path) {
+            Ok(src) => report.merge_file(&rel, analyze_source(&rel, &src)),
+            Err(e) => report.errors.push(format!("{rel}: unreadable: {e}")),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let src = "fn f(v: Vec<u64>) -> u64 { v.first().unwrap() } // swh-analyze: allow(panic) -- known non-empty\n";
+        let fr = analyze_source("crates/core/src/x.rs", src);
+        assert!(fr.invalid_directives.is_empty());
+        assert!(fr.unused_allows.is_empty());
+        assert_eq!(fr.findings.len(), 1);
+        assert!(fr.findings[0].allowed);
+    }
+
+    #[test]
+    fn allow_above_line_suppresses() {
+        let src = "fn f(v: Vec<u64>) -> u64 {\n    // swh-analyze: allow(panic) -- known non-empty\n    v.first().unwrap()\n}\n";
+        let fr = analyze_source("crates/core/src/x.rs", src);
+        assert!(fr.unused_allows.is_empty());
+        assert!(fr.findings[0].allowed);
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_lines() {
+        let src = "fn f(v: Vec<u64>) -> u64 {\n    // swh-analyze: allow(panic) -- first only\n    v.first().unwrap();\n    v.last().unwrap()\n}\n";
+        let fr = analyze_source("crates/core/src/x.rs", src);
+        let allowed: Vec<bool> = fr.findings.iter().map(|f| f.allowed).collect();
+        assert_eq!(allowed, vec![true, false]);
+    }
+
+    #[test]
+    fn unused_allow_is_an_error() {
+        let src = "// swh-analyze: allow(panic) -- nothing here\nfn f() {}\n";
+        let fr = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!(fr.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "fn f(v: Vec<u64>) -> u64 {\n    // swh-analyze: allow(determinism) -- wrong rule\n    v.first().unwrap()\n}\n";
+        let fr = analyze_source("crates/core/src/x.rs", src);
+        assert!(!fr.findings[0].allowed);
+        assert_eq!(fr.unused_allows.len(), 1);
+    }
+
+    #[test]
+    fn report_counts_and_pass_fail() {
+        let mut report = Report::default();
+        report.merge_file(
+            "crates/core/src/x.rs",
+            analyze_source(
+                "crates/core/src/x.rs",
+                "fn f(v: Vec<u64>) -> u64 { v.first().unwrap() }",
+            ),
+        );
+        assert!(!report.is_clean());
+        let rendered = report.render();
+        assert!(rendered.contains("panic"), "{rendered}");
+        assert!(rendered.contains("result: FAIL"), "{rendered}");
+
+        let mut clean = Report::default();
+        clean.merge_file(
+            "crates/core/src/y.rs",
+            analyze_source("crates/core/src/y.rs", "fn f() -> u64 { 1 }"),
+        );
+        assert!(clean.is_clean());
+        assert!(clean.render().contains("result: PASS"));
+    }
+}

@@ -1,0 +1,146 @@
+//! CLI driver for the swh-analyze lint pass.
+//!
+//! * `swh-analyze check [--root DIR]` — scan every workspace `.rs` file,
+//!   print diagnostics plus per-rule counts, exit 1 on any violation or
+//!   directive error.
+//! * `swh-analyze check-file <virtual-path> <file>` — analyze one file as if
+//!   it lived at `<virtual-path>`; used to demonstrate that each fixture
+//!   fails the pass.
+//! * `swh-analyze fixtures [--root DIR]` — self-test: run the fixture corpus
+//!   under its virtual paths and verify every expected rule fires.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use swh_analyze::rules::Rule;
+use swh_analyze::{analyze_source, check_workspace, Report};
+
+fn workspace_root(flag: Option<PathBuf>) -> PathBuf {
+    if let Some(root) = flag {
+        return root;
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        // crates/analyze -> workspace root
+        let p = PathBuf::from(manifest);
+        if let Some(root) = p.parent().and_then(|c| c.parent()) {
+            return root.to_path_buf();
+        }
+    }
+    PathBuf::from(".")
+}
+
+fn parse_root(args: &[String]) -> Option<PathBuf> {
+    args.iter()
+        .position(|a| a == "--root")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Fixture corpus: (fixture file, virtual path it is analyzed under, rules
+/// that must fire). Virtual paths put each fixture in scope of its rules.
+const FIXTURES: &[(&str, &str, &[Rule])] = &[
+    (
+        "crates/analyze/fixtures/determinism.rs",
+        "crates/core/src/fixture_determinism.rs",
+        &[Rule::Determinism],
+    ),
+    (
+        "crates/analyze/fixtures/numeric.rs",
+        "crates/rand/src/hypergeometric.rs",
+        &[Rule::NumericCast, Rule::FloatCmp],
+    ),
+    (
+        "crates/analyze/fixtures/panic.rs",
+        "crates/warehouse/src/fixture_panic.rs",
+        &[Rule::Panic],
+    ),
+];
+
+fn cmd_check(root: PathBuf) -> ExitCode {
+    let report = check_workspace(&root);
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_check_file(virtual_path: &str, file: &str) -> ExitCode {
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("swh-analyze: cannot read {file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut report = Report::default();
+    report.merge_file(virtual_path, analyze_source(virtual_path, &src));
+    print!("{}", report.render());
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_fixtures(root: PathBuf) -> ExitCode {
+    let mut ok = true;
+    for (fixture, virtual_path, expected) in FIXTURES {
+        let path = root.join(fixture);
+        let src = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("swh-analyze: cannot read fixture {}: {e}", path.display());
+                ok = false;
+                continue;
+            }
+        };
+        let fr = analyze_source(virtual_path, &src);
+        for rule in *expected {
+            let hits = fr
+                .findings
+                .iter()
+                .filter(|f| f.rule == *rule && !f.allowed)
+                .count();
+            if hits == 0 {
+                eprintln!(
+                    "swh-analyze: fixture {fixture} (as {virtual_path}) did NOT trigger rule `{}`",
+                    rule.name()
+                );
+                ok = false;
+            } else {
+                println!(
+                    "fixture {fixture}: rule `{}` fired {hits} time(s) as expected",
+                    rule.name()
+                );
+            }
+        }
+    }
+    if ok {
+        println!("fixtures: PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("fixtures: FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(workspace_root(parse_root(&args))),
+        Some("check-file") => match (args.get(1), args.get(2)) {
+            (Some(vpath), Some(file)) => cmd_check_file(vpath, file),
+            _ => {
+                eprintln!("usage: swh-analyze check-file <virtual-path> <file>");
+                ExitCode::FAILURE
+            }
+        },
+        Some("fixtures") => cmd_fixtures(workspace_root(parse_root(&args))),
+        _ => {
+            eprintln!("usage: swh-analyze <check|check-file|fixtures> [--root DIR]");
+            ExitCode::FAILURE
+        }
+    }
+}

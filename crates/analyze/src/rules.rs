@@ -1,0 +1,518 @@
+//! The three rule families and the `allow(...)` escape hatch.
+//!
+//! Rule scoping is part of the rule definition: determinism and panic
+//! hygiene cover the library code of the sampling crates (`swh-core`,
+//! `swh-rand`, `swh-warehouse`); the numeric rules cover the probability
+//! modules where a silent cast or an exact float compare corrupts a
+//! statistical contract (Eq. 1–3 of the paper).
+
+use crate::lexer::{LineComment, Token, TokenKind};
+
+/// A lint rule identifier. The string form is what `allow(...)` takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// Non-deterministic constructs in sampling/merge paths: OS entropy,
+    /// wall-clock time, default-hasher maps.
+    Determinism,
+    /// Bare `as` casts involving numeric types in probability code.
+    NumericCast,
+    /// Exact `==`/`!=` against float literals in probability code.
+    FloatCmp,
+    /// `unwrap`/`expect`/literal slice index in library code.
+    Panic,
+}
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 4] = [
+    Rule::Determinism,
+    Rule::NumericCast,
+    Rule::FloatCmp,
+    Rule::Panic,
+];
+
+impl Rule {
+    /// The name used in diagnostics and `allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::NumericCast => "numeric-cast",
+            Rule::FloatCmp => "float-cmp",
+            Rule::Panic => "panic",
+        }
+    }
+
+    /// Parse an `allow(...)` rule name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        ALL_RULES.iter().copied().find(|r| r.name() == name)
+    }
+
+    /// Does this rule apply to the workspace-relative `path`?
+    ///
+    /// Paths use `/` separators and are relative to the workspace root.
+    /// Only `src/` trees are covered: integration tests, benches, examples,
+    /// and fixtures are exempt by construction.
+    pub fn applies_to(self, path: &str) -> bool {
+        match self {
+            Rule::Determinism | Rule::Panic => SAMPLING_CRATE_SRC
+                .iter()
+                .any(|prefix| path.starts_with(prefix)),
+            Rule::NumericCast | Rule::FloatCmp => PROBABILITY_FILES.contains(&path),
+        }
+    }
+}
+
+/// `src/` trees of the crates whose behavior must be reproducible.
+const SAMPLING_CRATE_SRC: &[&str] = &[
+    "crates/core/src/",
+    "crates/rand/src/",
+    "crates/warehouse/src/",
+];
+
+/// Probability code: every file whose arithmetic implements a distribution,
+/// a bound, or an estimator from the paper. Bare casts and exact float
+/// compares here can corrupt uniformity without failing a test.
+const PROBABILITY_FILES: &[&str] = &[
+    "crates/core/src/qbound.rs",
+    "crates/rand/src/alias.rs",
+    "crates/rand/src/binomial.rs",
+    "crates/rand/src/checked.rs",
+    "crates/rand/src/exponential.rs",
+    "crates/rand/src/hypergeometric.rs",
+    "crates/rand/src/normal.rs",
+    "crates/rand/src/skip.rs",
+    "crates/rand/src/stats.rs",
+    "crates/rand/src/zipf.rs",
+    "crates/aqp/src/estimators.rs",
+];
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+    /// True when an `allow` directive covers this finding (reported in the
+    /// allow count, not as a violation).
+    pub allowed: bool,
+}
+
+/// A parsed `swh-analyze: allow(rule, ...) -- reason` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Line the comment sits on.
+    pub line: u32,
+    pub rules: Vec<Rule>,
+}
+
+/// A directive that mentions `swh-analyze:` but does not parse. Always an
+/// error: a typo in an allow comment must not silently re-enable a lint.
+#[derive(Debug, Clone)]
+pub struct InvalidDirective {
+    pub line: u32,
+    pub reason: String,
+}
+
+/// Extract allow directives from line comments.
+pub fn parse_directives(comments: &[LineComment]) -> (Vec<AllowDirective>, Vec<InvalidDirective>) {
+    let mut allows = Vec::new();
+    let mut invalid = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!`) are prose — only a plain `//` comment
+        // whose text *starts with* the marker is a directive. This keeps
+        // documentation that merely mentions the syntax inert.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(rest) = c.text.trim().strip_prefix("swh-analyze:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(args) = rest.strip_prefix("allow(") else {
+            invalid.push(InvalidDirective {
+                line: c.line,
+                reason: format!("expected `allow(<rule>) -- <reason>`, got `{rest}`"),
+            });
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            invalid.push(InvalidDirective {
+                line: c.line,
+                reason: "unterminated allow(...)".to_string(),
+            });
+            continue;
+        };
+        let (list, tail) = args.split_at(close);
+        let tail = tail[1..].trim(); // drop ')'
+        let Some(reason) = tail.strip_prefix("--") else {
+            invalid.push(InvalidDirective {
+                line: c.line,
+                reason: "allow(...) must carry `-- <reason>`".to_string(),
+            });
+            continue;
+        };
+        if reason.trim().is_empty() {
+            invalid.push(InvalidDirective {
+                line: c.line,
+                reason: "allow(...) reason is empty".to_string(),
+            });
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut bad = None;
+        for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match Rule::from_name(name) {
+                Some(r) => rules.push(r),
+                None => bad = Some(name.to_string()),
+            }
+        }
+        if let Some(name) = bad {
+            invalid.push(InvalidDirective {
+                line: c.line,
+                reason: format!("unknown rule `{name}` (expected one of: determinism, numeric-cast, float-cmp, panic)"),
+            });
+            continue;
+        }
+        if rules.is_empty() {
+            invalid.push(InvalidDirective {
+                line: c.line,
+                reason: "allow() lists no rules".to_string(),
+            });
+            continue;
+        }
+        allows.push(AllowDirective {
+            line: c.line,
+            rules,
+        });
+    }
+    (allows, invalid)
+}
+
+/// Identifiers that are non-deterministic entropy or clock sources.
+const ENTROPY_IDENTS: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "OS-seeded RNG breaks reproducibility; thread a seeded swh-rand RNG instead",
+    ),
+    (
+        "OsRng",
+        "OS entropy breaks reproducibility; thread a seeded swh-rand RNG instead",
+    ),
+    (
+        "from_entropy",
+        "entropy seeding breaks reproducibility; use swh_rand::seeded_rng",
+    ),
+    (
+        "from_os_rng",
+        "OS-entropy seeding breaks reproducibility; use swh_rand::seeded_rng",
+    ),
+    (
+        "getrandom",
+        "OS entropy breaks reproducibility; use swh_rand::seeded_rng",
+    ),
+    (
+        "Instant",
+        "wall-clock time in a sampling path; route timing through swh_obs::Stopwatch",
+    ),
+    (
+        "SystemTime",
+        "wall-clock time in a sampling path; route timing through swh_obs::Stopwatch",
+    ),
+    (
+        "UNIX_EPOCH",
+        "wall-clock time in a sampling path; route timing through swh_obs::Stopwatch",
+    ),
+    (
+        "RandomState",
+        "default SipHash state is randomly keyed; use FxHashMap/BTreeMap",
+    ),
+];
+
+/// Integer and float type names for the cast rule.
+const NUMERIC_TYPES: &[&str] = &[
+    "f32", "f64", "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128",
+    "isize",
+];
+
+/// Run every applicable rule over one file's tokens.
+///
+/// `mask[i]` marks test-scope tokens (exempt). Findings come back in token
+/// order; the caller resolves `allowed` against the directive lines.
+pub fn scan(path: &str, tokens: &[Token], mask: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let det = Rule::Determinism.applies_to(path);
+    let cast = Rule::NumericCast.applies_to(path);
+    let fcmp = Rule::FloatCmp.applies_to(path);
+    let pan = Rule::Panic.applies_to(path);
+    if !(det || cast || fcmp || pan) {
+        return findings;
+    }
+
+    let mut push = |line: u32, rule: Rule, message: String| {
+        findings.push(Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+            allowed: false,
+        });
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &tokens[j]);
+        let next = tokens.get(i + 1);
+        let next2 = tokens.get(i + 2);
+
+        if det {
+            if let Some(name) = t.ident() {
+                if let Some((_, why)) = ENTROPY_IDENTS.iter().find(|(k, _)| *k == name) {
+                    push(t.line, Rule::Determinism, format!("`{name}`: {why}"));
+                }
+                // `std :: time`
+                if name == "std"
+                    && next.is_some_and(|n| n.is_punct("::"))
+                    && next2.and_then(Token::ident) == Some("time")
+                {
+                    push(
+                        t.line,
+                        Rule::Determinism,
+                        "`std::time` in a sampling path; route timing through swh_obs::Stopwatch"
+                            .to_string(),
+                    );
+                }
+                // Default-hasher constructors: HashMap::new / with_capacity /
+                // default, and collect::<HashMap<...>> turbofish.
+                if name == "HashMap" || name == "HashSet" {
+                    let is_ctor = next.is_some_and(|n| n.is_punct("::"))
+                        && matches!(
+                            next2.and_then(Token::ident),
+                            Some("new") | Some("with_capacity") | Some("default")
+                        );
+                    let is_turbofish_target = prev.is_some_and(|p| p.is_punct("<"))
+                        && i >= 3
+                        && tokens[i - 2].is_punct("::")
+                        && tokens[i - 3].ident() == Some("collect");
+                    if is_ctor || is_turbofish_target {
+                        push(
+                            t.line,
+                            Rule::Determinism,
+                            format!(
+                                "`{name}` with the default hasher iterates in random order; \
+                                 use FxHashMap/FxHashSet (crate::fxhash) or BTreeMap"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        if cast && t.ident() == Some("as") {
+            if let Some(ty) = next.and_then(Token::ident) {
+                if NUMERIC_TYPES.contains(&ty) {
+                    push(
+                        t.line,
+                        Rule::NumericCast,
+                        format!(
+                            "bare `as {ty}` cast in probability code; use the checked helpers \
+                             in swh_core::stats / swh_rand::checked (exact_f64, floor_u64, \
+                             as_index, ...)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if fcmp && (t.is_punct("==") || t.is_punct("!=")) {
+            let float_adjacent = prev.is_some_and(|p| p.kind == TokenKind::Float)
+                || next.is_some_and(|n| n.kind == TokenKind::Float);
+            if float_adjacent {
+                push(
+                    t.line,
+                    Rule::FloatCmp,
+                    "exact float comparison in probability code; use approx_eq/rel_close/is_zero \
+                     from swh_rand::checked (or compare a range)"
+                        .to_string(),
+                );
+            }
+        }
+
+        if pan {
+            if t.is_punct(".") {
+                if let Some(m) = next.and_then(Token::ident) {
+                    if (m == "unwrap" || m == "expect") && next2.is_some_and(|n| n.is_punct("(")) {
+                        push(
+                            t.line,
+                            Rule::Panic,
+                            format!(
+                                "`.{m}()` in library code; return a Result, restructure so the \
+                                 invariant is type-checked, or document with an allow"
+                            ),
+                        );
+                    }
+                }
+            }
+            // Literal slice index `expr[0]`: `[`, Int, `]` where `[` follows
+            // an expression tail (ident, `)`, or `]`).
+            if t.is_punct("[")
+                && prev.is_some_and(|p| {
+                    matches!(p.kind, TokenKind::Ident(_)) || p.is_punct(")") || p.is_punct("]")
+                })
+                && next.is_some_and(|n| n.kind == TokenKind::Int)
+                && next2.is_some_and(|n| n.is_punct("]"))
+            {
+                push(
+                    t.line,
+                    Rule::Panic,
+                    "literal slice index can panic; use .first()/.get(..) or document with an \
+                     allow"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // One finding per (line, rule): dense expressions (e.g. a cast chain)
+    // otherwise flood the report without adding information.
+    findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_mask;
+    use crate::lexer::lex;
+
+    fn scan_at(path: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        scan(path, &lexed.tokens, &mask)
+    }
+
+    #[test]
+    fn determinism_catches_entropy_and_clock() {
+        let src = "fn f() { let r = rand::thread_rng(); let t = std::time::Instant::now(); }";
+        let f = scan_at("crates/core/src/x.rs", src);
+        assert!(f.iter().any(|f| f.message.contains("thread_rng")));
+        assert!(f.iter().any(|f| f.message.contains("std::time")));
+        assert!(f.iter().any(|f| f.rule == Rule::Determinism));
+    }
+
+    #[test]
+    fn determinism_catches_default_hasher_ctor() {
+        let src = "fn f() { let m = std::collections::HashMap::new(); }";
+        let f = scan_at("crates/warehouse/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("default hasher"));
+    }
+
+    #[test]
+    fn determinism_allows_fxhash_alias_definition() {
+        // The fxhash module defines aliases over std HashMap with an
+        // explicit hasher; no constructor, no turbofish — clean.
+        let src = "pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;";
+        let f = scan_at("crates/core/src/fxhash.rs", src);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn determinism_skips_test_code() {
+        let src = "#[cfg(test)] mod tests { fn t() { let m = std::collections::HashMap::new(); } }";
+        assert!(scan_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn determinism_only_in_sampling_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }";
+        assert!(scan_at("crates/obs/src/timer.rs", src).is_empty());
+        assert!(scan_at("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn numeric_cast_flags_float_int_casts() {
+        let src =
+            "fn f(n: u64, x: f64) -> f64 { let a = n as f64; let b = x as u64; a + b as f64 }";
+        let f = scan_at("crates/rand/src/binomial.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::NumericCast).count(), 3);
+    }
+
+    #[test]
+    fn numeric_cast_ignores_non_probability_files() {
+        let src = "fn f(n: u64) -> f64 { n as f64 }";
+        assert!(scan_at("crates/core/src/histogram.rs", src).is_empty());
+    }
+
+    #[test]
+    fn use_as_rename_is_not_a_cast() {
+        let src = "use std::fmt::Debug as Dbg; fn f() {}";
+        assert!(scan_at("crates/rand/src/stats.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_cmp_flags_literal_comparison() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 }";
+        let f = scan_at("crates/rand/src/normal.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::FloatCmp);
+    }
+
+    #[test]
+    fn int_equality_is_fine() {
+        let src = "fn f(x: u64) -> bool { x == 0 }";
+        assert!(scan_at("crates/rand/src/normal.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_flags_unwrap_expect_literal_index() {
+        let src = "fn f(v: Vec<u64>) -> u64 { v.first().unwrap(); v.last().expect(\"x\"); v[0] }";
+        let f = scan_at("crates/core/src/x.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::Panic).count(), 3);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_flagged() {
+        let src = "fn f(v: Option<u64>) -> u64 { v.unwrap_or(0).min(v.unwrap_or_default()) }";
+        assert!(scan_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn variable_index_is_not_flagged() {
+        let src = "fn f(v: &[u64], i: usize) -> u64 { v[i] }";
+        assert!(scan_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn attribute_slice_is_not_a_literal_index() {
+        let src = "#[repr(align(8))] struct S; fn f(v: &[u64]) { let _ = v.len(); }";
+        assert!(scan_at("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn directive_parsing_accepts_well_formed() {
+        let lexed =
+            lex("// swh-analyze: allow(panic, determinism) -- trusted invariant\nlet x = 1;");
+        let (allows, invalid) = parse_directives(&lexed.comments);
+        assert!(invalid.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rules, vec![Rule::Panic, Rule::Determinism]);
+    }
+
+    #[test]
+    fn directive_without_reason_is_invalid() {
+        let lexed = lex("// swh-analyze: allow(panic)\nlet x = 1;");
+        let (allows, invalid) = parse_directives(&lexed.comments);
+        assert!(allows.is_empty());
+        assert_eq!(invalid.len(), 1);
+    }
+
+    #[test]
+    fn directive_with_unknown_rule_is_invalid() {
+        let lexed = lex("// swh-analyze: allow(speling) -- oops\nlet x = 1;");
+        let (_, invalid) = parse_directives(&lexed.comments);
+        assert_eq!(invalid.len(), 1);
+        assert!(invalid[0].reason.contains("unknown rule"));
+    }
+}

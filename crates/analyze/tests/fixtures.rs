@@ -1,0 +1,69 @@
+//! The fixture corpus must fail the pass: each file, analyzed under a
+//! virtual in-scope path, triggers its rule family. This is the same
+//! contract the `swh-analyze fixtures` subcommand checks, wired into
+//! `cargo test` so the tier-1 suite exercises it.
+
+use swh_analyze::analyze_source;
+use swh_analyze::rules::Rule;
+
+fn fixture(name: &str) -> String {
+    let dir = env!("CARGO_MANIFEST_DIR");
+    std::fs::read_to_string(format!("{dir}/fixtures/{name}"))
+        .unwrap_or_else(|e| panic!("fixture {name}: {e}"))
+}
+
+fn count(path: &str, src: &str, rule: Rule, allowed: bool) -> usize {
+    analyze_source(path, src)
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && f.allowed == allowed)
+        .count()
+}
+
+#[test]
+fn determinism_fixture_fails() {
+    let src = fixture("determinism.rs");
+    let vpath = "crates/core/src/fixture_determinism.rs";
+    assert!(count(vpath, &src, Rule::Determinism, false) >= 8);
+    // The same file is clean outside the sampling crates.
+    assert_eq!(
+        count("crates/cli/src/main.rs", &src, Rule::Determinism, false),
+        0
+    );
+}
+
+#[test]
+fn numeric_fixture_fails() {
+    let src = fixture("numeric.rs");
+    let vpath = "crates/rand/src/hypergeometric.rs";
+    assert!(count(vpath, &src, Rule::NumericCast, false) >= 5);
+    assert!(count(vpath, &src, Rule::FloatCmp, false) >= 3);
+    // The escape hatch converts exactly one cast into an allowed finding.
+    assert_eq!(count(vpath, &src, Rule::NumericCast, true), 1);
+}
+
+#[test]
+fn panic_fixture_fails() {
+    let src = fixture("panic.rs");
+    let vpath = "crates/warehouse/src/fixture_panic.rs";
+    assert!(count(vpath, &src, Rule::Panic, false) >= 3);
+    assert_eq!(count(vpath, &src, Rule::Panic, true), 1);
+}
+
+#[test]
+fn workspace_scan_from_manifest_root_is_clean() {
+    // The acceptance bar for the tree itself: `check` exits 0. Run the same
+    // scan in-process so regressions fail tier-1, not just CI.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let report = swh_analyze::check_workspace(&root);
+    assert!(report.files_scanned > 50, "walker found too few files");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report.render()
+    );
+}

@@ -2,6 +2,7 @@
 
 use swh_core::sample::{Sample, SampleKind};
 use swh_core::value::SampleValue;
+use swh_rand::checked::{exact_eq, rounding_f64, rounding_f64_i64};
 use swh_rand::normal::normal_quantile;
 
 /// Values that can be aggregated numerically.
@@ -14,13 +15,25 @@ macro_rules! numeric_impl {
     ($($t:ty),*) => {$(
         impl Numeric for $t {
             fn to_f64(&self) -> f64 {
-                *self as f64
+                f64::from(*self)
             }
         }
     )*};
 }
 
-numeric_impl!(u8, u16, u32, u64, i8, i16, i32, i64);
+numeric_impl!(u8, u16, u32, i8, i16, i32);
+
+impl Numeric for u64 {
+    fn to_f64(&self) -> f64 {
+        rounding_f64(*self)
+    }
+}
+
+impl Numeric for i64 {
+    fn to_f64(&self) -> f64 {
+        rounding_f64_i64(*self)
+    }
+}
 
 /// A point estimate with its standard error.
 ///
@@ -91,8 +104,8 @@ impl Estimate {
         }
         let (lo, hi) = self.confidence_interval(level);
         let half = (hi - lo) / 2.0;
-        if self.value == 0.0 {
-            if half == 0.0 {
+        if exact_eq(self.value, 0.0) {
+            if exact_eq(half, 0.0) {
                 0.0
             } else {
                 f64::INFINITY
@@ -132,8 +145,8 @@ fn design<T: SampleValue>(sample: &Sample<T>) -> Design {
             }
         }
         SampleKind::Reservoir => {
-            let n = sample.parent_size() as f64;
-            let k = sample.size() as f64;
+            let n = rounding_f64(sample.parent_size());
+            let k = rounding_f64(sample.size());
             Design {
                 expansion: if k > 0.0 { n / k } else { 0.0 },
                 kind: DesignKind::Srs { n, k },
@@ -155,17 +168,17 @@ pub fn estimate_count<T: SampleValue>(
         .sum();
     let d = design(sample);
     match d.kind {
-        DesignKind::Exact => Estimate::exact(m as f64),
+        DesignKind::Exact => Estimate::exact(rounding_f64(m)),
         DesignKind::Bernoulli { q } => {
             // Horvitz–Thompson: m/q; Var = m (1-q)/q².
-            let var = m as f64 * (1.0 - q) / (q * q);
-            Estimate::approximate(m as f64 * d.expansion, var.sqrt())
+            let var = rounding_f64(m) * (1.0 - q) / (q * q);
+            Estimate::approximate(rounding_f64(m) * d.expansion, var.sqrt())
         }
         DesignKind::Srs { n, k } => {
-            if k == 0.0 {
+            if exact_eq(k, 0.0) {
                 return Estimate::approximate(0.0, 0.0);
             }
-            let p_hat = m as f64 / k;
+            let p_hat = rounding_f64(m) / k;
             // Var(N·p̂) = N² p̂(1−p̂)/k · (1 − k/N)  (finite-population).
             let var = n * n * p_hat * (1.0 - p_hat) / k * (1.0 - k / n);
             Estimate::approximate(n * p_hat, var.max(0.0).sqrt())
@@ -180,7 +193,7 @@ pub fn estimate_sum<T: Numeric>(sample: &Sample<T>, mut pred: impl FnMut(&T) -> 
     for (v, c) in sample.histogram().iter() {
         if pred(v) {
             let x = v.to_f64();
-            let cf = c as f64;
+            let cf = rounding_f64(c);
             s1 += cf * x;
             s2 += cf * x * x;
         }
@@ -194,7 +207,7 @@ pub fn estimate_sum<T: Numeric>(sample: &Sample<T>, mut pred: impl FnMut(&T) -> 
             Estimate::approximate(s1 * d.expansion, var.max(0.0).sqrt())
         }
         DesignKind::Srs { n, k } => {
-            if k == 0.0 {
+            if exact_eq(k, 0.0) {
                 return Estimate::approximate(0.0, 0.0);
             }
             // Treat v·1{pred} as the per-element variable over the whole
@@ -220,7 +233,7 @@ pub fn estimate_variance<T: Numeric>(
     for (v, c) in sample.histogram().iter() {
         if pred(v) {
             let x = v.to_f64();
-            let cf = c as f64;
+            let cf = rounding_f64(c);
             m += cf;
             s1 += cf * x;
             s2 += cf * x * x;
@@ -244,7 +257,7 @@ pub fn estimate_variance<T: Numeric>(
     for (v, c) in sample.histogram().iter() {
         if pred(v) {
             let d = v.to_f64() - mean;
-            s4 += c as f64 * d * d * d * d;
+            s4 += rounding_f64(c) * d * d * d * d;
         }
     }
     let mu4 = s4 / m;
@@ -260,13 +273,13 @@ pub fn estimate_avg<T: Numeric>(sample: &Sample<T>, mut pred: impl FnMut(&T) -> 
     for (v, c) in sample.histogram().iter() {
         if pred(v) {
             let x = v.to_f64();
-            let cf = c as f64;
+            let cf = rounding_f64(c);
             s1 += cf * x;
             s2 += cf * x * x;
             m += cf;
         }
     }
-    if m == 0.0 {
+    if exact_eq(m, 0.0) {
         return Estimate::approximate(f64::NAN, f64::INFINITY);
     }
     let mean = s1 / m;
@@ -276,7 +289,7 @@ pub fn estimate_avg<T: Numeric>(sample: &Sample<T>, mut pred: impl FnMut(&T) -> 
     let var_elem = (s2 / m - mean * mean).max(0.0) * m / (m - 1.0).max(1.0);
     // FPC against the (unknown) matching population size: approximate with
     // the matching fraction of the parent.
-    let n_match = sample.parent_size() as f64 * m / sample.size().max(1) as f64;
+    let n_match = rounding_f64(sample.parent_size()) * m / rounding_f64(sample.size().max(1));
     let fpc = (1.0 - m / n_match).max(0.0);
     Estimate::approximate(mean, (var_elem / m * fpc).sqrt())
 }

@@ -182,7 +182,7 @@ impl<T: SampleValue> CountingSampler<T> {
             .map(|(v, n)| (v.clone(), n as f64 + self.tau - 1.0))
             .filter(|(_, est)| *est >= threshold)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 

@@ -158,7 +158,7 @@ impl<T: SampleValue> CompactHistogram<T> {
                 }
             }
             _ => {
-                *self.counts.get_mut(&v).unwrap() = n;
+                self.counts.insert(v, n);
                 if old == 1 {
                     self.singletons -= 1;
                 }

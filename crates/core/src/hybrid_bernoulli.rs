@@ -16,6 +16,7 @@
 
 use crate::footprint::FootprintPolicy;
 use crate::histogram::CompactHistogram;
+use crate::invariant::invariant;
 use crate::purge::{purge_bernoulli, purge_reservoir};
 use crate::qbound::q_approx;
 use crate::sample::{Sample, SampleKind};
@@ -23,13 +24,14 @@ use crate::sampler::Sampler;
 use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
+use swh_obs::Stopwatch;
 use swh_rand::skip::{bernoulli_skip, ReservoirSkip};
 
 /// Default target probability that a phase-2 sample exceeds `n_F`
 /// (the paper's experiments use `p = 0.001`).
 pub const DEFAULT_P_BOUND: f64 = 1e-3;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Phase {
     Exact,
     Bernoulli,
@@ -88,6 +90,11 @@ impl<T: SampleValue> HybridBernoulli<T> {
     /// Panics unless `0 < p_bound < 1` and `expected_n ≥ 1`.
     pub fn with_p_bound(policy: FootprintPolicy, expected_n: u64, p_bound: f64) -> Self {
         let q = q_approx(expected_n, p_bound, policy.n_f());
+        invariant!(
+            q > 0.0 && q <= 1.0,
+            "q(N={expected_n}, p={p_bound}, n_F={}) = {q} is outside (0, 1]",
+            policy.n_f()
+        );
         Self {
             policy,
             expected_n,
@@ -143,8 +150,12 @@ impl<T: SampleValue> HybridBernoulli<T> {
                 let mut s = Self::with_p_bound(policy, expected_total_n, prior_p);
                 // Continue at the prior's rate: the already-collected part
                 // was sampled at q and cannot be re-rated upward.
+                invariant!(
+                    q > 0.0 && q <= 1.0,
+                    "resumed Bernoulli rate {q} is outside (0, 1]"
+                );
                 s.q = q;
-                s.phase = Phase::Bernoulli;
+                s.advance_phase(Phase::Bernoulli);
                 s.hist = hist;
                 s.observed = parent;
                 s.skip_remaining = bernoulli_skip(rng, q);
@@ -154,7 +165,7 @@ impl<T: SampleValue> HybridBernoulli<T> {
                 assert!(hist.total() <= n_f, "reservoir prior exceeds budget");
                 let k = hist.total();
                 let mut s = Self::with_p_bound(policy, expected_total_n, p_bound);
-                s.phase = Phase::Reservoir;
+                s.advance_phase(Phase::Reservoir);
                 s.hist = hist;
                 s.observed = parent.max(k);
                 if k == 0 {
@@ -210,27 +221,44 @@ impl<T: SampleValue> HybridBernoulli<T> {
         self.expanded = true;
     }
 
+    /// Enter `next`, asserting (under `debug_invariants`) that HB phases
+    /// only ever advance 1 → 2 → 3 and never revisit an earlier phase.
+    fn advance_phase(&mut self, next: Phase) {
+        invariant!(
+            self.phase < next,
+            "HB phase transition must be monotone, attempted {:?} -> {next:?}",
+            self.phase
+        );
+        self.phase = next;
+    }
+
     /// Fig. 2 lines 3–10: footprint hit the bound; precompute the Bernoulli
     /// subsample `S′` and pick the next phase.
     fn leave_phase1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        let start = std::time::Instant::now();
+        let start = Stopwatch::start();
         purge_bernoulli(&mut self.hist, self.q, rng);
-        self.stats.record_purge(elapsed_ns(start));
+        self.stats.record_purge(start.elapsed_ns());
         self.stats.enter_phase2(self.observed);
         if self.hist.total() < self.policy.n_f() {
-            self.phase = Phase::Bernoulli;
+            self.advance_phase(Phase::Bernoulli);
             self.skip_remaining = bernoulli_skip(rng, self.q);
         } else {
             // Subsample too large (low probability): reservoir fallback.
-            let start = std::time::Instant::now();
+            let start = Stopwatch::start();
             purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
-            self.stats.record_purge(elapsed_ns(start));
+            self.stats.record_purge(start.elapsed_ns());
             self.stats.enter_phase3(self.observed);
-            self.phase = Phase::Reservoir;
+            self.advance_phase(Phase::Reservoir);
             let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
             self.next_include = self.observed + gen.skip(self.observed, rng);
             self.skip_gen = Some(gen);
         }
+        invariant!(
+            self.hist.total() <= self.policy.n_f(),
+            "footprint {} exceeds n_F = {} after the phase-1 purge",
+            self.hist.total(),
+            self.policy.n_f()
+        );
     }
 
     /// Human-readable name of the current phase.
@@ -241,11 +269,6 @@ impl<T: SampleValue> HybridBernoulli<T> {
             Phase::Reservoir => "reservoir",
         }
     }
-}
-
-/// Nanoseconds since `start`, saturated to `u64`.
-pub(crate) fn elapsed_ns(start: std::time::Instant) -> u64 {
-    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 impl<T: SampleValue> std::fmt::Display for HybridBernoulli<T> {
@@ -290,7 +313,7 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
                     // Sample hit the hard bound (low probability): switch to
                     // reservoir mode.
                     self.stats.enter_phase3(self.observed);
-                    self.phase = Phase::Reservoir;
+                    self.advance_phase(Phase::Reservoir);
                     let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
                     self.next_include = self.observed + gen.skip(self.observed, rng);
                     self.skip_gen = Some(gen);
@@ -308,6 +331,7 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
                     let gen = self
                         .skip_gen
                         .as_mut()
+                        // swh-analyze: allow(panic) -- phase-3 insertions only fire when next_include is finite, which implies a generator (degenerate reservoirs pin next_include to u64::MAX)
                         .expect("phase 3 has a skip generator");
                     self.next_include = self.observed + gen.skip(self.observed, rng);
                 } else {

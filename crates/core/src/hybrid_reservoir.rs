@@ -14,13 +14,14 @@
 
 use crate::footprint::FootprintPolicy;
 use crate::histogram::CompactHistogram;
-use crate::hybrid_bernoulli::elapsed_ns;
+use crate::invariant::invariant;
 use crate::purge::purge_reservoir;
 use crate::sample::{Sample, SampleKind};
 use crate::sampler::Sampler;
 use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
+use swh_obs::Stopwatch;
 use swh_rand::skip::ReservoirSkip;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -184,11 +185,17 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
             Phase::Reservoir => {
                 if self.observed == self.next_include {
                     if !self.expanded {
-                        let start = std::time::Instant::now();
+                        let start = Stopwatch::start();
                         purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
-                        self.stats.record_purge(elapsed_ns(start));
+                        self.stats.record_purge(start.elapsed_ns());
                         self.bag = std::mem::take(&mut self.hist).into_bag();
                         self.expanded = true;
+                        invariant!(
+                            self.bag.len() as u64 <= self.policy.n_f(),
+                            "footprint {} exceeds n_F = {} after the lazy purge",
+                            self.bag.len(),
+                            self.policy.n_f()
+                        );
                     }
                     let victim = rng.random_range(0..self.bag.len());
                     self.bag[victim] = value;
@@ -196,6 +203,7 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                     let gen = self
                         .skip_gen
                         .as_mut()
+                        // swh-analyze: allow(panic) -- phase-2 insertions only fire when next_include is finite, which implies a generator (degenerate reservoirs pin next_include to u64::MAX)
                         .expect("phase 2 has a skip generator");
                     self.next_include = self.observed + gen.skip(self.observed, rng);
                 } else {
@@ -260,9 +268,9 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                     // n_F over the prefix; elements after the switch were
                     // skipped by the skip distribution, so uniformity over
                     // the whole stream is preserved (§3.2 conditioning).
-                    let start = std::time::Instant::now();
+                    let start = Stopwatch::start();
                     purge_reservoir(&mut hist, self.policy.n_f(), rng);
-                    self.stats.record_purge(elapsed_ns(start));
+                    self.stats.record_purge(start.elapsed_ns());
                 }
                 Sample::from_parts(hist, SampleKind::Reservoir, self.observed, self.policy)
             }

@@ -1,0 +1,49 @@
+//! Runtime invariant assertions, gated behind the `debug_invariants`
+//! cargo feature.
+//!
+//! The paper's structural guarantees — HB phases advance monotonically
+//! 1 → 2 → 3, the footprint returns to ≤ `n_F` after every purge, the
+//! Bernoulli rate `q(N, p, n_F)` lies in `(0, 1]`, and an `HRMerge`
+//! split satisfies `L ≤ min(k, |S₁|)` — are cheap to state but sit on
+//! hot paths, so they are compiled in only when a build opts in:
+//!
+//! ```text
+//! cargo test -p swh-core --features debug_invariants
+//! ```
+//!
+//! Without the feature every [`invariant!`] use expands to nothing, so
+//! release samplers pay zero cost.
+
+/// Assert a structural invariant from the paper. Active only when the
+/// `debug_invariants` feature is enabled; expands to nothing otherwise.
+#[cfg(feature = "debug_invariants")]
+macro_rules! invariant {
+    ($($arg:tt)*) => {
+        assert!($($arg)*)
+    };
+}
+
+/// Assert a structural invariant from the paper. Active only when the
+/// `debug_invariants` feature is enabled; expands to nothing otherwise.
+#[cfg(not(feature = "debug_invariants"))]
+macro_rules! invariant {
+    ($($arg:tt)*) => {};
+}
+
+pub(crate) use invariant;
+
+#[cfg(all(test, feature = "debug_invariants"))]
+mod tests {
+    use crate::invariant::invariant;
+
+    #[test]
+    fn passing_invariant_is_silent() {
+        invariant!(1 + 1 == 2, "arithmetic holds");
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberately false")]
+    fn failing_invariant_panics() {
+        invariant!(false, "deliberately false");
+    }
+}

@@ -32,6 +32,7 @@ pub mod fxhash;
 pub mod histogram;
 pub mod hybrid_bernoulli;
 pub mod hybrid_reservoir;
+pub(crate) mod invariant;
 pub mod merge;
 pub mod planner;
 pub mod purge;

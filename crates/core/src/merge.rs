@@ -23,6 +23,7 @@
 use crate::histogram::CompactHistogram;
 use crate::hybrid_bernoulli::HybridBernoulli;
 use crate::hybrid_reservoir::HybridReservoir;
+use crate::invariant::invariant;
 use crate::purge::{purge_bernoulli, purge_reservoir};
 use crate::qbound::q_approx;
 use crate::sample::{Sample, SampleKind};
@@ -249,6 +250,11 @@ fn hr_merge_reservoirs<T: SampleValue, R: Rng + ?Sized>(
     // side to its share.
     let dist = Hypergeometric::new(n1, n2, k);
     let l = dist.sample(rng);
+    invariant!(
+        l <= k.min(h1.total()),
+        "HRMerge split L = {l} exceeds min(k = {k}, |S1| = {})",
+        h1.total()
+    );
     purge_reservoir(&mut h1, l, rng);
     purge_reservoir(&mut h2, k - l, rng);
     h1.join(h2);
@@ -344,9 +350,10 @@ pub fn merge_all<T: SampleValue, R: Rng + ?Sized>(
     p_bound: f64,
     rng: &mut R,
 ) -> Result<Sample<T>, MergeError> {
-    assert!(!samples.is_empty(), "merge_all needs at least one sample");
     let mut iter = samples.into_iter();
-    let mut acc = iter.next().unwrap();
+    let Some(mut acc) = iter.next() else {
+        panic!("merge_all needs at least one sample");
+    };
     for s in iter {
         acc = merge(acc, s, p_bound, rng)?;
     }
@@ -378,7 +385,10 @@ pub fn merge_tree<T: SampleValue, R: Rng + ?Sized>(
         }
         samples = next;
     }
-    Ok(samples.pop().expect("non-empty by construction"))
+    let Some(result) = samples.pop() else {
+        panic!("merge_tree halving keeps the worklist non-empty");
+    };
+    Ok(result)
 }
 
 /// Direct `m`-way generalization of `HRMerge` (Fig. 8 / Theorem 1): the
@@ -396,17 +406,15 @@ pub fn merge_tree<T: SampleValue, R: Rng + ?Sized>(
 /// # Panics
 /// Panics if `samples` is empty.
 pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
-    samples: Vec<Sample<T>>,
+    mut samples: Vec<Sample<T>>,
     rng: &mut R,
 ) -> Result<Sample<T>, MergeError> {
-    assert!(
-        !samples.is_empty(),
-        "hr_merge_multiway needs at least one sample"
-    );
-    for w in samples.windows(2) {
-        if w[0].policy() != w[1].policy() {
-            return Err(MergeError::PolicyMismatch);
-        }
+    let Some(first) = samples.first() else {
+        panic!("hr_merge_multiway needs at least one sample");
+    };
+    let policy = first.policy();
+    if samples.iter().any(|s| s.policy() != policy) {
+        return Err(MergeError::PolicyMismatch);
     }
     if samples
         .iter()
@@ -415,9 +423,11 @@ pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
         return Err(MergeError::ConciseNotMergeable);
     }
     if samples.len() == 1 {
-        return Ok(samples.into_iter().next().unwrap());
+        let Some(only) = samples.pop() else {
+            panic!("a one-element vector pops an element");
+        };
+        return Ok(only);
     }
-    let policy = samples[0].policy();
     // Drop empty partitions (they contribute nothing, and zero-size
     // samples of non-empty parents would needlessly force k = 0).
     let (samples, empties): (Vec<_>, Vec<_>) =
@@ -510,6 +520,11 @@ pub fn hr_merge_cached<T: SampleValue, R: Rng + ?Sized>(
     }
     let k = s1.size().min(s2.size());
     let l = cache.split(n1, n2, k, rng);
+    invariant!(
+        l <= k.min(s1.size()),
+        "HRMerge split L = {l} exceeds min(k = {k}, |S1| = {})",
+        s1.size()
+    );
     let mut h1 = s1.into_histogram();
     let mut h2 = s2.into_histogram();
     purge_reservoir(&mut h1, l, rng);
@@ -546,7 +561,10 @@ pub fn hr_merge_tree_cached<T: SampleValue, R: Rng + ?Sized>(
         }
         samples = next;
     }
-    Ok(samples.pop().expect("non-empty by construction"))
+    let Some(result) = samples.pop() else {
+        panic!("merge tree halving keeps the worklist non-empty");
+    };
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -872,6 +890,49 @@ mod tests {
         let m = hr_merge(empty, s, &mut rng).unwrap();
         assert_eq!(m.size(), expected_size);
         assert_eq!(m.parent_size(), 1_000);
+    }
+
+    #[test]
+    fn hr_merge_degenerate_full_samples_cover_union() {
+        // Degenerate N = n on both sides: each partition sample IS its
+        // partition, and the union still fits the budget, so the merged
+        // sample must be the whole union with every count 1.
+        let mut rng = seeded_rng(31);
+        let s1 = reservoir_sample(0..8, 64, &mut rng);
+        let s2 = reservoir_sample(8..20, 64, &mut rng);
+        assert_eq!(s1.size(), s1.parent_size());
+        assert_eq!(s2.size(), s2.parent_size());
+        let m = hr_merge(s1, s2, &mut rng).unwrap();
+        assert_eq!(m.kind(), SampleKind::Exhaustive);
+        assert_eq!(m.size(), 20);
+        for v in 0..20u64 {
+            assert_eq!(m.histogram().count(&v), 1);
+        }
+    }
+
+    #[test]
+    fn hr_merge_reservoir_full_parent_samples() {
+        // Degenerate N = n with Reservoir provenance: each sample contains
+        // its entire parent, so the Eq. (2) split runs with d1 = |D1| and
+        // d2 = |D2|. The merge must still return an SRS of size
+        // min(|S1|, |S2|) drawn from the union.
+        let mut rng = seeded_rng(32);
+        let full = |range: std::ops::Range<u64>| {
+            Sample::from_parts(
+                CompactHistogram::from_bag(range.clone().collect::<Vec<_>>()),
+                SampleKind::Reservoir,
+                range.end - range.start,
+                policy(16),
+            )
+        };
+        let m = hr_merge(full(0..10), full(10..16), &mut rng).unwrap();
+        assert_eq!(m.kind(), SampleKind::Reservoir);
+        assert_eq!(m.size(), 6);
+        assert_eq!(m.parent_size(), 16);
+        for (v, c) in m.histogram().iter() {
+            assert_eq!(c, 1);
+            assert!(*v < 16);
+        }
     }
 
     #[test]

@@ -152,8 +152,10 @@ pub fn merge_planned<T: SampleValue, R: Rng + ?Sized>(
     let mut exhaustive_iter = exhaustive.into_iter();
     let mut exhaustive_result = exhaustive_iter.next();
     for s in exhaustive_iter {
-        let acc = exhaustive_result.take().expect("accumulator present");
-        exhaustive_result = Some(merge(acc, s, p_bound, rng)?);
+        exhaustive_result = Some(match exhaustive_result.take() {
+            Some(acc) => merge(acc, s, p_bound, rng)?,
+            None => s,
+        });
     }
 
     // Balanced tree over bounded samples.

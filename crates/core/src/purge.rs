@@ -10,6 +10,7 @@
 //!   eviction costs `O(log #pairs)` instead of the figure's linear scan.
 
 use crate::histogram::CompactHistogram;
+use crate::invariant::invariant;
 use crate::value::SampleValue;
 use rand::Rng;
 use swh_rand::binomial::binomial;
@@ -92,6 +93,11 @@ pub fn purge_reservoir<T: SampleValue, R: Rng + ?Sized>(
     }
     debug_assert_eq!(out.total(), m);
     *hist = out;
+    invariant!(
+        hist.total() <= m,
+        "purgeReservoir left {} elements, bound was {m}",
+        hist.total()
+    );
 }
 
 /// Fenwick (binary indexed) tree over pair counts, supporting point update

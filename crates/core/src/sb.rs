@@ -55,9 +55,10 @@ impl<T: SampleValue> StratifiedBernoulli<T> {
     /// # Panics
     /// Panics if the samples were taken at different rates.
     pub fn union(samples: Vec<Sample<T>>) -> Sample<T> {
-        assert!(!samples.is_empty(), "union of zero samples");
         let mut iter = samples.into_iter();
-        let first = iter.next().unwrap();
+        let Some(first) = iter.next() else {
+            panic!("union of zero samples");
+        };
         let policy = first.policy();
         let (q0, p0) = match first.kind() {
             SampleKind::Bernoulli { q, p_bound } => (q, p_bound),

@@ -11,6 +11,16 @@
 //! finalize time in the warehouse layer, keeping the hot path allocation-
 //! and atomic-free.
 
+/// Checked numeric conversions and float comparison, re-exported here so
+/// probability code in this crate (and its dependents) can satisfy the
+/// `swh-analyze` `numeric-cast`/`float-cmp` lints with a single import:
+/// `use crate::stats::{exact_f64, floor_u64, approx_eq, ...}`.
+pub use swh_rand::checked::{
+    approx_eq, as_index, assert_probability, assert_rate, ceil_u64, exact_eq, exact_f64,
+    exact_f64_i64, exact_f64_usize, exact_ratio, floor_u64, index_u32, index_u64, is_zero,
+    rel_close, round_u64, rounding_f64, rounding_f64_i64, saturating_u64, u32_index, F64_EXACT_MAX,
+};
+
 /// Counters collected by one sampler run (one partition).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SamplerStats {

@@ -51,4 +51,4 @@ mod timer;
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use progress::{set_verbosity, verbosity, write_progress};
 pub use registry::{global, MetricValue, Registry, Snapshot};
-pub use timer::ScopeTimer;
+pub use timer::{ScopeTimer, Stopwatch};

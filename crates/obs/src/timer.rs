@@ -61,6 +61,41 @@ pub(crate) fn elapsed_ns(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// A started monotonic clock, the workspace's sanctioned way to measure
+/// elapsed wall-clock time outside this crate.
+///
+/// The `swh-analyze` determinism lint bans `std::time::*` inside the
+/// sampling and merge crates so that no sampling *decision* can ever depend
+/// on the clock; purge/span timing instead flows through this wrapper, which
+/// exposes only durations (never absolute time) and lives in the
+/// observability layer below the lint boundary.
+///
+/// ```
+/// use swh_obs::Stopwatch;
+///
+/// let sw = Stopwatch::start();
+/// let ns = sw.elapsed_ns();
+/// assert!(ns < u64::MAX);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start the clock.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturated to `u64`.
+    pub fn elapsed_ns(&self) -> u64 {
+        elapsed_ns(self.start)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,7 @@
 //! probabilities `r_0..r_k` and aliases `a_0..a_k`; we build it with Vose's
 //! stable two-worklist construction.
 
+use crate::checked::{exact_f64_usize, index_u32, index_u64, u32_index};
 use rand::Rng;
 
 /// Precomputed alias table over outcomes `0..n`.
@@ -32,7 +33,7 @@ impl AliasTable {
             "alias table needs at least one outcome"
         );
         assert!(
-            weights.len() <= u32::MAX as usize,
+            u32::try_from(weights.len()).is_ok(),
             "alias table too large: {} outcomes",
             weights.len()
         );
@@ -47,32 +48,33 @@ impl AliasTable {
 
         let n = weights.len();
         // Scaled probabilities: mean 1.
-        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
-        let mut small: Vec<u32> = Vec::new();
-        let mut large: Vec<u32> = Vec::new();
+        let nf = exact_f64_usize(n);
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * nf / total).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
         for (i, &s) in scaled.iter().enumerate() {
             if s < 1.0 {
-                small.push(i as u32);
+                small.push(i);
             } else {
-                large.push(i as u32);
+                large.push(i);
             }
         }
         let mut prob = vec![1.0f64; n];
         let mut alias = vec![0u32; n];
         while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
             small.pop();
-            prob[s as usize] = scaled[s as usize];
-            alias[s as usize] = l;
-            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
-            if scaled[l as usize] < 1.0 {
+            prob[s] = scaled[s];
+            alias[s] = index_u32(l);
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
                 large.pop();
                 small.push(l);
             }
         }
         // Remaining columns (numerical leftovers) accept with probability 1.
         for &i in small.iter().chain(large.iter()) {
-            prob[i as usize] = 1.0;
-            alias[i as usize] = i;
+            prob[i] = 1.0;
+            alias[i] = index_u32(i);
         }
         Self { prob, alias }
     }
@@ -93,9 +95,9 @@ impl AliasTable {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let i = rng.random_range(0..self.prob.len());
         if rng.random::<f64>() < self.prob[i] {
-            i as u64
+            index_u64(i)
         } else {
-            self.alias[i] as u64
+            u64::from(self.alias[i])
         }
     }
 
@@ -103,10 +105,11 @@ impl AliasTable {
     /// tests to confirm the table encodes the input distribution exactly.
     pub fn outcome_probabilities(&self) -> Vec<f64> {
         let n = self.prob.len();
+        let nf = exact_f64_usize(n);
         let mut out = vec![0.0f64; n];
         for i in 0..n {
-            out[i] += self.prob[i] / n as f64;
-            out[self.alias[i] as usize] += (1.0 - self.prob[i]) / n as f64;
+            out[i] += self.prob[i] / nf;
+            out[u32_index(self.alias[i])] += (1.0 - self.prob[i]) / nf;
         }
         out
     }

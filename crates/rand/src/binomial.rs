@@ -16,6 +16,7 @@
 //! * large mean — the BINV-style inversion from the mode, costing `O(√(n·p̃))`
 //!   expected steps with exact pmf recursion.
 
+use crate::checked::{exact_eq, exact_f64, floor_u64, index_u64};
 use rand::Rng;
 
 /// Number of trials below which plain coin flipping is used.
@@ -37,10 +38,10 @@ const WAITING_LIMIT: f64 = 32.0;
 /// Panics unless `0 ≤ p ≤ 1`.
 pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     assert!((0.0..=1.0).contains(&p), "p must lie in [0, 1], got {p}");
-    if n == 0 || p == 0.0 {
+    if n == 0 || exact_eq(p, 0.0) {
         return 0;
     }
-    if p == 1.0 {
+    if exact_eq(p, 1.0) {
         return n;
     }
     // Work with p̃ = min(p, 1-p) and flip the result if needed.
@@ -48,7 +49,7 @@ pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
     let pt = if flipped { 1.0 - p } else { p };
     let k = if n <= DIRECT_LIMIT {
         direct(rng, n, pt)
-    } else if (n as f64) * pt <= WAITING_LIMIT {
+    } else if exact_f64(n) * pt <= WAITING_LIMIT {
         waiting_time(rng, n, pt)
     } else {
         inversion_from_mode(rng, n, pt)
@@ -62,7 +63,7 @@ pub fn binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
 
 /// Coin-flipping generator: `O(n)`.
 fn direct<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    (0..n).filter(|_| rng.random::<f64>() < p).count() as u64
+    index_u64((0..n).filter(|_| rng.random::<f64>() < p).count())
 }
 
 /// First-waiting-time generator: sum geometric gaps until they pass `n`.
@@ -84,10 +85,10 @@ fn waiting_time<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
             }
         };
         let gap = (u.ln() / ln_q).floor();
-        if gap >= (n - pos) as f64 {
+        if gap >= exact_f64(n - pos) {
             return successes;
         }
-        pos += gap as u64 + 1;
+        pos += floor_u64(gap) + 1;
         if pos > n {
             return successes;
         }
@@ -104,18 +105,18 @@ fn waiting_time<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
 /// subtracting probability mass from a uniform draw. Expected number of
 /// steps is `O(σ) = O(√(n·p))`.
 fn inversion_from_mode<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    let nf = n as f64;
+    let nf = exact_f64(n);
     let q = 1.0 - p;
-    let mode = ((nf + 1.0) * p).floor().min(nf) as u64;
+    let mode = floor_u64(((nf + 1.0) * p).floor().min(nf));
     // pmf at the mode, via logs to avoid under/overflow.
     let ln_pmf_mode =
-        crate::stats::ln_choose(n, mode) + mode as f64 * p.ln() + (n - mode) as f64 * q.ln();
+        crate::stats::ln_choose(n, mode) + exact_f64(mode) * p.ln() + exact_f64(n - mode) * q.ln();
     let pmf_mode = ln_pmf_mode.exp();
 
     // Ratios: pmf(k+1)/pmf(k) = (n-k)/(k+1) * p/q.
-    let ratio_up = |k: u64| ((n - k) as f64 / (k + 1) as f64) * (p / q);
+    let ratio_up = |k: u64| (exact_f64(n - k) / exact_f64(k + 1)) * (p / q);
     // pmf(k-1)/pmf(k) = k/(n-k+1) * q/p.
-    let ratio_down = |k: u64| (k as f64 / (n - k + 1) as f64) * (q / p);
+    let ratio_down = |k: u64| (exact_f64(k) / exact_f64(n - k + 1)) * (q / p);
 
     let mut u = rng.random::<f64>();
     // Sweep outward: mode, mode+1, mode-1, mode+2, mode-2, ...

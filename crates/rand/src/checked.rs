@@ -1,0 +1,340 @@
+//! Checked conversions between integers and floats, and tolerance-based
+//! float comparison — the sanctioned alternatives to bare `as` casts and
+//! `f64 == f64` in probability code.
+//!
+//! The paper's guarantees are *statistical*: HB's `P{|S| > n_F} ≤ p` bound
+//! (Eq. 1) and HRMerge's hypergeometric split (Eq. 2–3) hold only if the
+//! arithmetic that implements them is exact where it claims to be. A bare
+//! `u64 as f64` silently rounds above 2⁵³ and a bare `f64 as u64` silently
+//! saturates NaN/negative/overflowing values to 0 or `u64::MAX` — either
+//! can corrupt a sampling rate or a pmf without failing any test. The
+//! `swh-analyze` `numeric-cast` and `float-cmp` lints therefore ban the raw
+//! forms in the probability modules and require these helpers, which make
+//! every precondition an explicit, panicking check.
+//!
+//! Every helper is `#[inline]` and compiles to the same single instruction
+//! as the raw cast plus a branch that the optimizer can usually hoist, so
+//! there is no hot-path penalty for using them.
+
+/// Largest integer magnitude `f64` represents exactly (2⁵³).
+pub const F64_EXACT_MAX: u64 = 1 << 53;
+
+/// Convert a count to `f64`, panicking if the value cannot be represented
+/// exactly (i.e. exceeds 2⁵³).
+///
+/// Use for population sizes, sample sizes, and pmf indices — quantities
+/// whose rounding would silently bias a probability.
+///
+/// # Panics
+/// Panics if `n > 2^53`.
+#[inline]
+pub fn exact_f64(n: u64) -> f64 {
+    assert!(
+        n <= F64_EXACT_MAX,
+        "count {n} exceeds 2^53 and cannot be represented exactly as f64"
+    );
+    // swh-analyze: allow(numeric-cast) -- the one sanctioned conversion site; exactness asserted above
+    n as f64
+}
+
+/// Convert a `usize` (e.g. a slice length or index) to `f64` exactly.
+///
+/// # Panics
+/// Panics if `n > 2^53`.
+#[inline]
+pub fn exact_f64_usize(n: usize) -> f64 {
+    exact_f64(n as u64) // swh-analyze: allow(numeric-cast) -- usize→u64 is lossless on all supported targets
+}
+
+/// Convert an `i64` to `f64`, panicking if the magnitude cannot be
+/// represented exactly.
+///
+/// # Panics
+/// Panics if `|n| > 2^53`.
+#[inline]
+pub fn exact_f64_i64(n: i64) -> f64 {
+    assert!(
+        n.unsigned_abs() <= F64_EXACT_MAX,
+        "value {n} exceeds 2^53 in magnitude and cannot be represented exactly as f64"
+    );
+    // swh-analyze: allow(numeric-cast) -- the one sanctioned conversion site; exactness asserted above
+    n as f64
+}
+
+/// Convert a count to `f64`, rounding to the nearest representable value
+/// above 2⁵³ instead of panicking.
+///
+/// For *estimator* code (aggregates, expansion factors) where a relative
+/// error of 2⁻⁵³ on astronomically large totals is statistically
+/// irrelevant and aborting the query would be worse. Probability and pmf
+/// code must use [`exact_f64`] instead.
+#[inline]
+pub fn rounding_f64(n: u64) -> f64 {
+    // swh-analyze: allow(numeric-cast) -- the sanctioned rounding conversion site; rounding documented above
+    n as f64
+}
+
+/// Convert an `i64` magnitude to `f64`, rounding above 2⁵³ instead of
+/// panicking. Estimator-side counterpart of [`exact_f64_i64`].
+#[inline]
+pub fn rounding_f64_i64(n: i64) -> f64 {
+    // swh-analyze: allow(numeric-cast) -- the sanctioned rounding conversion site; rounding documented above
+    n as f64
+}
+
+/// `a / b` as `f64` with both operands checked exact.
+///
+/// # Panics
+/// Panics if either operand exceeds 2⁵³ or `b == 0`.
+#[inline]
+pub fn exact_ratio(a: u64, b: u64) -> f64 {
+    assert!(b != 0, "exact_ratio denominator is zero");
+    exact_f64(a) / exact_f64(b)
+}
+
+/// Floor of a finite non-negative `f64`, as `u64`.
+///
+/// The checked replacement for `x.floor() as u64`: a bare cast maps NaN and
+/// negatives to 0 and saturates overflow to `u64::MAX`, all silently.
+///
+/// # Panics
+/// Panics if `x` is NaN, negative, or ≥ 2⁶⁴.
+#[inline]
+pub fn floor_u64(x: f64) -> u64 {
+    assert!(
+        x.is_finite() && (0.0..18_446_744_073_709_551_616.0).contains(&x),
+        "floor_u64 requires a finite value in [0, 2^64), got {x}"
+    );
+    // swh-analyze: allow(numeric-cast) -- the one sanctioned conversion site; range asserted above
+    x as u64
+}
+
+/// Nearest integer of a finite non-negative `f64`, as `u64`.
+///
+/// # Panics
+/// Panics if `x` is NaN, negative, or rounds to ≥ 2⁶⁴.
+#[inline]
+pub fn round_u64(x: f64) -> u64 {
+    floor_u64(x.round())
+}
+
+/// Ceiling of a finite non-negative `f64`, as `u64`.
+///
+/// # Panics
+/// Panics if `x` is NaN, negative, or its ceiling is ≥ 2⁶⁴.
+#[inline]
+pub fn ceil_u64(x: f64) -> u64 {
+    floor_u64(x.ceil())
+}
+
+/// A `u64` pmf/table index as `usize`.
+///
+/// # Panics
+/// Panics if `n` does not fit in `usize` (32-bit targets).
+#[inline]
+pub fn as_index(n: u64) -> usize {
+    usize::try_from(n).unwrap_or_else(|_| panic!("index {n} does not fit in usize"))
+}
+
+/// Absolute-tolerance float equality: `|a − b| ≤ tol`, with NaN never equal.
+///
+/// The checked replacement for `a == b` on probabilities: exact float
+/// equality silently turns into "never true" after any rounding step.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    debug_assert!(tol >= 0.0, "tolerance must be non-negative");
+    (a - b).abs() <= tol
+}
+
+/// Relative-tolerance float closeness: `|a − b| ≤ tol · max(|a|, |b|)`.
+///
+/// Suitable for comparing probabilities or rates whose scale varies.
+#[inline]
+pub fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    debug_assert!(tol >= 0.0, "tolerance must be non-negative");
+    (a - b).abs() <= tol * a.abs().max(b.abs())
+}
+
+/// True when a probability-like value is exactly zero (within one ulp of
+/// the arithmetic that produced it). Named so the intent survives review.
+#[inline]
+pub fn is_zero(x: f64) -> bool {
+    x.abs() <= f64::EPSILON
+}
+
+/// Floor of a non-negative finite `f64`, saturating to `u64::MAX` instead
+/// of panicking when the value exceeds the `u64` range. For skip distances
+/// and clamped envelope draws where "effectively infinite" is a valid
+/// answer.
+///
+/// # Panics
+/// Panics if `x` is NaN or negative.
+#[inline]
+pub fn saturating_u64(x: f64) -> u64 {
+    assert!(
+        !x.is_nan() && x >= 0.0,
+        "expected a non-negative value, got {x}"
+    );
+    if x >= 18_446_744_073_709_551_616.0 {
+        u64::MAX
+    } else {
+        // swh-analyze: allow(numeric-cast) -- in-range by the guard above; this is the sanctioned saturating conversion site
+        x as u64
+    }
+}
+
+/// A `usize` table index as `u32`, for compact alias/outcome tables.
+///
+/// # Panics
+/// Panics if `i` does not fit in `u32`.
+#[inline]
+pub fn index_u32(i: usize) -> u32 {
+    u32::try_from(i).unwrap_or_else(|_| panic!("index {i} does not fit in u32"))
+}
+
+/// A `u32` table entry widened back to `usize`. Infallible on every
+/// supported target (`usize` ≥ 32 bits).
+#[inline]
+pub fn u32_index(i: u32) -> usize {
+    usize::try_from(i).unwrap_or_else(|_| panic!("u32 {i} does not fit in usize"))
+}
+
+/// A `usize` length/index as `u64`. Infallible on every supported target
+/// (`usize` ≤ 64 bits); spelled as a named conversion so probability code
+/// carries no bare casts.
+#[inline]
+pub fn index_u64(i: usize) -> u64 {
+    u64::try_from(i).unwrap_or_else(|_| panic!("usize {i} does not fit in u64"))
+}
+
+/// Intentional *exact* float equality, for sentinel and fixed-point guards
+/// (`p == 0.0` before dividing, `u == 1.0` from a generator whose support
+/// is `[0, 1)`). Routing these through one named helper keeps bare `==` out
+/// of probability code without perturbing behavior by a single ulp.
+#[inline]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    #[allow(clippy::float_cmp)]
+    {
+        a == b
+    }
+}
+
+/// Assert that `q` is a valid sampling rate in `(0, 1]`.
+///
+/// # Panics
+/// Panics if `q` is NaN, ≤ 0, or > 1.
+#[inline]
+pub fn assert_rate(q: f64) {
+    assert!(
+        q > 0.0 && q <= 1.0,
+        "sampling rate must lie in (0, 1], got {q}"
+    );
+}
+
+/// Assert that `p` is a valid probability in `[0, 1]`.
+///
+/// # Panics
+/// Panics if `p` is NaN or outside `[0, 1]`.
+#[inline]
+pub fn assert_probability(p: f64) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must lie in [0, 1], got {p}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_f64_round_trips_in_range() {
+        for n in [0u64, 1, 1 << 20, F64_EXACT_MAX] {
+            assert_eq!(exact_f64(n), n as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2^53")]
+    fn exact_f64_rejects_imprecise() {
+        exact_f64(F64_EXACT_MAX + 1);
+    }
+
+    #[test]
+    fn exact_f64_i64_handles_signs() {
+        assert_eq!(exact_f64_i64(-5), -5.0);
+        assert_eq!(exact_f64_i64(7), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 2^53")]
+    fn exact_f64_i64_rejects_imprecise_negative() {
+        exact_f64_i64(-(1i64 << 53) - 1);
+    }
+
+    #[test]
+    fn exact_ratio_divides() {
+        assert_eq!(exact_ratio(3, 4), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator is zero")]
+    fn exact_ratio_rejects_zero_denominator() {
+        exact_ratio(1, 0);
+    }
+
+    #[test]
+    fn floor_round_ceil() {
+        assert_eq!(floor_u64(3.9), 3);
+        assert_eq!(round_u64(3.5), 4);
+        assert_eq!(ceil_u64(3.1), 4);
+        assert_eq!(floor_u64(0.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite value in [0, 2^64)")]
+    fn floor_rejects_negative() {
+        floor_u64(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite value in [0, 2^64)")]
+    fn floor_rejects_nan() {
+        floor_u64(f64::NAN);
+    }
+
+    #[test]
+    fn as_index_converts() {
+        assert_eq!(as_index(42), 42usize);
+    }
+
+    #[test]
+    fn approx_and_rel_comparisons() {
+        assert!(approx_eq(0.1 + 0.2, 0.3, 1e-12));
+        assert!(!approx_eq(0.1, 0.2, 1e-12));
+        assert!(!approx_eq(f64::NAN, f64::NAN, 1.0));
+        assert!(rel_close(1e12, 1e12 * (1.0 + 1e-13), 1e-12));
+        assert!(is_zero(0.0));
+        assert!(!is_zero(1e-9));
+    }
+
+    #[test]
+    fn rate_and_probability_guards() {
+        assert_rate(1.0);
+        assert_rate(1e-12);
+        assert_probability(0.0);
+        assert_probability(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1]")]
+    fn rate_rejects_zero() {
+        assert_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in [0, 1]")]
+    fn probability_rejects_nan() {
+        assert_probability(f64::NAN);
+    }
+}

@@ -21,6 +21,7 @@
 //! paper describes in §4.2.
 
 use crate::alias::AliasTable;
+use crate::checked::{as_index, exact_f64, index_u64};
 use crate::stats::ln_choose;
 use rand::Rng;
 
@@ -67,26 +68,26 @@ impl Hypergeometric {
         debug_assert!(lo <= hi);
 
         // Log pmf via recurrence, anchored at lo with value 0 (unnormalized).
-        let len = (k + 1) as usize;
+        let len = as_index(k + 1);
         let mut ln_p = vec![f64::NEG_INFINITY; len];
-        ln_p[lo as usize] = 0.0;
+        ln_p[as_index(lo)] = 0.0;
         let mut cur = 0.0f64;
         for l in lo..hi {
             // Eq. (3): P(l+1)/P(l) = (k-l)(d1-l) / ((l+1)(d2-k+l+1)).
-            let num = (k - l) as f64 * (d1 - l) as f64;
-            let den = (l + 1) as f64 * (d2 + l + 1 - k) as f64;
+            let num = exact_f64(k - l) * exact_f64(d1 - l);
+            let den = exact_f64(l + 1) * exact_f64(d2 + l + 1 - k);
             cur += (num / den).ln();
-            ln_p[(l + 1) as usize] = cur;
+            ln_p[as_index(l + 1)] = cur;
         }
         // Exp-normalize.
-        let max = ln_p[lo as usize..=hi as usize]
+        let max = ln_p[as_index(lo)..=as_index(hi)]
             .iter()
             .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
         let mut probs = vec![0.0f64; len];
         let mut total = 0.0;
         for l in lo..=hi {
-            let v = (ln_p[l as usize] - max).exp();
-            probs[l as usize] = v;
+            let v = (ln_p[as_index(l)] - max).exp();
+            probs[as_index(l)] = v;
             total += v;
         }
         let mut cdf = Vec::with_capacity(len);
@@ -111,7 +112,11 @@ impl Hypergeometric {
 
     /// `P(L = l)`; zero outside the feasible support.
     pub fn pmf(&self, l: u64) -> f64 {
-        self.probs.get(l as usize).copied().unwrap_or(0.0)
+        usize::try_from(l)
+            .ok()
+            .and_then(|i| self.probs.get(i))
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Exact pmf computed directly from Eq. (2) via log binomial
@@ -138,7 +143,7 @@ impl Hypergeometric {
 
     /// Expected value `k·d1/(d1+d2)`.
     pub fn mean(&self) -> f64 {
-        self.k as f64 * self.d1 as f64 / (self.d1 + self.d2) as f64
+        exact_f64(self.k) * exact_f64(self.d1) / exact_f64(self.d1 + self.d2)
     }
 
     /// Draw `L` by inversion: binary search of the cumulative distribution.
@@ -149,7 +154,7 @@ impl Hypergeometric {
         let u = rng.random::<f64>();
         // partition_point returns the count of elements < u, i.e. the first
         // index with cdf >= u.
-        self.cdf.partition_point(|&c| c < u) as u64
+        index_u64(self.cdf.partition_point(|&c| c < u))
     }
 
     /// Build an alias table for `O(1)` repeated draws (§4.2 of the paper:
@@ -331,6 +336,63 @@ mod tests {
     #[should_panic(expected = "exceeds population")]
     fn rejects_oversized_k() {
         Hypergeometric::new(3, 3, 7);
+    }
+
+    // Eq. (3) edge cases: the recurrence must survive the boundary
+    // configurations HRMerge can feed it.
+
+    #[test]
+    fn eq3_edge_k_zero_always_draws_zero() {
+        let h = Hypergeometric::new(12, 7, 0);
+        assert!((h.pmf(0) - 1.0).abs() < 1e-12);
+        let mut rng = seeded_rng(41);
+        for _ in 0..200 {
+            assert_eq!(h.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn eq3_edge_k_equals_union_size_takes_everything() {
+        // k = |S1| + |S2|: the merged sample is the whole union, so L = |S1|
+        // with probability one.
+        let h = Hypergeometric::new(6, 4, 10);
+        assert!((h.pmf(6) - 1.0).abs() < 1e-12);
+        for l in 0..6u64 {
+            assert_eq!(h.pmf(l), 0.0, "pmf({l}) must vanish");
+        }
+        let mut rng = seeded_rng(42);
+        for _ in 0..200 {
+            assert_eq!(h.sample(&mut rng), 6);
+        }
+    }
+
+    #[test]
+    fn eq3_edge_empty_partition_contributes_nothing() {
+        // |S1| = 0: every draw comes from the other side.
+        let h = Hypergeometric::new(0, 8, 3);
+        assert!((h.pmf(0) - 1.0).abs() < 1e-12);
+        let mut rng = seeded_rng(43);
+        for _ in 0..200 {
+            assert_eq!(h.sample(&mut rng), 0);
+        }
+        // Symmetric case: |S2| = 0 forces L = k.
+        let h = Hypergeometric::new(8, 0, 3);
+        assert!((h.pmf(3) - 1.0).abs() < 1e-12);
+        for _ in 0..200 {
+            assert_eq!(h.sample(&mut rng), 3);
+        }
+    }
+
+    #[test]
+    fn eq3_edge_degenerate_single_point_support() {
+        // N = n on both sides (k = d1 = d2 = 1 and friends): the support
+        // collapses to one point and the recurrence must not divide by zero.
+        for &(d1, d2, k) in &[(1u64, 1u64, 2u64), (1, 0, 1), (0, 1, 1), (2, 2, 4)] {
+            let h = Hypergeometric::new(d1, d2, k);
+            let s: f64 = h.probs().iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "({d1},{d2},{k}) sum {s}");
+            assert!((h.pmf(d1.min(k)) - 1.0).abs() < 1e-12);
+        }
     }
 
     #[test]

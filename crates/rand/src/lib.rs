@@ -20,9 +20,13 @@
 //! * [`zipf`] — Zipfian integer generator for the paper's §5 workloads.
 //! * [`stats`] — log-gamma, log-binomial-coefficient, regularized incomplete
 //!   gamma, and a chi-square CDF used by the statistical test harnesses.
+//! * [`checked`] — checked int↔float conversions and tolerance-based float
+//!   comparison, required by the `swh-analyze` numeric-safety lints in
+//!   probability code.
 
 pub mod alias;
 pub mod binomial;
+pub mod checked;
 pub mod exponential;
 pub mod hypergeometric;
 pub mod normal;

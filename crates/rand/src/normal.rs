@@ -11,7 +11,7 @@
 /// Uses `Φ(x) = (1 + sign(x)·P(1/2, x²/2)) / 2` where `P` is the regularized
 /// lower incomplete gamma function, giving ~15 significant digits.
 pub fn normal_cdf(x: f64) -> f64 {
-    if x == 0.0 {
+    if crate::checked::exact_eq(x, 0.0) {
         return 0.5;
     }
     let p = crate::stats::regularized_gamma_p(0.5, x * x / 2.0);

@@ -2,6 +2,8 @@
 //! coefficients, the regularized incomplete gamma function, and the
 //! chi-square CDF (used by the uniformity test harnesses).
 
+use crate::checked::{exact_eq, exact_f64, exact_f64_usize};
+
 /// Natural log of the gamma function, via the Lanczos approximation.
 ///
 /// Accurate to ~15 significant digits for `x > 0`, which is ample for the
@@ -26,10 +28,11 @@ pub fn ln_gamma(x: f64) -> f64 {
         return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
+    // swh-analyze: allow(panic) -- compile-time-constant index into the fixed 9-entry Lanczos table
     let mut a = COEF[0];
     let t = x + 7.5;
     for (i, &c) in COEF.iter().enumerate().skip(1) {
-        a += c / (x + i as f64);
+        a += c / (x + exact_f64_usize(i));
     }
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
 }
@@ -44,7 +47,7 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
     if k == 0 || k == n {
         return 0.0;
     }
-    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+    ln_gamma(exact_f64(n) + 1.0) - ln_gamma(exact_f64(k) + 1.0) - ln_gamma(exact_f64(n - k) + 1.0)
 }
 
 /// Regularized lower incomplete gamma function `P(a, x)`.
@@ -53,7 +56,7 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
 /// fraction (Lentz's algorithm) otherwise, following Numerical Recipes.
 pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
     assert!(a > 0.0 && x >= 0.0, "invalid arguments a={a}, x={x}");
-    if x == 0.0 {
+    if exact_eq(x, 0.0) {
         return 0.0;
     }
     if x < a + 1.0 {
@@ -76,8 +79,8 @@ pub fn regularized_gamma_p(a: f64, x: f64) -> f64 {
         let mut c = 1.0 / 1e-300;
         let mut d = 1.0 / b;
         let mut h = d;
-        for i in 1..500 {
-            let an = -(i as f64) * (i as f64 - a);
+        for i in 1..500u64 {
+            let an = -exact_f64(i) * (exact_f64(i) - a);
             b += 2.0;
             d = an * d + b;
             if d.abs() < 1e-300 {
@@ -107,10 +110,10 @@ pub fn regularized_beta(a: f64, b: f64, x: f64) -> f64 {
         "beta parameters must be positive (a={a}, b={b})"
     );
     assert!((0.0..=1.0).contains(&x), "x must lie in [0, 1], got {x}");
-    if x == 0.0 {
+    if exact_eq(x, 0.0) {
         return 0.0;
     }
-    if x == 1.0 {
+    if exact_eq(x, 1.0) {
         return 1.0;
     }
     let front =
@@ -135,8 +138,8 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
     }
     d = 1.0 / d;
     let mut h = d;
-    for m in 1..300 {
-        let m = m as f64;
+    for m in 1..300u64 {
+        let m = exact_f64(m);
         let m2 = 2.0 * m;
         // Even step.
         let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
@@ -181,7 +184,7 @@ pub fn binomial_tail_gt(n: u64, q: f64, m: u64) -> f64 {
         return 0.0;
     }
     // P(X > m) = I_q(m+1, n-m).
-    regularized_beta(m as f64 + 1.0, (n - m) as f64, q)
+    regularized_beta(exact_f64(m) + 1.0, exact_f64(n - m), q)
 }
 
 /// CDF of the chi-square distribution with `df` degrees of freedom.
@@ -204,7 +207,7 @@ pub fn chi_square_statistic(observed: &[u64], expected: &[f64]) -> f64 {
         .zip(expected)
         .map(|(&o, &e)| {
             assert!(e > 0.0, "expected counts must be positive");
-            let d = o as f64 - e;
+            let d = exact_f64(o) - e;
             d * d / e
         })
         .sum()

@@ -5,6 +5,7 @@
 //! generator is inversion over a precomputed CDF with binary search; we also
 //! expose the harmonic normalization so tests can check the pmf.
 
+use crate::checked::{as_index, exact_f64, index_u64};
 use rand::Rng;
 
 /// Zipf distribution over `{1, ..., n}` with exponent `s > 0`:
@@ -28,10 +29,10 @@ impl Zipf {
             s.is_finite() && s > 0.0,
             "Zipf exponent must be positive, got {s}"
         );
-        let mut cdf = Vec::with_capacity(n as usize);
+        let mut cdf = Vec::with_capacity(as_index(n));
         let mut acc = 0.0f64;
         for i in 1..=n {
-            acc += (i as f64).powf(-s);
+            acc += exact_f64(i).powf(-s);
             cdf.push(acc);
         }
         let total = acc;
@@ -59,8 +60,9 @@ impl Zipf {
         if i == 0 || i > self.n {
             return 0.0;
         }
-        let idx = (i - 1) as usize;
+        let idx = as_index(i - 1);
         if idx == 0 {
+            // swh-analyze: allow(panic) -- idx == 0 implies a non-empty cdf (n > 0 is asserted in the constructor)
             self.cdf[0]
         } else {
             self.cdf[idx] - self.cdf[idx - 1]
@@ -70,7 +72,7 @@ impl Zipf {
     /// Draw one value in `{1, ..., n}` by inversion.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let u = rng.random::<f64>();
-        self.cdf.partition_point(|&c| c < u) as u64 + 1
+        index_u64(self.cdf.partition_point(|&c| c < u)) + 1
     }
 }
 

@@ -7,7 +7,7 @@
 
 use crate::ids::{DatasetId, PartitionId, PartitionKey};
 use std::collections::BTreeMap;
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 use swh_core::merge::MergeError;
 use swh_core::sample::Sample;
 use swh_core::value::SampleValue;
@@ -163,12 +163,15 @@ impl<T: SampleValue> Catalog<T> {
 
     /// Roll a partition sample into the warehouse.
     pub fn roll_in(&self, key: PartitionKey, sample: Sample<T>) -> Result<(), CatalogError> {
-        let mut map = self.inner.write().unwrap();
+        let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         let ds = map.entry(key.dataset).or_default();
         if ds.contains_key(&key.partition) {
             return Err(CatalogError::DuplicatePartition(key));
         }
-        let mut seq = self.roll_seq.write().unwrap();
+        let mut seq = self
+            .roll_seq
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         *seq += 1;
         ds.insert(
             key.partition,
@@ -183,7 +186,7 @@ impl<T: SampleValue> Catalog<T> {
 
     /// Roll a partition sample out, returning it.
     pub fn roll_out(&self, key: PartitionKey) -> Result<PartitionEntry<T>, CatalogError> {
-        let mut map = self.inner.write().unwrap();
+        let mut map = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         let ds = map
             .get_mut(&key.dataset)
             .ok_or(CatalogError::UnknownDataset(key.dataset))?;
@@ -200,7 +203,7 @@ impl<T: SampleValue> Catalog<T> {
     /// Clone one partition's sample out of the catalog.
     pub fn get(&self, key: PartitionKey) -> Result<Sample<T>, CatalogError> {
         self.metrics.gets.inc();
-        let map = self.inner.read().unwrap();
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         map.get(&key.dataset)
             .and_then(|ds| ds.get(&key.partition))
             .map(|e| e.sample.clone())
@@ -209,14 +212,19 @@ impl<T: SampleValue> Catalog<T> {
 
     /// All datasets currently present.
     pub fn datasets(&self) -> Vec<DatasetId> {
-        self.inner.read().unwrap().keys().copied().collect()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .keys()
+            .copied()
+            .collect()
     }
 
     /// All partitions of a dataset, in id order.
     pub fn partitions(&self, dataset: DatasetId) -> Result<Vec<PartitionId>, CatalogError> {
         self.inner
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&dataset)
             .map(|ds| ds.keys().copied().collect())
             .ok_or(CatalogError::UnknownDataset(dataset))
@@ -224,7 +232,12 @@ impl<T: SampleValue> Catalog<T> {
 
     /// Number of partitions rolled in across all datasets.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().values().map(BTreeMap::len).sum()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(BTreeMap::len)
+            .sum()
     }
 
     /// True when the catalog holds no partitions.
@@ -240,7 +253,7 @@ impl<T: SampleValue> Catalog<T> {
         mut select: impl FnMut(PartitionId) -> bool,
     ) -> Result<Vec<Sample<T>>, CatalogError> {
         self.metrics.selects.inc();
-        let map = self.inner.read().unwrap();
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         let ds = map
             .get(&dataset)
             .ok_or(CatalogError::UnknownDataset(dataset))?;

@@ -97,7 +97,9 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64, CodecError> {
-    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(take(buf, 8)?);
+    Ok(u64::from_le_bytes(raw))
 }
 
 fn put_f64(out: &mut Vec<u8>, v: f64) {
@@ -105,7 +107,9 @@ fn put_f64(out: &mut Vec<u8>, v: f64) {
 }
 
 fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
-    Ok(f64::from_le_bytes(take(buf, 8)?.try_into().unwrap()))
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(take(buf, 8)?);
+    Ok(f64::from_le_bytes(raw))
 }
 
 macro_rules! int_codec {
@@ -115,9 +119,9 @@ macro_rules! int_codec {
                 out.extend_from_slice(&self.to_le_bytes());
             }
             fn decode_value(buf: &mut &[u8]) -> Result<Self, CodecError> {
-                Ok(<$t>::from_le_bytes(
-                    take(buf, std::mem::size_of::<$t>())?.try_into().unwrap(),
-                ))
+                let mut raw = [0u8; std::mem::size_of::<$t>()];
+                raw.copy_from_slice(take(buf, std::mem::size_of::<$t>())?);
+                Ok(<$t>::from_le_bytes(raw))
             }
         }
     )*};
@@ -197,7 +201,9 @@ pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecErro
         return Err(CodecError::UnexpectedEof);
     }
     let (payload, trailer) = input.split_at(input.len() - 4);
-    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(trailer);
+    let stored = u32::from_le_bytes(raw);
     if crc32(payload) != stored {
         return Err(CodecError::ChecksumMismatch);
     }

@@ -54,12 +54,10 @@ impl FullStore {
         key: PartitionKey,
         values: I,
     ) -> Result<u64, StoreError> {
-        let dir = self
-            .file_path(key)
-            .parent()
-            .expect("file has parent")
-            .to_path_buf();
-        fs::create_dir_all(&dir)?;
+        let path = self.file_path(key);
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
         // Encode the payload first so the header can carry count + CRC.
         let mut payload = Vec::new();
         let mut count = 0u64;
@@ -67,7 +65,7 @@ impl FullStore {
             v.encode_value(&mut payload);
             count += 1;
         }
-        let final_path = self.file_path(key);
+        let final_path = path;
         let tmp = final_path.with_extension("vals.tmp");
         {
             let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
@@ -94,8 +92,7 @@ impl FullStore {
         if header[0..4] != MAGIC {
             return Err(StoreError::Codec(CodecError::BadHeader));
         }
-        let count = u64::from_le_bytes(header[4..12].try_into().unwrap());
-        let stored_crc = u32::from_le_bytes(header[12..16].try_into().unwrap());
+        let (count, stored_crc) = header_fields(&header);
         let mut payload = Vec::new();
         f.read_to_end(&mut payload)?;
         if crc32(&payload) != stored_crc {
@@ -125,7 +122,7 @@ impl FullStore {
         if header[0..4] != MAGIC {
             return Err(StoreError::Codec(CodecError::BadHeader));
         }
-        Ok(u64::from_le_bytes(header[4..12].try_into().unwrap()))
+        Ok(header_fields(&header).0)
     }
 
     /// Delete one partition's data (full-scale roll-out). Returns whether a
@@ -206,6 +203,15 @@ impl FullStore {
             }
         }))
     }
+}
+
+/// Split a partition-file header into its `(count, crc)` fields.
+fn header_fields(header: &[u8; 16]) -> (u64, u32) {
+    let mut count_raw = [0u8; 8];
+    count_raw.copy_from_slice(&header[4..12]);
+    let mut crc_raw = [0u8; 4];
+    crc_raw.copy_from_slice(&header[12..16]);
+    (u64::from_le_bytes(count_raw), u32::from_le_bytes(crc_raw))
 }
 
 #[cfg(test)]

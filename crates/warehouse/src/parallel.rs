@@ -11,12 +11,12 @@
 //! number of partitions drained from the shared queue, total elements
 //! observed, and the purge work reported by each partition's sampler.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use swh_core::sample::Sample;
 use swh_core::sampler::Sampler;
 use swh_core::stats::SamplerStats;
 use swh_core::value::SampleValue;
-use swh_obs::Registry;
+use swh_obs::{Registry, Stopwatch};
 use swh_rand::seeded_rng;
 
 /// Sample many partitions concurrently, publishing worker metrics to the
@@ -109,10 +109,13 @@ where
             let worker_busy = worker_busy.clone();
             let partitions_total = partitions_total.clone();
             scope.spawn(move || {
-                let start = std::time::Instant::now();
+                let start = Stopwatch::start();
                 let mut drained = 0u64;
                 loop {
-                    let item = queue.lock().unwrap().pop();
+                    // Plain data behind the locks: a poisoned mutex (some
+                    // worker panicked mid-push) leaves it fully usable, so
+                    // recover the guard instead of propagating the panic.
+                    let item = queue.lock().unwrap_or_else(PoisonError::into_inner).pop();
                     let Some((idx, stream)) = item else { break };
                     drained += 1;
                     let mut rng = seeded_rng(seed.wrapping_add(idx as u64));
@@ -120,10 +123,11 @@ where
                     for v in stream {
                         sampler.observe(v, &mut rng);
                     }
-                    *results[idx].lock().unwrap() = Some(sampler.finalize_with_stats(&mut rng));
+                    *results[idx].lock().unwrap_or_else(PoisonError::into_inner) =
+                        Some(sampler.finalize_with_stats(&mut rng));
                 }
                 partitions_total.add(drained);
-                worker_busy.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                worker_busy.record(start.elapsed_ns());
             });
         }
     });
@@ -132,8 +136,9 @@ where
         .map(|slot| {
             let (sample, stats) = slot
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .take()
+                // swh-analyze: allow(panic) -- scope join guarantees every slot was filled; an empty slot is a worker bug worth a crash
                 .expect("every partition produced a sample");
             elements_total.add(stats.observed());
             purges_total.add(stats.purges);

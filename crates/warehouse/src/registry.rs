@@ -11,7 +11,7 @@ use crate::store::StoreError;
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::RwLock;
+use std::sync::{PoisonError, RwLock};
 
 /// Bidirectional name ↔ id map with optional file persistence.
 #[derive(Debug)]
@@ -98,7 +98,7 @@ impl DatasetRegistry {
             !name.contains('\t') && !name.contains('\n') && !name.is_empty(),
             "dataset names must be non-empty and tab/newline-free"
         );
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(&id) = inner.by_name.get(name) {
             return Ok(id);
         }
@@ -112,19 +112,29 @@ impl DatasetRegistry {
 
     /// Look a name up without creating it.
     pub fn lookup(&self, name: &str) -> Option<DatasetId> {
-        self.inner.read().unwrap().by_name.get(name).copied()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .by_name
+            .get(name)
+            .copied()
     }
 
     /// Reverse lookup.
     pub fn name_of(&self, id: DatasetId) -> Option<String> {
-        self.inner.read().unwrap().by_id.get(&id).cloned()
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .by_id
+            .get(&id)
+            .cloned()
     }
 
     /// All `(id, name)` pairs in id order.
     pub fn entries(&self) -> Vec<(DatasetId, String)> {
         self.inner
             .read()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .by_id
             .iter()
             .map(|(id, n)| (*id, n.clone()))

@@ -148,8 +148,10 @@ impl<T: SampleValue> TumblingWindow<T> {
         if self.pending.len() < self.width {
             return Ok(None);
         }
-        let first = self.pending.first().expect("non-empty").0;
-        let last = self.pending.last().expect("non-empty").0;
+        let (first, last) = match (self.pending.first(), self.pending.last()) {
+            (Some(f), Some(l)) => (f.0, l.0),
+            _ => panic!("pending is non-empty right after a push"),
+        };
         let samples = std::mem::take(&mut self.pending)
             .into_iter()
             .map(|(_, s)| s)
