@@ -214,6 +214,7 @@ pub fn run_timed_jobs<R>(
 /// CSV writer targeting `bench_results/<name>.csv` relative to the
 /// workspace root (falling back to the current directory).
 pub struct CsvOut {
+    name: String,
     path: PathBuf,
     buf: String,
 }
@@ -235,6 +236,7 @@ impl CsvOut {
         let dir = root.join("bench_results");
         let _ = fs::create_dir_all(&dir);
         Self {
+            name: name.to_string(),
             path: dir.join(format!("{name}.csv")),
             buf: format!("{header}\n"),
         }
@@ -249,11 +251,20 @@ impl CsvOut {
     /// Write the file to disk, reporting the path on stdout. Also drops the
     /// run's metrics snapshot next to the data (`<name>.metrics.prom`) so a
     /// slow figure run can be attributed — worker busy time, purge counts,
-    /// phase transitions — without rerunning it.
+    /// phase transitions — without rerunning it, and a machine-readable
+    /// `BENCH_<name>.json` rendering of the same rows for dashboards and CI
+    /// regression checks.
     pub fn finish(self) {
         match fs::File::create(&self.path).and_then(|mut f| f.write_all(self.buf.as_bytes())) {
             Ok(()) => println!("\n[csv] {}", self.path.display()),
             Err(e) => eprintln!("[csv] failed to write {}: {e}", self.path.display()),
+        }
+        let json_path = self
+            .path
+            .with_file_name(format!("BENCH_{}.json", self.name));
+        match fs::write(&json_path, csv_to_json(&self.name, &self.buf)) {
+            Ok(()) => println!("[json] {}", json_path.display()),
+            Err(e) => eprintln!("[json] failed to write {}: {e}", json_path.display()),
         }
         let prom = swh_obs::global().snapshot().to_prometheus();
         if !prom.is_empty() {
@@ -264,6 +275,60 @@ impl CsvOut {
             swh_obs::progress!(1, "{prom}");
         }
     }
+}
+
+/// Render CSV text (header row + data rows) as a JSON document:
+/// `{"bench": <name>, "rows": [{<col>: <value>, ...}, ...]}`. Cells that
+/// parse as finite numbers become JSON numbers; everything else is an
+/// escaped string. Hand-rolled so the harness stays dependency-free.
+fn csv_to_json(name: &str, csv: &str) -> String {
+    fn json_escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    fn json_value(cell: &str) -> String {
+        match cell.parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                // Integers render without a fraction; floats via Display,
+                // which round-trips f64 exactly.
+                if v == v.trunc() && v.abs() < 9e15 {
+                    format!("{}", v as i64)
+                } else {
+                    format!("{v}")
+                }
+            }
+            _ => json_escape(cell),
+        }
+    }
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().unwrap_or("").split(',').collect();
+    let mut rows = Vec::new();
+    for line in lines.filter(|l| !l.is_empty()) {
+        let fields: Vec<String> = line
+            .split(',')
+            .zip(&header)
+            .map(|(cell, col)| format!("{}: {}", json_escape(col.trim()), json_value(cell.trim())))
+            .collect();
+        rows.push(format!("    {{{}}}", fields.join(", ")));
+    }
+    format!(
+        "{{\n  \"bench\": {},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_escape(name),
+        rows.join(",\n")
+    )
 }
 
 /// Print a section header for harness output.
@@ -319,5 +384,29 @@ mod tests {
     #[test]
     fn makespan_empty() {
         assert_eq!(simulated_makespan(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn csv_to_json_renders_numbers_and_strings() {
+        let json = csv_to_json("demo", "k,time_s,label\n1,0.25,hr\n1024,3,with \"quote\"\n");
+        assert!(json.contains("\"bench\": \"demo\""), "{json}");
+        assert!(
+            json.contains("{\"k\": 1, \"time_s\": 0.25, \"label\": \"hr\"}"),
+            "{json}"
+        );
+        assert!(
+            json.contains("{\"k\": 1024, \"time_s\": 3, \"label\": \"with \\\"quote\\\"\"}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn csv_to_json_handles_empty_and_non_numeric() {
+        let json = csv_to_json("empty", "a,b\n");
+        assert!(json.contains("\"rows\": [\n\n  ]"), "{json}");
+        // NaN/inf must not leak as bare JSON tokens.
+        let json = csv_to_json("nan", "x\nNaN\ninf\n");
+        assert!(json.contains("\"NaN\""), "{json}");
+        assert!(json.contains("\"inf\""), "{json}");
     }
 }

@@ -38,6 +38,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "estimate" => estimate(args, out),
         "metrics" => metrics_cmd(args, out),
         "rm" => rm(args, out),
+        "store" => store_cmd(args, out),
         other => Err(format!("unknown command '{other}'; run `swh help`").into()),
     }
 }
@@ -72,6 +73,9 @@ fn help(out: &mut dyn Write) -> CmdResult {
          \x20           [--format prom|json|both]\n\
          \x20 rm        roll a partition sample out of the store\n\
          \x20           --store DIR --dataset N --partition SEQ [--stream S]\n\
+         \x20 store     offline store maintenance\n\
+         \x20           fsck --store DIR   verify every stored file, quarantine\n\
+         \x20           corrupt entries, remove orphaned temp files\n\
          \n\
          GLOBAL FLAGS\n\
          \x20 --stats           after ingest/query/profile/estimate, print the\n\
@@ -212,24 +216,26 @@ fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
     Ok(())
 }
 
+/// Scan a store directory for `dsN` dataset subdirectories.
+fn scan_datasets(root: &std::path::Path) -> Result<Vec<DatasetId>, Box<dyn Error>> {
+    let mut ids = Vec::new();
+    for entry in std::fs::read_dir(root)? {
+        let name = entry?.file_name();
+        if let Some(n) = name.to_str().and_then(|s| s.strip_prefix("ds")) {
+            if let Ok(id) = n.parse() {
+                ids.push(DatasetId(id));
+            }
+        }
+    }
+    ids.sort();
+    Ok(ids)
+}
+
 fn ls(args: &Args, out: &mut dyn Write) -> CmdResult {
     let store = open_store(args)?;
     let datasets: Vec<DatasetId> = match args.get("dataset") {
         Some(_) => vec![dataset_from(args, false)?],
-        None => {
-            // Scan the store directory for dsN subdirectories.
-            let mut ids = Vec::new();
-            for entry in std::fs::read_dir(store.root())? {
-                let name = entry?.file_name();
-                if let Some(n) = name.to_str().and_then(|s| s.strip_prefix("ds")) {
-                    if let Ok(id) = n.parse() {
-                        ids.push(DatasetId(id));
-                    }
-                }
-            }
-            ids.sort();
-            ids
-        }
+        None => scan_datasets(store.root())?,
     };
     if datasets.is_empty() {
         writeln!(out, "(store is empty)")?;
@@ -564,6 +570,61 @@ fn render_pred(p: &Predicate) -> String {
     } else {
         p.to_string()
     }
+}
+
+/// `swh store <subcommand>`: offline maintenance of a store directory.
+fn store_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    match args.positionals().first().map(String::as_str) {
+        Some("fsck") => fsck(args, out),
+        Some(other) => Err(format!("unknown store subcommand '{other}' (fsck)").into()),
+        None => Err("store needs a subcommand; run `swh store fsck --store DIR`".into()),
+    }
+}
+
+/// Verify every stored file's header and checksum, quarantine the corrupt
+/// ones (with a `.reason` sidecar under `quarantine/`), and remove orphaned
+/// temp files left behind by crashed writers.
+fn fsck(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use swh_warehouse::fullstore::FullStore;
+    use swh_warehouse::store::StoreError;
+
+    let root = std::path::PathBuf::from(args.require("store")?);
+    // Sweep before opening the stores: `open` would sweep the same files
+    // silently, and fsck wants to report the count.
+    let orphaned = swh_warehouse::sweep_orphan_tmp(&root)?;
+    let store = DiskStore::open(&root)?;
+    let full = FullStore::open(&root)?;
+
+    let (mut clean, mut quarantined) = (0u64, 0u64);
+    for dataset in scan_datasets(store.root())? {
+        for key in store.list(dataset)? {
+            match store.verify(key) {
+                Ok(()) => clean += 1,
+                Err(StoreError::Codec(e)) => {
+                    writeln!(out, "quarantined sample {key}: {e}")?;
+                    store.quarantine(key, &e.to_string())?;
+                    quarantined += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        for key in full.list(dataset)? {
+            match full.verify_partition(key) {
+                Ok(()) => clean += 1,
+                Err(StoreError::Codec(e)) => {
+                    writeln!(out, "quarantined full-scale partition {key}: {e}")?;
+                    full.quarantine(key, &e.to_string())?;
+                    quarantined += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    writeln!(
+        out,
+        "fsck: {clean} file(s) ok, {quarantined} quarantined, {orphaned} orphaned tmp file(s) removed"
+    )?;
+    Ok(())
 }
 
 fn rm(args: &Args, out: &mut dyn Write) -> CmdResult {

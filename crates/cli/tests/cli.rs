@@ -480,7 +480,71 @@ fn ingest_generated_data() {
 #[test]
 fn help_lists_commands() {
     let text = ok(&swh().args(["help"]).output().unwrap());
-    for cmd in ["ingest", "ls", "show", "query", "profile", "estimate", "rm"] {
+    for cmd in [
+        "ingest", "ls", "show", "query", "profile", "estimate", "rm", "store", "fsck",
+    ] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
+}
+
+#[test]
+fn store_fsck_quarantines_and_sweeps() {
+    let store = tmp_store("fsck");
+    let store_s = store.to_str().unwrap();
+    for seq in ["0", "1"] {
+        ok(&swh()
+            .args([
+                "ingest",
+                "--store",
+                store_s,
+                "--dataset",
+                "1",
+                "--partition",
+                seq,
+                "--nf",
+                "256",
+                "--generate",
+                "unique:5000",
+            ])
+            .output()
+            .unwrap());
+    }
+    // Corrupt one sample file with a bit flip and plant an orphaned temp
+    // file as a crashed writer would leave it.
+    let victim = store.join("ds1").join("p0_1.swhs");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&victim, bytes).unwrap();
+    let orphan = store.join("ds1").join("p0_9.swhs.12345.0.tmp");
+    std::fs::write(&orphan, b"half-written").unwrap();
+
+    let text = ok(&swh()
+        .args(["store", "fsck", "--store", store_s])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("fsck: 1 file(s) ok, 1 quarantined, 1 orphaned tmp file(s) removed"),
+        "{text}"
+    );
+    assert!(!victim.exists(), "corrupt file left in place");
+    assert!(!orphan.exists(), "orphan tmp not swept");
+    let qfile = store.join("quarantine").join("ds1").join("p0_1.swhs");
+    assert!(qfile.exists(), "quarantine copy missing");
+    let reason = std::fs::read_to_string(qfile.with_extension("swhs.reason")).unwrap();
+    assert!(reason.contains("checksum"), "{reason}");
+
+    // A second pass is clean, and the surviving partition still serves.
+    let text = ok(&swh()
+        .args(["store", "fsck", "--store", store_s])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("fsck: 1 file(s) ok, 0 quarantined, 0 orphaned tmp file(s) removed"),
+        "{text}"
+    );
+    let text = ok(&swh().args(["ls", "--store", store_s]).output().unwrap());
+    assert!(text.contains("(0,0)"), "{text}");
+    assert!(!text.contains("(0,1)"), "{text}");
+    std::fs::remove_dir_all(&store).ok();
 }

@@ -58,7 +58,7 @@ pub use hybrid_bernoulli::HybridBernoulli;
 pub use hybrid_reservoir::HybridReservoir;
 pub use merge::{
     hb_merge, hr_merge, hr_merge_cached, hr_merge_multiway, hr_merge_tree_cached, merge, merge_all,
-    merge_tree, HypergeometricCache, MergeError,
+    merge_all_borrowed, merge_borrowed, merge_tree, HypergeometricCache, MergeError,
 };
 pub use planner::{fold_cost, merge_planned, planned_cost, Skeleton};
 pub use qbound::{q_approx, q_exact};

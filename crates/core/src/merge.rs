@@ -24,7 +24,9 @@ use crate::histogram::CompactHistogram;
 use crate::hybrid_bernoulli::HybridBernoulli;
 use crate::hybrid_reservoir::HybridReservoir;
 use crate::invariant::invariant;
-use crate::purge::{purge_bernoulli, purge_reservoir};
+use crate::purge::{
+    bernoulli_subsample_ref, purge_bernoulli, purge_reservoir, reservoir_subsample_ref,
+};
 use crate::qbound::q_approx;
 use crate::sample::{Sample, SampleKind};
 use crate::sampler::Sampler;
@@ -356,6 +358,141 @@ pub fn merge_all<T: SampleValue, R: Rng + ?Sized>(
     };
     for s in iter {
         acc = merge(acc, s, p_bound, rng)?;
+    }
+    Ok(acc)
+}
+
+/// [`merge`] with a borrowed right-hand sample: fold an owned accumulator
+/// against `s` without cloning `s`'s histogram — only the elements that
+/// actually survive into the result are cloned. This is the read-mostly
+/// path (e.g. sliding-window queries merge the same resident samples on
+/// every query).
+///
+/// Dispatch mirrors [`merge`] with one deviation: when the *accumulator*
+/// is exhaustive and `s` is not, the owned re-stream path would need to
+/// consume `s`, so the accumulator is instead treated as the simple random
+/// sample it is (an exhaustive sample is an SRS of size `|D|`, Theorem 1)
+/// and merged hypergeometrically. That can yield a smaller (still uniform)
+/// result than re-streaming; callers that hold small exhaustive partitions
+/// and want maximal merged sizes should use the owning [`merge_all`].
+pub fn merge_borrowed<T: SampleValue, R: Rng + ?Sized>(
+    acc: Sample<T>,
+    s: &Sample<T>,
+    p_bound: f64,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    check_mergeable(&acc, s)?;
+    let combined_n = acc.parent_size() + s.parent_size();
+
+    // Borrowed exhaustive side: re-stream its values into a sampler
+    // resumed from the owned accumulator (stream_into only borrows).
+    if s.kind() == SampleKind::Exhaustive {
+        return if matches!(acc.kind(), SampleKind::Bernoulli { .. }) {
+            let mut hb = HybridBernoulli::resume(acc, combined_n, p_bound, rng);
+            stream_into(&mut hb, s.histogram(), rng);
+            Ok(hb.finalize(rng))
+        } else {
+            let mut hr = HybridReservoir::resume(acc, rng);
+            stream_into(&mut hr, s.histogram(), rng);
+            Ok(hr.finalize(rng))
+        };
+    }
+
+    // Both Bernoulli: rate-equalize (Fig. 6 lines 8–16), thinning the
+    // borrowed side by reference.
+    if let (SampleKind::Bernoulli { q: q1, .. }, SampleKind::Bernoulli { q: q2, .. }) =
+        (acc.kind(), s.kind())
+    {
+        let policy = acc.policy();
+        let n_f = policy.n_f();
+        let q = q_approx(combined_n, p_bound, n_f).min(q1).min(q2);
+        let mut h1 = acc.into_histogram();
+        purge_bernoulli(&mut h1, q / q1, rng);
+        let h2 = bernoulli_subsample_ref(s.histogram(), q / q2, rng);
+        if h1.joined_slots(&h2) <= n_f && h1.total() + h2.total() <= n_f {
+            h1.join(h2);
+            return Ok(Sample::from_parts(
+                h1,
+                SampleKind::Bernoulli { q, p_bound },
+                combined_n,
+                policy,
+            ));
+        }
+        let hist = reservoir_of_concatenation(h1, h2, n_f, rng);
+        return Ok(Sample::from_parts(
+            hist,
+            SampleKind::Reservoir,
+            combined_n,
+            policy,
+        ));
+    }
+
+    // Everything else involves a simple random sample on at least one
+    // side (exhaustive accumulators are SRSs of their whole partition;
+    // Bernoulli inputs are conditionally SRSs, §3.2): hypergeometric
+    // split per Theorem 1.
+    hr_merge_reservoirs_ref(acc, s, rng)
+}
+
+/// [`hr_merge_reservoirs`] with a borrowed right-hand sample: only `s`'s
+/// surviving share of the split is cloned.
+fn hr_merge_reservoirs_ref<T: SampleValue, R: Rng + ?Sized>(
+    acc: Sample<T>,
+    s: &Sample<T>,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    let policy = acc.policy();
+    let (n1, n2) = (acc.parent_size(), s.parent_size());
+    if n1 == 0 {
+        return Ok(s.clone());
+    }
+    if n2 == 0 {
+        return Ok(acc);
+    }
+    let k = acc.size().min(s.size());
+    let mut h1 = acc.into_histogram();
+    let dist = Hypergeometric::new(n1, n2, k);
+    let l = dist.sample(rng);
+    invariant!(
+        l <= k.min(h1.total()),
+        "HRMerge split L = {l} exceeds min(k = {k}, |S1| = {})",
+        h1.total()
+    );
+    purge_reservoir(&mut h1, l, rng);
+    let h2 = reservoir_subsample_ref(s.histogram(), k - l, rng);
+    h1.join(h2);
+    debug_assert_eq!(h1.total(), k);
+    Ok(Sample::from_parts(
+        h1,
+        SampleKind::Reservoir,
+        n1 + n2,
+        policy,
+    ))
+}
+
+/// Serial pairwise [`merge_borrowed`] over borrowed partition samples: the
+/// first sample is cloned as the seed accumulator, every further input is
+/// merged by reference. The companion of [`merge_all`] for callers that
+/// keep their samples resident (sliding windows, catalog queries).
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn merge_all_borrowed<'a, T, R>(
+    samples: impl IntoIterator<Item = &'a Sample<T>>,
+    p_bound: f64,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError>
+where
+    T: SampleValue + 'a,
+    R: Rng + ?Sized,
+{
+    let mut iter = samples.into_iter();
+    let Some(first) = iter.next() else {
+        panic!("merge_all_borrowed needs at least one sample");
+    };
+    let mut acc = first.clone();
+    for s in iter {
+        acc = merge_borrowed(acc, s, p_bound, rng)?;
     }
     Ok(acc)
 }
@@ -1046,6 +1183,92 @@ mod tests {
         assert_eq!(
             hr_merge_multiway(vec![c, s], &mut rng).unwrap_err(),
             MergeError::ConciseNotMergeable
+        );
+    }
+
+    #[test]
+    fn merge_borrowed_matches_owned_shapes() {
+        // Same provenance combinations as the owned dispatcher; assert the
+        // structural contract (size, parent, kind family, bounds).
+        let mut rng = seeded_rng(40);
+        // SRS × SRS.
+        let s1 = reservoir_sample(0..10_000, 64, &mut rng);
+        let s2 = reservoir_sample(10_000..50_000, 64, &mut rng);
+        let m = merge_borrowed(s1, &s2, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.size(), 64);
+        assert_eq!(m.parent_size(), 50_000);
+        assert_eq!(m.kind(), SampleKind::Reservoir);
+        // Borrowed exhaustive side re-streams: result as big as the union
+        // allows, and an exhaustive pair stays exhaustive.
+        let e1 = reservoir_sample(0..20, 64, &mut rng);
+        let e2 = reservoir_sample(20..40, 64, &mut rng);
+        assert_eq!(e1.kind(), SampleKind::Exhaustive);
+        let m = merge_borrowed(e1, &e2, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.kind(), SampleKind::Exhaustive);
+        assert_eq!(m.size(), 40);
+        // Reservoir acc × exhaustive s re-streams into HR.
+        let r = reservoir_sample(0..10_000, 64, &mut rng);
+        let e = reservoir_sample(10_000..10_020, 64, &mut rng);
+        let m = merge_borrowed(r, &e, 1e-3, &mut rng).unwrap();
+        assert_eq!(m.size(), 64);
+        assert_eq!(m.parent_size(), 10_020);
+        // Bernoulli acc × exhaustive s resumes HB.
+        let b = bernoulli_sample(0..60_000, 128, 1e-3, &mut rng);
+        assert!(matches!(b.kind(), SampleKind::Bernoulli { .. }));
+        let e = reservoir_sample(60_000..60_020, 128, &mut rng);
+        let m = merge_borrowed(b, &e, 1e-3, &mut rng).unwrap();
+        assert!(m.size() <= 128);
+        assert_eq!(m.parent_size(), 60_020);
+        // Bernoulli × Bernoulli equalizes rates.
+        let b1 = bernoulli_sample(0..60_000, 128, 1e-3, &mut rng);
+        let b2 = bernoulli_sample(60_000..120_000, 128, 1e-3, &mut rng);
+        let m = merge_borrowed(b1, &b2, 1e-3, &mut rng).unwrap();
+        assert!(m.size() <= 128);
+        assert_eq!(m.parent_size(), 120_000);
+        // Policy mismatch still rejected.
+        let a = reservoir_sample(0..100, 8, &mut rng);
+        let b = reservoir_sample(100..200, 16, &mut rng);
+        assert_eq!(
+            merge_borrowed(a, &b, 1e-3, &mut rng).unwrap_err(),
+            MergeError::PolicyMismatch
+        );
+    }
+
+    #[test]
+    fn merge_borrowed_leaves_input_untouched() {
+        let mut rng = seeded_rng(41);
+        let s1 = reservoir_sample(0..5_000, 32, &mut rng);
+        let s2 = reservoir_sample(5_000..9_000, 32, &mut rng);
+        let snapshot = s2.clone();
+        let _ = merge_borrowed(s1, &s2, 1e-3, &mut rng).unwrap();
+        assert_eq!(s2, snapshot, "borrowed input mutated");
+    }
+
+    #[test]
+    fn merge_all_borrowed_uniform_across_four_partitions() {
+        // Mirror of merge_all_uniform_across_four_partitions through the
+        // borrowed path: inclusion frequencies must stay uniform.
+        let mut rng = seeded_rng(42);
+        let (n_parts, per, n_f, trials) = (4u64, 25u64, 10u64, 15_000usize);
+        let n = n_parts * per;
+        let mut incl = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let parts: Vec<Sample<u64>> = (0..n_parts)
+                .map(|p| reservoir_sample(p * per..(p + 1) * per, n_f, &mut rng))
+                .collect();
+            let m = merge_all_borrowed(parts.iter(), 1e-3, &mut rng).unwrap();
+            assert_eq!(m.size(), n_f);
+            for (v, _) in m.histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * n_f as f64 / n as f64;
+        let exp: Vec<f64> = vec![expect; n as usize];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, (n - 1) as f64);
+        assert!(
+            pv > 1e-4,
+            "borrowed merge not uniform: chi2={stat:.1} p={pv:.2e}"
         );
     }
 

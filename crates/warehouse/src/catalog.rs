@@ -289,6 +289,40 @@ impl<T: SampleValue> Catalog<T> {
         Ok(merged)
     }
 
+    /// [`Catalog::union_sample`] without cloning the selected samples out
+    /// of the catalog: the merge runs by reference under the shared read
+    /// lock ([`swh_core::merge::merge_all_borrowed`]), cloning only the
+    /// elements that survive into the result. The tradeoff is inverted
+    /// relative to `union_sample`: zero up-front copying, but writers
+    /// (roll-in/roll-out) block for the duration of the merge — prefer it
+    /// for read-mostly catalogs and frequent queries over large samples.
+    pub fn union_sample_borrowed<R: rand::Rng + ?Sized>(
+        &self,
+        dataset: DatasetId,
+        mut select: impl FnMut(PartitionId) -> bool,
+        p_bound: f64,
+        rng: &mut R,
+    ) -> Result<Sample<T>, CatalogError> {
+        self.metrics.selects.inc();
+        let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        let ds = map
+            .get(&dataset)
+            .ok_or(CatalogError::UnknownDataset(dataset))?;
+        let picked: Vec<&Sample<T>> = ds
+            .iter()
+            .filter(|(id, _)| select(**id))
+            .map(|(_, e)| &e.sample)
+            .collect();
+        if picked.is_empty() {
+            return Err(CatalogError::EmptySelection);
+        }
+        let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
+        let merged = swh_core::merge::merge_all_borrowed(picked, p_bound, rng)?;
+        timer.stop();
+        self.metrics.union_merges.inc();
+        Ok(merged)
+    }
+
     /// Fig. 1's grid queries (`S_{*,2}`, `S_{1-2,3-7}`, ...): a uniform
     /// sample of the union of all partitions whose stream index and
     /// sequence number fall in the given inclusive ranges.
@@ -378,6 +412,27 @@ mod tests {
             .union_sample(DatasetId(1), |p| (2..=3).contains(&p.seq), 1e-3, &mut rng)
             .unwrap();
         assert_eq!(partial.parent_size(), 2000);
+    }
+
+    #[test]
+    fn union_sample_borrowed_matches_owned_contract() {
+        let mut rng = seeded_rng(7);
+        let cat = Catalog::new();
+        for d in 0..7u64 {
+            cat.roll_in(key(1, d), sample(d * 1000..(d + 1) * 1000, &mut rng))
+                .unwrap();
+        }
+        let weekly = cat
+            .union_sample_borrowed(DatasetId(1), |_| true, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(weekly.parent_size(), 7000);
+        assert!(weekly.size() <= 32);
+        // The catalog's resident samples are untouched by the query.
+        assert_eq!(cat.get(key(1, 3)).unwrap().parent_size(), 1000);
+        let err = cat
+            .union_sample_borrowed(DatasetId(1), |_| false, 1e-3, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, CatalogError::EmptySelection);
     }
 
     #[test]

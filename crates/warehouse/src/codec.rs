@@ -195,6 +195,32 @@ pub fn encode_sample<T: ValueCodec>(sample: &Sample<T>) -> Vec<u8> {
     out
 }
 
+/// Verify a stored sample's integrity without decoding values: length,
+/// CRC-32 trailer, magic, and version. Type-agnostic — `fsck` uses this to
+/// check `.swhs` files regardless of the element type they hold (a typed
+/// [`decode_sample`] would falsely reject, say, a `String`-valued store
+/// checked as `i64`).
+pub fn verify_sample_bytes(input: &[u8]) -> Result<(), CodecError> {
+    if input.len() < 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let (payload, trailer) = input.split_at(input.len() - 4);
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(trailer);
+    if crc32(payload) != u32::from_le_bytes(raw) {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    let mut buf = payload;
+    let buf = &mut buf;
+    if take(buf, 4)? != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    if take(buf, 1)?[0] != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    Ok(())
+}
+
 /// Decode a sample from its binary form, verifying the CRC-32 trailer.
 pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecError> {
     if input.len() < 4 {
@@ -427,6 +453,35 @@ mod tests {
                 "flip at {pos} undetected"
             );
         }
+    }
+
+    #[test]
+    fn verify_sample_bytes_is_type_agnostic() {
+        let mut rng = seeded_rng(9);
+        // A String-valued sample passes verification without a type param.
+        let values: Vec<String> = (0..200).map(|i| format!("v{i}")).collect();
+        let s = HybridReservoir::new(policy()).sample_batch(values, &mut rng);
+        let good = encode_sample(&s);
+        verify_sample_bytes(&good).unwrap();
+        // Corruption classes map to the same errors as decode_sample.
+        assert_eq!(
+            verify_sample_bytes(&good[..2]).unwrap_err(),
+            CodecError::UnexpectedEof
+        );
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert_eq!(
+            verify_sample_bytes(&flipped).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
+        let mut wrong_magic = b"XXXX...".to_vec();
+        let crc = crc32(&wrong_magic);
+        wrong_magic.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            verify_sample_bytes(&wrong_magic).unwrap_err(),
+            CodecError::BadHeader
+        );
     }
 
     #[test]

@@ -18,12 +18,16 @@
 //!   on-the-fly partitioning, and sampler configuration.
 //! * [`parallel`] — sampling many partitions on scoped worker threads.
 //! * [`codec`] + [`store`] — compact binary persistence of samples.
+//! * [`durable`] — crash-safe atomic file replacement (fsync discipline,
+//!   orphan-temp recovery, corruption quarantine) shared by every store
+//!   write path, with injectable failpoints for crash testing.
 //! * [`window`] — sliding-window roll-in/roll-out (daily partitions merged
 //!   into weekly/monthly samples, approximating stream-sampling schemes).
 //! * [`warehouse`] — the [`SampleWarehouse`] facade tying it together.
 
 pub mod catalog;
 pub mod codec;
+pub mod durable;
 pub mod fullstore;
 pub mod ids;
 pub mod ingest;
@@ -36,6 +40,7 @@ pub mod window;
 
 pub use catalog::{Catalog, CatalogError, PartitionEntry};
 pub use codec::{decode_sample, encode_sample, CodecError, ValueCodec};
+pub use durable::{atomic_write, sweep_orphan_tmp, CrashPoint};
 pub use fullstore::FullStore;
 pub use ids::{DatasetId, PartitionId, PartitionKey};
 pub use ingest::{
@@ -45,5 +50,5 @@ pub use maintenance::IncrementalSample;
 pub use parallel::sample_partitions_parallel;
 pub use registry::DatasetRegistry;
 pub use store::DiskStore;
-pub use warehouse::{SampleWarehouse, WarehouseError};
+pub use warehouse::{LoadReport, SampleWarehouse, WarehouseError};
 pub use window::{SlidingWindow, TumblingWindow};

@@ -11,6 +11,7 @@
 //! number of partitions drained from the shared queue, total elements
 //! observed, and the purge work reported by each partition's sampler.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use swh_core::sample::Sample;
 use swh_core::sampler::Sampler;
@@ -90,20 +91,22 @@ where
         "swh_parallel_purge_ns_total",
         "Nanoseconds spent inside sampler purges during parallel ingest",
     );
-    // Work queue: (index, iterator), protected by a mutex; results slotted
-    // by index so output order matches partition order regardless of which
-    // worker finishes when.
-    let queue = Mutex::new(
-        partitions
-            .into_iter()
-            .enumerate()
-            .collect::<Vec<(usize, I)>>(),
-    );
-    type ResultSlot<T> = Mutex<Option<(Sample<T>, SamplerStats)>>;
-    let results: Vec<ResultSlot<T>> = (0..n).map(|_| Mutex::new(None)).collect();
+    // Work distribution: an atomic cursor claims partition indices in
+    // arrival (FIFO) order — no queue lock, and scheduling matches the
+    // order partitions were handed in, unlike the old `Vec::pop` (LIFO)
+    // drain. Each slot starts Pending, is Taken by exactly one worker (the
+    // cursor hands out each index once), and ends Done; the per-slot mutex
+    // is only ever touched by that worker and the collection loop after
+    // the scope joins, so it is uncontended — it exists to hand the
+    // iterator/result across threads without `unsafe`.
+    let slots: Vec<Mutex<Slot<T, I>>> = partitions
+        .into_iter()
+        .map(|p| Mutex::new(Slot::Pending(p)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
     let make_sampler = &make_sampler;
-    let queue = &queue;
-    let results = &results;
+    let slots = &slots;
+    let cursor = &cursor;
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let worker_busy = worker_busy.clone();
@@ -112,34 +115,49 @@ where
                 let start = Stopwatch::start();
                 let mut drained = 0u64;
                 loop {
-                    // Plain data behind the locks: a poisoned mutex (some
-                    // worker panicked mid-push) leaves it fully usable, so
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= slots.len() {
+                        break;
+                    }
+                    // Plain data behind the lock: a poisoned mutex (some
+                    // worker panicked mid-store) leaves it fully usable, so
                     // recover the guard instead of propagating the panic.
-                    let item = queue.lock().unwrap_or_else(PoisonError::into_inner).pop();
-                    let Some((idx, stream)) = item else { break };
+                    let taken = std::mem::replace(
+                        &mut *slots[idx].lock().unwrap_or_else(PoisonError::into_inner),
+                        Slot::Taken,
+                    );
+                    let Slot::Pending(stream) = taken else {
+                        // The cursor hands out each index exactly once; a
+                        // re-claimed slot is a scheduler bug worth a crash.
+                        unreachable!("partition {idx} claimed twice");
+                    };
                     drained += 1;
                     let mut rng = seeded_rng(seed.wrapping_add(idx as u64));
                     let mut sampler = make_sampler(idx);
                     for v in stream {
                         sampler.observe(v, &mut rng);
                     }
-                    *results[idx].lock().unwrap_or_else(PoisonError::into_inner) =
-                        Some(sampler.finalize_with_stats(&mut rng));
+                    let (sample, stats) = sampler.finalize_with_stats(&mut rng);
+                    *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
+                        Slot::Done(sample, stats);
                 }
                 partitions_total.add(drained);
                 worker_busy.record(start.elapsed_ns());
             });
         }
     });
-    let samples: Vec<Sample<T>> = results
+    let samples: Vec<Sample<T>> = slots
         .iter()
         .map(|slot| {
-            let (sample, stats) = slot
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .take()
-                // swh-analyze: allow(panic) -- scope join guarantees every slot was filled; an empty slot is a worker bug worth a crash
-                .expect("every partition produced a sample");
+            let done = std::mem::replace(
+                &mut *slot.lock().unwrap_or_else(PoisonError::into_inner),
+                Slot::Taken,
+            );
+            let Slot::Done(sample, stats) = done else {
+                // Scope join guarantees every slot was filled; an unfinished
+                // slot is a worker bug worth a crash.
+                unreachable!("every partition produced a sample");
+            };
             elements_total.add(stats.observed());
             purges_total.add(stats.purges);
             purge_ns_total.add(stats.purge_ns);
@@ -147,6 +165,14 @@ where
         })
         .collect();
     samples
+}
+
+/// Lifecycle of one partition in the parallel work array: waiting with its
+/// input iterator, claimed by a worker, or finished with its sample.
+enum Slot<T: SampleValue, I> {
+    Pending(I),
+    Taken,
+    Done(Sample<T>, SamplerStats),
 }
 
 #[cfg(test)]
@@ -202,6 +228,32 @@ mod tests {
         let samples =
             sample_partitions_parallel(parts, |_| HybridReservoir::<u64>::new(policy(16)), 64, 1);
         assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn workers_claim_partitions_in_arrival_order() {
+        // With one worker the claim order is fully observable: the cursor
+        // must hand out partitions first-to-last (the old `Vec::pop` drain
+        // claimed them last-to-first).
+        let order = Mutex::new(Vec::new());
+        let parts: Vec<_> = (0..6u64).map(|p| p * 10..(p + 1) * 10).collect();
+        let samples = sample_partitions_parallel(
+            parts,
+            |idx| {
+                order
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(idx);
+                HybridReservoir::<u64>::new(policy(16))
+            },
+            1,
+            5,
+        );
+        assert_eq!(samples.len(), 6);
+        assert_eq!(
+            *order.lock().unwrap_or_else(PoisonError::into_inner),
+            vec![0, 1, 2, 3, 4, 5]
+        );
     }
 
     #[test]

@@ -9,7 +9,6 @@
 use crate::ids::DatasetId;
 use crate::store::StoreError;
 use std::collections::BTreeMap;
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{PoisonError, RwLock};
 
@@ -40,6 +39,10 @@ impl DatasetRegistry {
     /// entries.
     pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
         std::fs::create_dir_all(dir.as_ref())?;
+        // Remove only this registry's crash-orphaned temp files. The
+        // directory may be a live store root, so a recursive sweep here
+        // could race in-flight sample writers.
+        crate::durable::sweep_tmp_with_prefix(dir.as_ref(), "names.tsv.")?;
         let path = dir.as_ref().join("names.tsv");
         let mut inner = Inner::default();
         match std::fs::read_to_string(&path) {
@@ -76,15 +79,11 @@ impl DatasetRegistry {
         let Some(path) = &self.path else {
             return Ok(());
         };
-        let tmp = path.with_extension("tsv.tmp");
-        {
-            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
-            for (id, name) in &inner.by_id {
-                writeln!(f, "{}\t{}", id.0, name)?;
-            }
-            f.flush()?;
+        let mut text = String::new();
+        for (id, name) in &inner.by_id {
+            text.push_str(&format!("{}\t{}\n", id.0, name));
         }
-        std::fs::rename(&tmp, path)?;
+        crate::durable::atomic_write(path, text.as_bytes())?;
         Ok(())
     }
 
@@ -181,6 +180,43 @@ mod tests {
         let c = reg.resolve_or_create("gamma").unwrap();
         assert!(c.0 > b.0);
         assert_eq!(reg.entries().len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Registry snapshot crash matrix: a crash at any point leaves the
+    /// previous or the new file on disk (never torn), and reopening sweeps
+    /// the orphaned temp file.
+    #[test]
+    fn crash_matrix_snapshot_previous_or_new() {
+        use crate::durable::{count_orphan_tmp, fault, CrashPoint};
+        let dir = tmp_dir("crash");
+        std::fs::create_dir_all(&dir).unwrap();
+        let matrix = [
+            (CrashPoint::AfterTempCreate, false),
+            (CrashPoint::AfterPartialPayload, false),
+            (CrashPoint::AfterPayload, false),
+            (CrashPoint::BeforeRename, false),
+            (CrashPoint::AfterRename, true),
+            (CrashPoint::AfterDirSync, true),
+        ];
+        for (point, expect_new) in matrix {
+            let _ = std::fs::remove_file(dir.join("names.tsv"));
+            {
+                let reg = DatasetRegistry::open(&dir).unwrap();
+                reg.resolve_or_create("alpha").unwrap();
+                fault::arm(point);
+                assert!(reg.resolve_or_create("beta").is_err(), "{point:?}");
+                fault::disarm();
+            }
+            let reg = DatasetRegistry::open(&dir).unwrap();
+            assert!(reg.lookup("alpha").is_some(), "{point:?}");
+            assert_eq!(
+                reg.lookup("beta").is_some(),
+                expect_new,
+                "torn or wrong registry after {point:?}"
+            );
+            assert_eq!(count_orphan_tmp(&dir).unwrap(), 0, "{point:?}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -61,6 +61,28 @@ impl From<StoreError> for WarehouseError {
     }
 }
 
+/// Outcome of [`SampleWarehouse::load_dataset`]: corrupt entries are
+/// quarantined (not fatal), so a load reports what happened per class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Partition samples decoded and rolled into the catalog.
+    pub loaded: usize,
+    /// Corrupt entries moved into the store's `quarantine/` directory.
+    pub quarantined: usize,
+    /// Entries skipped because the partition was already cataloged.
+    pub skipped_duplicates: usize,
+}
+
+impl std::fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} loaded, {} quarantined, {} duplicate(s) skipped",
+            self.loaded, self.quarantined, self.skipped_duplicates
+        )
+    }
+}
+
 /// A sample data warehouse shadowing a full-scale warehouse: per-partition
 /// uniform samples, rolled in/out, merged on demand.
 #[derive(Debug)]
@@ -208,18 +230,32 @@ impl<T: ValueCodec> SampleWarehouse<T> {
     }
 
     /// Load all stored partitions of a dataset into the catalog.
+    ///
+    /// A corrupt entry (bad magic, CRC mismatch, truncation) is moved into
+    /// the store's `quarantine/` directory with a `.reason` sidecar and
+    /// counted in the report instead of aborting the whole load; I/O
+    /// failures and catalog errors other than duplicates remain fatal.
     pub fn load_dataset(
         &self,
         store: &DiskStore,
         dataset: DatasetId,
-    ) -> Result<usize, WarehouseError> {
-        let mut loaded = 0;
+    ) -> Result<LoadReport, WarehouseError> {
+        let mut report = LoadReport::default();
         for key in store.list(dataset)? {
-            let sample = store.load::<T>(key)?;
-            self.catalog.roll_in(key, sample)?;
-            loaded += 1;
+            match store.load::<T>(key) {
+                Ok(sample) => match self.catalog.roll_in(key, sample) {
+                    Ok(()) => report.loaded += 1,
+                    Err(CatalogError::DuplicatePartition(_)) => report.skipped_duplicates += 1,
+                    Err(e) => return Err(e.into()),
+                },
+                Err(StoreError::Codec(e)) => {
+                    store.quarantine(key, &e.to_string())?;
+                    report.quarantined += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        Ok(loaded)
+        Ok(report)
     }
 }
 
@@ -307,7 +343,9 @@ mod tests {
         assert_eq!(w.persist_all(&store).unwrap(), 4);
 
         let w2 = wh(32, Algorithm::HybridReservoir);
-        assert_eq!(w2.load_dataset(&store, DatasetId(1)).unwrap(), 4);
+        let report = w2.load_dataset(&store, DatasetId(1)).unwrap();
+        assert_eq!(report.loaded, 4);
+        assert_eq!(report.quarantined, 0);
         // Every partition sample must round-trip exactly.
         for day in 0..4u64 {
             assert_eq!(
@@ -322,6 +360,48 @@ mod tests {
         let b = w2.query_all(DatasetId(1), &mut seeded_rng(7)).unwrap();
         assert_eq!(b.parent_size(), 400);
         assert_eq!(b.size(), 32);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_dataset_quarantines_corrupt_entries() {
+        let mut rng = seeded_rng(6);
+        let dir = std::env::temp_dir().join(format!("swh-wh-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::open(&dir).unwrap();
+
+        let w = wh(32, Algorithm::HybridReservoir);
+        for day in 0..4u64 {
+            w.ingest_partition(key(day), day * 100..(day + 1) * 100, None, &mut rng)
+                .unwrap();
+        }
+        w.persist_all(&store).unwrap();
+        // Corrupt one stored sample (payload bit flip).
+        let bad = dir.join("ds1").join("p0_2.swhs");
+        let mut bytes = std::fs::read(&bad).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&bad, bytes).unwrap();
+
+        let w2 = wh(32, Algorithm::HybridReservoir);
+        let report = w2.load_dataset(&store, DatasetId(1)).unwrap();
+        assert_eq!(report.loaded, 3);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(w2.catalog().len(), 3);
+        // The corrupt file moved aside with its reason.
+        assert!(!bad.exists());
+        let qfile = dir.join("quarantine").join("ds1").join("p0_2.swhs");
+        assert!(qfile.exists());
+        let mut reason = qfile.into_os_string();
+        reason.push(".reason");
+        assert_eq!(
+            std::fs::read_to_string(std::path::PathBuf::from(reason)).unwrap(),
+            "checksum mismatch"
+        );
+        // Loading again skips the already-cataloged partitions.
+        let again = w2.load_dataset(&store, DatasetId(1)).unwrap();
+        assert_eq!(again.loaded, 0);
+        assert_eq!(again.skipped_duplicates, 3);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

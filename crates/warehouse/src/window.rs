@@ -9,7 +9,7 @@
 //! per-partition samples.
 
 use std::collections::VecDeque;
-use swh_core::merge::{merge_all, MergeError};
+use swh_core::merge::{merge_all, merge_all_borrowed, MergeError};
 use swh_core::sample::Sample;
 use swh_core::value::SampleValue;
 
@@ -89,11 +89,9 @@ impl<T: SampleValue> SlidingWindow<T> {
         rng: &mut R,
     ) -> Result<Sample<T>, MergeError> {
         assert!(!self.entries.is_empty(), "window is empty");
-        merge_all(
-            self.entries.iter().map(|(_, s)| s.clone()).collect(),
-            p_bound,
-            rng,
-        )
+        // Read-mostly path: merge the resident samples by reference so a
+        // query stops cloning all w histograms up front.
+        merge_all_borrowed(self.entries.iter().map(|(_, s)| s), p_bound, rng)
     }
 }
 
