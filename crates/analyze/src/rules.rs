@@ -53,7 +53,13 @@ impl Rule {
     /// and fixtures are exempt by construction.
     pub fn applies_to(self, path: &str) -> bool {
         match self {
-            Rule::Determinism | Rule::Panic => SAMPLING_CRATE_SRC
+            Rule::Determinism => {
+                SAMPLING_CRATE_SRC
+                    .iter()
+                    .any(|prefix| path.starts_with(prefix))
+                    || OBS_TRACE_FILES.contains(&path)
+            }
+            Rule::Panic => SAMPLING_CRATE_SRC
                 .iter()
                 .any(|prefix| path.starts_with(prefix)),
             Rule::NumericCast | Rule::FloatCmp => PROBABILITY_FILES.contains(&path),
@@ -66,6 +72,17 @@ const SAMPLING_CRATE_SRC: &[&str] = &[
     "crates/core/src/",
     "crates/rand/src/",
     "crates/warehouse/src/",
+];
+
+/// Observability files whose output feeds replayable traces: span ids and
+/// journal sequence numbers must stay monotonic-counter based (no wall
+/// clock, no OS entropy), or identical runs stop producing identical
+/// journals. The rest of `swh-obs` (timers, histograms) measures real time
+/// on purpose and stays exempt.
+const OBS_TRACE_FILES: &[&str] = &[
+    "crates/obs/src/trace.rs",
+    "crates/obs/src/journal.rs",
+    "crates/obs/src/serve.rs",
 ];
 
 /// Probability code: every file whose arithmetic implements a distribution,
@@ -429,6 +446,29 @@ mod tests {
         let src = "fn f() { let t = std::time::Instant::now(); }";
         assert!(scan_at("crates/obs/src/timer.rs", src).is_empty());
         assert!(scan_at("crates/cli/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn determinism_covers_the_trace_files() {
+        // Trace and journal output must replay identically, so the wall
+        // clock is off limits there even though the rest of `swh-obs`
+        // (timers, histograms) measures real time by design.
+        let src = "fn f() { let t = std::time::SystemTime::now(); }";
+        for path in [
+            "crates/obs/src/trace.rs",
+            "crates/obs/src/journal.rs",
+            "crates/obs/src/serve.rs",
+        ] {
+            let f = scan_at(path, src);
+            assert!(
+                f.iter().any(|f| f.rule == Rule::Determinism),
+                "{path} not covered"
+            );
+        }
+        // But determinism coverage must not drag panic hygiene along: the
+        // obs trace files keep their unwraps in tests.
+        let src = "fn f(v: Vec<u8>) -> u8 { v[0] }";
+        assert!(scan_at("crates/obs/src/trace.rs", src).is_empty());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Trace-journal overhead smoke check (acceptance experiment, not a paper
+//! figure): ingest-and-merge throughput with the event journal enabled must
+//! stay within a few percent of the same work with the journal disabled.
+//!
+//! The journal records per *transition* (phase switches, purges, merges,
+//! span open/close), never per element, so the expectation is that the two
+//! columns are indistinguishable up to scheduler noise. This bench exists
+//! to catch a regression that puts journal writes on the per-element path.
+//!
+//! The overhead column is reported, not asserted: timing on shared CI boxes
+//! is too noisy for a hard gate, but the expectation is <= 5%.
+
+use swh_bench::{section, time_secs, CsvOut, Scale};
+use swh_core::footprint::FootprintPolicy;
+use swh_core::merge::merge_all;
+use swh_core::sampler::Sampler;
+use swh_rand::seeded_rng;
+use swh_warehouse::ingest::SamplerConfig;
+
+/// Sample `parts` partitions of `per_part` unique values each and merge
+/// them into one uniform sample; returns the merged size so the optimizer
+/// cannot discard the work.
+fn ingest_and_merge(parts: u64, per_part: u64, policy: FootprintPolicy, seed: u64) -> u64 {
+    let mut rng = seeded_rng(seed);
+    let mut samples = Vec::with_capacity(parts as usize);
+    for p in 0..parts {
+        let mut sampler = SamplerConfig::HybridReservoir.build::<u64>(policy);
+        for v in p * per_part..(p + 1) * per_part {
+            sampler.observe(v, &mut rng);
+        }
+        samples.push(sampler.finalize(&mut rng));
+    }
+    merge_all(samples, 1e-3, &mut rng).expect("merge").size()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let population: u64 = match scale {
+        Scale::Smoke => 1 << 17,
+        _ => 1 << 21,
+    };
+    let parts = 8u64;
+    let per_part = population / parts;
+    let n_f = scale.n_f();
+    let reps = 7usize;
+    let policy = FootprintPolicy::with_value_budget(n_f);
+    let journal = swh_obs::journal::journal();
+
+    section(&format!(
+        "Trace journal overhead: {population} elements over {parts} partitions + merge, \
+         n_F = {n_f}, best of {reps} runs per cell, scale = {scale}"
+    ));
+
+    // Warm-up pass so first-touch page faults hit neither timed variant.
+    let _ = ingest_and_merge(parts, per_part, policy, 7);
+
+    // Best-of-reps damps scheduler noise better than the mean.
+    let mut disabled = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    let mut events = 0u64;
+    for rep in 0..reps {
+        journal.set_enabled(false);
+        let (_, t) = time_secs(|| ingest_and_merge(parts, per_part, policy, 100 + rep as u64));
+        disabled = disabled.min(t);
+
+        journal.set_enabled(true);
+        let before = journal.recorded();
+        let (_, t) = time_secs(|| ingest_and_merge(parts, per_part, policy, 100 + rep as u64));
+        enabled = enabled.min(t);
+        events = journal.recorded() - before;
+    }
+    journal.set_enabled(true); // leave the process-wide default in place
+
+    let overhead = 100.0 * (enabled - disabled) / disabled;
+    println!(
+        "{:>12} {:>12} {:>12} {:>14}",
+        "disabled_s", "enabled_s", "overhead_%", "events/run"
+    );
+    println!("{disabled:>12.4} {enabled:>12.4} {overhead:>12.2} {events:>14}");
+    println!("\nExpect: journal-enabled runs within ~5% of disabled (reported, not asserted).");
+
+    let mut csv = CsvOut::new(
+        "trace_overhead",
+        "elements,partitions,disabled_secs,enabled_secs,overhead_pct,events_per_run",
+    );
+    csv.row(format!(
+        "{population},{parts},{disabled:.6},{enabled:.6},{overhead:.2},{events}"
+    ));
+    csv.finish();
+}

@@ -38,6 +38,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "estimate" => estimate(args, out),
         "metrics" => metrics_cmd(args, out),
         "rm" => rm(args, out),
+        "serve" => serve_cmd(args, out),
+        "trace" => trace_cmd(args, out),
         "store" => store_cmd(args, out),
         other => Err(format!("unknown command '{other}'; run `swh help`").into()),
     }
@@ -73,6 +75,11 @@ fn help(out: &mut dyn Write) -> CmdResult {
          \x20           [--format prom|json|both]\n\
          \x20 rm        roll a partition sample out of the store\n\
          \x20           --store DIR --dataset N --partition SEQ [--stream S]\n\
+         \x20 serve     HTTP exposition endpoint: /metrics /metrics.json\n\
+         \x20           /traces /lineage/<dataset>/<partition>\n\
+         \x20           --store DIR [--addr 127.0.0.1:9184] [--requests N]\n\
+         \x20 trace     print the in-process span/event journal\n\
+         \x20           [--store DIR --dataset N [--seed X]]  (replays a merge)\n\
          \x20 store     offline store maintenance\n\
          \x20           fsck --store DIR   verify every stored file, quarantine\n\
          \x20           corrupt entries, remove orphaned temp files\n\
@@ -572,6 +579,108 @@ fn render_pred(p: &Predicate) -> String {
     }
 }
 
+/// Parse the `<partition>` path segment of `/lineage/<dataset>/<partition>`:
+/// either a bare sequence number (stream 0) or `<stream>_<seq>`, matching
+/// the on-disk `p<stream>_<seq>.swhs` naming.
+fn parse_partition(s: &str) -> Option<PartitionId> {
+    match s.split_once('_') {
+        Some((stream, seq)) => Some(PartitionId {
+            stream: stream.parse().ok()?,
+            seq: seq.parse().ok()?,
+        }),
+        None => Some(PartitionId {
+            stream: 0,
+            seq: s.parse().ok()?,
+        }),
+    }
+}
+
+/// `swh serve`: the zero-dependency HTTP exposition endpoint. Serves the
+/// global metrics registry (`/metrics`, `/metrics.json`), the event journal
+/// (`/traces`), and per-sample lineage records (`/lineage/<dataset>/<partition>`)
+/// read from the store without decoding typed payloads. `--requests N`
+/// bounds the server's lifetime so tests and CI get a self-terminating run.
+fn serve_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let root = std::path::PathBuf::from(args.require("store")?);
+    let addr = args.get("addr").unwrap_or("127.0.0.1:9184");
+    let requests: Option<u64> = args
+        .get("requests")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("invalid --requests '{v}' (expected integer)"))
+        })
+        .transpose()?;
+    let store = DiskStore::open(&root)?;
+    // Load what the store holds before serving: `load_dataset` publishes
+    // the derived sample-quality gauges (effective rate, purge depth,
+    // merge fan-in), so a scrape of a fresh process already sees them.
+    let warehouse = swh_warehouse::SampleWarehouse::<i64>::new(
+        FootprintPolicy::with_value_budget(8192),
+        swh_warehouse::warehouse::Algorithm::HybridReservoir,
+        1e-3,
+    );
+    for dataset in scan_datasets(store.root())? {
+        warehouse.load_dataset(&store, dataset)?;
+    }
+    let server =
+        swh_obs::serve::Server::bind(addr)?.with_lineage(Box::new(move |dataset, partition| {
+            let dataset = match dataset.parse::<u64>() {
+                Ok(id) => DatasetId(id),
+                Err(_) => swh_warehouse::registry::DatasetRegistry::open(&root)
+                    .ok()?
+                    .lookup(dataset)?,
+            };
+            let partition = parse_partition(partition)?;
+            let lineage = store.lineage(PartitionKey { dataset, partition }).ok()?;
+            Some(swh_core::lineage::to_json(&lineage))
+        }));
+    // Flush so a piped parent (tests, scrape scripts) sees the bound
+    // address — port 0 resolves only here — before the accept loop blocks.
+    writeln!(out, "listening on http://{}", server.local_addr()?)?;
+    out.flush()?;
+    server.serve(requests)?;
+    Ok(())
+}
+
+/// `swh trace`: print the in-process span/event journal. The journal is
+/// per-process, so with `--store` and `--dataset` the command first replays
+/// a merge of that dataset's stored partitions; otherwise it runs a small
+/// built-in ingest-and-merge workload so every event kind shows up.
+fn trace_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let mut rng = rng_from(args)?;
+    if args.get("store").is_some() && args.get("dataset").is_some() {
+        let store = open_store(args)?;
+        let merged = merged_sample(args, &store, &mut rng)?;
+        writeln!(
+            out,
+            "merged {} rows into a {}-value sample; journal follows",
+            merged.parent_size(),
+            merged.size()
+        )?;
+    } else {
+        let policy = FootprintPolicy::with_value_budget(64);
+        let mut hb = SamplerConfig::HybridBernoulli {
+            expected_n: 4096,
+            p_bound: 1e-3,
+        }
+        .build::<i64>(policy);
+        for v in 0..4096 {
+            hb.observe(v, &mut rng);
+        }
+        let a = hb.finalize(&mut rng);
+        let mut hr = SamplerConfig::HybridReservoir.build::<i64>(policy);
+        for v in 4096..8192 {
+            hr.observe(v, &mut rng);
+        }
+        let b = hr.finalize(&mut rng);
+        merge_all(vec![a, b], 1e-3, &mut rng)?;
+    }
+    let journal = swh_obs::journal::journal();
+    write!(out, "{}", journal.dump())?;
+    writeln!(out, "trace: {} event(s) recorded", journal.recorded())?;
+    Ok(())
+}
+
 /// `swh store <subcommand>`: offline maintenance of a store directory.
 fn store_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
     match args.positionals().first().map(String::as_str) {
@@ -596,10 +705,17 @@ fn fsck(args: &Args, out: &mut dyn Write) -> CmdResult {
     let full = FullStore::open(&root)?;
 
     let (mut clean, mut quarantined) = (0u64, 0u64);
+    let (mut lineage_samples, mut lineage_events) = (0u64, 0u64);
     for dataset in scan_datasets(store.root())? {
         for key in store.list(dataset)? {
             match store.verify(key) {
-                Ok(()) => clean += 1,
+                Ok(()) => {
+                    clean += 1;
+                    // `verify` already walked the lineage section, so this
+                    // re-read cannot fail; count it for the report.
+                    lineage_samples += 1;
+                    lineage_events += store.lineage(key)?.len() as u64;
+                }
                 Err(StoreError::Codec(e)) => {
                     writeln!(out, "quarantined sample {key}: {e}")?;
                     store.quarantine(key, &e.to_string())?;
@@ -623,6 +739,10 @@ fn fsck(args: &Args, out: &mut dyn Write) -> CmdResult {
     writeln!(
         out,
         "fsck: {clean} file(s) ok, {quarantined} quarantined, {orphaned} orphaned tmp file(s) removed"
+    )?;
+    writeln!(
+        out,
+        "fsck: lineage intact on {lineage_samples} sample(s), {lineage_events} event(s) total"
     )?;
     Ok(())
 }

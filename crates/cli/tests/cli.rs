@@ -487,6 +487,197 @@ fn help_lists_commands() {
     }
 }
 
+/// One raw HTTP GET against the bound `swh serve` endpoint (the workspace
+/// has no HTTP client dependency).
+fn http_get(addr: &str, path: &str) -> (u16, String) {
+    use std::io::Read;
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).unwrap();
+    let status: u16 = reply
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .unwrap();
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// The acceptance path for the lineage subsystem: an HB sample driven
+/// through its Bernoulli phase into the reservoir fallback, merged once via
+/// HR-merge (hypergeometric split), persisted, reloaded — the lineage must
+/// round-trip — and finally served over HTTP by `swh serve`, whose
+/// `/metrics` must carry the derived sample-quality gauges.
+#[test]
+fn lineage_round_trips_and_serves_over_http() {
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::lineage::LineageEvent;
+    use swh_core::merge::merge_all;
+    use swh_core::sample::{Sample, SampleKind};
+    use swh_core::sampler::Sampler;
+    use swh_warehouse::ids::{DatasetId, PartitionId, PartitionKey};
+    use swh_warehouse::ingest::SamplerConfig;
+    use swh_warehouse::store::DiskStore;
+
+    let store_dir = tmp_store("lineage");
+    let store = DiskStore::open(&store_dir).unwrap();
+    let key = |seq| PartitionKey {
+        dataset: DatasetId(7),
+        partition: PartitionId { stream: 0, seq },
+    };
+    let policy = FootprintPolicy::with_value_budget(256);
+    let mut rng = swh_rand::seeded_rng(41);
+
+    // Two HB partitions whose `expected_n` understates the stream 30x: each
+    // runs phase 1 -> purge -> phase 2 (Bernoulli, q sized for 2000 rows)
+    // -> overflows the bound -> phase 3 (reservoir).
+    let mut parts = Vec::new();
+    for (seq, range) in [(0u64, 0..60_000i64), (1, 60_000..120_000)] {
+        let mut hb = SamplerConfig::HybridBernoulli {
+            expected_n: 2_000,
+            p_bound: 1e-3,
+        }
+        .build::<i64>(policy);
+        for v in range {
+            hb.observe(v, &mut rng);
+        }
+        let s = hb.finalize(&mut rng);
+        assert_eq!(s.kind(), SampleKind::Reservoir, "partition {seq}");
+        store.save(key(seq), &s).unwrap();
+        parts.push(s);
+    }
+
+    // Reservoir x reservoir goes through HR-merge (Fig. 8): the merged
+    // lineage concatenates both parents' histories plus the split record.
+    let merged = merge_all(parts, 1e-3, &mut rng).unwrap();
+    store.save(key(2), &merged).unwrap();
+    let loaded: Sample<i64> = store.load(key(2)).unwrap();
+    let lin = loaded.lineage();
+    assert!(
+        lin.iter().any(|e| matches!(
+            e,
+            LineageEvent::PhaseTransition { from: 1, to: 2, q, .. } if *q > 0.0 && *q < 1.0
+        )),
+        "no Bernoulli transition with q: {lin:?}"
+    );
+    assert!(
+        lin.iter()
+            .any(|e| matches!(e, LineageEvent::PhaseTransition { to: 3, .. })),
+        "no reservoir fallback transition: {lin:?}"
+    );
+    assert!(
+        lin.iter().any(|e| matches!(e, LineageEvent::Purge { .. })),
+        "no purge recorded: {lin:?}"
+    );
+    assert!(
+        lin.iter().any(|e| matches!(
+            e,
+            LineageEvent::Merge { fan_in: 2, split_l } if *split_l > 0
+        )),
+        "no hypergeometric merge split: {lin:?}"
+    );
+    assert_eq!(
+        lin.last(),
+        Some(&LineageEvent::StoreWrite),
+        "save must stamp the stored copy: {lin:?}"
+    );
+
+    // Serve the store over HTTP: port 0, bounded request count, and the
+    // bound address on the first stdout line.
+    let mut child = swh()
+        .args([
+            "serve",
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--requests",
+            "3",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        line.trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+            .to_string()
+    };
+    let (status, body) = http_get(&addr, "/lineage/7/2");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"event\": \"phase_transition\""), "{body}");
+    assert!(body.contains("\"event\": \"merge\""), "{body}");
+    assert!(body.contains("\"event\": \"store_write\""), "{body}");
+    let (status, body) = http_get(&addr, "/lineage/7/9");
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("swh_sample_effective_rate_ppm"), "{body}");
+    assert!(body.contains("swh_sample_merge_fan_in"), "{body}");
+    assert!(child.wait().unwrap().success());
+
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
+#[test]
+fn trace_prints_the_event_journal() {
+    let text = ok(&swh().args(["trace"]).output().unwrap());
+    for needle in [
+        "kind=span_start",
+        "kind=phase_transition",
+        "kind=purge",
+        "kind=merge",
+        "kind=ingest",
+        "kind=span_end",
+    ] {
+        assert!(text.contains(needle), "trace missing {needle}: {text}");
+    }
+    assert!(text.contains("event(s) recorded"), "{text}");
+}
+
+#[test]
+fn fsck_reports_lineage() {
+    let store = tmp_store("fscklineage");
+    let store_s = store.to_str().unwrap();
+    ok(&swh()
+        .args([
+            "ingest",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--partition",
+            "0",
+            "--nf",
+            "256",
+            "--generate",
+            "unique:5000",
+        ])
+        .output()
+        .unwrap());
+    let text = ok(&swh()
+        .args(["store", "fsck", "--store", store_s])
+        .output()
+        .unwrap());
+    // One stored sample: lineage holds at least the phase transition,
+    // the finalize Ingested record, and the StoreWrite stamp.
+    assert!(
+        text.contains("fsck: lineage intact on 1 sample(s),"),
+        "{text}"
+    );
+    std::fs::remove_dir_all(&store).ok();
+}
+
 #[test]
 fn store_fsck_quarantines_and_sweeps() {
     let store = tmp_store("fsck");

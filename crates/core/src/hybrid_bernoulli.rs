@@ -17,6 +17,7 @@
 use crate::footprint::FootprintPolicy;
 use crate::histogram::CompactHistogram;
 use crate::invariant::invariant;
+use crate::lineage::{push_capped, LineageEvent, PurgeKind};
 use crate::purge::{purge_bernoulli, purge_reservoir};
 use crate::qbound::q_approx;
 use crate::sample::{Sample, SampleKind};
@@ -24,6 +25,8 @@ use crate::sampler::Sampler;
 use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
+use swh_obs::journal::{record, EventKind};
+use swh_obs::trace::{next_span_id, Op, SpanId};
 use swh_obs::Stopwatch;
 use swh_rand::skip::{bernoulli_skip, ReservoirSkip};
 
@@ -75,6 +78,11 @@ pub struct HybridBernoulli<T: SampleValue> {
     next_include: u64,
     skip_gen: Option<ReservoirSkip>,
     stats: SamplerStats,
+    /// Lineage accumulated during sampling, attached at finalize. Carries
+    /// the prior's history when resumed.
+    lineage: Vec<LineageEvent>,
+    /// Journal span covering this sampler's life (clones share the ID).
+    span: SpanId,
 }
 
 impl<T: SampleValue> HybridBernoulli<T> {
@@ -95,6 +103,8 @@ impl<T: SampleValue> HybridBernoulli<T> {
             "q(N={expected_n}, p={p_bound}, n_F={}) = {q} is outside (0, 1]",
             policy.n_f()
         );
+        let span = next_span_id();
+        record(EventKind::SpanStart, span.raw(), 0, Op::Ingest.code(), 0);
         Self {
             policy,
             expected_n,
@@ -109,6 +119,8 @@ impl<T: SampleValue> HybridBernoulli<T> {
             next_include: 0,
             skip_gen: None,
             stats: SamplerStats::default(),
+            lineage: Vec::new(),
+            span,
         }
     }
 
@@ -132,8 +144,9 @@ impl<T: SampleValue> HybridBernoulli<T> {
         let n_f = policy.n_f();
         let parent = prior.parent_size();
         let kind = prior.kind();
+        let prior_lineage = prior.lineage().to_vec();
         let hist = prior.into_histogram();
-        match kind {
+        let mut resumed = match kind {
             SampleKind::Exhaustive => {
                 let mut s = Self::with_p_bound(policy, expected_total_n, p_bound);
                 s.hist = hist;
@@ -183,7 +196,9 @@ impl<T: SampleValue> HybridBernoulli<T> {
             SampleKind::Concise { .. } => {
                 panic!("concise samples are not uniform and cannot be resumed")
             }
-        }
+        };
+        resumed.lineage = prior_lineage;
+        resumed
     }
 
     /// The phase-2 Bernoulli rate `q`.
@@ -239,8 +254,10 @@ impl<T: SampleValue> HybridBernoulli<T> {
         purge_bernoulli(&mut self.hist, self.q, rng);
         self.stats.record_purge(start.elapsed_ns());
         self.stats.enter_phase2(self.observed);
+        self.note_purge(PurgeKind::Bernoulli, self.hist.total());
         if self.hist.total() < self.policy.n_f() {
             self.advance_phase(Phase::Bernoulli);
+            self.note_transition(1, 2, self.q);
             self.skip_remaining = bernoulli_skip(rng, self.q);
         } else {
             // Subsample too large (low probability): reservoir fallback.
@@ -248,7 +265,9 @@ impl<T: SampleValue> HybridBernoulli<T> {
             purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
             self.stats.record_purge(start.elapsed_ns());
             self.stats.enter_phase3(self.observed);
+            self.note_purge(PurgeKind::Reservoir, self.hist.total());
             self.advance_phase(Phase::Reservoir);
+            self.note_transition(1, 3, 0.0);
             let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
             self.next_include = self.observed + gen.skip(self.observed, rng);
             self.skip_gen = Some(gen);
@@ -258,6 +277,39 @@ impl<T: SampleValue> HybridBernoulli<T> {
             "footprint {} exceeds n_F = {} after the phase-1 purge",
             self.hist.total(),
             self.policy.n_f()
+        );
+    }
+
+    /// Record a phase transition in the lineage and the journal.
+    fn note_transition(&mut self, from: u8, to: u8, q: f64) {
+        let footprint_slots = self.current_slots();
+        push_capped(
+            &mut self.lineage,
+            LineageEvent::PhaseTransition {
+                from,
+                to,
+                q,
+                footprint_slots,
+            },
+        );
+        record(
+            EventKind::PhaseTransition,
+            self.span.raw(),
+            0,
+            ((from as u64) << 8) | to as u64,
+            self.current_slots(),
+        );
+    }
+
+    /// Record a purge in the lineage and the journal.
+    fn note_purge(&mut self, kind: PurgeKind, survivors: u64) {
+        push_capped(&mut self.lineage, LineageEvent::Purge { kind, survivors });
+        record(
+            EventKind::Purge,
+            self.span.raw(),
+            0,
+            kind.code() as u64,
+            survivors,
         );
     }
 
@@ -314,6 +366,7 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
                     // reservoir mode.
                     self.stats.enter_phase3(self.observed);
                     self.advance_phase(Phase::Reservoir);
+                    self.note_transition(2, 3, 0.0);
                     let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
                     self.next_include = self.observed + gen.skip(self.observed, rng);
                     self.skip_gen = Some(gen);
@@ -368,7 +421,16 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
             },
             Phase::Reservoir => SampleKind::Reservoir,
         };
-        Sample::from_parts(hist, kind, self.observed, self.policy)
+        let mut lineage = self.lineage;
+        push_capped(
+            &mut lineage,
+            LineageEvent::Ingested {
+                elements: self.observed,
+            },
+        );
+        record(EventKind::Ingest, self.span.raw(), 0, self.observed, 0);
+        record(EventKind::SpanEnd, self.span.raw(), 0, 0, 0);
+        Sample::from_parts(hist, kind, self.observed, self.policy).with_lineage(lineage)
     }
 
     fn stats(&self) -> SamplerStats {

@@ -15,12 +15,15 @@
 use crate::footprint::FootprintPolicy;
 use crate::histogram::CompactHistogram;
 use crate::invariant::invariant;
+use crate::lineage::{push_capped, LineageEvent, PurgeKind};
 use crate::purge::purge_reservoir;
 use crate::sample::{Sample, SampleKind};
 use crate::sampler::Sampler;
 use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
+use swh_obs::journal::{record, EventKind};
+use swh_obs::trace::{next_span_id, Op, SpanId};
 use swh_obs::Stopwatch;
 use swh_rand::skip::ReservoirSkip;
 
@@ -56,11 +59,18 @@ pub struct HybridReservoir<T: SampleValue> {
     next_include: u64,
     skip_gen: Option<ReservoirSkip>,
     stats: SamplerStats,
+    /// Lineage accumulated during sampling, attached at finalize. Carries
+    /// the prior's history when resumed.
+    lineage: Vec<LineageEvent>,
+    /// Journal span covering this sampler's life (clones share the ID).
+    span: SpanId,
 }
 
 impl<T: SampleValue> HybridReservoir<T> {
     /// Create an HR sampler under the given footprint bound.
     pub fn new(policy: FootprintPolicy) -> Self {
+        let span = next_span_id();
+        record(EventKind::SpanStart, span.raw(), 0, Op::Ingest.code(), 0);
         Self {
             policy,
             phase: Phase::Exact,
@@ -71,6 +81,8 @@ impl<T: SampleValue> HybridReservoir<T> {
             next_include: 0,
             skip_gen: None,
             stats: SamplerStats::default(),
+            lineage: Vec::new(),
+            span,
         }
     }
 
@@ -86,8 +98,9 @@ impl<T: SampleValue> HybridReservoir<T> {
         let policy = prior.policy();
         let parent = prior.parent_size();
         let kind = prior.kind();
+        let prior_lineage = prior.lineage().to_vec();
         let hist = prior.into_histogram();
-        match kind {
+        let mut resumed = match kind {
             SampleKind::Exhaustive => {
                 let mut s = Self::new(policy);
                 s.hist = hist;
@@ -119,7 +132,9 @@ impl<T: SampleValue> HybridReservoir<T> {
             SampleKind::Bernoulli { .. } | SampleKind::Concise { .. } => {
                 panic!("HybridReservoir::resume requires an exhaustive or reservoir prior")
             }
-        }
+        };
+        resumed.lineage = prior_lineage;
+        resumed
     }
 
     /// Current phase (1 or 2), matching the paper's numbering.
@@ -149,6 +164,46 @@ impl<T: SampleValue> HybridReservoir<T> {
             Phase::Reservoir => "reservoir",
         }
     }
+
+    /// Record a phase transition in the lineage and the journal (HR's own
+    /// numbering: 1 = exact, 2 = reservoir; no rate, so `q` = 0).
+    fn note_transition(&mut self, from: u8, to: u8) {
+        let footprint_slots = self.current_slots();
+        push_capped(
+            &mut self.lineage,
+            LineageEvent::PhaseTransition {
+                from,
+                to,
+                q: 0.0,
+                footprint_slots,
+            },
+        );
+        record(
+            EventKind::PhaseTransition,
+            self.span.raw(),
+            0,
+            ((from as u64) << 8) | to as u64,
+            self.current_slots(),
+        );
+    }
+
+    /// Record a purge in the lineage and the journal.
+    fn note_purge(&mut self, survivors: u64) {
+        push_capped(
+            &mut self.lineage,
+            LineageEvent::Purge {
+                kind: PurgeKind::Reservoir,
+                survivors,
+            },
+        );
+        record(
+            EventKind::Purge,
+            self.span.raw(),
+            0,
+            PurgeKind::Reservoir.code() as u64,
+            survivors,
+        );
+    }
 }
 
 impl<T: SampleValue> std::fmt::Display for HybridReservoir<T> {
@@ -177,6 +232,7 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                     // happens lazily at the first skip-selected insertion.
                     self.stats.enter_phase2(self.observed);
                     self.phase = Phase::Reservoir;
+                    self.note_transition(1, 2);
                     let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
                     self.next_include = self.observed + gen.skip(self.observed, rng);
                     self.skip_gen = Some(gen);
@@ -188,6 +244,7 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                         let start = Stopwatch::start();
                         purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
                         self.stats.record_purge(start.elapsed_ns());
+                        self.note_purge(self.hist.total());
                         self.bag = std::mem::take(&mut self.hist).into_bag();
                         self.expanded = true;
                         invariant!(
@@ -235,6 +292,12 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
     }
 
     fn finalize_with_stats<R2: Rng + ?Sized>(mut self, rng: &mut R2) -> (Sample<T>, SamplerStats) {
+        let close_lineage = |mut lineage: Vec<LineageEvent>, observed: u64, span: SpanId| {
+            push_capped(&mut lineage, LineageEvent::Ingested { elements: observed });
+            record(EventKind::Ingest, span.raw(), 0, observed, 0);
+            record(EventKind::SpanEnd, span.raw(), 0, 0, 0);
+            lineage
+        };
         let sample = match self.phase {
             Phase::Exact => Sample::from_parts(
                 self.hist,
@@ -259,7 +322,12 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                         SampleKind::Exhaustive,
                         self.observed,
                         self.policy,
-                    );
+                    )
+                    .with_lineage(close_lineage(
+                        self.lineage,
+                        self.observed,
+                        self.span,
+                    ));
                     return (s, self.stats);
                 }
                 let mut hist = hist;
@@ -271,10 +339,25 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                     let start = Stopwatch::start();
                     purge_reservoir(&mut hist, self.policy.n_f(), rng);
                     self.stats.record_purge(start.elapsed_ns());
+                    push_capped(
+                        &mut self.lineage,
+                        LineageEvent::Purge {
+                            kind: PurgeKind::Reservoir,
+                            survivors: hist.total(),
+                        },
+                    );
+                    record(
+                        EventKind::Purge,
+                        self.span.raw(),
+                        0,
+                        PurgeKind::Reservoir.code() as u64,
+                        hist.total(),
+                    );
                 }
                 Sample::from_parts(hist, SampleKind::Reservoir, self.observed, self.policy)
             }
         };
+        let sample = sample.with_lineage(close_lineage(self.lineage, self.observed, self.span));
         (sample, self.stats)
     }
 }

@@ -33,6 +33,7 @@ pub mod histogram;
 pub mod hybrid_bernoulli;
 pub mod hybrid_reservoir;
 pub(crate) mod invariant;
+pub mod lineage;
 pub mod merge;
 pub mod planner;
 pub mod purge;
@@ -56,6 +57,7 @@ pub use footprint::FootprintPolicy;
 pub use histogram::CompactHistogram;
 pub use hybrid_bernoulli::HybridBernoulli;
 pub use hybrid_reservoir::HybridReservoir;
+pub use lineage::{LineageEvent, PurgeKind};
 pub use merge::{
     hb_merge, hr_merge, hr_merge_cached, hr_merge_multiway, hr_merge_tree_cached, merge, merge_all,
     merge_all_borrowed, merge_borrowed, merge_tree, HypergeometricCache, MergeError,

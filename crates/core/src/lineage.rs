@@ -1,0 +1,395 @@
+//! Sample lineage: the recorded history of how a stored sample came to be.
+//!
+//! The paper proves a sample surviving HB/HR phase transitions, purges, and
+//! merge chains is still uniform — but an *operator* debugging a bad
+//! estimate needs to know which transitions, purges, and merges a concrete
+//! stored sample actually went through. A lineage is an ordered
+//! `Vec<LineageEvent>` carried on every [`crate::Sample`], appended to by
+//! the samplers and merge operators, serialized through the warehouse codec
+//! (format v2), and exposed by `swh serve` / `swh trace`.
+//!
+//! Lineage growth is bounded: past [`MAX_LINEAGE`] events, further history
+//! collapses into a trailing [`LineageEvent::Truncated`] drop counter, so a
+//! long merge chain cannot bloat its stored sample.
+
+/// Maximum events retained per sample before truncation kicks in.
+pub const MAX_LINEAGE: usize = 64;
+
+/// Which purge primitive ran (§3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PurgeKind {
+    /// `purgeBernoulli`: independent coin per element.
+    Bernoulli,
+    /// `purgeReservoir`: subsample to an exact target size.
+    Reservoir,
+}
+
+impl PurgeKind {
+    /// Stable numeric code used by the codec and the journal.
+    pub fn code(self) -> u8 {
+        match self {
+            PurgeKind::Bernoulli => 0,
+            PurgeKind::Reservoir => 1,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(PurgeKind::Bernoulli),
+            1 => Some(PurgeKind::Reservoir),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name for dumps and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            PurgeKind::Bernoulli => "bernoulli",
+            PurgeKind::Reservoir => "reservoir",
+        }
+    }
+}
+
+/// One step in a sample's history, in the order it happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LineageEvent {
+    /// The sample was drawn from a partition stream of `elements` values.
+    Ingested {
+        /// Number of elements observed by the sampler.
+        elements: u64,
+    },
+    /// The sampler crossed a phase boundary (HB 1→2, 2→3, or 1→3; HR
+    /// 1→3 in the paper's numbering, where HR phase 2 *is* a reservoir).
+    PhaseTransition {
+        /// Phase left.
+        from: u8,
+        /// Phase entered.
+        to: u8,
+        /// Sampling rate `q` in force after the transition (0 when the
+        /// target phase has no rate, i.e. a reservoir).
+        q: f64,
+        /// Compact footprint in value slots at the moment of transition.
+        footprint_slots: u64,
+    },
+    /// A purge ran over the sample.
+    Purge {
+        /// Which purge primitive.
+        kind: PurgeKind,
+        /// Elements surviving the purge.
+        survivors: u64,
+    },
+    /// The sample is a merge of `fan_in` parent samples.
+    Merge {
+        /// Number of direct parents merged.
+        fan_in: u32,
+        /// The hypergeometric split `L` of Eq. 2 (HRMerge); 0 when the
+        /// merge path did not draw a split.
+        split_l: u64,
+    },
+    /// A store persisted the sample.
+    StoreWrite,
+    /// The sample was reloaded during a recovery pass.
+    StoreRecovery,
+    /// The sample was quarantined (recorded in the journal; a quarantined
+    /// file's own lineage is usually unreadable).
+    StoreQuarantine,
+    /// `dropped` further events were discarded to honor [`MAX_LINEAGE`].
+    Truncated {
+        /// Number of events not retained.
+        dropped: u64,
+    },
+}
+
+impl LineageEvent {
+    /// Stable numeric tag used by the codec (v2 lineage section).
+    pub fn tag(&self) -> u8 {
+        match self {
+            LineageEvent::Ingested { .. } => 1,
+            LineageEvent::PhaseTransition { .. } => 2,
+            LineageEvent::Purge { .. } => 3,
+            LineageEvent::Merge { .. } => 4,
+            LineageEvent::StoreWrite => 5,
+            LineageEvent::StoreRecovery => 6,
+            LineageEvent::StoreQuarantine => 7,
+            LineageEvent::Truncated { .. } => 8,
+        }
+    }
+
+    /// Render as a JSON object (hand-rolled; the workspace has no JSON
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        match self {
+            LineageEvent::Ingested { elements } => {
+                format!("{{\"event\": \"ingested\", \"elements\": {elements}}}")
+            }
+            LineageEvent::PhaseTransition {
+                from,
+                to,
+                q,
+                footprint_slots,
+            } => format!(
+                "{{\"event\": \"phase_transition\", \"from\": {from}, \"to\": {to}, \
+                 \"q\": {q}, \"footprint_slots\": {footprint_slots}}}"
+            ),
+            LineageEvent::Purge { kind, survivors } => format!(
+                "{{\"event\": \"purge\", \"kind\": \"{}\", \"survivors\": {survivors}}}",
+                kind.name()
+            ),
+            LineageEvent::Merge { fan_in, split_l } => {
+                format!("{{\"event\": \"merge\", \"fan_in\": {fan_in}, \"split_l\": {split_l}}}")
+            }
+            LineageEvent::StoreWrite => "{\"event\": \"store_write\"}".to_string(),
+            LineageEvent::StoreRecovery => "{\"event\": \"store_recovery\"}".to_string(),
+            LineageEvent::StoreQuarantine => "{\"event\": \"store_quarantine\"}".to_string(),
+            LineageEvent::Truncated { dropped } => {
+                format!("{{\"event\": \"truncated\", \"dropped\": {dropped}}}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for LineageEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LineageEvent::Ingested { elements } => write!(f, "ingested {elements} elements"),
+            LineageEvent::PhaseTransition {
+                from,
+                to,
+                q,
+                footprint_slots,
+            } => write!(
+                f,
+                "phase {from} -> {to} (q = {q}, footprint = {footprint_slots} slots)"
+            ),
+            LineageEvent::Purge { kind, survivors } => {
+                write!(f, "purge ({}) -> {survivors} survivors", kind.name())
+            }
+            LineageEvent::Merge { fan_in, split_l } => {
+                write!(f, "merge of {fan_in} parents (L = {split_l})")
+            }
+            LineageEvent::StoreWrite => write!(f, "store write"),
+            LineageEvent::StoreRecovery => write!(f, "store recovery"),
+            LineageEvent::StoreQuarantine => write!(f, "store quarantine"),
+            LineageEvent::Truncated { dropped } => write!(f, "({dropped} older events dropped)"),
+        }
+    }
+}
+
+/// Append `ev` to `lineage`, collapsing overflow past [`MAX_LINEAGE`] into
+/// a trailing [`LineageEvent::Truncated`] counter.
+pub fn push_capped(lineage: &mut Vec<LineageEvent>, ev: LineageEvent) {
+    if let Some(LineageEvent::Truncated { dropped }) = lineage.last_mut() {
+        *dropped += 1;
+        return;
+    }
+    if lineage.len() < MAX_LINEAGE {
+        lineage.push(ev);
+    } else {
+        lineage.push(LineageEvent::Truncated { dropped: 1 });
+    }
+}
+
+/// Build the lineage of a merge result: the parents' histories in order,
+/// capped, followed by a [`LineageEvent::Merge`] record.
+pub fn merged_lineage(parents: &[&[LineageEvent]], fan_in: u32, split_l: u64) -> Vec<LineageEvent> {
+    let total: usize = parents.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total.min(MAX_LINEAGE) + 1);
+    let mut dropped = 0u64;
+    for parent in parents {
+        for ev in *parent {
+            if let LineageEvent::Truncated { dropped: d } = ev {
+                dropped += d;
+            } else if out.len() + 2 < MAX_LINEAGE {
+                // Leave room for the trailing Truncated + Merge records.
+                out.push(*ev);
+            } else {
+                dropped += 1;
+            }
+        }
+    }
+    if dropped > 0 {
+        out.push(LineageEvent::Truncated { dropped });
+    }
+    out.push(LineageEvent::Merge { fan_in, split_l });
+    out
+}
+
+/// Number of purges recorded in a lineage.
+pub fn purge_depth(lineage: &[LineageEvent]) -> u64 {
+    lineage
+        .iter()
+        .filter(|e| matches!(e, LineageEvent::Purge { .. }))
+        .count() as u64
+}
+
+/// Largest merge fan-in recorded in a lineage (0 when never merged).
+pub fn max_merge_fan_in(lineage: &[LineageEvent]) -> u64 {
+    lineage
+        .iter()
+        .filter_map(|e| match e {
+            LineageEvent::Merge { fan_in, .. } => Some(*fan_in as u64),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The last recorded sampling rate `q`, if the sample ever held one
+/// (i.e. passed through a Bernoulli phase).
+pub fn last_rate(lineage: &[LineageEvent]) -> Option<f64> {
+    lineage.iter().rev().find_map(|e| match e {
+        LineageEvent::PhaseTransition { q, .. } if *q > 0.0 => Some(*q),
+        _ => None,
+    })
+}
+
+/// Render a whole lineage as a JSON array.
+pub fn to_json(lineage: &[LineageEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, ev) in lineage.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&ev.to_json());
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_capped_truncates_past_the_bound() {
+        let mut lineage = Vec::new();
+        for i in 0..(MAX_LINEAGE as u64 + 10) {
+            push_capped(&mut lineage, LineageEvent::Ingested { elements: i });
+        }
+        assert_eq!(lineage.len(), MAX_LINEAGE + 1);
+        assert_eq!(
+            lineage.last(),
+            Some(&LineageEvent::Truncated { dropped: 10 })
+        );
+    }
+
+    #[test]
+    fn merged_lineage_concatenates_and_appends_merge() {
+        let a = vec![LineageEvent::Ingested { elements: 10 }];
+        let b = vec![
+            LineageEvent::Ingested { elements: 20 },
+            LineageEvent::Purge {
+                kind: PurgeKind::Reservoir,
+                survivors: 5,
+            },
+        ];
+        let m = merged_lineage(&[&a, &b], 2, 7);
+        assert_eq!(m.len(), 4);
+        assert_eq!(
+            m.last(),
+            Some(&LineageEvent::Merge {
+                fan_in: 2,
+                split_l: 7
+            })
+        );
+        assert_eq!(m[0], a[0]);
+        assert_eq!(m[1], b[0]);
+    }
+
+    #[test]
+    fn merged_lineage_bounds_growth() {
+        let long: Vec<_> = (0..MAX_LINEAGE as u64)
+            .map(|i| LineageEvent::Ingested { elements: i })
+            .collect();
+        let m = merged_lineage(&[&long, &long], 2, 0);
+        assert!(m.len() <= MAX_LINEAGE);
+        let dropped: u64 = m
+            .iter()
+            .filter_map(|e| match e {
+                LineageEvent::Truncated { dropped } => Some(*dropped),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(m.len() - 2 + dropped as usize, 2 * MAX_LINEAGE);
+        // Merging two already-truncated lineages folds their counters.
+        let m2 = merged_lineage(&[&m, &m], 2, 0);
+        assert!(m2.len() <= MAX_LINEAGE);
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let lineage = vec![
+            LineageEvent::Ingested { elements: 1000 },
+            LineageEvent::PhaseTransition {
+                from: 1,
+                to: 2,
+                q: 0.25,
+                footprint_slots: 64,
+            },
+            LineageEvent::Purge {
+                kind: PurgeKind::Bernoulli,
+                survivors: 250,
+            },
+            LineageEvent::Merge {
+                fan_in: 2,
+                split_l: 99,
+            },
+            LineageEvent::Purge {
+                kind: PurgeKind::Reservoir,
+                survivors: 100,
+            },
+        ];
+        assert_eq!(purge_depth(&lineage), 2);
+        assert_eq!(max_merge_fan_in(&lineage), 2);
+        assert_eq!(last_rate(&lineage), Some(0.25));
+        assert_eq!(last_rate(&lineage[2..]), None);
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let lineage = vec![
+            LineageEvent::Ingested { elements: 3 },
+            LineageEvent::PhaseTransition {
+                from: 1,
+                to: 2,
+                q: 0.5,
+                footprint_slots: 8,
+            },
+            LineageEvent::StoreWrite,
+        ];
+        let json = to_json(&lineage);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"event\": \"ingested\", \"elements\": 3"));
+        assert!(json.contains("\"q\": 0.5"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn tags_are_stable_and_distinct() {
+        let events = [
+            LineageEvent::Ingested { elements: 0 },
+            LineageEvent::PhaseTransition {
+                from: 1,
+                to: 2,
+                q: 0.0,
+                footprint_slots: 0,
+            },
+            LineageEvent::Purge {
+                kind: PurgeKind::Bernoulli,
+                survivors: 0,
+            },
+            LineageEvent::Merge {
+                fan_in: 2,
+                split_l: 0,
+            },
+            LineageEvent::StoreWrite,
+            LineageEvent::StoreRecovery,
+            LineageEvent::StoreQuarantine,
+            LineageEvent::Truncated { dropped: 0 },
+        ];
+        let tags: Vec<u8> = events.iter().map(|e| e.tag()).collect();
+        assert_eq!(tags, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}

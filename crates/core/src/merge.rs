@@ -24,6 +24,7 @@ use crate::histogram::CompactHistogram;
 use crate::hybrid_bernoulli::HybridBernoulli;
 use crate::hybrid_reservoir::HybridReservoir;
 use crate::invariant::invariant;
+use crate::lineage::{merged_lineage, LineageEvent};
 use crate::purge::{
     bernoulli_subsample_ref, purge_bernoulli, purge_reservoir, reservoir_subsample_ref,
 };
@@ -32,8 +33,17 @@ use crate::sample::{Sample, SampleKind};
 use crate::sampler::Sampler;
 use crate::value::SampleValue;
 use rand::Rng;
+use swh_obs::journal::EventKind;
+use swh_obs::trace::{Op, Span};
 use swh_rand::hypergeometric::Hypergeometric;
 use swh_rand::skip::ReservoirSkip;
+
+/// Record one completed merge in the journal under its own span.
+fn note_merge(fan_in: u32, split_l: u64) {
+    let span = Span::root(Op::Merge);
+    span.event(EventKind::Merge, fan_in as u64, split_l);
+    span.end();
+}
 
 /// Why two samples could not be merged.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,10 +135,14 @@ pub fn hb_merge<T: SampleValue, R: Rng + ?Sized>(
             // this case without needing a population-size estimate.
             return hr_merge_with_exhaustive(exhaustive, other, rng);
         }
+        let ex_lineage = exhaustive.lineage().to_vec();
         let hist = exhaustive.into_histogram();
         let mut hb = HybridBernoulli::resume(other, combined_n, p_bound, rng);
         stream_into(&mut hb, &hist, rng);
-        return Ok(hb.finalize(rng));
+        let merged = hb.finalize(rng);
+        let lin = merged_lineage(&[&ex_lineage, merged.lineage()], 2, 0);
+        note_merge(2, 0);
+        return Ok(merged.with_lineage(lin));
     }
 
     // Fig. 6 lines 5–7: at least one reservoir sample — use HRMerge
@@ -145,12 +159,16 @@ pub fn hb_merge<T: SampleValue, R: Rng + ?Sized>(
     let policy = s1.policy();
     let n_f = policy.n_f();
     let q = q_approx(combined_n, p_bound, n_f).min(q1).min(q2);
+    let lin1 = s1.lineage().to_vec();
+    let lin2 = s2.lineage().to_vec();
     let mut h1 = s1.into_histogram();
     let mut h2 = s2.into_histogram();
     // Equalize both samples to rate q: Bern(q/q_i) of a Bern(q_i) sample is
     // a Bern(q) sample (§3.1).
     purge_bernoulli(&mut h1, q / q1, rng);
     purge_bernoulli(&mut h2, q / q2, rng);
+    let lineage = merged_lineage(&[&lin1, &lin2], 2, 0);
+    note_merge(2, 0);
     if h1.joined_slots(&h2) <= n_f && h1.total() + h2.total() <= n_f {
         h1.join(h2);
         return Ok(Sample::from_parts(
@@ -158,18 +176,14 @@ pub fn hb_merge<T: SampleValue, R: Rng + ?Sized>(
             SampleKind::Bernoulli { q, p_bound },
             combined_n,
             policy,
-        ));
+        )
+        .with_lineage(lineage));
     }
     // Low-probability fallback (lines 14–16): reservoir of size n_F over
     // the concatenation of the two equalized samples. A simple random
     // subsample of a Bernoulli sample is uniform (§3.2).
     let hist = reservoir_of_concatenation(h1, h2, n_f, rng);
-    Ok(Sample::from_parts(
-        hist,
-        SampleKind::Reservoir,
-        combined_n,
-        policy,
-    ))
+    Ok(Sample::from_parts(hist, SampleKind::Reservoir, combined_n, policy).with_lineage(lineage))
 }
 
 /// `HRMerge` (Fig. 8): merge two samples produced by Algorithm HR over
@@ -213,19 +227,25 @@ fn hr_merge_with_exhaustive<T: SampleValue, R: Rng + ?Sized>(
             // simple random sample of its parent.
             let policy = other.policy();
             let parent = other.parent_size();
+            let lineage = other.lineage().to_vec();
             Sample::from_parts(
                 other.into_histogram(),
                 SampleKind::Reservoir,
                 parent,
                 policy,
             )
+            .with_lineage(lineage)
         }
         _ => other,
     };
+    let ex_lineage = exhaustive.lineage().to_vec();
     let hist = exhaustive.into_histogram();
     let mut hr = HybridReservoir::resume(other, rng);
     stream_into(&mut hr, &hist, rng);
-    Ok(hr.finalize(rng))
+    let merged = hr.finalize(rng);
+    let lin = merged_lineage(&[&ex_lineage, merged.lineage()], 2, 0);
+    note_merge(2, 0);
+    Ok(merged.with_lineage(lin))
 }
 
 /// Fig. 8 lines 5–12: merge two simple random samples via the
@@ -246,6 +266,8 @@ fn hr_merge_reservoirs<T: SampleValue, R: Rng + ?Sized>(
         return Ok(s1);
     }
     let k = s1.size().min(s2.size());
+    let lin1 = s1.lineage().to_vec();
+    let lin2 = s2.lineage().to_vec();
     let mut h1 = s1.into_histogram();
     let mut h2 = s2.into_histogram();
     // Fig. 8 lines 6–10: draw the split from Eq. (2) and subsample each
@@ -261,12 +283,11 @@ fn hr_merge_reservoirs<T: SampleValue, R: Rng + ?Sized>(
     purge_reservoir(&mut h2, k - l, rng);
     h1.join(h2);
     debug_assert_eq!(h1.total(), k);
-    Ok(Sample::from_parts(
-        h1,
-        SampleKind::Reservoir,
-        n1 + n2,
-        policy,
-    ))
+    note_merge(2, l);
+    Ok(
+        Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
+            .with_lineage(merged_lineage(&[&lin1, &lin2], 2, l)),
+    )
 }
 
 /// Reservoir sample of size `n_f` over the concatenation `h1 ++ h2`
@@ -387,15 +408,18 @@ pub fn merge_borrowed<T: SampleValue, R: Rng + ?Sized>(
     // Borrowed exhaustive side: re-stream its values into a sampler
     // resumed from the owned accumulator (stream_into only borrows).
     if s.kind() == SampleKind::Exhaustive {
-        return if matches!(acc.kind(), SampleKind::Bernoulli { .. }) {
+        let merged = if matches!(acc.kind(), SampleKind::Bernoulli { .. }) {
             let mut hb = HybridBernoulli::resume(acc, combined_n, p_bound, rng);
             stream_into(&mut hb, s.histogram(), rng);
-            Ok(hb.finalize(rng))
+            hb.finalize(rng)
         } else {
             let mut hr = HybridReservoir::resume(acc, rng);
             stream_into(&mut hr, s.histogram(), rng);
-            Ok(hr.finalize(rng))
+            hr.finalize(rng)
         };
+        let lin = merged_lineage(&[s.lineage(), merged.lineage()], 2, 0);
+        note_merge(2, 0);
+        return Ok(merged.with_lineage(lin));
     }
 
     // Both Bernoulli: rate-equalize (Fig. 6 lines 8–16), thinning the
@@ -406,9 +430,12 @@ pub fn merge_borrowed<T: SampleValue, R: Rng + ?Sized>(
         let policy = acc.policy();
         let n_f = policy.n_f();
         let q = q_approx(combined_n, p_bound, n_f).min(q1).min(q2);
+        let lin1 = acc.lineage().to_vec();
         let mut h1 = acc.into_histogram();
         purge_bernoulli(&mut h1, q / q1, rng);
         let h2 = bernoulli_subsample_ref(s.histogram(), q / q2, rng);
+        let lineage = merged_lineage(&[&lin1, s.lineage()], 2, 0);
+        note_merge(2, 0);
         if h1.joined_slots(&h2) <= n_f && h1.total() + h2.total() <= n_f {
             h1.join(h2);
             return Ok(Sample::from_parts(
@@ -416,15 +443,14 @@ pub fn merge_borrowed<T: SampleValue, R: Rng + ?Sized>(
                 SampleKind::Bernoulli { q, p_bound },
                 combined_n,
                 policy,
-            ));
+            )
+            .with_lineage(lineage));
         }
         let hist = reservoir_of_concatenation(h1, h2, n_f, rng);
-        return Ok(Sample::from_parts(
-            hist,
-            SampleKind::Reservoir,
-            combined_n,
-            policy,
-        ));
+        return Ok(
+            Sample::from_parts(hist, SampleKind::Reservoir, combined_n, policy)
+                .with_lineage(lineage),
+        );
     }
 
     // Everything else involves a simple random sample on at least one
@@ -450,6 +476,7 @@ fn hr_merge_reservoirs_ref<T: SampleValue, R: Rng + ?Sized>(
         return Ok(acc);
     }
     let k = acc.size().min(s.size());
+    let lin1 = acc.lineage().to_vec();
     let mut h1 = acc.into_histogram();
     let dist = Hypergeometric::new(n1, n2, k);
     let l = dist.sample(rng);
@@ -462,12 +489,11 @@ fn hr_merge_reservoirs_ref<T: SampleValue, R: Rng + ?Sized>(
     let h2 = reservoir_subsample_ref(s.histogram(), k - l, rng);
     h1.join(h2);
     debug_assert_eq!(h1.total(), k);
-    Ok(Sample::from_parts(
-        h1,
-        SampleKind::Reservoir,
-        n1 + n2,
-        policy,
-    ))
+    note_merge(2, l);
+    Ok(
+        Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
+            .with_lineage(merged_lineage(&[&lin1, s.lineage()], 2, l)),
+    )
 }
 
 /// Serial pairwise [`merge_borrowed`] over borrowed partition samples: the
@@ -582,6 +608,8 @@ pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
     let k = samples.iter().map(Sample::size).min().unwrap_or(0);
     let parents: Vec<u64> = samples.iter().map(Sample::parent_size).collect();
     let total_parent: u64 = parents.iter().sum();
+    let fan_in = samples.len() as u32;
+    let lineages: Vec<Vec<LineageEvent>> = samples.iter().map(|s| s.lineage().to_vec()).collect();
     let shares = swh_rand::hypergeometric::sample_multivariate(rng, &parents, k);
     let mut merged = CompactHistogram::new();
     for (s, share) in samples.into_iter().zip(shares) {
@@ -590,12 +618,12 @@ pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
         merged.join(h);
     }
     debug_assert_eq!(merged.total(), k);
-    Ok(Sample::from_parts(
-        merged,
-        SampleKind::Reservoir,
-        total_parent,
-        policy,
-    ))
+    let parent_lineages: Vec<&[LineageEvent]> = lineages.iter().map(Vec::as_slice).collect();
+    note_merge(fan_in, 0);
+    Ok(
+        Sample::from_parts(merged, SampleKind::Reservoir, total_parent, policy)
+            .with_lineage(merged_lineage(&parent_lineages, fan_in, 0)),
+    )
 }
 
 /// Cache of alias tables keyed by `(|D1|, |D2|, k)` for the repeated
@@ -662,17 +690,18 @@ pub fn hr_merge_cached<T: SampleValue, R: Rng + ?Sized>(
         "HRMerge split L = {l} exceeds min(k = {k}, |S1| = {})",
         s1.size()
     );
+    let lin1 = s1.lineage().to_vec();
+    let lin2 = s2.lineage().to_vec();
     let mut h1 = s1.into_histogram();
     let mut h2 = s2.into_histogram();
     purge_reservoir(&mut h1, l, rng);
     purge_reservoir(&mut h2, k - l, rng);
     h1.join(h2);
-    Ok(Sample::from_parts(
-        h1,
-        SampleKind::Reservoir,
-        n1 + n2,
-        policy,
-    ))
+    note_merge(2, l);
+    Ok(
+        Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
+            .with_lineage(merged_lineage(&[&lin1, &lin2], 2, l)),
+    )
 }
 
 /// Balanced merge tree over simple random samples using a shared

@@ -8,6 +8,7 @@
 
 use crate::footprint::FootprintPolicy;
 use crate::histogram::CompactHistogram;
+use crate::lineage::{self, LineageEvent, PurgeKind};
 use crate::value::SampleValue;
 
 /// Provenance of a finalized sample — the paper's `h_i` flag plus the
@@ -63,7 +64,7 @@ impl std::fmt::Display for SampleKind {
 }
 
 /// A finalized, compact, uniform sample of one (possibly merged) partition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Sample<T: SampleValue> {
     hist: CompactHistogram<T>,
     kind: SampleKind,
@@ -71,6 +72,20 @@ pub struct Sample<T: SampleValue> {
     parent_size: u64,
     /// Footprint bound the sample was collected under.
     policy: FootprintPolicy,
+    /// Recorded history (phase transitions, purges, merges, store events).
+    /// Deliberately excluded from `PartialEq`: two samples holding the same
+    /// data and provenance are the same sample regardless of the route
+    /// either took to get there.
+    lineage: Vec<LineageEvent>,
+}
+
+impl<T: SampleValue> PartialEq for Sample<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.hist == other.hist
+            && self.kind == other.kind
+            && self.parent_size == other.parent_size
+            && self.policy == other.policy
+    }
 }
 
 impl<T: SampleValue> Sample<T> {
@@ -106,6 +121,7 @@ impl<T: SampleValue> Sample<T> {
             kind,
             parent_size,
             policy,
+            lineage: Vec::new(),
         }
     }
 
@@ -133,6 +149,7 @@ impl<T: SampleValue> Sample<T> {
             kind,
             parent_size,
             policy,
+            lineage: Vec::new(),
         }
     }
 
@@ -168,6 +185,29 @@ impl<T: SampleValue> Sample<T> {
         } else {
             self.size() as f64 / self.parent_size as f64
         }
+    }
+
+    /// The sample's recorded history, oldest event first.
+    pub fn lineage(&self) -> &[LineageEvent] {
+        &self.lineage
+    }
+
+    /// Append one event to the lineage (bounded by
+    /// [`lineage::MAX_LINEAGE`]; overflow collapses into a trailing
+    /// [`LineageEvent::Truncated`] counter).
+    pub fn push_lineage(&mut self, ev: LineageEvent) {
+        lineage::push_capped(&mut self.lineage, ev);
+    }
+
+    /// Replace the lineage wholesale (codec decode, merge assembly).
+    pub fn set_lineage(&mut self, events: Vec<LineageEvent>) {
+        self.lineage = events;
+    }
+
+    /// Builder-style [`set_lineage`](Self::set_lineage).
+    pub fn with_lineage(mut self, events: Vec<LineageEvent>) -> Self {
+        self.lineage = events;
+        self
     }
 
     /// Borrow the compact histogram.
@@ -214,7 +254,14 @@ impl<T: SampleValue> Sample<T> {
         } else {
             SampleKind::Reservoir
         };
-        Sample::from_parts(hist, kind, self.parent_size, self.policy)
+        let survivors = hist.total();
+        let mut out = Sample::from_parts(hist, kind, self.parent_size, self.policy)
+            .with_lineage(self.lineage.clone());
+        out.push_lineage(LineageEvent::Purge {
+            kind: PurgeKind::Reservoir,
+            survivors,
+        });
+        out
     }
 
     /// Derive a Bernoulli-thinned uniform sample: each element retained
@@ -257,7 +304,14 @@ impl<T: SampleValue> Sample<T> {
                 }
             }
         };
-        Sample::from_parts(hist, kind, self.parent_size, self.policy)
+        let survivors = hist.total();
+        let mut out = Sample::from_parts(hist, kind, self.parent_size, self.policy)
+            .with_lineage(self.lineage.clone());
+        out.push_lineage(LineageEvent::Purge {
+            kind: PurgeKind::Bernoulli,
+            survivors,
+        });
+        out
     }
 }
 

@@ -25,6 +25,11 @@
 //!   [`Snapshot::to_prometheus`] (text exposition) or [`Snapshot::to_json`].
 //! * [`progress!`] — verbosity-gated progress output to stderr, replacing
 //!   ad-hoc `eprintln!` in binaries so quiet runs are actually quiet.
+//! * [`Span`] / [`journal`] — span tracing and a fixed-capacity lock-free
+//!   event journal: who ingested, purged, merged, and wrote what, in a
+//!   deterministic total order (sequence numbers, no wall clock).
+//! * [`serve::Server`] — a zero-dependency HTTP endpoint exposing
+//!   `/metrics`, `/metrics.json`, `/traces`, and `/lineage/...` live.
 //!
 //! ```
 //! use swh_obs::{Registry, ScopeTimer};
@@ -43,12 +48,17 @@
 //! assert!(snap.to_json().contains("\"ingested_total\""));
 //! ```
 
+pub mod journal;
 mod metrics;
 mod progress;
 mod registry;
+pub mod serve;
 mod timer;
+pub mod trace;
 
+pub use journal::{Event, EventKind, Journal};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use progress::{set_verbosity, verbosity, write_progress};
 pub use registry::{global, MetricValue, Registry, Snapshot};
 pub use timer::{ScopeTimer, Stopwatch};
+pub use trace::{next_span_id, Op, Span, SpanId};

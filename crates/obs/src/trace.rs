@@ -1,0 +1,211 @@
+//! Span tracing: IDs, parent links, and operation codes.
+//!
+//! A [`Span`] names one logical operation (ingesting a partition, merging a
+//! dataset, writing a store file) so the flat event stream in the
+//! [`journal`](crate::journal) can be grouped back into trees. Spans carry
+//! no timestamps — their extent is measured in journal sequence numbers,
+//! which is deterministic under the sampling crates' determinism lint.
+//!
+//! ```
+//! use swh_obs::{Op, Span};
+//!
+//! let ingest = Span::root(Op::Ingest);
+//! let write = ingest.child(Op::StoreWrite);
+//! assert_eq!(write.parent(), ingest.id());
+//! drop(write); // records span_end for the child
+//! drop(ingest);
+//! ```
+
+use crate::journal::{journal, EventKind};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifier of a span. `SpanId::NONE` (zero) means "no span".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The absent span (parent of roots, span of free-standing events).
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Raw numeric value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// Allocate a fresh process-unique span ID (monotonic, starts at 1).
+pub fn next_span_id() -> SpanId {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    SpanId(NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The operation a span covers, recorded as the `a` payload of its
+/// `span_start` event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Op {
+    /// Sampling one partition's stream.
+    Ingest,
+    /// Merging two or more partition samples.
+    Merge,
+    /// Writing a partition file to a store.
+    StoreWrite,
+    /// Loading a dataset from a store.
+    Load,
+    /// Store verification (`fsck`).
+    Fsck,
+    /// Serving the exposition endpoint.
+    Serve,
+    /// Startup recovery (orphan-tmp sweep).
+    Recovery,
+}
+
+impl Op {
+    /// Numeric code stored in the journal.
+    pub fn code(self) -> u64 {
+        match self {
+            Op::Ingest => 1,
+            Op::Merge => 2,
+            Op::StoreWrite => 3,
+            Op::Load => 4,
+            Op::Fsck => 5,
+            Op::Serve => 6,
+            Op::Recovery => 7,
+        }
+    }
+
+    /// Stable lowercase name for trace dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Op::Ingest => "ingest",
+            Op::Merge => "merge",
+            Op::StoreWrite => "store_write",
+            Op::Load => "load",
+            Op::Fsck => "fsck",
+            Op::Serve => "serve",
+            Op::Recovery => "recovery",
+        }
+    }
+}
+
+/// A live span. Creating one records a `span_start` event; dropping (or
+/// explicitly [`end`](Span::end)ing) it records `span_end` whose `a`
+/// payload is the number of journal events recorded while it was open.
+#[derive(Debug)]
+pub struct Span {
+    id: SpanId,
+    parent: SpanId,
+    started_at: u64,
+    ended: bool,
+}
+
+impl Span {
+    /// Start a root span (no parent).
+    pub fn root(op: Op) -> Self {
+        Self::with_parent(op, SpanId::NONE)
+    }
+
+    /// Start a child of this span.
+    pub fn child(&self, op: Op) -> Self {
+        Self::with_parent(op, self.id)
+    }
+
+    /// Start a span under an explicit parent ID.
+    pub fn with_parent(op: Op, parent: SpanId) -> Self {
+        let id = next_span_id();
+        let started_at = journal().record(EventKind::SpanStart, id.0, parent.0, op.code(), 0);
+        Self {
+            id,
+            parent,
+            started_at,
+            ended: false,
+        }
+    }
+
+    /// This span's ID, for attaching events to it.
+    pub fn id(&self) -> SpanId {
+        self.id
+    }
+
+    /// The parent span's ID (`SpanId::NONE` for roots).
+    pub fn parent(&self) -> SpanId {
+        self.parent
+    }
+
+    /// Record an event inside this span.
+    pub fn event(&self, kind: EventKind, a: u64, b: u64) -> u64 {
+        journal().record(kind, self.id.0, self.parent.0, a, b)
+    }
+
+    /// End the span now instead of at drop.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        let j = journal();
+        let extent = j.recorded().saturating_sub(self.started_at);
+        j.record(EventKind::SpanEnd, self.id.0, self.parent.0, extent, 0);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_are_unique_and_monotonic() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert!(b.0 > a.0);
+        assert_ne!(a, SpanId::NONE);
+    }
+
+    #[test]
+    fn spans_record_start_and_end_with_parent_links() {
+        let before = journal().recorded();
+        let root = Span::root(Op::Merge);
+        let root_id = root.id();
+        let child = root.child(Op::StoreWrite);
+        assert_eq!(child.parent(), root_id);
+        child.event(EventKind::StoreWrite, 0, 0);
+        drop(child);
+        root.end();
+        let evs = journal().snapshot();
+        let mine: Vec<_> = evs.iter().filter(|e| e.seq > before).collect();
+        let starts = mine
+            .iter()
+            .filter(|e| e.kind == EventKind::SpanStart)
+            .count();
+        let ends = mine.iter().filter(|e| e.kind == EventKind::SpanEnd).count();
+        assert_eq!(starts, 2);
+        assert_eq!(ends, 2);
+        // The child's events all carry the parent link.
+        assert!(
+            mine.iter()
+                .filter(|e| e.span != root_id.0 && e.kind != EventKind::SpanStart)
+                .filter(|e| e.parent == root_id.0)
+                .count()
+                >= 2
+        );
+    }
+
+    #[test]
+    fn double_end_is_recorded_once() {
+        let before = journal().recorded();
+        let span = Span::root(Op::Fsck);
+        span.end(); // drop after explicit end must not re-record
+        let after = journal().recorded();
+        assert_eq!(after - before, 2, "exactly span_start + span_end");
+    }
+}

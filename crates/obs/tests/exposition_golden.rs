@@ -1,0 +1,93 @@
+//! Golden-file tests pinning the *exact* exposition output of a registry.
+//!
+//! The Prometheus and JSON formats are a wire contract consumed by scrape
+//! configs and dashboards outside this repository; `contains`-style checks
+//! let ordering, escaping, and numeric formatting drift silently. These
+//! tests assert byte-for-byte output for a registry with one counter, one
+//! gauge, and one histogram whose quantiles are hand-computed from the
+//! log-bucketing rule (`buckets[i]` covers `[2^(i-1), 2^i)`, representative
+//! value = clamped geometric middle).
+
+use swh_obs::Registry;
+
+/// One counter, one gauge, one histogram with a fully predictable summary:
+/// records 0, 3, 1000 land in buckets 0, 2, 10, so p50 is bucket 2's
+/// representative (2+4)/2 = 3 and p90/p99 are bucket 10's (512+1024)/2 =
+/// 768 (under the observed max 1000).
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("a_requests_total", "HTTP requests served")
+        .add(42);
+    r.gauge("b_queue_depth", "elements waiting").set(-7);
+    let h = r.histogram("c_latency_ns", "request latency (ns)");
+    h.record(0);
+    h.record(3);
+    h.record(1000);
+    r
+}
+
+#[test]
+fn prometheus_exposition_is_byte_exact() {
+    let expected = "\
+# HELP a_requests_total HTTP requests served
+# TYPE a_requests_total counter
+a_requests_total 42
+# HELP b_queue_depth elements waiting
+# TYPE b_queue_depth gauge
+b_queue_depth -7
+# HELP c_latency_ns request latency (ns)
+# TYPE c_latency_ns summary
+c_latency_ns{quantile=\"0.5\"} 3
+c_latency_ns{quantile=\"0.9\"} 768
+c_latency_ns{quantile=\"0.99\"} 768
+c_latency_ns_sum 1003
+c_latency_ns_count 3
+c_latency_ns_max 1000
+";
+    assert_eq!(golden_registry().snapshot().to_prometheus(), expected);
+}
+
+#[test]
+fn json_exposition_is_byte_exact() {
+    let expected = "{
+  \"a_requests_total\": 42,
+  \"b_queue_depth\": -7,
+  \"c_latency_ns\": {\"count\": 3, \"sum\": 1003, \"mean\": 334.3, \"max\": 1000, \
+\"p50\": 3, \"p90\": 768, \"p99\": 768}
+}
+";
+    assert_eq!(golden_registry().snapshot().to_json(), expected);
+}
+
+#[test]
+fn metrics_render_sorted_by_name_regardless_of_registration_order() {
+    let r = Registry::new();
+    r.gauge("z_last", "").set(1);
+    r.counter("a_first_total", "").inc();
+    r.counter("m_middle_total", "").inc();
+    let prom = r.snapshot().to_prometheus();
+    let a = prom.find("a_first_total").unwrap();
+    let m = prom.find("m_middle_total").unwrap();
+    let z = prom.find("z_last").unwrap();
+    assert!(a < m && m < z, "{prom}");
+}
+
+#[test]
+fn empty_help_omits_the_help_line() {
+    let r = Registry::new();
+    r.counter("bare_total", "").add(1);
+    assert_eq!(
+        r.snapshot().to_prometheus(),
+        "# TYPE bare_total counter\nbare_total 1\n"
+    );
+}
+
+#[test]
+fn json_escapes_quotes_backslashes_and_control_chars_in_names() {
+    let r = Registry::new();
+    r.counter("we\"ird\\name\u{1}", "").add(5);
+    assert_eq!(
+        r.snapshot().to_json(),
+        "{\n  \"we\\\"ird\\\\name\\u0001\": 5\n}\n"
+    );
+}

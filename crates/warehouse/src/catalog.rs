@@ -181,6 +181,7 @@ impl<T: SampleValue> Catalog<T> {
             },
         );
         self.metrics.roll_ins.inc();
+        swh_obs::journal::record(swh_obs::journal::EventKind::CatalogRollIn, 0, 0, 0, 0);
         Ok(())
     }
 
@@ -197,6 +198,7 @@ impl<T: SampleValue> Catalog<T> {
             map.remove(&key.dataset);
         }
         self.metrics.roll_outs.inc();
+        swh_obs::journal::record(swh_obs::journal::EventKind::CatalogRollOut, 0, 0, 0, 0);
         Ok(entry)
     }
 

@@ -11,16 +11,26 @@
 //! No external serialization crate is used — the format is a few dozen
 //! lines and keeping it here avoids a heavyweight dependency for what is,
 //! by design, a flat structure.
+//!
+//! **Version 2** appends a lineage section after the value pairs: the
+//! sample's [`LineageEvent`] history as tagged records, followed by a
+//! `u32` byte-length footer so the section can be located from the tail of
+//! the payload *without* decoding the (typed) pairs — `fsck` and other
+//! type-agnostic readers rely on this. Version-1 files decode unchanged
+//! (empty lineage).
 
 use swh_core::footprint::FootprintPolicy;
 use swh_core::histogram::CompactHistogram;
+use swh_core::lineage::{push_capped, LineageEvent, PurgeKind};
 use swh_core::sample::{Sample, SampleKind};
 use swh_core::value::SampleValue;
 
 /// Format magic: "SWHS" (Sample WareHouse Sample).
 const MAGIC: [u8; 4] = *b"SWHS";
-/// Format version.
-const VERSION: u8 = 1;
+/// Format version written by [`encode_sample`].
+const VERSION: u8 = 2;
+/// Oldest format version still decodable.
+const MIN_VERSION: u8 = 1;
 
 /// CRC-32 (IEEE 802.3, reflected) over a byte slice; the trailer checksum
 /// that lets the store detect torn or corrupted sample files.
@@ -154,8 +164,127 @@ impl ValueCodec for Vec<u8> {
     }
 }
 
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, CodecError> {
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(take(buf, 4)?);
+    Ok(u32::from_le_bytes(raw))
+}
+
+/// Serialize one lineage event as its tag byte plus payload.
+fn encode_lineage_event(out: &mut Vec<u8>, ev: &LineageEvent) {
+    out.push(ev.tag());
+    match ev {
+        LineageEvent::Ingested { elements } => put_u64(out, *elements),
+        LineageEvent::PhaseTransition {
+            from,
+            to,
+            q,
+            footprint_slots,
+        } => {
+            out.push(*from);
+            out.push(*to);
+            put_f64(out, *q);
+            put_u64(out, *footprint_slots);
+        }
+        LineageEvent::Purge { kind, survivors } => {
+            out.push(kind.code());
+            put_u64(out, *survivors);
+        }
+        LineageEvent::Merge { fan_in, split_l } => {
+            put_u32(out, *fan_in);
+            put_u64(out, *split_l);
+        }
+        LineageEvent::StoreWrite | LineageEvent::StoreRecovery | LineageEvent::StoreQuarantine => {}
+        LineageEvent::Truncated { dropped } => put_u64(out, *dropped),
+    }
+}
+
+/// Parse a whole lineage section (`u32` count + tagged events), requiring
+/// the slice to be exactly consumed.
+fn decode_lineage(mut bytes: &[u8]) -> Result<Vec<LineageEvent>, CodecError> {
+    let buf = &mut bytes;
+    let count = get_u32(buf)? as usize;
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let ev = match take(buf, 1)?[0] {
+            1 => LineageEvent::Ingested {
+                elements: get_u64(buf)?,
+            },
+            2 => {
+                let from = take(buf, 1)?[0];
+                let to = take(buf, 1)?[0];
+                let q = get_f64(buf)?;
+                if !(0.0..=1.0).contains(&q) {
+                    return Err(CodecError::Corrupt("lineage transition rate"));
+                }
+                LineageEvent::PhaseTransition {
+                    from,
+                    to,
+                    q,
+                    footprint_slots: get_u64(buf)?,
+                }
+            }
+            3 => {
+                let kind = PurgeKind::from_code(take(buf, 1)?[0])
+                    .ok_or(CodecError::Corrupt("lineage purge kind"))?;
+                LineageEvent::Purge {
+                    kind,
+                    survivors: get_u64(buf)?,
+                }
+            }
+            4 => LineageEvent::Merge {
+                fan_in: get_u32(buf)?,
+                split_l: get_u64(buf)?,
+            },
+            5 => LineageEvent::StoreWrite,
+            6 => LineageEvent::StoreRecovery,
+            7 => LineageEvent::StoreQuarantine,
+            8 => LineageEvent::Truncated {
+                dropped: get_u64(buf)?,
+            },
+            _ => return Err(CodecError::Corrupt("lineage event tag")),
+        };
+        out.push(ev);
+    }
+    if !buf.is_empty() {
+        return Err(CodecError::Corrupt("lineage trailing bytes"));
+    }
+    Ok(out)
+}
+
+/// Split a v2 payload (magic/version already consumed is NOT assumed; this
+/// takes the whole CRC-stripped payload) into the body and the lineage
+/// section using the trailing byte-length footer.
+fn split_lineage_section(payload: &[u8]) -> Result<(&[u8], &[u8]), CodecError> {
+    if payload.len() < 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let (rest, footer) = payload.split_at(payload.len() - 4);
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(footer);
+    let lin_len = u32::from_le_bytes(raw) as usize;
+    if rest.len() < lin_len {
+        return Err(CodecError::Corrupt("lineage section length"));
+    }
+    Ok(rest.split_at(rest.len() - lin_len))
+}
+
 /// Encode a sample into its compact binary form.
 pub fn encode_sample<T: ValueCodec>(sample: &Sample<T>) -> Vec<u8> {
+    encode_sample_with_events(sample, &[])
+}
+
+/// [`encode_sample`], appending `extra` lineage events (e.g. the store's
+/// `StoreWrite` record) to the serialized history without mutating the
+/// in-memory sample. The combined history honors the lineage cap.
+pub fn encode_sample_with_events<T: ValueCodec>(
+    sample: &Sample<T>,
+    extra: &[LineageEvent],
+) -> Vec<u8> {
     let hist = sample.histogram();
     let mut out = Vec::with_capacity(32 + hist.distinct() * 12);
     out.extend_from_slice(&MAGIC);
@@ -189,6 +318,19 @@ pub fn encode_sample<T: ValueCodec>(sample: &Sample<T>) -> Vec<u8> {
             put_u64(&mut out, c);
         }
     }
+    // Lineage section (v2): count + tagged events, then a byte-length
+    // footer so type-agnostic readers can find the section from the tail.
+    let mut lineage = sample.lineage().to_vec();
+    for ev in extra {
+        push_capped(&mut lineage, *ev);
+    }
+    let section_start = out.len();
+    put_u32(&mut out, lineage.len() as u32);
+    for ev in &lineage {
+        encode_lineage_event(&mut out, ev);
+    }
+    let section_len = (out.len() - section_start) as u32;
+    put_u32(&mut out, section_len);
     // Integrity trailer over everything so far.
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_le_bytes());
@@ -201,6 +343,15 @@ pub fn encode_sample<T: ValueCodec>(sample: &Sample<T>) -> Vec<u8> {
 /// [`decode_sample`] would falsely reject, say, a `String`-valued store
 /// checked as `i64`).
 pub fn verify_sample_bytes(input: &[u8]) -> Result<(), CodecError> {
+    lineage_of_bytes(input).map(|_| ())
+}
+
+/// Extract the lineage section of a stored sample without decoding values:
+/// checks length, CRC-32 trailer, magic, and version, then parses the
+/// lineage section located through the v2 tail footer. Type-agnostic —
+/// `fsck` uses this to validate `.swhs` files regardless of element type.
+/// Version-1 files yield an empty lineage.
+pub fn lineage_of_bytes(input: &[u8]) -> Result<Vec<LineageEvent>, CodecError> {
     if input.len() < 4 {
         return Err(CodecError::UnexpectedEof);
     }
@@ -215,10 +366,15 @@ pub fn verify_sample_bytes(input: &[u8]) -> Result<(), CodecError> {
     if take(buf, 4)? != MAGIC {
         return Err(CodecError::BadHeader);
     }
-    if take(buf, 1)?[0] != VERSION {
+    let version = take(buf, 1)?[0];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::BadHeader);
     }
-    Ok(())
+    if version < 2 {
+        return Ok(Vec::new());
+    }
+    let (_, lineage_bytes) = split_lineage_section(buf)?;
+    decode_lineage(lineage_bytes)
 }
 
 /// Decode a sample from its binary form, verifying the CRC-32 trailer.
@@ -238,9 +394,20 @@ pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecErro
     if take(buf, 4)? != MAGIC {
         return Err(CodecError::BadHeader);
     }
-    if take(buf, 1)?[0] != VERSION {
+    let version = take(buf, 1)?[0];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(CodecError::BadHeader);
     }
+    // v2: peel the lineage section off the tail before the typed pairs
+    // walk, so the "trailing bytes" check below still covers the body.
+    let lineage = if version >= 2 {
+        let (body, lineage_bytes) = split_lineage_section(buf)?;
+        let lineage = decode_lineage(lineage_bytes)?;
+        *buf = body;
+        lineage
+    } else {
+        Vec::new()
+    };
     let kind = match take(buf, 1)?[0] {
         1 => SampleKind::Exhaustive,
         2 => {
@@ -289,12 +456,7 @@ pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecErro
     if hist.total() > parent_size {
         return Err(CodecError::Corrupt("sample larger than parent"));
     }
-    Ok(Sample::from_parts_unchecked(
-        hist,
-        kind,
-        parent_size,
-        policy,
-    ))
+    Ok(Sample::from_parts_unchecked(hist, kind, parent_size, policy).with_lineage(lineage))
 }
 
 #[cfg(test)]
@@ -356,9 +518,11 @@ mod tests {
         // All distinct: every entry a singleton — 9 bytes each (tag + u64).
         let s = HybridReservoir::new(policy()).sample_batch(0..50u64, &mut rng);
         let bytes = encode_sample(&s);
-        // header: 4 magic + 1 version + 1 kind + 8*4 fields = 38 bytes,
-        // plus the 4-byte CRC trailer.
-        assert_eq!(bytes.len(), 38 + 50 * 9 + 4);
+        // header: 4 magic + 1 version + 1 kind + 8*4 fields = 38 bytes;
+        // lineage section: u32 count + one Ingested event (tag + u64) and
+        // its u32 byte-length footer; plus the 4-byte CRC trailer.
+        assert_eq!(s.lineage().len(), 1);
+        assert_eq!(bytes.len(), 38 + 50 * 9 + (4 + 9) + 4 + 4);
     }
 
     #[test]
@@ -381,7 +545,7 @@ mod tests {
         let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
         let expected = concat!(
             "53574853",         // "SWHS"
-            "01",               // version 1
+            "02",               // version 2
             "02",               // kind: Bernoulli
             "000000000000e03f", // q = 0.5 (f64 LE)
             "fca9f1d24d62503f", // p = 0.001 (f64 LE)
@@ -394,10 +558,93 @@ mod tests {
             "0300000000000000", // count 3
             "00",               // tag: singleton
             "0900000000000000", // value 9
+            "00000000",         // lineage: 0 events
+            "04000000",         // lineage section is 4 bytes long
         );
         assert!(hex.starts_with(expected), "format drifted:\n  {hex}");
         // Trailer = CRC32 of everything before it.
         assert_eq!(bytes.len(), expected.len() / 2 + 4);
+    }
+
+    #[test]
+    fn version1_files_still_decode() {
+        // A v1 file is the v2 layout minus the lineage section; stores
+        // written before the lineage format must keep loading.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SWHS");
+        bytes.push(1); // version 1
+        bytes.push(3); // kind: Reservoir
+        for field in [40u64, 64, 8, 2] {
+            bytes.extend_from_slice(&field.to_le_bytes());
+        }
+        for v in [7u64, 11] {
+            bytes.push(0); // singleton
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        verify_sample_bytes(&bytes).unwrap();
+        assert_eq!(lineage_of_bytes(&bytes).unwrap(), vec![]);
+        let s: Sample<u64> = decode_sample(&bytes).unwrap();
+        assert_eq!(s.size(), 2);
+        assert_eq!(s.kind(), SampleKind::Reservoir);
+        assert!(s.lineage().is_empty());
+    }
+
+    #[test]
+    fn lineage_roundtrips_through_the_codec() {
+        let mut rng = seeded_rng(10);
+        // Force HB through its Bernoulli phase so the lineage is rich.
+        let s = HybridBernoulli::new(policy(), 50_000).sample_batch(0..50_000u64, &mut rng);
+        assert!(
+            s.lineage().len() >= 2,
+            "expected transition + ingest, got {:?}",
+            s.lineage()
+        );
+        let bytes = encode_sample(&s);
+        let back: Sample<u64> = decode_sample(&bytes).unwrap();
+        assert_eq!(back.lineage(), s.lineage());
+        // The type-agnostic reader sees the same history.
+        assert_eq!(lineage_of_bytes(&bytes).unwrap(), s.lineage());
+    }
+
+    #[test]
+    fn encode_with_extra_events_appends_without_mutating() {
+        let mut rng = seeded_rng(11);
+        let s = HybridReservoir::new(policy()).sample_batch(0..500u64, &mut rng);
+        let before = s.lineage().to_vec();
+        let bytes = encode_sample_with_events(&s, &[LineageEvent::StoreWrite]);
+        assert_eq!(s.lineage(), &before[..], "input sample mutated");
+        let back: Sample<u64> = decode_sample(&bytes).unwrap();
+        assert_eq!(back.lineage().last(), Some(&LineageEvent::StoreWrite));
+        assert_eq!(&back.lineage()[..before.len()], &before[..]);
+    }
+
+    #[test]
+    fn corrupt_lineage_section_is_rejected() {
+        let mut rng = seeded_rng(12);
+        let s = HybridReservoir::new(policy()).sample_batch(0..100u64, &mut rng);
+        let good = encode_sample(&s);
+        // Rewrite the lineage event tag to an invalid value and re-seal the
+        // CRC so only the lineage walk can catch it.
+        let payload_len = good.len() - 4;
+        let footer_at = payload_len - 4;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&good[footer_at..payload_len]);
+        let lin_len = u32::from_le_bytes(raw) as usize;
+        let tag_at = footer_at - lin_len + 4; // first event tag
+        let mut bad = good.clone();
+        bad[tag_at] = 0xEE;
+        let crc = crc32(&bad[..payload_len]);
+        bad[payload_len..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_sample::<u64>(&bad).unwrap_err(),
+            CodecError::Corrupt("lineage event tag")
+        );
+        assert_eq!(
+            verify_sample_bytes(&bad).unwrap_err(),
+            CodecError::Corrupt("lineage event tag")
+        );
     }
 
     #[test]

@@ -26,15 +26,19 @@
 //! only; sweeping a directory with in-flight writers could remove a live
 //! temp file.
 //!
-//! Every sync is timed into `swh_store_fsync_ns`; recovery and quarantine
-//! publish `swh_store_recovered_tmp_total` and
-//! `swh_store_quarantined_total`.
+//! Every sync is timed into `swh_store_fsync_ns` and counted into
+//! `swh_store_fsync_total`; recovery and quarantine publish
+//! `swh_store_recovered_tmp_total` and `swh_store_quarantined_total`, and
+//! additionally record `store_recovery` / `store_quarantine` events in the
+//! trace journal.
 
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
+use swh_obs::journal::EventKind;
+use swh_obs::trace::{Op, Span};
 use swh_obs::Stopwatch;
 
 /// The steps of [`atomic_write`] at which an injected fault can kill the
@@ -109,6 +113,7 @@ fn crash_check(point: CrashPoint) -> io::Result<()> {
 #[derive(Debug)]
 struct DurableMetrics {
     fsync_ns: swh_obs::Histogram,
+    fsync_total: swh_obs::Counter,
     recovered_tmp: swh_obs::Counter,
     quarantined: swh_obs::Counter,
 }
@@ -121,6 +126,10 @@ fn metrics() -> &'static DurableMetrics {
             fsync_ns: g.histogram(
                 "swh_store_fsync_ns",
                 "Wall-clock nanoseconds per store fsync (file and directory)",
+            ),
+            fsync_total: g.counter(
+                "swh_store_fsync_total",
+                "Store fsync calls issued (file and directory)",
             ),
             recovered_tmp: g.counter(
                 "swh_store_recovered_tmp_total",
@@ -182,7 +191,9 @@ pub fn atomic_write(final_path: &Path, bytes: &[u8]) -> io::Result<()> {
 fn timed_sync(f: &fs::File) -> io::Result<()> {
     let sw = Stopwatch::start();
     let r = f.sync_all();
-    metrics().fsync_ns.record(sw.elapsed_ns());
+    let m = metrics();
+    m.fsync_ns.record(sw.elapsed_ns());
+    m.fsync_total.inc();
     r
 }
 
@@ -205,8 +216,16 @@ pub fn sweep_orphan_tmp(root: &Path) -> io::Result<u64> {
     let removed = sweep_tree(root)?;
     if removed > 0 {
         metrics().recovered_tmp.add(removed);
+        note_recovery(removed);
     }
     Ok(removed)
+}
+
+/// Record a recovery sweep (with how many files it removed) in the journal.
+fn note_recovery(removed: u64) {
+    let span = Span::root(Op::Recovery);
+    span.event(EventKind::StoreRecovery, removed, 0);
+    span.end();
 }
 
 fn sweep_tree(dir: &Path) -> io::Result<u64> {
@@ -253,6 +272,7 @@ pub fn sweep_tmp_with_prefix(dir: &Path, prefix: &str) -> io::Result<u64> {
     }
     if removed > 0 {
         metrics().recovered_tmp.add(removed);
+        note_recovery(removed);
     }
     Ok(removed)
 }
@@ -275,6 +295,7 @@ pub fn quarantine_file(root: &Path, path: &Path, reason: &str) -> io::Result<Pat
     reason_path.push(".reason");
     fs::write(PathBuf::from(reason_path), reason)?;
     metrics().quarantined.inc();
+    swh_obs::journal::record(EventKind::StoreQuarantine, 0, 0, 1, 0);
     Ok(dest)
 }
 

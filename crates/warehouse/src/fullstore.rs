@@ -75,6 +75,13 @@ impl FullStore {
         file.extend_from_slice(&crc32(&payload).to_le_bytes());
         file.extend_from_slice(&payload);
         durable::atomic_write(&path, &file)?;
+        swh_obs::journal::record(
+            swh_obs::journal::EventKind::StoreWrite,
+            0,
+            0,
+            count,
+            file.len() as u64,
+        );
         Ok(count)
     }
 

@@ -39,7 +39,10 @@ pub mod warehouse;
 pub mod window;
 
 pub use catalog::{Catalog, CatalogError, PartitionEntry};
-pub use codec::{decode_sample, encode_sample, CodecError, ValueCodec};
+pub use codec::{
+    decode_sample, encode_sample, encode_sample_with_events, lineage_of_bytes, CodecError,
+    ValueCodec,
+};
 pub use durable::{atomic_write, sweep_orphan_tmp, CrashPoint};
 pub use fullstore::FullStore;
 pub use ids::{DatasetId, PartitionId, PartitionKey};

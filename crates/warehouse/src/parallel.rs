@@ -70,6 +70,7 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let _span = swh_obs::trace::Span::root(swh_obs::trace::Op::Ingest);
     let threads = threads.min(n);
     let worker_busy = registry.histogram(
         "swh_parallel_worker_busy_ns",

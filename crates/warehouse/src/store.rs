@@ -7,13 +7,18 @@
 //! file, fsync, rename, directory fsync) so a crash never leaves a torn
 //! sample behind; [`DiskStore::open`] sweeps any crash-orphaned temp files.
 
-use crate::codec::{decode_sample, encode_sample, verify_sample_bytes, CodecError, ValueCodec};
+use crate::codec::{
+    decode_sample, encode_sample_with_events, verify_sample_bytes, CodecError, ValueCodec,
+};
 use crate::durable;
 use crate::ids::{DatasetId, PartitionId, PartitionKey};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use swh_core::lineage::LineageEvent;
 use swh_core::sample::Sample;
+use swh_obs::journal::EventKind;
+use swh_obs::trace::{Op, Span};
 
 /// Errors from store operations.
 #[derive(Debug)]
@@ -83,7 +88,9 @@ impl DiskStore {
         ))
     }
 
-    /// Persist a sample under `key`, replacing any previous version.
+    /// Persist a sample under `key`, replacing any previous version. The
+    /// stored lineage gains a trailing [`LineageEvent::StoreWrite`] (the
+    /// in-memory sample is left untouched).
     pub fn save<T: ValueCodec>(
         &self,
         key: PartitionKey,
@@ -91,7 +98,11 @@ impl DiskStore {
     ) -> Result<(), StoreError> {
         let dir = self.dataset_dir(key.dataset);
         fs::create_dir_all(&dir)?;
-        durable::atomic_write(&self.file_path(key), &encode_sample(sample))?;
+        let span = Span::root(Op::StoreWrite);
+        let bytes = encode_sample_with_events(sample, &[LineageEvent::StoreWrite]);
+        span.event(EventKind::StoreWrite, bytes.len() as u64, 0);
+        durable::atomic_write(&self.file_path(key), &bytes)?;
+        span.end();
         Ok(())
     }
 
@@ -118,6 +129,20 @@ impl DiskStore {
         };
         verify_sample_bytes(&bytes)?;
         Ok(())
+    }
+
+    /// Read the lineage record stored under `key` without decoding the
+    /// typed value payload (the lineage section sits behind a byte-length
+    /// footer, so this works regardless of the element type). `fsck` and
+    /// `swh serve` use this to inspect samples they cannot type.
+    pub fn lineage(&self, key: PartitionKey) -> Result<Vec<LineageEvent>, StoreError> {
+        let path = self.file_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound(key)),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(crate::codec::lineage_of_bytes(&bytes)?)
     }
 
     /// Move the (presumed corrupt) file under `key` into the store's

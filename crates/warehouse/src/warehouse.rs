@@ -8,9 +8,11 @@ use crate::parallel::sample_partitions_parallel;
 use crate::store::{DiskStore, StoreError};
 use rand::Rng;
 use swh_core::footprint::FootprintPolicy;
+use swh_core::lineage;
 use swh_core::sample::Sample;
 use swh_core::sampler::Sampler;
 use swh_core::value::SampleValue;
+use swh_obs::trace::{Op, Span};
 
 /// Which algorithm the warehouse runs at ingestion time.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -240,14 +242,25 @@ impl<T: ValueCodec> SampleWarehouse<T> {
         store: &DiskStore,
         dataset: DatasetId,
     ) -> Result<LoadReport, WarehouseError> {
+        let _span = Span::root(Op::Load);
         let mut report = LoadReport::default();
+        let mut sampled = 0u64;
+        let mut parents = 0u64;
+        let mut purge_depth = 0u64;
+        let mut fan_in = 0u64;
         for key in store.list(dataset)? {
             match store.load::<T>(key) {
-                Ok(sample) => match self.catalog.roll_in(key, sample) {
-                    Ok(()) => report.loaded += 1,
-                    Err(CatalogError::DuplicatePartition(_)) => report.skipped_duplicates += 1,
-                    Err(e) => return Err(e.into()),
-                },
+                Ok(sample) => {
+                    sampled += sample.size();
+                    parents += sample.parent_size();
+                    purge_depth = purge_depth.max(lineage::purge_depth(sample.lineage()));
+                    fan_in = fan_in.max(lineage::max_merge_fan_in(sample.lineage()));
+                    match self.catalog.roll_in(key, sample) {
+                        Ok(()) => report.loaded += 1,
+                        Err(CatalogError::DuplicatePartition(_)) => report.skipped_duplicates += 1,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
                 Err(StoreError::Codec(e)) => {
                     store.quarantine(key, &e.to_string())?;
                     report.quarantined += 1;
@@ -255,8 +268,38 @@ impl<T: ValueCodec> SampleWarehouse<T> {
                 Err(e) => return Err(e.into()),
             }
         }
+        if report.loaded > 0 {
+            publish_sample_quality(sampled, parents, purge_depth, fan_in);
+        }
         Ok(report)
     }
+}
+
+/// Publish the derived sample-quality gauges computed from loaded samples
+/// and their lineage. The effective sampling rate is a ratio, and gauges
+/// are integers — it is published in parts per million.
+fn publish_sample_quality(sampled: u64, parents: u64, purge_depth: u64, fan_in: u64) {
+    let g = swh_obs::global();
+    let rate_ppm = if parents > 0 {
+        ((sampled as f64 / parents as f64) * 1_000_000.0).round() as i64
+    } else {
+        0
+    };
+    g.gauge(
+        "swh_sample_effective_rate_ppm",
+        "Effective sampling rate of the last loaded dataset, parts per million",
+    )
+    .set(rate_ppm);
+    g.gauge(
+        "swh_sample_purge_depth",
+        "Deepest lineage purge chain among the last loaded dataset's samples",
+    )
+    .set(purge_depth as i64);
+    g.gauge(
+        "swh_sample_merge_fan_in",
+        "Largest lineage merge fan-in among the last loaded dataset's samples",
+    )
+    .set(fan_in as i64);
 }
 
 #[cfg(test)]

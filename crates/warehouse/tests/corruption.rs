@@ -88,11 +88,27 @@ fn disk_store_wrong_magic() {
 
 #[test]
 fn disk_store_trailing_bytes() {
-    // Append a byte after the encoded pairs and re-seal with a fresh CRC:
-    // checksum passes, so the decoder's exhaustion check must reject.
+    // Append a byte after the encoded payload and re-seal with a fresh
+    // CRC: checksum passes, so structural validation must reject. Under
+    // format v2 the stray byte lands in the lineage length footer.
     let err = disk_store_error("trailing", |b| {
         let mut payload = b[..b.len() - 4].to_vec();
         payload.push(0xAB);
+        let crc = crc32(&payload);
+        payload.extend_from_slice(&crc.to_le_bytes());
+        payload
+    });
+    assert!(matches!(err, CodecError::Corrupt(_)), "{err:?}");
+    // A byte inserted *before* the lineage section still trips the body
+    // exhaustion check.
+    let err = disk_store_error("trailing-body", |b| {
+        let mut payload = b[..b.len() - 4].to_vec();
+        // Locate the lineage section via its footer and grow the body.
+        let footer_at = payload.len() - 4;
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&payload[footer_at..]);
+        let lin_len = u32::from_le_bytes(raw) as usize;
+        payload.insert(footer_at - lin_len, 0xAB);
         let crc = crc32(&payload);
         payload.extend_from_slice(&crc.to_le_bytes());
         payload
