@@ -611,16 +611,20 @@ fn serve_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
         })
         .transpose()?;
     let store = DiskStore::open(&root)?;
-    // Load what the store holds before serving: `load_dataset` publishes
-    // the derived sample-quality gauges (effective rate, purge depth,
-    // merge fan-in), so a scrape of a fresh process already sees them.
-    let warehouse = swh_warehouse::SampleWarehouse::<i64>::new(
-        FootprintPolicy::with_value_budget(8192),
-        swh_warehouse::warehouse::Algorithm::HybridReservoir,
-        1e-3,
-    );
+    // Summarize what the store holds before serving: the derived
+    // sample-quality gauges (effective rate, purge depth, merge fan-in)
+    // come straight from sample headers and lineage, never from a typed
+    // decode — a read-only serve must not misread (or quarantine) a store
+    // holding another element type. Unreadable files are skipped.
     for dataset in scan_datasets(store.root())? {
-        warehouse.load_dataset(&store, dataset)?;
+        let report = swh_warehouse::publish_dataset_quality(&store, dataset)?;
+        if report.skipped > 0 {
+            writeln!(
+                out,
+                "serve: skipped {} unreadable sample(s) in ds{}",
+                report.skipped, dataset.0
+            )?;
+        }
     }
     let server =
         swh_obs::serve::Server::bind(addr)?.with_lineage(Box::new(move |dataset, partition| {
@@ -711,10 +715,16 @@ fn fsck(args: &Args, out: &mut dyn Write) -> CmdResult {
             match store.verify(key) {
                 Ok(()) => {
                     clean += 1;
-                    // `verify` already walked the lineage section, so this
-                    // re-read cannot fail; count it for the report.
-                    lineage_samples += 1;
-                    lineage_events += store.lineage(key)?.len() as u64;
+                    // The file can vanish or turn unreadable between verify
+                    // and this re-read (concurrent roll-out, transient I/O);
+                    // report the file and keep checking the rest.
+                    match store.lineage(key) {
+                        Ok(events) => {
+                            lineage_samples += 1;
+                            lineage_events += events.len() as u64;
+                        }
+                        Err(e) => writeln!(out, "lineage unreadable for {key}: {e}")?,
+                    }
                 }
                 Err(StoreError::Codec(e)) => {
                     writeln!(out, "quarantined sample {key}: {e}")?;

@@ -629,6 +629,75 @@ fn lineage_round_trips_and_serves_over_http() {
     std::fs::remove_dir_all(&store_dir).ok();
 }
 
+/// A read-only `swh serve` must never damage a store it cannot fully
+/// decode: a store holding String-valued samples (which the i64-typed CLI
+/// cannot load) must survive serving untouched — gauges come from the
+/// type-agnostic header/lineage summary, and nothing gets quarantined.
+#[test]
+fn serve_leaves_foreign_typed_stores_intact() {
+    use swh_core::footprint::FootprintPolicy;
+    use swh_core::sampler::Sampler;
+    use swh_warehouse::ids::{DatasetId, PartitionId, PartitionKey};
+    use swh_warehouse::ingest::SamplerConfig;
+    use swh_warehouse::store::DiskStore;
+
+    let store_dir = tmp_store("serve-foreign");
+    let store = DiskStore::open(&store_dir).unwrap();
+    let mut rng = swh_rand::seeded_rng(43);
+    let mut hr = SamplerConfig::HybridReservoir.build::<String>(FootprintPolicy::with_value_budget(64));
+    for i in 0..500 {
+        hr.observe(format!("city-{}", i % 40), &mut rng);
+    }
+    let key = PartitionKey {
+        dataset: DatasetId(3),
+        partition: PartitionId { stream: 0, seq: 0 },
+    };
+    store.save(key, &hr.finalize(&mut rng)).unwrap();
+    let sample_files: Vec<_> = std::fs::read_dir(store_dir.join("ds3"))
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(sample_files.len(), 1);
+
+    let mut child = swh()
+        .args([
+            "serve",
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--requests",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        line.trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+            .to_string()
+    };
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("swh_sample_effective_rate_ppm"), "{body}");
+    assert!(child.wait().unwrap().success());
+
+    // The store is exactly as it was: same sample file, no quarantine.
+    assert!(sample_files[0].exists(), "sample was moved or deleted");
+    assert!(
+        !store_dir.join("quarantine").exists(),
+        "serve quarantined a valid foreign-typed sample"
+    );
+
+    std::fs::remove_dir_all(&store_dir).ok();
+}
+
 #[test]
 fn trace_prints_the_event_journal() {
     let text = ok(&swh().args(["trace"]).output().unwrap());

@@ -193,15 +193,31 @@ pub fn push_capped(lineage: &mut Vec<LineageEvent>, ev: LineageEvent) {
 /// Build the lineage of a merge result: the parents' histories in order,
 /// capped, followed by a [`LineageEvent::Merge`] record.
 pub fn merged_lineage(parents: &[&[LineageEvent]], fan_in: u32, split_l: u64) -> Vec<LineageEvent> {
+    merged_lineage_with_purges(parents, &[], fan_in, split_l)
+}
+
+/// [`merged_lineage`] for merge rules that purge their inputs on the way
+/// (rate equalization in `HBMerge`, the hypergeometric split of `HRMerge`):
+/// the parents' histories, then one [`LineageEvent::Purge`] record per
+/// equalized input, then the [`LineageEvent::Merge`] record — so
+/// lineage-derived purge depth counts the purges a merged sample actually
+/// went through.
+pub fn merged_lineage_with_purges(
+    parents: &[&[LineageEvent]],
+    purges: &[(PurgeKind, u64)],
+    fan_in: u32,
+    split_l: u64,
+) -> Vec<LineageEvent> {
     let total: usize = parents.iter().map(|p| p.len()).sum();
-    let mut out = Vec::with_capacity(total.min(MAX_LINEAGE) + 1);
+    // Room reserved for a trailing Truncated + the purge and Merge records.
+    let reserve = purges.len() + 2;
+    let mut out = Vec::with_capacity(total.min(MAX_LINEAGE) + reserve);
     let mut dropped = 0u64;
     for parent in parents {
         for ev in *parent {
             if let LineageEvent::Truncated { dropped: d } = ev {
                 dropped += d;
-            } else if out.len() + 2 < MAX_LINEAGE {
-                // Leave room for the trailing Truncated + Merge records.
+            } else if out.len() + reserve < MAX_LINEAGE {
                 out.push(*ev);
             } else {
                 dropped += 1;
@@ -210,6 +226,12 @@ pub fn merged_lineage(parents: &[&[LineageEvent]], fan_in: u32, split_l: u64) ->
     }
     if dropped > 0 {
         out.push(LineageEvent::Truncated { dropped });
+    }
+    for (kind, survivors) in purges {
+        out.push(LineageEvent::Purge {
+            kind: *kind,
+            survivors: *survivors,
+        });
     }
     out.push(LineageEvent::Merge { fan_in, split_l });
     out
@@ -295,6 +317,49 @@ mod tests {
         );
         assert_eq!(m[0], a[0]);
         assert_eq!(m[1], b[0]);
+    }
+
+    #[test]
+    fn merged_lineage_with_purges_orders_purges_before_merge() {
+        let a = vec![LineageEvent::Ingested { elements: 10 }];
+        let b = vec![LineageEvent::Ingested { elements: 20 }];
+        let m = merged_lineage_with_purges(
+            &[&a, &b],
+            &[(PurgeKind::Reservoir, 4), (PurgeKind::Reservoir, 3)],
+            2,
+            4,
+        );
+        assert_eq!(
+            m,
+            vec![
+                a[0],
+                b[0],
+                LineageEvent::Purge {
+                    kind: PurgeKind::Reservoir,
+                    survivors: 4
+                },
+                LineageEvent::Purge {
+                    kind: PurgeKind::Reservoir,
+                    survivors: 3
+                },
+                LineageEvent::Merge {
+                    fan_in: 2,
+                    split_l: 4
+                },
+            ]
+        );
+        // The cap still holds with purge records in the mix.
+        let long: Vec<_> = (0..MAX_LINEAGE as u64)
+            .map(|i| LineageEvent::Ingested { elements: i })
+            .collect();
+        let m = merged_lineage_with_purges(
+            &[&long, &long],
+            &[(PurgeKind::Bernoulli, 1), (PurgeKind::Bernoulli, 2)],
+            2,
+            0,
+        );
+        assert!(m.len() <= MAX_LINEAGE);
+        assert!(matches!(m.last(), Some(LineageEvent::Merge { .. })));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::histogram::CompactHistogram;
 use crate::hybrid_bernoulli::HybridBernoulli;
 use crate::hybrid_reservoir::HybridReservoir;
 use crate::invariant::invariant;
-use crate::lineage::{merged_lineage, LineageEvent};
+use crate::lineage::{merged_lineage, merged_lineage_with_purges, LineageEvent, PurgeKind};
 use crate::purge::{
     bernoulli_subsample_ref, purge_bernoulli, purge_reservoir, reservoir_subsample_ref,
 };
@@ -167,10 +167,14 @@ pub fn hb_merge<T: SampleValue, R: Rng + ?Sized>(
     // a Bern(q) sample (§3.1).
     purge_bernoulli(&mut h1, q / q1, rng);
     purge_bernoulli(&mut h2, q / q2, rng);
-    let lineage = merged_lineage(&[&lin1, &lin2], 2, 0);
+    let mut purges = vec![
+        (PurgeKind::Bernoulli, h1.total()),
+        (PurgeKind::Bernoulli, h2.total()),
+    ];
     note_merge(2, 0);
     if h1.joined_slots(&h2) <= n_f && h1.total() + h2.total() <= n_f {
         h1.join(h2);
+        let lineage = merged_lineage_with_purges(&[&lin1, &lin2], &purges, 2, 0);
         return Ok(Sample::from_parts(
             h1,
             SampleKind::Bernoulli { q, p_bound },
@@ -183,6 +187,8 @@ pub fn hb_merge<T: SampleValue, R: Rng + ?Sized>(
     // the concatenation of the two equalized samples. A simple random
     // subsample of a Bernoulli sample is uniform (§3.2).
     let hist = reservoir_of_concatenation(h1, h2, n_f, rng);
+    purges.push((PurgeKind::Reservoir, hist.total()));
+    let lineage = merged_lineage_with_purges(&[&lin1, &lin2], &purges, 2, 0);
     Ok(Sample::from_parts(hist, SampleKind::Reservoir, combined_n, policy).with_lineage(lineage))
 }
 
@@ -281,12 +287,16 @@ fn hr_merge_reservoirs<T: SampleValue, R: Rng + ?Sized>(
     );
     purge_reservoir(&mut h1, l, rng);
     purge_reservoir(&mut h2, k - l, rng);
+    let purges = [
+        (PurgeKind::Reservoir, h1.total()),
+        (PurgeKind::Reservoir, h2.total()),
+    ];
     h1.join(h2);
     debug_assert_eq!(h1.total(), k);
     note_merge(2, l);
     Ok(
         Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
-            .with_lineage(merged_lineage(&[&lin1, &lin2], 2, l)),
+            .with_lineage(merged_lineage_with_purges(&[&lin1, &lin2], &purges, 2, l)),
     )
 }
 
@@ -434,10 +444,14 @@ pub fn merge_borrowed<T: SampleValue, R: Rng + ?Sized>(
         let mut h1 = acc.into_histogram();
         purge_bernoulli(&mut h1, q / q1, rng);
         let h2 = bernoulli_subsample_ref(s.histogram(), q / q2, rng);
-        let lineage = merged_lineage(&[&lin1, s.lineage()], 2, 0);
+        let mut purges = vec![
+            (PurgeKind::Bernoulli, h1.total()),
+            (PurgeKind::Bernoulli, h2.total()),
+        ];
         note_merge(2, 0);
         if h1.joined_slots(&h2) <= n_f && h1.total() + h2.total() <= n_f {
             h1.join(h2);
+            let lineage = merged_lineage_with_purges(&[&lin1, s.lineage()], &purges, 2, 0);
             return Ok(Sample::from_parts(
                 h1,
                 SampleKind::Bernoulli { q, p_bound },
@@ -447,6 +461,8 @@ pub fn merge_borrowed<T: SampleValue, R: Rng + ?Sized>(
             .with_lineage(lineage));
         }
         let hist = reservoir_of_concatenation(h1, h2, n_f, rng);
+        purges.push((PurgeKind::Reservoir, hist.total()));
+        let lineage = merged_lineage_with_purges(&[&lin1, s.lineage()], &purges, 2, 0);
         return Ok(
             Sample::from_parts(hist, SampleKind::Reservoir, combined_n, policy)
                 .with_lineage(lineage),
@@ -487,12 +503,21 @@ fn hr_merge_reservoirs_ref<T: SampleValue, R: Rng + ?Sized>(
     );
     purge_reservoir(&mut h1, l, rng);
     let h2 = reservoir_subsample_ref(s.histogram(), k - l, rng);
+    let purges = [
+        (PurgeKind::Reservoir, h1.total()),
+        (PurgeKind::Reservoir, h2.total()),
+    ];
     h1.join(h2);
     debug_assert_eq!(h1.total(), k);
     note_merge(2, l);
     Ok(
         Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
-            .with_lineage(merged_lineage(&[&lin1, s.lineage()], 2, l)),
+            .with_lineage(merged_lineage_with_purges(
+                &[&lin1, s.lineage()],
+                &purges,
+                2,
+                l,
+            )),
     )
 }
 
@@ -612,9 +637,11 @@ pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
     let lineages: Vec<Vec<LineageEvent>> = samples.iter().map(|s| s.lineage().to_vec()).collect();
     let shares = swh_rand::hypergeometric::sample_multivariate(rng, &parents, k);
     let mut merged = CompactHistogram::new();
+    let mut purges = Vec::with_capacity(lineages.len());
     for (s, share) in samples.into_iter().zip(shares) {
         let mut h = s.into_histogram();
         purge_reservoir(&mut h, share, rng);
+        purges.push((PurgeKind::Reservoir, h.total()));
         merged.join(h);
     }
     debug_assert_eq!(merged.total(), k);
@@ -622,7 +649,12 @@ pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
     note_merge(fan_in, 0);
     Ok(
         Sample::from_parts(merged, SampleKind::Reservoir, total_parent, policy)
-            .with_lineage(merged_lineage(&parent_lineages, fan_in, 0)),
+            .with_lineage(merged_lineage_with_purges(
+                &parent_lineages,
+                &purges,
+                fan_in,
+                0,
+            )),
     )
 }
 
@@ -696,11 +728,15 @@ pub fn hr_merge_cached<T: SampleValue, R: Rng + ?Sized>(
     let mut h2 = s2.into_histogram();
     purge_reservoir(&mut h1, l, rng);
     purge_reservoir(&mut h2, k - l, rng);
+    let purges = [
+        (PurgeKind::Reservoir, h1.total()),
+        (PurgeKind::Reservoir, h2.total()),
+    ];
     h1.join(h2);
     note_merge(2, l);
     Ok(
         Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
-            .with_lineage(merged_lineage(&[&lin1, &lin2], 2, l)),
+            .with_lineage(merged_lineage_with_purges(&[&lin1, &lin2], &purges, 2, l)),
     )
 }
 
@@ -1299,6 +1335,71 @@ mod tests {
             pv > 1e-4,
             "borrowed merge not uniform: chi2={stat:.1} p={pv:.2e}"
         );
+    }
+
+    #[test]
+    fn merge_records_equalization_purges_in_lineage() {
+        let mut rng = seeded_rng(50);
+        // HR path: the two split purges land in the lineage right before
+        // the Merge record, and their survivors sum to the merged size.
+        let s1 = reservoir_sample(0..10_000, 64, &mut rng);
+        let s2 = reservoir_sample(10_000..50_000, 64, &mut rng);
+        let m = hr_merge(s1, s2, &mut rng).unwrap();
+        let lin = m.lineage();
+        assert!(matches!(lin.last(), Some(LineageEvent::Merge { .. })));
+        let tail = &lin[lin.len() - 3..];
+        let survivors: u64 = tail[..2]
+            .iter()
+            .map(|e| match e {
+                LineageEvent::Purge {
+                    kind: PurgeKind::Reservoir,
+                    survivors,
+                } => *survivors,
+                other => panic!("expected split purge before merge, got {other:?}"),
+            })
+            .sum();
+        assert_eq!(survivors, m.size());
+
+        // HB path: rate equalization records a Bernoulli purge per input.
+        let b1 = bernoulli_sample(0..60_000, 128, 1e-3, &mut rng);
+        let b2 = bernoulli_sample(60_000..120_000, 128, 1e-3, &mut rng);
+        assert!(matches!(b1.kind(), SampleKind::Bernoulli { .. }));
+        let m = hb_merge(b1, b2, 1e-3, &mut rng).unwrap();
+        let purges = m
+            .lineage()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    LineageEvent::Purge {
+                        kind: PurgeKind::Bernoulli,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(purges >= 2, "equalization purges missing: {:?}", m.lineage());
+
+        // Multiway: one split purge per input partition.
+        let parts: Vec<Sample<u64>> = (0..3u64)
+            .map(|p| reservoir_sample(p * 1_000..(p + 1) * 1_000, 16, &mut rng))
+            .collect();
+        let m = hr_merge_multiway(parts, &mut rng).unwrap();
+        let lin = m.lineage();
+        let merge_at = lin
+            .iter()
+            .position(|e| matches!(e, LineageEvent::Merge { fan_in: 3, .. }))
+            .unwrap();
+        let split_survivors: u64 = lin[..merge_at]
+            .iter()
+            .rev()
+            .take(3)
+            .map(|e| match e {
+                LineageEvent::Purge { survivors, .. } => *survivors,
+                other => panic!("expected split purges before merge, got {other:?}"),
+            })
+            .sum();
+        assert_eq!(split_survivors, m.size());
     }
 
     #[test]

@@ -222,8 +222,12 @@ impl Journal {
         let pos = self.head.fetch_add(1, Ordering::Relaxed);
         let seq = pos + 1;
         let slot = &self.slots[(pos & self.mask) as usize];
-        // Seqlock write: invalidate, fill, publish.
+        // Seqlock write: invalidate, fill, publish. The release fence keeps
+        // the field stores from being reordered before the invalidation, so
+        // a reader pairing it with its acquire fence can never validate a
+        // half-overwritten slot on weakly-ordered hardware.
         slot.commit.store(0, Ordering::Release);
+        std::sync::atomic::fence(Ordering::Release);
         slot.seq.store(seq, Ordering::Relaxed);
         slot.span.store(span, Ordering::Relaxed);
         slot.parent.store(parent, Ordering::Relaxed);
@@ -254,6 +258,9 @@ impl Journal {
                 a: slot.a.load(Ordering::Relaxed),
                 b: slot.b.load(Ordering::Relaxed),
             };
+            // Pairs with the release fence in `record`: the field loads
+            // above must complete before the re-read of the commit word.
+            std::sync::atomic::fence(Ordering::Acquire);
             let c2 = slot.commit.load(Ordering::Acquire);
             if c1 == c2 && ev.seq == c1 {
                 out.push(ev);

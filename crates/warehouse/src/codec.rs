@@ -18,6 +18,14 @@
 //! the payload *without* decoding the (typed) pairs — `fsck` and other
 //! type-agnostic readers rely on this. Version-1 files decode unchanged
 //! (empty lineage).
+//!
+//! **Version 3** adds the realized sample size (total element count) to the
+//! header, after the distinct-value count. Together with the lineage
+//! section this lets [`summary_of_bytes`] report everything the derived
+//! sample-quality gauges need (effective sampling rate, purge depth, merge
+//! fan-in) without decoding a single typed value — so read-only consumers
+//! like `swh serve` never misread (let alone quarantine) a store whose
+//! element type they cannot name. Version-1 and -2 files decode unchanged.
 
 use swh_core::footprint::FootprintPolicy;
 use swh_core::histogram::CompactHistogram;
@@ -28,7 +36,7 @@ use swh_core::value::SampleValue;
 /// Format magic: "SWHS" (Sample WareHouse Sample).
 const MAGIC: [u8; 4] = *b"SWHS";
 /// Format version written by [`encode_sample`].
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 /// Oldest format version still decodable.
 const MIN_VERSION: u8 = 1;
 
@@ -307,6 +315,9 @@ pub fn encode_sample_with_events<T: ValueCodec>(
     put_u64(&mut out, sample.policy().f_bytes());
     put_u64(&mut out, sample.policy().value_bytes());
     put_u64(&mut out, hist.distinct() as u64);
+    // v3: realized sample size, so type-agnostic readers can derive the
+    // effective sampling rate without walking the typed pairs.
+    put_u64(&mut out, hist.total());
     // Pairs in sorted order (canonical form). Tag 0 = singleton, 1 = pair.
     for (v, c) in hist.sorted_pairs() {
         if c == 1 {
@@ -377,6 +388,80 @@ pub fn lineage_of_bytes(input: &[u8]) -> Result<Vec<LineageEvent>, CodecError> {
     decode_lineage(lineage_bytes)
 }
 
+/// Type-agnostic summary of a stored sample: the header fields every
+/// element type shares, plus the lineage section. This is everything the
+/// derived sample-quality gauges need, read without touching a typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSummary {
+    /// Number of elements in the partition the sample was drawn from.
+    pub parent_size: u64,
+    /// Realized sample size; `None` for pre-v3 files, whose headers did
+    /// not record it.
+    pub total: Option<u64>,
+    /// The sample's recorded history (empty for v1 files).
+    pub lineage: Vec<LineageEvent>,
+}
+
+/// Read a [`SampleSummary`] from a stored sample without decoding values:
+/// checks length, CRC-32 trailer, magic, and version, then parses only the
+/// shared header fields and the lineage section. `swh serve` uses this to
+/// compute the sample-quality gauges for stores of *any* element type —
+/// a typed [`decode_sample`] would falsely reject, say, a `String`-valued
+/// store read as `i64`.
+pub fn summary_of_bytes(input: &[u8]) -> Result<SampleSummary, CodecError> {
+    if input.len() < 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let (payload, trailer) = input.split_at(input.len() - 4);
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(trailer);
+    if crc32(payload) != u32::from_le_bytes(raw) {
+        return Err(CodecError::ChecksumMismatch);
+    }
+    let mut buf = payload;
+    let buf = &mut buf;
+    if take(buf, 4)? != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    let version = take(buf, 1)?[0];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Err(CodecError::BadHeader);
+    }
+    let lineage = if version >= 2 {
+        let (body, lineage_bytes) = split_lineage_section(buf)?;
+        let lineage = decode_lineage(lineage_bytes)?;
+        *buf = body;
+        lineage
+    } else {
+        Vec::new()
+    };
+    // Skip the provenance tag and its kind-specific payload.
+    match take(buf, 1)?[0] {
+        1 | 3 => {}
+        2 => {
+            take(buf, 16)?; // q + p_bound
+        }
+        4 => {
+            take(buf, 8)?; // q
+        }
+        _ => return Err(CodecError::Corrupt("sample kind tag")),
+    }
+    let parent_size = get_u64(buf)?;
+    let _f_bytes = get_u64(buf)?;
+    let _value_bytes = get_u64(buf)?;
+    let _distinct = get_u64(buf)?;
+    let total = if version >= 3 {
+        Some(get_u64(buf)?)
+    } else {
+        None
+    };
+    Ok(SampleSummary {
+        parent_size,
+        total,
+        lineage,
+    })
+}
+
 /// Decode a sample from its binary form, verifying the CRC-32 trailer.
 pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecError> {
     if input.len() < 4 {
@@ -433,6 +518,11 @@ pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecErro
     }
     let policy = FootprintPolicy::new(f_bytes, value_bytes);
     let distinct = get_u64(buf)?;
+    let total = if version >= 3 {
+        Some(get_u64(buf)?)
+    } else {
+        None
+    };
     let mut hist = CompactHistogram::new();
     for _ in 0..distinct {
         let tag = take(buf, 1)?[0];
@@ -455,6 +545,9 @@ pub fn decode_sample<T: ValueCodec>(input: &[u8]) -> Result<Sample<T>, CodecErro
     }
     if hist.total() > parent_size {
         return Err(CodecError::Corrupt("sample larger than parent"));
+    }
+    if total.is_some_and(|t| t != hist.total()) {
+        return Err(CodecError::Corrupt("header sample total"));
     }
     Ok(Sample::from_parts_unchecked(hist, kind, parent_size, policy).with_lineage(lineage))
 }
@@ -518,11 +611,11 @@ mod tests {
         // All distinct: every entry a singleton — 9 bytes each (tag + u64).
         let s = HybridReservoir::new(policy()).sample_batch(0..50u64, &mut rng);
         let bytes = encode_sample(&s);
-        // header: 4 magic + 1 version + 1 kind + 8*4 fields = 38 bytes;
+        // header: 4 magic + 1 version + 1 kind + 8*5 fields = 46 bytes;
         // lineage section: u32 count + one Ingested event (tag + u64) and
         // its u32 byte-length footer; plus the 4-byte CRC trailer.
         assert_eq!(s.lineage().len(), 1);
-        assert_eq!(bytes.len(), 38 + 50 * 9 + (4 + 9) + 4 + 4);
+        assert_eq!(bytes.len(), 46 + 50 * 9 + (4 + 9) + 4 + 4);
     }
 
     #[test]
@@ -545,7 +638,7 @@ mod tests {
         let hex: String = bytes.iter().map(|b| format!("{b:02x}")).collect();
         let expected = concat!(
             "53574853",         // "SWHS"
-            "02",               // version 2
+            "03",               // version 3
             "02",               // kind: Bernoulli
             "000000000000e03f", // q = 0.5 (f64 LE)
             "fca9f1d24d62503f", // p = 0.001 (f64 LE)
@@ -553,6 +646,7 @@ mod tests {
             "4000000000000000", // F = 64 bytes
             "0800000000000000", // value width = 8
             "0200000000000000", // 2 distinct values
+            "0400000000000000", // sample total = 4 elements
             "01",               // tag: pair
             "0500000000000000", // value 5
             "0300000000000000", // count 3
@@ -589,6 +683,88 @@ mod tests {
         assert_eq!(s.size(), 2);
         assert_eq!(s.kind(), SampleKind::Reservoir);
         assert!(s.lineage().is_empty());
+    }
+
+    #[test]
+    fn version2_files_still_decode() {
+        // A v2 file is the v3 layout minus the header sample total; stores
+        // written before the summary format must keep loading, with the
+        // summary reporting the total as unknown.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SWHS");
+        bytes.push(2); // version 2
+        bytes.push(3); // kind: Reservoir
+        for field in [40u64, 64, 8, 2] {
+            bytes.extend_from_slice(&field.to_le_bytes());
+        }
+        for v in [7u64, 11] {
+            bytes.push(0); // singleton
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        // Lineage section: one StoreWrite event, 5-byte body + footer.
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(5); // tag: StoreWrite
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        verify_sample_bytes(&bytes).unwrap();
+        assert_eq!(
+            lineage_of_bytes(&bytes).unwrap(),
+            vec![LineageEvent::StoreWrite]
+        );
+        let s: Sample<u64> = decode_sample(&bytes).unwrap();
+        assert_eq!(s.size(), 2);
+        assert_eq!(s.lineage(), &[LineageEvent::StoreWrite]);
+        let summary = summary_of_bytes(&bytes).unwrap();
+        assert_eq!(summary.parent_size, 40);
+        assert_eq!(summary.total, None);
+        assert_eq!(summary.lineage, vec![LineageEvent::StoreWrite]);
+    }
+
+    #[test]
+    fn summary_of_bytes_is_type_agnostic() {
+        let mut rng = seeded_rng(13);
+        let values: Vec<String> = (0..300).map(|i| format!("city-{}", i % 40)).collect();
+        let s = HybridReservoir::new(policy()).sample_batch(values, &mut rng);
+        let bytes = encode_sample_with_events(&s, &[LineageEvent::StoreWrite]);
+        let summary = summary_of_bytes(&bytes).unwrap();
+        assert_eq!(summary.parent_size, 300);
+        assert_eq!(summary.total, Some(s.size()));
+        assert_eq!(summary.lineage.last(), Some(&LineageEvent::StoreWrite));
+        // Corruption classes map to the same errors as decode_sample.
+        assert_eq!(
+            summary_of_bytes(&bytes[..2]).unwrap_err(),
+            CodecError::UnexpectedEof
+        );
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        assert_eq!(
+            summary_of_bytes(&flipped).unwrap_err(),
+            CodecError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn header_total_mismatch_is_rejected() {
+        let mut rng = seeded_rng(14);
+        let s = HybridReservoir::new(policy()).sample_batch(0..100u64, &mut rng);
+        let good = encode_sample(&s);
+        // The total sits right after the distinct count: bump it and
+        // re-seal the CRC so only the cross-check can catch it.
+        let total_at = 4 + 1 + 1 + 8 * 4; // magic, version, kind, 4 fields
+        let mut bad = good.clone();
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&bad[total_at..total_at + 8]);
+        let bumped = u64::from_le_bytes(raw) + 1;
+        bad[total_at..total_at + 8].copy_from_slice(&bumped.to_le_bytes());
+        let payload_len = bad.len() - 4;
+        let crc = crc32(&bad[..payload_len]);
+        bad[payload_len..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode_sample::<u64>(&bad).unwrap_err(),
+            CodecError::Corrupt("header sample total")
+        );
     }
 
     #[test]

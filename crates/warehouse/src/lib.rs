@@ -40,8 +40,8 @@ pub mod window;
 
 pub use catalog::{Catalog, CatalogError, PartitionEntry};
 pub use codec::{
-    decode_sample, encode_sample, encode_sample_with_events, lineage_of_bytes, CodecError,
-    ValueCodec,
+    decode_sample, encode_sample, encode_sample_with_events, lineage_of_bytes, summary_of_bytes,
+    CodecError, SampleSummary, ValueCodec,
 };
 pub use durable::{atomic_write, sweep_orphan_tmp, CrashPoint};
 pub use fullstore::FullStore;
@@ -53,5 +53,7 @@ pub use maintenance::IncrementalSample;
 pub use parallel::sample_partitions_parallel;
 pub use registry::DatasetRegistry;
 pub use store::DiskStore;
-pub use warehouse::{LoadReport, SampleWarehouse, WarehouseError};
+pub use warehouse::{
+    publish_dataset_quality, LoadReport, QualityReport, SampleWarehouse, WarehouseError,
+};
 pub use window::{SlidingWindow, TumblingWindow};

@@ -8,7 +8,8 @@
 //! sample behind; [`DiskStore::open`] sweeps any crash-orphaned temp files.
 
 use crate::codec::{
-    decode_sample, encode_sample_with_events, verify_sample_bytes, CodecError, ValueCodec,
+    decode_sample, encode_sample_with_events, summary_of_bytes, verify_sample_bytes, CodecError,
+    SampleSummary, ValueCodec,
 };
 use crate::durable;
 use crate::ids::{DatasetId, PartitionId, PartitionKey};
@@ -143,6 +144,20 @@ impl DiskStore {
             Err(e) => return Err(e.into()),
         };
         Ok(crate::codec::lineage_of_bytes(&bytes)?)
+    }
+
+    /// Read the type-agnostic [`SampleSummary`] stored under `key`: header
+    /// fields shared by every element type plus the lineage section, never
+    /// a typed value. `swh serve` derives the sample-quality gauges from
+    /// this, so it works against stores it cannot type.
+    pub fn summary(&self, key: PartitionKey) -> Result<SampleSummary, StoreError> {
+        let path = self.file_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(StoreError::NotFound(key)),
+            Err(e) => return Err(e.into()),
+        };
+        Ok(summary_of_bytes(&bytes)?)
     }
 
     /// Move the (presumed corrupt) file under `key` into the store's

@@ -275,6 +275,56 @@ impl<T: ValueCodec> SampleWarehouse<T> {
     }
 }
 
+/// Outcome of [`publish_dataset_quality`]: how many stored samples fed the
+/// gauges and how many were unreadable (and left untouched on disk).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QualityReport {
+    /// Stored samples whose summary fed the gauges.
+    pub summarized: usize,
+    /// Files whose bytes could not be summarized (corrupt or foreign);
+    /// they are skipped, never quarantined — the caller is read-only.
+    pub skipped: usize,
+}
+
+/// Compute and publish the derived sample-quality gauges for a dataset
+/// straight from the stored bytes, without decoding a single typed value:
+/// parent and sample sizes come from the codec header, purge depth and
+/// merge fan-in from the lineage section. Read-only observers (`swh serve`)
+/// use this instead of a typed [`SampleWarehouse::load_dataset`], which
+/// would falsely reject — and quarantine — stores of another element type.
+/// Unreadable files are skipped and counted, never relocated.
+pub fn publish_dataset_quality(
+    store: &DiskStore,
+    dataset: DatasetId,
+) -> Result<QualityReport, WarehouseError> {
+    let mut report = QualityReport::default();
+    let mut sampled = 0u64;
+    let mut parents = 0u64;
+    let mut purge_depth = 0u64;
+    let mut fan_in = 0u64;
+    for key in store.list(dataset)? {
+        match store.summary(key) {
+            Ok(summary) => {
+                report.summarized += 1;
+                // Pre-v3 files do not record the realized size; leave them
+                // out of the rate ratio so it stays consistent.
+                if let Some(total) = summary.total {
+                    sampled += total;
+                    parents += summary.parent_size;
+                }
+                purge_depth = purge_depth.max(lineage::purge_depth(&summary.lineage));
+                fan_in = fan_in.max(lineage::max_merge_fan_in(&summary.lineage));
+            }
+            Err(StoreError::Codec(_)) | Err(StoreError::NotFound(_)) => report.skipped += 1,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if report.summarized > 0 {
+        publish_sample_quality(sampled, parents, purge_depth, fan_in);
+    }
+    Ok(report)
+}
+
 /// Publish the derived sample-quality gauges computed from loaded samples
 /// and their lineage. The effective sampling rate is a ratio, and gauges
 /// are integers — it is published in parts per million.
