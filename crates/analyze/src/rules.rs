@@ -472,6 +472,33 @@ mod tests {
     }
 
     #[test]
+    fn determinism_covers_the_batch_and_merge_files() {
+        // The batched ingestion fast path and the parallel merge tree carry
+        // a byte-identity / thread-count-independence contract, so the files
+        // implementing them must stay under determinism coverage even if the
+        // prefix list above is ever refactored into per-file entries. (The
+        // throughput bench binary measures wall time by design and stays
+        // exempt, like every bench target.)
+        let src = "fn f() { let t = std::time::SystemTime::now(); }";
+        for path in [
+            "crates/core/src/merge.rs",
+            "crates/core/src/hybrid_bernoulli.rs",
+            "crates/core/src/hybrid_reservoir.rs",
+            "crates/rand/src/skip.rs",
+            "crates/warehouse/src/ingest.rs",
+            "crates/warehouse/src/parallel.rs",
+            "crates/warehouse/src/catalog.rs",
+        ] {
+            let f = scan_at(path, src);
+            assert!(
+                f.iter().any(|f| f.rule == Rule::Determinism),
+                "{path} not covered"
+            );
+        }
+        assert!(scan_at("crates/bench/src/bin/ingest_throughput.rs", src).is_empty());
+    }
+
+    #[test]
     fn numeric_cast_flags_float_int_casts() {
         let src =
             "fn f(n: u64, x: f64) -> f64 { let a = n as f64; let b = x as u64; a + b as f64 }";

@@ -60,11 +60,16 @@ fn run_once(
     let mut samples: Vec<Sample<u64>> = Vec::with_capacity(partitions as usize);
     let mut durations = Vec::with_capacity(partitions as usize);
     for (i, stream) in spec.partitions(partitions).into_iter().enumerate() {
+        // Materialize the synthetic partition before starting the clock:
+        // the paper's elapsed times cover sampling work only, and lazy
+        // generator cost would otherwise inflate every per-partition
+        // duration (and thus the simulated makespan).
+        let values: Vec<u64> = stream.collect();
         let mut rng = seeded_rng(seed ^ (i as u64).wrapping_mul(0x9E37));
         let ((sample, stats), t) = time_secs(|| match algo {
             Algo::Sb => sample_batch_with_stats(
                 StratifiedBernoulli::<u64>::new(sb_rate, policy, &mut rng),
-                stream,
+                values,
                 &mut rng,
             ),
             Algo::Hb => {
@@ -72,11 +77,11 @@ fn run_once(
                     expected_n: part_size,
                     p_bound: 1e-3,
                 };
-                sample_batch_with_stats(cfg.build::<u64>(policy), stream, &mut rng)
+                sample_batch_with_stats(cfg.build::<u64>(policy), values, &mut rng)
             }
             Algo::Hr => sample_batch_with_stats(
                 SamplerConfig::HybridReservoir.build::<u64>(policy),
-                stream,
+                values,
                 &mut rng,
             ),
         });

@@ -22,6 +22,12 @@ use swh_warehouse::store::DiskStore;
 /// exit code 1.
 pub type CmdResult = Result<(), Box<dyn Error>>;
 
+/// Parsed input values buffer into chunks of this size before draining
+/// through the samplers' bulk `observe_batch` path; batches are
+/// byte-identical to element-wise observation, so the chunk size never
+/// affects `--seed` reproducibility.
+const INGEST_CHUNK: usize = 4096;
+
 /// Dispatch a parsed command line.
 pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
     // `--verbose` (level 1) or `--verbose N`; applies to every command.
@@ -168,9 +174,13 @@ fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
     };
     let mut sampler = config.build::<i64>(policy);
 
+    // Parsed values buffer into chunks that drain through the samplers'
+    // bulk observe path; batches are byte-identical to element-wise
+    // observation, so `--seed` reproducibility is unaffected.
     let mut read_values = |reader: &mut dyn BufRead| -> Result<(), Box<dyn Error>> {
         let mut line = String::new();
         let mut lineno = 0u64;
+        let mut chunk: Vec<i64> = Vec::with_capacity(INGEST_CHUNK);
         while reader.read_line(&mut line)? != 0 {
             lineno += 1;
             let t = line.trim();
@@ -178,9 +188,16 @@ fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
                 let v: i64 = t
                     .parse()
                     .map_err(|_| format!("line {lineno}: '{t}' is not an integer"))?;
-                sampler.observe(v, &mut rng);
+                chunk.push(v);
+                if chunk.len() == INGEST_CHUNK {
+                    sampler.observe_batch(&chunk, &mut rng);
+                    chunk.clear();
+                }
             }
             line.clear();
+        }
+        if !chunk.is_empty() {
+            sampler.observe_batch(&chunk, &mut rng);
         }
         Ok(())
     };
@@ -190,9 +207,8 @@ fn ingest(args: &Args, out: &mut dyn Write) -> CmdResult {
         .or_else(|| args.positionals().first().map(String::as_str));
     match (args.get("generate"), file) {
         (Some(spec), _) => {
-            for v in generate_values(spec, &mut rng)? {
-                sampler.observe(v, &mut rng);
-            }
+            let values = generate_values(spec, &mut rng)?;
+            sampler.observe_batch(&values, &mut rng);
         }
         (None, Some(path)) => {
             let f = std::fs::File::open(path)?;
@@ -473,15 +489,17 @@ fn metrics_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
     let policy = FootprintPolicy::with_value_budget(n_f);
     let mut rng = rng_from(args)?;
 
-    // 1. Route one synthetic stream over `fan_out` parallel HR samplers.
+    // 1. Route one synthetic stream over `fan_out` parallel HR samplers,
+    // feeding chunks through the bulk routing path.
     let mut router = StreamRouter::<i64>::new(
         fan_out,
         SamplerConfig::HybridReservoir,
         policy,
         SplitPolicy::RoundRobin,
     );
-    for v in 0..n as i64 {
-        router.observe(v, &mut rng);
+    let stream: Vec<i64> = (0..n as i64).collect();
+    for chunk in stream.chunks(INGEST_CHUNK) {
+        router.observe_chunk(chunk, &mut rng);
     }
     let routed = router.finalize(&mut rng);
 
@@ -503,8 +521,8 @@ fn metrics_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
         p_bound: 1e-3,
     }
     .build::<i64>(policy);
-    for v in 0..n as i64 {
-        hb.observe(v, &mut rng);
+    for chunk in stream.chunks(INGEST_CHUNK) {
+        hb.observe_batch(chunk, &mut rng);
     }
     let (hb_sample, hb_stats) = hb.finalize_with_stats(&mut rng);
     publish_sampler_stats(&hb_stats);
@@ -668,14 +686,12 @@ fn trace_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
             p_bound: 1e-3,
         }
         .build::<i64>(policy);
-        for v in 0..4096 {
-            hb.observe(v, &mut rng);
-        }
+        let first: Vec<i64> = (0..4096).collect();
+        hb.observe_batch(&first, &mut rng);
         let a = hb.finalize(&mut rng);
         let mut hr = SamplerConfig::HybridReservoir.build::<i64>(policy);
-        for v in 4096..8192 {
-            hr.observe(v, &mut rng);
-        }
+        let second: Vec<i64> = (4096..8192).collect();
+        hr.observe_batch(&second, &mut rng);
         let b = hr.finalize(&mut rng);
         merge_all(vec![a, b], 1e-3, &mut rng)?;
     }

@@ -644,7 +644,8 @@ fn serve_leaves_foreign_typed_stores_intact() {
     let store_dir = tmp_store("serve-foreign");
     let store = DiskStore::open(&store_dir).unwrap();
     let mut rng = swh_rand::seeded_rng(43);
-    let mut hr = SamplerConfig::HybridReservoir.build::<String>(FootprintPolicy::with_value_budget(64));
+    let mut hr =
+        SamplerConfig::HybridReservoir.build::<String>(FootprintPolicy::with_value_budget(64));
     for i in 0..500 {
         hr.observe(format!("city-{}", i % 40), &mut rng);
     }

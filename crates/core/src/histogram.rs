@@ -47,6 +47,29 @@ impl<T: SampleValue> CompactHistogram<T> {
         }
     }
 
+    /// Empty histogram with hash capacity pre-reserved for `slots` value
+    /// slots. Since every distinct value occupies at least one slot, a
+    /// histogram whose footprint stays within `slots` never rehashes — the
+    /// samplers reserve `n_F` up front so the phase-1 hot loop is free of
+    /// incremental growth.
+    pub fn with_slot_capacity(slots: u64) -> Self {
+        // A bound beyond the address space cannot be reserved (or reached);
+        // fall back to growth-on-demand rather than overcommitting.
+        let cap = usize::try_from(slots).unwrap_or(0);
+        Self {
+            counts: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+            total: 0,
+            singletons: 0,
+        }
+    }
+
+    /// Number of distinct values the map can hold before reallocating.
+    /// Exposed for the `debug_invariants` no-reallocation checks.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.counts.capacity()
+    }
+
     /// Build from a bag of values (the inverse of [`expand`](Self::expand)).
     pub fn from_bag<I: IntoIterator<Item = T>>(bag: I) -> Self {
         let mut h = Self::new();
@@ -302,6 +325,20 @@ impl<T: SampleValue> FromIterator<T> for CompactHistogram<T> {
 mod tests {
     use super::*;
     use swh_rand::seeded_rng;
+
+    #[test]
+    fn reserved_histogram_never_reallocates() {
+        let mut h = CompactHistogram::<u64>::with_slot_capacity(256);
+        let cap = h.capacity();
+        assert!(cap >= 256);
+        // 256 distinct values occupy exactly the reserved slot bound; the
+        // map must hold them without rehashing.
+        for v in 0..256u64 {
+            h.insert_one(v);
+            assert_eq!(h.capacity(), cap, "rehash at {v}");
+        }
+        assert_eq!(h.slots(), 256);
+    }
 
     #[test]
     fn insert_and_count() {

@@ -28,7 +28,8 @@ use rand::Rng;
 use swh_obs::journal::{record, EventKind};
 use swh_obs::trace::{next_span_id, Op, SpanId};
 use swh_obs::Stopwatch;
-use swh_rand::skip::{bernoulli_skip, ReservoirSkip};
+use swh_rand::checked::{as_index, index_u64};
+use swh_rand::skip::{BernoulliSkip, ReservoirSkip};
 
 /// Default target probability that a phase-2 sample exceeds `n_F`
 /// (the paper's experiments use `p = 0.001`).
@@ -63,6 +64,10 @@ pub struct HybridBernoulli<T: SampleValue> {
     p_bound: f64,
     /// Phase-2 Bernoulli rate `q(N, p, n_F)`.
     q: f64,
+    /// Phase-2 gap generator at rate `q`, sharing one cached `ln(1 − q)`
+    /// across every geometric draw. Rebuilt when `resume` adopts a prior's
+    /// rate.
+    gaps: BernoulliSkip,
     phase: Phase,
     /// Compact sample: `S` in phase 1, the precomputed subsample `S′`
     /// afterwards (until expansion).
@@ -105,13 +110,17 @@ impl<T: SampleValue> HybridBernoulli<T> {
         );
         let span = next_span_id();
         record(EventKind::SpanStart, span.raw(), 0, Op::Ingest.code(), 0);
+        // Reserve the phase-1 histogram up front: distinct values never
+        // exceed the slot bound `n_F`, so the hot loop never rehashes.
+        let hist = CompactHistogram::with_slot_capacity(policy.n_f());
         Self {
             policy,
             expected_n,
             p_bound,
             q,
+            gaps: BernoulliSkip::new(q),
             phase: Phase::Exact,
-            hist: CompactHistogram::new(),
+            hist,
             bag: Vec::new(),
             expanded: false,
             observed: 0,
@@ -168,10 +177,11 @@ impl<T: SampleValue> HybridBernoulli<T> {
                     "resumed Bernoulli rate {q} is outside (0, 1]"
                 );
                 s.q = q;
+                s.gaps = BernoulliSkip::new(q);
                 s.advance_phase(Phase::Bernoulli);
                 s.hist = hist;
                 s.observed = parent;
-                s.skip_remaining = bernoulli_skip(rng, q);
+                s.skip_remaining = s.gaps.skip(rng);
                 s
             }
             SampleKind::Reservoir => {
@@ -232,7 +242,11 @@ impl<T: SampleValue> HybridBernoulli<T> {
 
     fn expand_in_place(&mut self) {
         debug_assert!(!self.expanded);
-        self.bag = std::mem::take(&mut self.hist).into_bag();
+        let mut bag = std::mem::take(&mut self.hist).into_bag();
+        // Phase 2 grows the bag to at most n_F before the phase-3 switch;
+        // reserve once so inclusions never reallocate.
+        bag.reserve(as_index(self.policy.n_f()).saturating_sub(bag.len()));
+        self.bag = bag;
         self.expanded = true;
     }
 
@@ -250,6 +264,14 @@ impl<T: SampleValue> HybridBernoulli<T> {
     /// Fig. 2 lines 3–10: footprint hit the bound; precompute the Bernoulli
     /// subsample `S′` and pick the next phase.
     fn leave_phase1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // The histogram was reserved for n_F slots at construction and
+        // distinct ≤ slots = n_F here, so it never outgrew the reservation.
+        invariant!(
+            index_u64(self.hist.distinct()) <= self.policy.n_f(),
+            "phase-1 histogram outgrew its n_F reservation: {} distinct > {}",
+            self.hist.distinct(),
+            self.policy.n_f()
+        );
         let start = Stopwatch::start();
         purge_bernoulli(&mut self.hist, self.q, rng);
         self.stats.record_purge(start.elapsed_ns());
@@ -258,7 +280,7 @@ impl<T: SampleValue> HybridBernoulli<T> {
         if self.hist.total() < self.policy.n_f() {
             self.advance_phase(Phase::Bernoulli);
             self.note_transition(1, 2, self.q);
-            self.skip_remaining = bernoulli_skip(rng, self.q);
+            self.skip_remaining = self.gaps.skip(rng);
         } else {
             // Subsample too large (low probability): reservoir fallback.
             let start = Stopwatch::start();
@@ -360,7 +382,7 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
                 }
                 self.bag.push(value);
                 self.stats.include();
-                self.skip_remaining = bernoulli_skip(rng, self.q);
+                self.skip_remaining = self.gaps.skip(rng);
                 if self.bag.len() as u64 == self.policy.n_f() {
                     // Sample hit the hard bound (low probability): switch to
                     // reservoir mode.
@@ -393,6 +415,105 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
             }
         }
         self.stats.record_footprint(self.current_slots());
+    }
+
+    /// Phase-aware bulk path. Byte-identical to the element-wise loop for
+    /// any chunking of the stream: each phase consumes as much of the slice
+    /// as it can with the same RNG draws, and a phase transition landing
+    /// mid-batch splits the slice and continues in the new phase.
+    fn observe_batch<R: Rng + ?Sized>(&mut self, values: &[T], rng: &mut R) {
+        let mut rest = values;
+        while !rest.is_empty() {
+            match self.phase {
+                Phase::Exact => {
+                    // Insert until the footprint trips or the batch ends.
+                    // Phase-1 slots are monotone non-decreasing, so
+                    // recording the footprint at the group boundaries (and
+                    // just before the purge) reproduces the per-element
+                    // high-water mark exactly.
+                    let mut used = 0usize;
+                    for v in rest {
+                        used += 1;
+                        self.observed += 1;
+                        let pre_insert = self.hist.slots();
+                        self.hist.insert_one(v.clone());
+                        self.stats.include();
+                        if self.policy.compact_overflows(self.hist.slots()) {
+                            self.stats.record_footprint(pre_insert);
+                            self.leave_phase1(rng);
+                            break;
+                        }
+                    }
+                    self.stats.record_footprint(self.current_slots());
+                    rest = &rest[used..];
+                }
+                Phase::Bernoulli => {
+                    let remaining = index_u64(rest.len());
+                    if self.skip_remaining >= remaining {
+                        // The pending geometric gap swallows the whole
+                        // group: one bulk counter update, no RNG draws —
+                        // exactly what the per-element loop would do.
+                        self.skip_remaining -= remaining;
+                        self.observed += remaining;
+                        self.stats.rejections += remaining;
+                        break;
+                    }
+                    // Jump straight to the element the gap selects; the
+                    // inclusion below mirrors `observe` line for line.
+                    let idx = as_index(self.skip_remaining);
+                    self.observed += self.skip_remaining + 1;
+                    self.stats.rejections += self.skip_remaining;
+                    if !self.expanded {
+                        self.expand_in_place();
+                    }
+                    self.bag.push(rest[idx].clone());
+                    self.stats.include();
+                    self.skip_remaining = self.gaps.skip(rng);
+                    if index_u64(self.bag.len()) == self.policy.n_f() {
+                        self.stats.enter_phase3(self.observed);
+                        self.advance_phase(Phase::Reservoir);
+                        self.note_transition(2, 3, 0.0);
+                        let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
+                        self.next_include = self.observed + gen.skip(self.observed, rng);
+                        self.skip_gen = Some(gen);
+                    }
+                    self.stats.record_footprint(self.current_slots());
+                    rest = &rest[idx + 1..];
+                }
+                Phase::Reservoir => {
+                    let remaining = index_u64(rest.len());
+                    // Between calls `next_include > observed` (pinned to
+                    // u64::MAX by degenerate resumed reservoirs), so the
+                    // subtraction never underflows and the whole-group
+                    // rejection test never overflows.
+                    if self.next_include - self.observed > remaining {
+                        self.observed += remaining;
+                        self.stats.rejections += remaining;
+                        self.stats.record_footprint(self.current_slots());
+                        break;
+                    }
+                    let gap = self.next_include - self.observed - 1;
+                    let idx = as_index(gap);
+                    self.observed = self.next_include;
+                    self.stats.rejections += gap;
+                    if !self.expanded {
+                        // Entered phase 3 directly from phase 1.
+                        self.expand_in_place();
+                    }
+                    let victim = rng.random_range(0..self.bag.len());
+                    self.bag[victim] = rest[idx].clone();
+                    self.stats.include();
+                    let gen = self
+                        .skip_gen
+                        .as_mut()
+                        // swh-analyze: allow(panic) -- as in observe: a finite next_include implies a generator (degenerate reservoirs pin next_include to u64::MAX)
+                        .expect("phase 3 has a skip generator");
+                    self.next_include = self.observed + gen.skip(self.observed, rng);
+                    self.stats.record_footprint(self.current_slots());
+                    rest = &rest[idx + 1..];
+                }
+            }
+        }
     }
 
     fn observed(&self) -> u64 {
@@ -597,6 +718,64 @@ mod tests {
         let hb = HybridBernoulli::resume(s, 2 * n, 1e-3, &mut rng);
         assert_eq!(hb.rate(), q1);
         assert_eq!(hb.phase(), 2);
+    }
+
+    /// The batched fast path must be indistinguishable from the per-element
+    /// loop: same sample, same statistics, same RNG draw sequence — for any
+    /// chunking, across all three phases, including transitions that land
+    /// mid-batch.
+    #[test]
+    fn observe_batch_is_byte_identical_to_observe() {
+        let mut saw_phase3 = false;
+        for &(n, n_f, p_bound, seed) in &[
+            // Stays exact: small distinct population.
+            (50u64, 128u64, 1e-3, 23u64),
+            // 1 → 2 transition mid-batch (slots hit 32 inside a 64-chunk).
+            (200, 32, 1e-3, 21),
+            // Aggressive rate: overflows into phase 3.
+            (20_000, 64, 0.99, 22),
+            // Duplicate-heavy stream exercising (value, count) pairs.
+            (5_000, 48, 0.5, 24),
+        ] {
+            for &chunk in &[1usize, 3, 7, 64, 1024] {
+                let values: Vec<u64> = (0..n).map(|i| i % (3 * n / 4).max(1)).collect();
+                let mut r1 = seeded_rng(seed);
+                let mut one = HybridBernoulli::with_p_bound(policy(n_f), n, p_bound);
+                for v in &values {
+                    one.observe(*v, &mut r1);
+                }
+                let mut r2 = seeded_rng(seed);
+                let mut batched = HybridBernoulli::with_p_bound(policy(n_f), n, p_bound);
+                for c in values.chunks(chunk) {
+                    batched.observe_batch(c, &mut r2);
+                }
+                saw_phase3 |= one.phase() == 3;
+                // purge_ns is wall-clock time, the one legitimately
+                // non-deterministic field.
+                let mask = |mut s: SamplerStats| {
+                    s.purge_ns = 0;
+                    s
+                };
+                assert_eq!(
+                    mask(one.stats()),
+                    mask(batched.stats()),
+                    "stats diverge at n={n} n_f={n_f} p={p_bound} chunk={chunk}"
+                );
+                // Both paths must have consumed the same number of draws.
+                assert_eq!(
+                    r1.random::<u64>(),
+                    r2.random::<u64>(),
+                    "RNG streams diverge at n={n} n_f={n_f} p={p_bound} chunk={chunk}"
+                );
+                let s1 = one.finalize(&mut r1);
+                let s2 = batched.finalize(&mut r2);
+                assert_eq!(
+                    s1, s2,
+                    "samples diverge at n={n} n_f={n_f} p={p_bound} chunk={chunk}"
+                );
+            }
+        }
+        assert!(saw_phase3, "test matrix never exercised phase 3");
     }
 
     #[test]

@@ -25,6 +25,7 @@ use rand::Rng;
 use swh_obs::journal::{record, EventKind};
 use swh_obs::trace::{next_span_id, Op, SpanId};
 use swh_obs::Stopwatch;
+use swh_rand::checked::{as_index, index_u64};
 use swh_rand::skip::ReservoirSkip;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,10 +72,13 @@ impl<T: SampleValue> HybridReservoir<T> {
     pub fn new(policy: FootprintPolicy) -> Self {
         let span = next_span_id();
         record(EventKind::SpanStart, span.raw(), 0, Op::Ingest.code(), 0);
+        // Reserve the phase-1 histogram up front: distinct values never
+        // exceed the slot bound `n_F`, so the hot loop never rehashes.
+        let hist = CompactHistogram::with_slot_capacity(policy.n_f());
         Self {
             policy,
             phase: Phase::Exact,
-            hist: CompactHistogram::new(),
+            hist,
             bag: Vec::new(),
             expanded: false,
             observed: 0,
@@ -187,6 +191,44 @@ impl<T: SampleValue> HybridReservoir<T> {
         );
     }
 
+    /// Fig. 7 lines 3–5: the footprint hit the bound — switch to reservoir
+    /// mode. The purge happens lazily at the first skip-selected insertion.
+    fn leave_phase1<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        // The histogram was reserved for n_F slots at construction and
+        // distinct ≤ slots = n_F here, so it never outgrew the reservation.
+        invariant!(
+            index_u64(self.hist.distinct()) <= self.policy.n_f(),
+            "phase-1 histogram outgrew its n_F reservation: {} distinct > {}",
+            self.hist.distinct(),
+            self.policy.n_f()
+        );
+        self.stats.enter_phase2(self.observed);
+        self.phase = Phase::Reservoir;
+        self.note_transition(1, 2);
+        let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
+        self.next_include = self.observed + gen.skip(self.observed, rng);
+        self.skip_gen = Some(gen);
+    }
+
+    /// Materialize the pending lazy purge: a simple random subsample of
+    /// size `n_F` over everything seen so far, expanded to bag form for
+    /// in-place victim replacement.
+    fn materialize_reservoir<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        debug_assert!(!self.expanded);
+        let start = Stopwatch::start();
+        purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
+        self.stats.record_purge(start.elapsed_ns());
+        self.note_purge(self.hist.total());
+        self.bag = std::mem::take(&mut self.hist).into_bag();
+        self.expanded = true;
+        invariant!(
+            index_u64(self.bag.len()) <= self.policy.n_f(),
+            "footprint {} exceeds n_F = {} after the lazy purge",
+            self.bag.len(),
+            self.policy.n_f()
+        );
+    }
+
     /// Record a purge in the lineage and the journal.
     fn note_purge(&mut self, survivors: u64) {
         push_capped(
@@ -228,31 +270,13 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                 self.hist.insert_one(value);
                 self.stats.include();
                 if self.policy.compact_overflows(self.hist.slots()) {
-                    // Fig. 7 lines 3–5: switch to reservoir mode; the purge
-                    // happens lazily at the first skip-selected insertion.
-                    self.stats.enter_phase2(self.observed);
-                    self.phase = Phase::Reservoir;
-                    self.note_transition(1, 2);
-                    let mut gen = ReservoirSkip::new(self.policy.n_f(), rng);
-                    self.next_include = self.observed + gen.skip(self.observed, rng);
-                    self.skip_gen = Some(gen);
+                    self.leave_phase1(rng);
                 }
             }
             Phase::Reservoir => {
                 if self.observed == self.next_include {
                     if !self.expanded {
-                        let start = Stopwatch::start();
-                        purge_reservoir(&mut self.hist, self.policy.n_f(), rng);
-                        self.stats.record_purge(start.elapsed_ns());
-                        self.note_purge(self.hist.total());
-                        self.bag = std::mem::take(&mut self.hist).into_bag();
-                        self.expanded = true;
-                        invariant!(
-                            self.bag.len() as u64 <= self.policy.n_f(),
-                            "footprint {} exceeds n_F = {} after the lazy purge",
-                            self.bag.len(),
-                            self.policy.n_f()
-                        );
+                        self.materialize_reservoir(rng);
                     }
                     let victim = rng.random_range(0..self.bag.len());
                     self.bag[victim] = value;
@@ -269,6 +293,69 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
             }
         }
         self.stats.record_footprint(self.current_slots());
+    }
+
+    /// Phase-aware bulk path. Byte-identical to the element-wise loop for
+    /// any chunking of the stream: phase 1 inserts until the footprint
+    /// trips (splitting the slice at a mid-batch transition), phase 2
+    /// advances the skip counter across whole rejected groups and touches
+    /// the RNG only at inclusions.
+    fn observe_batch<R: Rng + ?Sized>(&mut self, values: &[T], rng: &mut R) {
+        let mut rest = values;
+        while !rest.is_empty() {
+            match self.phase {
+                Phase::Exact => {
+                    // Phase-1 slots are monotone non-decreasing (and the
+                    // switch purges nothing), so recording the footprint at
+                    // the group boundary reproduces the per-element
+                    // high-water mark exactly.
+                    let mut used = 0usize;
+                    for v in rest {
+                        used += 1;
+                        self.observed += 1;
+                        self.hist.insert_one(v.clone());
+                        self.stats.include();
+                        if self.policy.compact_overflows(self.hist.slots()) {
+                            self.leave_phase1(rng);
+                            break;
+                        }
+                    }
+                    self.stats.record_footprint(self.current_slots());
+                    rest = &rest[used..];
+                }
+                Phase::Reservoir => {
+                    let remaining = index_u64(rest.len());
+                    // Between calls `next_include > observed` (pinned to
+                    // u64::MAX by degenerate resumed reservoirs), so the
+                    // subtraction never underflows and the whole-group
+                    // rejection test never overflows.
+                    if self.next_include - self.observed > remaining {
+                        self.observed += remaining;
+                        self.stats.rejections += remaining;
+                        self.stats.record_footprint(self.current_slots());
+                        break;
+                    }
+                    let gap = self.next_include - self.observed - 1;
+                    let idx = as_index(gap);
+                    self.observed = self.next_include;
+                    self.stats.rejections += gap;
+                    if !self.expanded {
+                        self.materialize_reservoir(rng);
+                    }
+                    let victim = rng.random_range(0..self.bag.len());
+                    self.bag[victim] = rest[idx].clone();
+                    self.stats.include();
+                    let gen = self
+                        .skip_gen
+                        .as_mut()
+                        // swh-analyze: allow(panic) -- as in observe: a finite next_include implies a generator (degenerate reservoirs pin next_include to u64::MAX)
+                        .expect("phase 2 has a skip generator");
+                    self.next_include = self.observed + gen.skip(self.observed, rng);
+                    self.stats.record_footprint(self.current_slots());
+                    rest = &rest[idx + 1..];
+                }
+            }
+        }
     }
 
     fn observed(&self) -> u64 {
@@ -481,6 +568,56 @@ mod tests {
         } else {
             // The skip was 1, so the stream ended exactly at the switch.
             assert_eq!(s.kind(), SampleKind::Exhaustive);
+        }
+    }
+
+    /// The batched fast path must be indistinguishable from the per-element
+    /// loop: same sample, same statistics, same RNG draw sequence — for any
+    /// chunking, including the 1 → 2 switch landing mid-batch and the lazy
+    /// purge firing inside a batch.
+    #[test]
+    fn observe_batch_is_byte_identical_to_observe() {
+        for &(n, n_f, seed) in &[
+            // Stays exact.
+            (100u64, 256u64, 31u64),
+            // Switch mid-batch, lazy purge at the first batched inclusion.
+            (50_000, 128, 32),
+            // Duplicate-heavy stream exercising (value, count) pairs.
+            (10_000, 64, 33),
+        ] {
+            for &chunk in &[1usize, 5, 97, 4096] {
+                let values: Vec<u64> = (0..n).map(|i| i % (3 * n / 4).max(1)).collect();
+                let mut r1 = seeded_rng(seed);
+                let mut one = HybridReservoir::new(policy(n_f));
+                for v in &values {
+                    one.observe(*v, &mut r1);
+                }
+                let mut r2 = seeded_rng(seed);
+                let mut batched = HybridReservoir::new(policy(n_f));
+                for c in values.chunks(chunk) {
+                    batched.observe_batch(c, &mut r2);
+                }
+                // purge_ns is wall-clock time, the one legitimately
+                // non-deterministic field.
+                let mask = |mut s: SamplerStats| {
+                    s.purge_ns = 0;
+                    s
+                };
+                assert_eq!(
+                    mask(one.stats()),
+                    mask(batched.stats()),
+                    "stats diverge at n={n} n_f={n_f} chunk={chunk}"
+                );
+                // Both paths must have consumed the same number of draws.
+                assert_eq!(
+                    r1.random::<u64>(),
+                    r2.random::<u64>(),
+                    "RNG streams diverge at n={n} n_f={n_f} chunk={chunk}"
+                );
+                let s1 = one.finalize(&mut r1);
+                let s2 = batched.finalize(&mut r2);
+                assert_eq!(s1, s2, "samples diverge at n={n} n_f={n_f} chunk={chunk}");
+            }
         }
     }
 

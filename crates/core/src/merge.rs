@@ -35,7 +35,9 @@ use crate::value::SampleValue;
 use rand::Rng;
 use swh_obs::journal::EventKind;
 use swh_obs::trace::{Op, Span};
+use swh_rand::checked::index_u64;
 use swh_rand::hypergeometric::Hypergeometric;
+use swh_rand::seeded_rng;
 use swh_rand::skip::ReservoirSkip;
 
 /// Record one completed merge in the journal under its own span.
@@ -511,13 +513,9 @@ fn hr_merge_reservoirs_ref<T: SampleValue, R: Rng + ?Sized>(
     debug_assert_eq!(h1.total(), k);
     note_merge(2, l);
     Ok(
-        Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
-            .with_lineage(merged_lineage_with_purges(
-                &[&lin1, s.lineage()],
-                &purges,
-                2,
-                l,
-            )),
+        Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy).with_lineage(
+            merged_lineage_with_purges(&[&lin1, s.lineage()], &purges, 2, l),
+        ),
     )
 }
 
@@ -577,6 +575,164 @@ pub fn merge_tree<T: SampleValue, R: Rng + ?Sized>(
         panic!("merge_tree halving keeps the worklist non-empty");
     };
     Ok(result)
+}
+
+/// Deterministic RNG stream for one node of a parallel merge tree. A node
+/// is uniquely identified by `(first_leaf, leaf_count)` — the index of its
+/// leftmost input and the number of inputs below it — so deriving the seed
+/// from that pair (xor'd into a base seed drawn once from the caller's RNG)
+/// makes every node's draws independent of thread scheduling.
+fn node_rng(base: u64, first_leaf: u64, leaf_count: usize) -> impl Rng {
+    seeded_rng(base ^ ((first_leaf << 32) | index_u64(leaf_count)))
+}
+
+/// [`merge_tree`] with the two halves of every subtree merged on separate
+/// threads (`std::thread::scope`), splitting the thread budget top-down.
+///
+/// One base seed is drawn from the caller's RNG up front; each tree node
+/// then derives its own RNG stream via [`node_rng`], so the result is
+/// **byte-identical run to run and across thread counts** — `threads = 1`
+/// produces exactly the same sample as `threads = 64` for the same caller
+/// RNG state. The same lineage Merge/Purge events are recorded as in the
+/// serial fold: every pairwise [`merge`] notes its fan-in, split, and
+/// purges exactly as before; only the association order differs.
+///
+/// # Panics
+/// Panics if `samples` is empty or `threads` is zero.
+pub fn merge_tree_parallel<T: SampleValue, R: Rng + ?Sized>(
+    samples: Vec<Sample<T>>,
+    p_bound: f64,
+    threads: usize,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    assert!(
+        !samples.is_empty(),
+        "merge_tree_parallel needs at least one sample"
+    );
+    assert!(threads > 0, "merge_tree_parallel needs at least one thread");
+    let base = rng.random::<u64>();
+    merge_subtree_owned(samples, 0, p_bound, base, threads)
+}
+
+fn merge_subtree_owned<T: SampleValue>(
+    mut samples: Vec<Sample<T>>,
+    first_leaf: u64,
+    p_bound: f64,
+    base: u64,
+    threads: usize,
+) -> Result<Sample<T>, MergeError> {
+    let leaf_count = samples.len();
+    if leaf_count == 1 {
+        let Some(only) = samples.pop() else {
+            panic!("merge subtree invariant: non-empty input");
+        };
+        return Ok(only);
+    }
+    let mid = leaf_count / 2;
+    let right = samples.split_off(mid);
+    let left = samples;
+    let right_first = first_leaf + index_u64(mid);
+    let (l, r) = if threads > 1 && leaf_count > 2 {
+        std::thread::scope(|scope| {
+            let right_threads = threads / 2;
+            let left_threads = threads - right_threads;
+            let handle = scope.spawn(move || {
+                merge_subtree_owned(right, right_first, p_bound, base, right_threads)
+            });
+            let l = merge_subtree_owned(left, first_leaf, p_bound, base, left_threads);
+            let r = match handle.join() {
+                Ok(r) => r,
+                // Re-raise a worker panic on the caller's thread unchanged.
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (l, r)
+        })
+    } else {
+        (
+            merge_subtree_owned(left, first_leaf, p_bound, base, threads),
+            merge_subtree_owned(right, right_first, p_bound, base, threads),
+        )
+    };
+    let mut rng = node_rng(base, first_leaf, leaf_count);
+    merge(l?, r?, p_bound, &mut rng)
+}
+
+/// [`merge_tree_parallel`] over borrowed partition samples: leaf pairs go
+/// through [`merge_borrowed`] (cloning only surviving elements), inner
+/// nodes own their children's results. Needs `T: Sync` because the
+/// borrowed samples are shared across the scoped worker threads.
+///
+/// Same determinism contract as the owned variant: byte-identical run to
+/// run and across thread counts for the same caller RNG state.
+///
+/// # Panics
+/// Panics if `samples` is empty or `threads` is zero.
+pub fn merge_tree_parallel_borrowed<T, R>(
+    samples: &[&Sample<T>],
+    p_bound: f64,
+    threads: usize,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError>
+where
+    T: SampleValue + Sync,
+    R: Rng + ?Sized,
+{
+    assert!(
+        !samples.is_empty(),
+        "merge_tree_parallel_borrowed needs at least one sample"
+    );
+    assert!(
+        threads > 0,
+        "merge_tree_parallel_borrowed needs at least one thread"
+    );
+    let base = rng.random::<u64>();
+    merge_subtree_borrowed(samples, 0, p_bound, base, threads)
+}
+
+fn merge_subtree_borrowed<T: SampleValue + Sync>(
+    samples: &[&Sample<T>],
+    first_leaf: u64,
+    p_bound: f64,
+    base: u64,
+    threads: usize,
+) -> Result<Sample<T>, MergeError> {
+    match samples {
+        [] => panic!("merge subtree invariant: non-empty input"),
+        [only] => Ok((*only).clone()),
+        [a, b] => {
+            let mut rng = node_rng(base, first_leaf, 2);
+            merge_borrowed((*a).clone(), b, p_bound, &mut rng)
+        }
+        _ => {
+            let leaf_count = samples.len();
+            let mid = leaf_count / 2;
+            let (left, right) = samples.split_at(mid);
+            let right_first = first_leaf + index_u64(mid);
+            let (l, r) = if threads > 1 {
+                std::thread::scope(|scope| {
+                    let right_threads = threads / 2;
+                    let left_threads = threads - right_threads;
+                    let handle = scope.spawn(move || {
+                        merge_subtree_borrowed(right, right_first, p_bound, base, right_threads)
+                    });
+                    let l = merge_subtree_borrowed(left, first_leaf, p_bound, base, left_threads);
+                    let r = match handle.join() {
+                        Ok(r) => r,
+                        // Re-raise a worker panic on the caller's thread.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    };
+                    (l, r)
+                })
+            } else {
+                (
+                    merge_subtree_borrowed(left, first_leaf, p_bound, base, threads),
+                    merge_subtree_borrowed(right, right_first, p_bound, base, threads),
+                )
+            };
+            let mut rng = node_rng(base, first_leaf, leaf_count);
+            merge(l?, r?, p_bound, &mut rng)
+        }
+    }
 }
 
 /// Direct `m`-way generalization of `HRMerge` (Fig. 8 / Theorem 1): the
@@ -648,13 +804,9 @@ pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
     let parent_lineages: Vec<&[LineageEvent]> = lineages.iter().map(Vec::as_slice).collect();
     note_merge(fan_in, 0);
     Ok(
-        Sample::from_parts(merged, SampleKind::Reservoir, total_parent, policy)
-            .with_lineage(merged_lineage_with_purges(
-                &parent_lineages,
-                &purges,
-                fan_in,
-                0,
-            )),
+        Sample::from_parts(merged, SampleKind::Reservoir, total_parent, policy).with_lineage(
+            merged_lineage_with_purges(&parent_lineages, &purges, fan_in, 0),
+        ),
     )
 }
 
@@ -1021,6 +1173,76 @@ mod tests {
         );
     }
 
+    /// The parallel tree must be a pure function of (inputs, caller RNG
+    /// state): identical across runs AND across thread budgets.
+    #[test]
+    fn parallel_tree_deterministic_across_thread_counts() {
+        let mut rng = seeded_rng(40);
+        let parts: Vec<Sample<u64>> = (0..16u64)
+            .map(|p| reservoir_sample(p * 1_000..(p + 1) * 1_000, 64, &mut rng))
+            .collect();
+        let run = |threads: usize| {
+            let mut rng = seeded_rng(77);
+            merge_tree_parallel(parts.clone(), 1e-3, threads, &mut rng).unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(8), "thread count changed the result");
+        assert_eq!(serial, run(3), "odd thread budget changed the result");
+        assert_eq!(serial, run(1), "identical seeds must reproduce the sample");
+        assert_eq!(serial.parent_size(), 16_000);
+        assert_eq!(serial.size(), 64);
+
+        let refs: Vec<&Sample<u64>> = parts.iter().collect();
+        let run_borrowed = |threads: usize| {
+            let mut rng = seeded_rng(78);
+            merge_tree_parallel_borrowed(&refs, 1e-3, threads, &mut rng).unwrap()
+        };
+        let b = run_borrowed(1);
+        assert_eq!(b, run_borrowed(8), "borrowed tree depends on thread count");
+        assert_eq!(b.parent_size(), 16_000);
+    }
+
+    #[test]
+    fn parallel_tree_handles_single_and_odd_inputs() {
+        let mut rng = seeded_rng(42);
+        let parts: Vec<Sample<u64>> = (0..5u64)
+            .map(|p| reservoir_sample(p * 100..(p + 1) * 100, 16, &mut rng))
+            .collect();
+        let one = merge_tree_parallel(parts[..1].to_vec(), 1e-3, 4, &mut rng).unwrap();
+        assert_eq!(one.parent_size(), 100);
+        let odd = merge_tree_parallel(parts, 1e-3, 4, &mut rng).unwrap();
+        assert_eq!(odd.parent_size(), 500);
+        assert_eq!(odd.size(), 16);
+    }
+
+    #[test]
+    fn parallel_tree_uniform_across_four_partitions() {
+        // Mirror of merge_all_uniform_across_four_partitions through the
+        // tree-parallel path: the documented uniformity contract must hold
+        // regardless of merge association order or threading.
+        let mut rng = seeded_rng(41);
+        let (n_parts, per, n_f, trials) = (4u64, 25u64, 10u64, 15_000usize);
+        let n = n_parts * per;
+        let mut incl = vec![0u64; n as usize];
+        for _ in 0..trials {
+            let parts: Vec<Sample<u64>> = (0..n_parts)
+                .map(|p| reservoir_sample(p * per..(p + 1) * per, n_f, &mut rng))
+                .collect();
+            let m = merge_tree_parallel(parts, 1e-3, 2, &mut rng).unwrap();
+            for (v, _) in m.histogram().iter() {
+                incl[*v as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * n_f as f64 / n as f64;
+        let exp: Vec<f64> = vec![expect; n as usize];
+        let stat = chi_square_statistic(&incl, &exp);
+        let pv = chi_square_p_value(stat, (n - 1) as f64);
+        assert!(
+            pv > 1e-4,
+            "tree-parallel merge not uniform: chi2={stat:.1} p={pv:.2e}"
+        );
+    }
+
     #[test]
     fn merge_rejects_concise() {
         let mut rng = seeded_rng(12);
@@ -1378,7 +1600,11 @@ mod tests {
                 )
             })
             .count();
-        assert!(purges >= 2, "equalization purges missing: {:?}", m.lineage());
+        assert!(
+            purges >= 2,
+            "equalization purges missing: {:?}",
+            m.lineage()
+        );
 
         // Multiway: one split purge per input partition.
         let parts: Vec<Sample<u64>> = (0..3u64)

@@ -13,7 +13,7 @@ use crate::histogram::CompactHistogram;
 use crate::invariant::invariant;
 use crate::value::SampleValue;
 use rand::Rng;
-use swh_rand::binomial::binomial;
+use swh_rand::binomial::BinomialRate;
 use swh_rand::skip::ReservoirSkip;
 
 /// Fig. 3 — `purgeBernoulli(S, q)`: replace each count `n` with a
@@ -31,7 +31,9 @@ pub fn purge_bernoulli<T: SampleValue, R: Rng + ?Sized>(
     if q == 1.0 {
         return;
     }
-    hist.transform_counts(|_, n| binomial(rng, n, q));
+    // One rate for every pair: precompute the waiting-time constants once.
+    let rate = BinomialRate::new(q);
+    hist.transform_counts(|_, n| rate.sample(rng, n));
 }
 
 /// Fig. 4 — `purgeReservoir(S, M)`: take a simple random subsample of
@@ -175,8 +177,9 @@ pub fn bernoulli_subsample_ref<T: SampleValue, R: Rng + ?Sized>(
         return hist.clone();
     }
     let mut out = CompactHistogram::new();
+    let rate = BinomialRate::new(q);
     for (v, c) in hist.iter() {
-        let n = binomial(rng, c, q);
+        let n = rate.sample(rng, c);
         if n > 0 {
             out.insert_count(v.clone(), n);
         }

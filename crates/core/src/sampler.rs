@@ -60,6 +60,22 @@ pub trait Sampler<T: SampleValue> {
         (self.finalize(rng), stats)
     }
 
+    /// Process a batch of arriving data elements, equivalent to calling
+    /// [`observe`](Self::observe) on each value in order.
+    ///
+    /// The default implementation is that per-element loop. Samplers with
+    /// phase-aware bulk paths (Algorithms HB and HR) override it to consume
+    /// whole slices per phase — but any override must keep the result
+    /// **byte-identical** to the element-wise loop for every chunking of
+    /// the stream: same sample, same statistics, same RNG draw sequence.
+    /// Callers may therefore chunk a stream arbitrarily without changing
+    /// what they get back.
+    fn observe_batch<R: Rng + ?Sized>(&mut self, values: &[T], rng: &mut R) {
+        for v in values {
+            self.observe(v.clone(), rng);
+        }
+    }
+
     /// Convenience: observe every element of an iterator.
     fn observe_all<R: Rng + ?Sized, I: IntoIterator<Item = T>>(&mut self, values: I, rng: &mut R)
     where

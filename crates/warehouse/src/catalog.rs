@@ -12,6 +12,22 @@ use swh_core::merge::MergeError;
 use swh_core::sample::Sample;
 use swh_core::value::SampleValue;
 
+/// Union queries over at least this many partitions run through the
+/// parallel balanced merge tree; below it, tree setup and thread spawning
+/// cost more than the serial cost-aware plan.
+pub const PARALLEL_MERGE_MIN: usize = 4;
+
+/// Worker budget for one parallel union merge: the machine's available
+/// parallelism, capped by the partition count (a deeper budget is useless —
+/// the tree has at most `partitions - 1` internal nodes). Thread count never
+/// affects results, only wall-clock, so this may vary across machines.
+fn merge_threads(partitions: usize) -> usize {
+    std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(partitions)
+        .max(1)
+}
+
 /// A rolled-in partition sample plus bookkeeping.
 #[derive(Debug, Clone)]
 pub struct PartitionEntry<T: SampleValue> {
@@ -272,10 +288,17 @@ impl<T: SampleValue> Catalog<T> {
 
     /// Produce a single uniform sample of the union of the selected
     /// partitions (the warehouse's query primitive: `S_K` for
-    /// `K ⊆ {1..k}` in requirement 2 of §2). Executed with the cost-aware
-    /// merge plan ([`swh_core::planner::merge_planned`]), which produces
-    /// the same uniform distribution as a serial fold while re-streaming
-    /// large exhaustive histograms as little as possible.
+    /// `K ⊆ {1..k}` in requirement 2 of §2).
+    ///
+    /// Selections of [`PARALLEL_MERGE_MIN`] or more partitions run through
+    /// the balanced parallel merge tree
+    /// ([`swh_core::merge::merge_tree_parallel`]), whose per-node RNG
+    /// streams make the result a pure function of the selection and the
+    /// caller's RNG — never of the machine's thread count. Smaller
+    /// selections use the cost-aware serial plan
+    /// ([`swh_core::planner::merge_planned`]), which re-streams large
+    /// exhaustive histograms as little as possible. Both produce the same
+    /// uniform distribution as a serial fold.
     pub fn union_sample<R: rand::Rng + ?Sized>(
         &self,
         dataset: DatasetId,
@@ -285,7 +308,12 @@ impl<T: SampleValue> Catalog<T> {
     ) -> Result<Sample<T>, CatalogError> {
         let picked = self.select(dataset, select)?;
         let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
-        let merged = swh_core::planner::merge_planned(picked, p_bound, rng)?;
+        let merged = if picked.len() >= PARALLEL_MERGE_MIN {
+            let threads = merge_threads(picked.len());
+            swh_core::merge::merge_tree_parallel(picked, p_bound, threads, rng)?
+        } else {
+            swh_core::planner::merge_planned(picked, p_bound, rng)?
+        };
         timer.stop();
         self.metrics.union_merges.inc();
         Ok(merged)
@@ -293,18 +321,26 @@ impl<T: SampleValue> Catalog<T> {
 
     /// [`Catalog::union_sample`] without cloning the selected samples out
     /// of the catalog: the merge runs by reference under the shared read
-    /// lock ([`swh_core::merge::merge_all_borrowed`]), cloning only the
-    /// elements that survive into the result. The tradeoff is inverted
-    /// relative to `union_sample`: zero up-front copying, but writers
-    /// (roll-in/roll-out) block for the duration of the merge — prefer it
-    /// for read-mostly catalogs and frequent queries over large samples.
+    /// lock, cloning only the elements that survive into the result. The
+    /// tradeoff is inverted relative to `union_sample`: zero up-front
+    /// copying, but writers (roll-in/roll-out) block for the duration of
+    /// the merge — prefer it for read-mostly catalogs and frequent queries
+    /// over large samples.
+    ///
+    /// Like [`Catalog::union_sample`], wide selections use the parallel
+    /// merge tree ([`swh_core::merge::merge_tree_parallel_borrowed`], hence
+    /// the `T: Sync` bound — subtree workers share the borrowed samples);
+    /// narrow ones fold serially ([`swh_core::merge::merge_all_borrowed`]).
     pub fn union_sample_borrowed<R: rand::Rng + ?Sized>(
         &self,
         dataset: DatasetId,
         mut select: impl FnMut(PartitionId) -> bool,
         p_bound: f64,
         rng: &mut R,
-    ) -> Result<Sample<T>, CatalogError> {
+    ) -> Result<Sample<T>, CatalogError>
+    where
+        T: Sync,
+    {
         self.metrics.selects.inc();
         let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         let ds = map
@@ -319,7 +355,12 @@ impl<T: SampleValue> Catalog<T> {
             return Err(CatalogError::EmptySelection);
         }
         let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
-        let merged = swh_core::merge::merge_all_borrowed(picked, p_bound, rng)?;
+        let merged = if picked.len() >= PARALLEL_MERGE_MIN {
+            let threads = merge_threads(picked.len());
+            swh_core::merge::merge_tree_parallel_borrowed(&picked, p_bound, threads, rng)?
+        } else {
+            swh_core::merge::merge_all_borrowed(picked, p_bound, rng)?
+        };
         timer.stop();
         self.metrics.union_merges.inc();
         Ok(merged)
@@ -473,6 +514,38 @@ mod tests {
             .union_sample_grid(DatasetId(1), 0..=u32::MAX, 2..=2, 1e-3, &mut rng)
             .unwrap();
         assert_eq!(s.parent_size(), 3_000);
+    }
+
+    #[test]
+    fn wide_union_is_deterministic_for_a_seeded_rng() {
+        // 8 partitions exceed PARALLEL_MERGE_MIN, so this exercises the
+        // parallel merge tree. Per-node RNG streams keyed by tree position
+        // make the result a function of (selection, seed) only — two runs
+        // with the same seed must agree exactly, whatever the thread count
+        // this machine offers.
+        let mut rng = seeded_rng(60);
+        let cat = Catalog::new();
+        for d in 0..8u64 {
+            cat.roll_in(key(1, d), sample(d * 1000..(d + 1) * 1000, &mut rng))
+                .unwrap();
+        }
+        let run = || {
+            let mut rng = seeded_rng(61);
+            cat.union_sample(DatasetId(1), |_| true, 1e-3, &mut rng)
+                .unwrap()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert_eq!(a.parent_size(), 8_000);
+        assert!(a.size() <= 32);
+        let run_borrowed = || {
+            let mut rng = seeded_rng(62);
+            cat.union_sample_borrowed(DatasetId(1), |_| true, 1e-3, &mut rng)
+                .unwrap()
+        };
+        let b = run_borrowed();
+        assert_eq!(b, run_borrowed());
+        assert_eq!(b.parent_size(), 8_000);
     }
 
     #[test]

@@ -115,6 +115,15 @@ impl<T: SampleValue> Sampler<T> for ConfiguredSampler<T> {
         }
     }
 
+    /// Dispatch the whole chunk with one `match`, so the phase-aware bulk
+    /// paths in HB/HR run without a per-element enum branch.
+    fn observe_batch<R: Rng + ?Sized>(&mut self, values: &[T], rng: &mut R) {
+        match self {
+            ConfiguredSampler::Hb(s) => s.observe_batch(values, rng),
+            ConfiguredSampler::Hr(s) => s.observe_batch(values, rng),
+        }
+    }
+
     fn observed(&self) -> u64 {
         match self {
             ConfiguredSampler::Hb(s) => s.observed(),
@@ -228,6 +237,9 @@ pub struct StreamRouter<T: SampleValue> {
     samplers: Vec<ConfiguredSampler<T>>,
     policy_split: SplitPolicy,
     routed: u64,
+    /// Elements already flushed into the metrics counter (`routed` minus the
+    /// unflushed remainder); lets element-wise and chunked feeding compose.
+    flushed: u64,
     hasher: BuildHasherDefault<FxHasher>,
     metrics: IngestMetrics,
 }
@@ -264,6 +276,7 @@ impl<T: SampleValue> StreamRouter<T> {
             samplers: (0..k).map(|_| config.build(policy)).collect(),
             policy_split: split,
             routed: 0,
+            flushed: 0,
             hasher: BuildHasherDefault::default(),
             metrics: IngestMetrics::router(registry),
         }
@@ -282,10 +295,41 @@ impl<T: SampleValue> StreamRouter<T> {
             SplitPolicy::ByValueHash => (self.hasher.hash_one(&value) % k as u64) as usize,
         };
         self.routed += 1;
-        if self.routed & (ELEMENT_FLUSH - 1) == 0 {
-            self.metrics.elements.add(ELEMENT_FLUSH);
+        if self.routed - self.flushed >= ELEMENT_FLUSH {
+            self.metrics.elements.add(self.routed - self.flushed);
+            self.flushed = self.routed;
         }
         self.samplers[idx].observe(value, rng);
+    }
+
+    /// Route a chunk of arriving elements: each value is assigned to its
+    /// sampler exactly as [`StreamRouter::observe`] would, the per-sampler
+    /// shares are then drained with one [`Sampler::observe_batch`] call
+    /// each, and metrics flush once for the whole chunk.
+    ///
+    /// The split (which value lands in which partition) is identical to the
+    /// element-wise path, so chunked routing is deterministic for a fixed
+    /// chunking. The per-sampler grouping does reorder RNG consumption
+    /// relative to interleaved element-wise routing, so the two feeding
+    /// styles draw different (equally uniform) samples.
+    pub fn observe_chunk<R: Rng + ?Sized>(&mut self, values: &[T], rng: &mut R) {
+        let k = self.samplers.len();
+        let mut shares: Vec<Vec<T>> = vec![Vec::new(); k];
+        for value in values {
+            let idx = match self.policy_split {
+                SplitPolicy::RoundRobin => (self.routed % k as u64) as usize,
+                SplitPolicy::ByValueHash => (self.hasher.hash_one(value) % k as u64) as usize,
+            };
+            self.routed += 1;
+            shares[idx].push(value.clone());
+        }
+        for (idx, share) in shares.iter().enumerate() {
+            if !share.is_empty() {
+                self.samplers[idx].observe_batch(share, rng);
+            }
+        }
+        self.metrics.elements.add(self.routed - self.flushed);
+        self.flushed = self.routed;
     }
 
     /// Total elements routed.
@@ -296,7 +340,7 @@ impl<T: SampleValue> StreamRouter<T> {
     /// Finalize all samplers into per-partition samples (in sampler order).
     pub fn finalize<R: Rng + ?Sized>(self, rng: &mut R) -> Vec<Sample<T>> {
         let metrics = self.metrics;
-        metrics.elements.add(self.routed & (ELEMENT_FLUSH - 1));
+        metrics.elements.add(self.routed - self.flushed);
         self.samplers
             .into_iter()
             .map(|s| {
@@ -325,6 +369,8 @@ pub struct RatioBoundedPartitioner<T: SampleValue> {
     finished: Vec<Sample<T>>,
     /// Elements seen across all partitions (drives batched counter flushes).
     seen: u64,
+    /// Elements already flushed into the metrics counter.
+    flushed: u64,
     metrics: IngestMetrics,
 }
 
@@ -358,17 +404,16 @@ impl<T: SampleValue> RatioBoundedPartitioner<T> {
             current: HybridReservoir::new(policy),
             finished: Vec::new(),
             seen: 0,
+            flushed: 0,
             metrics: IngestMetrics::partitioner(registry),
         }
     }
 
-    /// Feed one arriving element.
-    pub fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+    /// Boundary-checked element feed shared by the element-wise and chunked
+    /// paths; metric flushing is the caller's job.
+    fn observe_inner<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
         self.current.observe(value, rng);
         self.seen += 1;
-        if self.seen & (ELEMENT_FLUSH - 1) == 0 {
-            self.metrics.elements.add(ELEMENT_FLUSH);
-        }
         let observed = self.current.observed();
         let ratio = self.current.current_size() as f64 / observed as f64;
         if ratio <= self.min_ratio {
@@ -380,6 +425,28 @@ impl<T: SampleValue> RatioBoundedPartitioner<T> {
         }
     }
 
+    /// Feed one arriving element.
+    pub fn observe<R: Rng + ?Sized>(&mut self, value: T, rng: &mut R) {
+        self.observe_inner(value, rng);
+        if self.seen - self.flushed >= ELEMENT_FLUSH {
+            self.metrics.elements.add(self.seen - self.flushed);
+            self.flushed = self.seen;
+        }
+    }
+
+    /// Feed a chunk of arriving elements, flushing metrics once for the
+    /// whole chunk. The ratio boundary is still checked after every element
+    /// (a partition must close at exactly the element that hits the bound),
+    /// so this path is byte-identical to feeding the values one by one —
+    /// only the metric flush cadence changes.
+    pub fn observe_chunk<R: Rng + ?Sized>(&mut self, values: &[T], rng: &mut R) {
+        for value in values {
+            self.observe_inner(value.clone(), rng);
+        }
+        self.metrics.elements.add(self.seen - self.flushed);
+        self.flushed = self.seen;
+    }
+
     /// Partitions finalized so far.
     pub fn finished(&self) -> &[Sample<T>] {
         &self.finished
@@ -388,7 +455,7 @@ impl<T: SampleValue> RatioBoundedPartitioner<T> {
     /// End the stream: finalize the in-progress partition (if non-empty)
     /// and return all partition samples in order.
     pub fn finish<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<Sample<T>> {
-        self.metrics.elements.add(self.seen & (ELEMENT_FLUSH - 1));
+        self.metrics.elements.add(self.seen - self.flushed);
         if self.current.observed() > 0 {
             let (sample, stats) = self.current.finalize_with_stats(rng);
             self.metrics.partitions.inc();
@@ -415,6 +482,8 @@ pub struct TimePartitioner<T: SampleValue> {
     next_seq: u64,
     /// Elements seen across all windows (drives batched counter flushes).
     seen: u64,
+    /// Elements already flushed into the metrics counter.
+    flushed: u64,
     metrics: IngestMetrics,
 }
 
@@ -450,16 +519,14 @@ impl<T: SampleValue> TimePartitioner<T> {
             finished: Vec::new(),
             next_seq: 0,
             seen: 0,
+            flushed: 0,
             metrics: IngestMetrics::partitioner(registry),
         }
     }
 
-    /// Feed one timestamped element. Timestamps must be non-decreasing.
-    ///
-    /// # Panics
-    /// Panics if `time` lies before the current window (i.e. in a window
-    /// that has already been closed).
-    pub fn observe_at<R: Rng + ?Sized>(&mut self, time: f64, value: T, rng: &mut R) {
+    /// Window-advancing element feed shared by the element-wise and chunked
+    /// paths; metric flushing is the caller's job.
+    fn observe_at_inner<R: Rng + ?Sized>(&mut self, time: f64, value: T, rng: &mut R) {
         assert!(
             time >= self.current_end - self.window,
             "event at t={time} belongs to an already-closed window \
@@ -471,9 +538,34 @@ impl<T: SampleValue> TimePartitioner<T> {
         }
         self.current.observe(value, rng);
         self.seen += 1;
-        if self.seen & (ELEMENT_FLUSH - 1) == 0 {
-            self.metrics.elements.add(ELEMENT_FLUSH);
+    }
+
+    /// Feed one timestamped element. Timestamps must be non-decreasing.
+    ///
+    /// # Panics
+    /// Panics if `time` lies before the current window (i.e. in a window
+    /// that has already been closed).
+    pub fn observe_at<R: Rng + ?Sized>(&mut self, time: f64, value: T, rng: &mut R) {
+        self.observe_at_inner(time, value, rng);
+        if self.seen - self.flushed >= ELEMENT_FLUSH {
+            self.metrics.elements.add(self.seen - self.flushed);
+            self.flushed = self.seen;
         }
+    }
+
+    /// Feed a chunk of timestamped elements (non-decreasing times),
+    /// flushing metrics once for the whole chunk. Window boundaries are
+    /// still applied per element, so this path is byte-identical to feeding
+    /// the events one by one.
+    ///
+    /// # Panics
+    /// Panics if any event lies before the current window.
+    pub fn observe_at_chunk<R: Rng + ?Sized>(&mut self, events: &[(f64, T)], rng: &mut R) {
+        for (time, value) in events {
+            self.observe_at_inner(*time, value.clone(), rng);
+        }
+        self.metrics.elements.add(self.seen - self.flushed);
+        self.flushed = self.seen;
     }
 
     fn close_current<R: Rng + ?Sized>(&mut self, rng: &mut R) {
@@ -498,7 +590,7 @@ impl<T: SampleValue> TimePartitioner<T> {
     /// skipped but still consume sequence numbers, so `seq` reflects wall
     /// clock.
     pub fn finish<R: Rng + ?Sized>(mut self, rng: &mut R) -> Vec<(u64, Sample<T>)> {
-        self.metrics.elements.add(self.seen & (ELEMENT_FLUSH - 1));
+        self.metrics.elements.add(self.seen - self.flushed);
         if self.current.observed() > 0 {
             let (sample, stats) = self.current.finalize_with_stats(rng);
             self.metrics.partitions.inc();
@@ -736,6 +828,105 @@ mod tests {
             snap.counter("swh_partitioner_partitions_total"),
             parts.len() as u64
         );
+    }
+
+    #[test]
+    fn router_chunk_splits_like_element_wise_and_flushes_per_chunk() {
+        let registry = swh_obs::Registry::new();
+        let mut rng = seeded_rng(10);
+        let mut router: StreamRouter<u64> = StreamRouter::with_registry(
+            &registry,
+            4,
+            SamplerConfig::HybridReservoir,
+            policy(4096),
+            SplitPolicy::RoundRobin,
+        );
+        let values: Vec<u64> = (0..1000).collect();
+        for chunk in values.chunks(117) {
+            router.observe_chunk(chunk, &mut rng);
+        }
+        // Chunked feeding flushes eagerly: the counter is exact mid-stream.
+        assert_eq!(
+            registry.snapshot().counter("swh_router_elements_total"),
+            1000
+        );
+        let samples = router.finalize(&mut rng);
+        // Round-robin assignment is unchanged by chunking: perfectly
+        // balanced partitions, and (with an exhaustive budget) partition j
+        // holds exactly the values congruent to j mod 4.
+        assert_eq!(samples.len(), 4);
+        for (j, s) in samples.iter().enumerate() {
+            assert_eq!(s.parent_size(), 250);
+            for (v, _) in s.histogram().iter() {
+                assert_eq!(*v % 4, j as u64, "value {v} routed to partition {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn router_chunk_hash_split_keeps_equal_values_together() {
+        let mut rng = seeded_rng(11);
+        let mut router: StreamRouter<u64> = StreamRouter::new(
+            4,
+            SamplerConfig::HybridReservoir,
+            policy(1024),
+            SplitPolicy::ByValueHash,
+        );
+        let values: Vec<u64> = (0..4000).map(|i| i % 100).collect();
+        for chunk in values.chunks(256) {
+            router.observe_chunk(chunk, &mut rng);
+        }
+        let samples = router.finalize(&mut rng);
+        let mut seen = std::collections::HashMap::new();
+        for (i, s) in samples.iter().enumerate() {
+            for (v, _) in s.histogram().iter() {
+                if let Some(prev) = seen.insert(*v, i) {
+                    panic!("value {v} in partitions {prev} and {i}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 100);
+    }
+
+    #[test]
+    fn ratio_partitioner_chunk_is_byte_identical_to_element_wise() {
+        let values: Vec<u64> = (0..5_000).collect();
+        let run = |chunked: bool| {
+            let mut rng = seeded_rng(12);
+            let mut p: RatioBoundedPartitioner<u64> =
+                RatioBoundedPartitioner::new(policy(64), 0.25);
+            if chunked {
+                for chunk in values.chunks(73) {
+                    p.observe_chunk(chunk, &mut rng);
+                }
+            } else {
+                for v in &values {
+                    p.observe(*v, &mut rng);
+                }
+            }
+            p.finish(&mut rng)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn time_partitioner_chunk_is_byte_identical_to_element_wise() {
+        let events: Vec<(f64, u64)> = (0..2_000u64).map(|i| (i as f64 * 0.01, i)).collect();
+        let run = |chunked: bool| {
+            let mut rng = seeded_rng(13);
+            let mut p: TimePartitioner<u64> = TimePartitioner::new(policy(32), 1.0);
+            if chunked {
+                for chunk in events.chunks(41) {
+                    p.observe_at_chunk(chunk, &mut rng);
+                }
+            } else {
+                for (t, v) in &events {
+                    p.observe_at(*t, *v, &mut rng);
+                }
+            }
+            p.finish(&mut rng)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

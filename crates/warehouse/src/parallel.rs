@@ -20,6 +20,11 @@ use swh_core::value::SampleValue;
 use swh_obs::{Registry, Stopwatch};
 use swh_rand::seeded_rng;
 
+/// Workers buffer their partition streams into chunks of this size and feed
+/// them to [`Sampler::observe_batch`]; byte-identity of batches makes the
+/// chunk size invisible in the results.
+const WORKER_CHUNK: usize = 4096;
+
 /// Sample many partitions concurrently, publishing worker metrics to the
 /// global [`swh_obs`] registry.
 ///
@@ -135,8 +140,20 @@ where
                     drained += 1;
                     let mut rng = seeded_rng(seed.wrapping_add(idx as u64));
                     let mut sampler = make_sampler(idx);
-                    for v in stream {
-                        sampler.observe(v, &mut rng);
+                    // Buffer the stream into chunks and drain each with one
+                    // observe_batch call, hitting the samplers' phase-aware
+                    // bulk paths. The Sampler contract guarantees batches
+                    // are byte-identical to element-wise observation for
+                    // any chunking, so results are unchanged.
+                    let mut stream = stream;
+                    let mut buf: Vec<T> = Vec::with_capacity(WORKER_CHUNK);
+                    loop {
+                        buf.clear();
+                        buf.extend(stream.by_ref().take(WORKER_CHUNK));
+                        if buf.is_empty() {
+                            break;
+                        }
+                        sampler.observe_batch(&buf, &mut rng);
                     }
                     let (sample, stats) = sampler.finalize_with_stats(&mut rng);
                     *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
@@ -221,6 +238,31 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn chunked_workers_match_element_wise_sampling() {
+        // The worker loop buffers streams into observe_batch chunks; the
+        // Sampler byte-identity contract says that must not change any
+        // sample. Check against a serial element-wise reference that uses
+        // the same per-partition RNG streams.
+        let seed = 99u64;
+        let parts: Vec<_> = (0..6u64).map(|p| p * 9_000..(p + 1) * 9_000).collect();
+        let expected: Vec<_> = parts
+            .iter()
+            .enumerate()
+            .map(|(i, range)| {
+                let mut rng = seeded_rng(seed.wrapping_add(i as u64));
+                let mut s = HybridReservoir::<u64>::new(policy(64));
+                for v in range.clone() {
+                    s.observe(v, &mut rng);
+                }
+                s.finalize(&mut rng)
+            })
+            .collect();
+        let got =
+            sample_partitions_parallel(parts, |_| HybridReservoir::<u64>::new(policy(64)), 3, seed);
+        assert_eq!(got, expected);
     }
 
     #[test]
