@@ -58,10 +58,14 @@ impl Rule {
                     .iter()
                     .any(|prefix| path.starts_with(prefix))
                     || OBS_TRACE_FILES.contains(&path)
+                    || PROFILING_FILES.contains(&path)
             }
-            Rule::Panic => SAMPLING_CRATE_SRC
-                .iter()
-                .any(|prefix| path.starts_with(prefix)),
+            Rule::Panic => {
+                SAMPLING_CRATE_SRC
+                    .iter()
+                    .any(|prefix| path.starts_with(prefix))
+                    || PROFILING_FILES.contains(&path)
+            }
             Rule::NumericCast | Rule::FloatCmp => PROBABILITY_FILES.contains(&path),
         }
     }
@@ -83,6 +87,19 @@ const OBS_TRACE_FILES: &[&str] = &[
     "crates/obs/src/trace.rs",
     "crates/obs/src/journal.rs",
     "crates/obs/src/serve.rs",
+];
+
+/// The profiling and cost-model pipeline: profile nodes feed the measured
+/// cost model, which feeds planner decisions, and the bench-history gate
+/// turns its numbers into CI pass/fail. Node ordering and history run
+/// numbering must therefore stay counter-based (no wall clock in *data*,
+/// only in measured durations), and none of these files may panic on
+/// malformed input — a corrupt history line must surface as an error, not
+/// a crash in the gate. Covered by both determinism and panic hygiene.
+const PROFILING_FILES: &[&str] = &[
+    "crates/obs/src/profile.rs",
+    "crates/core/src/costmodel.rs",
+    "crates/cli/src/bench_history.rs",
 ];
 
 /// Probability code: every file whose arithmetic implements a distribution,
@@ -496,6 +513,36 @@ mod tests {
             );
         }
         assert!(scan_at("crates/bench/src/bin/ingest_throughput.rs", src).is_empty());
+    }
+
+    #[test]
+    fn determinism_covers_the_profiling_files() {
+        // The profile tree, the fitted cost model, and the bench-history
+        // gate carry reproducibility contracts (seq counters, run numbers,
+        // bucket classification) and must never panic on malformed input,
+        // so they stay pinned under both rules even though two of them live
+        // outside the sampling-crate prefix list.
+        let time_src = "fn f() { let t = std::time::SystemTime::now(); }";
+        let panic_src = "fn f(v: Vec<u8>) -> u8 { v[0] }";
+        for path in [
+            "crates/obs/src/profile.rs",
+            "crates/core/src/costmodel.rs",
+            "crates/cli/src/bench_history.rs",
+        ] {
+            let f = scan_at(path, time_src);
+            assert!(
+                f.iter().any(|f| f.rule == Rule::Determinism),
+                "{path} not under determinism"
+            );
+            let f = scan_at(path, panic_src);
+            assert!(
+                f.iter().any(|f| f.rule == Rule::Panic),
+                "{path} not under panic hygiene"
+            );
+        }
+        // The rest of the CLI stays exempt: command plumbing may index and
+        // unwrap where the parser already guarantees shape.
+        assert!(scan_at("crates/cli/src/commands.rs", panic_src).is_empty());
     }
 
     #[test]

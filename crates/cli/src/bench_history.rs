@@ -1,0 +1,372 @@
+//! `swh bench history` — bench-result history and regression tracking.
+//!
+//! Every figure-regeneration binary in `swh-bench` writes a
+//! machine-readable `bench_results/BENCH_<name>.json`. This command turns
+//! those point-in-time files into a trend and a gate:
+//!
+//! 1. **Flatten** every `BENCH_*.json` into scalar metrics keyed
+//!    `<bench>.r<row>.<column>` (row order is fixed by the bench code, so
+//!    the keys are stable run to run).
+//! 2. **Append** the run to `bench_results/history.jsonl` — one JSON object
+//!    per run, numbered by line position. No timestamps: the history is a
+//!    sequence, and the workspace keeps wall-clock out of its data files.
+//! 3. **Compare** the run against `bench_results/baselines.json` and, with
+//!    `--check`, fail on any violated bound. Baselines should bound only
+//!    machine-independent metrics (speedup ratios, overhead percentages) —
+//!    absolute seconds differ across machines and scales, ratios mostly
+//!    don't. A baselined metric missing from the run also fails, so silent
+//!    bench renames cannot retire a gate.
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use swh_obs::json::{self, Value};
+
+/// One bound from `baselines.json`. Any combination of the three forms may
+/// be present; all present forms must hold.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Metric must be at least this.
+    pub min: Option<f64>,
+    /// Metric must be at most this.
+    pub max: Option<f64>,
+    /// Metric must be within `tolerance_pct` of this value.
+    pub value: Option<f64>,
+    /// Relative tolerance for `value`, in percent (default 10).
+    pub tolerance_pct: f64,
+}
+
+impl Baseline {
+    /// Human rendering of the bound, for the check report.
+    fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(m) = self.min {
+            parts.push(format!(">= {m}"));
+        }
+        if let Some(m) = self.max {
+            parts.push(format!("<= {m}"));
+        }
+        if let Some(v) = self.value {
+            parts.push(format!("{v} +/- {}%", self.tolerance_pct));
+        }
+        parts.join(", ")
+    }
+
+    /// Check one observed value; `None` means the bound holds.
+    fn violation(&self, observed: f64) -> Option<String> {
+        if let Some(m) = self.min {
+            if observed < m {
+                return Some(format!("{observed} < min {m}"));
+            }
+        }
+        if let Some(m) = self.max {
+            if observed > m {
+                return Some(format!("{observed} > max {m}"));
+            }
+        }
+        if let Some(v) = self.value {
+            let denom = v.abs().max(f64::MIN_POSITIVE);
+            let drift = 100.0 * (observed - v).abs() / denom;
+            if drift > self.tolerance_pct {
+                return Some(format!(
+                    "{observed} drifts {drift:.1}% from {v} (tolerance {}%)",
+                    self.tolerance_pct
+                ));
+            }
+        }
+        None
+    }
+}
+
+/// Flatten one parsed `BENCH_*.json` document into `<bench>.r<i>.<col>`
+/// metrics. Non-numeric cells (algorithm names, modes) are skipped — they
+/// are identity, not measurement.
+fn flatten_bench(doc: &Value, out: &mut BTreeMap<String, f64>) -> Result<(), String> {
+    let bench = doc
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("bench file: missing \"bench\" name")?;
+    let rows = doc.get("rows").ok_or("bench file: missing \"rows\"")?;
+    for (i, row) in rows.items().iter().enumerate() {
+        for (col, cell) in row.entries() {
+            if let Some(v) = cell.as_f64() {
+                out.insert(format!("{bench}.r{i}.{col}"), v);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collect the metrics of every `BENCH_*.json` under `dir`, in sorted
+/// filename order.
+fn collect_metrics(dir: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    let mut metrics = BTreeMap::new();
+    for path in &files {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        flatten_bench(&doc, &mut metrics).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    Ok(metrics)
+}
+
+/// Parse `baselines.json`: `{"version": 1, "baselines": {<metric>: {...}}}`.
+fn parse_baselines(text: &str) -> Result<BTreeMap<String, Baseline>, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let version = doc
+        .get("version")
+        .and_then(Value::as_u64)
+        .ok_or("baselines: missing version")?;
+    if version != 1 {
+        return Err(format!("baselines: unsupported version {version}"));
+    }
+    let table = doc.get("baselines").ok_or("baselines: missing table")?;
+    let mut out = BTreeMap::new();
+    for (key, bound) in table.entries() {
+        let b = Baseline {
+            min: bound.get("min").and_then(Value::as_f64),
+            max: bound.get("max").and_then(Value::as_f64),
+            value: bound.get("value").and_then(Value::as_f64),
+            tolerance_pct: bound
+                .get("tolerance_pct")
+                .and_then(Value::as_f64)
+                .unwrap_or(10.0),
+        };
+        if b.min.is_none() && b.max.is_none() && b.value.is_none() {
+            return Err(format!("baselines: '{key}' has no min/max/value bound"));
+        }
+        out.insert(key.clone(), b);
+    }
+    Ok(out)
+}
+
+/// Check a metric set against baselines. Returns `(key, detail)` pairs for
+/// every violated bound; a baselined metric absent from `metrics` is a
+/// violation too.
+pub fn check_against_baselines(
+    metrics: &BTreeMap<String, f64>,
+    baselines: &BTreeMap<String, Baseline>,
+) -> Vec<(String, String)> {
+    let mut violations = Vec::new();
+    for (key, bound) in baselines {
+        match metrics.get(key) {
+            None => violations.push((
+                key.clone(),
+                "metric missing from latest bench results".to_string(),
+            )),
+            Some(&v) => {
+                if let Some(detail) = bound.violation(v) {
+                    violations.push((key.clone(), detail));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Render one history line: `{"run": N, "metrics": {...}}`.
+fn history_line(run: u64, metrics: &BTreeMap<String, f64>) -> String {
+    let body: Vec<String> = metrics
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    format!("{{\"run\": {run}, \"metrics\": {{{}}}}}", body.join(", "))
+}
+
+/// The `swh bench history` entry point.
+pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let dir = PathBuf::from(args.get("dir").unwrap_or("bench_results"));
+    let metrics = collect_metrics(&dir)?;
+    if metrics.is_empty() {
+        return Err(format!("no BENCH_*.json files under {}", dir.display()).into());
+    }
+
+    // Append this run to the history. The run number is positional: one
+    // prior line per prior run.
+    let history_path = match args.get("history") {
+        Some(p) => PathBuf::from(p),
+        None => dir.join("history.jsonl"),
+    };
+    let prior_runs = match std::fs::read_to_string(&history_path) {
+        Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count() as u64,
+        Err(_) => 0,
+    };
+    let run = prior_runs + 1;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history_path)?;
+    writeln!(file, "{}", history_line(run, &metrics))?;
+    writeln!(
+        out,
+        "bench history: run {run}, {} metric(s) from {} -> {}",
+        metrics.len(),
+        dir.display(),
+        history_path.display()
+    )?;
+
+    // Compare against baselines, if any.
+    let baseline_path = match args.get("baseline") {
+        Some(p) => PathBuf::from(p),
+        None => dir.join("baselines.json"),
+    };
+    let baselines = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => {
+            parse_baselines(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?
+        }
+        Err(_) if args.get("baseline").is_none() => {
+            writeln!(
+                out,
+                "no baselines at {} (nothing to check)",
+                baseline_path.display()
+            )?;
+            return Ok(());
+        }
+        Err(e) => return Err(format!("cannot read {}: {e}", baseline_path.display()).into()),
+    };
+
+    let violations = check_against_baselines(&metrics, &baselines);
+    for (key, bound) in &baselines {
+        let status = if violations.iter().any(|(k, _)| k == key) {
+            "FAIL"
+        } else {
+            "ok"
+        };
+        let shown = metrics
+            .get(key)
+            .map_or("(missing)".to_string(), |v| format!("{v}"));
+        writeln!(out, "  {status:<4} {key} = {shown}  [{}]", bound.describe())?;
+    }
+    if violations.is_empty() {
+        writeln!(
+            out,
+            "bench history: all {} baseline(s) hold",
+            baselines.len()
+        )?;
+        return Ok(());
+    }
+    for (key, detail) in &violations {
+        writeln!(out, "regression: {key}: {detail}")?;
+    }
+    if args.flag("check") {
+        return Err(format!(
+            "bench history --check: {} baseline violation(s)",
+            violations.len()
+        )
+        .into());
+    }
+    writeln!(
+        out,
+        "bench history: {} violation(s) (rerun with --check to fail)",
+        violations.len()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn flatten_extracts_numeric_cells_with_row_keys() {
+        let doc = json::parse(
+            "{\"bench\": \"demo\", \"rows\": [\
+             {\"mode\": \"batched\", \"speedup\": 14.5},\
+             {\"mode\": \"serial\", \"speedup\": 1}]}",
+        )
+        .unwrap();
+        let mut out = BTreeMap::new();
+        flatten_bench(&doc, &mut out).unwrap();
+        assert_eq!(out.get("demo.r0.speedup"), Some(&14.5));
+        assert_eq!(out.get("demo.r1.speedup"), Some(&1.0));
+        // Identity columns are not metrics.
+        assert!(!out.contains_key("demo.r0.mode"));
+    }
+
+    #[test]
+    fn baselines_hold_within_bounds() {
+        let baselines = parse_baselines(
+            "{\"version\": 1, \"baselines\": {\
+             \"demo.r0.speedup\": {\"min\": 2.0},\
+             \"demo.r0.overhead_pct\": {\"max\": 5.0},\
+             \"demo.r1.ratio\": {\"value\": 1.0, \"tolerance_pct\": 20}}}",
+        )
+        .unwrap();
+        let metrics = metric(&[
+            ("demo.r0.speedup", 3.5),
+            ("demo.r0.overhead_pct", 1.2),
+            ("demo.r1.ratio", 0.9),
+        ]);
+        assert!(check_against_baselines(&metrics, &baselines).is_empty());
+    }
+
+    #[test]
+    fn injected_2x_regression_fails_the_check() {
+        let baselines = parse_baselines(
+            "{\"version\": 1, \"baselines\": {\"demo.r0.speedup\": {\"min\": 2.0}}}",
+        )
+        .unwrap();
+        // Healthy run: speedup 4. Regressed run: 2x slower, speedup 2 -> 1.
+        assert!(
+            check_against_baselines(&metric(&[("demo.r0.speedup", 4.0)]), &baselines).is_empty()
+        );
+        let violations = check_against_baselines(&metric(&[("demo.r0.speedup", 1.0)]), &baselines);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].1.contains("< min"), "{violations:?}");
+    }
+
+    #[test]
+    fn missing_baselined_metric_is_a_violation() {
+        let baselines =
+            parse_baselines("{\"version\": 1, \"baselines\": {\"gone.r0.speedup\": {\"min\": 1}}}")
+                .unwrap();
+        let violations = check_against_baselines(&metric(&[("other.r0.x", 1.0)]), &baselines);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].1.contains("missing"), "{violations:?}");
+    }
+
+    #[test]
+    fn tolerance_bound_catches_drift_both_ways() {
+        let b = Baseline {
+            value: Some(10.0),
+            tolerance_pct: 10.0,
+            ..Baseline::default()
+        };
+        assert!(b.violation(10.5).is_none());
+        assert!(b.violation(9.5).is_none());
+        assert!(b.violation(11.5).is_some());
+        assert!(b.violation(8.0).is_some());
+    }
+
+    #[test]
+    fn rejects_bound_without_any_form() {
+        assert!(
+            parse_baselines("{\"version\": 1, \"baselines\": {\"k\": {\"note\": 1}}}").is_err()
+        );
+    }
+
+    #[test]
+    fn history_lines_are_ordered_json() {
+        let line = history_line(3, &metric(&[("b.r0.x", 1.5), ("a.r0.y", 2.0)]));
+        assert_eq!(
+            line,
+            "{\"run\": 3, \"metrics\": {\"a.r0.y\": 2, \"b.r0.x\": 1.5}}"
+        );
+    }
+}

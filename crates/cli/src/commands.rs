@@ -47,6 +47,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "serve" => serve_cmd(args, out),
         "trace" => trace_cmd(args, out),
         "store" => store_cmd(args, out),
+        "bench" => bench_cmd(args, out),
         other => Err(format!("unknown command '{other}'; run `swh help`").into()),
     }
 }
@@ -72,6 +73,12 @@ fn help(out: &mut dyn Write) -> CmdResult {
          \x20           --store DIR --dataset N [--from SEQ] [--to SEQ] [--seed X]\n\
          \x20 profile   column profile from the merged sample\n\
          \x20           --store DIR --dataset N [--mcv 5] [--seed X]\n\
+         \x20 profile union\n\
+         \x20           profile a synthetic multi-partition union: per-node\n\
+         \x20           merge-tree self-times, top scopes, measured cost model\n\
+         \x20           [--partitions 64] [--per-part 20000] [--nf 1024]\n\
+         \x20           [--threads 1] [--top 12] [--p 0.001] [--seed X]\n\
+         \x20           [--json] [--out FILE] [--cost-model FILE]\n\
          \x20 estimate  approximate aggregates with a 95% CI\n\
          \x20           --store DIR --dataset N --op count|sum|avg|median|qNN\n\
          \x20           [--mod M --rem R]              (predicate: value % M == R)\n\
@@ -89,6 +96,11 @@ fn help(out: &mut dyn Write) -> CmdResult {
          \x20 store     offline store maintenance\n\
          \x20           fsck --store DIR   verify every stored file, quarantine\n\
          \x20           corrupt entries, remove orphaned temp files\n\
+         \x20 bench history\n\
+         \x20           append BENCH_*.json metrics to history.jsonl and compare\n\
+         \x20           against per-metric baselines; --check fails on regression\n\
+         \x20           [--dir bench_results] [--baseline FILE] [--history FILE]\n\
+         \x20           [--check]\n\
          \n\
          GLOBAL FLAGS\n\
          \x20 --stats           after ingest/query/profile/estimate, print the\n\
@@ -369,6 +381,9 @@ fn query(args: &Args, out: &mut dyn Write) -> CmdResult {
 }
 
 fn profile_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    if args.positionals().first().map(String::as_str) == Some("union") {
+        return profile_union(args, out);
+    }
     let store = open_store(args)?;
     let mut rng = rng_from(args)?;
     let mcv: usize = args.parsed_or("mcv", 5, "integer")?;
@@ -409,6 +424,126 @@ fn profile_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
         write_snapshot(args, out)?;
     }
     Ok(())
+}
+
+/// `swh profile union` — run a synthetic multi-partition union under the
+/// hierarchical profiler and report where the time went.
+///
+/// Partitions are ingested through Algorithm HB's bulk `observe_batch`
+/// path (so the observe-phase segments feed the cost model) and merged
+/// with the parallel merge tree. Threads default to 1 so every merge-tree
+/// node's self-time is attributed on one thread and their sum accounts
+/// for the union wall-clock.
+fn profile_union(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use swh_core::HybridBernoulli;
+    use swh_obs::profile;
+
+    let partitions: u64 = args.parsed_or("partitions", 64, "integer")?;
+    let per_part: u64 = args.parsed_or("per-part", 20_000, "integer")?;
+    let nf: u64 = args.parsed_or("nf", 1024, "integer")?;
+    let threads: usize = args.parsed_or("threads", 1, "integer")?;
+    let top: usize = args.parsed_or("top", 12, "integer")?;
+    let p_bound: f64 = args.parsed_or("p", 1e-3, "number")?;
+    let mut rng = rng_from(args)?;
+    if partitions == 0 || per_part == 0 {
+        return Err("--partitions and --per-part must be > 0".into());
+    }
+
+    profile::set_enabled(true);
+    profile::reset();
+
+    let parts: Vec<Sample<u64>> = (0..partitions)
+        .map(|pi| {
+            let mut sampler =
+                HybridBernoulli::new(FootprintPolicy::with_value_budget(nf), per_part);
+            let values: Vec<u64> = (pi * per_part..(pi + 1) * per_part).collect();
+            for chunk in values.chunks(INGEST_CHUNK) {
+                sampler.observe_batch(chunk, &mut rng);
+            }
+            sampler.finalize(&mut rng)
+        })
+        .collect();
+
+    let wall = swh_obs::Stopwatch::start();
+    let merged = swh_core::merge::merge_tree_parallel(parts, p_bound, threads, &mut rng)?;
+    let wall_ns = wall.elapsed_ns().max(1);
+    profile::set_enabled(false);
+
+    let snap = profile::snapshot();
+    let tree_nodes = snap
+        .with_prefix("union/node/")
+        .filter(|n| {
+            n.path
+                .strip_prefix("union/node/")
+                .is_some_and(|rest| !rest.contains('/'))
+        })
+        .count();
+    let node_self_ns = snap.self_ns_under("union/node/");
+    let pct = 100.0 * node_self_ns as f64 / wall_ns as f64;
+
+    if args.flag("json") || args.get("out").is_some() {
+        let doc = format!(
+            "{{\"wall_ns\": {wall_ns}, \"merge_tree_nodes\": {tree_nodes}, \
+             \"node_self_ns\": {node_self_ns}, \"profile\": {}}}\n",
+            snap.to_json()
+        );
+        if let Some(path) = args.get("out") {
+            std::fs::write(path, &doc)?;
+            writeln!(out, "profile written to {path}")?;
+        }
+        if args.flag("json") {
+            write!(out, "{doc}")?;
+        }
+    }
+    if !args.flag("json") {
+        writeln!(
+            out,
+            "profiled union: {partitions} partitions x {per_part} values \
+             (nf {nf}, threads {threads}, p {p_bound})"
+        )?;
+        writeln!(out, "  merged size      : {} values", merged.size())?;
+        writeln!(out, "  union wall-clock : {:.3} ms", wall_ns as f64 / 1e6)?;
+        writeln!(
+            out,
+            "  merge-tree nodes : {tree_nodes}, self {:.3} ms ({pct:.1}% of wall)",
+            node_self_ns as f64 / 1e6
+        )?;
+        writeln!(out, "  top self-time scopes:")?;
+        writeln!(
+            out,
+            "    {:>8} {:>12} {:>12} {:>10}  path",
+            "count", "total_ms", "self_ms", "mean_us"
+        )?;
+        for node in snap.top_self(top) {
+            writeln!(
+                out,
+                "    {:>8} {:>12.3} {:>12.3} {:>10.2}  {}",
+                node.count,
+                node.total_ns as f64 / 1e6,
+                node.self_ns as f64 / 1e6,
+                node.mean_ns() / 1e3,
+                node.path
+            )?;
+        }
+    }
+    if let Some(path) = args.get("cost-model") {
+        let model = swh_core::CostModel::fit(&snap);
+        std::fs::write(path, model.to_json())?;
+        writeln!(out, "cost model: {} entries -> {path}", model.entries.len())?;
+    }
+    Ok(())
+}
+
+/// `swh bench <subcommand>` — bench-result tooling. Only `history` today.
+fn bench_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    match args.positionals().first().map(String::as_str) {
+        Some("history") => crate::bench_history::run(args, out),
+        other => Err(format!(
+            "unknown bench subcommand {:?}; try `swh bench history`",
+            other.unwrap_or("")
+        )
+        .into()),
+    }
 }
 
 fn estimate(args: &Args, out: &mut dyn Write) -> CmdResult {

@@ -4,6 +4,7 @@
 //! `swh-warehouse` for the underlying model.
 
 mod args;
+mod bench_history;
 mod commands;
 
 use args::Args;

@@ -481,10 +481,147 @@ fn ingest_generated_data() {
 fn help_lists_commands() {
     let text = ok(&swh().args(["help"]).output().unwrap());
     for cmd in [
-        "ingest", "ls", "show", "query", "profile", "estimate", "rm", "store", "fsck",
+        "ingest",
+        "ls",
+        "show",
+        "query",
+        "profile",
+        "profile union",
+        "estimate",
+        "rm",
+        "store",
+        "fsck",
+        "bench history",
     ] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
+}
+
+/// The profiling acceptance path: a profiled 64-partition union reports
+/// exactly one node per merge-tree node (63 for 64 leaves), their self-time
+/// accounts for the union wall-clock, and the fitted cost model lands on
+/// disk with merge and observe entries.
+#[test]
+fn profile_union_accounts_for_wall_clock() {
+    let dir = tmp_store("profunion");
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("cost_model.json");
+    let text = ok(&swh()
+        .args([
+            "profile",
+            "union",
+            "--partitions",
+            "64",
+            "--per-part",
+            "2000",
+            "--nf",
+            "256",
+            "--seed",
+            "9",
+            "--cost-model",
+            model_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap());
+    assert!(text.contains("merge-tree nodes : 63"), "{text}");
+    // "...self 12.345 ms (96.5% of wall)" — the node self-time share.
+    let pct: f64 = text
+        .split_once("% of wall")
+        .and_then(|(head, _)| head.rsplit_once('('))
+        .map(|(_, pct)| pct.parse().unwrap())
+        .unwrap_or_else(|| panic!("no wall share in: {text}"));
+    assert!(
+        (50.0..=110.0).contains(&pct),
+        "node self-time {pct}% of wall: {text}"
+    );
+    let model = std::fs::read_to_string(&model_path).unwrap();
+    assert!(model.contains("\"op\": \"merge\""), "{model}");
+    assert!(model.contains("\"op\": \"observe_exact\""), "{model}");
+    assert!(
+        text.contains(&format!("-> {}", model_path.display())),
+        "{text}"
+    );
+
+    // --json emits the machine-readable snapshot with the same counts.
+    let text = ok(&swh()
+        .args([
+            "profile",
+            "union",
+            "--partitions",
+            "8",
+            "--per-part",
+            "1000",
+            "--nf",
+            "128",
+            "--json",
+        ])
+        .output()
+        .unwrap());
+    assert!(text.contains("\"merge_tree_nodes\": 7"), "{text}");
+    assert!(text.contains("\"nodes\": ["), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Bench-history regression gate: a healthy run passes `--check`, an
+/// injected 2x regression fails it, and every run appends one numbered
+/// line to `history.jsonl`.
+#[test]
+fn bench_history_gates_on_regression() {
+    let dir = tmp_store("benchhistory");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir_s = dir.to_str().unwrap();
+    std::fs::write(
+        dir.join("BENCH_demo.json"),
+        "{\"bench\": \"demo\", \"rows\": [{\"mode\": \"batched\", \"speedup\": 4.0}]}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("baselines.json"),
+        "{\"version\": 1, \"baselines\": {\"demo.r0.speedup\": {\"min\": 2.0}}}\n",
+    )
+    .unwrap();
+
+    let text = ok(&swh()
+        .args(["bench", "history", "--dir", dir_s, "--check"])
+        .output()
+        .unwrap());
+    assert!(text.contains("all 1 baseline(s) hold"), "{text}");
+    let history = std::fs::read_to_string(dir.join("history.jsonl")).unwrap();
+    assert_eq!(history.lines().count(), 1, "{history}");
+    assert!(history.contains("\"run\": 1"), "{history}");
+    assert!(history.contains("\"demo.r0.speedup\": 4"), "{history}");
+
+    // Inject a 2x regression: speedup 4 -> 1, below the min-2 baseline.
+    std::fs::write(
+        dir.join("BENCH_demo.json"),
+        "{\"bench\": \"demo\", \"rows\": [{\"mode\": \"batched\", \"speedup\": 1.0}]}\n",
+    )
+    .unwrap();
+    let out = swh()
+        .args(["bench", "history", "--dir", dir_s, "--check"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "regression passed the gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL demo.r0.speedup"), "{stdout}");
+    assert!(stdout.contains("regression: demo.r0.speedup"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("baseline violation"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The regressed run is still recorded in the history.
+    let history = std::fs::read_to_string(dir.join("history.jsonl")).unwrap();
+    assert_eq!(history.lines().count(), 2, "{history}");
+    assert!(history.contains("\"run\": 2"), "{history}");
+
+    // Without --check the violation is reported but the exit is clean.
+    let text = ok(&swh()
+        .args(["bench", "history", "--dir", dir_s])
+        .output()
+        .unwrap());
+    assert!(text.contains("rerun with --check"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// One raw HTTP GET against the bound `swh serve` endpoint (the workspace

@@ -1,0 +1,280 @@
+//! Measured merge/observe cost model, fitted from profile snapshots.
+//!
+//! [`crate::planner`] costs merge plans in abstract "elements touched"
+//! ([`crate::planner::pair_cost`]). That is the right *shape* but carries
+//! no units: a planner choosing between re-streaming an exhaustive
+//! histogram and purging two bounded samples needs to know what each
+//! actually costs **on this machine, in nanoseconds**. This module derives
+//! those constants from measurement instead of guesswork: run a profiled
+//! workload (`swh profile union`), snapshot the hierarchical profile tree,
+//! and [`CostModel::fit`] collapses every `merge/<kind>/s<bucket>` and
+//! `observe/<sampler>/<phase>/s<bucket>` node into a per-operation,
+//! per-sampler, per-size-bucket mean self-time.
+//!
+//! The fitted model round-trips through JSON (`bench_results/
+//! cost_model.json`) so the planner — and regression tooling — can load a
+//! committed model without re-measuring. Buckets are the profiler's
+//! power-of-two log buckets; [`CostModel::predict`] answers queries for
+//! arbitrary sizes by nearest-bucket lookup.
+
+use std::collections::BTreeMap;
+use swh_obs::json::{self, Value};
+use swh_obs::profile::{self, ProfileSnapshot};
+
+/// One fitted cell: mean self-nanoseconds for an operation performed by a
+/// sampler kind on inputs in one log-size bucket.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostEntry {
+    /// Operation: `merge`, or `observe_<phase>` (e.g. `observe_bernoulli`).
+    pub op: String,
+    /// Sampler/merge kind tag: `hb`, `hr`, or `restream`.
+    pub sampler: String,
+    /// Log2 size bucket of the input (elements), as used by
+    /// [`profile::size_bucket`].
+    pub size_bucket: u32,
+    /// Representative input size for the bucket (geometric middle).
+    pub size_hint: u64,
+    /// Count-weighted mean self-time in nanoseconds.
+    pub mean_ns: f64,
+    /// Number of profiled calls the mean aggregates.
+    pub count: u64,
+}
+
+/// A measured cost model: a sorted set of [`CostEntry`] cells.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostModel {
+    /// Fitted cells, sorted by `(op, sampler, size_bucket)`.
+    pub entries: Vec<CostEntry>,
+}
+
+/// Classify one profile path into a cost-model cell key, if it names a
+/// costed operation. Merge scopes may be nested under merge-tree node
+/// scopes, so only the *trailing* segments are inspected.
+fn classify(path: &str) -> Option<(String, String, u32)> {
+    let segs: Vec<&str> = path.split('/').collect();
+    match segs.as_slice() {
+        [.., "merge", kind, bucket] => {
+            let b: u32 = bucket.strip_prefix('s')?.parse().ok()?;
+            Some(("merge".to_string(), (*kind).to_string(), b))
+        }
+        [.., "observe", sampler, phase, bucket] => {
+            let b: u32 = bucket.strip_prefix('s')?.parse().ok()?;
+            Some((format!("observe_{phase}"), (*sampler).to_string(), b))
+        }
+        _ => None,
+    }
+}
+
+impl CostModel {
+    /// Fit a model from a profile snapshot: group every costed node by
+    /// `(op, sampler, bucket)` — merging nodes that differ only in their
+    /// ancestry — and take the count-weighted mean of self-time.
+    pub fn fit(snapshot: &ProfileSnapshot) -> Self {
+        let mut cells: BTreeMap<(String, String, u32), (u64, u64)> = BTreeMap::new();
+        for node in &snapshot.nodes {
+            let Some(key) = classify(&node.path) else {
+                continue;
+            };
+            let cell = cells.entry(key).or_insert((0, 0));
+            cell.0 += node.self_ns;
+            cell.1 += node.count;
+        }
+        let entries = cells
+            .into_iter()
+            .filter(|(_, (_, count))| *count > 0)
+            .map(|((op, sampler, size_bucket), (self_ns, count))| CostEntry {
+                op,
+                sampler,
+                size_bucket,
+                size_hint: profile::bucket_size_hint(size_bucket),
+                mean_ns: self_ns as f64 / count as f64,
+                count,
+            })
+            .collect();
+        Self { entries }
+    }
+
+    /// Predicted nanoseconds for one `op` by `sampler` on an input of
+    /// `size` elements: the mean of the nearest fitted size bucket, or
+    /// `None` if no cell matches the operation at all.
+    pub fn predict(&self, op: &str, sampler: &str, size: u64) -> Option<f64> {
+        let want = profile::size_bucket(size);
+        self.entries
+            .iter()
+            .filter(|e| e.op == op && e.sampler == sampler)
+            .min_by_key(|e| (e.size_bucket.abs_diff(want), e.size_bucket))
+            .map(|e| e.mean_ns)
+    }
+
+    /// Serialize as versioned JSON, the on-disk format of
+    /// `bench_results/cost_model.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\": 1, \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"op\": \"{}\", \"sampler\": \"{}\", \"size_bucket\": {}, \
+                 \"size_hint\": {}, \"mean_ns\": {:.1}, \"count\": {}}}",
+                e.op, e.sampler, e.size_bucket, e.size_hint, e.mean_ns, e.count
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parse a model previously written by [`CostModel::to_json`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let root = json::parse(text).map_err(|e| e.to_string())?;
+        let version = root
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or("cost model: missing version")?;
+        if version != 1 {
+            return Err(format!("cost model: unsupported version {version}"));
+        }
+        let items = root
+            .get("entries")
+            .ok_or("cost model: missing entries array")?
+            .items();
+        let mut entries = Vec::with_capacity(items.len());
+        for item in items {
+            let field_str = |k: &str| {
+                item.get(k)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("cost model entry: missing {k}"))
+            };
+            let field_u64 = |k: &str| {
+                item.get(k)
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| format!("cost model entry: missing {k}"))
+            };
+            entries.push(CostEntry {
+                op: field_str("op")?,
+                sampler: field_str("sampler")?,
+                size_bucket: u32::try_from(field_u64("size_bucket")?)
+                    .map_err(|_| "cost model entry: size_bucket out of range".to_string())?,
+                size_hint: field_u64("size_hint")?,
+                mean_ns: item
+                    .get("mean_ns")
+                    .and_then(Value::as_f64)
+                    .ok_or("cost model entry: missing mean_ns")?,
+                count: field_u64("count")?,
+            });
+        }
+        Ok(Self { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swh_obs::profile::ProfileNode;
+
+    fn node(path: &str, count: u64, self_ns: u64) -> ProfileNode {
+        ProfileNode {
+            path: path.to_string(),
+            seq: 0,
+            count,
+            total_ns: self_ns,
+            self_ns,
+            max_ns: self_ns,
+            buckets: Vec::new(),
+        }
+    }
+
+    fn snap(nodes: Vec<ProfileNode>) -> ProfileSnapshot {
+        ProfileSnapshot { nodes }
+    }
+
+    #[test]
+    fn classifies_trailing_segments_only() {
+        assert_eq!(
+            classify("union/node/n0w64/merge/hb/s12"),
+            Some(("merge".to_string(), "hb".to_string(), 12))
+        );
+        assert_eq!(
+            classify("merge/restream/s3"),
+            Some(("merge".to_string(), "restream".to_string(), 3))
+        );
+        assert_eq!(
+            classify("observe/hr/reservoir/s10"),
+            Some(("observe_reservoir".to_string(), "hr".to_string(), 10))
+        );
+        assert_eq!(classify("union/node/n0w64"), None);
+        assert_eq!(classify("merge/hb/nonsense"), None);
+    }
+
+    #[test]
+    fn fit_merges_cells_across_ancestry_with_weighted_mean() {
+        let model = CostModel::fit(&snap(vec![
+            node("union/node/n0w2/merge/hb/s8", 1, 1000),
+            node("union/node/n2w2/merge/hb/s8", 3, 9000),
+            node("merge/hb/s4", 2, 400),
+            node("observe/hb/exact/s8", 10, 5000),
+            node("union/node/n0w2", 1, 77),
+        ]));
+        assert_eq!(model.entries.len(), 3);
+        let hb8 = model
+            .entries
+            .iter()
+            .find(|e| e.op == "merge" && e.size_bucket == 8)
+            .unwrap();
+        assert_eq!(hb8.count, 4);
+        assert!((hb8.mean_ns - 2500.0).abs() < 1e-9);
+        assert_eq!(hb8.size_hint, profile::bucket_size_hint(8));
+        let obs = model
+            .entries
+            .iter()
+            .find(|e| e.op == "observe_exact")
+            .unwrap();
+        assert_eq!(obs.sampler, "hb");
+        assert!((obs.mean_ns - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_uses_nearest_bucket() {
+        let model = CostModel::fit(&snap(vec![
+            node("merge/hb/s4", 1, 100),
+            node("merge/hb/s10", 1, 9000),
+        ]));
+        // Bucket of 8 is 4 — exact hit.
+        assert_eq!(model.predict("merge", "hb", 8), Some(100.0));
+        // Bucket of 5000 is 13 — nearest fitted bucket is 10.
+        assert_eq!(model.predict("merge", "hb", 5000), Some(9000.0));
+        // Bucket of 100 is 7 — equidistant from 4 and 10, smaller wins.
+        assert_eq!(model.predict("merge", "hb", 100), Some(100.0));
+        assert_eq!(model.predict("merge", "restream", 8), None);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_entries() {
+        let model = CostModel::fit(&snap(vec![
+            node("merge/restream/s6", 5, 12345),
+            node("observe/hr/exact/s9", 7, 70000),
+        ]));
+        let text = model.to_json();
+        let parsed = CostModel::from_json(&text).unwrap();
+        assert_eq!(parsed.entries.len(), model.entries.len());
+        for (a, b) in parsed.entries.iter().zip(model.entries.iter()) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.sampler, b.sampler);
+            assert_eq!(a.size_bucket, b.size_bucket);
+            assert_eq!(a.size_hint, b.size_hint);
+            assert_eq!(a.count, b.count);
+            assert!((a.mean_ns - b.mean_ns).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_models() {
+        assert!(CostModel::from_json("{}").is_err());
+        assert!(CostModel::from_json("{\"version\": 2, \"entries\": []}").is_err());
+        assert!(
+            CostModel::from_json("{\"version\": 1, \"entries\": [{\"op\": \"merge\"}]}").is_err()
+        );
+        assert!(CostModel::from_json("not json").is_err());
+    }
+}

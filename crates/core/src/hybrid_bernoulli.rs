@@ -21,11 +21,12 @@ use crate::lineage::{push_capped, LineageEvent, PurgeKind};
 use crate::purge::{purge_bernoulli, purge_reservoir};
 use crate::qbound::q_approx;
 use crate::sample::{Sample, SampleKind};
-use crate::sampler::Sampler;
+use crate::sampler::{flush_observe_segment, Sampler};
 use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
 use swh_obs::journal::{record, EventKind};
+use swh_obs::profile;
 use swh_obs::trace::{next_span_id, Op, SpanId};
 use swh_obs::Stopwatch;
 use swh_rand::checked::{as_index, index_u64};
@@ -40,6 +41,17 @@ enum Phase {
     Exact,
     Bernoulli,
     Reservoir,
+}
+
+impl Phase {
+    /// Tag used in `observe/hb/{phase}/s{bucket}` profile paths.
+    fn tag(self) -> &'static str {
+        match self {
+            Phase::Exact => "exact",
+            Phase::Bernoulli => "bernoulli",
+            Phase::Reservoir => "reservoir",
+        }
+    }
 }
 
 /// Streaming Algorithm HB sampler.
@@ -422,8 +434,21 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
     /// as it can with the same RNG draws, and a phase transition landing
     /// mid-batch splits the slice and continues in the new phase.
     fn observe_batch<R: Rng + ?Sized>(&mut self, values: &[T], rng: &mut R) {
+        // Phase segments for the profiler: the phase advances at most twice
+        // per batch, so flushing one `observe/hb/{phase}/s{bucket}` record
+        // per segment keeps the cost at batch (not element) granularity.
+        let profiled = profile::enabled();
+        let mut seg_sw = Stopwatch::start();
+        let mut seg_phase = self.phase;
+        let mut seg_obs = self.observed;
         let mut rest = values;
         while !rest.is_empty() {
+            if profiled && self.phase != seg_phase {
+                flush_observe_segment("hb", seg_phase.tag(), self.observed - seg_obs, &seg_sw);
+                seg_sw = Stopwatch::start();
+                seg_phase = self.phase;
+                seg_obs = self.observed;
+            }
             match self.phase {
                 Phase::Exact => {
                     // Insert until the footprint trips or the batch ends.
@@ -513,6 +538,9 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
                     rest = &rest[idx + 1..];
                 }
             }
+        }
+        if profiled && self.observed > seg_obs {
+            flush_observe_segment("hb", seg_phase.tag(), self.observed - seg_obs, &seg_sw);
         }
     }
 

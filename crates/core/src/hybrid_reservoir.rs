@@ -18,13 +18,13 @@ use crate::invariant::invariant;
 use crate::lineage::{push_capped, LineageEvent, PurgeKind};
 use crate::purge::purge_reservoir;
 use crate::sample::{Sample, SampleKind};
-use crate::sampler::Sampler;
+use crate::sampler::{flush_observe_segment, Sampler};
 use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
 use swh_obs::journal::{record, EventKind};
 use swh_obs::trace::{next_span_id, Op, SpanId};
-use swh_obs::Stopwatch;
+use swh_obs::{profile, Stopwatch};
 use swh_rand::checked::{as_index, index_u64};
 use swh_rand::skip::ReservoirSkip;
 
@@ -32,6 +32,16 @@ use swh_rand::skip::ReservoirSkip;
 enum Phase {
     Exact,
     Reservoir,
+}
+
+impl Phase {
+    /// Tag used in profiler scope paths (`observe/hr/<tag>/...`).
+    fn tag(self) -> &'static str {
+        match self {
+            Phase::Exact => "exact",
+            Phase::Reservoir => "reservoir",
+        }
+    }
 }
 
 /// Streaming Algorithm HR sampler.
@@ -301,8 +311,18 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
     /// advances the skip counter across whole rejected groups and touches
     /// the RNG only at inclusions.
     fn observe_batch<R: Rng + ?Sized>(&mut self, values: &[T], rng: &mut R) {
+        let profiled = profile::enabled();
+        let mut seg_sw = Stopwatch::start();
+        let mut seg_phase = self.phase;
+        let mut seg_obs = self.observed;
         let mut rest = values;
         while !rest.is_empty() {
+            if profiled && self.phase != seg_phase {
+                flush_observe_segment("hr", seg_phase.tag(), self.observed - seg_obs, &seg_sw);
+                seg_sw = Stopwatch::start();
+                seg_phase = self.phase;
+                seg_obs = self.observed;
+            }
             match self.phase {
                 Phase::Exact => {
                     // Phase-1 slots are monotone non-decreasing (and the
@@ -355,6 +375,9 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
                     rest = &rest[idx + 1..];
                 }
             }
+        }
+        if profiled && self.observed > seg_obs {
+            flush_observe_segment("hr", seg_phase.tag(), self.observed - seg_obs, &seg_sw);
         }
     }
 

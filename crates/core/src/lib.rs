@@ -25,6 +25,7 @@
 pub mod bernoulli;
 pub mod bilevel;
 pub mod concise;
+pub mod costmodel;
 pub mod counting;
 pub mod distinct_sampler;
 pub mod footprint;
@@ -51,6 +52,7 @@ pub mod weighted;
 pub use bernoulli::BernoulliSampler;
 pub use bilevel::BiLevelBernoulli;
 pub use concise::ConciseSampler;
+pub use costmodel::{CostEntry, CostModel};
 pub use counting::CountingSampler;
 pub use distinct_sampler::DistinctSampler;
 pub use footprint::FootprintPolicy;

@@ -33,8 +33,10 @@ use crate::sample::{Sample, SampleKind};
 use crate::sampler::Sampler;
 use crate::value::SampleValue;
 use rand::Rng;
+use std::sync::OnceLock;
 use swh_obs::journal::EventKind;
 use swh_obs::trace::{Op, Span};
+use swh_obs::{profile, Gauge, Stopwatch};
 use swh_rand::checked::index_u64;
 use swh_rand::hypergeometric::Hypergeometric;
 use swh_rand::seeded_rng;
@@ -45,6 +47,62 @@ fn note_merge(fan_in: u32, split_l: u64) {
     let span = Span::root(Op::Merge);
     span.event(EventKind::Merge, fan_in as u64, split_l);
     span.end();
+}
+
+/// Cumulative nanoseconds parallel merge-tree nodes spent *waiting* on
+/// their spawned right-half worker, as opposed to computing. Together with
+/// the `union/node/*` profile scopes this splits tree wall-clock into
+/// queue-wait vs. compute, which is what makes the fold-vs-tree gap in
+/// `BENCH_ingest_throughput.json` attributable from metrics alone.
+fn merge_node_wait_gauge() -> &'static Gauge {
+    static GAUGE: OnceLock<Gauge> = OnceLock::new();
+    GAUGE.get_or_init(|| {
+        swh_obs::global().gauge(
+            "swh_merge_node_wait_ns",
+            "cumulative ns merge-tree nodes spent joining their spawned half",
+        )
+    })
+}
+
+/// Join a spawned subtree handle, charging the wait to
+/// `swh_merge_node_wait_ns` and re-raising worker panics unchanged.
+fn join_timed<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    let sw = Stopwatch::start();
+    let joined = handle.join();
+    merge_node_wait_gauge().add(i64::try_from(sw.elapsed_ns()).unwrap_or(i64::MAX));
+    match joined {
+        Ok(r) => r,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Coarse provenance tag for profile paths: which merge rule the dispatch
+/// will take for these inputs.
+fn merge_kind_tag(k1: SampleKind, k2: SampleKind) -> &'static str {
+    match (k1, k2) {
+        (SampleKind::Exhaustive, _) | (_, SampleKind::Exhaustive) => "restream",
+        (SampleKind::Reservoir, _) | (_, SampleKind::Reservoir) => "hr",
+        _ => "hb",
+    }
+}
+
+/// Profile scope for one pairwise merge, tagged with the rule and the
+/// log-2 bucket of the combined input size — the raw material for
+/// [`crate::costmodel::CostModel::fit`]. `None` when profiling is off, so
+/// the disabled cost is one relaxed load (no path formatting).
+fn merge_profile_scope(
+    k1: SampleKind,
+    k2: SampleKind,
+    in_size: u64,
+) -> Option<profile::ProfileScope> {
+    if !profile::enabled() {
+        return None;
+    }
+    Some(profile::scope(&format!(
+        "merge/{}/s{}",
+        merge_kind_tag(k1, k2),
+        profile::size_bucket(in_size)
+    )))
 }
 
 /// Why two samples could not be merged.
@@ -362,6 +420,7 @@ pub fn merge<T: SampleValue, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Sample<T>, MergeError> {
     check_mergeable(&s1, &s2)?;
+    let _prof = merge_profile_scope(s1.kind(), s2.kind(), s1.size() + s2.size());
     match (s1.kind(), s2.kind()) {
         (SampleKind::Reservoir, _) | (_, SampleKind::Reservoir) => {
             if s1.kind() == SampleKind::Exhaustive || s2.kind() == SampleKind::Exhaustive {
@@ -415,6 +474,7 @@ pub fn merge_borrowed<T: SampleValue, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Sample<T>, MergeError> {
     check_mergeable(&acc, s)?;
+    let _prof = merge_profile_scope(acc.kind(), s.kind(), acc.size() + s.size());
     let combined_n = acc.parent_size() + s.parent_size();
 
     // Borrowed exhaustive side: re-stream its values into a sampler
@@ -640,11 +700,7 @@ fn merge_subtree_owned<T: SampleValue>(
                 merge_subtree_owned(right, right_first, p_bound, base, right_threads)
             });
             let l = merge_subtree_owned(left, first_leaf, p_bound, base, left_threads);
-            let r = match handle.join() {
-                Ok(r) => r,
-                // Re-raise a worker panic on the caller's thread unchanged.
-                Err(payload) => std::panic::resume_unwind(payload),
-            };
+            let r = join_timed(handle);
             (l, r)
         })
     } else {
@@ -653,8 +709,23 @@ fn merge_subtree_owned<T: SampleValue>(
             merge_subtree_owned(right, right_first, p_bound, base, threads),
         )
     };
+    // One profile node per tree node, named by the node's identity
+    // `(first_leaf, leaf_count)` so the path is stable across thread
+    // counts; the pairwise merge's own `merge/...` scope nests under it.
+    let _node = node_profile_scope(first_leaf, leaf_count);
     let mut rng = node_rng(base, first_leaf, leaf_count);
     merge(l?, r?, p_bound, &mut rng)
+}
+
+/// Profile scope for one parallel-merge-tree node:
+/// `union/node/n{first_leaf}w{leaf_count}`.
+fn node_profile_scope(first_leaf: u64, leaf_count: usize) -> Option<profile::ProfileScope> {
+    if !profile::enabled() {
+        return None;
+    }
+    Some(profile::scope_rooted(&format!(
+        "union/node/n{first_leaf}w{leaf_count}"
+    )))
 }
 
 /// [`merge_tree_parallel`] over borrowed partition samples: leaf pairs go
@@ -700,6 +771,7 @@ fn merge_subtree_borrowed<T: SampleValue + Sync>(
         [] => panic!("merge subtree invariant: non-empty input"),
         [only] => Ok((*only).clone()),
         [a, b] => {
+            let _node = node_profile_scope(first_leaf, 2);
             let mut rng = node_rng(base, first_leaf, 2);
             merge_borrowed((*a).clone(), b, p_bound, &mut rng)
         }
@@ -716,11 +788,7 @@ fn merge_subtree_borrowed<T: SampleValue + Sync>(
                         merge_subtree_borrowed(right, right_first, p_bound, base, right_threads)
                     });
                     let l = merge_subtree_borrowed(left, first_leaf, p_bound, base, left_threads);
-                    let r = match handle.join() {
-                        Ok(r) => r,
-                        // Re-raise a worker panic on the caller's thread.
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    };
+                    let r = join_timed(handle);
                     (l, r)
                 })
             } else {
@@ -729,6 +797,7 @@ fn merge_subtree_borrowed<T: SampleValue + Sync>(
                     merge_subtree_borrowed(right, right_first, p_bound, base, threads),
                 )
             };
+            let _node = node_profile_scope(first_leaf, leaf_count);
             let mut rng = node_rng(base, first_leaf, leaf_count);
             merge(l?, r?, p_bound, &mut rng)
         }

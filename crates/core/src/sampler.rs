@@ -9,6 +9,21 @@ use crate::sample::Sample;
 use crate::stats::SamplerStats;
 use crate::value::SampleValue;
 use rand::Rng;
+use swh_obs::{profile, Stopwatch};
+
+/// Flush one profiler segment of a phase-aware `observe_batch`: the time
+/// since `sw` under `observe/{sampler}/{phase}/s{bucket-of-consumed}`.
+/// Callers gate on [`profile::enabled`], so the disabled path never
+/// formats a path.
+pub(crate) fn flush_observe_segment(sampler: &str, phase: &str, consumed: u64, sw: &Stopwatch) {
+    profile::record(
+        &format!(
+            "observe/{sampler}/{phase}/s{}",
+            profile::size_bucket(consumed)
+        ),
+        sw.elapsed_ns(),
+    );
+}
 
 /// A sequential sampling scheme over a stream or batch of values.
 ///

@@ -202,6 +202,13 @@ impl Journal {
         self.head.load(Ordering::Relaxed)
     }
 
+    /// Events pushed out of the ring by newer ones — the journal's "drop"
+    /// count, surfaced by `/healthz` so scrapers can tell when `/traces`
+    /// is showing a truncated history.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity() as u64)
+    }
+
     /// Enable or disable recording. While disabled, [`Journal::record`]
     /// is a single relaxed load.
     pub fn set_enabled(&self, on: bool) {
@@ -322,6 +329,8 @@ mod tests {
         assert_eq!(evs.first().unwrap().seq, 13, "oldest surviving event");
         assert_eq!(evs.last().unwrap().seq, 20);
         assert_eq!(j.recorded(), 20);
+        assert_eq!(j.overwritten(), 12);
+        assert_eq!(Journal::with_capacity(8).overwritten(), 0);
     }
 
     #[test]

@@ -1,0 +1,406 @@
+//! A minimal JSON parser for the workspace's own machine-written files.
+//!
+//! The crates stay zero-dependency, yet three consumers need to *read*
+//! JSON the workspace itself emitted: `CostModel::from_json` (the persisted
+//! cost model), `swh bench history` (every `BENCH_*.json` and the committed
+//! baselines), and their tests. This is a strict recursive-descent parser
+//! for that job — full JSON value grammar, objects as ordered pairs
+//! (insertion order preserved, no hashing), `\uXXXX` escapes, and plain
+//! `f64` numbers. It is a *reader* for trusted local files, not an internet
+//! inbox: depth is bounded and errors carry byte offsets, but there is no
+//! streaming and no SIMD; the files involved are kilobytes.
+
+/// A parsed JSON value. Objects keep their pairs in document order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object: `(key, value)` pairs in document order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member of an object by key (first match), `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, or an empty slice for non-arrays.
+    pub fn items(&self) -> &[Value] {
+        match self {
+            Value::Array(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// The object pairs, or an empty slice for non-objects.
+    pub fn entries(&self) -> &[(String, Value)] {
+        match self {
+            Value::Object(pairs) => pairs,
+            _ => &[],
+        }
+    }
+
+    /// Number value, `None` for other kinds.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Number value rounded to `u64` when exactly representable and
+    /// non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n >= 0.0 && n.fract() == 0.0 && n <= u64::MAX as f64 {
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// String value, `None` for other kinds.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool value, `None` for other kinds.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSON document (trailing whitespace allowed, trailing garbage
+/// is an error).
+pub fn parse(text: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+/// A parse failure: message plus byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+/// Nesting deeper than this is rejected (the workspace's files nest ≤ 4).
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') | Some(b'f') => {
+                if self.eat_literal("true") {
+                    Ok(Value::Bool(true))
+                } else if self.eat_literal("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'n') => {
+                if self.eat_literal("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.err("invalid literal"))
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect_byte(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect_byte(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let end = self
+                                .pos
+                                .checked_add(4)
+                                .filter(|&e| e <= self.bytes.len())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are replaced, not paired: the
+                            // workspace's emitters only escape control
+                            // characters.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos = end;
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (input is a &str, so boundaries
+                    // are valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xc0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    if let Ok(s) = std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_workspace_bench_shape() {
+        let doc = r#"{
+  "bench": "ingest_throughput",
+  "rows": [
+    {"section": "ingest", "algorithm": "HB", "secs": 0.123, "batch": 4096},
+    {"section": "union", "algorithm": "HR", "secs": 4.5e-2, "batch": -1}
+  ]
+}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.get("bench").and_then(Value::as_str),
+            Some("ingest_throughput")
+        );
+        let rows = v.get("rows").unwrap().items();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("batch").and_then(Value::as_u64), Some(4096));
+        assert_eq!(rows[1].get("secs").and_then(Value::as_f64), Some(0.045));
+        assert_eq!(rows[1].get("batch").and_then(Value::as_u64), None);
+        assert_eq!(rows[1].get("batch").and_then(Value::as_f64), Some(-1.0));
+    }
+
+    #[test]
+    fn object_order_and_entries_are_preserved() {
+        let v = parse(r#"{"z": 1, "a": 2, "z": 3}"#).unwrap();
+        let keys: Vec<&str> = v.entries().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["z", "a", "z"]);
+        // `get` returns the first match.
+        assert_eq!(v.get("z").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = parse(r#""a\"b\\c\nAü""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nAü"));
+    }
+
+    #[test]
+    fn literals_and_null() {
+        assert_eq!(parse("true").unwrap().as_bool(), Some(true));
+        assert_eq!(parse("false").unwrap().as_bool(), Some(false));
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("[]").unwrap().items().len(), 0);
+        assert_eq!(parse("{}").unwrap().entries().len(), 0);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\": }").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("1 2").unwrap_err().message.contains("trailing"));
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("truth").is_err());
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err(), "depth bound");
+    }
+
+    #[test]
+    fn numbers_roundtrip() {
+        assert_eq!(parse("0").unwrap().as_u64(), Some(0));
+        assert_eq!(parse("-0.5").unwrap().as_f64(), Some(-0.5));
+        assert_eq!(parse("1e3").unwrap().as_u64(), Some(1000));
+        assert!(parse("1.").unwrap().as_f64() == Some(1.0));
+        assert!(parse("--1").is_err());
+    }
+}

@@ -28,8 +28,14 @@
 //! * [`Span`] / [`journal`] — span tracing and a fixed-capacity lock-free
 //!   event journal: who ingested, purged, merged, and wrote what, in a
 //!   deterministic total order (sequence numbers, no wall clock).
+//! * [`profile`] — a lock-free hierarchical wall-clock profile tree keyed
+//!   by scope path: call counts, total/self nanoseconds, and latency
+//!   histograms per node, merged across threads at snapshot time.
+//! * [`json`] — a minimal parser for the JSON the workspace itself emits
+//!   (bench results, baselines, the persisted cost model).
 //! * [`serve::Server`] — a zero-dependency HTTP endpoint exposing
-//!   `/metrics`, `/metrics.json`, `/traces`, and `/lineage/...` live.
+//!   `/metrics`, `/metrics.json`, `/traces`, `/profile`, `/healthz`, and
+//!   `/lineage/...` live.
 //!
 //! ```
 //! use swh_obs::{Registry, ScopeTimer};
@@ -49,7 +55,9 @@
 //! ```
 
 pub mod journal;
+pub mod json;
 mod metrics;
+pub mod profile;
 mod progress;
 mod registry;
 pub mod serve;

@@ -108,7 +108,7 @@ pub struct Histogram {
 }
 
 #[inline]
-fn bucket_of(v: u64) -> usize {
+pub(crate) fn bucket_of(v: u64) -> usize {
     (64 - v.leading_zeros()) as usize
 }
 

@@ -1,11 +1,17 @@
 //! Zero-dependency HTTP exposition endpoint.
 //!
 //! A hand-rolled `std::net::TcpListener` server — no async runtime, no
-//! HTTP crate — serving four read-only routes:
+//! HTTP crate — serving six read-only routes:
 //!
 //! * `/metrics` — Prometheus text exposition of the global registry;
 //! * `/metrics.json` — the same snapshot as JSON;
 //! * `/traces` — a dump of the global event journal, one event per line;
+//! * `/profile` — the hierarchical profile tree as JSON (see
+//!   [`crate::profile`]);
+//! * `/healthz` — liveness: build version, requests served, journal
+//!   capacity/recorded/overwritten. "Uptime" is reported in *ticks* (the
+//!   journal's sequence clock), not wall-clock seconds — the workspace's
+//!   deterministic notion of time;
 //! * `/lineage/<dataset>/<partition>` — the lineage record of one stored
 //!   sample, resolved through an injected callback (this crate sits below
 //!   the warehouse and cannot read stores itself).
@@ -15,6 +21,7 @@
 //! `accept` loop with no connection bookkeeping.
 
 use crate::journal::journal;
+use crate::metrics::Counter;
 use crate::registry::global;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -28,6 +35,7 @@ pub type LineageResolver = Box<dyn Fn(&str, &str) -> Option<String> + Send + Syn
 pub struct Server {
     listener: TcpListener,
     lineage: Option<LineageResolver>,
+    requests: Counter,
 }
 
 impl std::fmt::Debug for Server {
@@ -45,6 +53,10 @@ impl Server {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             lineage: None,
+            requests: global().counter(
+                "swh_serve_requests_total",
+                "HTTP requests answered by swh serve",
+            ),
         })
     }
 
@@ -82,6 +94,7 @@ impl Server {
         // swh-analyze: allow(determinism) -- socket timeout, not entropy; no
         // time value ever reaches sampling state or the journal.
         stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+        self.requests.inc();
         let path = match read_request_path(&mut stream) {
             Some(p) => p,
             None => {
@@ -102,6 +115,11 @@ impl Server {
                 respond(stream, 200, "application/json", &body)
             }
             "/traces" => respond(stream, 200, "text/plain", &journal().dump()),
+            "/profile" => {
+                let body = crate::profile::snapshot().to_json();
+                respond(stream, 200, "application/json", &body)
+            }
+            "/healthz" => respond(stream, 200, "application/json", &self.healthz()),
             _ => {
                 if let Some(rest) = path.strip_prefix("/lineage/") {
                     if let Some((dataset, partition)) = rest.split_once('/') {
@@ -116,6 +134,28 @@ impl Server {
                 respond(stream, 404, "text/plain", "not found\n")
             }
         }
+    }
+
+    /// The `/healthz` body. Clock-free by design: "uptime" is the journal
+    /// sequence clock (events recorded since process start), which is the
+    /// same deterministic time base the traces use.
+    fn healthz(&self) -> String {
+        let j = journal();
+        format!(
+            "{{\"status\": \"ok\", \"version\": \"{}\", \
+             \"requests_total\": {}, \"uptime_ticks\": {}, \
+             \"journal\": {{\"capacity\": {}, \"recorded\": {}, \
+             \"overwritten\": {}, \"enabled\": {}}}, \
+             \"profile_nodes\": {}}}\n",
+            env!("CARGO_PKG_VERSION"),
+            self.requests.get(),
+            j.recorded(),
+            j.capacity(),
+            j.recorded(),
+            j.overwritten(),
+            j.enabled(),
+            crate::profile::snapshot().nodes.len(),
+        )
     }
 }
 
@@ -236,6 +276,27 @@ mod tests {
         assert_eq!(body, "{\"events\": []}");
         let (status, _, _) = get(addr, "/lineage/ds1/p9");
         assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn serves_healthz_and_profile() {
+        crate::journal::record(crate::EventKind::Ingest, 0, 0, 1, 0);
+        crate::profile::record("serve_test/route", 42);
+        let addr = spawn_server(Server::bind("127.0.0.1:0").unwrap(), 2);
+        let (status, ctype, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert_eq!(ctype, "application/json");
+        assert!(body.contains("\"status\": \"ok\""), "{body}");
+        assert!(
+            body.contains(&format!("\"version\": \"{}\"", env!("CARGO_PKG_VERSION"))),
+            "{body}"
+        );
+        assert!(body.contains("\"capacity\": "), "{body}");
+        assert!(body.contains("\"overwritten\": "), "{body}");
+        let (status, ctype, body) = get(addr, "/profile");
+        assert_eq!(status, 200);
+        assert_eq!(ctype, "application/json");
+        assert!(body.contains("\"path\": \"serve_test/route\""), "{body}");
     }
 
     #[test]

@@ -307,6 +307,8 @@ impl<T: SampleValue> Catalog<T> {
         rng: &mut R,
     ) -> Result<Sample<T>, CatalogError> {
         let picked = self.select(dataset, select)?;
+        let _prof = swh_obs::profile::enabled()
+            .then(|| swh_obs::profile::scope_rooted("catalog/union_sample"));
         let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
         let merged = if picked.len() >= PARALLEL_MERGE_MIN {
             let threads = merge_threads(picked.len());
@@ -354,6 +356,8 @@ impl<T: SampleValue> Catalog<T> {
         if picked.is_empty() {
             return Err(CatalogError::EmptySelection);
         }
+        let _prof = swh_obs::profile::enabled()
+            .then(|| swh_obs::profile::scope_rooted("catalog/union_sample_borrowed"));
         let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
         let merged = if picked.len() >= PARALLEL_MERGE_MIN {
             let threads = merge_threads(picked.len());

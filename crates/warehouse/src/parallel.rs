@@ -118,6 +118,12 @@ where
             let worker_busy = worker_busy.clone();
             let partitions_total = partitions_total.clone();
             scope.spawn(move || {
+                // Worker-level profile scope: per-partition work nests under
+                // it (`parallel/worker/partition`), so the worker node's
+                // *self* time is exactly the claim/queue overhead — the time
+                // this worker spent not sampling.
+                let _prof = swh_obs::profile::enabled()
+                    .then(|| swh_obs::profile::scope_rooted("parallel/worker"));
                 let start = Stopwatch::start();
                 let mut drained = 0u64;
                 loop {
@@ -138,6 +144,8 @@ where
                         unreachable!("partition {idx} claimed twice");
                     };
                     drained += 1;
+                    let _part =
+                        swh_obs::profile::enabled().then(|| swh_obs::profile::scope("partition"));
                     let mut rng = seeded_rng(seed.wrapping_add(idx as u64));
                     let mut sampler = make_sampler(idx);
                     // Buffer the stream into chunks and drain each with one
