@@ -1,0 +1,41 @@
+//! Fixture for the atomic-ordering rule. `publish_unfenced` is the exact
+//! PR 4 journal bug: the seqlock invalidate/fill/publish sequence with the
+//! release fence between invalidation and payload missing, so a PSO-style
+//! reordering can land a payload store ahead of the buffered invalidation
+//! and a reader validates a torn slot. TSan and x86 stress tests both
+//! missed it; the lint (and the loom models) must not.
+// swh-analyze: protocol(seqlock)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Slot {
+    pub commit: AtomicU64,
+    pub seq: AtomicU64,
+    pub payload: AtomicU64,
+}
+
+impl Slot {
+    /// The PR 4 shape: Relaxed sequence-word publishes, no release fence
+    /// anywhere in the function.
+    pub fn publish_unfenced(&self, s: u64, v: u64) {
+        self.commit.store(0, Ordering::Relaxed);
+        self.seq.store(s, Ordering::Relaxed);
+        self.payload.store(v, Ordering::Relaxed);
+        self.commit.store(s, Ordering::Relaxed);
+    }
+
+    /// Relaxed validation reads with no acquire fence: the payload loads
+    /// below can be satisfied before the commit word is re-checked.
+    pub fn read_unfenced(&self) -> Option<u64> {
+        let c1 = self.commit.load(Ordering::Relaxed);
+        let v = self.payload.load(Ordering::Relaxed);
+        let c2 = self.commit.load(Ordering::Relaxed);
+        (c1 == c2 && c1 != 0).then_some(v)
+    }
+
+    /// `SeqCst` instead of a named protocol: the strongest ordering is not
+    /// a substitute for knowing which one the algorithm needs.
+    pub fn publish_seqcst(&self, s: u64) {
+        self.commit.store(s, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture for the blocking-in-hot-path rule: a per-record observe path
+//! that takes a mutex, formats a string, and allocates — each one a stall
+//! or a cache miss multiplied by the ingest rate. The un-annotated
+//! `flush` below does the same things legally.
+
+use std::sync::Mutex;
+
+pub struct Sink {
+    pub lines: Mutex<Vec<String>>,
+}
+
+impl Sink {
+    // swh-analyze: hot
+    pub fn observe(&self, v: u64) {
+        let mut lines = self.lines.lock().unwrap();
+        let line = format!("v={v}");
+        let mut batch = Vec::new();
+        batch.push(line.to_string());
+        lines.extend(batch);
+    }
+
+    pub fn flush(&self) -> String {
+        let lines = self.lines.lock().unwrap();
+        format!("{} lines", lines.len())
+    }
+}

@@ -1,0 +1,28 @@
+//! Fixture for the lock-order rule: `drain` acquires slots before stats,
+//! `report` acquires stats before slots. Either function alone is fine;
+//! together the acquisition graph has the cycle
+//! `fixture_locks:slots -> fixture_locks:stats -> fixture_locks:slots`,
+//! which is exactly the two-thread deadlock shape.
+
+use std::sync::Mutex;
+
+pub struct Buffers {
+    pub slots: Mutex<Vec<u64>>,
+    pub stats: Mutex<u64>,
+}
+
+impl Buffers {
+    pub fn drain(&self) -> u64 {
+        let mut slots = self.slots.lock().unwrap();
+        let mut stats = self.stats.lock().unwrap();
+        *stats += slots.len() as u64;
+        slots.clear();
+        *stats
+    }
+
+    pub fn report(&self) -> usize {
+        let stats = self.stats.lock().unwrap();
+        let slots = self.slots.lock().unwrap();
+        slots.len() + *stats as usize
+    }
+}

@@ -1,0 +1,792 @@
+//! Concurrency rules: seqlock/monotonic ordering protocols, the workspace
+//! lock-acquisition graph, and blocking-in-hot-path checks.
+//!
+//! These are lexical checks in the same spirit as [`crate::rules`]: they do
+//! not model the program, they enforce *shape*. The shapes are chosen so
+//! that the one real concurrency bug this repo has shipped — the PR 4
+//! journal bug, a seqlock publish missing its release fence — is
+//! unrepresentable without a diagnostic:
+//!
+//! * **atomic-ordering** — in a file annotated
+//!   `// swh-analyze: protocol(seqlock)`, every atomic *write* to a
+//!   sequence word (`commit`, `seq`, `head`, `next_seq`) that uses
+//!   `Ordering::Relaxed` must sit in a function that also issues a release
+//!   fence, and every `Relaxed` *read* of a sequence word must sit in a
+//!   function with an acquire fence. In a `protocol(monotonic)` file every
+//!   `Relaxed` site diagnoses — each must carry a per-site reasoned allow
+//!   stating why it is independent of all other shared state. `SeqCst`
+//!   diagnoses everywhere the rule applies: it is almost always a missing
+//!   analysis, and when it is not, the allow reason records the analysis.
+//! * **lock-order** — every lock acquisition is collected; a `let`-bound
+//!   guard is live until its block closes (or an explicit `drop(guard)`),
+//!   and any acquisition under a live guard adds an edge
+//!   `held → acquired` to a workspace-wide graph. Cycles in that graph
+//!   (checked in [`crate::Report::finalize`]) are deadlock-shaped and fail
+//!   the build.
+//! * **blocking-in-hot-path** — a `// swh-analyze: hot` annotation marks
+//!   the next function as a per-record path; lock acquisitions, `std::fs`
+//!   access, formatting macros, and allocation constructs inside it
+//!   diagnose.
+//!
+//! Granularity is deliberately coarse (enclosing function for fences,
+//! lexical scopes for guards): false positives are cheap to annotate with
+//! a reasoned allow, and the annotation is itself documentation the next
+//! reader needs.
+
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{Annotation, AnnotationKind, Finding, Rule};
+
+/// Identifiers that name seqlock sequence/commit words. A write to one of
+/// these publishes or invalidates a slot; a read of one validates it.
+const SEQ_WORDS: &[&str] = &["commit", "seq", "head", "next_seq"];
+
+/// Atomic methods that store (RMWs publish too, so they are write-class).
+const ATOMIC_WRITE_METHODS: &[&str] = &[
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_max",
+    "fetch_min",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Lock-returning methods that take no arguments. The empty-argument
+/// requirement is what separates `mutex.lock()` / `rwlock.read()` from
+/// `io::Read::read(&mut buf)`.
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+
+/// One directed edge in the lock-acquisition graph: `held` was live when
+/// `acquired` was taken at `path:line`.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub path: String,
+    pub line: u32,
+    pub held: String,
+    pub acquired: String,
+}
+
+/// Output of the per-file concurrency scan.
+#[derive(Debug, Default)]
+pub struct ConcReport {
+    pub findings: Vec<Finding>,
+    /// Lock edges for the workspace graph (cycles detected at finalize).
+    pub edges: Vec<LockEdge>,
+    /// Stale or out-of-place annotations — always errors.
+    pub stale: Vec<(u32, String)>,
+}
+
+/// A function item's token span and the fences it contains.
+struct FnSpan {
+    start: usize,
+    end: usize,
+    first_line: u32,
+    has_release_fence: bool,
+    has_acquire_fence: bool,
+}
+
+/// An atomic-method call site.
+struct AtomicSite {
+    line: u32,
+    idx: usize,
+    receiver: String,
+    method: &'static str,
+    is_write: bool,
+    /// First ordering named in the argument list (success ordering for
+    /// compare-exchange); None when the call names no ordering at all.
+    ordering: Option<String>,
+}
+
+/// Find function item spans. Token-level: `fn <name> ... { body }`, with
+/// nested items attributed to the innermost span. Trait method declarations
+/// (terminated by `;` before any body) produce no span.
+fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("fn") && tokens.get(i + 1).and_then(Token::ident).is_some() {
+            // Scan the signature for the body `{`; a `;` first means a
+            // declaration without a body.
+            let mut j = i + 2;
+            let mut body = None;
+            while let Some(t) = tokens.get(j) {
+                if t.is_punct("{") {
+                    body = Some(j);
+                    break;
+                }
+                if t.is_punct(";") {
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                let mut depth = 0usize;
+                let mut k = open;
+                let mut end = tokens.len();
+                while let Some(t) = tokens.get(k) {
+                    if t.is_punct("{") {
+                        depth += 1;
+                    } else if t.is_punct("}") {
+                        depth -= 1;
+                        if depth == 0 {
+                            end = k;
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                spans.push(FnSpan {
+                    start: i,
+                    end,
+                    first_line: tokens[i].line,
+                    has_release_fence: false,
+                    has_acquire_fence: false,
+                });
+            }
+        }
+        i += 1;
+    }
+    for s in &mut spans {
+        for i in s.start..s.end {
+            if tokens[i].ident() == Some("fence")
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+            {
+                let mut j = i + 2;
+                let mut depth = 1usize;
+                while let Some(t) = tokens.get(j) {
+                    if t.is_punct("(") {
+                        depth += 1;
+                    } else if t.is_punct(")") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    match t.ident() {
+                        Some("Release") | Some("AcqRel") | Some("SeqCst") => {
+                            s.has_release_fence = true
+                        }
+                        _ => {}
+                    }
+                    match t.ident() {
+                        Some("Acquire") | Some("AcqRel") | Some("SeqCst") => {
+                            s.has_acquire_fence = true
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+        }
+    }
+    spans
+}
+
+/// The innermost function span containing token `idx`.
+fn enclosing_fn(spans: &[FnSpan], idx: usize) -> Option<&FnSpan> {
+    spans
+        .iter()
+        .filter(|s| s.start <= idx && idx <= s.end)
+        .min_by_key(|s| s.end - s.start)
+}
+
+/// Walk back from token index `j` over one balanced `(...)` or `[...]`
+/// group, returning the index just before its opener (or `j` unchanged if
+/// `tokens[j]` is not a closer).
+fn skip_group_back(tokens: &[Token], j: usize) -> Option<usize> {
+    let (close, open) = match &tokens[j].kind {
+        TokenKind::Punct(")") => (")", "("),
+        TokenKind::Punct("]") => ("]", "["),
+        _ => return Some(j),
+    };
+    let mut depth = 0usize;
+    let mut k = j;
+    loop {
+        if tokens[k].is_punct(close) {
+            depth += 1;
+        } else if tokens[k].is_punct(open) {
+            depth -= 1;
+            if depth == 0 {
+                return k.checked_sub(1);
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+}
+
+/// The receiver identifier of a `.method(...)` call whose `.` is at
+/// `dot_idx`: the identifier directly owning the method, skipping one
+/// trailing index/call group (`slots[i].lock()`, `stdout().lock()`).
+fn receiver_of(tokens: &[Token], dot_idx: usize) -> Option<(usize, String)> {
+    let mut j = dot_idx.checked_sub(1)?;
+    j = skip_group_back(tokens, j)?;
+    tokens[j].ident().map(|name| (j, name.to_string()))
+}
+
+/// Does the chain ending in the receiver at `recv_idx` sit on the right of
+/// a `let` binding? Walks back over the member chain (`a.b.c`, `self.x`,
+/// path segments, deref/borrow sigils) to the `=`, then checks for
+/// `let [mut] <name> =`. Returns the guard's binding name.
+fn let_binding_of(tokens: &[Token], recv_idx: usize) -> Option<String> {
+    let mut j = recv_idx;
+    // Walk to the start of the member chain.
+    loop {
+        let prev = j.checked_sub(1)?;
+        if tokens[prev].is_punct(".") || tokens[prev].is_punct("::") {
+            let before = prev.checked_sub(1)?;
+            let before = skip_group_back(tokens, before)?;
+            if tokens[before].ident().is_some() || tokens[before].is_punct(">") {
+                j = before;
+                continue;
+            }
+            return None;
+        }
+        break;
+    }
+    // Skip deref/borrow sigils.
+    let mut k = j.checked_sub(1)?;
+    while tokens[k].is_punct("*") || tokens[k].is_punct("&") || tokens[k].ident() == Some("mut") {
+        k = k.checked_sub(1)?;
+    }
+    if !tokens[k].is_punct("=") {
+        return None;
+    }
+    let name_idx = k.checked_sub(1)?;
+    let name = tokens[name_idx].ident()?.to_string();
+    let mut before = name_idx.checked_sub(1)?;
+    if tokens[before].ident() == Some("mut") {
+        before = before.checked_sub(1)?;
+    }
+    (tokens[before].ident() == Some("let")).then_some(name)
+}
+
+/// Scan one file for concurrency findings and lock edges.
+///
+/// `annotations` come from [`crate::rules::parse_directives`]; `mask`
+/// marks test-scope tokens (exempt from everything here).
+pub fn scan_concurrency(
+    path: &str,
+    tokens: &[Token],
+    mask: &[bool],
+    annotations: &[Annotation],
+) -> ConcReport {
+    let mut out = ConcReport::default();
+    let spans = fn_spans(tokens);
+    let file_stem = path
+        .rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs");
+
+    let seqlock = annotations
+        .iter()
+        .any(|a| a.kind == AnnotationKind::ProtocolSeqlock);
+    let monotonic = annotations
+        .iter()
+        .any(|a| a.kind == AnnotationKind::ProtocolMonotonic);
+
+    let push = |findings: &mut Vec<Finding>, line: u32, rule: Rule, message: String| {
+        findings.push(Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+            allowed: false,
+        });
+    };
+
+    // ---- atomic-ordering: collect atomic call sites ----------------------
+    let mut sites = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        let Some(name) = t.ident() else { continue };
+        let is_write = ATOMIC_WRITE_METHODS.contains(&name);
+        if !(is_write || name == "load") {
+            continue;
+        }
+        let Some(dot) = i.checked_sub(1).filter(|&d| tokens[d].is_punct(".")) else {
+            continue;
+        };
+        if !tokens.get(i + 1).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        let Some((_, receiver)) = receiver_of(tokens, dot) else {
+            continue;
+        };
+        // First ordering named inside the argument list.
+        let mut ordering = None;
+        let mut depth = 1usize;
+        let mut j = i + 2;
+        while let Some(t) = tokens.get(j) {
+            if t.is_punct("(") {
+                depth += 1;
+            } else if t.is_punct(")") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            if ordering.is_none() {
+                if let Some(o) = t.ident() {
+                    if matches!(o, "Relaxed" | "Acquire" | "Release" | "AcqRel" | "SeqCst") {
+                        ordering = Some(o.to_string());
+                    }
+                }
+            }
+            j += 1;
+        }
+        sites.push(AtomicSite {
+            line: t.line,
+            idx: i,
+            receiver,
+            method: ATOMIC_WRITE_METHODS
+                .iter()
+                .chain(&["load"])
+                .find(|m| **m == name)
+                .copied()
+                .unwrap_or("load"),
+            is_write,
+            ordering,
+        });
+    }
+
+    // SeqCst diagnoses everywhere the rule applies, protocol or not: every
+    // ordering in this workspace is either part of a named protocol (and
+    // weaker) or wrong.
+    for (i, t) in tokens.iter().enumerate() {
+        if mask[i] {
+            continue;
+        }
+        if t.ident() == Some("SeqCst") {
+            push(
+                &mut out.findings,
+                t.line,
+                Rule::AtomicOrdering,
+                "`SeqCst` with no stated reason; name the ordering the protocol actually \
+                 needs (Acquire/Release/Relaxed + fences) or allow with the analysis"
+                    .to_string(),
+            );
+        }
+    }
+
+    if seqlock {
+        let mut seq_sites = 0usize;
+        for s in &sites {
+            if !SEQ_WORDS.contains(&s.receiver.as_str()) {
+                continue;
+            }
+            seq_sites += 1;
+            if s.ordering.as_deref() != Some("Relaxed") {
+                continue;
+            }
+            let fnc = enclosing_fn(&spans, s.idx);
+            if s.is_write {
+                if !fnc.is_some_and(|f| f.has_release_fence) {
+                    push(
+                        &mut out.findings,
+                        s.line,
+                        Rule::AtomicOrdering,
+                        format!(
+                            "`{}.{}(.., Relaxed)` publishes a sequence word with no release \
+                             fence in the enclosing function; use Release or pair with \
+                             fence(Release) before the payload stores (the PR 4 journal bug)",
+                            s.receiver, s.method
+                        ),
+                    );
+                }
+            } else if !fnc.is_some_and(|f| f.has_acquire_fence) {
+                push(
+                    &mut out.findings,
+                    s.line,
+                    Rule::AtomicOrdering,
+                    format!(
+                        "`{}.load(Relaxed)` validates a sequence word with no acquire fence \
+                         in the enclosing function; use Acquire or pair with fence(Acquire) \
+                         after the payload loads",
+                        s.receiver
+                    ),
+                );
+            }
+        }
+        if seq_sites == 0 {
+            let line = annotations
+                .iter()
+                .find(|a| a.kind == AnnotationKind::ProtocolSeqlock)
+                .map_or(0, |a| a.line);
+            out.stale.push((
+                line,
+                "stale protocol(seqlock) annotation: no sequence-word atomics in file".to_string(),
+            ));
+        }
+    }
+
+    if monotonic {
+        let mut relaxed_sites = 0usize;
+        for s in &sites {
+            if s.ordering.as_deref() != Some("Relaxed") {
+                continue;
+            }
+            relaxed_sites += 1;
+            push(
+                &mut out.findings,
+                s.line,
+                Rule::AtomicOrdering,
+                format!(
+                    "`{}.{}(.., Relaxed)` under protocol(monotonic): confirm this counter \
+                     is read independently of every other atomic (no cross-field invariant \
+                     a reader could see torn) and allow with that reason",
+                    s.receiver, s.method
+                ),
+            );
+        }
+        if relaxed_sites == 0 {
+            let line = annotations
+                .iter()
+                .find(|a| a.kind == AnnotationKind::ProtocolMonotonic)
+                .map_or(0, |a| a.line);
+            out.stale.push((
+                line,
+                "stale protocol(monotonic) annotation: no Relaxed atomics in file".to_string(),
+            ));
+        }
+    }
+
+    // ---- lock-order: guard scopes and acquisition edges ------------------
+    struct Guard {
+        name: String,
+        id: String,
+        depth: usize,
+    }
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+        }
+        if mask[i] {
+            continue;
+        }
+        // Explicit early release.
+        if t.ident() == Some("drop")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct(")"))
+        {
+            if let Some(victim) = tokens.get(i + 2).and_then(Token::ident) {
+                guards.retain(|g| g.name != victim);
+            }
+        }
+        let Some(m) = t.ident() else { continue };
+        if !LOCK_METHODS.contains(&m) {
+            continue;
+        }
+        // Empty-argument call: `.lock()` / `.read()` / `.write()`.
+        let Some(dot) = i.checked_sub(1).filter(|&d| tokens[d].is_punct(".")) else {
+            continue;
+        };
+        if !(tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(")")))
+        {
+            continue;
+        }
+        let Some((recv_idx, receiver)) = receiver_of(tokens, dot) else {
+            continue;
+        };
+        let id = format!("{file_stem}:{receiver}");
+        for g in &guards {
+            if g.id != id {
+                out.edges.push(LockEdge {
+                    path: path.to_string(),
+                    line: t.line,
+                    held: g.id.clone(),
+                    acquired: id.clone(),
+                });
+            }
+        }
+        if let Some(name) = let_binding_of(tokens, recv_idx) {
+            guards.push(Guard { name, id, depth });
+        }
+    }
+
+    // ---- blocking-in-hot-path --------------------------------------------
+    for a in annotations {
+        if a.kind != AnnotationKind::Hot {
+            continue;
+        }
+        let Some(span) = spans
+            .iter()
+            .filter(|s| s.first_line >= a.line)
+            .min_by_key(|s| s.first_line)
+        else {
+            out.stale.push((
+                a.line,
+                "stale hot annotation: no function follows it".to_string(),
+            ));
+            continue;
+        };
+        for i in span.start..=span.end.min(tokens.len() - 1) {
+            if mask[i] {
+                continue;
+            }
+            let t = &tokens[i];
+            let Some(name) = t.ident() else { continue };
+            let next = tokens.get(i + 1);
+            let prev = i.checked_sub(1).map(|j| &tokens[j]);
+            let blocked: Option<String> = if LOCK_METHODS.contains(&name)
+                && prev.is_some_and(|p| p.is_punct("."))
+                && next.is_some_and(|n| n.is_punct("("))
+                && tokens.get(i + 2).is_some_and(|n| n.is_punct(")"))
+            {
+                Some(format!(
+                    "acquires a lock (`.{name}()`); a contended or poisoned lock stalls \
+                     every record on this path"
+                ))
+            } else if matches!(name, "File" | "OpenOptions" | "read_to_string" | "read_dir")
+                || (name == "fs" && prev.is_some_and(|p| p.is_punct("::")))
+            {
+                Some("touches the filesystem; hot paths must not do I/O".to_string())
+            } else if matches!(
+                name,
+                "format"
+                    | "println"
+                    | "print"
+                    | "eprintln"
+                    | "eprint"
+                    | "write"
+                    | "writeln"
+                    | "vec"
+            ) && next.is_some_and(|n| n.is_punct("!"))
+            {
+                Some(format!(
+                    "`{name}!` formats/allocates per record; precompute or move off the \
+                     hot path"
+                ))
+            } else if matches!(name, "with_capacity" | "to_string" | "to_owned" | "to_vec")
+                && prev.is_some_and(|p| p.is_punct(".") || p.is_punct("::"))
+            {
+                Some(format!("`{name}` allocates per record"))
+            } else if name == "new"
+                && prev.is_some_and(|p| p.is_punct("::"))
+                && i >= 2
+                && matches!(
+                    tokens[i - 2].ident(),
+                    Some("Vec")
+                        | Some("String")
+                        | Some("Box")
+                        | Some("BTreeMap")
+                        | Some("VecDeque")
+                        | Some("HashMap")
+                        | Some("HashSet")
+                )
+            {
+                Some(format!(
+                    "`{}::new` allocates per record",
+                    tokens[i - 2].ident().unwrap_or("collection")
+                ))
+            } else {
+                None
+            };
+            if let Some(why) = blocked {
+                push(
+                    &mut out.findings,
+                    t.line,
+                    Rule::BlockingInHotPath,
+                    format!("{why} (function is annotated hot)"),
+                );
+            }
+        }
+    }
+
+    out.findings
+        .dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::test_mask;
+    use crate::lexer::lex;
+    use crate::rules::parse_directives;
+
+    fn scan_at(path: &str, src: &str) -> ConcReport {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        let dirs = parse_directives(&lexed.comments);
+        scan_concurrency(path, &lexed.tokens, &mask, &dirs.annotations)
+    }
+
+    #[test]
+    fn unfenced_seqlock_publish_diagnoses() {
+        // The PR 4 shape: Relaxed sequence-word stores with no fence.
+        let src = "// swh-analyze: protocol(seqlock)\n\
+            fn publish(s: &Slot) {\n\
+                s.commit.store(0, Ordering::Relaxed);\n\
+                s.seq.store(1, Ordering::Relaxed);\n\
+            }\n";
+        let r = scan_at("crates/obs/src/x.rs", src);
+        assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+        assert!(r.findings.iter().all(|f| f.rule == Rule::AtomicOrdering));
+        assert!(r.findings[0].message.contains("release fence"));
+    }
+
+    #[test]
+    fn fenced_seqlock_publish_is_clean() {
+        let src = "// swh-analyze: protocol(seqlock)\n\
+            fn publish(s: &Slot) {\n\
+                s.commit.store(0, Ordering::Release);\n\
+                fence(Ordering::Release);\n\
+                s.seq.store(1, Ordering::Relaxed);\n\
+                s.commit.store(1, Ordering::Release);\n\
+            }\n";
+        let r = scan_at("crates/obs/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn relaxed_sequence_read_needs_acquire_fence() {
+        let bad = "// swh-analyze: protocol(seqlock)\n\
+            fn check(s: &Slot) -> u64 { s.commit.load(Ordering::Relaxed) }\n";
+        let r = scan_at("crates/obs/src/x.rs", bad);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("acquire fence"));
+
+        let good = "// swh-analyze: protocol(seqlock)\n\
+            fn check(s: &Slot) -> u64 {\n\
+                let v = s.commit.load(Ordering::Relaxed);\n\
+                fence(Ordering::Acquire);\n\
+                v\n\
+            }\n";
+        assert!(scan_at("crates/obs/src/x.rs", good).findings.is_empty());
+    }
+
+    #[test]
+    fn seqcst_diagnoses_without_any_annotation() {
+        let src = "fn f(a: &AtomicU64) { a.store(1, Ordering::SeqCst); }\n";
+        let r = scan_at("crates/core/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1);
+        assert!(r.findings[0].message.contains("SeqCst"));
+    }
+
+    #[test]
+    fn monotonic_flags_every_relaxed_site() {
+        let src = "// swh-analyze: protocol(monotonic)\n\
+            fn bump(c: &Counter) {\n\
+                c.hits.fetch_add(1, Ordering::Relaxed);\n\
+                c.hits.load(Ordering::Relaxed);\n\
+            }\n";
+        let r = scan_at("crates/obs/src/x.rs", src);
+        assert_eq!(r.findings.len(), 2, "{:?}", r.findings);
+    }
+
+    #[test]
+    fn stale_protocol_annotation_is_an_error() {
+        let src = "// swh-analyze: protocol(seqlock)\nfn f() {}\n";
+        let r = scan_at("crates/obs/src/x.rs", src);
+        assert_eq!(r.stale.len(), 1);
+        assert!(r.stale[0].1.contains("stale protocol(seqlock)"));
+    }
+
+    #[test]
+    fn nested_guard_produces_edge_and_cycle_pair_is_detectable() {
+        let src = "fn ab(p: &Pair) {\n\
+                let ga = p.a.lock().unwrap();\n\
+                let gb = p.b.lock().unwrap();\n\
+            }\n";
+        let r = scan_at("crates/warehouse/src/pair.rs", src);
+        assert_eq!(r.edges.len(), 1, "{:?}", r.edges);
+        assert_eq!(r.edges[0].held, "pair:a");
+        assert_eq!(r.edges[0].acquired, "pair:b");
+    }
+
+    #[test]
+    fn transient_acquisition_creates_no_live_guard() {
+        // The parallel-worker shape: a temporary guard inside a statement.
+        let src = "fn take(slots: &[Mutex<u64>], i: usize) -> u64 {\n\
+                let v = std::mem::replace(&mut *slots[i].lock().unwrap(), 0);\n\
+                let w = std::mem::replace(&mut *slots[i].lock().unwrap(), 0);\n\
+                v + w\n\
+            }\n";
+        let r = scan_at("crates/warehouse/src/x.rs", src);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn guard_dies_at_block_end_and_on_drop() {
+        let src = "fn f(p: &Pair) {\n\
+                {\n\
+                    let ga = p.a.lock().unwrap();\n\
+                }\n\
+                let gb = p.b.lock().unwrap();\n\
+                drop(gb);\n\
+                let gc = p.c.lock().unwrap();\n\
+            }\n";
+        let r = scan_at("crates/warehouse/src/x.rs", src);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn reacquiring_the_same_lock_is_not_an_edge() {
+        let src = "fn f(p: &Pair) {\n\
+                let ga = p.a.lock().unwrap();\n\
+                let gb = p.a.lock().unwrap();\n\
+            }\n";
+        let r = scan_at("crates/warehouse/src/x.rs", src);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+
+    #[test]
+    fn hot_function_flags_blocking_constructs() {
+        let src = "// swh-analyze: hot\n\
+            fn observe(s: &Sink, v: u64) {\n\
+                let g = s.slots.lock().unwrap();\n\
+                let line = format!(\"v\");\n\
+                let buf = Vec::new();\n\
+                let t = line.to_string();\n\
+            }\n\
+            fn cold(s: &Sink) { let g = s.slots.lock().unwrap(); }\n";
+        let r = scan_at("crates/warehouse/src/x.rs", src);
+        let hot: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::BlockingInHotPath)
+            .collect();
+        assert_eq!(hot.len(), 4, "{hot:?}");
+        // The un-annotated function is untouched.
+        assert!(hot.iter().all(|f| f.line <= 6), "{hot:?}");
+    }
+
+    #[test]
+    fn hot_annotation_without_function_is_stale() {
+        let src = "fn f() {}\n// swh-analyze: hot\n";
+        let r = scan_at("crates/warehouse/src/x.rs", src);
+        assert_eq!(r.stale.len(), 1);
+        assert!(r.stale[0].1.contains("stale hot"));
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_all_three() {
+        let src = "// swh-analyze: protocol(seqlock)\n\
+            fn publish(s: &Slot) { s.commit.store(0, Ordering::Release); }\n\
+            #[cfg(test)]\n\
+            mod tests {\n\
+                fn t(s: &Slot, p: &Pair) {\n\
+                    s.commit.store(0, Ordering::SeqCst);\n\
+                    let ga = p.a.lock().unwrap();\n\
+                    let gb = p.b.lock().unwrap();\n\
+                }\n\
+            }\n";
+        let r = scan_at("crates/obs/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert!(r.edges.is_empty(), "{:?}", r.edges);
+    }
+}

@@ -1,7 +1,7 @@
 //! swh-analyze: the workspace's own static-analysis pass.
 //!
-//! Three rule families defend the statistical contracts of Brown & Haas
-//! (ICDE 2006) that ordinary tests cannot see:
+//! The rule families defend contracts of the Brown & Haas (ICDE 2006)
+//! reproduction that ordinary tests cannot see:
 //!
 //! * **determinism** — sampling and merge paths must be a pure function of
 //!   (input stream, seed). OS entropy, wall-clock time, and default-hasher
@@ -16,6 +16,11 @@
 //!   `unwrap`/`expect`/index-by-literal; every intentional exception carries
 //!   a `// swh-analyze: allow(<rule>) -- <reason>` directive, and the report
 //!   counts those so reviewers can watch the budget.
+//! * **atomic-ordering / lock-order / blocking-in-hot-path** — the
+//!   concurrency rules ([`conc`]): seqlock and monotonic-counter ordering
+//!   protocols declared by `// swh-analyze: protocol(...)` annotations, a
+//!   workspace-wide lock-acquisition graph checked for cycles, and
+//!   blocking constructs inside `// swh-analyze: hot` functions.
 //!
 //! The pass is deliberately dependency-free: a token-level lexer
 //! ([`lexer`]), a `#[cfg(test)]` scope tracker ([`context`]), and lexical
@@ -25,14 +30,16 @@
 //! constructs these rules target (method calls, paths, casts, comparisons);
 //! it does not try to be a general Rust front-end.
 
+pub mod conc;
 pub mod context;
 pub mod lexer;
 pub mod rules;
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use conc::LockEdge;
 use rules::{Finding, Rule, ALL_RULES};
 
 /// Result of analyzing one file.
@@ -44,6 +51,9 @@ pub struct FileReport {
     /// Allow directives that matched no finding (stale allows are errors:
     /// they would silently mask future regressions at that site).
     pub unused_allows: Vec<(u32, Rule)>,
+    /// Lock-acquisition edges feeding the workspace graph; cycles are
+    /// detected across files in [`Report::finalize`].
+    pub lock_edges: Vec<LockEdge>,
 }
 
 /// Analyze one file's source under a workspace-relative `path` (which
@@ -52,7 +62,33 @@ pub fn analyze_source(path: &str, source: &str) -> FileReport {
     let lexed = lexer::lex(source);
     let mask = context::test_mask(&lexed.tokens);
     let mut findings = rules::scan(path, &lexed.tokens, &mask);
-    let (allows, invalid) = rules::parse_directives(&lexed.comments);
+    let dirs = rules::parse_directives(&lexed.comments);
+    let rules::Directives {
+        allows,
+        annotations,
+        invalid,
+    } = dirs;
+    let mut invalid = invalid;
+
+    let mut lock_edges = Vec::new();
+    if Rule::AtomicOrdering.applies_to(path) {
+        let conc = conc::scan_concurrency(path, &lexed.tokens, &mask, &annotations);
+        findings.extend(conc.findings);
+        lock_edges = conc.edges;
+        for (line, reason) in conc.stale {
+            invalid.push(rules::InvalidDirective { line, reason });
+        }
+    } else {
+        // An annotation in a file the concurrency rules do not cover would
+        // silently check nothing — surface it instead of ignoring it.
+        for a in &annotations {
+            invalid.push(rules::InvalidDirective {
+                line: a.line,
+                reason: "concurrency annotation outside the crates' src/ scope does nothing"
+                    .to_string(),
+            });
+        }
+    }
 
     // A directive covers its own line when code shares the line (trailing
     // comment); otherwise the first token line after it (comment-above form).
@@ -82,6 +118,33 @@ pub fn analyze_source(path: &str, source: &str) -> FileReport {
                     hit = true;
                 }
             }
+            // Lock-order findings only exist at the workspace level; the
+            // allow instead removes this line's acquisition edges from the
+            // graph and records the suppression as an allowed finding.
+            if rule == Rule::LockOrder {
+                let mut removed = Vec::new();
+                lock_edges.retain(|e| {
+                    if e.line == line {
+                        removed.push(format!("{} -> {}", e.held, e.acquired));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if !removed.is_empty() {
+                    hit = true;
+                    findings.push(Finding {
+                        path: path.to_string(),
+                        line,
+                        rule,
+                        message: format!(
+                            "lock edge(s) {} excluded from the order graph",
+                            removed.join(", ")
+                        ),
+                        allowed: true,
+                    });
+                }
+            }
             if !hit {
                 unused.push((allow.line, rule));
             }
@@ -92,6 +155,7 @@ pub fn analyze_source(path: &str, source: &str) -> FileReport {
         findings,
         invalid_directives: invalid.into_iter().map(|d| (d.line, d.reason)).collect(),
         unused_allows: unused,
+        lock_edges,
     }
 }
 
@@ -102,6 +166,8 @@ pub struct Report {
     pub violations: Vec<Finding>,
     pub allowed: Vec<Finding>,
     pub errors: Vec<String>,
+    /// Accumulated lock edges; consumed by [`Report::finalize`].
+    pub lock_edges: Vec<LockEdge>,
 }
 
 impl Report {
@@ -125,6 +191,143 @@ impl Report {
                 rule.name()
             ));
         }
+        self.lock_edges.extend(fr.lock_edges);
+    }
+
+    /// Run the cross-file checks: build the workspace lock-acquisition
+    /// graph from the accumulated edges and turn every cycle into a
+    /// lock-order violation. Idempotent (the edges are consumed).
+    pub fn finalize(&mut self) {
+        let edges = std::mem::take(&mut self.lock_edges);
+        // Dedup parallel edges, keeping the first site as the witness.
+        let mut adj: BTreeMap<&str, Vec<(&str, &LockEdge)>> = BTreeMap::new();
+        let mut seen_pairs = BTreeSet::new();
+        for e in &edges {
+            if seen_pairs.insert((e.held.as_str(), e.acquired.as_str())) {
+                adj.entry(e.held.as_str())
+                    .or_default()
+                    .push((e.acquired.as_str(), e));
+            }
+        }
+        // DFS with an explicit stack; a back edge onto the current path is
+        // a cycle. Each cycle is reported once, canonicalized by rotating
+        // its smallest node first.
+        let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+        let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 1 = on path, 2 = done
+        let roots: Vec<&str> = adj.keys().copied().collect();
+        for root in roots {
+            if state.contains_key(root) {
+                continue;
+            }
+            // Stack of (node, next-child-index); `path` mirrors it.
+            let mut stack: Vec<(&str, usize)> = vec![(root, 0)];
+            let mut path: Vec<&str> = vec![root];
+            state.insert(root, 1);
+            while let Some(top) = stack.last_mut() {
+                let (node, child) = (top.0, top.1);
+                top.1 += 1;
+                let next = adj.get(node).and_then(|v| v.get(child)).copied();
+                match next {
+                    Some((dst, witness)) => match state.get(dst).copied() {
+                        Some(1) => {
+                            let pos = path.iter().position(|&n| n == dst).unwrap_or(0);
+                            let cycle: Vec<String> =
+                                path[pos..].iter().map(|s| s.to_string()).collect();
+                            let min = cycle
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, s)| s.as_str())
+                                .map_or(0, |(i, _)| i);
+                            let mut canon = cycle.clone();
+                            canon.rotate_left(min);
+                            if reported.insert(canon) {
+                                let mut shape = cycle.join(" -> ");
+                                shape.push_str(" -> ");
+                                shape.push_str(&cycle[0]);
+                                self.violations.push(Finding {
+                                    path: witness.path.clone(),
+                                    line: witness.line,
+                                    rule: Rule::LockOrder,
+                                    message: format!(
+                                        "lock-order cycle {shape}; acquire these locks in \
+                                         one global order, or allow(lock-order) the edge \
+                                         whose reversal is provably unreachable"
+                                    ),
+                                    allowed: false,
+                                });
+                            }
+                        }
+                        Some(_) => {}
+                        None => {
+                            state.insert(dst, 1);
+                            stack.push((dst, 0));
+                            path.push(dst);
+                        }
+                    },
+                    None => {
+                        state.insert(node, 2);
+                        stack.pop();
+                        path.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Machine-readable form of the report (used by CI to archive the run).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn findings_json(fs: &[Finding]) -> String {
+            let items: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                        esc(&f.path),
+                        f.line,
+                        f.rule.name(),
+                        esc(&f.message)
+                    )
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        }
+        let errors: Vec<String> = self
+            .errors
+            .iter()
+            .map(|e| format!("\"{}\"", esc(e)))
+            .collect();
+        let mut rules = Vec::new();
+        for rule in ALL_RULES {
+            let v = self.violations.iter().filter(|f| f.rule == rule).count();
+            let a = self.allowed.iter().filter(|f| f.rule == rule).count();
+            rules.push(format!(
+                "\"{}\":{{\"violations\":{v},\"allowed\":{a}}}",
+                rule.name()
+            ));
+        }
+        format!(
+            "{{\"files_scanned\":{},\"clean\":{},\"rules\":{{{}}},\"violations\":{},\"allowed\":{},\"errors\":[{}]}}",
+            self.files_scanned,
+            self.is_clean(),
+            rules.join(","),
+            findings_json(&self.violations),
+            findings_json(&self.allowed),
+            errors.join(",")
+        )
     }
 
     pub fn is_clean(&self) -> bool {
@@ -208,7 +411,8 @@ pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
     files
 }
 
-/// Run the full workspace check from `root`.
+/// Run the full workspace check from `root`, including the cross-file
+/// lock-order pass.
 pub fn check_workspace(root: &Path) -> Report {
     let mut report = Report::default();
     for path in workspace_rs_files(root) {
@@ -222,6 +426,7 @@ pub fn check_workspace(root: &Path) -> Report {
             Err(e) => report.errors.push(format!("{rel}: unreadable: {e}")),
         }
     }
+    report.finalize();
     report
 }
 
@@ -292,5 +497,94 @@ mod tests {
         );
         assert!(clean.is_clean());
         assert!(clean.render().contains("result: PASS"));
+    }
+
+    const AB: &str = "fn ab(p: &Pair) {\n    let ga = p.a.lock().unwrap();\n    let gb = p.b.lock().unwrap();\n}\n";
+
+    #[test]
+    fn lock_order_cycle_across_files_is_a_violation() {
+        let ba = "fn ba(p: &Pair) {\n    let gb = p.b.lock().unwrap();\n    let ga = p.a.lock().unwrap();\n}\n";
+        let mut report = Report::default();
+        // Same file stem in both virtual paths so the lock identities meet.
+        report.merge_file(
+            "crates/core/src/pair.rs",
+            analyze_source("crates/core/src/pair.rs", AB),
+        );
+        report.merge_file(
+            "crates/warehouse/src/pair.rs",
+            analyze_source("crates/warehouse/src/pair.rs", ba),
+        );
+        report.finalize();
+        let cycles: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|f| f.rule == Rule::LockOrder)
+            .collect();
+        assert_eq!(cycles.len(), 1, "{cycles:?}");
+        assert!(cycles[0].message.contains("lock-order cycle"), "{cycles:?}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_nested_single_file_is_not_a_cycle() {
+        let mut report = Report::default();
+        report.merge_file(
+            "crates/core/src/pair.rs",
+            analyze_source("crates/core/src/pair.rs", AB),
+        );
+        report.merge_file(
+            "crates/warehouse/src/pair.rs",
+            analyze_source("crates/warehouse/src/pair.rs", AB),
+        );
+        report.finalize();
+        assert!(report.violations.iter().all(|f| f.rule != Rule::LockOrder));
+    }
+
+    #[test]
+    fn allow_lock_order_removes_the_edge_from_the_graph() {
+        let ba_allowed = "fn ba(p: &Pair) {\n    let gb = p.b.lock().unwrap();\n    // swh-analyze: allow(lock-order) -- reversal unreachable: ba only runs single-threaded at startup\n    let ga = p.a.lock().unwrap();\n}\n";
+        let mut report = Report::default();
+        report.merge_file(
+            "crates/core/src/pair.rs",
+            analyze_source("crates/core/src/pair.rs", AB),
+        );
+        report.merge_file(
+            "crates/warehouse/src/pair.rs",
+            analyze_source("crates/warehouse/src/pair.rs", ba_allowed),
+        );
+        report.finalize();
+        assert!(
+            report.violations.iter().all(|f| f.rule != Rule::LockOrder),
+            "{:?}",
+            report.violations
+        );
+        assert!(report.allowed.iter().any(|f| f.rule == Rule::LockOrder));
+    }
+
+    #[test]
+    fn unused_lock_order_allow_is_an_error() {
+        let src =
+            "fn f() {\n    // swh-analyze: allow(lock-order) -- nothing here\n    let x = 1;\n}\n";
+        let fr = analyze_source("crates/core/src/x.rs", src);
+        assert_eq!(fr.unused_allows.len(), 1);
+        assert_eq!(fr.unused_allows[0].1, Rule::LockOrder);
+    }
+
+    #[test]
+    fn json_report_is_shaped_and_escaped() {
+        let mut report = Report::default();
+        report.merge_file(
+            "crates/core/src/x.rs",
+            analyze_source(
+                "crates/core/src/x.rs",
+                "fn f(v: Vec<u64>) -> u64 { v.first().unwrap() }",
+            ),
+        );
+        report.finalize();
+        let json = report.to_json();
+        assert!(json.contains("\"files_scanned\":1"), "{json}");
+        assert!(json.contains("\"clean\":false"), "{json}");
+        assert!(json.contains("\"rule\":\"panic\""), "{json}");
+        assert!(json.contains("\"atomic-ordering\":{"), "{json}");
+        assert!(!json.contains('\n'), "{json}");
     }
 }

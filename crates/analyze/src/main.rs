@@ -1,8 +1,9 @@
 //! CLI driver for the swh-analyze lint pass.
 //!
-//! * `swh-analyze check [--root DIR]` — scan every workspace `.rs` file,
-//!   print diagnostics plus per-rule counts, exit 1 on any violation or
-//!   directive error.
+//! * `swh-analyze check [--root DIR] [--format json]` — scan every
+//!   workspace `.rs` file, print diagnostics plus per-rule counts (or the
+//!   machine-readable JSON report), exit 1 on any violation or directive
+//!   error.
 //! * `swh-analyze check-file <virtual-path> <file>` — analyze one file as if
 //!   it lived at `<virtual-path>`; used to demonstrate that each fixture
 //!   fails the pass.
@@ -54,11 +55,32 @@ const FIXTURES: &[(&str, &str, &[Rule])] = &[
         "crates/warehouse/src/fixture_panic.rs",
         &[Rule::Panic],
     ),
+    (
+        // The exact PR 4 journal bug shape: seqlock publish with the
+        // release fence missing, Relaxed validation reads, and a SeqCst.
+        "crates/analyze/fixtures/atomic_ordering.rs",
+        "crates/obs/src/fixture_seqlock.rs",
+        &[Rule::AtomicOrdering],
+    ),
+    (
+        "crates/analyze/fixtures/lock_order.rs",
+        "crates/warehouse/src/fixture_locks.rs",
+        &[Rule::LockOrder],
+    ),
+    (
+        "crates/analyze/fixtures/hot_path.rs",
+        "crates/warehouse/src/fixture_hot.rs",
+        &[Rule::BlockingInHotPath],
+    ),
 ];
 
-fn cmd_check(root: PathBuf) -> ExitCode {
+fn cmd_check(root: PathBuf, json: bool) -> ExitCode {
     let report = check_workspace(&root);
-    print!("{}", report.render());
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.is_clean() {
         ExitCode::SUCCESS
     } else {
@@ -76,6 +98,7 @@ fn cmd_check_file(virtual_path: &str, file: &str) -> ExitCode {
     };
     let mut report = Report::default();
     report.merge_file(virtual_path, analyze_source(virtual_path, &src));
+    report.finalize();
     print!("{}", report.render());
     if report.is_clean() {
         ExitCode::SUCCESS
@@ -96,13 +119,13 @@ fn cmd_fixtures(root: PathBuf) -> ExitCode {
                 continue;
             }
         };
-        let fr = analyze_source(virtual_path, &src);
+        // Per-fixture report with the cross-file pass, so lock-order
+        // cycles (which only exist at finalize time) are observable.
+        let mut report = Report::default();
+        report.merge_file(virtual_path, analyze_source(virtual_path, &src));
+        report.finalize();
         for rule in *expected {
-            let hits = fr
-                .findings
-                .iter()
-                .filter(|f| f.rule == *rule && !f.allowed)
-                .count();
+            let hits = report.violations.iter().filter(|f| f.rule == *rule).count();
             if hits == 0 {
                 eprintln!(
                     "swh-analyze: fixture {fixture} (as {virtual_path}) did NOT trigger rule `{}`",
@@ -126,10 +149,17 @@ fn cmd_fixtures(root: PathBuf) -> ExitCode {
     }
 }
 
+fn parse_format_json(args: &[String]) -> bool {
+    args.iter()
+        .position(|a| a == "--format")
+        .and_then(|i| args.get(i + 1))
+        .is_some_and(|v| v == "json")
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") => cmd_check(workspace_root(parse_root(&args))),
+        Some("check") => cmd_check(workspace_root(parse_root(&args)), parse_format_json(&args)),
         Some("check-file") => match (args.get(1), args.get(2)) {
             (Some(vpath), Some(file)) => cmd_check_file(vpath, file),
             _ => {
@@ -139,7 +169,9 @@ fn main() -> ExitCode {
         },
         Some("fixtures") => cmd_fixtures(workspace_root(parse_root(&args))),
         _ => {
-            eprintln!("usage: swh-analyze <check|check-file|fixtures> [--root DIR]");
+            eprintln!(
+                "usage: swh-analyze <check|check-file|fixtures> [--root DIR] [--format json]"
+            );
             ExitCode::FAILURE
         }
     }

@@ -1,10 +1,13 @@
-//! The three rule families and the `allow(...)` escape hatch.
+//! The rule families and the `allow(...)` escape hatch.
 //!
 //! Rule scoping is part of the rule definition: determinism and panic
 //! hygiene cover the library code of the sampling crates (`swh-core`,
-//! `swh-rand`, `swh-warehouse`); the numeric rules cover the probability
-//! modules where a silent cast or an exact float compare corrupts a
-//! statistical contract (Eq. 1–3 of the paper).
+//! `swh-rand`, `swh-warehouse`, `swh-aqp`, `swh-workloads`); the numeric
+//! rules cover the probability modules where a silent cast or an exact
+//! float compare corrupts a statistical contract (Eq. 1–3 of the paper);
+//! the concurrency rules (atomic-ordering, lock-order,
+//! blocking-in-hot-path — see [`crate::conc`]) cover every crate's `src/`
+//! tree, driven by `protocol(...)`/`hot` annotations.
 
 use crate::lexer::{LineComment, Token, TokenKind};
 
@@ -20,14 +23,27 @@ pub enum Rule {
     FloatCmp,
     /// `unwrap`/`expect`/literal slice index in library code.
     Panic,
+    /// Seqlock/monotonic protocol conformance for atomic orderings, plus
+    /// unreasoned `SeqCst` anywhere in crate `src/` trees. Driven by
+    /// `// swh-analyze: protocol(seqlock|monotonic)` file annotations.
+    AtomicOrdering,
+    /// Lock-acquisition-order cycles across the workspace, built from
+    /// lexical guard scopes (see [`crate::conc`]).
+    LockOrder,
+    /// Blocking constructs (locks, filesystem access, formatting,
+    /// allocation) inside `// swh-analyze: hot` annotated functions.
+    BlockingInHotPath,
 }
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 4] = [
+pub const ALL_RULES: [Rule; 7] = [
     Rule::Determinism,
     Rule::NumericCast,
     Rule::FloatCmp,
     Rule::Panic,
+    Rule::AtomicOrdering,
+    Rule::LockOrder,
+    Rule::BlockingInHotPath,
 ];
 
 impl Rule {
@@ -38,6 +54,9 @@ impl Rule {
             Rule::NumericCast => "numeric-cast",
             Rule::FloatCmp => "float-cmp",
             Rule::Panic => "panic",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::LockOrder => "lock-order",
+            Rule::BlockingInHotPath => "blocking-in-hot-path",
         }
     }
 
@@ -67,6 +86,15 @@ impl Rule {
                     || PROFILING_FILES.contains(&path)
             }
             Rule::NumericCast | Rule::FloatCmp => PROBABILITY_FILES.contains(&path),
+            // The concurrency rules cover every library `src/` tree. The one
+            // carve-out is the loom shim itself: the model checker *implements*
+            // the memory model, so its exhaustive matches over all orderings
+            // and its scheduler mutex are not protocol code.
+            Rule::AtomicOrdering | Rule::LockOrder | Rule::BlockingInHotPath => {
+                (path.starts_with("crates/") || path.starts_with("src/"))
+                    && path.contains("src/")
+                    && !path.starts_with("crates/loomshim/src/")
+            }
         }
     }
 }
@@ -76,6 +104,8 @@ const SAMPLING_CRATE_SRC: &[&str] = &[
     "crates/core/src/",
     "crates/rand/src/",
     "crates/warehouse/src/",
+    "crates/aqp/src/",
+    "crates/workloads/src/",
 ];
 
 /// Observability files whose output feeds replayable traces: span ids and
@@ -147,10 +177,39 @@ pub struct InvalidDirective {
     pub reason: String,
 }
 
-/// Extract allow directives from line comments.
-pub fn parse_directives(comments: &[LineComment]) -> (Vec<AllowDirective>, Vec<InvalidDirective>) {
-    let mut allows = Vec::new();
-    let mut invalid = Vec::new();
+/// What a concurrency annotation declares about the code it marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationKind {
+    /// `protocol(seqlock)` — file-level: sequence-word atomics follow the
+    /// invalidate / release-fence / fill / publish discipline.
+    ProtocolSeqlock,
+    /// `protocol(monotonic)` — file-level: every `Relaxed` site is an
+    /// independent counter and must carry a per-site reasoned allow.
+    ProtocolMonotonic,
+    /// `hot` — marks the next function as a hot path: no blocking.
+    Hot,
+}
+
+/// A parsed `swh-analyze: protocol(...)` or `swh-analyze: hot` annotation.
+#[derive(Debug, Clone, Copy)]
+pub struct Annotation {
+    pub line: u32,
+    pub kind: AnnotationKind,
+}
+
+/// Everything directive parsing can yield from one file's comments.
+#[derive(Debug, Default)]
+pub struct Directives {
+    pub allows: Vec<AllowDirective>,
+    pub annotations: Vec<Annotation>,
+    pub invalid: Vec<InvalidDirective>,
+}
+
+/// Extract allow directives and concurrency annotations from line comments.
+pub fn parse_directives(comments: &[LineComment]) -> Directives {
+    let mut out = Directives::default();
+    let allows = &mut out.allows;
+    let invalid = &mut out.invalid;
     for c in comments {
         // Doc comments (`///`, `//!`) are prose — only a plain `//` comment
         // whose text *starts with* the marker is a directive. This keeps
@@ -162,10 +221,44 @@ pub fn parse_directives(comments: &[LineComment]) -> (Vec<AllowDirective>, Vec<I
             continue;
         };
         let rest = rest.trim();
+        if let Some(proto) = rest.strip_prefix("protocol(") {
+            let Some(close) = proto.find(')') else {
+                invalid.push(InvalidDirective {
+                    line: c.line,
+                    reason: "unterminated protocol(...)".to_string(),
+                });
+                continue;
+            };
+            let kind = match proto[..close].trim() {
+                "seqlock" => AnnotationKind::ProtocolSeqlock,
+                "monotonic" => AnnotationKind::ProtocolMonotonic,
+                other => {
+                    invalid.push(InvalidDirective {
+                        line: c.line,
+                        reason: format!(
+                            "unknown protocol `{other}` (expected seqlock or monotonic)"
+                        ),
+                    });
+                    continue;
+                }
+            };
+            out.annotations.push(Annotation { line: c.line, kind });
+            continue;
+        }
+        if rest == "hot" || rest.starts_with("hot --") {
+            out.annotations.push(Annotation {
+                line: c.line,
+                kind: AnnotationKind::Hot,
+            });
+            continue;
+        }
         let Some(args) = rest.strip_prefix("allow(") else {
             invalid.push(InvalidDirective {
                 line: c.line,
-                reason: format!("expected `allow(<rule>) -- <reason>`, got `{rest}`"),
+                reason: format!(
+                    "expected `allow(<rule>) -- <reason>`, `protocol(seqlock|monotonic)`, \
+                     or `hot`, got `{rest}`"
+                ),
             });
             continue;
         };
@@ -203,7 +296,10 @@ pub fn parse_directives(comments: &[LineComment]) -> (Vec<AllowDirective>, Vec<I
         if let Some(name) = bad {
             invalid.push(InvalidDirective {
                 line: c.line,
-                reason: format!("unknown rule `{name}` (expected one of: determinism, numeric-cast, float-cmp, panic)"),
+                reason: format!(
+                    "unknown rule `{name}` (expected one of: determinism, numeric-cast, \
+                     float-cmp, panic, atomic-ordering, lock-order, blocking-in-hot-path)"
+                ),
             });
             continue;
         }
@@ -219,7 +315,7 @@ pub fn parse_directives(comments: &[LineComment]) -> (Vec<AllowDirective>, Vec<I
             rules,
         });
     }
-    (allows, invalid)
+    out
 }
 
 /// Identifiers that are non-deterministic entropy or clock sources.
@@ -608,25 +704,116 @@ mod tests {
     fn directive_parsing_accepts_well_formed() {
         let lexed =
             lex("// swh-analyze: allow(panic, determinism) -- trusted invariant\nlet x = 1;");
-        let (allows, invalid) = parse_directives(&lexed.comments);
-        assert!(invalid.is_empty());
-        assert_eq!(allows.len(), 1);
-        assert_eq!(allows[0].rules, vec![Rule::Panic, Rule::Determinism]);
+        let d = parse_directives(&lexed.comments);
+        assert!(d.invalid.is_empty());
+        assert_eq!(d.allows.len(), 1);
+        assert_eq!(d.allows[0].rules, vec![Rule::Panic, Rule::Determinism]);
     }
 
     #[test]
     fn directive_without_reason_is_invalid() {
         let lexed = lex("// swh-analyze: allow(panic)\nlet x = 1;");
-        let (allows, invalid) = parse_directives(&lexed.comments);
-        assert!(allows.is_empty());
-        assert_eq!(invalid.len(), 1);
+        let d = parse_directives(&lexed.comments);
+        assert!(d.allows.is_empty());
+        assert_eq!(d.invalid.len(), 1);
     }
 
     #[test]
     fn directive_with_unknown_rule_is_invalid() {
         let lexed = lex("// swh-analyze: allow(speling) -- oops\nlet x = 1;");
-        let (_, invalid) = parse_directives(&lexed.comments);
-        assert_eq!(invalid.len(), 1);
-        assert!(invalid[0].reason.contains("unknown rule"));
+        let d = parse_directives(&lexed.comments);
+        assert_eq!(d.invalid.len(), 1);
+        assert!(d.invalid[0].reason.contains("unknown rule"));
+    }
+
+    #[test]
+    fn directive_parsing_accepts_concurrency_rule_names() {
+        // Stale-directive detection must know the concurrency rules: an
+        // allow naming them parses (and is later checked for use).
+        let lexed = lex(
+            "// swh-analyze: allow(atomic-ordering, lock-order, blocking-in-hot-path) -- pinned\nlet x = 1;",
+        );
+        let d = parse_directives(&lexed.comments);
+        assert!(d.invalid.is_empty(), "{:?}", d.invalid);
+        assert_eq!(
+            d.allows[0].rules,
+            vec![
+                Rule::AtomicOrdering,
+                Rule::LockOrder,
+                Rule::BlockingInHotPath
+            ]
+        );
+    }
+
+    #[test]
+    fn annotations_parse_and_unknown_protocol_is_invalid() {
+        let lexed = lex(
+            "// swh-analyze: protocol(seqlock)\n// swh-analyze: hot\nfn f() {}\n// swh-analyze: protocol(lockfree)\n",
+        );
+        let d = parse_directives(&lexed.comments);
+        assert_eq!(d.annotations.len(), 2);
+        assert_eq!(d.annotations[0].kind, AnnotationKind::ProtocolSeqlock);
+        assert_eq!(d.annotations[1].kind, AnnotationKind::Hot);
+        assert_eq!(d.invalid.len(), 1);
+        assert!(d.invalid[0].reason.contains("unknown protocol"));
+    }
+
+    #[test]
+    fn doc_comment_mention_of_annotations_is_inert() {
+        let lexed = lex("/// Mark files with `swh-analyze: protocol(seqlock)`.\nfn f() {}\n");
+        let d = parse_directives(&lexed.comments);
+        assert!(d.annotations.is_empty());
+        assert!(d.invalid.is_empty());
+    }
+
+    #[test]
+    fn concurrency_rules_cover_crate_src_trees_but_not_the_shim() {
+        // The seqlock core, the parallel merge tree, and the workspace
+        // facade are all in scope; the loom shim (which implements the
+        // memory model) and non-src trees are not.
+        for rule in [
+            Rule::AtomicOrdering,
+            Rule::LockOrder,
+            Rule::BlockingInHotPath,
+        ] {
+            for path in [
+                "crates/obs/src/journal.rs",
+                "crates/obs/src/profile.rs",
+                "crates/warehouse/src/parallel.rs",
+                "src/shadow.rs",
+            ] {
+                assert!(rule.applies_to(path), "{} must cover {path}", rule.name());
+            }
+            for path in [
+                "crates/loomshim/src/sched.rs",
+                "crates/obs/tests/loom.rs",
+                "crates/analyze/fixtures/atomic_ordering.rs",
+            ] {
+                assert!(!rule.applies_to(path), "{} must skip {path}", rule.name());
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_and_panic_cover_aqp_and_workloads() {
+        let time_src = "fn f() { let t = std::time::SystemTime::now(); }";
+        let panic_src = "fn f(v: Vec<u8>) -> u8 { v[0] }";
+        for path in [
+            "crates/aqp/src/quantiles.rs",
+            "crates/workloads/src/dataset.rs",
+        ] {
+            assert!(
+                scan_at(path, time_src)
+                    .iter()
+                    .any(|f| f.rule == Rule::Determinism),
+                "{path} not under determinism"
+            );
+            assert!(
+                scan_at(path, panic_src)
+                    .iter()
+                    .any(|f| f.rule == Rule::Panic),
+                "{path} not under panic hygiene"
+            );
+        }
     }
 }

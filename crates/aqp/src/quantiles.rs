@@ -56,6 +56,7 @@ pub fn estimate_quantile<T: SampleValue>(
                 return v;
             }
         }
+        // swh-analyze: allow(panic) -- k == 0 returned None above, so sorted_pairs() is non-empty
         &pairs.last().expect("non-empty sample").0
     };
 

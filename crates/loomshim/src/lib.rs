@@ -1,0 +1,380 @@
+//! Offline drop-in for the subset of the [`loom`] model-checking API the
+//! workspace uses, following the same pattern as `swh-randshim` and
+//! `swh-benchshim`: the workspace aliases this crate as `loom`, so model
+//! code written against the real crate's API compiles unchanged.
+//!
+//! [`loom`]: https://docs.rs/loom
+//!
+//! What it provides:
+//!
+//! - [`model`] / [`model_with`]: exhaustively (up to a preemption bound and
+//!   execution budget) explore interleavings of a closure's threads.
+//! - [`thread::spawn`] / [`thread::JoinHandle`]: model threads.
+//! - [`sync::atomic`]: atomic integers and bools plus [`sync::atomic::fence`]
+//!   whose effects are mediated by the checker — including PSO-style store
+//!   buffers, so a *missing release fence* between a seqlock's invalidation
+//!   store and its payload stores is an observable, findable bug (it is
+//!   invisible under sequential consistency and under x86-TSO, which is how
+//!   the PR 4 journal fence bug slipped past TSan).
+//! - [`hint::spin_loop`]: a scheduling yield point.
+//!
+//! Bounds of the model (see `sched` module docs): load reordering is not
+//! explored (acquire fences are no-ops; loads read the latest visible value
+//! in program order), exploration is bounded by `LOOM_MAX_PREEMPTIONS`
+//! (default 2) and `LOOM_MAX_ITERATIONS` (default 60k), and loom atomics
+//! must not be stashed in process-level statics — locations are allocated
+//! per execution.
+
+mod sched;
+
+pub use sched::{model, model_with, Config};
+
+/// Scheduling-aware replacements for `std::hint`.
+pub mod hint {
+    /// Spin-loop hint: inside a model this is a scheduling decision point
+    /// (so spinners cannot starve the thread they are waiting on); outside
+    /// a model it degrades to `std::hint::spin_loop`.
+    pub fn spin_loop() {
+        crate::sched::yield_point()
+    }
+}
+
+/// Model-thread spawning, mirroring `std::thread`.
+pub mod thread {
+    pub use crate::sched::{spawn, yield_now, JoinHandle};
+}
+
+/// Checker-mediated `std::sync` subset.
+pub mod sync {
+    /// Atomic types whose loads, stores, RMWs, and fences are decision
+    /// points in the interleaving search.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use crate::sched;
+
+        /// Memory fence mediated by the checker. `Release` (and the release
+        /// half of `AcqRel`/`SeqCst`) pins this thread's buffered stores so
+        /// later stores cannot land ahead of them; `Acquire` is a no-op
+        /// because load reordering is not modeled.
+        pub fn fence(order: Ordering) {
+            sched::fence_op(order)
+        }
+
+        macro_rules! shim_atomic_int {
+            ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+                $(#[$doc])*
+                pub struct $name {
+                    loc: usize,
+                }
+
+                impl $name {
+                    /// Create the atomic, registering its location with the
+                    /// current model execution.
+                    pub fn new(v: $ty) -> Self {
+                        Self { loc: sched::alloc_loc(v as u64) }
+                    }
+
+                    pub fn load(&self, _order: Ordering) -> $ty {
+                        sched::atomic_load(self.loc) as $ty
+                    }
+
+                    pub fn store(&self, v: $ty, order: Ordering) {
+                        sched::atomic_store(self.loc, v as u64, order)
+                    }
+
+                    pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                        sched::atomic_rmw(self.loc, order, |_| v as u64) as $ty
+                    }
+
+                    pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                        sched::atomic_rmw(self.loc, order, |old| {
+                            (old as $ty).wrapping_add(v) as u64
+                        }) as $ty
+                    }
+
+                    pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                        sched::atomic_rmw(self.loc, order, |old| {
+                            (old as $ty).wrapping_sub(v) as u64
+                        }) as $ty
+                    }
+
+                    pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                        sched::atomic_rmw(self.loc, order, |old| {
+                            (old as $ty).max(v) as u64
+                        }) as $ty
+                    }
+
+                    pub fn fetch_min(&self, v: $ty, order: Ordering) -> $ty {
+                        sched::atomic_rmw(self.loc, order, |old| {
+                            (old as $ty).min(v) as u64
+                        }) as $ty
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        let old = sched::atomic_rmw(self.loc, success, |old| {
+                            if old as $ty == current { new as u64 } else { old }
+                        }) as $ty;
+                        if old == current { Ok(old) } else { Err(old) }
+                    }
+
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $ty,
+                        new: $ty,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+                }
+
+                impl std::fmt::Debug for $name {
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        // Reading the value would be a model decision point;
+                        // keep Debug effect-free.
+                        write!(f, concat!(stringify!($name), "(loc {})"), self.loc)
+                    }
+                }
+            };
+        }
+
+        shim_atomic_int!(
+            /// Checker-mediated `AtomicU64`.
+            AtomicU64, u64
+        );
+        shim_atomic_int!(
+            /// Checker-mediated `AtomicU32`.
+            AtomicU32, u32
+        );
+        shim_atomic_int!(
+            /// Checker-mediated `AtomicU8`.
+            AtomicU8, u8
+        );
+        shim_atomic_int!(
+            /// Checker-mediated `AtomicUsize`.
+            AtomicUsize, usize
+        );
+        shim_atomic_int!(
+            /// Checker-mediated `AtomicI64`.
+            AtomicI64, i64
+        );
+
+        /// Checker-mediated `AtomicBool`.
+        pub struct AtomicBool {
+            loc: usize,
+        }
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self {
+                    loc: sched::alloc_loc(v as u64),
+                }
+            }
+
+            pub fn load(&self, _order: Ordering) -> bool {
+                sched::atomic_load(self.loc) != 0
+            }
+
+            pub fn store(&self, v: bool, order: Ordering) {
+                sched::atomic_store(self.loc, v as u64, order)
+            }
+
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                sched::atomic_rmw(self.loc, order, |_| v as u64) != 0
+            }
+        }
+
+        impl std::fmt::Debug for AtomicBool {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "AtomicBool(loc {})", self.loc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{fence, AtomicU64, Ordering};
+    use super::{model, thread};
+    use std::panic::AssertUnwindSafe;
+    use std::sync::Arc;
+
+    /// Run a model expected to fail and return the checker's panic message.
+    fn model_failure(f: impl Fn() + Send + Sync + 'static) -> String {
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| model(f)));
+        match r {
+            Err(p) => {
+                if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else {
+                    "non-string panic".to_string()
+                }
+            }
+            Ok(()) => panic!("model unexpectedly passed"),
+        }
+    }
+
+    #[test]
+    fn finds_lost_update_in_nonatomic_increment() {
+        let msg = model_failure(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let t = {
+                let x = x.clone();
+                thread::spawn(move || {
+                    let v = x.load(Ordering::Relaxed);
+                    x.store(v + 1, Ordering::Relaxed);
+                })
+            };
+            let v = x.load(Ordering::Relaxed);
+            x.store(v + 1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(x.load(Ordering::Relaxed), 2, "lost update");
+        });
+        assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+    }
+
+    #[test]
+    fn release_acquire_message_passing_passes() {
+        model(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let t = {
+                let (data, flag) = (data.clone(), flag.clone());
+                thread::spawn(move || {
+                    data.store(42, Ordering::Relaxed);
+                    flag.store(1, Ordering::Release);
+                })
+            };
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(
+                    data.load(Ordering::Relaxed),
+                    42,
+                    "publish raced ahead of data"
+                );
+            }
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn relaxed_message_passing_is_caught() {
+        // Same shape but the flag is published with Relaxed: the flag store
+        // may land while the data store is still buffered.
+        let msg = model_failure(|| {
+            let data = Arc::new(AtomicU64::new(0));
+            let flag = Arc::new(AtomicU64::new(0));
+            let t = {
+                let (data, flag) = (data.clone(), flag.clone());
+                thread::spawn(move || {
+                    data.store(42, Ordering::Relaxed);
+                    flag.store(1, Ordering::Relaxed);
+                })
+            };
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(
+                    data.load(Ordering::Relaxed),
+                    42,
+                    "publish raced ahead of data"
+                );
+            }
+            t.join().unwrap();
+        });
+        assert!(
+            msg.contains("publish raced ahead"),
+            "unexpected failure: {msg}"
+        );
+    }
+
+    /// The exact PR 4 journal bug shape: a seqlock writer that invalidates
+    /// the commit word but omits the release fence before the payload
+    /// stores, letting a payload store land ahead of the invalidation.
+    fn seqlock_round(fenced: bool) {
+        // Generation 1 is published: commit = 1, payload (a, b) = (10, 10).
+        // The writer publishes generation 2 with payload (20, 20).
+        let commit = Arc::new(AtomicU64::new(1));
+        let a = Arc::new(AtomicU64::new(10));
+        let b = Arc::new(AtomicU64::new(10));
+        let t = {
+            let (commit, a, b) = (commit.clone(), a.clone(), b.clone());
+            thread::spawn(move || {
+                commit.store(0, Ordering::Release);
+                if fenced {
+                    fence(Ordering::Release);
+                }
+                a.store(20, Ordering::Relaxed);
+                b.store(20, Ordering::Relaxed);
+                commit.store(2, Ordering::Release);
+            })
+        };
+        let c1 = commit.load(Ordering::Acquire);
+        let ra = a.load(Ordering::Relaxed);
+        let rb = b.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        let c2 = commit.load(Ordering::Acquire);
+        if c1 != 0 && c1 == c2 {
+            assert_eq!(ra, rb, "torn seqlock read (commit {c1})");
+            assert_eq!(ra, c1 * 10, "payload from a different generation");
+        }
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn unfenced_seqlock_publish_is_caught() {
+        let msg = model_failure(|| seqlock_round(false));
+        assert!(
+            msg.contains("torn seqlock read") || msg.contains("different generation"),
+            "unexpected failure: {msg}"
+        );
+    }
+
+    #[test]
+    fn fenced_seqlock_publish_passes() {
+        model(|| seqlock_round(true));
+    }
+
+    #[test]
+    fn join_observes_spawned_thread_writes() {
+        model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let t = {
+                let x = x.clone();
+                thread::spawn(move || x.store(7, Ordering::Relaxed))
+            };
+            t.join().unwrap();
+            assert_eq!(
+                x.load(Ordering::Relaxed),
+                7,
+                "exit must flush the store buffer"
+            );
+        });
+    }
+
+    #[test]
+    fn rmw_operations_are_atomic() {
+        model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let t = {
+                let x = x.clone();
+                thread::spawn(move || {
+                    x.fetch_add(1, Ordering::Relaxed);
+                })
+            };
+            x.fetch_add(1, Ordering::Relaxed);
+            t.join().unwrap();
+            assert_eq!(
+                x.load(Ordering::Relaxed),
+                2,
+                "fetch_add must never lose an update"
+            );
+        });
+    }
+}

@@ -1,0 +1,724 @@
+//! The exploration engine: a replay-based depth-first search over scheduling
+//! and store-visibility decisions.
+//!
+//! Each call to [`model`] runs the closure repeatedly, once per explored
+//! execution. Threads are real OS threads, but they run one at a time under a
+//! baton-passing scheduler: every shared-memory operation is a *decision
+//! point* where the engine either keeps the current thread running (choice 0,
+//! the cheap path) or preempts to another runnable thread. Decisions are
+//! recorded on a path of `(chosen, n)` pairs; after an execution finishes the
+//! last decision with unexplored alternatives is advanced and the prefix is
+//! replayed, which makes exploration exhaustive (up to the preemption bound
+//! and execution budget) without checkpointing any program state.
+//!
+//! # Memory model
+//!
+//! Sequential consistency alone cannot reproduce the class of bug this crate
+//! exists to catch: a *missing release fence* between a seqlock's
+//! invalidation store and its payload stores is invisible under SC (and under
+//! x86-TSO, which is why TSan and native tests missed it in the journal).
+//! The engine therefore gives every thread a private store buffer, modeling a
+//! PSO-like memory system:
+//!
+//! - A non-SeqCst store may either land in visible memory immediately or sit
+//!   in the thread's buffer (a binary decision point, only offered while
+//!   another thread is live to observe the difference).
+//! - Buffers are flushed respecting per-location FIFO coherence; a `Release`
+//!   store additionally drags *all* earlier buffered stores with it — but
+//!   does not constrain *later* stores, which may still land ahead of it.
+//!   That asymmetry is precisely the C++ one-way barrier, and is what lets
+//!   the unfenced seqlock publish fail here.
+//! - A `Release` fence raises the thread's fence level; stores issued after
+//!   the fence can never land before stores buffered below that level.
+//! - Read-modify-writes always act on visible memory (flushing own buffered
+//!   stores to that location first). Loads see the thread's own newest
+//!   buffered store (store-to-load forwarding) or else visible memory.
+//! - Loads execute in program order and read the latest visible value, so
+//!   `Acquire` ordering and acquire fences are no-ops here: *load* reordering
+//!   is not modeled. This is a documented bound of the checker — it explores
+//!   store reordering (the PSO axis), not read speculation.
+//!
+//! A thread's remaining buffered stores land when it exits, after one final
+//! decision point so other threads can observe the pre-flush state.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Default bound on involuntary context switches per execution. Two
+/// preemptions are enough to expose every seqlock violation this crate
+/// models; raise via [`Config`] or `LOOM_MAX_PREEMPTIONS`.
+pub const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// Default budget on explored executions before the search stops and reports
+/// bounded coverage. Override via [`Config`] or `LOOM_MAX_ITERATIONS`.
+pub const DEFAULT_MAX_EXECUTIONS: usize = 60_000;
+
+/// Cap on buffered stores per thread, bounding the delay-decision fan-out.
+const MAX_BUFFERED: usize = 8;
+
+/// Exploration parameters for [`model_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Maximum involuntary context switches per execution.
+    pub preemption_bound: usize,
+    /// Maximum executions to explore before stopping.
+    pub max_executions: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        fn env_usize(key: &str, default: usize) -> usize {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        }
+        Self {
+            preemption_bound: env_usize("LOOM_MAX_PREEMPTIONS", DEFAULT_PREEMPTION_BOUND),
+            max_executions: env_usize("LOOM_MAX_ITERATIONS", DEFAULT_MAX_EXECUTIONS),
+        }
+    }
+}
+
+/// One recorded decision: alternative `chosen` out of `n`.
+#[derive(Debug, Clone, Copy)]
+struct Choice {
+    chosen: usize,
+    n: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    /// Schedulable.
+    Ready,
+    /// Blocked joining the given thread.
+    Joining(usize),
+    /// Exited; result harvested through its `JoinHandle`.
+    Finished,
+}
+
+/// A store sitting in a thread's private buffer, not yet globally visible.
+struct BufEntry {
+    loc: usize,
+    val: u64,
+    /// Release stores drag every earlier buffered store when they land.
+    release: bool,
+    /// The thread's release-fence level when this store was buffered. A
+    /// store issued at a higher level cannot land before this entry.
+    fence_level: usize,
+}
+
+/// State of one execution, shared by all model threads under a mutex.
+struct Exec {
+    /// Decision path being replayed (prefix) and extended (suffix).
+    path: Vec<Choice>,
+    cursor: usize,
+    threads: Vec<TState>,
+    current: usize,
+    preemptions: usize,
+    /// Globally visible value of each atomic location.
+    visible: Vec<u64>,
+    /// Per-thread store buffers, oldest first.
+    buffers: Vec<Vec<BufEntry>>,
+    /// Per-thread release-fence counters.
+    fence_level: Vec<usize>,
+    failure: Option<String>,
+    aborting: bool,
+    done: bool,
+}
+
+pub(crate) struct Scheduler {
+    exec: Mutex<Exec>,
+    cv: Condvar,
+    preemption_bound: usize,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Panic payload used to unwind model threads when an execution aborts
+/// (failure elsewhere or deadlock). Never reported as a model failure.
+struct AbortToken;
+
+fn abort_unwind() -> ! {
+    panic::panic_any(AbortToken)
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+fn set_ctx(sched: &Arc<Scheduler>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched.clone(), id)));
+}
+
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> R {
+    let ctx = CTX.with(|c| c.borrow().clone());
+    let (sched, me) = ctx.expect("loomshim primitives may only be used inside loom::model");
+    f(&sched, me)
+}
+
+impl Scheduler {
+    fn new(path: Vec<Choice>, preemption_bound: usize) -> Self {
+        Self {
+            exec: Mutex::new(Exec {
+                path,
+                cursor: 0,
+                threads: Vec::new(),
+                current: 0,
+                preemptions: 0,
+                visible: Vec::new(),
+                buffers: Vec::new(),
+                fence_level: Vec::new(),
+                failure: None,
+                aborting: false,
+                done: false,
+            }),
+            cv: Condvar::new(),
+            preemption_bound,
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Poison-tolerant lock: unwinding model threads poison the mutex, but
+    /// the state they leave behind is still consistent (abort flags are set
+    /// before any unwind).
+    fn lock(&self) -> MutexGuard<'_, Exec> {
+        self.exec.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replay the next decision from the path, or extend it with choice 0.
+    fn choose(ex: &mut Exec, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        let chosen = if ex.cursor < ex.path.len() {
+            let c = ex.path[ex.cursor];
+            assert_eq!(
+                c.n, n,
+                "loomshim: nondeterministic replay — the model closure must be \
+                 deterministic apart from scheduling"
+            );
+            c.chosen
+        } else {
+            ex.path.push(Choice { chosen: 0, n });
+            0
+        };
+        ex.cursor += 1;
+        chosen
+    }
+
+    fn live_count(ex: &Exec) -> usize {
+        ex.threads
+            .iter()
+            .filter(|t| **t != TState::Finished)
+            .count()
+    }
+
+    /// Pick who runs next. Sets `current` and notifies; does not wait.
+    /// `me_runnable` is false when the caller is blocking or exiting.
+    fn reschedule(&self, ex: &mut Exec, me: usize, me_runnable: bool) {
+        if ex.aborting {
+            abort_unwind();
+        }
+        let mut opts = Vec::with_capacity(ex.threads.len());
+        if me_runnable {
+            // Choice 0 = keep running: the cheap, non-preempting branch.
+            opts.push(me);
+        }
+        // Preempting a runnable thread spends budget; switching away from a
+        // blocked or exiting one is free.
+        if !me_runnable || ex.preemptions < self.preemption_bound {
+            for (id, st) in ex.threads.iter().enumerate() {
+                if id != me && *st == TState::Ready {
+                    opts.push(id);
+                }
+            }
+        }
+        if opts.is_empty() {
+            ex.failure
+                .get_or_insert_with(|| format!("deadlock: no runnable thread ({:?})", ex.threads));
+            ex.aborting = true;
+            ex.done = true;
+            self.cv.notify_all();
+            abort_unwind();
+        }
+        let pick = if opts.len() == 1 {
+            opts[0]
+        } else {
+            opts[Self::choose(ex, opts.len())]
+        };
+        if pick != me {
+            if me_runnable {
+                ex.preemptions += 1;
+            }
+            ex.current = pick;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until this thread holds the baton again (or the execution
+    /// aborts, in which case the thread unwinds).
+    fn wait_turn<'a>(&'a self, mut g: MutexGuard<'a, Exec>, me: usize) -> MutexGuard<'a, Exec> {
+        loop {
+            if g.aborting {
+                drop(g);
+                abort_unwind();
+            }
+            if g.current == me && g.threads[me] == TState::Ready {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A shared-memory operation is about to execute on `me`: insert a
+    /// scheduling decision point, possibly handing the baton elsewhere.
+    fn schedule_point<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Exec>,
+        me: usize,
+    ) -> MutexGuard<'a, Exec> {
+        if g.aborting {
+            drop(g);
+            abort_unwind();
+        }
+        debug_assert_eq!(g.current, me, "op on a thread that does not hold the baton");
+        self.reschedule(&mut g, me, true);
+        if g.current != me {
+            g = self.wait_turn(g, me);
+        }
+        g
+    }
+
+    /// Flush the marked buffer entries of thread `me`, plus everything they
+    /// transitively drag along, to visible memory in buffer order.
+    fn flush_marked(ex: &mut Exec, me: usize, mut marks: Vec<bool>) {
+        let buf = std::mem::take(&mut ex.buffers[me]);
+        // Closure: a marked release entry drags all earlier entries; any
+        // marked entry drags earlier same-location entries (coherence) and
+        // anything buffered below its fence level.
+        loop {
+            let mut changed = false;
+            for i in 0..buf.len() {
+                if !marks[i] {
+                    continue;
+                }
+                for j in 0..i {
+                    if !marks[j]
+                        && (buf[i].release
+                            || buf[j].loc == buf[i].loc
+                            || buf[j].fence_level < buf[i].fence_level)
+                    {
+                        marks[j] = true;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut kept = Vec::with_capacity(buf.len());
+        for (i, e) in buf.into_iter().enumerate() {
+            if marks[i] {
+                ex.visible[e.loc] = e.val;
+            } else {
+                kept.push(e);
+            }
+        }
+        ex.buffers[me] = kept;
+    }
+
+    /// Land a store in visible memory right now, flushing whatever buffered
+    /// stores must precede it.
+    fn land_store(ex: &mut Exec, me: usize, loc: usize, val: u64, release: bool, flevel: usize) {
+        let marks = ex.buffers[me]
+            .iter()
+            .map(|e| release || e.loc == loc || e.fence_level < flevel)
+            .collect();
+        Self::flush_marked(ex, me, marks);
+        ex.visible[loc] = val;
+    }
+
+    fn finish_thread<T>(
+        &self,
+        id: usize,
+        r: std::thread::Result<T>,
+        slot: &Mutex<Option<std::thread::Result<T>>>,
+    ) {
+        let mut g = self.lock();
+        g.threads[id] = TState::Finished;
+        match r {
+            Err(p) if p.downcast_ref::<AbortToken>().is_some() => {
+                // Torn down by an abort already in progress.
+                self.cv.notify_all();
+            }
+            Err(p) => {
+                g.failure
+                    .get_or_insert_with(|| format!("thread panicked: {}", panic_message(&*p)));
+                g.aborting = true;
+                g.done = true;
+                self.cv.notify_all();
+            }
+            Ok(v) => {
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(Ok(v));
+                if g.aborting {
+                    self.cv.notify_all();
+                    return;
+                }
+                // Exit flushes the store buffer: a real thread's stores are
+                // visible to whoever joins it.
+                let marks = vec![true; g.buffers[id].len()];
+                Self::flush_marked(&mut g, id, marks);
+                for st in g.threads.iter_mut() {
+                    if *st == TState::Joining(id) {
+                        *st = TState::Ready;
+                    }
+                }
+                if Self::live_count(&g) == 0 {
+                    g.done = true;
+                    self.cv.notify_all();
+                } else {
+                    self.reschedule(&mut g, id, false);
+                }
+            }
+        }
+    }
+}
+
+/// Thread body shared by the root closure and spawned threads.
+fn run_thread<T>(
+    sched: &Arc<Scheduler>,
+    id: usize,
+    f: impl FnOnce() -> T,
+    slot: &Mutex<Option<std::thread::Result<T>>>,
+) {
+    let r = panic::catch_unwind(AssertUnwindSafe(|| {
+        let g = sched.lock();
+        drop(sched.wait_turn(g, id));
+        let v = f();
+        // Exiting is observable: buffered stores land only after one final
+        // decision point, so peers can race against the pre-flush state.
+        let g = sched.lock();
+        drop(sched.schedule_point(g, id));
+        v
+    }));
+    sched.finish_thread(id, r, slot);
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Install (once per process) a panic hook that silences the internal
+/// [`AbortToken`] unwinds used to tear down aborted executions.
+fn install_panic_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<AbortToken>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Explore every bounded interleaving of `f`. Panics (with the failing
+/// decision path) if any execution panics, fails an assertion, or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(Config::default(), f)
+}
+
+/// [`model`] with explicit exploration bounds.
+pub fn model_with<F>(cfg: Config, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_panic_hook();
+    let f = Arc::new(f);
+    let mut next_path: Vec<Choice> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        let sched = Arc::new(Scheduler::new(
+            std::mem::take(&mut next_path),
+            cfg.preemption_bound,
+        ));
+        {
+            let mut g = sched.lock();
+            g.threads.push(TState::Ready);
+            g.buffers.push(Vec::new());
+            g.fence_level.push(0);
+            g.current = 0;
+        }
+        let root_slot: Arc<Mutex<Option<std::thread::Result<()>>>> = Arc::new(Mutex::new(None));
+        let root = {
+            let sched = sched.clone();
+            let f = f.clone();
+            let slot = root_slot.clone();
+            std::thread::Builder::new()
+                .name("loomshim-0".into())
+                .spawn(move || {
+                    set_ctx(&sched, 0);
+                    run_thread(&sched, 0, move || f(), &slot);
+                })
+                .expect("spawn model root thread")
+        };
+        let (failure, path) = {
+            let mut g = sched.lock();
+            while !g.done {
+                g = sched.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            (g.failure.clone(), g.path.clone())
+        };
+        let _ = root.join();
+        let handles = std::mem::take(
+            &mut *sched
+                .os_handles
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(msg) = failure {
+            let schedule: Vec<usize> = path.iter().map(|c| c.chosen).collect();
+            panic!(
+                "loomshim: model failed after {executions} execution(s): {msg}\n  \
+                 failing schedule: {schedule:?}"
+            );
+        }
+        // Depth-first backtracking: advance the deepest decision that still
+        // has an unexplored alternative; done when none remains.
+        let mut p = path;
+        loop {
+            match p.pop() {
+                None => return,
+                Some(c) if c.chosen + 1 < c.n => {
+                    p.push(Choice {
+                        chosen: c.chosen + 1,
+                        n: c.n,
+                    });
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+        next_path = p;
+        if executions >= cfg.max_executions {
+            eprintln!(
+                "loomshim: stopping after {executions} executions; coverage is bounded \
+                 (raise LOOM_MAX_ITERATIONS to explore further)"
+            );
+            return;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operations called by the atomic shims.
+// ---------------------------------------------------------------------------
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Register a fresh atomic location with an initial visible value.
+pub(crate) fn alloc_loc(init: u64) -> usize {
+    with_ctx(|sched, _me| {
+        let mut g = sched.lock();
+        let loc = g.visible.len();
+        g.visible.push(init);
+        loc
+    })
+}
+
+pub(crate) fn atomic_load(loc: usize) -> u64 {
+    with_ctx(|sched, me| {
+        let g = sched.lock();
+        let g = sched.schedule_point(g, me);
+        // Store-to-load forwarding: a thread sees its own buffered stores.
+        g.buffers[me]
+            .iter()
+            .rev()
+            .find(|e| e.loc == loc)
+            .map(|e| e.val)
+            .unwrap_or(g.visible[loc])
+    })
+}
+
+pub(crate) fn atomic_store(loc: usize, val: u64, order: Ordering) {
+    with_ctx(|sched, me| {
+        let g = sched.lock();
+        let mut g = sched.schedule_point(g, me);
+        let ex = &mut *g;
+        let release = is_release(order);
+        // Visibility decision: land now, or sit in the store buffer. Only a
+        // real branch while another thread is live to tell the difference.
+        let may_delay = order != Ordering::SeqCst
+            && Scheduler::live_count(ex) > 1
+            && ex.buffers[me].len() < MAX_BUFFERED;
+        let flevel = ex.fence_level[me];
+        if may_delay && Scheduler::choose(ex, 2) == 1 {
+            ex.buffers[me].push(BufEntry {
+                loc,
+                val,
+                release,
+                fence_level: flevel,
+            });
+        } else {
+            Scheduler::land_store(ex, me, loc, val, release, flevel);
+        }
+    })
+}
+
+/// Read-modify-write: always acts on visible memory, flushing this thread's
+/// buffered stores to the location first (plus everything earlier, for
+/// release-flavored RMWs).
+pub(crate) fn atomic_rmw(loc: usize, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    with_ctx(|sched, me| {
+        let g = sched.lock();
+        let mut g = sched.schedule_point(g, me);
+        let ex = &mut *g;
+        let release = is_release(order);
+        let flevel = ex.fence_level[me];
+        let marks = ex.buffers[me]
+            .iter()
+            .map(|e| release || e.loc == loc || e.fence_level < flevel)
+            .collect();
+        Scheduler::flush_marked(ex, me, marks);
+        let old = ex.visible[loc];
+        ex.visible[loc] = f(old);
+        old
+    })
+}
+
+pub(crate) fn fence_op(order: Ordering) {
+    with_ctx(|sched, me| {
+        let g = sched.lock();
+        let mut g = sched.schedule_point(g, me);
+        let ex = &mut *g;
+        match order {
+            // A release fence pins every buffered store below the new level:
+            // later stores can no longer land ahead of them.
+            Ordering::Release | Ordering::AcqRel => ex.fence_level[me] += 1,
+            Ordering::SeqCst => {
+                let marks = vec![true; ex.buffers[me].len()];
+                Scheduler::flush_marked(ex, me, marks);
+                ex.fence_level[me] += 1;
+            }
+            // Loads run in program order against visible memory, so acquire
+            // fences have nothing to reorder in this model.
+            _ => {}
+        }
+    })
+}
+
+/// A pure scheduling decision point (spin-loop hints, `yield_now`).
+pub(crate) fn yield_point() {
+    if !in_model() {
+        std::hint::spin_loop();
+        return;
+    }
+    with_ctx(|sched, me| {
+        let g = sched.lock();
+        drop(sched.schedule_point(g, me));
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Threads.
+// ---------------------------------------------------------------------------
+
+/// Handle to a model thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    id: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+/// Spawn a model thread. Panics if called outside [`model`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    with_ctx(|sched, parent| {
+        let id = {
+            let mut g = sched.lock();
+            let id = g.threads.len();
+            g.threads.push(TState::Ready);
+            g.buffers.push(Vec::new());
+            g.fence_level.push(0);
+            id
+        };
+        let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+        let os = {
+            let sched = sched.clone();
+            let slot = result.clone();
+            std::thread::Builder::new()
+                .name(format!("loomshim-{id}"))
+                .spawn(move || {
+                    set_ctx(&sched, id);
+                    run_thread(&sched, id, f, &slot);
+                })
+                .expect("spawn model thread")
+        };
+        sched
+            .os_handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(os);
+        // Spawning is observable: the child may run immediately.
+        let g = sched.lock();
+        drop(sched.schedule_point(g, parent));
+        JoinHandle { id, result }
+    })
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish; mirrors `std::thread::JoinHandle::join`.
+    pub fn join(self) -> std::thread::Result<T> {
+        with_ctx(|sched, me| {
+            let mut g = sched.lock();
+            loop {
+                if g.aborting {
+                    drop(g);
+                    abort_unwind();
+                }
+                if g.threads[self.id] == TState::Finished {
+                    break;
+                }
+                g.threads[me] = TState::Joining(self.id);
+                sched.reschedule(&mut g, me, false);
+                g = sched.wait_turn(g, me);
+            }
+            drop(g);
+            self.result
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .take()
+                .expect("joined thread stored its result before finishing")
+        })
+    }
+}
+
+/// Voluntary yield: a scheduling decision point with no memory effect.
+pub fn yield_now() {
+    yield_point()
+}

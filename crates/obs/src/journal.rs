@@ -15,7 +15,19 @@
 //! and the reader discards the torn copy. Writers never wait on readers or
 //! on each other.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+// The seqlock discipline below is machine-checked: the annotation puts this
+// file under the analyzer's atomic-ordering rule (sequence-word publishes
+// need Release or a release fence; Relaxed validation reads need an acquire
+// fence in the same function).
+// swh-analyze: protocol(seqlock)
+
+// Under `--cfg loom` the atomics come from the model checker (the workspace
+// aliases `loom` to swh-loomshim), so `tests/loom.rs` can explore every
+// bounded interleaving of `record` against `snapshot`.
+#[cfg(loom)]
+use loom::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
 /// What a journal [`Event`] describes. The two payload words `a` and `b`
@@ -183,7 +195,13 @@ impl Journal {
     /// A journal holding the most recent `capacity` events (rounded up to
     /// a power of two, minimum 8). Recording starts enabled.
     pub fn with_capacity(capacity: usize) -> Self {
-        let cap = capacity.max(8).next_power_of_two();
+        // Under the model checker a 2-slot ring keeps the interleaving
+        // space explorable while still exercising slot overwrite.
+        #[cfg(loom)]
+        const MIN_CAPACITY: usize = 2;
+        #[cfg(not(loom))]
+        const MIN_CAPACITY: usize = 8;
+        let cap = capacity.max(MIN_CAPACITY).next_power_of_two();
         Self {
             slots: (0..cap).map(|_| Slot::new()).collect(),
             mask: (cap - 1) as u64,
@@ -199,6 +217,7 @@ impl Journal {
 
     /// Total events recorded since creation (including overwritten ones).
     pub fn recorded(&self) -> u64 {
+        // swh-analyze: allow(atomic-ordering) -- monotonic counter read on its own; no slot payload is inferred from it
         self.head.load(Ordering::Relaxed)
     }
 
@@ -222,6 +241,7 @@ impl Journal {
 
     /// Record an event; returns its sequence number (0 when disabled —
     /// sequence numbers of recorded events start at 1).
+    // swh-analyze: hot
     pub fn record(&self, kind: EventKind, span: u64, parent: u64, a: u64, b: u64) -> u64 {
         if !self.enabled() {
             return 0;
@@ -234,7 +254,7 @@ impl Journal {
         // a reader pairing it with its acquire fence can never validate a
         // half-overwritten slot on weakly-ordered hardware.
         slot.commit.store(0, Ordering::Release);
-        std::sync::atomic::fence(Ordering::Release);
+        fence(Ordering::Release);
         slot.seq.store(seq, Ordering::Relaxed);
         slot.span.store(span, Ordering::Relaxed);
         slot.parent.store(parent, Ordering::Relaxed);
@@ -267,7 +287,7 @@ impl Journal {
             };
             // Pairs with the release fence in `record`: the field loads
             // above must complete before the re-read of the commit word.
-            std::sync::atomic::fence(Ordering::Acquire);
+            fence(Ordering::Acquire);
             let c2 = slot.commit.load(Ordering::Acquire);
             if c1 == c2 && ev.seq == c1 {
                 out.push(ev);

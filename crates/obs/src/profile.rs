@@ -41,10 +41,27 @@
 //! per-element loops; the `trace_overhead` bench gates the end-to-end cost
 //! below 5%.
 
+// The per-node seqlock below is machine-checked: the annotation puts this
+// file under the analyzer's atomic-ordering rule.
+// swh-analyze: protocol(seqlock)
+
 use crate::metrics::bucket_of;
 use crate::timer::Stopwatch;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+// Under `--cfg loom` the seqlock atomics come from the model checker (the
+// workspace aliases `loom` to swh-loomshim); `tests/loom.rs` drives the
+// node seqlock through [`model_probe`]. The registry statics stay on std
+// primitives either way — loom atomics must not live in process statics.
+#[cfg(loom)]
+use loom::hint::spin_loop;
+#[cfg(loom)]
+use loom::sync::atomic::{fence, AtomicU64, Ordering};
+#[cfg(not(loom))]
+use std::hint::spin_loop;
+#[cfg(loom)]
+use std::sync::atomic::AtomicBool;
+#[cfg(not(loom))]
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
@@ -87,7 +104,9 @@ impl Node {
     /// commit word toggles odd → even with no CAS loop; the release fence
     /// keeps the accumulator bumps from being reordered before the odd
     /// flip (mirrors `Journal::record`).
+    // swh-analyze: hot
     fn record(&self, total_ns: u64, self_ns: u64) {
+        // swh-analyze: allow(atomic-ordering) -- single writer: this thread wrote the commit word last, no payload is read through it
         let c = self.commit.load(Ordering::Relaxed);
         self.commit.store(c.wrapping_add(1), Ordering::Release);
         fence(Ordering::Release);
@@ -105,7 +124,7 @@ impl Node {
         for _ in 0..SNAPSHOT_RETRIES {
             let c1 = self.commit.load(Ordering::Acquire);
             if c1 & 1 == 1 {
-                std::hint::spin_loop();
+                spin_loop();
                 continue;
             }
             let shard = NodeShard {
@@ -144,9 +163,12 @@ struct Shard {
 
 struct ProfileRegistry {
     shards: Mutex<Vec<Shard>>,
-    next_seq: AtomicU64,
+    // Registry counters are std atomics even under `--cfg loom`: the
+    // registry lives in a process static, and model-checked atomics are
+    // allocated per model execution.
+    next_seq: std::sync::atomic::AtomicU64,
     /// Bumped by [`reset`]; thread-local caches compare and self-clear.
-    epoch: AtomicU64,
+    epoch: std::sync::atomic::AtomicU64,
     enabled: AtomicBool,
 }
 
@@ -154,8 +176,8 @@ fn registry() -> &'static ProfileRegistry {
     static GLOBAL: OnceLock<ProfileRegistry> = OnceLock::new();
     GLOBAL.get_or_init(|| ProfileRegistry {
         shards: Mutex::new(Vec::new()),
-        next_seq: AtomicU64::new(0),
-        epoch: AtomicU64::new(0),
+        next_seq: std::sync::atomic::AtomicU64::new(0),
+        epoch: std::sync::atomic::AtomicU64::new(0),
         enabled: AtomicBool::new(true),
     })
 }
@@ -176,8 +198,10 @@ struct ThreadProfile {
 
 impl ThreadProfile {
     /// Resolve `path` to this thread's private node, registering it
-    /// globally on first sight.
-    fn resolve(&mut self, path: &Arc<str>) -> Arc<Node> {
+    /// globally on first sight. Takes `&str` so cache hits — the steady
+    /// state of every hot record path — cost a map lookup and no
+    /// allocation; the `Arc<str>` is only built on first sight.
+    fn resolve(&mut self, path: &str) -> Arc<Node> {
         let epoch = registry().epoch.load(Ordering::Relaxed);
         if self.epoch != epoch {
             self.cache.clear();
@@ -186,18 +210,20 @@ impl ThreadProfile {
         if let Some(node) = self.cache.get(path) {
             return Arc::clone(node);
         }
+        let path: Arc<str> = Arc::from(path);
         let node = Arc::new(Node::new());
         let reg = registry();
+        // swh-analyze: allow(atomic-ordering) -- registration tiebreak counter; first-seen order is published under the shards lock
         let seq = reg.next_seq.fetch_add(1, Ordering::Relaxed);
         reg.shards
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push(Shard {
-                path: Arc::clone(path),
+                path: Arc::clone(&path),
                 seq,
                 node: Arc::clone(&node),
             });
-        self.cache.insert(Arc::clone(path), Arc::clone(&node));
+        self.cache.insert(path, node.clone());
         node
     }
 }
@@ -307,13 +333,13 @@ impl Drop for ProfileScope {
 /// region boundaries are data-driven rather than lexical — an
 /// `observe_batch` phase segment ends when the sampler changes phase, not
 /// when a block closes.
+// swh-analyze: hot
 pub fn record(path: &str, ns: u64) {
     if !enabled() {
         return;
     }
-    let path: Arc<str> = Arc::from(path);
     let _ = TLS.try_with(|tls| {
-        let node = tls.borrow_mut().resolve(&path);
+        let node = tls.borrow_mut().resolve(path);
         node.record(ns, ns);
     });
 }
@@ -516,6 +542,50 @@ pub fn snapshot() -> ProfileSnapshot {
     let mut nodes: Vec<ProfileNode> = merged.into_values().collect();
     nodes.sort_by_key(|n| n.seq);
     ProfileSnapshot { nodes }
+}
+
+/// Model-checking probe, compiled only under `--cfg loom`: exposes the
+/// private seqlock [`Node`] to `tests/loom.rs` without widening the public
+/// API of normal builds. Loom tests must go through this probe (one fresh
+/// node per model execution) and never touch the process-global registry,
+/// whose statics are not model-checked.
+#[cfg(loom)]
+pub mod model_probe {
+    /// A fresh, unregistered profile node driven directly.
+    #[derive(Debug)]
+    pub struct NodeProbe {
+        node: super::Node,
+    }
+
+    impl NodeProbe {
+        /// A probe around a fresh node; call inside `loom::model` only.
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            Self {
+                node: super::Node::new(),
+            }
+        }
+
+        /// The single-writer seqlock update (`Node::record`).
+        pub fn record(&self, total_ns: u64, self_ns: u64) {
+            self.node.record(total_ns, self_ns);
+        }
+
+        /// The seqlock read (`Node::read`); returns
+        /// `(count, total_ns, self_ns, max_ns, bucket_sum)` on a
+        /// consistent snapshot.
+        pub fn read(&self) -> Option<(u64, u64, u64, u64, u64)> {
+            self.node.read().map(|s| {
+                (
+                    s.count,
+                    s.total_ns,
+                    s.self_ns,
+                    s.max_ns,
+                    s.buckets.iter().sum(),
+                )
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,10 @@
 //! Data output (CSV rows, query results) still goes to stdout unconditionally
 //! — only *progress chatter* belongs here.
 
+// A single standalone flag: every ordering is Relaxed by design, and the
+// annotation keeps the analyzer checking that this stays true.
+// swh-analyze: protocol(monotonic)
+
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;
 
@@ -21,17 +25,17 @@ pub fn verbosity() -> u8 {
                 "" | "0" | "false" => 0,
                 s => s.parse::<u8>().unwrap_or(1),
             };
-            VERBOSITY.store(level, Ordering::Relaxed);
+            VERBOSITY.store(level, Ordering::Relaxed); // swh-analyze: allow(atomic-ordering) -- standalone flag; publication is ordered by OnceLock
         }
     });
-    VERBOSITY.load(Ordering::Relaxed)
+    VERBOSITY.load(Ordering::Relaxed) // swh-analyze: allow(atomic-ordering) -- standalone flag read, no dependent data
 }
 
 /// Override the verbosity level (wins over `SWH_VERBOSE`).
 pub fn set_verbosity(level: u8) {
     // Make sure a later env read cannot clobber an explicit override.
     ENV_INIT.get_or_init(|| ());
-    VERBOSITY.store(level, Ordering::Relaxed);
+    VERBOSITY.store(level, Ordering::Relaxed); // swh-analyze: allow(atomic-ordering) -- standalone flag; stale reads only misroute chatter
 }
 
 /// Write one progress line to stderr if `level` is enabled. Prefer the

@@ -1,0 +1,144 @@
+//! Loom models of the lock-free observability core.
+//!
+//! Run with the model checker enabled:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p swh-obs --test loom --release
+//! ```
+//!
+//! Under that cfg the seqlock modules (`journal`, `profile`) swap their
+//! atomics onto the checker (the workspace aliases `loom` to the offline
+//! `swh-loomshim` crate), which explores every interleaving up to a
+//! preemption bound *and* every PSO-style store-buffer outcome. That second
+//! axis is the point: the PR 4 journal bug — a missing release fence
+//! between the seqlock invalidation store and the payload stores — is
+//! invisible under sequential consistency and x86-TSO (which is why TSan
+//! and native stress tests missed it), but is an explorable outcome here.
+//! `unfenced_journal_write_shape_is_caught` below proves the checker finds
+//! exactly that shape; the other models assert the shipped protocols
+//! survive full exploration.
+//!
+//! Without `--cfg loom` this file compiles to an empty test binary, so
+//! plain `cargo test` is unaffected.
+#![cfg(loom)]
+
+use loom::sync::atomic::{fence, AtomicU64, Ordering};
+use loom::thread;
+use std::sync::Arc;
+use swh_obs::journal::{EventKind, Journal};
+use swh_obs::profile::model_probe::NodeProbe;
+
+/// One writer racing one snapshot reader over a 2-slot ring, with both
+/// pre-filled slots being overwritten candidates. Every event the reader
+/// validates must be internally consistent (`b == span * a` by
+/// construction), and after joining the writer the final snapshot holds
+/// the two newest events.
+#[test]
+fn journal_record_vs_snapshot_never_tears() {
+    loom::model(|| {
+        let j = Arc::new(Journal::with_capacity(2));
+        // Pre-fill single-threaded: no interleaving cost.
+        j.record(EventKind::Ingest, 1, 0, 1, 1);
+        j.record(EventKind::Ingest, 1, 0, 2, 2);
+        let writer = {
+            let j = Arc::clone(&j);
+            thread::spawn(move || {
+                // Overwrites slot 0 (seq 3).
+                j.record(EventKind::Ingest, 1, 0, 7, 7);
+            })
+        };
+        for ev in j.snapshot() {
+            assert_eq!(ev.b, ev.span * ev.a, "torn event {ev:?}");
+            assert_eq!(ev.span, 1, "torn event {ev:?}");
+            assert!(ev.seq >= 1 && ev.seq <= 3, "impossible seq {ev:?}");
+        }
+        writer.join().unwrap();
+        let evs = j.snapshot();
+        assert_eq!(evs.len(), 2, "ring holds the newest two events");
+        assert_eq!(evs[0].seq, 2);
+        assert_eq!(evs[1].seq, 3);
+        assert_eq!(evs[1].a, 7);
+    });
+}
+
+/// The profile node's single-writer seqlock: a concurrent reader sees
+/// either the empty node or the complete record, never a mix, and a
+/// quiescent read after join sees exactly the record.
+#[test]
+fn profile_node_single_writer_seqlock_never_tears() {
+    loom::model(|| {
+        let node = Arc::new(NodeProbe::new());
+        let writer = {
+            let node = Arc::clone(&node);
+            thread::spawn(move || node.record(8, 3))
+        };
+        if let Some((count, total_ns, self_ns, max_ns, bucket_sum)) = node.read() {
+            match count {
+                0 => assert_eq!(
+                    (total_ns, self_ns, max_ns, bucket_sum),
+                    (0, 0, 0, 0),
+                    "phantom accumulation before the record"
+                ),
+                1 => assert_eq!(
+                    (total_ns, self_ns, max_ns, bucket_sum),
+                    (8, 3, 8, 1),
+                    "torn read of a committed record"
+                ),
+                n => panic!("impossible count {n}"),
+            }
+        }
+        writer.join().unwrap();
+        let quiescent = node.read().expect("no writer left, read must settle");
+        assert_eq!(quiescent, (1, 8, 3, 8, 1));
+    });
+}
+
+/// Regression: the exact PR 4 bug shape. This is `Journal::record`'s store
+/// sequence with the release fence *omitted*, run against `snapshot`'s
+/// load sequence. The checker must find the torn read — the payload store
+/// landing ahead of the buffered invalidation store — that TSan and x86
+/// hardware cannot produce. Guards against the checker silently losing
+/// the store-reordering axis that makes the journal/profile models above
+/// meaningful.
+#[test]
+fn unfenced_journal_write_shape_is_caught() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            // Slot state: committed event seq 1 with payload a = b = 10.
+            let commit = Arc::new(AtomicU64::new(1));
+            let seq = Arc::new(AtomicU64::new(1));
+            let a = Arc::new(AtomicU64::new(10));
+            let writer = {
+                let (commit, seq, a) = (Arc::clone(&commit), Arc::clone(&seq), Arc::clone(&a));
+                thread::spawn(move || {
+                    // Journal::record for seq 2, minus the release fence.
+                    commit.store(0, Ordering::Release);
+                    // fence(Ordering::Release) belongs here.
+                    seq.store(2, Ordering::Relaxed);
+                    a.store(20, Ordering::Relaxed);
+                    commit.store(2, Ordering::Release);
+                })
+            };
+            // Journal::snapshot's validation for one slot.
+            let c1 = commit.load(Ordering::Acquire);
+            if c1 != 0 {
+                let rseq = seq.load(Ordering::Relaxed);
+                let ra = a.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                let c2 = commit.load(Ordering::Acquire);
+                if c1 == c2 && rseq == c1 {
+                    assert_eq!(ra, rseq * 10, "torn slot: seq {rseq} with payload {ra}");
+                }
+            }
+            writer.join().unwrap();
+        });
+    });
+    let msg = match result {
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".to_string()),
+        Ok(()) => panic!("model checker missed the unfenced seqlock write"),
+    };
+    assert!(msg.contains("torn slot"), "unexpected model failure: {msg}");
+}

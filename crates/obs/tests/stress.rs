@@ -1,0 +1,60 @@
+//! Concurrent stress over the lock-free observability core, exercising the
+//! journal and profile seqlocks *together* so writers of one interleave
+//! with readers of the other. This is the workload the CI ThreadSanitizer
+//! job runs (`RUSTFLAGS=-Zsanitizer=thread`); under plain `cargo test` it
+//! doubles as a quick smoke of the same invariants the loom models check
+//! exhaustively at small scale.
+
+use swh_obs::journal::{EventKind, Journal};
+
+#[test]
+fn journal_and_profile_under_combined_load() {
+    const WRITERS: u64 = 4;
+    const ITERS: u64 = 5_000;
+    let journal = Journal::with_capacity(128);
+    std::thread::scope(|scope| {
+        for t in 0..WRITERS {
+            let journal = &journal;
+            scope.spawn(move || {
+                for i in 0..ITERS {
+                    // Journal payloads satisfy b == span * a so a torn slot
+                    // read is detectable.
+                    journal.record(EventKind::Ingest, t + 1, 0, i, (t + 1).wrapping_mul(i));
+                    // Interleave profile writes on the same threads: fixed
+                    // 3 ns records keep total == 3 * count checkable.
+                    swh_obs::profile::record(&format!("stress/combined/t{}", i % 4), 3);
+                }
+            });
+        }
+        // Two racing readers: one per subsystem, validating internal
+        // consistency of everything they observe.
+        let journal = &journal;
+        scope.spawn(move || {
+            for _ in 0..50 {
+                for ev in journal.snapshot() {
+                    assert_eq!(ev.b, ev.span.wrapping_mul(ev.a), "torn event {ev:?}");
+                }
+            }
+        });
+        scope.spawn(|| {
+            for _ in 0..50 {
+                for node in swh_obs::profile::snapshot().with_prefix("stress/combined/") {
+                    assert_eq!(node.total_ns, 3 * node.count, "torn node {node:?}");
+                    assert_eq!(
+                        node.buckets.iter().sum::<u64>(),
+                        node.count,
+                        "torn node {node:?}"
+                    );
+                }
+            }
+        });
+    });
+    assert_eq!(journal.recorded(), WRITERS * ITERS);
+    let snap = swh_obs::profile::snapshot();
+    let total: u64 = snap.with_prefix("stress/combined/").map(|n| n.count).sum();
+    assert!(
+        total >= WRITERS * ITERS,
+        "profile lost records: {total} < {}",
+        WRITERS * ITERS
+    );
+}

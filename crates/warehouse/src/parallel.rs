@@ -57,6 +57,7 @@ where
 
 /// [`sample_partitions_parallel`] against an explicit metrics registry
 /// (tests use a private registry to assert exact counts).
+// swh-analyze: hot -- the worker loop inside is the parallel-ingest inner loop
 pub fn sample_partitions_parallel_in<T, I, S, F>(
     registry: &Registry,
     partitions: Vec<I>,
@@ -73,6 +74,7 @@ where
     assert!(threads > 0, "need at least one worker thread");
     let n = partitions.len();
     if n == 0 {
+        // swh-analyze: allow(blocking-in-hot-path) -- empty-input early exit; Vec::new does not allocate
         return Vec::new();
     }
     let _span = swh_obs::trace::Span::root(swh_obs::trace::Op::Ingest);
@@ -135,6 +137,7 @@ where
                     // worker panicked mid-store) leaves it fully usable, so
                     // recover the guard instead of propagating the panic.
                     let taken = std::mem::replace(
+                        // swh-analyze: allow(blocking-in-hot-path) -- uncontended by construction: the cursor hands this slot to exactly one worker
                         &mut *slots[idx].lock().unwrap_or_else(PoisonError::into_inner),
                         Slot::Taken,
                     );
@@ -154,6 +157,7 @@ where
                     // are byte-identical to element-wise observation for
                     // any chunking, so results are unchanged.
                     let mut stream = stream;
+                    // swh-analyze: allow(blocking-in-hot-path) -- one buffer per partition, reused across every chunk
                     let mut buf: Vec<T> = Vec::with_capacity(WORKER_CHUNK);
                     loop {
                         buf.clear();
@@ -164,6 +168,7 @@ where
                         sampler.observe_batch(&buf, &mut rng);
                     }
                     let (sample, stats) = sampler.finalize_with_stats(&mut rng);
+                    // swh-analyze: allow(blocking-in-hot-path) -- uncontended result handoff, once per partition
                     *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
                         Slot::Done(sample, stats);
                 }
@@ -176,6 +181,7 @@ where
         .iter()
         .map(|slot| {
             let done = std::mem::replace(
+                // swh-analyze: allow(blocking-in-hot-path) -- post-join collection: all workers have exited
                 &mut *slot.lock().unwrap_or_else(PoisonError::into_inner),
                 Slot::Taken,
             );

@@ -63,6 +63,7 @@ impl ArrivalProcess {
                 "phase duration must be positive"
             );
         }
+        // swh-analyze: allow(panic) -- non-emptiness asserted at entry (documented panic contract)
         let phase_left = phases[0].duration;
         Self {
             phases,
