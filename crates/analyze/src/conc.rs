@@ -766,6 +766,27 @@ mod tests {
     }
 
     #[test]
+    fn hot_lint_covers_core_merge_paths() {
+        // The merge hot paths (`crates/core/src/merge.rs`) are
+        // hot-annotated; the blocking lint must fire there exactly as it
+        // does in the warehouse crate — a `format!` in a timed merge scope
+        // is the allocation bug PR 8 removed, and this pins the lint that
+        // keeps it out.
+        let src = "// swh-analyze: hot\n\
+            fn merge_profile_scope(k1: SampleKind, k2: SampleKind) {\n\
+                let path = format!(\"merge/{k1:?}\");\n\
+            }\n";
+        let r = scan_at("crates/core/src/merge.rs", src);
+        let hot: Vec<_> = r
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::BlockingInHotPath)
+            .collect();
+        assert_eq!(hot.len(), 1, "{hot:?}");
+        assert_eq!(hot[0].line, 3);
+    }
+
+    #[test]
     fn hot_annotation_without_function_is_stale() {
         let src = "fn f() {}\n// swh-analyze: hot\n";
         let r = scan_at("crates/warehouse/src/x.rs", src);

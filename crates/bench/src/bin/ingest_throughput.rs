@@ -11,21 +11,24 @@
 //!   and phase-3 bulk paths skip whole runs of rejected elements with one
 //!   cached-ln geometric draw per inclusion.
 //! * **union** — merging 16 and 64 partition samples with the serial fold
-//!   (`merge_all`) vs the balanced parallel merge tree
-//!   (`merge_tree_parallel`). Three numbers per partition count: the
-//!   serial-tree wall-clock (the tree's total work — more than the fold's,
-//!   because balanced merges redistribute ~k/2 elements per node while the
-//!   fold's right side shrinks), the measured parallel wall-clock on this
-//!   host, and the elapsed time of the tree's level schedule on the
-//!   simulated cluster (`SWH_CPUS`, default 4) — the same methodology
-//!   figures 9–11 use to reproduce the paper's multi-machine testbed on a
-//!   single-core host.
+//!   (`merge_all`) vs the planner-driven merge DAG on the work-stealing
+//!   pool (`merge_tree_parallel`). Three numbers per partition count: the
+//!   serial balanced-tree wall-clock (the old fixed schedule's total work),
+//!   the measured planned-DAG wall-clock on this host, and the elapsed
+//!   time of a balanced tree's level schedule on the simulated cluster
+//!   (`SWH_CPUS`, default 4) — the same methodology figures 9–11 use to
+//!   reproduce the paper's multi-machine testbed on a single-core host.
+//!   The planned DAG beats the fold even on one core: alias-cached
+//!   symmetric splits and multiway fan-in do strictly less work per merged
+//!   element than the fold's chain of pairwise hypergeometric draws.
 //!
 //! With `SWH_PERF_ASSERT=1` the binary exits non-zero if the batched path
-//! regresses below per-element, or if the simulated parallel tree loses to
-//! the serial fold at the widest partition count (the wall-clock tree is
-//! additionally checked on hosts with >= 2 CPUs) — CI runs it at smoke
-//! scale as a cheap perf gate.
+//! regresses below per-element, or if the planned DAG loses to the serial
+//! fold (wall-clock, any host — the win is work reduction, not threads) or
+//! the simulated cluster tree does, at the widest partition count. CI runs
+//! it at smoke scale as a cheap perf gate (>= 1.0x); at default/paper
+//! scale the wall-clock gate tightens to the PR-8 acceptance floor of
+//! >= 1.5x over the serial fold at 64 partitions.
 
 use rand::Rng;
 use swh_bench::{section, simulated_cpus, simulated_makespan, time_secs, CsvOut, Scale};
@@ -268,10 +271,15 @@ fn main() {
                  {sim_speedup:.2}x the serial fold (expected >= 1.0x)"
             ));
         }
-        if parts == 64 && threads >= 2 && speedup < 1.0 {
+        // Work reduction, not thread count, is what the planned DAG is
+        // gated on — so the wall-clock floor applies on every host. Smoke
+        // scale only checks "no regression"; real scales hold the PR-8
+        // acceptance floor.
+        let wall_floor = if scale == Scale::Smoke { 1.0 } else { 1.5 };
+        if parts == 64 && speedup < wall_floor {
             failures.push(format!(
-                "tree-parallel union over {parts} partitions is {speedup:.2}x the serial fold \
-                 (expected >= 1.0x on {threads} threads)"
+                "planned-DAG union over {parts} partitions is {speedup:.2}x the serial fold \
+                 (expected >= {wall_floor:.1}x on {threads} threads)"
             ));
         }
     }

@@ -431,9 +431,13 @@ fn profile_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
 ///
 /// Partitions are ingested through Algorithm HB's bulk `observe_batch`
 /// path (so the observe-phase segments feed the cost model) and merged
-/// with the parallel merge tree. Threads default to 1 so every merge-tree
-/// node's self-time is attributed on one thread and their sum accounts
-/// for the union wall-clock.
+/// through the planner-driven merge DAG, so the reported scopes are the
+/// plan's node labels (`union/node/pw*` balanced pairs, `cp*` alias-cached
+/// pairs, `mw*f<n>` multiway fan-in, `rs*` re-stream combines) plus the
+/// flat per-merge `merge/<rule>/s<bucket>` scopes that feed the cost
+/// model. Threads default to 1 so every plan node's self-time is
+/// attributed on one thread and their sum accounts for the union
+/// wall-clock.
 fn profile_union(args: &Args, out: &mut dyn Write) -> CmdResult {
     use swh_core::HybridBernoulli;
     use swh_obs::profile;
@@ -478,7 +482,9 @@ fn profile_union(args: &Args, out: &mut dyn Write) -> CmdResult {
                 .is_some_and(|rest| !rest.contains('/'))
         })
         .count();
-    let node_self_ns = snap.self_ns_under("union/node/");
+    // Union work lives under the plan-node scopes plus the flat per-merge
+    // `merge/...` scopes (which nest out of the node scopes' self-time).
+    let node_self_ns = snap.self_ns_under("union/node/") + snap.self_ns_under("merge/");
     let pct = 100.0 * node_self_ns as f64 / wall_ns as f64;
 
     if args.flag("json") || args.get("out").is_some() {

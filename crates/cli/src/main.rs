@@ -9,7 +9,29 @@ mod commands;
 
 use args::Args;
 
+/// Install the measured merge cost model from `SWH_COST_MODEL` (a
+/// `cost_model.json` snapshot, e.g. from `swh profile union --cost-model`)
+/// so union planning predicts node costs from measurements instead of the
+/// element-count fallback. A missing or malformed snapshot is a warning,
+/// not an error: planning falls back gracefully.
+fn install_cost_model() {
+    let Ok(path) = std::env::var("SWH_COST_MODEL") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    match std::fs::read_to_string(&path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| swh_core::CostModel::from_json(&text))
+    {
+        Ok(model) => swh_core::costmodel::set_global(Some(model)),
+        Err(e) => eprintln!("warning: ignoring cost model {path}: {e}"),
+    }
+}
+
 fn main() {
+    install_cost_model();
     let parsed = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {

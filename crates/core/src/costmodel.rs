@@ -18,6 +18,7 @@
 //! arbitrary sizes by nearest-bucket lookup.
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 use swh_obs::json::{self, Value};
 use swh_obs::profile::{self, ProfileSnapshot};
 
@@ -166,6 +167,30 @@ impl CostModel {
         }
         Ok(Self { entries })
     }
+}
+
+fn global_slot() -> &'static RwLock<Option<Arc<CostModel>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<CostModel>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Install (or clear, with `None`) the process-global measured cost model
+/// the merge planner consults for scheduling decisions. Typically loaded
+/// from `bench_results/cost_model.json` at startup. The model only steers
+/// worker counts and cost estimates — results never depend on it.
+pub fn set_global(model: Option<CostModel>) {
+    let mut slot = global_slot()
+        .write()
+        .unwrap_or_else(PoisonError::into_inner);
+    *slot = model.map(Arc::new);
+}
+
+/// The installed global cost model, if any.
+pub fn global() -> Option<Arc<CostModel>> {
+    global_slot()
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
 }
 
 #[cfg(test)]

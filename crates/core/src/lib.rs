@@ -28,6 +28,7 @@ pub mod concise;
 pub mod costmodel;
 pub mod counting;
 pub mod distinct_sampler;
+pub mod executor;
 pub mod footprint;
 pub mod fxhash;
 pub mod histogram;
@@ -61,10 +62,14 @@ pub use hybrid_bernoulli::HybridBernoulli;
 pub use hybrid_reservoir::HybridReservoir;
 pub use lineage::{LineageEvent, PurgeKind};
 pub use merge::{
-    hb_merge, hr_merge, hr_merge_cached, hr_merge_multiway, hr_merge_tree_cached, merge, merge_all,
-    merge_all_borrowed, merge_borrowed, merge_tree, HypergeometricCache, MergeError,
+    hb_merge, hr_merge, hr_merge_cached, hr_merge_multiway, hr_merge_multiway_borrowed,
+    hr_merge_tree_cached, merge, merge_all, merge_all_borrowed, merge_borrowed, merge_tree,
+    HypergeometricCache, MergeError,
 };
-pub use planner::{fold_cost, merge_planned, planned_cost, Skeleton};
+pub use planner::{
+    fold_cost, merge_planned, plan_union, planned_cost, MergePlan, NodeShape, PlanNode, PlanOp,
+    ShapeKind, Skeleton,
+};
 pub use qbound::{q_approx, q_exact};
 pub use reservoir::ReservoirSampler;
 pub use sample::{Sample, SampleKind};

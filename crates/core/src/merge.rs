@@ -25,6 +25,7 @@ use crate::hybrid_bernoulli::HybridBernoulli;
 use crate::hybrid_reservoir::HybridReservoir;
 use crate::invariant::invariant;
 use crate::lineage::{merged_lineage, merged_lineage_with_purges, LineageEvent, PurgeKind};
+use crate::planner::{plan_union, MergePlan, NodeShape, PlanOp};
 use crate::purge::{
     bernoulli_subsample_ref, purge_bernoulli, purge_reservoir, reservoir_subsample_ref,
 };
@@ -33,10 +34,10 @@ use crate::sample::{Sample, SampleKind};
 use crate::sampler::Sampler;
 use crate::value::SampleValue;
 use rand::Rng;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock, PoisonError};
 use swh_obs::journal::EventKind;
 use swh_obs::trace::{Op, Span};
-use swh_obs::{profile, Gauge, Stopwatch};
+use swh_obs::{profile, Gauge};
 use swh_rand::checked::index_u64;
 use swh_rand::hypergeometric::Hypergeometric;
 use swh_rand::seeded_rng;
@@ -49,47 +50,59 @@ fn note_merge(fan_in: u32, split_l: u64) {
     span.end();
 }
 
-/// Cumulative nanoseconds parallel merge-tree nodes spent *waiting* on
-/// their spawned right-half worker, as opposed to computing. Together with
-/// the `union/node/*` profile scopes this splits tree wall-clock into
-/// queue-wait vs. compute, which is what makes the fold-vs-tree gap in
+/// Cumulative nanoseconds pool workers of the DAG executor spent *idle*
+/// (queues empty, parked on the wake condvar) during parallel unions, as
+/// opposed to computing merge nodes. Together with the `union/node/*`
+/// profile scopes this splits union wall-clock into queue-wait vs.
+/// compute, which is what makes scheduling gaps in
 /// `BENCH_ingest_throughput.json` attributable from metrics alone.
 fn merge_node_wait_gauge() -> &'static Gauge {
     static GAUGE: OnceLock<Gauge> = OnceLock::new();
     GAUGE.get_or_init(|| {
         swh_obs::global().gauge(
             "swh_merge_node_wait_ns",
-            "cumulative ns merge-tree nodes spent joining their spawned half",
+            "cumulative ns merge executor workers spent idle waiting for ready nodes",
         )
     })
 }
 
-/// Join a spawned subtree handle, charging the wait to
-/// `swh_merge_node_wait_ns` and re-raising worker panics unchanged.
-fn join_timed<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
-    let sw = Stopwatch::start();
-    let joined = handle.join();
-    merge_node_wait_gauge().add(i64::try_from(sw.elapsed_ns()).unwrap_or(i64::MAX));
-    match joined {
-        Ok(r) => r,
-        Err(payload) => std::panic::resume_unwind(payload),
+/// Number of log-2 size buckets a profile path can carry (`s0`..`s64`,
+/// matching [`profile::size_bucket`]'s range).
+const MERGE_BUCKETS: usize = 65;
+
+/// Row index of the merge rule the dispatch will take for these inputs,
+/// in [`merge_scope_paths`] order (`restream`, `hr`, `hb`).
+fn merge_kind_index(k1: SampleKind, k2: SampleKind) -> usize {
+    match (k1, k2) {
+        (SampleKind::Exhaustive, _) | (_, SampleKind::Exhaustive) => 0,
+        (SampleKind::Reservoir, _) | (_, SampleKind::Reservoir) => 1,
+        _ => 2,
     }
 }
 
-/// Coarse provenance tag for profile paths: which merge rule the dispatch
-/// will take for these inputs.
-fn merge_kind_tag(k1: SampleKind, k2: SampleKind) -> &'static str {
-    match (k1, k2) {
-        (SampleKind::Exhaustive, _) | (_, SampleKind::Exhaustive) => "restream",
-        (SampleKind::Reservoir, _) | (_, SampleKind::Reservoir) => "hr",
-        _ => "hb",
-    }
+/// Pre-rendered `merge/<rule>/s<bucket>` profile paths, row-major by
+/// [`merge_kind_index`]. Built once, off the timed path: formatting these
+/// per merge inside the scope used to cost more than small merges
+/// themselves.
+fn merge_scope_paths() -> &'static [String] {
+    static PATHS: OnceLock<Vec<String>> = OnceLock::new();
+    PATHS.get_or_init(|| {
+        let mut paths = Vec::with_capacity(3 * MERGE_BUCKETS);
+        for rule in ["restream", "hr", "hb"] {
+            for bucket in 0..MERGE_BUCKETS {
+                paths.push(format!("merge/{rule}/s{bucket}"));
+            }
+        }
+        paths
+    })
 }
 
 /// Profile scope for one pairwise merge, tagged with the rule and the
 /// log-2 bucket of the combined input size — the raw material for
 /// [`crate::costmodel::CostModel::fit`]. `None` when profiling is off, so
-/// the disabled cost is one relaxed load (no path formatting).
+/// the disabled cost is one relaxed load. The path is looked up in a
+/// pre-rendered table, never formatted here.
+// swh-analyze: hot
 fn merge_profile_scope(
     k1: SampleKind,
     k2: SampleKind,
@@ -98,11 +111,8 @@ fn merge_profile_scope(
     if !profile::enabled() {
         return None;
     }
-    Some(profile::scope(&format!(
-        "merge/{}/s{}",
-        merge_kind_tag(k1, k2),
-        profile::size_bucket(in_size)
-    )))
+    let idx = merge_kind_index(k1, k2) * MERGE_BUCKETS + profile::size_bucket(in_size) as usize;
+    Some(profile::scope_rooted(&merge_scope_paths()[idx]))
 }
 
 /// Why two samples could not be merged.
@@ -637,25 +647,307 @@ pub fn merge_tree<T: SampleValue, R: Rng + ?Sized>(
     Ok(result)
 }
 
-/// Deterministic RNG stream for one node of a parallel merge tree. A node
-/// is uniquely identified by `(first_leaf, leaf_count)` — the index of its
-/// leftmost input and the number of inputs below it — so deriving the seed
-/// from that pair (xor'd into a base seed drawn once from the caller's RNG)
-/// makes every node's draws independent of thread scheduling.
-fn node_rng(base: u64, first_leaf: u64, leaf_count: usize) -> impl Rng {
-    seeded_rng(base ^ ((first_leaf << 32) | index_u64(leaf_count)))
+/// Deterministic RNG stream for plan node `idx`. Seeds are derived from a
+/// base drawn once from the caller's RNG, decorrelated across node indices
+/// by a golden-ratio odd multiplier, so every node's draws depend only on
+/// the caller RNG state and the node's identity — never on which worker
+/// runs the node or in what order.
+fn plan_node_rng(base: u64, idx: usize) -> impl Rng {
+    seeded_rng(base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index_u64(idx).wrapping_add(1)))
 }
 
-/// [`merge_tree`] with the two halves of every subtree merged on separate
-/// threads (`std::thread::scope`), splitting the thread budget top-down.
+/// One input to a plan-node merge: either a sample owned by this union
+/// (a leaf handed in by value, or an upstream node's result) or a borrowed
+/// resident sample (the `*_borrowed` entry points).
+enum PlanInput<'a, T: SampleValue> {
+    Owned(Sample<T>),
+    Borrowed(&'a Sample<T>),
+}
+
+impl<T: SampleValue> PlanInput<'_, T> {
+    fn get(&self) -> &Sample<T> {
+        match self {
+            PlanInput::Owned(s) => s,
+            PlanInput::Borrowed(s) => s,
+        }
+    }
+
+    fn into_owned(self) -> Sample<T> {
+        match self {
+            PlanInput::Owned(s) => s,
+            PlanInput::Borrowed(s) => s.clone(),
+        }
+    }
+
+    /// Reservoir-subsample this input down to `m` elements, returning the
+    /// resulting histogram and the input's lineage. Owned inputs are
+    /// purged in place; borrowed inputs only clone their surviving share.
+    fn subsampled_histogram<R: Rng + ?Sized>(
+        self,
+        m: u64,
+        rng: &mut R,
+    ) -> (CompactHistogram<T>, Vec<LineageEvent>) {
+        match self {
+            PlanInput::Owned(s) => {
+                let lineage = s.lineage().to_vec();
+                let mut h = s.into_histogram();
+                purge_reservoir(&mut h, m, rng);
+                (h, lineage)
+            }
+            PlanInput::Borrowed(s) => (
+                reservoir_subsample_ref(s.histogram(), m, rng),
+                s.lineage().to_vec(),
+            ),
+        }
+    }
+}
+
+/// Pairwise merge of two plan inputs through the standard dispatch,
+/// borrowing where the ownership combination allows it.
+fn plan_pair_merge<T: SampleValue, R: Rng + ?Sized>(
+    a: PlanInput<'_, T>,
+    b: PlanInput<'_, T>,
+    p_bound: f64,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    match (a, b) {
+        (PlanInput::Owned(x), PlanInput::Owned(y)) => merge(x, y, p_bound, rng),
+        (PlanInput::Owned(x), PlanInput::Borrowed(y)) => merge_borrowed(x, y, p_bound, rng),
+        (PlanInput::Borrowed(x), PlanInput::Owned(y)) => merge_borrowed(y, x, p_bound, rng),
+        (PlanInput::Borrowed(x), PlanInput::Borrowed(y)) => {
+            merge_borrowed(x.clone(), y, p_bound, rng)
+        }
+    }
+}
+
+/// `HRMerge` of two equal-size simple random samples with the split served
+/// from the union's shared [`HypergeometricCache`] (§4.2) — the executor's
+/// `CachedPair` operator. Statistically identical to
+/// [`hr_merge_reservoirs`]; only the split's sampling algorithm differs
+/// (alias table vs. direct inversion), and cached table construction is
+/// deterministic per key, so cache state never affects results.
+fn plan_cached_merge<T: SampleValue, R: Rng + ?Sized>(
+    a: PlanInput<'_, T>,
+    b: PlanInput<'_, T>,
+    cache: &Mutex<HypergeometricCache>,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    check_mergeable(a.get(), b.get())?;
+    let _prof = merge_profile_scope(
+        a.get().kind(),
+        b.get().kind(),
+        a.get().size() + b.get().size(),
+    );
+    let policy = a.get().policy();
+    let (n1, n2) = (a.get().parent_size(), b.get().parent_size());
+    if n1 == 0 {
+        return Ok(b.into_owned());
+    }
+    if n2 == 0 {
+        return Ok(a.into_owned());
+    }
+    let k = a.get().size().min(b.get().size());
+    let l = {
+        let mut tables = cache.lock().unwrap_or_else(PoisonError::into_inner);
+        tables.split(n1, n2, k, rng)
+    };
+    invariant!(
+        l <= k.min(a.get().size()),
+        "HRMerge split L = {l} exceeds min(k = {k}, |S1| = {})",
+        a.get().size()
+    );
+    let (mut h1, lin1) = a.subsampled_histogram(l, rng);
+    let (h2, lin2) = b.subsampled_histogram(k - l, rng);
+    let purges = [
+        (PurgeKind::Reservoir, h1.total()),
+        (PurgeKind::Reservoir, h2.total()),
+    ];
+    h1.join(h2);
+    debug_assert_eq!(h1.total(), k);
+    note_merge(2, l);
+    Ok(
+        Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
+            .with_lineage(merged_lineage_with_purges(&[&lin1, &lin2], &purges, 2, l)),
+    )
+}
+
+/// Shared implementation of the multiway hypergeometric merge over owned
+/// and/or borrowed inputs; see [`hr_merge_multiway`] for the statistics.
+fn hr_merge_multiway_inputs<T: SampleValue, R: Rng + ?Sized>(
+    mut inputs: Vec<PlanInput<'_, T>>,
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    let Some(first) = inputs.first() else {
+        panic!("multiway merge needs at least one sample");
+    };
+    let policy = first.get().policy();
+    if inputs.iter().any(|s| s.get().policy() != policy) {
+        return Err(MergeError::PolicyMismatch);
+    }
+    if inputs
+        .iter()
+        .any(|s| matches!(s.get().kind(), SampleKind::Concise { .. }))
+    {
+        return Err(MergeError::ConciseNotMergeable);
+    }
+    if inputs.len() == 1 {
+        let Some(only) = inputs.pop() else {
+            panic!("a one-element vector pops an element");
+        };
+        return Ok(only.into_owned());
+    }
+    let total_in: u64 = inputs.iter().map(|s| s.get().size()).sum();
+    let _prof = merge_profile_scope(SampleKind::Reservoir, SampleKind::Reservoir, total_in);
+    // Drop empty partitions (they contribute nothing, and zero-size
+    // samples of non-empty parents would needlessly force k = 0).
+    let inputs: Vec<_> = inputs
+        .into_iter()
+        .filter(|s| s.get().parent_size() > 0)
+        .collect();
+    if inputs.is_empty() {
+        return Ok(Sample::from_parts(
+            CompactHistogram::new(),
+            SampleKind::Reservoir,
+            0,
+            policy,
+        ));
+    }
+    let k = inputs.iter().map(|s| s.get().size()).min().unwrap_or(0);
+    let parents: Vec<u64> = inputs.iter().map(|s| s.get().parent_size()).collect();
+    let total_parent: u64 = parents.iter().sum();
+    let fan_in = inputs.len() as u32;
+    let shares = swh_rand::hypergeometric::sample_multivariate(rng, &parents, k);
+    let mut merged = CompactHistogram::new();
+    let mut purges = Vec::with_capacity(inputs.len());
+    let mut lineages: Vec<Vec<LineageEvent>> = Vec::with_capacity(inputs.len());
+    for (s, share) in inputs.into_iter().zip(shares) {
+        let (h, lineage) = s.subsampled_histogram(share, rng);
+        purges.push((PurgeKind::Reservoir, h.total()));
+        lineages.push(lineage);
+        merged.join(h);
+    }
+    debug_assert_eq!(merged.total(), k);
+    let parent_lineages: Vec<&[LineageEvent]> = lineages.iter().map(Vec::as_slice).collect();
+    note_merge(fan_in, 0);
+    Ok(
+        Sample::from_parts(merged, SampleKind::Reservoir, total_parent, policy).with_lineage(
+            merged_lineage_with_purges(&parent_lineages, &purges, fan_in, 0),
+        ),
+    )
+}
+
+/// Resolve one plan node's inputs: values the executor handed over for
+/// executed dependencies, leaf samples fetched from the caller's store for
+/// completed ones.
+fn gather_inputs<'a, T: SampleValue>(
+    plan: &MergePlan,
+    children: &[usize],
+    taken: Vec<Option<Sample<T>>>,
+    fetch_leaf: &(dyn Fn(usize) -> PlanInput<'a, T> + Sync),
+) -> Vec<PlanInput<'a, T>> {
+    debug_assert_eq!(children.len(), taken.len());
+    children
+        .iter()
+        .zip(taken)
+        .map(|(&c, v)| match v {
+            Some(s) => PlanInput::Owned(s),
+            None => match &plan.nodes[c].op {
+                PlanOp::Leaf { input } => fetch_leaf(*input),
+                _ => panic!("executed dependency produced no value"),
+            },
+        })
+        .collect()
+}
+
+/// Execute one merge-plan node under its profile scope with its own
+/// deterministic RNG stream.
+fn exec_plan_node<'a, T: SampleValue>(
+    plan: &MergePlan,
+    idx: usize,
+    taken: Vec<Option<Sample<T>>>,
+    fetch_leaf: &(dyn Fn(usize) -> PlanInput<'a, T> + Sync),
+    cache: &Mutex<HypergeometricCache>,
+    p_bound: f64,
+    base: u64,
+) -> Result<Sample<T>, MergeError> {
+    let node = &plan.nodes[idx];
+    let _node_scope = if profile::enabled() {
+        Some(profile::scope_rooted(&node.label))
+    } else {
+        None
+    };
+    let mut rng = plan_node_rng(base, idx);
+    let mut inputs = gather_inputs(plan, &plan.children(idx), taken, fetch_leaf);
+    match &node.op {
+        PlanOp::Leaf { .. } => panic!("leaf nodes are provided by the caller"),
+        PlanOp::Pair { .. } => {
+            let (Some(b), Some(a)) = (inputs.pop(), inputs.pop()) else {
+                panic!("pair node needs two inputs");
+            };
+            plan_pair_merge(a, b, p_bound, &mut rng)
+        }
+        PlanOp::CachedPair { .. } => {
+            let (Some(b), Some(a)) = (inputs.pop(), inputs.pop()) else {
+                panic!("cached pair node needs two inputs");
+            };
+            plan_cached_merge(a, b, cache, &mut rng)
+        }
+        PlanOp::Multiway { .. } => hr_merge_multiway_inputs(inputs, &mut rng),
+    }
+}
+
+/// Run a merge plan on the DAG executor with `workers` pool workers
+/// (inline on the calling thread when `workers <= 1`).
+fn execute_plan<'a, T: SampleValue>(
+    plan: &MergePlan,
+    fetch_leaf: &(dyn Fn(usize) -> PlanInput<'a, T> + Sync),
+    p_bound: f64,
+    workers: usize,
+    base: u64,
+) -> Result<Sample<T>, MergeError> {
+    if let PlanOp::Leaf { input } = &plan.nodes[plan.root].op {
+        return Ok(fetch_leaf(*input).into_owned());
+    }
+    let n = plan.nodes.len();
+    let mut deps = Vec::with_capacity(n);
+    let mut completed = Vec::with_capacity(n);
+    for (i, node) in plan.nodes.iter().enumerate() {
+        deps.push(plan.children(i));
+        completed.push(matches!(node.op, PlanOp::Leaf { .. }));
+    }
+    let costs: Vec<u64> = plan.nodes.iter().map(|node| node.cost).collect();
+    let cache = Mutex::new(HypergeometricCache::new());
+    let exec = |idx: usize, taken: Vec<Option<Sample<T>>>| {
+        exec_plan_node(plan, idx, taken, fetch_leaf, &cache, p_bound, base)
+    };
+    crate::executor::run_dag(
+        &deps,
+        &completed,
+        &costs,
+        plan.root,
+        workers,
+        &exec,
+        &|ns| {
+            merge_node_wait_gauge().add(i64::try_from(ns).unwrap_or(i64::MAX));
+        },
+    )
+}
+
+/// Planner-driven parallel union: [`plan_union`] lays out an explicit
+/// merge DAG over the input shapes (alias-cached pairs on equal-size
+/// siblings, multiway hypergeometric nodes on cheap fan-in, a descending
+/// re-stream chain for exhaustive inputs), and the dependency-aware
+/// work-stealing executor ([`crate::executor`]) runs it on at most
+/// `threads` pool workers — inline on the calling thread when the plan is
+/// too small for a pool to pay off.
 ///
-/// One base seed is drawn from the caller's RNG up front; each tree node
-/// then derives its own RNG stream via [`node_rng`], so the result is
-/// **byte-identical run to run and across thread counts** — `threads = 1`
-/// produces exactly the same sample as `threads = 64` for the same caller
-/// RNG state. The same lineage Merge/Purge events are recorded as in the
-/// serial fold: every pairwise [`merge`] notes its fan-in, split, and
-/// purges exactly as before; only the association order differs.
+/// One base seed is drawn from the caller's RNG up front; each plan node
+/// then derives its own RNG stream via [`plan_node_rng`], so the result is
+/// **byte-identical run to run, across thread counts, and across steal
+/// orders** — `threads = 1` produces exactly the same sample as
+/// `threads = 64` for the same caller RNG state. Lineage Merge/Purge
+/// events are recorded per node exactly as the serial paths record them;
+/// only the association order differs from [`merge_all`].
 ///
 /// # Panics
 /// Panics if `samples` is empty or `threads` is zero.
@@ -670,71 +962,35 @@ pub fn merge_tree_parallel<T: SampleValue, R: Rng + ?Sized>(
         "merge_tree_parallel needs at least one sample"
     );
     assert!(threads > 0, "merge_tree_parallel needs at least one thread");
+    let shapes: Vec<NodeShape> = samples.iter().map(NodeShape::of).collect();
+    let n_f = samples.first().map(|s| s.policy().n_f()).unwrap_or(0);
+    let plan = plan_union(&shapes, n_f);
     let base = rng.random::<u64>();
-    merge_subtree_owned(samples, 0, p_bound, base, threads)
-}
-
-fn merge_subtree_owned<T: SampleValue>(
-    mut samples: Vec<Sample<T>>,
-    first_leaf: u64,
-    p_bound: f64,
-    base: u64,
-    threads: usize,
-) -> Result<Sample<T>, MergeError> {
-    let leaf_count = samples.len();
-    if leaf_count == 1 {
-        let Some(only) = samples.pop() else {
-            panic!("merge subtree invariant: non-empty input");
+    let workers = threads.min(plan.merge_node_count().max(1));
+    let leaves: Vec<Mutex<Option<Sample<T>>>> =
+        samples.into_iter().map(|s| Mutex::new(Some(s))).collect();
+    let fetch = |input: usize| -> PlanInput<'static, T> {
+        let taken = {
+            let mut slot = leaves[input].lock().unwrap_or_else(PoisonError::into_inner);
+            slot.take()
         };
-        return Ok(only);
-    }
-    let mid = leaf_count / 2;
-    let right = samples.split_off(mid);
-    let left = samples;
-    let right_first = first_leaf + index_u64(mid);
-    let (l, r) = if threads > 1 && leaf_count > 2 {
-        std::thread::scope(|scope| {
-            let right_threads = threads / 2;
-            let left_threads = threads - right_threads;
-            let handle = scope.spawn(move || {
-                merge_subtree_owned(right, right_first, p_bound, base, right_threads)
-            });
-            let l = merge_subtree_owned(left, first_leaf, p_bound, base, left_threads);
-            let r = join_timed(handle);
-            (l, r)
-        })
-    } else {
-        (
-            merge_subtree_owned(left, first_leaf, p_bound, base, threads),
-            merge_subtree_owned(right, right_first, p_bound, base, threads),
-        )
+        match taken {
+            Some(s) => PlanInput::Owned(s),
+            None => panic!("plan leaf {input} consumed twice"),
+        }
     };
-    // One profile node per tree node, named by the node's identity
-    // `(first_leaf, leaf_count)` so the path is stable across thread
-    // counts; the pairwise merge's own `merge/...` scope nests under it.
-    let _node = node_profile_scope(first_leaf, leaf_count);
-    let mut rng = node_rng(base, first_leaf, leaf_count);
-    merge(l?, r?, p_bound, &mut rng)
+    execute_plan(&plan, &fetch, p_bound, workers, base)
 }
 
-/// Profile scope for one parallel-merge-tree node:
-/// `union/node/n{first_leaf}w{leaf_count}`.
-fn node_profile_scope(first_leaf: u64, leaf_count: usize) -> Option<profile::ProfileScope> {
-    if !profile::enabled() {
-        return None;
-    }
-    Some(profile::scope_rooted(&format!(
-        "union/node/n{first_leaf}w{leaf_count}"
-    )))
-}
-
-/// [`merge_tree_parallel`] over borrowed partition samples: leaf pairs go
-/// through [`merge_borrowed`] (cloning only surviving elements), inner
-/// nodes own their children's results. Needs `T: Sync` because the
-/// borrowed samples are shared across the scoped worker threads.
+/// [`merge_tree_parallel`] over borrowed partition samples: leaf-level
+/// merges go through [`merge_borrowed`] / reference subsampling (cloning
+/// only surviving elements), inner nodes own their children's results.
+/// Needs `T: Sync` because the borrowed samples are shared across the pool
+/// workers.
 ///
 /// Same determinism contract as the owned variant: byte-identical run to
-/// run and across thread counts for the same caller RNG state.
+/// run, across thread counts, and across steal orders for the same caller
+/// RNG state.
 ///
 /// # Panics
 /// Panics if `samples` is empty or `threads` is zero.
@@ -756,52 +1012,13 @@ where
         threads > 0,
         "merge_tree_parallel_borrowed needs at least one thread"
     );
+    let shapes: Vec<NodeShape> = samples.iter().map(|s| NodeShape::of(s)).collect();
+    let n_f = samples.first().map(|s| s.policy().n_f()).unwrap_or(0);
+    let plan = plan_union(&shapes, n_f);
     let base = rng.random::<u64>();
-    merge_subtree_borrowed(samples, 0, p_bound, base, threads)
-}
-
-fn merge_subtree_borrowed<T: SampleValue + Sync>(
-    samples: &[&Sample<T>],
-    first_leaf: u64,
-    p_bound: f64,
-    base: u64,
-    threads: usize,
-) -> Result<Sample<T>, MergeError> {
-    match samples {
-        [] => panic!("merge subtree invariant: non-empty input"),
-        [only] => Ok((*only).clone()),
-        [a, b] => {
-            let _node = node_profile_scope(first_leaf, 2);
-            let mut rng = node_rng(base, first_leaf, 2);
-            merge_borrowed((*a).clone(), b, p_bound, &mut rng)
-        }
-        _ => {
-            let leaf_count = samples.len();
-            let mid = leaf_count / 2;
-            let (left, right) = samples.split_at(mid);
-            let right_first = first_leaf + index_u64(mid);
-            let (l, r) = if threads > 1 {
-                std::thread::scope(|scope| {
-                    let right_threads = threads / 2;
-                    let left_threads = threads - right_threads;
-                    let handle = scope.spawn(move || {
-                        merge_subtree_borrowed(right, right_first, p_bound, base, right_threads)
-                    });
-                    let l = merge_subtree_borrowed(left, first_leaf, p_bound, base, left_threads);
-                    let r = join_timed(handle);
-                    (l, r)
-                })
-            } else {
-                (
-                    merge_subtree_borrowed(left, first_leaf, p_bound, base, threads),
-                    merge_subtree_borrowed(right, right_first, p_bound, base, threads),
-                )
-            };
-            let _node = node_profile_scope(first_leaf, leaf_count);
-            let mut rng = node_rng(base, first_leaf, leaf_count);
-            merge(l?, r?, p_bound, &mut rng)
-        }
-    }
+    let workers = threads.min(plan.merge_node_count().max(1));
+    let fetch = |input: usize| PlanInput::Borrowed(samples[input]);
+    execute_plan(&plan, &fetch, p_bound, workers, base)
 }
 
 /// Direct `m`-way generalization of `HRMerge` (Fig. 8 / Theorem 1): the
@@ -819,63 +1036,32 @@ fn merge_subtree_borrowed<T: SampleValue + Sync>(
 /// # Panics
 /// Panics if `samples` is empty.
 pub fn hr_merge_multiway<T: SampleValue, R: Rng + ?Sized>(
-    mut samples: Vec<Sample<T>>,
+    samples: Vec<Sample<T>>,
     rng: &mut R,
 ) -> Result<Sample<T>, MergeError> {
-    let Some(first) = samples.first() else {
-        panic!("hr_merge_multiway needs at least one sample");
-    };
-    let policy = first.policy();
-    if samples.iter().any(|s| s.policy() != policy) {
-        return Err(MergeError::PolicyMismatch);
-    }
-    if samples
-        .iter()
-        .any(|s| matches!(s.kind(), SampleKind::Concise { .. }))
-    {
-        return Err(MergeError::ConciseNotMergeable);
-    }
-    if samples.len() == 1 {
-        let Some(only) = samples.pop() else {
-            panic!("a one-element vector pops an element");
-        };
-        return Ok(only);
-    }
-    // Drop empty partitions (they contribute nothing, and zero-size
-    // samples of non-empty parents would needlessly force k = 0).
-    let (samples, empties): (Vec<_>, Vec<_>) =
-        samples.into_iter().partition(|s| s.parent_size() > 0);
-    let empty_parent: u64 = empties.iter().map(Sample::parent_size).sum();
-    debug_assert_eq!(empty_parent, 0);
-    if samples.is_empty() {
-        return Ok(Sample::from_parts(
-            CompactHistogram::new(),
-            SampleKind::Reservoir,
-            0,
-            policy,
-        ));
-    }
-    let k = samples.iter().map(Sample::size).min().unwrap_or(0);
-    let parents: Vec<u64> = samples.iter().map(Sample::parent_size).collect();
-    let total_parent: u64 = parents.iter().sum();
-    let fan_in = samples.len() as u32;
-    let lineages: Vec<Vec<LineageEvent>> = samples.iter().map(|s| s.lineage().to_vec()).collect();
-    let shares = swh_rand::hypergeometric::sample_multivariate(rng, &parents, k);
-    let mut merged = CompactHistogram::new();
-    let mut purges = Vec::with_capacity(lineages.len());
-    for (s, share) in samples.into_iter().zip(shares) {
-        let mut h = s.into_histogram();
-        purge_reservoir(&mut h, share, rng);
-        purges.push((PurgeKind::Reservoir, h.total()));
-        merged.join(h);
-    }
-    debug_assert_eq!(merged.total(), k);
-    let parent_lineages: Vec<&[LineageEvent]> = lineages.iter().map(Vec::as_slice).collect();
-    note_merge(fan_in, 0);
-    Ok(
-        Sample::from_parts(merged, SampleKind::Reservoir, total_parent, policy).with_lineage(
-            merged_lineage_with_purges(&parent_lineages, &purges, fan_in, 0),
-        ),
+    assert!(
+        !samples.is_empty(),
+        "hr_merge_multiway needs at least one sample"
+    );
+    hr_merge_multiway_inputs(samples.into_iter().map(PlanInput::Owned).collect(), rng)
+}
+
+/// [`hr_merge_multiway`] over borrowed partition samples: each input only
+/// clones the share of its elements that survives into the merged sample.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn hr_merge_multiway_borrowed<T: SampleValue, R: Rng + ?Sized>(
+    samples: &[&Sample<T>],
+    rng: &mut R,
+) -> Result<Sample<T>, MergeError> {
+    assert!(
+        !samples.is_empty(),
+        "hr_merge_multiway_borrowed needs at least one sample"
+    );
+    hr_merge_multiway_inputs(
+        samples.iter().map(|s| PlanInput::Borrowed(s)).collect(),
+        rng,
     )
 }
 

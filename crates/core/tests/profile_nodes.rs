@@ -1,7 +1,7 @@
-//! End-to-end profiling contract of the parallel merge tree: a 64-partition
-//! union run under an enabled profiler yields **exactly one profile node per
-//! merge-tree node**, named by the node's `(first_leaf, leaf_count)`
-//! identity, with self-time that accounts for the union's wall-clock.
+//! End-to-end profiling contract of the planner-driven parallel union: a
+//! 64-partition union run under an enabled profiler yields **exactly one
+//! profile node per merge-plan node**, named by the plan's node labels,
+//! with self-time that accounts for the union's wall-clock.
 //!
 //! This lives in an integration test (own process) because the library's
 //! unit tests also run profiled unions; sharing the global profile registry
@@ -9,35 +9,36 @@
 
 use std::collections::BTreeSet;
 use swh_core::merge::merge_tree_parallel;
+use swh_core::planner::{plan_union, NodeShape};
 use swh_core::{FootprintPolicy, HybridBernoulli, Sample, Sampler};
 use swh_obs::{profile, Stopwatch};
 use swh_rand::seeded_rng;
 
-/// The merge-tree node identities `merge_subtree_owned` visits for a
-/// contiguous run of `leaf_count` leaves starting at `first_leaf`: every
-/// internal node, split at `mid = len / 2`.
-fn expected_nodes(first_leaf: u64, leaf_count: u64, out: &mut BTreeSet<(u64, u64)>) {
-    if leaf_count <= 1 {
-        return;
-    }
-    out.insert((first_leaf, leaf_count));
-    let mid = leaf_count / 2;
-    expected_nodes(first_leaf, mid, out);
-    expected_nodes(first_leaf + mid, leaf_count - mid, out);
-}
-
 #[test]
-fn union_of_64_partitions_yields_one_profile_node_per_tree_node() {
+fn union_of_64_partitions_yields_one_profile_node_per_plan_node() {
     const PARTS: u64 = 64;
     const PER_PART: u64 = 2_000;
+    const N_F: u64 = 128;
 
     let mut rng = seeded_rng(64);
     let parts: Vec<Sample<u64>> = (0..PARTS)
         .map(|p| {
-            HybridBernoulli::new(FootprintPolicy::with_value_budget(128), PER_PART)
+            HybridBernoulli::new(FootprintPolicy::with_value_budget(N_F), PER_PART)
                 .sample_batch(p * PER_PART..(p + 1) * PER_PART, &mut rng)
         })
         .collect();
+
+    // The expected node set is the plan itself: plan_union is a pure
+    // function of the input shapes, so recomputing it here must yield
+    // exactly the labels the executor opened.
+    let shapes: Vec<NodeShape> = parts.iter().map(NodeShape::of).collect();
+    let plan = plan_union(&shapes, N_F);
+    let expected: BTreeSet<String> = plan.merge_node_labels().map(|l| l.to_string()).collect();
+    assert_eq!(
+        expected.len(),
+        63,
+        "a 64-leaf plan over Bernoulli partitions has 63 pair nodes"
+    );
 
     profile::set_enabled(true);
     profile::reset();
@@ -50,33 +51,26 @@ fn union_of_64_partitions_yields_one_profile_node_per_tree_node() {
     let snap = profile::snapshot();
     let mut seen = BTreeSet::new();
     for node in snap.with_prefix("union/node/") {
-        // Only the node scopes themselves, not the merge scopes nested
-        // under them (`union/node/nXwY/merge/...`).
+        // Only the node scopes themselves, not anything nested under them.
         let Some(name) = node.path.strip_prefix("union/node/") else {
             continue;
         };
         if name.contains('/') {
             continue;
         }
-        let (n, w) = name
-            .strip_prefix('n')
-            .and_then(|r| r.split_once('w'))
-            .expect("node path shaped like nXwY");
-        let id = (n.parse::<u64>().unwrap(), w.parse::<u64>().unwrap());
-        assert_eq!(node.count, 1, "tree node {name} profiled more than once");
-        assert!(seen.insert(id), "duplicate profile node {name}");
+        assert_eq!(node.count, 1, "plan node {name} profiled more than once");
+        assert!(
+            seen.insert(node.path.clone()),
+            "duplicate profile node {name}"
+        );
     }
+    assert_eq!(seen, expected, "profile nodes must match the merge plan");
 
-    let mut expected = BTreeSet::new();
-    expected_nodes(0, PARTS, &mut expected);
-    assert_eq!(expected.len(), 63, "a 64-leaf tree has 63 internal nodes");
-    assert_eq!(seen, expected, "profile nodes must match the merge tree");
-
-    // All union work happens under the node scopes at threads=1, so their
-    // self-time (which includes the nested merge scopes via the subtree
-    // prefix) must fit inside the union wall-clock and account for a
-    // meaningful share of it.
-    let under = snap.self_ns_under("union/node/");
+    // At threads=1 all union work happens under either the plan-node
+    // scopes or the flat per-merge `merge/<rule>/s<bucket>` scopes (whose
+    // time nests out of the node scopes' self-time), so together they must
+    // fit inside the union wall-clock and account for a meaningful share.
+    let under = snap.self_ns_under("union/node/") + snap.self_ns_under("merge/");
     assert!(under > 0, "union recorded no self-time");
     assert!(
         under <= wall_ns.saturating_mul(11) / 10,

@@ -286,9 +286,10 @@ pub fn scope(name: &str) -> ProfileScope {
 /// but still participating in the stack: nested scopes build paths under
 /// it, and its elapsed time is charged to the parent's child accumulator.
 ///
-/// Used where the path must be stable regardless of caller — a merge-tree
-/// node is `union/node/n{first_leaf}w{leaf_count}` whether the union ran
-/// on one thread or eight.
+/// Used where the path must be stable regardless of caller — a merge-plan
+/// node is `union/node/{pw,cp,mw,rs}{index}` whether the union ran on one
+/// thread or eight, and the merge operators it invokes record under flat
+/// `merge/{restream|hr|hb}/s{bucket}` paths regardless of plan shape.
 pub fn scope_rooted(path: &str) -> ProfileScope {
     if !enabled() {
         return ProfileScope { sw: None };

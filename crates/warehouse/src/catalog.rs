@@ -9,23 +9,33 @@ use crate::ids::{DatasetId, PartitionId, PartitionKey};
 use std::collections::BTreeMap;
 use std::sync::{PoisonError, RwLock};
 use swh_core::merge::MergeError;
+use swh_core::planner::NodeShape;
 use swh_core::sample::Sample;
 use swh_core::value::SampleValue;
 
-/// Union queries over at least this many partitions run through the
-/// parallel balanced merge tree; below it, tree setup and thread spawning
-/// cost more than the serial cost-aware plan.
-pub const PARALLEL_MERGE_MIN: usize = 4;
-
 /// Worker budget for one parallel union merge: the machine's available
 /// parallelism, capped by the partition count (a deeper budget is useless —
-/// the tree has at most `partitions - 1` internal nodes). Thread count never
+/// the plan has at most `partitions - 1` merge nodes). Thread count never
 /// affects results, only wall-clock, so this may vary across machines.
 fn merge_threads(partitions: usize) -> usize {
     std::thread::available_parallelism()
         .map_or(1, std::num::NonZeroUsize::get)
         .min(partitions)
         .max(1)
+}
+
+/// Cost-based serial/parallel cutover for one union query: plan the merge
+/// DAG over the selected sample shapes and ask the planner how many workers
+/// pay for themselves — predicted node costs come from the measured cost
+/// model when a calibration snapshot is loaded
+/// ([`swh_core::costmodel::set_global`]), and from the element-count
+/// fallback otherwise. `1` means the serial cost-aware plan wins: either
+/// the machine has no spare parallelism or the union is too small for
+/// worker spawning to pay off (the old fixed "≥ 4 partitions go parallel"
+/// rule sent tiny unions through the parallel tree for a loss).
+fn planned_workers(shapes: &[NodeShape], n_f: u64, budget: usize) -> usize {
+    let model = swh_core::costmodel::global();
+    swh_core::planner::plan_union(shapes, n_f).best_threads(budget, model.as_deref())
 }
 
 /// A rolled-in partition sample plus bookkeeping.
@@ -120,6 +130,8 @@ struct CatalogMetrics {
     gets: swh_obs::Counter,
     selects: swh_obs::Counter,
     union_merges: swh_obs::Counter,
+    union_serial: swh_obs::Counter,
+    union_parallel: swh_obs::Counter,
     merge_ns: swh_obs::Histogram,
 }
 
@@ -145,6 +157,14 @@ impl CatalogMetrics {
             union_merges: registry.counter(
                 "swh_catalog_union_merges_total",
                 "Union-sample merge queries executed",
+            ),
+            union_serial: registry.counter(
+                "swh_catalog_union_serial_total",
+                "Union-sample queries the cost model routed to the serial plan",
+            ),
+            union_parallel: registry.counter(
+                "swh_catalog_union_parallel_total",
+                "Union-sample queries the cost model routed to the parallel executor",
             ),
             merge_ns: registry.histogram(
                 "swh_catalog_merge_ns",
@@ -290,13 +310,16 @@ impl<T: SampleValue> Catalog<T> {
     /// partitions (the warehouse's query primitive: `S_K` for
     /// `K ⊆ {1..k}` in requirement 2 of §2).
     ///
-    /// Selections of [`PARALLEL_MERGE_MIN`] or more partitions run through
-    /// the balanced parallel merge tree
-    /// ([`swh_core::merge::merge_tree_parallel`]), whose per-node RNG
-    /// streams make the result a pure function of the selection and the
-    /// caller's RNG — never of the machine's thread count. Smaller
-    /// selections use the cost-aware serial plan
-    /// ([`swh_core::planner::merge_planned`]), which re-streams large
+    /// The serial/parallel cutover is cost-based: the selection's shapes
+    /// are planned into a merge DAG ([`swh_core::planner::plan_union`])
+    /// and the planner picks the worker count whose predicted wall-clock —
+    /// critical path vs. work/`t`, plus per-worker spawn cost — beats the
+    /// serial plan. When it does, the DAG runs on the work-stealing
+    /// executor ([`swh_core::merge::merge_tree_parallel`]), whose per-node
+    /// RNG streams make the result a pure function of the selection and
+    /// the caller's RNG — never of the machine's thread count or steal
+    /// order. Otherwise the cost-aware serial plan
+    /// ([`swh_core::planner::merge_planned`]) runs, which re-streams large
     /// exhaustive histograms as little as possible. Both produce the same
     /// uniform distribution as a serial fold.
     pub fn union_sample<R: rand::Rng + ?Sized>(
@@ -310,10 +333,14 @@ impl<T: SampleValue> Catalog<T> {
         let _prof = swh_obs::profile::enabled()
             .then(|| swh_obs::profile::scope_rooted("catalog/union_sample"));
         let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
-        let merged = if picked.len() >= PARALLEL_MERGE_MIN {
-            let threads = merge_threads(picked.len());
-            swh_core::merge::merge_tree_parallel(picked, p_bound, threads, rng)?
+        let shapes: Vec<NodeShape> = picked.iter().map(NodeShape::of).collect();
+        let n_f = picked.first().map_or(0, |s| s.policy().n_f());
+        let workers = planned_workers(&shapes, n_f, merge_threads(picked.len()));
+        let merged = if workers > 1 {
+            self.metrics.union_parallel.inc();
+            swh_core::merge::merge_tree_parallel(picked, p_bound, workers, rng)?
         } else {
+            self.metrics.union_serial.inc();
             swh_core::planner::merge_planned(picked, p_bound, rng)?
         };
         timer.stop();
@@ -329,10 +356,12 @@ impl<T: SampleValue> Catalog<T> {
     /// the merge — prefer it for read-mostly catalogs and frequent queries
     /// over large samples.
     ///
-    /// Like [`Catalog::union_sample`], wide selections use the parallel
-    /// merge tree ([`swh_core::merge::merge_tree_parallel_borrowed`], hence
-    /// the `T: Sync` bound — subtree workers share the borrowed samples);
-    /// narrow ones fold serially ([`swh_core::merge::merge_all_borrowed`]).
+    /// Like [`Catalog::union_sample`], the cutover is cost-based: when the
+    /// planner predicts a parallel win the DAG runs on the work-stealing
+    /// executor ([`swh_core::merge::merge_tree_parallel_borrowed`], hence
+    /// the `T: Sync` bound — pool workers share the borrowed samples);
+    /// otherwise the selection folds serially
+    /// ([`swh_core::merge::merge_all_borrowed`]).
     pub fn union_sample_borrowed<R: rand::Rng + ?Sized>(
         &self,
         dataset: DatasetId,
@@ -359,10 +388,14 @@ impl<T: SampleValue> Catalog<T> {
         let _prof = swh_obs::profile::enabled()
             .then(|| swh_obs::profile::scope_rooted("catalog/union_sample_borrowed"));
         let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
-        let merged = if picked.len() >= PARALLEL_MERGE_MIN {
-            let threads = merge_threads(picked.len());
-            swh_core::merge::merge_tree_parallel_borrowed(&picked, p_bound, threads, rng)?
+        let shapes: Vec<NodeShape> = picked.iter().map(|s| NodeShape::of(s)).collect();
+        let n_f = picked.first().map_or(0, |s| s.policy().n_f());
+        let workers = planned_workers(&shapes, n_f, merge_threads(picked.len()));
+        let merged = if workers > 1 {
+            self.metrics.union_parallel.inc();
+            swh_core::merge::merge_tree_parallel_borrowed(&picked, p_bound, workers, rng)?
         } else {
+            self.metrics.union_serial.inc();
             swh_core::merge::merge_all_borrowed(picked, p_bound, rng)?
         };
         timer.stop();
@@ -522,11 +555,11 @@ mod tests {
 
     #[test]
     fn wide_union_is_deterministic_for_a_seeded_rng() {
-        // 8 partitions exceed PARALLEL_MERGE_MIN, so this exercises the
-        // parallel merge tree. Per-node RNG streams keyed by tree position
-        // make the result a function of (selection, seed) only — two runs
-        // with the same seed must agree exactly, whatever the thread count
-        // this machine offers.
+        // Whatever path the cost model picks for these 8 partitions,
+        // per-node RNG streams keyed by plan position make the result a
+        // function of (selection, seed) only — two runs with the same seed
+        // must agree exactly, whatever the thread count this machine
+        // offers.
         let mut rng = seeded_rng(60);
         let cat = Catalog::new();
         for d in 0..8u64 {
@@ -550,6 +583,34 @@ mod tests {
         let b = run_borrowed();
         assert_eq!(b, run_borrowed());
         assert_eq!(b.parent_size(), 8_000);
+    }
+
+    #[test]
+    fn small_unions_stay_on_the_serial_plan() {
+        // Regression test for the old fixed ">= 4 partitions go parallel"
+        // rule: a union of a handful of tiny samples costs a few
+        // microseconds of merge work, far below the per-worker spawn cost,
+        // so the cost-based cutover must route it through the serial
+        // `merge_planned` path regardless of how many cores the machine
+        // has. The counters in a private registry pin the routing.
+        let registry = swh_obs::Registry::new();
+        let cat = Catalog::with_registry(&registry);
+        let mut rng = seeded_rng(41);
+        for d in 0..6u64 {
+            cat.roll_in(key(1, d), sample(d * 100..(d + 1) * 100, &mut rng))
+                .unwrap();
+        }
+        let s = cat
+            .union_sample(DatasetId(1), |_| true, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(s.parent_size(), 600);
+        let b = cat
+            .union_sample_borrowed(DatasetId(1), |_| true, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(b.parent_size(), 600);
+        assert_eq!(cat.metrics.union_serial.get(), 2);
+        assert_eq!(cat.metrics.union_parallel.get(), 0);
+        assert_eq!(cat.metrics.union_merges.get(), 2);
     }
 
     #[test]
