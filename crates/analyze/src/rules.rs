@@ -78,12 +78,14 @@ impl Rule {
                     .any(|prefix| path.starts_with(prefix))
                     || OBS_TRACE_FILES.contains(&path)
                     || PROFILING_FILES.contains(&path)
+                    || HEALTH_FILES.contains(&path)
             }
             Rule::Panic => {
                 SAMPLING_CRATE_SRC
                     .iter()
                     .any(|prefix| path.starts_with(prefix))
                     || PROFILING_FILES.contains(&path)
+                    || HEALTH_FILES.contains(&path)
             }
             Rule::NumericCast | Rule::FloatCmp => PROBABILITY_FILES.contains(&path),
             // The concurrency rules cover every library `src/` tree. The one
@@ -130,6 +132,19 @@ const PROFILING_FILES: &[&str] = &[
     "crates/obs/src/profile.rs",
     "crates/core/src/costmodel.rs",
     "crates/cli/src/bench_history.rs",
+];
+
+/// The closed-loop health pipeline: alert rules gate CI (`swh alerts
+/// check`), their evaluation order and journal events must replay
+/// identically from identical snapshots, and none of these files may
+/// panic on malformed input — a corrupt rules file or metrics snapshot
+/// must fail the gate with an error, not a crash. (`audit.rs` is covered
+/// already via the `crates/core/src/` prefix.) Covered by both
+/// determinism and panic hygiene.
+const HEALTH_FILES: &[&str] = &[
+    "crates/obs/src/health.rs",
+    "crates/cli/src/alerts.rs",
+    "crates/cli/src/top.rs",
 ];
 
 /// Probability code: every file whose arithmetic implements a distribution,
@@ -801,6 +816,13 @@ mod tests {
         for path in [
             "crates/aqp/src/quantiles.rs",
             "crates/workloads/src/dataset.rs",
+            // The closed-loop health pipeline: the alert engine, the CI
+            // gate command, the live view, and the self-audit (the last
+            // via the core src prefix).
+            "crates/obs/src/health.rs",
+            "crates/cli/src/alerts.rs",
+            "crates/cli/src/top.rs",
+            "crates/core/src/audit.rs",
         ] {
             assert!(
                 scan_at(path, time_src)

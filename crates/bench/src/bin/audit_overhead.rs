@@ -1,0 +1,151 @@
+//! Self-audit overhead smoke check (acceptance experiment, not a paper
+//! figure): ingest-and-merge throughput with the statistical self-audit
+//! enabled must stay within 2% of the same work with it off.
+//!
+//! The audit is designed to be O(transitions), never O(elements): one
+//! uniformity-cell update per finalized sampler, one q-bound comparison
+//! per phase transition and per HB merge, one hypergeometric z-score per
+//! HR split. The 2% budget (tighter than the profiler's 5%) reflects
+//! that nothing the audit does sits on the per-element path; a
+//! regression that sneaks per-element work in lands far above it.
+//!
+//! One CSV row (`audit`), gated when `SWH_PERF_ASSERT` is set; like the
+//! profiler gate, an over-budget measurement is re-taken up to twice
+//! before it is believed, since the true cost is far below the noise
+//! floor of a shared CI runner.
+
+use swh_bench::{section, time_secs, CsvOut, Scale};
+use swh_core::audit;
+use swh_core::footprint::FootprintPolicy;
+use swh_core::merge::merge_all;
+use swh_core::sampler::Sampler;
+use swh_rand::seeded_rng;
+use swh_warehouse::ingest::SamplerConfig;
+
+/// The CLI's ingest chunk size; batches are byte-identical to element-wise
+/// observation, so chunking never changes the sampled result.
+const CHUNK: usize = 4096;
+
+/// Sample `parts` partitions of `per_part` unique values each — half
+/// through Algorithm HR, half through HB so both finalize hooks and both
+/// merge rules are on the measured path — and union them; returns the
+/// merged size so the optimizer cannot discard the work.
+fn ingest_and_merge(parts: u64, per_part: u64, policy: FootprintPolicy, seed: u64) -> u64 {
+    let mut rng = seeded_rng(seed);
+    let mut samples = Vec::with_capacity(parts as usize);
+    let mut buf = Vec::with_capacity(CHUNK);
+    for p in 0..parts {
+        let config = if p % 2 == 0 {
+            SamplerConfig::HybridReservoir
+        } else {
+            SamplerConfig::HybridBernoulli {
+                expected_n: per_part,
+                p_bound: 1e-3,
+            }
+        };
+        let mut sampler = config.build::<u64>(policy);
+        let mut v = p * per_part;
+        let end = (p + 1) * per_part;
+        while v < end {
+            buf.clear();
+            buf.extend(v..end.min(v + CHUNK as u64));
+            v += buf.len() as u64;
+            sampler.observe_batch(&buf, &mut rng);
+        }
+        samples.push(sampler.finalize(&mut rng));
+    }
+    merge_all(samples, 1e-3, &mut rng).expect("merge").size()
+}
+
+/// Best-of-`reps` paired off/on timing of `ingest_and_merge`, flipping
+/// the audit via its global enable switch and reading the audited-run
+/// counter after each enabled pass.
+fn measure(
+    parts: u64,
+    per_part: u64,
+    policy: FootprintPolicy,
+    reps: usize,
+    seed_base: u64,
+) -> (f64, f64, u64) {
+    let audit = audit::global();
+    let mut disabled = f64::INFINITY;
+    let mut enabled = f64::INFINITY;
+    let mut runs = 0u64;
+    let mut last_runs = audit.runs();
+    for rep in 0..reps {
+        audit.set_enabled(false);
+        let (_, t) =
+            time_secs(|| ingest_and_merge(parts, per_part, policy, seed_base + rep as u64));
+        disabled = disabled.min(t);
+
+        audit.set_enabled(true);
+        let (_, t) =
+            time_secs(|| ingest_and_merge(parts, per_part, policy, seed_base + rep as u64));
+        enabled = enabled.min(t);
+        let now = audit.runs();
+        runs = now - last_runs;
+        last_runs = now;
+    }
+    audit.set_enabled(true); // leave the process-wide default in place
+    (disabled, enabled, runs)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let population: u64 = match scale {
+        Scale::Smoke => 1 << 17,
+        _ => 1 << 21,
+    };
+    let parts = 8u64;
+    let per_part = population / parts;
+    let n_f = scale.n_f();
+    let reps = 7usize;
+    let policy = FootprintPolicy::with_value_budget(n_f);
+
+    section(&format!(
+        "Self-audit overhead: {population} elements over {parts} partitions (HR+HB) + union, \
+         n_F = {n_f}, best of {reps} runs per cell, scale = {scale}"
+    ));
+
+    // Warm-up pass so first-touch page faults hit neither timed variant.
+    let _ = ingest_and_merge(parts, per_part, policy, 7);
+
+    let mut attempt = 0u64;
+    let (disabled, enabled, runs) = loop {
+        attempt += 1;
+        let m = measure(parts, per_part, policy, reps, 100 * attempt);
+        if 100.0 * (m.1 - m.0) / m.0 < 2.0 || attempt == 3 {
+            break m;
+        }
+    };
+
+    let overhead = 100.0 * (enabled - disabled) / disabled;
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>14}",
+        "layer", "disabled_s", "enabled_s", "overhead_%", "audited_runs"
+    );
+    println!(
+        "{:>8} {disabled:>12.4} {enabled:>12.4} {overhead:>12.2} {runs:>14}",
+        "audit"
+    );
+    println!("\nExpect: audit within 2% of disabled (gated under SWH_PERF_ASSERT).");
+
+    let mut csv = CsvOut::new(
+        "audit_overhead",
+        "section,elements,partitions,disabled_secs,enabled_secs,overhead_pct,audited_runs",
+    );
+    csv.row(format!(
+        "audit,{population},{parts},{disabled:.6},{enabled:.6},{overhead:.2},{runs}"
+    ));
+    csv.finish();
+
+    let assert_perf = std::env::var("SWH_PERF_ASSERT").is_ok_and(|v| !v.is_empty() && v != "0");
+    if assert_perf {
+        assert!(
+            overhead < 2.0,
+            "audit overhead {overhead:.2}% exceeds the 2% budget \
+             (disabled {disabled:.4}s, enabled {enabled:.4}s)"
+        );
+        println!("SWH_PERF_ASSERT: audit overhead {overhead:.2}% < 2% budget ok");
+    }
+}

@@ -1,0 +1,194 @@
+//! `swh alerts` — evaluate alert rules once and report, designed as a CI
+//! gate: `swh alerts check` exits non-zero when any rule fires.
+//!
+//! The metrics being judged come from one of three sources:
+//!
+//! * `--metrics FILE` — a saved `/metrics.json` snapshot;
+//! * `--url HOST:PORT` — a live `swh serve` endpoint (fetches
+//!   `/metrics.json`);
+//! * the in-process registry, optionally populated first by `--workload`
+//!   (a synthetic HB/HR ingest-and-union run that exercises the
+//!   statistical self-audit).
+//!
+//! With `--cost-model FILE` the workload runs under the profiler, a live
+//! cost model is fitted from the measured scopes, and its drift against
+//! the reference file is published as `swh_cost_model_drift_ppm` before
+//! rules are evaluated — so a stale or perturbed committed model trips
+//! the builtin `cost_model_drift` rule. `--fit-out FILE` writes the
+//! fitted model (for producing a fresh reference).
+//!
+//! With `--incidents DIR` every rule that fires also drops a flight
+//! recorder bundle (`alert.json`, `metrics.json`, `journal.txt`,
+//! `profile.json`) under `DIR/<seq>/`, rotated to `--incident-cap`
+//! bundles.
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+use std::error::Error;
+use std::io::{Read as _, Write};
+use std::net::TcpStream;
+use swh_core::footprint::FootprintPolicy;
+use swh_core::sample::Sample;
+use swh_core::sampler::Sampler;
+use swh_obs::health::{self, HealthEngine};
+use swh_obs::profile;
+
+/// Dispatch `swh alerts <subcommand>`.
+pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
+    match args.positionals().first().map(String::as_str) {
+        Some("check") => check(args, out),
+        other => Err(format!(
+            "unknown alerts subcommand {:?}; try `swh alerts check`",
+            other.unwrap_or("")
+        )
+        .into()),
+    }
+}
+
+/// Minimal HTTP/1.0-style GET against `addr` (e.g. `127.0.0.1:9184`),
+/// returning the response body. Shared with `swh top`.
+pub fn http_get(addr: &str, path: &str) -> Result<String, Box<dyn Error>> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_headers, body)) => Ok(body.to_string()),
+        None => Err(format!("malformed HTTP response from {addr}{path}").into()),
+    }
+}
+
+/// Synthetic HB/HR ingest-and-union workload that exercises every audit
+/// hook: phase transitions (q-decay), finalize (uniformity cells,
+/// footprint), and pairwise merges (hypergeometric splits). Profiling
+/// should already be enabled when the measured scopes are wanted for a
+/// cost-model fit.
+fn audit_workload(args: &Args) -> CmdResult {
+    let partitions: u64 = args.parsed_or("partitions", 8, "integer")?;
+    let per_part: u64 = args.parsed_or("per-part", 20_000, "integer")?;
+    let n_f: u64 = args.parsed_or("nf", 512, "integer")?;
+    let p_bound: f64 = args.parsed_or("p", 1e-3, "probability")?;
+    let mut rng = swh_rand::seeded_rng(args.parsed_or("seed", 0x5eed_u64, "integer")?);
+    if partitions == 0 || per_part == 0 {
+        return Err("--partitions and --per-part must be > 0".into());
+    }
+
+    let hb: Vec<Sample<u64>> = (0..partitions)
+        .map(|p| {
+            swh_core::HybridBernoulli::new(FootprintPolicy::with_value_budget(n_f), per_part)
+                .sample_batch(p * per_part..(p + 1) * per_part, &mut rng)
+        })
+        .collect();
+    swh_core::merge::merge_all(hb, p_bound, &mut rng)?;
+    let hr: Vec<Sample<u64>> = (0..partitions)
+        .map(|p| {
+            swh_core::HybridReservoir::new(FootprintPolicy::with_value_budget(n_f))
+                .sample_batch(p * per_part..(p + 1) * per_part, &mut rng)
+        })
+        .collect();
+    swh_core::merge::merge_all(hr, p_bound, &mut rng)?;
+    Ok(())
+}
+
+fn check(args: &Args, out: &mut dyn Write) -> CmdResult {
+    // Rules: JSON file or the builtin set.
+    let rules = match args.get("rules") {
+        Some(path) => health::rules_from_json(&std::fs::read_to_string(path)?)?,
+        None => health::builtin_rules(),
+    };
+    if rules.is_empty() {
+        return Err("rules file declares no rules".into());
+    }
+
+    // Flight recorder, installed before evaluation so firings are captured.
+    if let Some(dir) = args.get("incidents") {
+        let cap: usize = args.parsed_or("incident-cap", health::DEFAULT_INCIDENT_CAP, "integer")?;
+        health::set_recorder(Some(
+            health::FlightRecorder::new(dir, cap).with_writer(swh_warehouse::durable::atomic_write),
+        ));
+    }
+
+    // Metrics source.
+    let snap = if let Some(path) = args.get("metrics") {
+        health::snapshot_from_metrics_json(&std::fs::read_to_string(path)?)?
+    } else if let Some(addr) = args.get("url") {
+        health::snapshot_from_metrics_json(&http_get(addr, "/metrics.json")?)?
+    } else {
+        let fit_wanted = args.get("cost-model").is_some() || args.get("fit-out").is_some();
+        if fit_wanted {
+            profile::set_enabled(true);
+            profile::reset();
+        }
+        if args.flag("workload") {
+            audit_workload(args)?;
+        }
+        if fit_wanted {
+            profile::set_enabled(false);
+            let live = swh_core::CostModel::fit(&profile::snapshot());
+            if live.entries.is_empty() {
+                return Err(
+                    "no measured merge scopes to fit a cost model from (add --workload?)".into(),
+                );
+            }
+            if let Some(path) = args.get("fit-out") {
+                std::fs::write(path, live.to_json())?;
+                writeln!(
+                    out,
+                    "fitted cost model: {} entries -> {path}",
+                    live.entries.len()
+                )?;
+            }
+            if let Some(path) = args.get("cost-model") {
+                let reference = swh_core::CostModel::from_json(&std::fs::read_to_string(path)?)?;
+                match swh_core::audit::global().note_cost_model_drift(&live, &reference) {
+                    Some(ppm) => writeln!(
+                        out,
+                        "cost model drift vs {path}: {ppm:.0} ppm over {} live entries",
+                        live.entries.len()
+                    )?,
+                    None => writeln!(
+                        out,
+                        "warning: no overlapping cells between live fit and {path}"
+                    )?,
+                }
+            }
+        }
+        swh_obs::global().snapshot()
+    };
+
+    // One evaluation tick on a command-local engine (the serve endpoint's
+    // global engine keeps its own history).
+    let engine = HealthEngine::new(rules);
+    let transitions = engine.tick(snap);
+    for t in transitions.iter().filter(|t| t.firing) {
+        if let Some(path) = health::record_incident(&health::transition_json(t)) {
+            writeln!(out, "incident bundle: {}", path.display())?;
+        }
+    }
+
+    let status = engine.status();
+    for r in &status.rules {
+        let value = r
+            .value
+            .map_or_else(|| "no data".to_string(), |v| format!("{v}"));
+        writeln!(
+            out,
+            "{:>6} {:8} {:32} {} (value {})",
+            if r.firing { "FIRING" } else { "ok" },
+            r.severity.name(),
+            r.name,
+            r.detail,
+            value
+        )?;
+    }
+    let active = status.active();
+    if active > 0 {
+        Err(format!("{active} of {} alert rule(s) firing", status.rules.len()).into())
+    } else {
+        writeln!(out, "all {} alert rule(s) quiet", status.rules.len())?;
+        Ok(())
+    }
+}

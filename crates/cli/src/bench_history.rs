@@ -185,6 +185,23 @@ fn history_line(run: u64, metrics: &BTreeMap<String, f64>) -> String {
     format!("{{\"run\": {run}, \"metrics\": {{{}}}}}", body.join(", "))
 }
 
+/// Count the prior runs recorded in a history file, from the result of
+/// reading it. A file that does not exist is a *fresh checkout*, not an
+/// error — but it is flagged so the caller can say so out loud instead of
+/// silently looking like an established clean pass. Any other read
+/// failure (permissions, I/O) surfaces as an error: a history that
+/// exists but cannot be read must never be mistaken for "no history".
+fn prior_runs_from(read: std::io::Result<String>) -> Result<(u64, bool), String> {
+    match read {
+        Ok(text) => Ok((
+            text.lines().filter(|l| !l.trim().is_empty()).count() as u64,
+            false,
+        )),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((0, true)),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 /// The `swh bench history` entry point.
 pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
     let dir = PathBuf::from(args.get("dir").unwrap_or("bench_results"));
@@ -199,10 +216,15 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         Some(p) => PathBuf::from(p),
         None => dir.join("history.jsonl"),
     };
-    let prior_runs = match std::fs::read_to_string(&history_path) {
-        Ok(text) => text.lines().filter(|l| !l.trim().is_empty()).count() as u64,
-        Err(_) => 0,
-    };
+    let (prior_runs, fresh) = prior_runs_from(std::fs::read_to_string(&history_path))
+        .map_err(|e| format!("cannot read {}: {e}", history_path.display()))?;
+    if fresh {
+        writeln!(
+            out,
+            "warning: no history yet at {} — starting run 1 (baselines are still checked)",
+            history_path.display()
+        )?;
+    }
     let run = prior_runs + 1;
     let mut file = std::fs::OpenOptions::new()
         .create(true)
@@ -359,6 +381,24 @@ mod tests {
         assert!(
             parse_baselines("{\"version\": 1, \"baselines\": {\"k\": {\"note\": 1}}}").is_err()
         );
+    }
+
+    #[test]
+    fn missing_history_is_fresh_not_silent() {
+        // A fresh checkout (file absent) counts zero prior runs and is
+        // flagged so run() warns; a readable history counts its lines and
+        // is not flagged; any other I/O failure is an error, never a
+        // silent "no history".
+        use std::io::{Error, ErrorKind};
+        assert_eq!(
+            prior_runs_from(Err(Error::from(ErrorKind::NotFound))),
+            Ok((0, true))
+        );
+        assert_eq!(
+            prior_runs_from(Ok("{\"run\": 1}\n\n{\"run\": 2}\n".to_string())),
+            Ok((2, false))
+        );
+        assert!(prior_runs_from(Err(Error::from(ErrorKind::PermissionDenied))).is_err());
     }
 
     #[test]

@@ -48,6 +48,8 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "trace" => trace_cmd(args, out),
         "store" => store_cmd(args, out),
         "bench" => bench_cmd(args, out),
+        "alerts" => crate::alerts::run(args, out),
+        "top" => crate::top::run(args, out),
         other => Err(format!("unknown command '{other}'; run `swh help`").into()),
     }
 }
@@ -101,6 +103,15 @@ fn help(out: &mut dyn Write) -> CmdResult {
          \x20           against per-metric baselines; --check fails on regression\n\
          \x20           [--dir bench_results] [--baseline FILE] [--history FILE]\n\
          \x20           [--check]\n\
+         \x20 alerts check\n\
+         \x20           evaluate alert rules once; exit non-zero on any firing\n\
+         \x20           [--rules FILE] [--metrics FILE | --url HOST:PORT |\n\
+         \x20           --workload [--partitions 8] [--per-part 20000] [--nf 512]]\n\
+         \x20           [--cost-model FILE] [--fit-out FILE]\n\
+         \x20           [--incidents DIR [--incident-cap 8]]\n\
+         \x20 top       live terminal view of a running `swh serve`\n\
+         \x20           [--url 127.0.0.1:9184] [--interval-ms 1000]\n\
+         \x20           [--iterations 0]    (0 = refresh forever)\n\
          \n\
          GLOBAL FLAGS\n\
          \x20 --stats           after ingest/query/profile/estimate, print the\n\

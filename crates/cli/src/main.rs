@@ -3,9 +3,11 @@
 //! See `swh help` for usage, or the crate-level documentation of
 //! `swh-warehouse` for the underlying model.
 
+mod alerts;
 mod args;
 mod bench_history;
 mod commands;
+mod top;
 
 use args::Args;
 
@@ -30,8 +32,27 @@ fn install_cost_model() {
     }
 }
 
+/// Install the incident flight recorder from `SWH_INCIDENT_DIR` so alert
+/// firings (e.g. from the `/alerts` route of `swh serve`) drop rotated
+/// incident bundles there, written through the warehouse's atomic
+/// write-rename path. `swh alerts check --incidents DIR` overrides this
+/// per invocation.
+fn install_incident_recorder() {
+    let Ok(dir) = std::env::var("SWH_INCIDENT_DIR") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    swh_obs::health::set_recorder(Some(
+        swh_obs::health::FlightRecorder::new(dir, swh_obs::health::DEFAULT_INCIDENT_CAP)
+            .with_writer(swh_warehouse::durable::atomic_write),
+    ));
+}
+
 fn main() {
     install_cost_model();
+    install_incident_recorder();
     let parsed = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
         Err(e) => {

@@ -1,0 +1,113 @@
+//! `swh top` — live terminal view of a running `swh serve` endpoint:
+//! polls `/metrics.json` and `/alerts` on an interval and renders active
+//! alerts, the statistical self-audit gauges, and the busiest histogram
+//! scopes, redrawing in place with ANSI escapes.
+//!
+//! `--iterations N` bounds the number of refreshes (default `0` =
+//! forever); a single iteration skips the screen-clear so the output is
+//! pipeable (and testable).
+
+use crate::args::Args;
+use crate::commands::CmdResult;
+use std::io::Write;
+// swh-analyze: allow(determinism) -- Duration only feeds the refresh
+// sleep between frames; nothing sampled or rendered derives from it.
+use std::time::Duration;
+use swh_obs::health;
+use swh_obs::json::Value;
+use swh_obs::MetricValue;
+
+/// `swh top` entry point.
+pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let addr = args.get("url").unwrap_or("127.0.0.1:9184");
+    let interval = Duration::from_millis(args.parsed_or("interval-ms", 1_000u64, "integer")?);
+    let iterations: u64 = args.parsed_or("iterations", 0, "integer")?;
+
+    let mut done = 0u64;
+    loop {
+        let metrics = crate::alerts::http_get(addr, "/metrics.json")?;
+        let alerts = crate::alerts::http_get(addr, "/alerts")?;
+        if iterations != 1 {
+            // Clear screen + home, so the view redraws in place.
+            write!(out, "\x1b[2J\x1b[H")?;
+        }
+        render(addr, &metrics, &alerts, out)?;
+        out.flush()?;
+        done += 1;
+        if iterations != 0 && done >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Render one frame from the two fetched bodies.
+fn render(addr: &str, metrics_json: &str, alerts_json: &str, out: &mut dyn Write) -> CmdResult {
+    let snap = health::snapshot_from_metrics_json(metrics_json)?;
+    let alerts = swh_obs::json::parse(alerts_json).map_err(|e| format!("/alerts: {e}"))?;
+
+    let active = alerts.get("active").and_then(Value::as_u64).unwrap_or(0);
+    let ticks = alerts.get("ticks").and_then(Value::as_u64).unwrap_or(0);
+    let rules = alerts.get("rules").map(Value::items).unwrap_or(&[]);
+    writeln!(
+        out,
+        "swh top — {addr} | alerts {active} firing / {} rules | tick {ticks}",
+        rules.len()
+    )?;
+
+    if active > 0 {
+        writeln!(out, "\nACTIVE ALERTS")?;
+        for rule in rules {
+            if rule.get("state").and_then(Value::as_str) != Some("firing") {
+                continue;
+            }
+            writeln!(
+                out,
+                "  {:8} {:32} since tick {} (value {}) {}",
+                rule.get("severity").and_then(Value::as_str).unwrap_or("?"),
+                rule.get("name").and_then(Value::as_str).unwrap_or("?"),
+                rule.get("since_tick").and_then(Value::as_u64).unwrap_or(0),
+                rule.get("value")
+                    .and_then(Value::as_f64)
+                    .map_or_else(|| "?".to_string(), |v| format!("{v}")),
+                rule.get("detail").and_then(Value::as_str).unwrap_or(""),
+            )?;
+        }
+    }
+
+    writeln!(out, "\nSELF-AUDIT")?;
+    let mut any = false;
+    for (name, _, value) in &snap.metrics {
+        if !name.starts_with("swh_audit_") && name != "swh_cost_model_drift_ppm" {
+            continue;
+        }
+        any = true;
+        match value {
+            MetricValue::Counter(v) => writeln!(out, "  {name:40} {v}")?,
+            MetricValue::Gauge(v) => writeln!(out, "  {name:40} {v}")?,
+            MetricValue::Histogram(_) => {}
+        }
+    }
+    if !any {
+        writeln!(out, "  (no audit metrics yet)")?;
+    }
+
+    // Busiest histogram scopes by accumulated sum, descending.
+    let mut hists: Vec<(&str, u64, u64)> = snap
+        .metrics
+        .iter()
+        .filter_map(|(name, _, value)| match value {
+            MetricValue::Histogram(h) if h.count > 0 => Some((name.as_str(), h.sum, h.count)),
+            _ => None,
+        })
+        .collect();
+    hists.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    if !hists.is_empty() {
+        writeln!(out, "\nBUSIEST TIMERS")?;
+        writeln!(out, "  {:>12} {:>10}  metric", "sum", "count")?;
+        for (name, sum, count) in hists.into_iter().take(8) {
+            writeln!(out, "  {sum:>12} {count:>10}  {name}")?;
+        }
+    }
+    Ok(())
+}

@@ -946,3 +946,129 @@ fn store_fsck_quarantines_and_sweeps() {
     assert!(!text.contains("(0,1)"), "{text}");
     std::fs::remove_dir_all(&store).ok();
 }
+
+/// The closed-loop health acceptance path: a healthy synthetic workload
+/// leaves every builtin rule quiet (exit 0), while a deliberately
+/// perturbed committed cost model moves `swh_cost_model_drift_ppm` past
+/// its threshold — the rule fires, the exit turns non-zero (the CI gate),
+/// and a full incident bundle lands on disk.
+#[test]
+fn alerts_check_gates_on_cost_model_drift() {
+    let dir = tmp_store("alerts");
+    std::fs::create_dir_all(&dir).unwrap();
+    let reference = dir.join("cost_model.json");
+    let workload: &[&str] = &[
+        "--workload",
+        "--partitions",
+        "4",
+        "--per-part",
+        "8000",
+        "--nf",
+        "256",
+    ];
+
+    // 1. Healthy run fits a reference model and every builtin rule is quiet.
+    let mut args = vec!["alerts", "check", "--fit-out", reference.to_str().unwrap()];
+    args.extend_from_slice(workload);
+    let text = ok(&swh().args(&args).output().unwrap());
+    assert!(text.contains("all 5 alert rule(s) quiet"), "{text}");
+
+    // 2. Perturb the committed model 100x: live measurements now sit ~99%
+    // below the reference, i.e. ~990_000 ppm of drift.
+    let mut model =
+        swh_core::CostModel::from_json(&std::fs::read_to_string(&reference).unwrap()).unwrap();
+    for entry in &mut model.entries {
+        entry.mean_ns *= 100.0;
+    }
+    let perturbed = dir.join("cost_model_bad.json");
+    std::fs::write(&perturbed, model.to_json()).unwrap();
+
+    // 3. The gate trips: non-zero exit, the drift rule reports FIRING, and
+    // the flight recorder drops a complete bundle.
+    let incidents = dir.join("incidents");
+    let mut args = vec![
+        "alerts",
+        "check",
+        "--cost-model",
+        perturbed.to_str().unwrap(),
+        "--incidents",
+        incidents.to_str().unwrap(),
+    ];
+    args.extend_from_slice(workload);
+    let out = swh().args(&args).output().unwrap();
+    assert!(!out.status.success(), "perturbed model must trip the gate");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FIRING"), "{text}");
+    assert!(text.contains("cost_model_drift"), "{text}");
+    assert!(text.contains("incident bundle"), "{text}");
+    let bundle = incidents.join("0");
+    for file in ["alert.json", "metrics.json", "journal.txt", "profile.json"] {
+        let path = bundle.join(file);
+        let data = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing bundle file {}: {e}", path.display()));
+        assert!(!data.is_empty(), "{file} is empty");
+    }
+    let alert = std::fs::read_to_string(bundle.join("alert.json")).unwrap();
+    assert!(alert.contains("cost_model_drift"), "{alert}");
+    let metrics = std::fs::read_to_string(bundle.join("metrics.json")).unwrap();
+    assert!(metrics.contains("swh_cost_model_drift_ppm"), "{metrics}");
+
+    // 4. The saved-snapshot path: a metrics file showing a q-bound
+    // violation fires the invariant rule without any workload.
+    let saved = dir.join("metrics.json");
+    std::fs::write(&saved, "{\"swh_audit_q_violations_total\": 3}\n").unwrap();
+    let out = swh()
+        .args(["alerts", "check", "--metrics", saved.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("FIRING critical audit_q_violation"), "{text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `swh top --iterations 1` renders one pipeable frame (no ANSI clear)
+/// from a live `swh serve` endpoint's `/metrics.json` and `/alerts`.
+#[test]
+fn top_renders_one_frame_from_serve() {
+    let store_dir = tmp_store("top");
+    std::fs::create_dir_all(&store_dir).unwrap();
+    let mut child = swh()
+        .args([
+            "serve",
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--requests",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        line.trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+            .to_string()
+    };
+    let text = ok(&swh()
+        .args(["top", "--url", &addr, "--iterations", "1"])
+        .output()
+        .unwrap());
+    assert!(text.contains("swh top"), "{text}");
+    assert!(text.contains("firing"), "{text}");
+    assert!(text.contains("5 rules"), "{text}");
+    assert!(
+        !text.contains('\x1b'),
+        "single frame must not clear: {text}"
+    );
+    assert!(child.wait().unwrap().success());
+    std::fs::remove_dir_all(&store_dir).ok();
+}

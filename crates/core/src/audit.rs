@@ -1,0 +1,548 @@
+//! Online statistical self-audit of the paper's invariants.
+//!
+//! The samplers *claim* statistical properties — uniformity of the drawn
+//! samples, sampling rates below the Eq. 1 bound, footprints within
+//! `n_F`, hypergeometric merge splits (Eq. 2/3). This module checks
+//! those claims continuously, as cheap streaming statistics fed from the
+//! samplers' own bookkeeping, and publishes the results as
+//! `swh_audit_*` metrics that the alert engine in `swh-obs::health`
+//! watches. Nothing here runs per ingested element: every hook fires at
+//! finalize, phase-transition, or merge granularity.
+//!
+//! Statistics maintained by the process-wide [`global`] audit:
+//!
+//! * **Uniformity drift** — each sampler run contributes its observed
+//!   inclusion count and the closed-form expectation
+//!   ([`expected_inclusions_hb`] / [`expected_inclusions_hr`]) to one of
+//!   [`CELLS`] accumulator cells (keyed round-robin by run sequence).
+//!   Published as `swh_audit_uniformity_chi2_milli` (Pearson chi-square
+//!   over the cells, informational) and
+//!   `swh_audit_inclusion_drift_ppm` = 10⁶ · Σ|obs − exp| / Σexp — the
+//!   robust statistic the builtin alert thresholds at 20%.
+//! * **q-decay** — every adopted or merged Bernoulli rate is checked
+//!   against the Eq. 1 bound for its parameters:
+//!   `swh_audit_q_last_ppm` tracks the trajectory,
+//!   `swh_audit_q_violations_total` counts rates above bound.
+//! * **Footprint** — every finalized run reports its footprint
+//!   high-water mark vs. `n_F`: `swh_audit_footprint_util_ppm`
+//!   (high-water utilization) and `swh_audit_footprint_breaches_total`.
+//! * **Split-L bias** — every hypergeometric merge reports its drawn
+//!   split `L` standardized against the Eq. 2/3 expectation
+//!   `E[L] = k·n₁/(n₁+n₂)`, `Var[L] = k·(n₁/n)(n₂/n)(n−k)/(n−1)`;
+//!   `swh_audit_split_bias_milli_sigma` = mean z · √count (in
+//!   milli-sigma) detects systematic bias that grows with sample count.
+//! * **Cost-model drift** — [`cost_model_drift_ppm`] compares a live
+//!   fitted [`CostModel`] against a committed reference (the planner's
+//!   input) cell by cell; `swh_cost_model_drift_ppm` is the mean
+//!   relative difference.
+//!
+//! The audit can be disabled ([`set_enabled`]) to measure its own
+//! overhead; the `audit_overhead` bench gates it below 2% of ingest.
+
+use crate::costmodel::CostModel;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use swh_obs::{Counter, Gauge, Registry};
+
+/// Number of round-robin accumulator cells for the uniformity statistic.
+pub const CELLS: usize = 16;
+
+/// Runs with a closed-form expectation below this contribute too much
+/// relative noise per run and are skipped.
+const MIN_EXPECTED: f64 = 16.0;
+
+/// Standardized split deviations are clamped to ±8σ so one pathological
+/// draw cannot dominate the accumulated bias.
+const MAX_SPLIT_SIGMA: f64 = 8.0;
+
+/// The audit accumulator. One process-wide instance lives behind
+/// [`global`]; tests construct private instances over private
+/// registries with [`Audit::register`].
+pub struct Audit {
+    enabled: AtomicBool,
+    run_seq: AtomicU64,
+    cell_obs: [AtomicU64; CELLS],
+    cell_exp_milli: [AtomicU64; CELLS],
+    split_z_milli: AtomicI64,
+    runs: Counter,
+    chi2_milli: Gauge,
+    drift_ppm: Gauge,
+    q_last_ppm: Gauge,
+    q_violations: Counter,
+    footprint_util_ppm: Gauge,
+    footprint_breaches: Counter,
+    split_merges: Counter,
+    split_bias: Gauge,
+    cost_drift: Gauge,
+}
+
+impl Audit {
+    /// Build an audit whose metrics live in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        Audit {
+            enabled: AtomicBool::new(true),
+            run_seq: AtomicU64::new(0),
+            cell_obs: std::array::from_fn(|_| AtomicU64::new(0)),
+            cell_exp_milli: std::array::from_fn(|_| AtomicU64::new(0)),
+            split_z_milli: AtomicI64::new(0),
+            runs: registry.counter(
+                "swh_audit_runs_total",
+                "Sampler runs folded into the uniformity audit",
+            ),
+            chi2_milli: registry.gauge(
+                "swh_audit_uniformity_chi2_milli",
+                "Pearson chi-square (x1000) of observed vs expected inclusions",
+            ),
+            drift_ppm: registry.gauge(
+                "swh_audit_inclusion_drift_ppm",
+                "Relative inclusion drift: 1e6 * sum|obs-exp| / sum(exp)",
+            ),
+            q_last_ppm: registry.gauge(
+                "swh_audit_q_last_ppm",
+                "Most recent Bernoulli sampling rate q (ppm)",
+            ),
+            q_violations: registry.counter(
+                "swh_audit_q_violations_total",
+                "Sampling rates observed above their Eq. 1 bound",
+            ),
+            footprint_util_ppm: registry.gauge(
+                "swh_audit_footprint_util_ppm",
+                "High-water footprint utilization vs n_F (ppm, record_max)",
+            ),
+            footprint_breaches: registry.counter(
+                "swh_audit_footprint_breaches_total",
+                "Finalized runs whose footprint high-water mark exceeded n_F",
+            ),
+            split_merges: registry.counter(
+                "swh_audit_split_merges_total",
+                "Hypergeometric merge splits folded into the bias audit",
+            ),
+            split_bias: registry.gauge(
+                "swh_audit_split_bias_milli_sigma",
+                "Accumulated split-L bias: mean z * sqrt(count), milli-sigma",
+            ),
+            cost_drift: registry.gauge(
+                "swh_cost_model_drift_ppm",
+                "Mean relative drift of the live profile vs the reference cost model (ppm)",
+            ),
+        }
+    }
+
+    /// Turn the audit on or off (used by the overhead bench; on by
+    /// default).
+    pub fn set_enabled(&self, on: bool) {
+        // Relaxed: independent on/off flag; no other memory is published
+        // under it.
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether hooks currently accumulate.
+    pub fn enabled(&self) -> bool {
+        // Relaxed: independent flag read.
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Fold one finalized sampler run into the uniformity statistic.
+    /// `expected` is the closed-form expected inclusion count for the
+    /// run's parameters; runs with `expected < 16` are skipped (too
+    /// noisy per run to audit).
+    // swh-analyze: hot
+    pub fn note_sampler_run(&self, inclusions: u64, expected: f64) {
+        if !self.enabled() || !expected.is_finite() || expected < MIN_EXPECTED {
+            return;
+        }
+        // Relaxed: round-robin cell pick; cells are independent
+        // statistical accumulators.
+        let idx = (self.run_seq.fetch_add(1, Ordering::Relaxed) as usize) % CELLS;
+        // Relaxed: monotone accumulator.
+        self.cell_obs[idx].fetch_add(inclusions, Ordering::Relaxed);
+        // Relaxed: monotone accumulator (milli fixed-point; expected is
+        // bounded by the stream length).
+        self.cell_exp_milli[idx].fetch_add((expected * 1000.0) as u64, Ordering::Relaxed);
+        self.runs.inc();
+        self.refresh_uniformity();
+    }
+
+    /// Recompute the chi-square and drift gauges from the cells. The
+    /// cells are plain accumulators read approximately: a torn read
+    /// across concurrent runs shifts the statistic by one run, which the
+    /// next refresh repairs.
+    fn refresh_uniformity(&self) {
+        let mut chi2 = 0.0f64;
+        let mut abs_diff = 0.0f64;
+        let mut total_exp = 0.0f64;
+        for i in 0..CELLS {
+            // Relaxed: advisory statistic; see refresh_uniformity docs.
+            let obs = self.cell_obs[i].load(Ordering::Relaxed) as f64;
+            // Relaxed: advisory statistic.
+            let exp = self.cell_exp_milli[i].load(Ordering::Relaxed) as f64 / 1000.0;
+            if exp <= 0.0 {
+                continue;
+            }
+            let d = obs - exp;
+            chi2 += d * d / exp;
+            abs_diff += d.abs();
+            total_exp += exp;
+        }
+        if total_exp > 0.0 {
+            self.chi2_milli.set((chi2 * 1000.0) as i64);
+            self.drift_ppm
+                .set((abs_diff / total_exp * 1_000_000.0) as i64);
+        }
+    }
+
+    /// Check an adopted or merged Bernoulli rate against its Eq. 1
+    /// bound for the *current* parameters, and track the decay
+    /// trajectory.
+    // swh-analyze: hot
+    pub fn note_q_decay(&self, q: f64, bound: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.q_last_ppm.set((q * 1_000_000.0) as i64);
+        // Tolerate float round-off in the bound computation itself.
+        if q > bound * (1.0 + 1e-9) {
+            self.q_violations.inc();
+        }
+    }
+
+    /// Check a finalized run's footprint high-water mark against `n_F`.
+    // swh-analyze: hot
+    pub fn note_footprint(&self, hwm_slots: u64, n_f: u64) {
+        if !self.enabled() || n_f == 0 {
+            return;
+        }
+        self.footprint_util_ppm
+            .record_max((hwm_slots.saturating_mul(1_000_000) / n_f) as i64);
+        if hwm_slots > n_f {
+            self.footprint_breaches.inc();
+        }
+    }
+
+    /// Fold one hypergeometric merge split into the bias statistic:
+    /// `l` elements drawn from the first parent of sizes `n1`/`n2` for a
+    /// combined sample of `k`.
+    // swh-analyze: hot
+    pub fn note_split(&self, n1: u64, n2: u64, k: u64, l: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let n = n1 + n2;
+        if k == 0 || n < 2 || k > n {
+            return;
+        }
+        let (nf, n1f, n2f, kf) = (n as f64, n1 as f64, n2 as f64, k as f64);
+        let mean = kf * n1f / nf;
+        let var = kf * (n1f / nf) * (n2f / nf) * ((nf - kf) / (nf - 1.0));
+        if var <= f64::EPSILON {
+            return;
+        }
+        let z = ((l as f64 - mean) / var.sqrt()).clamp(-MAX_SPLIT_SIGMA, MAX_SPLIT_SIGMA);
+        // Relaxed: signed accumulator for an advisory statistic.
+        let sum_milli = self
+            .split_z_milli
+            .fetch_add((z * 1000.0) as i64, Ordering::Relaxed)
+            + (z * 1000.0) as i64;
+        self.split_merges.inc();
+        let count = self.split_merges.get();
+        if count > 0 {
+            // mean z * sqrt(count) = sum_z / sqrt(count); milli in, milli out.
+            self.split_bias
+                .set((sum_milli as f64 / (count as f64).sqrt()) as i64);
+        }
+    }
+
+    /// Compare a live fitted cost model against a committed reference
+    /// and publish `swh_cost_model_drift_ppm`. Returns the drift, or
+    /// `None` when the models share no cells (gauge left untouched).
+    pub fn note_cost_model_drift(&self, live: &CostModel, reference: &CostModel) -> Option<f64> {
+        let ppm = cost_model_drift_ppm(live, reference)?;
+        self.cost_drift.set(ppm as i64);
+        Some(ppm)
+    }
+
+    /// Count of sampler runs the uniformity audit has absorbed.
+    pub fn runs(&self) -> u64 {
+        self.runs.get()
+    }
+
+    /// Current Pearson chi-square over the uniformity cells.
+    pub fn chi_square(&self) -> f64 {
+        self.chi2_milli.get() as f64 / 1000.0
+    }
+
+    /// Current relative inclusion drift in ppm.
+    pub fn inclusion_drift_ppm(&self) -> i64 {
+        self.drift_ppm.get()
+    }
+
+    /// Current accumulated split bias in milli-sigma.
+    pub fn split_bias_milli_sigma(&self) -> i64 {
+        self.split_bias.get()
+    }
+
+    /// Count of sampling rates observed above their bound.
+    pub fn q_violations(&self) -> u64 {
+        self.q_violations.get()
+    }
+
+    /// Count of footprint high-water marks above `n_F`.
+    pub fn footprint_breaches(&self) -> u64 {
+        self.footprint_breaches.get()
+    }
+}
+
+/// The process-wide audit, registered against the global metric
+/// registry on first use. Sampler finalize and merge paths feed it; the
+/// alert engine reads its gauges out of registry snapshots.
+pub fn global() -> &'static Audit {
+    static AUDIT: OnceLock<Audit> = OnceLock::new();
+    AUDIT.get_or_init(|| Audit::register(swh_obs::global()))
+}
+
+/// Mean relative difference between the live and reference cost-model
+/// cells, in ppm, over cells present in both (matched by op, sampler,
+/// and size bucket). `None` when no cells match.
+pub fn cost_model_drift_ppm(live: &CostModel, reference: &CostModel) -> Option<f64> {
+    let mut total = 0.0f64;
+    let mut matched = 0u32;
+    for r in &reference.entries {
+        if r.mean_ns <= 0.0 {
+            continue;
+        }
+        let Some(l) = live
+            .entries
+            .iter()
+            .find(|l| l.op == r.op && l.sampler == r.sampler && l.size_bucket == r.size_bucket)
+        else {
+            continue;
+        };
+        total += (l.mean_ns - r.mean_ns).abs() / r.mean_ns;
+        matched += 1;
+    }
+    if matched == 0 {
+        None
+    } else {
+        Some(total / f64::from(matched) * 1_000_000.0)
+    }
+}
+
+/// Closed-form expected inclusion count for a hybrid-reservoir run over
+/// `observed` elements with footprint `n_f`: exhaustive until the
+/// reservoir transition at `to_phase2_at` (`None` = never), then each
+/// element `t` is included with probability `n_f / t`, so the expected
+/// tail is `n_f · (H(n) − H(t₂)) ≈ n_f · ln(n / t₂)`.
+pub fn expected_inclusions_hr(observed: u64, n_f: u64, to_phase2_at: Option<u64>) -> f64 {
+    match to_phase2_at {
+        None => observed as f64,
+        Some(t2) => {
+            let t2 = t2.max(1);
+            let tail = if observed > t2 {
+                n_f as f64 * (observed as f64 / t2 as f64).ln()
+            } else {
+                0.0
+            };
+            t2 as f64 + tail
+        }
+    }
+}
+
+/// Closed-form expected inclusion count for a hybrid-Bernoulli run:
+/// exhaustive until `to_phase2_at`, Bernoulli(`q`) until `to_phase3_at`
+/// (or the end of the stream), then reservoir-style `n_f / t` tail.
+pub fn expected_inclusions_hb(
+    observed: u64,
+    q: f64,
+    n_f: u64,
+    to_phase2_at: Option<u64>,
+    to_phase3_at: Option<u64>,
+) -> f64 {
+    let Some(t2) = to_phase2_at else {
+        // Never left the exhaustive phase: every element was included.
+        return observed as f64;
+    };
+    let t2 = t2.min(observed);
+    let bern_end = to_phase3_at.unwrap_or(observed).min(observed);
+    let mut expected = t2 as f64 + q * bern_end.saturating_sub(t2) as f64;
+    if let Some(t3) = to_phase3_at {
+        let t3 = t3.max(1);
+        if observed > t3 {
+            expected += n_f as f64 * (observed as f64 / t3 as f64).ln();
+        }
+    }
+    expected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::CostEntry;
+    use swh_obs::Registry;
+
+    fn entry(op: &str, bucket: u32, mean_ns: f64) -> CostEntry {
+        CostEntry {
+            op: op.to_string(),
+            sampler: "hb".to_string(),
+            size_bucket: bucket,
+            size_hint: 1 << bucket,
+            mean_ns,
+            count: 10,
+        }
+    }
+
+    fn model(entries: Vec<CostEntry>) -> CostModel {
+        CostModel { entries }
+    }
+
+    #[test]
+    fn uniform_runs_show_low_drift() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        // 64 runs, each matching its expectation exactly.
+        for _ in 0..64 {
+            audit.note_sampler_run(1000, 1000.0);
+        }
+        assert_eq!(audit.inclusion_drift_ppm(), 0);
+        assert_eq!(audit.chi_square(), 0.0);
+        assert_eq!(r.snapshot().counter("swh_audit_runs_total"), 64);
+    }
+
+    #[test]
+    fn biased_runs_show_high_drift() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        // Every run includes 50% more than expected: drift 500000 ppm.
+        for _ in 0..64 {
+            audit.note_sampler_run(1500, 1000.0);
+        }
+        let drift = audit.inclusion_drift_ppm();
+        assert!(
+            (drift - 500_000).abs() < 1_000,
+            "expected ~500000 ppm, got {drift}"
+        );
+        assert!(audit.chi_square() > 0.0);
+        assert_eq!(r.snapshot().gauge("swh_audit_inclusion_drift_ppm"), drift);
+    }
+
+    #[test]
+    fn tiny_runs_are_skipped() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        audit.note_sampler_run(500, 4.0); // expected < 16: skipped
+        assert_eq!(r.snapshot().counter("swh_audit_runs_total"), 0);
+        assert_eq!(audit.inclusion_drift_ppm(), 0);
+    }
+
+    #[test]
+    fn disabled_audit_accumulates_nothing() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        audit.set_enabled(false);
+        audit.note_sampler_run(1500, 1000.0);
+        audit.note_q_decay(0.9, 0.5);
+        audit.note_footprint(100, 10);
+        audit.note_split(100, 100, 50, 50);
+        assert_eq!(r.snapshot().counter("swh_audit_runs_total"), 0);
+        assert_eq!(audit.q_violations(), 0);
+        assert_eq!(audit.footprint_breaches(), 0);
+        audit.set_enabled(true);
+        assert!(audit.enabled());
+    }
+
+    #[test]
+    fn q_decay_counts_violations_and_tracks_trajectory() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        audit.note_q_decay(0.25, 0.5); // under bound: fine
+        assert_eq!(audit.q_violations(), 0);
+        assert_eq!(r.snapshot().gauge("swh_audit_q_last_ppm"), 250_000);
+        audit.note_q_decay(0.6, 0.5); // above bound: violation
+        assert_eq!(audit.q_violations(), 1);
+        // Exactly at bound (with round-off) is not a violation.
+        audit.note_q_decay(0.5, 0.5);
+        assert_eq!(audit.q_violations(), 1);
+    }
+
+    #[test]
+    fn footprint_utilization_and_breaches() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        audit.note_footprint(512, 1024); // 50%
+        assert_eq!(r.snapshot().gauge("swh_audit_footprint_util_ppm"), 500_000);
+        assert_eq!(audit.footprint_breaches(), 0);
+        audit.note_footprint(256, 1024); // lower: record_max keeps 50%
+        assert_eq!(r.snapshot().gauge("swh_audit_footprint_util_ppm"), 500_000);
+        audit.note_footprint(1025, 1024); // breach
+        assert_eq!(audit.footprint_breaches(), 1);
+    }
+
+    #[test]
+    fn unbiased_splits_average_out() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        // Alternate symmetric draws around the mean: bias cancels.
+        for i in 0..100u64 {
+            let l = if i % 2 == 0 { 48 } else { 52 };
+            audit.note_split(100, 100, 100, l);
+        }
+        let bias = audit.split_bias_milli_sigma();
+        assert!(bias.abs() < 1_000, "expected |bias| < 1 sigma, got {bias}");
+    }
+
+    #[test]
+    fn systematically_biased_splits_accumulate() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        // Every split takes 60 of 100 from an even 50/50 expectation.
+        for _ in 0..100 {
+            audit.note_split(100, 100, 100, 60);
+        }
+        let bias = audit.split_bias_milli_sigma();
+        assert!(bias > 4_000, "expected > 4 sigma accumulated, got {bias}");
+    }
+
+    #[test]
+    fn degenerate_splits_are_skipped() {
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        audit.note_split(0, 0, 0, 0);
+        audit.note_split(100, 100, 0, 0); // k == 0
+        audit.note_split(100, 100, 200, 100); // k == n: var == 0
+        assert_eq!(r.snapshot().counter("swh_audit_split_merges_total"), 0);
+    }
+
+    #[test]
+    fn cost_model_drift_matches_cells() {
+        let live = model(vec![entry("merge", 10, 200.0), entry("observe", 8, 110.0)]);
+        let reference = model(vec![entry("merge", 10, 100.0), entry("observe", 8, 100.0)]);
+        // merge: 100% off; observe: 10% off; mean 55% = 550000 ppm.
+        let ppm = cost_model_drift_ppm(&live, &reference).unwrap();
+        assert!((ppm - 550_000.0).abs() < 1.0, "got {ppm}");
+        // No overlap: None.
+        let other = model(vec![entry("purge", 2, 5.0)]);
+        assert!(cost_model_drift_ppm(&live, &other).is_none());
+        // Through the audit: gauge published.
+        let r = Registry::new();
+        let audit = Audit::register(&r);
+        audit.note_cost_model_drift(&live, &reference).unwrap();
+        assert_eq!(r.snapshot().gauge("swh_cost_model_drift_ppm"), 550_000);
+    }
+
+    #[test]
+    fn expected_inclusions_formulas() {
+        // Exhaustive runs: everything included.
+        assert_eq!(expected_inclusions_hr(500, 100, None), 500.0);
+        assert_eq!(expected_inclusions_hb(500, 0.5, 100, None, None), 500.0);
+        // HR: t2 + n_f ln(n/t2).
+        let e = expected_inclusions_hr(10_000, 100, Some(100));
+        let want = 100.0 + 100.0 * (10_000.0f64 / 100.0).ln();
+        assert!((e - want).abs() < 1e-9, "{e} vs {want}");
+        // HB phase 2 only: t2 + q (n - t2).
+        let e = expected_inclusions_hb(10_000, 0.1, 100, Some(1000), None);
+        assert!((e - (1000.0 + 0.1 * 9000.0)).abs() < 1e-9, "{e}");
+        // HB all three phases.
+        let e = expected_inclusions_hb(10_000, 0.1, 100, Some(1000), Some(5000));
+        let want = 1000.0 + 0.1 * 4000.0 + 100.0 * (10_000.0f64 / 5000.0).ln();
+        assert!((e - want).abs() < 1e-9, "{e} vs {want}");
+    }
+}

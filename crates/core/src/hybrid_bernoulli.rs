@@ -100,6 +100,10 @@ pub struct HybridBernoulli<T: SampleValue> {
     lineage: Vec<LineageEvent>,
     /// Journal span covering this sampler's life (clones share the ID).
     span: SpanId,
+    /// `false` when resumed from a prior sample: the stats then cover
+    /// only the streamed tail, so the run is excluded from the
+    /// uniformity audit (its merge is audited at the merge sites).
+    audit_fresh: bool,
 }
 
 impl<T: SampleValue> HybridBernoulli<T> {
@@ -142,6 +146,7 @@ impl<T: SampleValue> HybridBernoulli<T> {
             stats: SamplerStats::default(),
             lineage: Vec::new(),
             span,
+            audit_fresh: true,
         }
     }
 
@@ -220,6 +225,7 @@ impl<T: SampleValue> HybridBernoulli<T> {
             }
         };
         resumed.lineage = prior_lineage;
+        resumed.audit_fresh = false;
         resumed
     }
 
@@ -292,6 +298,13 @@ impl<T: SampleValue> HybridBernoulli<T> {
         if self.hist.total() < self.policy.n_f() {
             self.advance_phase(Phase::Bernoulli);
             self.note_transition(1, 2, self.q);
+            // Audit the adopted rate against the Eq. 1 bound for this
+            // sampler's own parameters (non-trivial when `resume` adopted
+            // a prior partition's rate).
+            crate::audit::global().note_q_decay(
+                self.q,
+                crate::qbound::q_approx(self.expected_n.max(1), self.p_bound, self.policy.n_f()),
+            );
             self.skip_remaining = self.gaps.skip(rng);
         } else {
             // Subsample too large (low probability): reservoir fallback.
@@ -579,6 +592,23 @@ impl<T: SampleValue> Sampler<T> for HybridBernoulli<T> {
         );
         record(EventKind::Ingest, self.span.raw(), 0, self.observed, 0);
         record(EventKind::SpanEnd, self.span.raw(), 0, 0, 0);
+        // Feed the statistical self-audit: observed inclusions vs the
+        // closed-form expectation for this run's phase trajectory, and
+        // the footprint high-water mark vs n_F.
+        let audit = crate::audit::global();
+        if self.audit_fresh {
+            audit.note_sampler_run(
+                self.stats.inclusions,
+                crate::audit::expected_inclusions_hb(
+                    self.observed,
+                    self.q,
+                    self.policy.n_f(),
+                    self.stats.to_phase2_at,
+                    self.stats.to_phase3_at,
+                ),
+            );
+        }
+        audit.note_footprint(self.stats.footprint_hwm, self.policy.n_f());
         Sample::from_parts(hist, kind, self.observed, self.policy).with_lineage(lineage)
     }
 

@@ -75,6 +75,10 @@ pub struct HybridReservoir<T: SampleValue> {
     lineage: Vec<LineageEvent>,
     /// Journal span covering this sampler's life (clones share the ID).
     span: SpanId,
+    /// `false` when resumed from a prior sample: the stats then cover
+    /// only the streamed tail, so the run is excluded from the
+    /// uniformity audit (its merge is audited at the merge sites).
+    audit_fresh: bool,
 }
 
 impl<T: SampleValue> HybridReservoir<T> {
@@ -97,6 +101,7 @@ impl<T: SampleValue> HybridReservoir<T> {
             stats: SamplerStats::default(),
             lineage: Vec::new(),
             span,
+            audit_fresh: true,
         }
     }
 
@@ -148,6 +153,7 @@ impl<T: SampleValue> HybridReservoir<T> {
             }
         };
         resumed.lineage = prior_lineage;
+        resumed.audit_fresh = false;
         resumed
     }
 
@@ -402,6 +408,20 @@ impl<T: SampleValue> Sampler<T> for HybridReservoir<T> {
     }
 
     fn finalize_with_stats<R2: Rng + ?Sized>(mut self, rng: &mut R2) -> (Sample<T>, SamplerStats) {
+        // Feed the statistical self-audit before finalization mutates the
+        // state: the stats carry the full inclusion and footprint history.
+        let audit = crate::audit::global();
+        if self.audit_fresh {
+            audit.note_sampler_run(
+                self.stats.inclusions,
+                crate::audit::expected_inclusions_hr(
+                    self.observed,
+                    self.policy.n_f(),
+                    self.stats.to_phase2_at,
+                ),
+            );
+        }
+        audit.note_footprint(self.stats.footprint_hwm, self.policy.n_f());
         let close_lineage = |mut lineage: Vec<LineageEvent>, observed: u64, span: SpanId| {
             push_capped(&mut lineage, LineageEvent::Ingested { elements: observed });
             record(EventKind::Ingest, span.raw(), 0, observed, 0);

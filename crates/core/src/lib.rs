@@ -22,6 +22,7 @@
 //! implements Fig. 8 (hypergeometric split, Theorem 1), and [`merge::merge`]
 //! dispatches on provenance exactly as the paper prescribes.
 
+pub mod audit;
 pub mod bernoulli;
 pub mod bilevel;
 pub mod concise;

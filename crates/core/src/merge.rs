@@ -229,6 +229,9 @@ pub fn hb_merge<T: SampleValue, R: Rng + ?Sized>(
     let policy = s1.policy();
     let n_f = policy.n_f();
     let q = q_approx(combined_n, p_bound, n_f).min(q1).min(q2);
+    // Audit the q-decay trajectory: the merged rate must stay at or below
+    // the Eq. 1 bound for the combined parent.
+    crate::audit::global().note_q_decay(q, q_approx(combined_n, p_bound, n_f));
     let lin1 = s1.lineage().to_vec();
     let lin2 = s2.lineage().to_vec();
     let mut h1 = s1.into_histogram();
@@ -364,6 +367,7 @@ fn hr_merge_reservoirs<T: SampleValue, R: Rng + ?Sized>(
     h1.join(h2);
     debug_assert_eq!(h1.total(), k);
     note_merge(2, l);
+    crate::audit::global().note_split(n1, n2, k, l);
     Ok(
         Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
             .with_lineage(merged_lineage_with_purges(&[&lin1, &lin2], &purges, 2, l)),
@@ -512,6 +516,8 @@ pub fn merge_borrowed<T: SampleValue, R: Rng + ?Sized>(
         let policy = acc.policy();
         let n_f = policy.n_f();
         let q = q_approx(combined_n, p_bound, n_f).min(q1).min(q2);
+        // Audit the q-decay trajectory (see hb_merge above).
+        crate::audit::global().note_q_decay(q, q_approx(combined_n, p_bound, n_f));
         let lin1 = acc.lineage().to_vec();
         let mut h1 = acc.into_histogram();
         purge_bernoulli(&mut h1, q / q1, rng);
@@ -582,6 +588,7 @@ fn hr_merge_reservoirs_ref<T: SampleValue, R: Rng + ?Sized>(
     h1.join(h2);
     debug_assert_eq!(h1.total(), k);
     note_merge(2, l);
+    crate::audit::global().note_split(n1, n2, k, l);
     Ok(
         Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy).with_lineage(
             merged_lineage_with_purges(&[&lin1, s.lineage()], &purges, 2, l),
@@ -765,6 +772,7 @@ fn plan_cached_merge<T: SampleValue, R: Rng + ?Sized>(
     h1.join(h2);
     debug_assert_eq!(h1.total(), k);
     note_merge(2, l);
+    crate::audit::global().note_split(n1, n2, k, l);
     Ok(
         Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
             .with_lineage(merged_lineage_with_purges(&[&lin1, &lin2], &purges, 2, l)),
@@ -1141,6 +1149,7 @@ pub fn hr_merge_cached<T: SampleValue, R: Rng + ?Sized>(
     ];
     h1.join(h2);
     note_merge(2, l);
+    crate::audit::global().note_split(n1, n2, k, l);
     Ok(
         Sample::from_parts(h1, SampleKind::Reservoir, n1 + n2, policy)
             .with_lineage(merged_lineage_with_purges(&[&lin1, &lin2], &purges, 2, l)),

@@ -1,0 +1,112 @@
+//! End-to-end contract of the statistical self-audit: realistic HB/HR
+//! workloads with merges must leave the global `swh_audit_*` gauges
+//! *quiet* — drift well under the builtin alert thresholds, zero q or
+//! footprint violations, split bias within sigma bounds — while a
+//! deliberately biased feed must move them past the thresholds.
+//!
+//! This lives in an integration test (own process) because the audit
+//! accumulates in the process-wide registry; the library's unit tests
+//! would otherwise contaminate the cells.
+
+use swh_core::audit;
+use swh_core::{merge_all, FootprintPolicy, HybridBernoulli, HybridReservoir, Sample, Sampler};
+use swh_rand::seeded_rng;
+
+#[test]
+fn healthy_workload_keeps_audit_gauges_under_builtin_thresholds() {
+    const PARTS: u64 = 16;
+    const PER_PART: u64 = 20_000;
+    const N_F: u64 = 512;
+
+    let mut rng = seeded_rng(0x5eed);
+
+    // HB partitions, then their union: exercises phase transitions,
+    // Bernoulli rate equalization (q-decay audit), and finalize hooks.
+    let hb_parts: Vec<Sample<u64>> = (0..PARTS)
+        .map(|p| {
+            HybridBernoulli::new(FootprintPolicy::with_value_budget(N_F), PER_PART)
+                .sample_batch(p * PER_PART..(p + 1) * PER_PART, &mut rng)
+        })
+        .collect();
+    let merged = merge_all(
+        hb_parts,
+        swh_core::hybrid_bernoulli::DEFAULT_P_BOUND,
+        &mut rng,
+    )
+    .expect("hb union");
+    assert!(merged.size() > 0);
+
+    // HR partitions and their union: exercises reservoir-phase audit
+    // and the hypergeometric split sites.
+    let hr_parts: Vec<Sample<u64>> = (0..PARTS)
+        .map(|p| {
+            HybridReservoir::new(FootprintPolicy::with_value_budget(N_F))
+                .sample_batch(p * PER_PART..(p + 1) * PER_PART, &mut rng)
+        })
+        .collect();
+    let merged = merge_all(
+        hr_parts,
+        swh_core::hybrid_bernoulli::DEFAULT_P_BOUND,
+        &mut rng,
+    )
+    .expect("hr union");
+    assert!(merged.size() > 0);
+
+    let snap = swh_obs::global().snapshot();
+    let runs = snap.counter("swh_audit_runs_total");
+    assert!(
+        runs >= 2 * PARTS,
+        "expected >= {} audited runs, got {runs}",
+        2 * PARTS
+    );
+
+    // The drift statistic the builtin rule thresholds at 200_000 ppm must
+    // sit far below it on an unbiased workload.
+    let drift = snap.gauge("swh_audit_inclusion_drift_ppm");
+    assert!(
+        (0..100_000).contains(&drift),
+        "inclusion drift {drift} ppm out of healthy range"
+    );
+
+    // Invariant counters must be untouched.
+    assert_eq!(snap.counter("swh_audit_q_violations_total"), 0);
+    assert_eq!(snap.counter("swh_audit_footprint_breaches_total"), 0);
+
+    // The footprint was actually exercised and never exceeded n_F.
+    let util = snap.gauge("swh_audit_footprint_util_ppm");
+    assert!(
+        (1..=1_000_000).contains(&util),
+        "footprint utilization {util} ppm out of range"
+    );
+
+    // HR unions drew hypergeometric splits and their accumulated bias is
+    // inside the ±4 sigma builtin threshold.
+    assert!(snap.counter("swh_audit_split_merges_total") > 0);
+    let bias = snap.gauge("swh_audit_split_bias_milli_sigma");
+    assert!(
+        bias.abs() < 4_000,
+        "split bias {bias} milli-sigma too large"
+    );
+
+    // The q trajectory was tracked (HB partitions left phase 1).
+    let q_ppm = snap.gauge("swh_audit_q_last_ppm");
+    assert!(
+        (1..=1_000_000).contains(&q_ppm),
+        "q_last {q_ppm} ppm out of range"
+    );
+
+    // Now inject a deliberate bias: report runs that "included" 40% more
+    // than expectation. The drift gauge must cross the builtin 200_000
+    // ppm threshold — the signal the alert engine fires on.
+    let audit = audit::global();
+    for _ in 0..(8 * swh_core::audit::CELLS) {
+        audit.note_sampler_run(1_400_000, 1_000_000.0);
+    }
+    let drift = swh_obs::global()
+        .snapshot()
+        .gauge("swh_audit_inclusion_drift_ppm");
+    assert!(
+        drift > 200_000,
+        "biased feed should push drift past the builtin threshold, got {drift}"
+    );
+}

@@ -1,0 +1,1307 @@
+//! Declarative alert-rule engine and incident flight-recorder.
+//!
+//! The warehouse emits metrics, lineage, and profiles; this module is the
+//! component that *watches* them. A [`HealthEngine`] holds a list of
+//! [`AlertRule`]s — plain data, either the [`builtin_rules`] set or a
+//! JSON document loaded with [`rules_from_json`] — and evaluates them
+//! against a ring of periodic registry [`Snapshot`]s on each call to
+//! [`HealthEngine::tick`]. Rules come in three kinds:
+//!
+//! * **Threshold** — fire while `metric <op> value` holds on the latest
+//!   snapshot.
+//! * **Rate of change** — fire while the per-tick delta of a metric over
+//!   a trailing window exceeds a bound.
+//! * **Burn rate** — fire while the total increase of a metric over a
+//!   trailing window exceeds a budget (the classic SLO burn-rate shape).
+//!
+//! Each rule runs a firing → resolved state machine; every transition is
+//! recorded in the event [`Journal`](crate::Journal) as an
+//! [`AlertFiring`](crate::EventKind::AlertFiring) /
+//! [`AlertResolved`](crate::EventKind::AlertResolved) event, and a new
+//! firing dumps an incident bundle through the installed
+//! [`FlightRecorder`] (journal snapshot, profile snapshot, firing rule,
+//! current gauges) to `incidents/<seq>/`, capped and rotated.
+//!
+//! Evaluation is pull-based and off the hot path: nothing here runs per
+//! ingested element. The serve routes `/alerts` and `/health/deep` and
+//! the CLI `swh alerts check` command drive [`tick_global`].
+//!
+//! A metric reference is a registry metric name, optionally suffixed with
+//! a histogram field: `swh_merge_ns.p99` resolves the `p99` of the
+//! `swh_merge_ns` histogram; bare names resolve counters and gauges. A
+//! rule whose metric is absent from the snapshot evaluates as *not
+//! firing* (no data is not an incident; absence of the producer is
+//! caught by coverage tests, not alerts).
+
+use crate::journal::{record, EventKind};
+use crate::json::{self, Value};
+use crate::registry::{MetricValue, Snapshot};
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// How loud a firing rule is. Severities order `Info < Warning <
+/// Critical`; `/health/deep` degrades its `status` field to the highest
+/// active severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational only; never degrades overall status.
+    Info,
+    /// Something drifted; worth a look.
+    Warning,
+    /// A paper invariant or SLO is violated.
+    Critical,
+}
+
+impl Severity {
+    /// Stable numeric code used as the journal event payload.
+    pub fn code(self) -> u64 {
+        match self {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Critical => 2,
+        }
+    }
+
+    /// Stable lowercase name used in JSON rule documents and exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "critical" => Some(Severity::Critical),
+            _ => None,
+        }
+    }
+}
+
+/// Comparison operator for threshold rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compare {
+    /// `observed > value`.
+    Gt,
+    /// `observed >= value`.
+    Ge,
+    /// `observed < value`.
+    Lt,
+    /// `observed <= value`.
+    Le,
+    /// `|observed| > value` — for signed drift statistics.
+    AbsGt,
+}
+
+impl Compare {
+    fn holds(self, observed: f64, value: f64) -> bool {
+        match self {
+            Compare::Gt => observed > value,
+            Compare::Ge => observed >= value,
+            Compare::Lt => observed < value,
+            Compare::Le => observed <= value,
+            Compare::AbsGt => observed.abs() > value,
+        }
+    }
+
+    /// Stable name used in JSON rule documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Compare::Gt => "gt",
+            Compare::Ge => "ge",
+            Compare::Lt => "lt",
+            Compare::Le => "le",
+            Compare::AbsGt => "abs_gt",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "gt" => Some(Compare::Gt),
+            "ge" => Some(Compare::Ge),
+            "lt" => Some(Compare::Lt),
+            "le" => Some(Compare::Le),
+            "abs_gt" => Some(Compare::AbsGt),
+            _ => None,
+        }
+    }
+}
+
+/// What a rule computes. All variants name a metric (optionally with a
+/// histogram-field suffix, see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuleKind {
+    /// Fire while `metric <op> value` on the latest snapshot.
+    Threshold {
+        /// Metric reference.
+        metric: String,
+        /// Comparison operator.
+        op: Compare,
+        /// Threshold value.
+        value: f64,
+    },
+    /// Fire while the mean per-tick delta over the trailing `window`
+    /// ticks exceeds `max_delta`.
+    RateOfChange {
+        /// Metric reference.
+        metric: String,
+        /// Trailing window in ticks (≥ 1).
+        window: usize,
+        /// Maximum allowed per-tick increase.
+        max_delta: f64,
+    },
+    /// Fire while the total increase over the trailing `window` ticks
+    /// exceeds `budget`.
+    BurnRate {
+        /// Metric reference.
+        metric: String,
+        /// Trailing window in ticks (≥ 1).
+        window: usize,
+        /// Error budget for the window.
+        budget: f64,
+    },
+}
+
+impl RuleKind {
+    /// The metric reference this rule watches.
+    pub fn metric(&self) -> &str {
+        match self {
+            RuleKind::Threshold { metric, .. }
+            | RuleKind::RateOfChange { metric, .. }
+            | RuleKind::BurnRate { metric, .. } => metric,
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            RuleKind::Threshold { metric, op, value } => {
+                format!("{} {} {}", metric, op.name(), value)
+            }
+            RuleKind::RateOfChange {
+                metric,
+                window,
+                max_delta,
+            } => format!("rate({metric}, {window}) > {max_delta}/tick"),
+            RuleKind::BurnRate {
+                metric,
+                window,
+                budget,
+            } => format!("burn({metric}, {window}) > {budget}"),
+        }
+    }
+}
+
+/// One declarative alert rule: a name, a severity, and a [`RuleKind`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Unique rule name, surfaced in exposition and incident bundles.
+    pub name: String,
+    /// Severity while firing.
+    pub severity: Severity,
+    /// What the rule computes.
+    pub kind: RuleKind,
+}
+
+impl AlertRule {
+    /// Threshold-rule shorthand.
+    pub fn threshold(
+        name: &str,
+        severity: Severity,
+        metric: &str,
+        op: Compare,
+        value: f64,
+    ) -> Self {
+        AlertRule {
+            name: name.to_string(),
+            severity,
+            kind: RuleKind::Threshold {
+                metric: metric.to_string(),
+                op,
+                value,
+            },
+        }
+    }
+}
+
+/// The builtin rule set: one rule per audit statistic published by
+/// `swh-core`'s `audit` module, plus cost-model drift. Thresholds are
+/// deliberately loose — they catch *broken*, not *noisy*.
+pub fn builtin_rules() -> Vec<AlertRule> {
+    vec![
+        // Σ|observed − expected| inclusions exceeding 20% of expected
+        // means the sampler family is no longer drawing uniformly.
+        AlertRule::threshold(
+            "audit_uniformity_drift",
+            Severity::Critical,
+            "swh_audit_inclusion_drift_ppm",
+            Compare::Gt,
+            200_000.0,
+        ),
+        // Any sampling rate above its Eq. 1 bound breaks the paper's
+        // footprint guarantee outright.
+        AlertRule::threshold(
+            "audit_q_violation",
+            Severity::Critical,
+            "swh_audit_q_violations_total",
+            Compare::Gt,
+            0.0,
+        ),
+        // A footprint high-water mark above n_F breaks the bound the
+        // whole design exists to hold.
+        AlertRule::threshold(
+            "audit_footprint_breach",
+            Severity::Critical,
+            "swh_audit_footprint_breaches_total",
+            Compare::Gt,
+            0.0,
+        ),
+        // Hypergeometric split-L bias beyond ±4σ (in milli-sigma) says
+        // merges are not drawing from Eq. 3.
+        AlertRule::threshold(
+            "audit_split_bias",
+            Severity::Warning,
+            "swh_audit_split_bias_milli_sigma",
+            Compare::AbsGt,
+            4_000.0,
+        ),
+        // The live profile disagreeing with the committed cost model by
+        // more than 25% mis-plans unions (PR 8 planner input).
+        AlertRule::threshold(
+            "cost_model_drift",
+            Severity::Warning,
+            "swh_cost_model_drift_ppm",
+            Compare::Gt,
+            250_000.0,
+        ),
+    ]
+}
+
+fn parse_metric(obj: &Value, what: &str) -> Result<String, String> {
+    obj.get("metric")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{what}: missing string field 'metric'"))
+}
+
+fn parse_f64(obj: &Value, field: &str, what: &str) -> Result<f64, String> {
+    obj.get(field)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("{what}: missing numeric field '{field}'"))
+}
+
+fn parse_window(obj: &Value, what: &str) -> Result<usize, String> {
+    let w = obj
+        .get("window")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{what}: missing integer field 'window'"))?;
+    if w == 0 || w > RING_CAPACITY as u64 {
+        return Err(format!(
+            "{what}: window must be in 1..={RING_CAPACITY}, got {w}"
+        ));
+    }
+    Ok(w as usize)
+}
+
+/// Parse a JSON rule document:
+///
+/// ```json
+/// {"version": 1, "rules": [
+///   {"name": "slow_merges", "severity": "warning", "kind": "threshold",
+///    "metric": "swh_merge_ns.p99", "op": "gt", "value": 5e8},
+///   {"name": "purge_storm", "severity": "critical", "kind": "rate_of_change",
+///    "metric": "swh_sampler_purges_total", "window": 4, "max_delta": 100},
+///   {"name": "quarantine_budget", "severity": "critical", "kind": "burn_rate",
+///    "metric": "swh_store_quarantined_total", "window": 16, "budget": 3}
+/// ]}
+/// ```
+pub fn rules_from_json(text: &str) -> Result<Vec<AlertRule>, String> {
+    let doc = json::parse(text).map_err(|e| format!("rules document: {e}"))?;
+    let version = doc.get("version").and_then(Value::as_u64).unwrap_or(0);
+    if version != 1 {
+        return Err(format!("rules document: unsupported version {version}"));
+    }
+    let rules_field = doc
+        .get("rules")
+        .ok_or_else(|| "rules document: missing array field 'rules'".to_string())?;
+    if !matches!(rules_field, Value::Array(_)) {
+        return Err("rules document: 'rules' must be an array".to_string());
+    }
+    let rules_v = rules_field.items();
+    let mut rules = Vec::with_capacity(rules_v.len());
+    for (i, r) in rules_v.iter().enumerate() {
+        let what = format!("rule #{i}");
+        let name = r
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{what}: missing string field 'name'"))?
+            .to_string();
+        let severity = r
+            .get("severity")
+            .and_then(Value::as_str)
+            .and_then(Severity::from_name)
+            .ok_or_else(|| format!("{what}: severity must be info|warning|critical"))?;
+        let kind_name = r
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{what}: missing string field 'kind'"))?;
+        let kind = match kind_name {
+            "threshold" => {
+                let op = r
+                    .get("op")
+                    .and_then(Value::as_str)
+                    .and_then(Compare::from_name)
+                    .ok_or_else(|| format!("{what}: op must be gt|ge|lt|le|abs_gt"))?;
+                RuleKind::Threshold {
+                    metric: parse_metric(r, &what)?,
+                    op,
+                    value: parse_f64(r, "value", &what)?,
+                }
+            }
+            "rate_of_change" => RuleKind::RateOfChange {
+                metric: parse_metric(r, &what)?,
+                window: parse_window(r, &what)?,
+                max_delta: parse_f64(r, "max_delta", &what)?,
+            },
+            "burn_rate" => RuleKind::BurnRate {
+                metric: parse_metric(r, &what)?,
+                window: parse_window(r, &what)?,
+                budget: parse_f64(r, "budget", &what)?,
+            },
+            other => {
+                return Err(format!(
+                    "{what}: kind must be threshold|rate_of_change|burn_rate, got '{other}'"
+                ))
+            }
+        };
+        rules.push(AlertRule {
+            name,
+            severity,
+            kind,
+        });
+    }
+    Ok(rules)
+}
+
+/// Resolve a metric reference against a snapshot. Bare names resolve
+/// counters and gauges; a `.field` suffix resolves a histogram field
+/// (`count`, `sum`, `mean`, `max`, `p50`, `p90`, `p99`).
+pub fn resolve_metric(snap: &Snapshot, reference: &str) -> Option<f64> {
+    if let Some(v) = snap.get(reference) {
+        return match v {
+            MetricValue::Counter(c) => Some(*c as f64),
+            MetricValue::Gauge(g) => Some(*g as f64),
+            // A bare histogram name is ambiguous; require a field suffix.
+            MetricValue::Histogram(_) => None,
+        };
+    }
+    let (base, field) = reference.rsplit_once('.')?;
+    let MetricValue::Histogram(h) = snap.get(base)? else {
+        return None;
+    };
+    match field {
+        "count" => Some(h.count as f64),
+        "sum" => Some(h.sum as f64),
+        "mean" => Some(h.mean()),
+        "max" => Some(h.max as f64),
+        "p50" => Some(h.p50 as f64),
+        "p90" => Some(h.p90 as f64),
+        "p99" => Some(h.p99 as f64),
+        _ => None,
+    }
+}
+
+/// Snapshots retained for windowed rules; windows must fit inside.
+pub const RING_CAPACITY: usize = 64;
+
+/// Default incident-bundle retention (rotation drops the oldest beyond
+/// this).
+pub const DEFAULT_INCIDENT_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+struct RuleState {
+    firing: bool,
+    since_tick: u64,
+    value: Option<f64>,
+}
+
+/// One rule transition reported by [`HealthEngine::tick`].
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// Index of the rule in the engine's rule list.
+    pub index: usize,
+    /// Rule name.
+    pub rule: String,
+    /// Rule severity.
+    pub severity: Severity,
+    /// `true` for resolved → firing, `false` for firing → resolved.
+    pub firing: bool,
+    /// The observed value that caused the transition (absent on
+    /// no-data resolution).
+    pub value: Option<f64>,
+}
+
+/// Point-in-time view of one rule's state, for exposition.
+#[derive(Debug, Clone)]
+pub struct AlertStatus {
+    /// Rule name.
+    pub name: String,
+    /// Rule severity.
+    pub severity: Severity,
+    /// Whether the rule is currently firing.
+    pub firing: bool,
+    /// Tick at which the current firing began (0 when not firing).
+    pub since_tick: u64,
+    /// Last observed value for the rule's metric.
+    pub value: Option<f64>,
+    /// Human-readable rule condition.
+    pub detail: String,
+}
+
+/// Point-in-time view of the whole engine, for exposition and golden
+/// tests. Obtain via [`HealthEngine::status`]; render with
+/// [`EngineStatus::to_json`].
+#[derive(Debug, Clone)]
+pub struct EngineStatus {
+    /// Evaluation ticks performed so far.
+    pub ticks: u64,
+    /// Per-rule states, in rule order.
+    pub rules: Vec<AlertStatus>,
+}
+
+/// Render an `f64` for JSON: integral values print without a fraction
+/// so gauges round-trip byte-identically.
+fn json_num(v: f64) -> String {
+    if v.is_finite() && v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl EngineStatus {
+    /// Number of rules currently firing.
+    pub fn active(&self) -> usize {
+        self.rules.iter().filter(|r| r.firing).count()
+    }
+
+    /// Highest severity among firing rules, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.rules
+            .iter()
+            .filter(|r| r.firing)
+            .map(|r| r.severity)
+            .max()
+    }
+
+    /// The `/alerts` JSON body.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"ticks\": {}, \"active\": {}, \"rules\": [",
+            self.ticks,
+            self.active()
+        ));
+        for (i, r) in self.rules.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"severity\": \"{}\", \"state\": \"{}\", \
+                 \"since_tick\": {}, \"value\": {}, \"detail\": \"{}\"}}",
+                r.name,
+                r.severity.name(),
+                if r.firing { "firing" } else { "ok" },
+                r.since_tick,
+                r.value.map_or_else(|| "null".to_string(), json_num),
+                r.detail,
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+struct Inner {
+    rules: Vec<AlertRule>,
+    states: Vec<RuleState>,
+    ring: VecDeque<Snapshot>,
+    ticks: u64,
+}
+
+/// The alert-rule engine: rules plus a ring of recent snapshots and the
+/// firing state machine. Thread-safe; one engine is shared process-wide
+/// via [`engine`].
+pub struct HealthEngine {
+    inner: Mutex<Inner>,
+}
+
+impl HealthEngine {
+    /// New engine with the given rules, all resolved.
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        let states = rules
+            .iter()
+            .map(|_| RuleState {
+                firing: false,
+                since_tick: 0,
+                value: None,
+            })
+            .collect();
+        HealthEngine {
+            inner: Mutex::new(Inner {
+                rules,
+                states,
+                ring: VecDeque::with_capacity(RING_CAPACITY),
+                ticks: 0,
+            }),
+        }
+    }
+
+    /// New engine with the [`builtin_rules`].
+    pub fn with_builtin() -> Self {
+        HealthEngine::new(builtin_rules())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replace the rule set (e.g. from a JSON document); resets all
+    /// firing state but keeps the snapshot ring.
+    pub fn set_rules(&self, rules: Vec<AlertRule>) {
+        let mut inner = self.lock();
+        inner.states = rules
+            .iter()
+            .map(|_| RuleState {
+                firing: false,
+                since_tick: 0,
+                value: None,
+            })
+            .collect();
+        inner.rules = rules;
+    }
+
+    /// Number of configured rules.
+    pub fn rule_count(&self) -> usize {
+        self.lock().rules.len()
+    }
+
+    /// Number of rules currently firing.
+    pub fn active_count(&self) -> usize {
+        self.lock().states.iter().filter(|s| s.firing).count()
+    }
+
+    /// Evaluate all rules against `snapshot` (pushed onto the ring) and
+    /// run the state machine. Returns the transitions that occurred;
+    /// each is also recorded in the event journal.
+    pub fn tick(&self, snapshot: Snapshot) -> Vec<Transition> {
+        let mut inner = self.lock();
+        if inner.ring.len() == RING_CAPACITY {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(snapshot);
+        inner.ticks += 1;
+        let ticks = inner.ticks;
+        let mut transitions = Vec::new();
+        let Inner {
+            rules,
+            states,
+            ring,
+            ..
+        } = &mut *inner;
+        for (i, (rule, state)) in rules.iter().zip(states.iter_mut()).enumerate() {
+            let observed = evaluate(&rule.kind, ring);
+            let firing = match observed {
+                Some((condition, value)) => {
+                    state.value = Some(value);
+                    condition
+                }
+                // No data: not firing (see module docs).
+                None => {
+                    state.value = None;
+                    false
+                }
+            };
+            if firing && !state.firing {
+                state.firing = true;
+                state.since_tick = ticks;
+                record(EventKind::AlertFiring, 0, 0, i as u64, rule.severity.code());
+                transitions.push(Transition {
+                    index: i,
+                    rule: rule.name.clone(),
+                    severity: rule.severity,
+                    firing: true,
+                    value: state.value,
+                });
+            } else if !firing && state.firing {
+                state.firing = false;
+                let active_ticks = ticks.saturating_sub(state.since_tick);
+                record(EventKind::AlertResolved, 0, 0, i as u64, active_ticks);
+                transitions.push(Transition {
+                    index: i,
+                    rule: rule.name.clone(),
+                    severity: rule.severity,
+                    firing: false,
+                    value: state.value,
+                });
+                state.since_tick = 0;
+            }
+        }
+        transitions
+    }
+
+    /// Point-in-time view of every rule's state.
+    pub fn status(&self) -> EngineStatus {
+        let inner = self.lock();
+        EngineStatus {
+            ticks: inner.ticks,
+            rules: inner
+                .rules
+                .iter()
+                .zip(inner.states.iter())
+                .map(|(rule, state)| AlertStatus {
+                    name: rule.name.clone(),
+                    severity: rule.severity,
+                    firing: state.firing,
+                    since_tick: state.since_tick,
+                    value: state.value,
+                    detail: rule.kind.describe(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Evaluate one rule kind against the snapshot ring. Returns
+/// `(condition, observed_value)` or `None` when the metric is absent or
+/// the window has insufficient history.
+fn evaluate(kind: &RuleKind, ring: &VecDeque<Snapshot>) -> Option<(bool, f64)> {
+    let latest = ring.back()?;
+    match kind {
+        RuleKind::Threshold { metric, op, value } => {
+            let observed = resolve_metric(latest, metric)?;
+            Some((op.holds(observed, *value), observed))
+        }
+        RuleKind::RateOfChange {
+            metric,
+            window,
+            max_delta,
+        } => {
+            let delta = window_delta(ring, metric, *window)?;
+            let per_tick = delta / (*window as f64);
+            Some((per_tick > *max_delta, per_tick))
+        }
+        RuleKind::BurnRate {
+            metric,
+            window,
+            budget,
+        } => {
+            let delta = window_delta(ring, metric, *window)?;
+            Some((delta > *budget, delta))
+        }
+    }
+}
+
+/// `metric(now) − metric(now − window)`; `None` until the ring holds
+/// `window + 1` snapshots with the metric present at both ends.
+fn window_delta(ring: &VecDeque<Snapshot>, metric: &str, window: usize) -> Option<f64> {
+    let len = ring.len();
+    if len < window + 1 {
+        return None;
+    }
+    let now = resolve_metric(ring.back()?, metric)?;
+    let then = resolve_metric(ring.get(len - 1 - window)?, metric)?;
+    Some(now - then)
+}
+
+/// The process-wide engine, initialised with the builtin rules on first
+/// use. Replace the rule set with [`HealthEngine::set_rules`].
+pub fn engine() -> &'static HealthEngine {
+    static ENGINE: OnceLock<HealthEngine> = OnceLock::new();
+    ENGINE.get_or_init(HealthEngine::with_builtin)
+}
+
+/// Tick the global engine against a fresh snapshot of the global
+/// registry, writing an incident bundle for every new firing through the
+/// installed recorder. This is what `/alerts`, `/health/deep`, and
+/// `swh alerts check` call.
+pub fn tick_global() -> Vec<Transition> {
+    let snapshot = crate::registry::global().snapshot();
+    let transitions = engine().tick(snapshot);
+    for t in transitions.iter().filter(|t| t.firing) {
+        record_incident(&transition_json(t));
+    }
+    transitions
+}
+
+/// Render a transition as the `alert.json` body of an incident bundle.
+pub fn transition_json(t: &Transition) -> String {
+    format!(
+        "{{\"rule\": \"{}\", \"severity\": \"{}\", \"state\": \"firing\", \"value\": {}}}\n",
+        t.rule,
+        t.severity.name(),
+        t.value.map_or_else(|| "null".to_string(), json_num),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Incident flight-recorder
+// ---------------------------------------------------------------------
+
+/// Pluggable bundle writer, so binaries can route incident files through
+/// a crash-safe path (the CLI installs `swh-warehouse`'s `atomic_write`)
+/// without this crate depending on the warehouse.
+pub type IncidentWriter = fn(&Path, &[u8]) -> io::Result<()>;
+
+fn plain_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    std::fs::write(path, bytes)
+}
+
+/// Dumps incident bundles — `alert.json`, `metrics.json`, `journal.txt`,
+/// `profile.json` — to numbered directories under a base directory,
+/// keeping at most `cap` bundles (oldest rotated out).
+pub struct FlightRecorder {
+    dir: PathBuf,
+    cap: usize,
+    writer: IncidentWriter,
+}
+
+impl FlightRecorder {
+    /// Recorder writing to `dir` (created on first incident), keeping at
+    /// most `cap` bundles.
+    pub fn new(dir: impl Into<PathBuf>, cap: usize) -> Self {
+        FlightRecorder {
+            dir: dir.into(),
+            cap: cap.max(1),
+            writer: plain_write,
+        }
+    }
+
+    /// Use `writer` for every file written (e.g. an atomic
+    /// fsync-then-rename path).
+    pub fn with_writer(mut self, writer: IncidentWriter) -> Self {
+        self.writer = writer;
+        self
+    }
+
+    /// Existing bundle sequence numbers, sorted ascending.
+    fn existing(&self) -> Vec<u64> {
+        let mut seqs: Vec<u64> = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries
+                .flatten()
+                .filter_map(|e| e.file_name().to_str().and_then(|s| s.parse().ok()))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        seqs.sort_unstable();
+        seqs
+    }
+
+    /// Write one bundle; returns its directory. The bundle directory is
+    /// the next free sequence number; the oldest bundles beyond the cap
+    /// are removed after a successful write.
+    pub fn record(&self, alert_json: &str) -> io::Result<PathBuf> {
+        let seqs = self.existing();
+        let seq = seqs.last().map_or(0, |s| s + 1);
+        let bundle = self.dir.join(seq.to_string());
+        std::fs::create_dir_all(&bundle)?;
+        let w = self.writer;
+        w(&bundle.join("alert.json"), alert_json.as_bytes())?;
+        let metrics = crate::registry::global().snapshot().to_json();
+        w(&bundle.join("metrics.json"), metrics.as_bytes())?;
+        let journal = crate::journal::journal().dump();
+        w(&bundle.join("journal.txt"), journal.as_bytes())?;
+        let profile = crate::profile::snapshot().to_json();
+        w(&bundle.join("profile.json"), profile.as_bytes())?;
+        // Rotate: drop the oldest beyond the cap (best effort).
+        let keep = self.cap.saturating_sub(1);
+        if seqs.len() > keep {
+            for old in &seqs[..seqs.len() - keep] {
+                let _ = std::fs::remove_dir_all(self.dir.join(old.to_string()));
+            }
+        }
+        Ok(bundle)
+    }
+}
+
+fn recorder_slot() -> &'static Mutex<Option<FlightRecorder>> {
+    static RECORDER: OnceLock<Mutex<Option<FlightRecorder>>> = OnceLock::new();
+    RECORDER.get_or_init(|| Mutex::new(None))
+}
+
+/// Install (or clear) the process-wide incident recorder used by
+/// [`tick_global`] and [`record_incident`].
+pub fn set_recorder(recorder: Option<FlightRecorder>) {
+    *recorder_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = recorder;
+}
+
+/// Write an incident bundle through the installed recorder, if any.
+/// Returns the bundle directory on success; IO failures increment
+/// `swh_incident_errors_total` and return `None` (alert evaluation must
+/// not die because a disk is full).
+pub fn record_incident(alert_json: &str) -> Option<PathBuf> {
+    let slot = recorder_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let recorder = slot.as_ref()?;
+    match recorder.record(alert_json) {
+        Ok(path) => {
+            crate::registry::global()
+                .counter("swh_incidents_written_total", "Incident bundles written")
+                .inc();
+            Some(path)
+        }
+        Err(_) => {
+            crate::registry::global()
+                .counter(
+                    "swh_incident_errors_total",
+                    "Incident bundle write failures",
+                )
+                .inc();
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deep health exposition
+// ---------------------------------------------------------------------
+
+/// The `/health/deep` JSON body, as a pure function of its inputs so the
+/// exposition can be golden-tested. `journal` is `(capacity, recorded,
+/// overwritten, enabled)`.
+pub fn deep_json(
+    version: &str,
+    status: &EngineStatus,
+    snap: &Snapshot,
+    journal: (usize, u64, u64, bool),
+    profile_nodes: usize,
+) -> String {
+    let overall = match status.worst() {
+        Some(Severity::Critical) => "critical",
+        Some(Severity::Warning) => "degraded",
+        Some(Severity::Info) | None => "ok",
+    };
+    let mut out = String::with_capacity(512);
+    out.push_str(&format!(
+        "{{\"status\": \"{overall}\", \"version\": \"{version}\", \"ticks\": {}, \
+         \"alerts\": {{\"active\": {}, \"total\": {}}}, ",
+        status.ticks,
+        status.active(),
+        status.rules.len(),
+    ));
+    let (capacity, recorded, overwritten, enabled) = journal;
+    out.push_str(&format!(
+        "\"journal\": {{\"capacity\": {capacity}, \"recorded\": {recorded}, \
+         \"overwritten\": {overwritten}, \"enabled\": {enabled}}}, \
+         \"profile_nodes\": {profile_nodes}, ",
+    ));
+    out.push_str("\"audit\": {");
+    let mut first = true;
+    for (name, _, value) in &snap.metrics {
+        if !name.starts_with("swh_audit_") && name != "swh_cost_model_drift_ppm" {
+            continue;
+        }
+        let rendered = match value {
+            MetricValue::Counter(c) => c.to_string(),
+            MetricValue::Gauge(g) => g.to_string(),
+            MetricValue::Histogram(_) => continue,
+        };
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        out.push_str(&format!("\"{name}\": {rendered}"));
+    }
+    out.push_str("}, \"rules\": [");
+    for (i, r) in status.rules.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"state\": \"{}\"}}",
+            r.name,
+            if r.firing { "firing" } else { "ok" },
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Reconstruct a pseudo-[`Snapshot`] from a `/metrics.json` body so
+/// file- and URL-sourced registries can be run through the same rules as
+/// a live one. Numbers become gauges (rounded to integer); histogram
+/// objects are rebuilt field-by-field. Help strings are not round-
+/// tripped.
+pub fn snapshot_from_metrics_json(text: &str) -> Result<Snapshot, String> {
+    let doc = json::parse(text).map_err(|e| format!("metrics document: {e}"))?;
+    if !matches!(doc, Value::Object(_)) {
+        return Err("metrics document: expected a top-level object".to_string());
+    }
+    let entries = doc.entries();
+    let mut metrics = Vec::with_capacity(entries.len());
+    for (name, value) in entries {
+        let mv = match value {
+            Value::Number(n) => MetricValue::Gauge(n.round() as i64),
+            Value::Object(_) => {
+                let field = |f: &str| value.get(f).and_then(Value::as_u64).unwrap_or(0);
+                MetricValue::Histogram(crate::metrics::HistogramSnapshot {
+                    count: field("count"),
+                    sum: field("sum"),
+                    max: field("max"),
+                    p50: field("p50"),
+                    p90: field("p90"),
+                    p99: field("p99"),
+                })
+            }
+            _ => continue,
+        };
+        metrics.push((name.clone(), "", mv));
+    }
+    metrics.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(Snapshot { metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn snap_with_gauge(name: &str, v: i64) -> Snapshot {
+        let r = Registry::new();
+        r.gauge(name, "test").set(v);
+        r.snapshot()
+    }
+
+    #[test]
+    fn threshold_fires_and_resolves() {
+        let engine = HealthEngine::new(vec![AlertRule::threshold(
+            "hot",
+            Severity::Critical,
+            "g",
+            Compare::Gt,
+            10.0,
+        )]);
+        let t = engine.tick(snap_with_gauge("g", 5));
+        assert!(t.is_empty());
+        assert_eq!(engine.active_count(), 0);
+
+        let t = engine.tick(snap_with_gauge("g", 42));
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        assert_eq!(t[0].rule, "hot");
+        assert_eq!(engine.active_count(), 1);
+
+        // Still firing: no new transition.
+        let t = engine.tick(snap_with_gauge("g", 43));
+        assert!(t.is_empty());
+        assert_eq!(engine.active_count(), 1);
+
+        let t = engine.tick(snap_with_gauge("g", 3));
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+        assert_eq!(engine.active_count(), 0);
+    }
+
+    #[test]
+    fn missing_metric_is_not_firing() {
+        let engine = HealthEngine::new(vec![AlertRule::threshold(
+            "ghost",
+            Severity::Warning,
+            "absent_metric",
+            Compare::Gt,
+            0.0,
+        )]);
+        let t = engine.tick(snap_with_gauge("other", 99));
+        assert!(t.is_empty());
+        assert_eq!(engine.active_count(), 0);
+    }
+
+    #[test]
+    fn abs_gt_fires_on_negative_drift() {
+        let engine = HealthEngine::new(vec![AlertRule::threshold(
+            "bias",
+            Severity::Warning,
+            "z",
+            Compare::AbsGt,
+            100.0,
+        )]);
+        let t = engine.tick(snap_with_gauge("z", -500));
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+    }
+
+    #[test]
+    fn burn_rate_needs_window_history() {
+        let engine = HealthEngine::new(vec![AlertRule {
+            name: "burn".into(),
+            severity: Severity::Critical,
+            kind: RuleKind::BurnRate {
+                metric: "c".into(),
+                window: 2,
+                budget: 10.0,
+            },
+        }]);
+        // Two ticks of steep growth: window not yet full, no firing.
+        assert!(engine.tick(snap_with_gauge("c", 0)).is_empty());
+        assert!(engine.tick(snap_with_gauge("c", 100)).is_empty());
+        // Third tick: delta over the window is 200 > 10 — fires.
+        let t = engine.tick(snap_with_gauge("c", 200));
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        // Growth stops: once the steep samples age out of the window the
+        // delta decays below budget and the alert resolves.
+        assert!(engine.tick(snap_with_gauge("c", 201)).is_empty()); // 201-100=101 > 10
+        let t = engine.tick(snap_with_gauge("c", 202)); // 202-200=2 <= 10
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+    }
+
+    #[test]
+    fn burn_rate_resolves_when_growth_stops() {
+        let engine = HealthEngine::new(vec![AlertRule {
+            name: "burn".into(),
+            severity: Severity::Critical,
+            kind: RuleKind::BurnRate {
+                metric: "c".into(),
+                window: 1,
+                budget: 10.0,
+            },
+        }]);
+        assert!(engine.tick(snap_with_gauge("c", 0)).is_empty());
+        let t = engine.tick(snap_with_gauge("c", 50));
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        let t = engine.tick(snap_with_gauge("c", 51));
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+    }
+
+    #[test]
+    fn rate_of_change_uses_per_tick_delta() {
+        let engine = HealthEngine::new(vec![AlertRule {
+            name: "rate".into(),
+            severity: Severity::Warning,
+            kind: RuleKind::RateOfChange {
+                metric: "c".into(),
+                window: 2,
+                max_delta: 5.0,
+            },
+        }]);
+        assert!(engine.tick(snap_with_gauge("c", 0)).is_empty());
+        assert!(engine.tick(snap_with_gauge("c", 4)).is_empty());
+        // Delta 8 over 2 ticks = 4/tick <= 5: quiet.
+        assert!(engine.tick(snap_with_gauge("c", 8)).is_empty());
+        // Delta 20 over 2 ticks = 10/tick > 5: fires.
+        let t = engine.tick(snap_with_gauge("c", 24));
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+    }
+
+    #[test]
+    fn histogram_field_resolution() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "test");
+        h.record(1);
+        h.record(3);
+        h.record(1000);
+        let snap = r.snapshot();
+        assert_eq!(resolve_metric(&snap, "lat.count"), Some(3.0));
+        assert!(resolve_metric(&snap, "lat.p99").is_some());
+        // Bare histogram names and unknown fields do not resolve.
+        assert_eq!(resolve_metric(&snap, "lat"), None);
+        assert_eq!(resolve_metric(&snap, "lat.p42"), None);
+    }
+
+    #[test]
+    fn rules_json_round_trip() {
+        let text = r#"{"version": 1, "rules": [
+            {"name": "slow", "severity": "warning", "kind": "threshold",
+             "metric": "m.p99", "op": "gt", "value": 100},
+            {"name": "storm", "severity": "critical", "kind": "rate_of_change",
+             "metric": "c", "window": 4, "max_delta": 10},
+            {"name": "budget", "severity": "info", "kind": "burn_rate",
+             "metric": "e", "window": 16, "budget": 3}
+        ]}"#;
+        let rules = rules_from_json(text).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].name, "slow");
+        assert_eq!(rules[0].severity, Severity::Warning);
+        assert!(matches!(
+            &rules[1].kind,
+            RuleKind::RateOfChange { window: 4, .. }
+        ));
+        assert!(matches!(
+            &rules[2].kind,
+            RuleKind::BurnRate { window: 16, .. }
+        ));
+    }
+
+    #[test]
+    fn rules_json_rejects_bad_documents() {
+        assert!(rules_from_json("not json").is_err());
+        assert!(rules_from_json(r#"{"version": 2, "rules": []}"#).is_err());
+        assert!(rules_from_json(r#"{"version": 1}"#).is_err());
+        // Unknown kind.
+        assert!(rules_from_json(
+            r#"{"version": 1, "rules": [{"name": "x", "severity": "info", "kind": "median"}]}"#
+        )
+        .is_err());
+        // Window out of range.
+        assert!(rules_from_json(
+            r#"{"version": 1, "rules": [{"name": "x", "severity": "info",
+                "kind": "burn_rate", "metric": "m", "window": 0, "budget": 1}]}"#
+        )
+        .is_err());
+        // Bad severity.
+        assert!(rules_from_json(
+            r#"{"version": 1, "rules": [{"name": "x", "severity": "mauve",
+                "kind": "threshold", "metric": "m", "op": "gt", "value": 1}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn builtin_rules_parse_and_name_audit_gauges() {
+        let rules = builtin_rules();
+        assert_eq!(rules.len(), 5);
+        for r in &rules {
+            assert!(
+                r.kind.metric().starts_with("swh_audit_")
+                    || r.kind.metric() == "swh_cost_model_drift_ppm"
+            );
+        }
+    }
+
+    #[test]
+    fn alerts_json_golden() {
+        let engine = HealthEngine::new(vec![
+            AlertRule::threshold("hot", Severity::Critical, "g", Compare::Gt, 10.0),
+            AlertRule::threshold("cold", Severity::Info, "g", Compare::Lt, -10.0),
+        ]);
+        engine.tick(snap_with_gauge("g", 42));
+        let got = engine.status().to_json();
+        let want = "{\"ticks\": 1, \"active\": 1, \"rules\": [\
+            {\"name\": \"hot\", \"severity\": \"critical\", \"state\": \"firing\", \
+             \"since_tick\": 1, \"value\": 42, \"detail\": \"g gt 10\"}, \
+            {\"name\": \"cold\", \"severity\": \"info\", \"state\": \"ok\", \
+             \"since_tick\": 0, \"value\": 42, \"detail\": \"g lt -10\"}]}\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn deep_json_golden() {
+        let engine = HealthEngine::new(vec![AlertRule::threshold(
+            "drift",
+            Severity::Warning,
+            "swh_audit_inclusion_drift_ppm",
+            Compare::Gt,
+            200_000.0,
+        )]);
+        let r = Registry::new();
+        r.gauge("swh_audit_inclusion_drift_ppm", "test")
+            .set(300_000);
+        r.counter("other_metric", "test").inc();
+        let snap = r.snapshot();
+        engine.tick(snap.clone());
+        let got = deep_json("1.2.3", &engine.status(), &snap, (4096, 7, 0, true), 5);
+        let want = "{\"status\": \"degraded\", \"version\": \"1.2.3\", \"ticks\": 1, \
+             \"alerts\": {\"active\": 1, \"total\": 1}, \
+             \"journal\": {\"capacity\": 4096, \"recorded\": 7, \"overwritten\": 0, \"enabled\": true}, \
+             \"profile_nodes\": 5, \
+             \"audit\": {\"swh_audit_inclusion_drift_ppm\": 300000}, \
+             \"rules\": [{\"name\": \"drift\", \"state\": \"firing\"}]}\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn snapshot_from_metrics_json_round_trips() {
+        let r = Registry::new();
+        r.counter("c_total", "test").add(42);
+        r.gauge("g", "test").set(-7);
+        let h = r.histogram("h_ns", "test");
+        h.record(0);
+        h.record(3);
+        h.record(1000);
+        let text = r.snapshot().to_json();
+        let snap = snapshot_from_metrics_json(&text).unwrap();
+        assert_eq!(resolve_metric(&snap, "c_total"), Some(42.0));
+        assert_eq!(resolve_metric(&snap, "g"), Some(-7.0));
+        assert_eq!(resolve_metric(&snap, "h_ns.count"), Some(3.0));
+        assert!(snapshot_from_metrics_json("[1, 2]").is_err());
+        assert!(snapshot_from_metrics_json("{").is_err());
+    }
+
+    #[test]
+    fn flight_recorder_writes_and_rotates() {
+        let dir = std::env::temp_dir().join(format!(
+            "swh_health_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder = FlightRecorder::new(&dir, 2);
+        let b0 = recorder.record("{\"rule\": \"a\"}\n").unwrap();
+        assert!(b0.join("alert.json").is_file());
+        assert!(b0.join("metrics.json").is_file());
+        assert!(b0.join("journal.txt").is_file());
+        assert!(b0.join("profile.json").is_file());
+        let b1 = recorder.record("{\"rule\": \"b\"}\n").unwrap();
+        let b2 = recorder.record("{\"rule\": \"c\"}\n").unwrap();
+        assert_ne!(b0, b1);
+        // Cap 2: the oldest bundle was rotated out.
+        assert!(!b0.exists());
+        assert!(b1.exists() && b2.exists());
+        let alert = std::fs::read_to_string(b2.join("alert.json")).unwrap();
+        assert_eq!(alert, "{\"rule\": \"c\"}\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_records_alert_transitions() {
+        let engine = HealthEngine::new(vec![AlertRule::threshold(
+            "j",
+            Severity::Critical,
+            "g",
+            Compare::Gt,
+            0.0,
+        )]);
+        let before = crate::journal::journal().recorded();
+        engine.tick(snap_with_gauge("g", 1));
+        engine.tick(snap_with_gauge("g", -1));
+        let events = crate::journal::journal().snapshot();
+        let fired = events
+            .iter()
+            .any(|e| e.kind == EventKind::AlertFiring && e.a == 0 && e.b == 2);
+        let resolved = events
+            .iter()
+            .any(|e| e.kind == EventKind::AlertResolved && e.a == 0);
+        assert!(fired, "AlertFiring event missing");
+        assert!(resolved, "AlertResolved event missing");
+        assert!(crate::journal::journal().recorded() >= before + 2);
+    }
+
+    #[test]
+    fn severity_and_compare_names_round_trip() {
+        for s in [Severity::Info, Severity::Warning, Severity::Critical] {
+            assert_eq!(Severity::from_name(s.name()), Some(s));
+        }
+        for c in [
+            Compare::Gt,
+            Compare::Ge,
+            Compare::Lt,
+            Compare::Le,
+            Compare::AbsGt,
+        ] {
+            assert_eq!(Compare::from_name(c.name()), Some(c));
+        }
+        assert_eq!(Severity::from_name("mauve"), None);
+        assert_eq!(Compare::from_name("ne"), None);
+    }
+}

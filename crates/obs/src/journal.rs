@@ -64,6 +64,12 @@ pub enum EventKind {
     /// A partition sample rolled out of the catalog; `a` is the dataset
     /// id, `b` the partition sequence number.
     CatalogRollOut,
+    /// A health alert rule transitioned to firing; `a` is the rule index
+    /// in the engine's rule list, `b` the severity code.
+    AlertFiring,
+    /// A health alert rule resolved; `a` is the rule index, `b` the
+    /// number of engine ticks it spent firing.
+    AlertResolved,
 }
 
 impl EventKind {
@@ -80,6 +86,8 @@ impl EventKind {
             EventKind::StoreQuarantine => 9,
             EventKind::CatalogRollIn => 10,
             EventKind::CatalogRollOut => 11,
+            EventKind::AlertFiring => 12,
+            EventKind::AlertResolved => 13,
         }
     }
 
@@ -96,6 +104,8 @@ impl EventKind {
             9 => EventKind::StoreQuarantine,
             10 => EventKind::CatalogRollIn,
             11 => EventKind::CatalogRollOut,
+            12 => EventKind::AlertFiring,
+            13 => EventKind::AlertResolved,
             _ => return None,
         })
     }
@@ -114,6 +124,8 @@ impl EventKind {
             EventKind::StoreQuarantine => "store_quarantine",
             EventKind::CatalogRollIn => "catalog_roll_in",
             EventKind::CatalogRollOut => "catalog_roll_out",
+            EventKind::AlertFiring => "alert_firing",
+            EventKind::AlertResolved => "alert_resolved",
         }
     }
 }

@@ -403,4 +403,71 @@ mod tests {
         assert!(parse("1.").unwrap().as_f64() == Some(1.0));
         assert!(parse("--1").is_err());
     }
+
+    #[test]
+    fn exponent_and_sign_edge_cases() {
+        assert_eq!(parse("1e-3").unwrap().as_f64(), Some(0.001));
+        assert_eq!(parse("-2E+2").unwrap().as_f64(), Some(-200.0));
+        assert_eq!(parse("-0").unwrap().as_f64(), Some(0.0));
+        // A gauge the registry emits as a large negative integer survives.
+        assert_eq!(
+            parse("-9007199254740991").unwrap().as_f64(),
+            Some(-9.007199254740991e15)
+        );
+        assert!(parse("1e").is_err());
+        assert!(parse("+1").is_err());
+        assert!(parse(".5").is_err());
+    }
+
+    #[test]
+    fn named_escapes_and_unicode_escapes() {
+        let v = parse(r#""\b\f\t\r\/Aü""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{8}\u{c}\t\r/Aü"));
+        // Unpaired surrogates degrade to the replacement character rather
+        // than corrupting the string or failing the document.
+        assert_eq!(parse(r#""\ud800""#).unwrap().as_str(), Some("\u{fffd}"));
+        assert!(parse(r#""\q""#).is_err(), "unknown escape");
+        assert!(parse(r#""\u00""#).is_err(), "short \\u escape");
+    }
+
+    #[test]
+    fn nested_arrays_and_objects_navigate() {
+        let v = parse(r#"{"a": [{"b": [1, [2, 3]]}, {"c": {"d": null}}]}"#).unwrap();
+        let items = v.get("a").map(Value::items).unwrap_or(&[]);
+        assert_eq!(items.len(), 2);
+        let inner = items[0].get("b").map(Value::items).unwrap_or(&[]);
+        assert_eq!(inner[0].as_u64(), Some(1));
+        assert_eq!(inner[1].items()[1].as_u64(), Some(3));
+        assert_eq!(
+            items[1].get("c").and_then(|c| c.get("d")),
+            Some(&Value::Null)
+        );
+        // Typed accessors on the wrong shape degrade to empty, not panic.
+        assert_eq!(v.get("a").and_then(Value::as_str), None);
+        assert!(v.items().is_empty(), "object is not an array");
+        assert!(items[0]
+            .get("b")
+            .map(Value::entries)
+            .unwrap_or(&[])
+            .is_empty());
+    }
+
+    #[test]
+    fn truncated_inputs_error_instead_of_panicking() {
+        // Every prefix of a well-formed document must parse or error
+        // cleanly — a truncated /metrics.json or incident bundle on disk
+        // must never take down the reader.
+        let doc = r#"{"rules": [{"name": "a\nb", "value": -1.5e-2, "ok": true}], "n": null}"#;
+        for cut in 0..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &doc[..cut];
+            let _ = parse(prefix); // must return, not panic
+            if cut < doc.len() {
+                assert!(parse(prefix).is_err(), "prefix {cut} parsed: {prefix:?}");
+            }
+        }
+        assert!(parse(doc).is_ok());
+    }
 }

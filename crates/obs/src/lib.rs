@@ -34,8 +34,14 @@
 //! * [`json`] — a minimal parser for the JSON the workspace itself emits
 //!   (bench results, baselines, the persisted cost model).
 //! * [`serve::Server`] — a zero-dependency HTTP endpoint exposing
-//!   `/metrics`, `/metrics.json`, `/traces`, `/profile`, `/healthz`, and
-//!   `/lineage/...` live.
+//!   `/metrics`, `/metrics.json`, `/traces`, `/profile`, `/healthz`,
+//!   `/alerts`, `/health/deep`, and `/lineage/...` live.
+//! * [`health`] — a declarative alert-rule engine (threshold,
+//!   rate-of-change, and burn-rate rules over a ring of registry
+//!   snapshots) with a firing→resolved state machine, journal events on
+//!   every transition, and an incident flight-recorder that dumps
+//!   journal/profile/gauge bundles to `incidents/<seq>/` when a rule
+//!   fires.
 //!
 //! ```
 //! use swh_obs::{Registry, ScopeTimer};
@@ -54,6 +60,7 @@
 //! assert!(snap.to_json().contains("\"ingested_total\""));
 //! ```
 
+pub mod health;
 pub mod journal;
 pub mod json;
 mod metrics;
@@ -64,6 +71,7 @@ pub mod serve;
 mod timer;
 pub mod trace;
 
+pub use health::{AlertRule, Compare, FlightRecorder, HealthEngine, RuleKind, Severity};
 pub use journal::{Event, EventKind, Journal};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use progress::{set_verbosity, verbosity, write_progress};

@@ -1,7 +1,7 @@
 //! Zero-dependency HTTP exposition endpoint.
 //!
 //! A hand-rolled `std::net::TcpListener` server — no async runtime, no
-//! HTTP crate — serving six read-only routes:
+//! HTTP crate — serving read-only routes:
 //!
 //! * `/metrics` — Prometheus text exposition of the global registry;
 //! * `/metrics.json` — the same snapshot as JSON;
@@ -9,9 +9,15 @@
 //! * `/profile` — the hierarchical profile tree as JSON (see
 //!   [`crate::profile`]);
 //! * `/healthz` — liveness: build version, requests served, journal
-//!   capacity/recorded/overwritten. "Uptime" is reported in *ticks* (the
-//!   journal's sequence clock), not wall-clock seconds — the workspace's
-//!   deterministic notion of time;
+//!   capacity/recorded/overwritten, active/total alert counts. "Uptime"
+//!   is reported in *ticks* (the journal's sequence clock), not
+//!   wall-clock seconds — the workspace's deterministic notion of time;
+//! * `/alerts` — evaluate the global alert engine against a fresh
+//!   registry snapshot and report per-rule firing state (see
+//!   [`crate::health`]); scraping *is* the evaluation tick;
+//! * `/health/deep` — the full closed-loop health view: overall status
+//!   (degraded by the highest active severity), alert counts, journal
+//!   stats, profile size, and every `swh_audit_*` gauge;
 //! * `/lineage/<dataset>/<partition>` — the lineage record of one stored
 //!   sample, resolved through an injected callback (this crate sits below
 //!   the warehouse and cannot read stores itself).
@@ -120,6 +126,23 @@ impl Server {
                 respond(stream, 200, "application/json", &body)
             }
             "/healthz" => respond(stream, 200, "application/json", &self.healthz()),
+            "/alerts" => {
+                crate::health::tick_global();
+                let body = crate::health::engine().status().to_json();
+                respond(stream, 200, "application/json", &body)
+            }
+            "/health/deep" => {
+                crate::health::tick_global();
+                let j = journal();
+                let body = crate::health::deep_json(
+                    env!("CARGO_PKG_VERSION"),
+                    &crate::health::engine().status(),
+                    &global().snapshot(),
+                    (j.capacity(), j.recorded(), j.overwritten(), j.enabled()),
+                    crate::profile::snapshot().nodes.len(),
+                );
+                respond(stream, 200, "application/json", &body)
+            }
             _ => {
                 if let Some(rest) = path.strip_prefix("/lineage/") {
                     if let Some((dataset, partition)) = rest.split_once('/') {
@@ -141,15 +164,19 @@ impl Server {
     /// same deterministic time base the traces use.
     fn healthz(&self) -> String {
         let j = journal();
+        let engine = crate::health::engine();
         format!(
             "{{\"status\": \"ok\", \"version\": \"{}\", \
              \"requests_total\": {}, \"uptime_ticks\": {}, \
+             \"alerts\": {{\"active\": {}, \"total\": {}}}, \
              \"journal\": {{\"capacity\": {}, \"recorded\": {}, \
              \"overwritten\": {}, \"enabled\": {}}}, \
              \"profile_nodes\": {}}}\n",
             env!("CARGO_PKG_VERSION"),
             self.requests.get(),
             j.recorded(),
+            engine.active_count(),
+            engine.rule_count(),
             j.capacity(),
             j.recorded(),
             j.overwritten(),
@@ -297,6 +324,30 @@ mod tests {
         assert_eq!(status, 200);
         assert_eq!(ctype, "application/json");
         assert!(body.contains("\"path\": \"serve_test/route\""), "{body}");
+    }
+
+    #[test]
+    fn serves_alerts_and_deep_health() {
+        let addr = spawn_server(Server::bind("127.0.0.1:0").unwrap(), 3);
+        let (status, ctype, body) = get(addr, "/alerts");
+        assert_eq!(status, 200);
+        assert_eq!(ctype, "application/json");
+        // The builtin rule set is always present and its audit metrics
+        // may or may not exist yet; the shape is what this pins.
+        assert!(body.contains("\"ticks\": "), "{body}");
+        assert!(body.contains("\"rules\": ["), "{body}");
+        assert!(body.contains("\"audit_uniformity_drift\""), "{body}");
+        let (status, ctype, body) = get(addr, "/health/deep");
+        assert_eq!(status, 200);
+        assert_eq!(ctype, "application/json");
+        assert!(body.contains("\"status\": "), "{body}");
+        assert!(body.contains("\"alerts\": {\"active\": "), "{body}");
+        assert!(body.contains("\"audit\": {"), "{body}");
+        // /healthz carries the alert counts too (satellite).
+        let (status, _, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"alerts\": {\"active\": "), "{body}");
+        assert!(body.contains("\"total\": "), "{body}");
     }
 
     #[test]
