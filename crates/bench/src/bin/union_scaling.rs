@@ -1,0 +1,178 @@
+//! Union cost versus time-span with the partition lifecycle on (the PR-10
+//! acceptance experiment, not a paper figure): a flat union over N hot
+//! per-minute partitions pays O(N) merge work, while the same span rolled
+//! into warm/cold tiers by the compactor touches O(log time-span) resident
+//! roll-ups, and a repeat union served from the merged-union cache skips
+//! planning and merging entirely.
+//!
+//! Four rows at every scale, N ∈ {64, 256, 1024, 4096} partitions:
+//!
+//! * `leaf_ms`  — flat union over the raw hot partitions (no lifecycle);
+//! * `cold_ms`  — union over the compacted catalog (policy 64×64), cache
+//!   off: the compaction claim;
+//! * `warm_ms`  — repeat union served by the merged-union cache on the
+//!   flat catalog: the cache claim;
+//! * `flat_ratio`    — `cold_ms` relative to the 64-partition row: the
+//!   4096-partition compacted union must cost ≤ 3× the 64-partition one;
+//! * `cache_speedup` — `leaf_ms / warm_ms`: a warm-cache repeat union
+//!   must be ≥ 10× faster than the cold (computed) one.
+//!
+//! Both `r3` figures are gated in-binary under `SWH_PERF_ASSERT` and
+//! pinned in `bench_results/baselines.json` for `swh bench history --check`.
+
+use std::sync::Arc;
+use swh_bench::{section, time_secs, CsvOut, Scale};
+use swh_core::footprint::FootprintPolicy;
+use swh_core::hybrid_reservoir::HybridReservoir;
+use swh_core::sampler::Sampler;
+use swh_rand::seeded_rng;
+use swh_warehouse::catalog::Catalog;
+use swh_warehouse::ids::{DatasetId, PartitionId, PartitionKey};
+use swh_warehouse::lifecycle::{LifecycleManager, LifecyclePolicy, UnionCache};
+
+const DS: DatasetId = DatasetId(1);
+/// Same partition counts at every scale so `bench history` compares rows
+/// one-to-one; scale only changes the per-partition population and n_F.
+const COUNTS: [u64; 4] = [64, 256, 1024, 4096];
+/// Hot partitions per warm roll-up and warm roll-ups per cold one: 4096
+/// per-minute partitions collapse to a single cold span.
+const FAN_IN: u64 = 64;
+
+fn build_catalog(parts: u64, per_part: u64, n_f: u64, seed: u64) -> Arc<Catalog<u64>> {
+    let mut rng = seeded_rng(seed);
+    let catalog = Arc::new(Catalog::new());
+    for seq in 0..parts {
+        let lo = seq * per_part;
+        let sample = HybridReservoir::new(FootprintPolicy::with_value_budget(n_f))
+            .sample_batch(lo..lo + per_part, &mut rng);
+        catalog
+            .roll_in(
+                PartitionKey {
+                    dataset: DS,
+                    partition: PartitionId::seq(seq),
+                },
+                sample,
+            )
+            .expect("roll_in");
+    }
+    catalog
+}
+
+/// Best-of-`reps` wall time of a full-span union, in milliseconds. The
+/// merged size feeds the return value so the optimizer cannot drop the
+/// work; every reps draws from a distinct RNG so cache-off runs never
+/// replay identical randomness.
+fn best_union_ms(catalog: &Catalog<u64>, reps: usize, seed: u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut size = 0;
+    for rep in 0..reps {
+        let mut rng = seeded_rng(seed + rep as u64);
+        let (merged, t) = time_secs(|| {
+            catalog
+                .union_sample(DS, |_| true, 1e-3, &mut rng)
+                .expect("union")
+        });
+        best = best.min(t * 1e3);
+        size = merged.size();
+    }
+    (best, size)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (per_part, n_f) = match scale {
+        Scale::Smoke => (512u64, 128u64),
+        _ => (4096, 512),
+    };
+    let reps = 5usize;
+
+    section(&format!(
+        "Union scaling under the partition lifecycle: {per_part} rows/partition, n_F = {n_f}, \
+         compaction fan-in {FAN_IN}x{FAN_IN}, best of {reps}, scale = {scale}"
+    ));
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>7} {:>11} {:>14}",
+        "partitions", "leaf_ms", "cold_ms", "warm_ms", "nodes", "flat_ratio", "cache_speedup"
+    );
+
+    let mut csv = CsvOut::new(
+        "union_scaling",
+        "partitions,leaf_ms,cold_ms,warm_ms,nodes,flat_ratio,cache_speedup",
+    );
+    let mut base_cold_ms = f64::NAN;
+    let mut gate = (f64::NAN, f64::NAN);
+    for (row, parts) in COUNTS.into_iter().enumerate() {
+        // Flat leaf union: the O(N) baseline.
+        let flat = build_catalog(parts, per_part, n_f, 0x1000 + parts);
+        let (leaf_ms, leaf_size) = best_union_ms(&flat, reps, 0x51ED + parts);
+
+        // Compacted union: same span rolled into warm/cold tiers.
+        let compacted = build_catalog(parts, per_part, n_f, 0x1000 + parts);
+        let manager = LifecycleManager::new(Arc::clone(&compacted), None, 1e-3);
+        manager.set_policy(
+            DS,
+            LifecyclePolicy {
+                warm_fan_in: FAN_IN,
+                cold_fan_in: FAN_IN,
+                max_age: None,
+                footprint_budget: None,
+            },
+        );
+        let mut sweep_rng = seeded_rng(0xC0DE + parts);
+        manager.sweep(&mut sweep_rng).expect("sweep");
+        let nodes = compacted.partitions(DS).expect("partitions").len();
+        let (cold_ms, cold_size) = best_union_ms(&compacted, reps, 0xC1ED + parts);
+        assert_eq!(
+            cold_size, leaf_size,
+            "compacted union must draw the same sample size"
+        );
+
+        // Warm-cache repeat union on the flat catalog: first call misses
+        // and populates, the timed repeats hit.
+        flat.enable_union_cache(Arc::new(UnionCache::new(64 << 20)));
+        let mut warm_rng = seeded_rng(0xAB1E + parts);
+        let _ = flat
+            .union_sample(DS, |_| true, 1e-3, &mut warm_rng)
+            .expect("populate");
+        let (warm_ms, _) = best_union_ms(&flat, reps, 0xFA57 + parts);
+
+        if row == 0 {
+            base_cold_ms = cold_ms;
+        }
+        let flat_ratio = cold_ms / base_cold_ms;
+        let cache_speedup = leaf_ms / warm_ms;
+        if row == COUNTS.len() - 1 {
+            gate = (flat_ratio, cache_speedup);
+        }
+        println!(
+            "{parts:>10} {leaf_ms:>10.3} {cold_ms:>10.3} {warm_ms:>10.4} {nodes:>7} \
+             {flat_ratio:>11.2} {cache_speedup:>14.1}"
+        );
+        csv.row(format!(
+            "{parts},{leaf_ms:.4},{cold_ms:.4},{warm_ms:.5},{nodes},{flat_ratio:.3},{cache_speedup:.2}"
+        ));
+    }
+    csv.finish();
+    println!(
+        "\nExpect: 4096-partition compacted union <= 3x the 64-partition one, and warm-cache \
+         repeats >= 10x faster than computed unions (both gated under SWH_PERF_ASSERT)."
+    );
+
+    let assert_perf = std::env::var("SWH_PERF_ASSERT").is_ok_and(|v| !v.is_empty() && v != "0");
+    if assert_perf {
+        let (flat_ratio, cache_speedup) = gate;
+        assert!(
+            flat_ratio <= 3.0,
+            "compacted 4096-partition union is {flat_ratio:.2}x the 64-partition one \
+             (budget 3.0x)"
+        );
+        assert!(
+            cache_speedup >= 10.0,
+            "warm-cache repeat union only {cache_speedup:.1}x faster than cold (budget 10x)"
+        );
+        println!(
+            "SWH_PERF_ASSERT: flat_ratio {flat_ratio:.2} <= 3.0, cache_speedup \
+             {cache_speedup:.1} >= 10.0 ok"
+        );
+    }
+}

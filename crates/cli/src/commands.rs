@@ -47,6 +47,7 @@ pub fn run(args: &Args, out: &mut dyn Write) -> CmdResult {
         "serve" => serve_cmd(args, out),
         "trace" => trace_cmd(args, out),
         "store" => store_cmd(args, out),
+        "lifecycle" => lifecycle_cmd(args, out),
         "bench" => bench_cmd(args, out),
         "alerts" => crate::alerts::run(args, out),
         "top" => crate::top::run(args, out),
@@ -91,13 +92,19 @@ fn help(out: &mut dyn Write) -> CmdResult {
          \x20 rm        roll a partition sample out of the store\n\
          \x20           --store DIR --dataset N --partition SEQ [--stream S]\n\
          \x20 serve     HTTP exposition endpoint: /metrics /metrics.json\n\
-         \x20           /traces /lineage/<dataset>/<partition>\n\
+         \x20           /traces /lineage/<dataset>/<partition> /lifecycle\n\
          \x20           --store DIR [--addr 127.0.0.1:9184] [--requests N]\n\
          \x20 trace     print the in-process span/event journal\n\
          \x20           [--store DIR --dataset N [--seed X]]  (replays a merge)\n\
          \x20 store     offline store maintenance\n\
          \x20           fsck --store DIR   verify every stored file, quarantine\n\
-         \x20           corrupt entries, remove orphaned temp files\n\
+         \x20           corrupt entries, remove orphaned temp files, recover\n\
+         \x20           interrupted compactions, validate compaction lineage\n\
+         \x20 lifecycle partition tiering: compaction, retention, policies\n\
+         \x20           status --store DIR              tier/tombstone summary\n\
+         \x20           compact-now --store DIR [--dataset N] [--seed X] [--p F]\n\
+         \x20           policy --store DIR --dataset N [--warm N] [--cold N]\n\
+         \x20           [--max-age N|none] [--budget BYTES|none]\n\
          \x20 bench history\n\
          \x20           append BENCH_*.json metrics to history.jsonl and compare\n\
          \x20           against per-metric baselines; --check fails on regression\n\
@@ -796,8 +803,9 @@ fn serve_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
             )?;
         }
     }
-    let server =
-        swh_obs::serve::Server::bind(addr)?.with_lineage(Box::new(move |dataset, partition| {
+    let lifecycle_store = store.clone();
+    let server = swh_obs::serve::Server::bind(addr)?
+        .with_lineage(Box::new(move |dataset, partition| {
             let dataset = match dataset.parse::<u64>() {
                 Ok(id) => DatasetId(id),
                 Err(_) => swh_warehouse::registry::DatasetRegistry::open(&root)
@@ -807,6 +815,9 @@ fn serve_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
             let partition = parse_partition(partition)?;
             let lineage = store.lineage(PartitionKey { dataset, partition }).ok()?;
             Some(swh_core::lineage::to_json(&lineage))
+        }))
+        .with_lifecycle(Box::new(move || {
+            swh_warehouse::lifecycle::store_status_json(&lifecycle_store).ok()
         }));
     // Flush so a piped parent (tests, scrape scripts) sees the bound
     // address — port 0 resolves only here — before the accept loop blocks.
@@ -862,9 +873,162 @@ fn store_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
     }
 }
 
+/// `swh lifecycle <subcommand>`: partition tiering against a store directory.
+fn lifecycle_cmd(args: &Args, out: &mut dyn Write) -> CmdResult {
+    match args.positionals().first().map(String::as_str) {
+        Some("status") => lifecycle_status(args, out),
+        Some("compact-now") => lifecycle_compact_now(args, out),
+        Some("policy") => lifecycle_policy(args, out),
+        Some(other) => Err(format!(
+            "unknown lifecycle subcommand '{other}' (status|compact-now|policy)"
+        )
+        .into()),
+        None => Err("lifecycle needs a subcommand; run `swh lifecycle status --store DIR`".into()),
+    }
+}
+
+/// `swh lifecycle status`: the tier/tombstone/policy summary for a store,
+/// as JSON — the same document `swh serve` exposes at `/lifecycle`.
+fn lifecycle_status(args: &Args, out: &mut dyn Write) -> CmdResult {
+    let store = open_store(args)?;
+    writeln!(
+        out,
+        "{}",
+        swh_warehouse::lifecycle::store_status_json(&store)?
+    )?;
+    Ok(())
+}
+
+/// `swh lifecycle policy`: read or update one dataset's lifecycle policy.
+/// Policies persist in `lifecycle.tsv` beside the partition directories, so
+/// every later `compact-now` (and any embedding process that calls
+/// `LifecycleManager::load_policies`) picks them up.
+fn lifecycle_policy(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use swh_warehouse::lifecycle::{load_policies, save_policies};
+
+    let store = open_store(args)?;
+    let dataset = dataset_from(args, true)?;
+    let mut table = load_policies(store.root())?;
+    let mut policy = table.get(&dataset).copied().unwrap_or_default();
+    let mut changed = false;
+    if let Some(v) = args.get("warm") {
+        policy.warm_fan_in = parse_fan_in("warm", v)?;
+        changed = true;
+    }
+    if let Some(v) = args.get("cold") {
+        policy.cold_fan_in = parse_fan_in("cold", v)?;
+        changed = true;
+    }
+    if let Some(v) = args.get("max-age") {
+        policy.max_age = parse_optional_limit("max-age", v)?;
+        changed = true;
+    }
+    if let Some(v) = args.get("budget") {
+        policy.footprint_budget = parse_optional_limit("budget", v)?;
+        changed = true;
+    }
+    if changed {
+        table.insert(dataset, policy);
+        save_policies(store.root(), &table)?;
+    }
+    let fmt = |limit: Option<u64>| limit.map_or("none".to_string(), |v| v.to_string());
+    writeln!(
+        out,
+        "ds{}: warm fan-in {}, cold fan-in {}, max age {}, footprint budget {}{}",
+        dataset.0,
+        policy.warm_fan_in,
+        policy.cold_fan_in,
+        fmt(policy.max_age),
+        fmt(policy.footprint_budget),
+        if changed { " (saved)" } else { "" }
+    )?;
+    Ok(())
+}
+
+fn parse_fan_in(flag: &str, raw: &str) -> Result<u64, Box<dyn Error>> {
+    match raw.parse::<u64>() {
+        Ok(v) if v >= 2 => Ok(v),
+        _ => Err(format!("invalid --{flag} '{raw}' (expected integer >= 2)").into()),
+    }
+}
+
+fn parse_optional_limit(flag: &str, raw: &str) -> Result<Option<u64>, Box<dyn Error>> {
+    if raw == "none" {
+        return Ok(None);
+    }
+    raw.parse::<u64>()
+        .map(Some)
+        .map_err(|_| format!("invalid --{flag} '{raw}' (expected integer or 'none')").into())
+}
+
+/// `swh lifecycle compact-now`: one synchronous maintenance sweep over a
+/// store — recover any interrupted compaction, load the stored partitions
+/// into a catalog, roll complete windows into warm/cold tiers, and enforce
+/// retention. All durable effects go through the tombstone protocol, so the
+/// command is crash-safe at any point.
+fn lifecycle_compact_now(args: &Args, out: &mut dyn Write) -> CmdResult {
+    use std::sync::Arc;
+    use swh_warehouse::catalog::Catalog;
+    use swh_warehouse::lifecycle::{recover_store, LifecycleManager};
+
+    let store = open_store(args)?;
+    let recovery = recover_store(&store)?;
+    if recovery.orphaned_tombs + recovery.retired_inputs > 0 {
+        writeln!(
+            out,
+            "recovery: swept {} orphaned tombstone(s), retired {} leftover input(s)",
+            recovery.orphaned_tombs, recovery.retired_inputs
+        )?;
+    }
+    let datasets = if args.get("dataset").is_some() {
+        vec![dataset_from(args, false)?]
+    } else {
+        scan_datasets(store.root())?
+    };
+    let catalog = Arc::new(Catalog::<i64>::new());
+    let mut loaded = 0u64;
+    for dataset in &datasets {
+        for key in store.list(*dataset)? {
+            catalog.roll_in(key, store.load::<i64>(key)?)?;
+            loaded += 1;
+        }
+    }
+    let p_bound: f64 = args.parsed_or("p", 1e-3, "number")?;
+    let manager = LifecycleManager::new(Arc::clone(&catalog), Some(store), p_bound);
+    manager.load_policies()?;
+    if args.get("warm").is_some() || args.get("cold").is_some() {
+        for dataset in &datasets {
+            let mut policy = manager.policy(*dataset);
+            if let Some(w) = args.get("warm") {
+                policy.warm_fan_in = parse_fan_in("warm", w)?;
+            }
+            if let Some(c) = args.get("cold") {
+                policy.cold_fan_in = parse_fan_in("cold", c)?;
+            }
+            manager.set_policy(*dataset, policy);
+        }
+    }
+    let mut rng = rng_from(args)?;
+    let report = manager.sweep(&mut rng)?;
+    writeln!(
+        out,
+        "compacted {} partition(s) across {} dataset(s): {} warm roll-up(s), {} cold roll-up(s), \
+         {} input(s) retired, {} expired",
+        loaded,
+        datasets.len(),
+        report.warm_built,
+        report.cold_built,
+        report.inputs_retired,
+        report.expired
+    )?;
+    Ok(())
+}
+
 /// Verify every stored file's header and checksum, quarantine the corrupt
-/// ones (with a `.reason` sidecar under `quarantine/`), and remove orphaned
-/// temp files left behind by crashed writers.
+/// ones (with a `.reason` sidecar under `quarantine/`), remove orphaned
+/// temp files left behind by crashed writers, roll interrupted compactions
+/// forward, and check every compacted partition's recorded merge fan-in
+/// against the inputs its tombstone says it replaced.
 fn fsck(args: &Args, out: &mut dyn Write) -> CmdResult {
     use swh_warehouse::fullstore::FullStore;
     use swh_warehouse::store::StoreError;
@@ -876,8 +1040,22 @@ fn fsck(args: &Args, out: &mut dyn Write) -> CmdResult {
     let store = DiskStore::open(&root)?;
     let full = FullStore::open(&root)?;
 
+    // Roll interrupted compactions forward before verifying: a tombstone
+    // without its merged output marks a crash before the output became
+    // durable (the tombstone is swept, the inputs stay authoritative); a
+    // tombstone with its output durable has any surviving inputs retired.
+    let recovery = swh_warehouse::lifecycle::recover_store(&store)?;
+    if recovery.orphaned_tombs + recovery.retired_inputs > 0 {
+        writeln!(
+            out,
+            "fsck: compaction recovery swept {} orphaned tombstone(s), retired {} leftover input(s)",
+            recovery.orphaned_tombs, recovery.retired_inputs
+        )?;
+    }
+
     let (mut clean, mut quarantined) = (0u64, 0u64);
     let (mut lineage_samples, mut lineage_events) = (0u64, 0u64);
+    let mut tombs_checked = 0u64;
     for dataset in scan_datasets(store.root())? {
         for key in store.list(dataset)? {
             match store.verify(key) {
@@ -913,6 +1091,37 @@ fn fsck(args: &Args, out: &mut dyn Write) -> CmdResult {
                 Err(e) => return Err(e.into()),
             }
         }
+        // Every surviving tombstone pairs a durable compacted output with
+        // the inputs it replaced; the output's lineage must record a merge
+        // with exactly that fan-in, or the roll-up is not the sample the
+        // catalog thinks it is.
+        for tomb in swh_warehouse::lifecycle::list_tombs(&store, dataset)? {
+            let out_key = PartitionKey {
+                dataset,
+                partition: tomb.output,
+            };
+            tombs_checked += 1;
+            let recorded = store
+                .lineage(out_key)
+                .ok()
+                .as_deref()
+                .and_then(swh_core::lineage::last_merge_fan_in);
+            if recorded != Some(tomb.inputs.len() as u64) {
+                let reason = format!(
+                    "compaction fan-in mismatch: lineage records {:?}, tombstone lists {} input(s)",
+                    recorded,
+                    tomb.inputs.len()
+                );
+                writeln!(out, "quarantined compacted sample {out_key}: {reason}")?;
+                store.quarantine(out_key, &reason)?;
+                std::fs::remove_file(swh_warehouse::lifecycle::tomb_path(
+                    &store,
+                    dataset,
+                    tomb.output,
+                ))?;
+                quarantined += 1;
+            }
+        }
     }
     writeln!(
         out,
@@ -922,6 +1131,12 @@ fn fsck(args: &Args, out: &mut dyn Write) -> CmdResult {
         out,
         "fsck: lineage intact on {lineage_samples} sample(s), {lineage_events} event(s) total"
     )?;
+    if tombs_checked > 0 {
+        writeln!(
+            out,
+            "fsck: compaction fan-in validated on {tombs_checked} tombstone(s)"
+        )?;
+    }
     Ok(())
 }
 

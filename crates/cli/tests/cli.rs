@@ -491,6 +491,8 @@ fn help_lists_commands() {
         "rm",
         "store",
         "fsck",
+        "lifecycle",
+        "compact-now",
         "bench history",
     ] {
         assert!(text.contains(cmd), "help missing {cmd}");
@@ -971,7 +973,7 @@ fn alerts_check_gates_on_cost_model_drift() {
     let mut args = vec!["alerts", "check", "--fit-out", reference.to_str().unwrap()];
     args.extend_from_slice(workload);
     let text = ok(&swh().args(&args).output().unwrap());
-    assert!(text.contains("all 5 alert rule(s) quiet"), "{text}");
+    assert!(text.contains("all 7 alert rule(s) quiet"), "{text}");
 
     // 2. Perturb the committed model 100x: live measurements now sit ~99%
     // below the reference, i.e. ~990_000 ppm of drift.
@@ -1064,11 +1066,239 @@ fn top_renders_one_frame_from_serve() {
         .unwrap());
     assert!(text.contains("swh top"), "{text}");
     assert!(text.contains("firing"), "{text}");
-    assert!(text.contains("5 rules"), "{text}");
+    assert!(text.contains("7 rules"), "{text}");
     assert!(
         !text.contains('\x1b'),
         "single frame must not clear: {text}"
     );
     assert!(child.wait().unwrap().success());
     std::fs::remove_dir_all(&store_dir).ok();
+}
+
+/// The partition-lifecycle acceptance path: persist a 2x2 tiering policy,
+/// compact four hot partitions into warm then cold roll-ups, read the tier
+/// summary via `lifecycle status` and the `/lifecycle` serve route, have
+/// fsck validate the surviving tombstone's recorded fan-in, and finally
+/// catch a tampered tombstone (fan-in mismatch) as a quarantine.
+#[test]
+fn lifecycle_compacts_serves_status_and_fsck_validates() {
+    let store = tmp_store("lifecycle");
+    let store_s = store.to_str().unwrap();
+    std::fs::create_dir_all(&store).unwrap();
+    let data = store.with_extension("txt");
+    for seq in 0..4i64 {
+        write_values(&data, (seq * 10_000)..((seq + 1) * 10_000));
+        ok(&swh()
+            .args([
+                "ingest",
+                "--store",
+                store_s,
+                "--dataset",
+                "1",
+                "--partition",
+                &seq.to_string(),
+                "--nf",
+                "512",
+                "--file",
+                data.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap());
+    }
+
+    // Persist the policy, then read it back without set flags.
+    let text = ok(&swh()
+        .args([
+            "lifecycle",
+            "policy",
+            "--store",
+            store_s,
+            "--dataset",
+            "1",
+            "--warm",
+            "2",
+            "--cold",
+            "2",
+        ])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("warm fan-in 2") && text.contains("(saved)"),
+        "{text}"
+    );
+    let text = ok(&swh()
+        .args(["lifecycle", "policy", "--store", store_s, "--dataset", "1"])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("cold fan-in 2") && !text.contains("(saved)"),
+        "{text}"
+    );
+
+    // 4 hot -> 2 warm -> 1 cold under the persisted policy: 6 inputs retired.
+    let text = ok(&swh()
+        .args([
+            "lifecycle",
+            "compact-now",
+            "--store",
+            store_s,
+            "--seed",
+            "7",
+        ])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("2 warm roll-up(s), 1 cold roll-up(s), 6 input(s) retired"),
+        "{text}"
+    );
+
+    // Only the cold roll-up (and its tombstone) remain; the superseded warm
+    // tombstones went with their outputs.
+    let text = ok(&swh()
+        .args(["lifecycle", "status", "--store", store_s])
+        .output()
+        .unwrap());
+    for needle in [
+        "\"hot\":0",
+        "\"warm\":0",
+        "\"cold\":1",
+        "\"tombstones\":1",
+        "\"warm_fan_in\":2",
+    ] {
+        assert!(text.contains(needle), "status missing {needle}: {text}");
+    }
+
+    // Queries keep working over the compacted representation.
+    ok(&swh()
+        .args(["query", "--store", store_s, "--dataset", "1"])
+        .output()
+        .unwrap());
+
+    // fsck validates the tombstone's recorded merge fan-in.
+    let text = ok(&swh()
+        .args(["store", "fsck", "--store", store_s])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("compaction fan-in validated on 1 tombstone(s)"),
+        "{text}"
+    );
+    assert!(text.contains(" 0 quarantined"), "{text}");
+
+    // The serve endpoint exposes the same document at /lifecycle.
+    let mut child = swh()
+        .args([
+            "serve",
+            "--store",
+            store_s,
+            "--addr",
+            "127.0.0.1:0",
+            "--requests",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = child.stdout.take().unwrap();
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).unwrap();
+        line.trim()
+            .strip_prefix("listening on http://")
+            .unwrap_or_else(|| panic!("unexpected banner: {line}"))
+            .to_string()
+    };
+    let (status, body) = http_get(&addr, "/lifecycle");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"cold\":1"), "{body}");
+    assert!(child.wait().unwrap().success());
+
+    // Tamper with the tombstone: claim a third input the lineage never saw.
+    let tomb = store.join("ds1").join(format!("p{}_0.tomb", 1u32 << 31));
+    let mut text = std::fs::read_to_string(&tomb).unwrap();
+    text.push_str("input p0_99\n");
+    std::fs::write(&tomb, text).unwrap();
+    let text = ok(&swh()
+        .args(["store", "fsck", "--store", store_s])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("quarantined compacted sample")
+            && text.contains("compaction fan-in mismatch"),
+        "{text}"
+    );
+    let text = ok(&swh()
+        .args(["lifecycle", "status", "--store", store_s])
+        .output()
+        .unwrap());
+    assert!(text.contains("\"cold\":0"), "{text}");
+
+    std::fs::remove_dir_all(&store).ok();
+    std::fs::remove_file(&data).ok();
+}
+
+/// A compaction that crashed before its merged output became durable leaves
+/// only a tombstone intent behind; fsck must sweep it and leave the hot
+/// inputs — still the source of truth — untouched.
+#[test]
+fn fsck_sweeps_orphaned_compaction_tombs() {
+    let store = tmp_store("orphan-tomb");
+    let store_s = store.to_str().unwrap();
+    std::fs::create_dir_all(&store).unwrap();
+    let data = store.with_extension("txt");
+    for seq in 0..2i64 {
+        write_values(&data, (seq * 5_000)..((seq + 1) * 5_000));
+        ok(&swh()
+            .args([
+                "ingest",
+                "--store",
+                store_s,
+                "--dataset",
+                "1",
+                "--partition",
+                &seq.to_string(),
+                "--file",
+                data.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap());
+    }
+
+    // Handcraft the tombstone a crashed warm compaction would leave: the
+    // intent exists, the merged output never landed.
+    let warm = 1u32 << 30;
+    std::fs::write(
+        store.join("ds1").join(format!("p{warm}_0.tomb")),
+        format!("swh-tomb v1\ndataset 1\noutput p{warm}_0\ninput p0_0\ninput p0_1\n"),
+    )
+    .unwrap();
+
+    let text = ok(&swh()
+        .args(["store", "fsck", "--store", store_s])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("swept 1 orphaned tombstone(s), retired 0 leftover input(s)"),
+        "{text}"
+    );
+    assert!(text.contains("2 file(s) ok"), "{text}");
+
+    // Both hot inputs survived and still answer queries.
+    let text = ok(&swh()
+        .args(["lifecycle", "status", "--store", store_s])
+        .output()
+        .unwrap());
+    assert!(
+        text.contains("\"hot\":2") && text.contains("\"tombstones\":0"),
+        "{text}"
+    );
+    ok(&swh()
+        .args(["query", "--store", store_s, "--dataset", "1"])
+        .output()
+        .unwrap());
+
+    std::fs::remove_dir_all(&store).ok();
+    std::fs::remove_file(&data).ok();
 }

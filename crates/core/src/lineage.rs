@@ -257,6 +257,19 @@ pub fn max_merge_fan_in(lineage: &[LineageEvent]) -> u64 {
         .unwrap_or(0)
 }
 
+/// Fan-in of the most recent merge recorded in a lineage (`None` when the
+/// sample was never merged). Distinct from [`max_merge_fan_in`]: a cold
+/// compacted partition's *last* merge is the cold roll-up, while its *max*
+/// fan-in may come from the warm roll-ups deeper in its history — `fsck`
+/// validates a compacted partition against its tombstoned inputs using the
+/// last merge.
+pub fn last_merge_fan_in(lineage: &[LineageEvent]) -> Option<u64> {
+    lineage.iter().rev().find_map(|e| match e {
+        LineageEvent::Merge { fan_in, .. } => Some(*fan_in as u64),
+        _ => None,
+    })
+}
+
 /// The last recorded sampling rate `q`, if the sample ever held one
 /// (i.e. passed through a Bernoulli phase).
 pub fn last_rate(lineage: &[LineageEvent]) -> Option<f64> {

@@ -227,6 +227,24 @@ pub enum ShapeKind {
     Reservoir,
 }
 
+/// Where a planned input sample came from. Statistically every source is
+/// just a uniform sample (compaction and caching preserve uniformity by
+/// construction), so the planner groups them identically — but the tag lets
+/// plans report the mix of raw leaves, compacted interior partitions, and
+/// memoized union results they were built over, which is what the lifecycle
+/// layer's O(log time-span) claim is measured by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeSource {
+    /// A leaf partition sample straight from ingest.
+    #[default]
+    Raw,
+    /// A background-compacted merged partition (warm/cold tier): a merge
+    /// DAG interior node persisted back as a first-class partition.
+    Compacted,
+    /// A memoized union result served by the merged-union cache.
+    Cached,
+}
+
 /// Size/provenance shape of a plan node's (predicted) sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeShape {
@@ -234,6 +252,8 @@ pub struct NodeShape {
     pub size: u64,
     /// Provenance class driving the merge-operator choice.
     pub kind: ShapeKind,
+    /// Storage provenance of the sample (raw / compacted / cached).
+    pub source: NodeSource,
 }
 
 impl NodeShape {
@@ -249,7 +269,15 @@ impl NodeShape {
         Self {
             size: s.size(),
             kind,
+            source: NodeSource::Raw,
         }
+    }
+
+    /// The same shape tagged with an explicit [`NodeSource`] (the lifecycle
+    /// layer tags compacted partitions and cache hits before planning).
+    pub fn sourced(mut self, source: NodeSource) -> Self {
+        self.source = source;
+        self
     }
 
     fn exhaustive(self) -> bool {
@@ -262,6 +290,9 @@ impl NodeShape {
     /// reservoir involvement yields a reservoir of `k = min(sizes)`.
     fn merged_with(self, other: Self, n_f: u64) -> Self {
         use ShapeKind::*;
+        // Interior merge results are freshly computed, whatever their
+        // children's storage provenance.
+        let source = NodeSource::Raw;
         match (self.kind, other.kind) {
             (Exhaustive, Exhaustive) => {
                 let total = self.size + other.size;
@@ -269,25 +300,30 @@ impl NodeShape {
                     Self {
                         size: total,
                         kind: Exhaustive,
+                        source,
                     }
                 } else {
                     Self {
                         size: total.min(n_f.max(1)),
                         kind: Reservoir,
+                        source,
                     }
                 }
             }
             (Exhaustive, k) | (k, Exhaustive) => Self {
                 size: (self.size + other.size).min(n_f.max(1)),
                 kind: k,
+                source,
             },
             (Bernoulli, Bernoulli) => Self {
                 size: (self.size + other.size).min(n_f.max(1)),
                 kind: Bernoulli,
+                source,
             },
             _ => Self {
                 size: self.size.min(other.size),
                 kind: Reservoir,
+                source,
             },
         }
     }
@@ -430,6 +466,7 @@ pub fn plan_union(shapes: &[NodeShape], n_f: u64) -> MergePlan {
                 .min()
                 .unwrap_or(0),
             kind: ShapeKind::Reservoir,
+            source: NodeSource::Raw,
         };
         let cost = children.iter().map(|&c| nodes[c].shape.size).sum();
         let fan_in = children.len();
@@ -550,6 +587,22 @@ impl MergePlan {
     /// Number of merge (non-leaf) nodes.
     pub fn merge_node_count(&self) -> usize {
         self.nodes.iter().filter(|n| !n.is_leaf()).count()
+    }
+
+    /// How many leaf inputs came from each [`NodeSource`]:
+    /// `(raw, compacted, cached)`. A compaction-backed union of a wide
+    /// time span should show few raw leaves and mostly compacted ones —
+    /// this is the observable form of the O(log time-span) claim.
+    pub fn leaf_source_counts(&self) -> (usize, usize, usize) {
+        let (mut raw, mut compacted, mut cached) = (0, 0, 0);
+        for n in self.nodes.iter().filter(|n| n.is_leaf()) {
+            match n.shape.source {
+                NodeSource::Raw => raw += 1,
+                NodeSource::Compacted => compacted += 1,
+                NodeSource::Cached => cached += 1,
+            }
+        }
+        (raw, compacted, cached)
     }
 
     /// Profile-scope labels of the merge nodes, in topological order.
@@ -788,6 +841,7 @@ mod tests {
         NodeShape {
             size,
             kind: ShapeKind::Reservoir,
+            source: NodeSource::Raw,
         }
     }
 
@@ -853,6 +907,7 @@ mod tests {
             .map(|i| NodeShape {
                 size: 200 + i,
                 kind: ShapeKind::Bernoulli,
+                source: NodeSource::Raw,
             })
             .collect();
         let plan = plan_union(&shapes, 4096);
@@ -870,10 +925,12 @@ mod tests {
             NodeShape {
                 size: 100,
                 kind: ShapeKind::Exhaustive,
+                source: NodeSource::Raw,
             },
             NodeShape {
                 size: 50,
                 kind: ShapeKind::Exhaustive,
+                source: NodeSource::Raw,
             },
         ];
         shapes.extend((0..4).map(|_| reservoir_shape(256)));
@@ -894,6 +951,7 @@ mod tests {
                 0 => NodeShape {
                     size: 1000 + i,
                     kind: ShapeKind::Exhaustive,
+                    source: NodeSource::Raw,
                 },
                 1 => reservoir_shape(300),
                 _ => reservoir_shape(100 + i),
@@ -922,6 +980,27 @@ mod tests {
         // Critical path bounds the estimate from below.
         let model = None;
         assert!(big.parallel_estimate_ns(64, model) >= big.critical_path_ns(model) - 1e-9);
+    }
+
+    #[test]
+    fn source_tags_survive_planning_and_are_counted() {
+        // A lifecycle-backed union: one cold + two warm compacted nodes, a
+        // cached sub-span, and three raw hot leaves. Sources change neither
+        // the structure nor the costs — only the reported mix.
+        let mut shapes = vec![
+            reservoir_shape(512).sourced(NodeSource::Compacted),
+            reservoir_shape(512).sourced(NodeSource::Compacted),
+            reservoir_shape(512).sourced(NodeSource::Compacted),
+            reservoir_shape(512).sourced(NodeSource::Cached),
+        ];
+        shapes.extend((0..3).map(|_| reservoir_shape(512)));
+        let plan = plan_union(&shapes, 512);
+        assert_eq!(plan.leaf_source_counts(), (3, 3, 1));
+        // Identical structure to the untagged plan.
+        let untagged: Vec<NodeShape> = shapes.iter().map(|s| s.sourced(NodeSource::Raw)).collect();
+        let base = plan_union(&untagged, 512);
+        assert_eq!(plan.merge_node_count(), base.merge_node_count());
+        assert_eq!(plan.nodes[plan.root].shape, base.nodes[base.root].shape);
     }
 
     #[test]

@@ -278,6 +278,30 @@ pub fn builtin_rules() -> Vec<AlertRule> {
             Compare::Gt,
             250_000.0,
         ),
+        // A merged-union cache hitting under 10% is pure overhead: the
+        // workload's spans never repeat, or invalidation is churning the
+        // cache faster than queries reuse it. The gauge is only published
+        // after a warm-up of lookups, so fresh processes (all compulsory
+        // misses) stay quiet.
+        AlertRule::threshold(
+            "lifecycle_cache_hit_rate",
+            Severity::Warning,
+            "swh_union_cache_hit_rate_ppm",
+            Compare::Lt,
+            100_000.0,
+        ),
+        // Compaction backlog growing tick over tick means ingest is
+        // outpacing the background compactor: sweeps are too slow, too
+        // rare, or erroring out.
+        AlertRule {
+            name: "lifecycle_backlog_growth".to_string(),
+            severity: Severity::Warning,
+            kind: RuleKind::RateOfChange {
+                metric: "swh_lifecycle_backlog_partitions".to_string(),
+                window: 8,
+                max_delta: 32.0,
+            },
+        },
     ]
 }
 
@@ -1170,13 +1194,72 @@ mod tests {
     #[test]
     fn builtin_rules_parse_and_name_audit_gauges() {
         let rules = builtin_rules();
-        assert_eq!(rules.len(), 5);
+        assert_eq!(rules.len(), 7);
         for r in &rules {
             assert!(
                 r.kind.metric().starts_with("swh_audit_")
                     || r.kind.metric() == "swh_cost_model_drift_ppm"
+                    || r.kind.metric() == "swh_union_cache_hit_rate_ppm"
+                    || r.kind.metric() == "swh_lifecycle_backlog_partitions"
             );
         }
+    }
+
+    #[test]
+    fn cache_hit_rate_rule_quiet_when_unpublished_fires_when_low() {
+        let rules: Vec<AlertRule> = builtin_rules()
+            .into_iter()
+            .filter(|r| r.name == "lifecycle_cache_hit_rate")
+            .collect();
+        assert_eq!(rules.len(), 1);
+        let engine = HealthEngine::new(rules);
+        // Fresh process: the cache publishes no hit-rate gauge during its
+        // warm-up, so the rule must stay quiet.
+        let t = engine.tick(snap_with_gauge("swh_union_cache_bytes", 0));
+        assert!(t.is_empty());
+        assert_eq!(engine.active_count(), 0);
+        // A published rate under 10% fires; recovering above it resolves.
+        let t = engine.tick(snap_with_gauge("swh_union_cache_hit_rate_ppm", 50_000));
+        assert_eq!(t.len(), 1);
+        assert!(t[0].firing);
+        let t = engine.tick(snap_with_gauge("swh_union_cache_hit_rate_ppm", 800_000));
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].firing);
+        assert_eq!(engine.active_count(), 0);
+    }
+
+    #[test]
+    fn backlog_growth_rule_fires_on_sustained_growth_only() {
+        let rules: Vec<AlertRule> = builtin_rules()
+            .into_iter()
+            .filter(|r| r.name == "lifecycle_backlog_growth")
+            .collect();
+        assert_eq!(rules.len(), 1);
+        let engine = HealthEngine::new(rules);
+        // Steady backlog: a healthy compactor keeps up; never fires.
+        for _ in 0..10 {
+            let t = engine.tick(snap_with_gauge("swh_lifecycle_backlog_partitions", 16));
+            assert!(t.is_empty());
+        }
+        // Backlog climbing 100/tick (> 32/tick budget over the 8-tick
+        // window) means ingest is outrunning compaction.
+        let mut fired = false;
+        for i in 1..=10i64 {
+            let t = engine.tick(snap_with_gauge(
+                "swh_lifecycle_backlog_partitions",
+                16 + 100 * i,
+            ));
+            fired |= t.iter().any(|t| t.firing);
+        }
+        assert!(fired, "sustained backlog growth must fire");
+        // Compactor catches up: backlog flat again, alert resolves.
+        let mut resolved = false;
+        for _ in 0..10 {
+            let t = engine.tick(snap_with_gauge("swh_lifecycle_backlog_partitions", 1016));
+            resolved |= t.iter().any(|t| !t.firing);
+        }
+        assert!(resolved, "flat backlog must resolve the alert");
+        assert_eq!(engine.active_count(), 0);
     }
 
     #[test]

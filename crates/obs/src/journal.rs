@@ -70,6 +70,16 @@ pub enum EventKind {
     /// A health alert rule resolved; `a` is the rule index, `b` the
     /// number of engine ticks it spent firing.
     AlertResolved,
+    /// A lifecycle compaction merged hot/warm partitions into a coarser
+    /// tier; `a` is the dataset id, `b` the merge fan-in.
+    Compaction,
+    /// A retention sweep expired partitions past their policy; `a` is the
+    /// dataset id, `b` the number of partitions expired.
+    Retention,
+    /// The merged-union cache dropped a dataset's entries (roll-in,
+    /// roll-out, or compaction changed the catalog under them); `a` is the
+    /// dataset id, `b` the number of entries invalidated.
+    UnionCacheInvalidate,
 }
 
 impl EventKind {
@@ -88,6 +98,9 @@ impl EventKind {
             EventKind::CatalogRollOut => 11,
             EventKind::AlertFiring => 12,
             EventKind::AlertResolved => 13,
+            EventKind::Compaction => 14,
+            EventKind::Retention => 15,
+            EventKind::UnionCacheInvalidate => 16,
         }
     }
 
@@ -106,6 +119,9 @@ impl EventKind {
             11 => EventKind::CatalogRollOut,
             12 => EventKind::AlertFiring,
             13 => EventKind::AlertResolved,
+            14 => EventKind::Compaction,
+            15 => EventKind::Retention,
+            16 => EventKind::UnionCacheInvalidate,
             _ => return None,
         })
     }
@@ -126,6 +142,9 @@ impl EventKind {
             EventKind::CatalogRollOut => "catalog_roll_out",
             EventKind::AlertFiring => "alert_firing",
             EventKind::AlertResolved => "alert_resolved",
+            EventKind::Compaction => "compaction",
+            EventKind::Retention => "retention",
+            EventKind::UnionCacheInvalidate => "union_cache_invalidate",
         }
     }
 }

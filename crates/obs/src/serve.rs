@@ -20,7 +20,10 @@
 //!   stats, profile size, and every `swh_audit_*` gauge;
 //! * `/lineage/<dataset>/<partition>` — the lineage record of one stored
 //!   sample, resolved through an injected callback (this crate sits below
-//!   the warehouse and cannot read stores itself).
+//!   the warehouse and cannot read stores itself);
+//! * `/lifecycle` — per-dataset partition lifecycle status (hot/warm/cold
+//!   tier counts, compaction tombstones, retention policies), resolved
+//!   through an injected callback like `/lineage`.
 //!
 //! Each connection carries one request and is then closed; that is all a
 //! scrape loop or `curl` needs, and it keeps the server a single blocking
@@ -36,11 +39,17 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 /// for 404. Injected by the binary that owns store access.
 pub type LineageResolver = Box<dyn Fn(&str, &str) -> Option<String> + Send + Sync>;
 
+/// Resolves `/lifecycle` to a JSON status body (tier counts, tombstones,
+/// policies), or `None` for 404. Injected by the binary that owns store
+/// access, like [`LineageResolver`].
+pub type LifecycleResolver = Box<dyn Fn() -> Option<String> + Send + Sync>;
+
 /// The exposition server. Bind, then drive with [`Server::serve`] (forever
 /// or for a bounded number of requests) or [`Server::handle_one`].
 pub struct Server {
     listener: TcpListener,
     lineage: Option<LineageResolver>,
+    lifecycle: Option<LifecycleResolver>,
     requests: Counter,
 }
 
@@ -49,6 +58,7 @@ impl std::fmt::Debug for Server {
         f.debug_struct("Server")
             .field("listener", &self.listener)
             .field("lineage", &self.lineage.is_some())
+            .field("lifecycle", &self.lifecycle.is_some())
             .finish()
     }
 }
@@ -59,6 +69,7 @@ impl Server {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             lineage: None,
+            lifecycle: None,
             requests: global().counter(
                 "swh_serve_requests_total",
                 "HTTP requests answered by swh serve",
@@ -69,6 +80,12 @@ impl Server {
     /// Install the `/lineage/...` resolver.
     pub fn with_lineage(mut self, resolver: LineageResolver) -> Self {
         self.lineage = Some(resolver);
+        self
+    }
+
+    /// Install the `/lifecycle` resolver.
+    pub fn with_lifecycle(mut self, resolver: LifecycleResolver) -> Self {
+        self.lifecycle = Some(resolver);
         self
     }
 
@@ -126,6 +143,10 @@ impl Server {
                 respond(stream, 200, "application/json", &body)
             }
             "/healthz" => respond(stream, 200, "application/json", &self.healthz()),
+            "/lifecycle" => match self.lifecycle.as_ref().and_then(|r| r()) {
+                Some(body) => respond(stream, 200, "application/json", &body),
+                None => respond(stream, 404, "text/plain", "no lifecycle status\n"),
+            },
             "/alerts" => {
                 crate::health::tick_global();
                 let body = crate::health::engine().status().to_json();
@@ -348,6 +369,24 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"alerts\": {\"active\": "), "{body}");
         assert!(body.contains("\"total\": "), "{body}");
+    }
+
+    #[test]
+    fn serves_lifecycle_status_via_resolver() {
+        let server = Server::bind("127.0.0.1:0")
+            .unwrap()
+            .with_lifecycle(Box::new(|| {
+                Some("{\"datasets\":[{\"dataset\":1,\"hot\":3,\"warm\":1,\"cold\":0,\"tombstones\":1}]}".to_string())
+            }));
+        let addr = spawn_server(server, 1);
+        let (status, ctype, body) = get(addr, "/lifecycle");
+        assert_eq!(status, 200);
+        assert_eq!(ctype, "application/json");
+        assert!(body.contains("\"warm\":1"), "{body}");
+        // Without a resolver the route 404s instead of guessing.
+        let addr = spawn_server(Server::bind("127.0.0.1:0").unwrap(), 1);
+        let (status, _, _) = get(addr, "/lifecycle");
+        assert_eq!(status, 404);
     }
 
     #[test]

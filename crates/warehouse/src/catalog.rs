@@ -6,8 +6,9 @@
 //! *rolled out* when the corresponding full-scale partitions are dropped.
 
 use crate::ids::{DatasetId, PartitionId, PartitionKey};
+use crate::lifecycle::{CacheKey, UnionCache};
 use std::collections::BTreeMap;
-use std::sync::{PoisonError, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use swh_core::merge::MergeError;
 use swh_core::planner::NodeShape;
 use swh_core::sample::Sample;
@@ -117,6 +118,7 @@ impl From<MergeError> for CatalogError {
 pub struct Catalog<T: SampleValue> {
     inner: RwLock<BTreeMap<DatasetId, BTreeMap<PartitionId, PartitionEntry<T>>>>,
     roll_seq: RwLock<u64>,
+    cache: RwLock<Option<Arc<UnionCache<T>>>>,
     metrics: CatalogMetrics,
 }
 
@@ -193,7 +195,32 @@ impl<T: SampleValue> Catalog<T> {
         Self {
             inner: RwLock::new(BTreeMap::new()),
             roll_seq: RwLock::new(0),
+            cache: RwLock::new(None),
             metrics: CatalogMetrics::in_registry(registry),
+        }
+    }
+
+    /// Attach a merged-union cache: [`Catalog::union_sample`] and
+    /// [`Catalog::union_sample_borrowed`] consult it before planning a
+    /// merge, and every roll-in/roll-out (including compactions, which are
+    /// roll-outs plus a roll-in) invalidates the dataset's entries. Off by
+    /// default — a cache is opt-in because it trades memory for repeat-
+    /// union latency.
+    pub fn enable_union_cache(&self, cache: Arc<UnionCache<T>>) {
+        *self.cache.write().unwrap_or_else(PoisonError::into_inner) = Some(cache);
+    }
+
+    /// The attached merged-union cache, if any.
+    pub fn union_cache(&self) -> Option<Arc<UnionCache<T>>> {
+        self.cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    fn invalidate_cache(&self, dataset: DatasetId) {
+        if let Some(cache) = self.union_cache() {
+            cache.invalidate_dataset(dataset);
         }
     }
 
@@ -216,8 +243,17 @@ impl<T: SampleValue> Catalog<T> {
                 rolled_in_at: *seq,
             },
         );
+        drop(seq);
+        drop(map);
         self.metrics.roll_ins.inc();
-        swh_obs::journal::record(swh_obs::journal::EventKind::CatalogRollIn, 0, 0, 0, 0);
+        swh_obs::journal::record(
+            swh_obs::journal::EventKind::CatalogRollIn,
+            0,
+            0,
+            key.dataset.0,
+            key.partition.seq,
+        );
+        self.invalidate_cache(key.dataset);
         Ok(())
     }
 
@@ -233,8 +269,16 @@ impl<T: SampleValue> Catalog<T> {
         if ds.is_empty() {
             map.remove(&key.dataset);
         }
+        drop(map);
         self.metrics.roll_outs.inc();
-        swh_obs::journal::record(swh_obs::journal::EventKind::CatalogRollOut, 0, 0, 0, 0);
+        swh_obs::journal::record(
+            swh_obs::journal::EventKind::CatalogRollOut,
+            0,
+            0,
+            key.dataset.0,
+            key.partition.seq,
+        );
+        self.invalidate_cache(key.dataset);
         Ok(entry)
     }
 
@@ -265,6 +309,21 @@ impl<T: SampleValue> Catalog<T> {
             .unwrap_or_else(PoisonError::into_inner)
             .get(&dataset)
             .map(|ds| ds.keys().copied().collect())
+            .ok_or(CatalogError::UnknownDataset(dataset))
+    }
+
+    /// Per-partition sample footprints (bytes) of a dataset, in id order.
+    /// Retention policies budget against this.
+    pub fn footprints(&self, dataset: DatasetId) -> Result<Vec<(PartitionId, u64)>, CatalogError> {
+        self.inner
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&dataset)
+            .map(|ds| {
+                ds.iter()
+                    .map(|(id, e)| (*id, e.sample.footprint_bytes()))
+                    .collect()
+            })
             .ok_or(CatalogError::UnknownDataset(dataset))
     }
 
@@ -322,14 +381,55 @@ impl<T: SampleValue> Catalog<T> {
     /// ([`swh_core::planner::merge_planned`]) runs, which re-streams large
     /// exhaustive histograms as little as possible. Both produce the same
     /// uniform distribution as a serial fold.
+    ///
+    /// With a merged-union cache attached
+    /// ([`Catalog::enable_union_cache`]), the exact selection is looked up
+    /// before planning — a hit skips the merge entirely — and the merged
+    /// result is offered back under the invalidation epoch captured while
+    /// the selection was snapshotted, so a roll-in/roll-out racing the
+    /// merge can never leave a stale entry behind.
     pub fn union_sample<R: rand::Rng + ?Sized>(
         &self,
         dataset: DatasetId,
-        select: impl FnMut(PartitionId) -> bool,
+        mut select: impl FnMut(PartitionId) -> bool,
         p_bound: f64,
         rng: &mut R,
     ) -> Result<Sample<T>, CatalogError> {
-        let picked = self.select(dataset, select)?;
+        self.metrics.selects.inc();
+        let cache = self.union_cache();
+        let (picked, cached_key, epoch) = {
+            let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+            let ds = map
+                .get(&dataset)
+                .ok_or(CatalogError::UnknownDataset(dataset))?;
+            let mut ids = Vec::new();
+            let mut picked = Vec::new();
+            for (id, e) in ds.iter() {
+                if select(*id) {
+                    ids.push(*id);
+                    picked.push(e.sample.clone());
+                }
+            }
+            if picked.is_empty() {
+                return Err(CatalogError::EmptySelection);
+            }
+            // Probe and epoch-capture happen under the read lock that
+            // snapshotted the selection: any mutation serializes either
+            // before (we see its invalidation) or after (it bumps the
+            // epoch and our insert is refused).
+            let n_f = picked.first().map_or(0, |s| s.policy().n_f());
+            let (key, epoch) = match &cache {
+                Some(c) => {
+                    let key = CacheKey::new(dataset, ids, n_f, p_bound);
+                    if let Some(hit) = c.get(&key) {
+                        return Ok(hit);
+                    }
+                    (Some(key), c.epoch(dataset))
+                }
+                None => (None, 0),
+            };
+            (picked, key, epoch)
+        };
         let _prof = swh_obs::profile::enabled()
             .then(|| swh_obs::profile::scope_rooted("catalog/union_sample"));
         let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
@@ -345,6 +445,9 @@ impl<T: SampleValue> Catalog<T> {
         };
         timer.stop();
         self.metrics.union_merges.inc();
+        if let (Some(c), Some(key)) = (&cache, cached_key) {
+            c.insert(key, merged.clone(), epoch);
+        }
         Ok(merged)
     }
 
@@ -373,23 +476,37 @@ impl<T: SampleValue> Catalog<T> {
         T: Sync,
     {
         self.metrics.selects.inc();
+        let cache = self.union_cache();
         let map = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         let ds = map
             .get(&dataset)
             .ok_or(CatalogError::UnknownDataset(dataset))?;
-        let picked: Vec<&Sample<T>> = ds
-            .iter()
-            .filter(|(id, _)| select(**id))
-            .map(|(_, e)| &e.sample)
-            .collect();
+        let mut ids = Vec::new();
+        let mut picked: Vec<&Sample<T>> = Vec::new();
+        for (id, e) in ds.iter() {
+            if select(*id) {
+                ids.push(*id);
+                picked.push(&e.sample);
+            }
+        }
         if picked.is_empty() {
             return Err(CatalogError::EmptySelection);
         }
+        let n_f = picked.first().map_or(0, |s| s.policy().n_f());
+        let (cached_key, epoch) = match &cache {
+            Some(c) => {
+                let key = CacheKey::new(dataset, ids, n_f, p_bound);
+                if let Some(hit) = c.get(&key) {
+                    return Ok(hit);
+                }
+                (Some(key), c.epoch(dataset))
+            }
+            None => (None, 0),
+        };
         let _prof = swh_obs::profile::enabled()
             .then(|| swh_obs::profile::scope_rooted("catalog/union_sample_borrowed"));
         let timer = swh_obs::ScopeTimer::new(&self.metrics.merge_ns);
         let shapes: Vec<NodeShape> = picked.iter().map(|s| NodeShape::of(s)).collect();
-        let n_f = picked.first().map_or(0, |s| s.policy().n_f());
         let workers = planned_workers(&shapes, n_f, merge_threads(picked.len()));
         let merged = if workers > 1 {
             self.metrics.union_parallel.inc();
@@ -400,6 +517,9 @@ impl<T: SampleValue> Catalog<T> {
         };
         timer.stop();
         self.metrics.union_merges.inc();
+        if let (Some(c), Some(key)) = (&cache, cached_key) {
+            c.insert(key, merged.clone(), epoch);
+        }
         Ok(merged)
     }
 
@@ -611,6 +731,46 @@ mod tests {
         assert_eq!(cat.metrics.union_serial.get(), 2);
         assert_eq!(cat.metrics.union_parallel.get(), 0);
         assert_eq!(cat.metrics.union_merges.get(), 2);
+    }
+
+    #[test]
+    fn union_cache_serves_repeat_unions_and_invalidates() {
+        let registry = swh_obs::Registry::new();
+        let cat = Catalog::with_registry(&registry);
+        let cache = Arc::new(UnionCache::with_registry(&registry, 1 << 20));
+        cat.enable_union_cache(Arc::clone(&cache));
+        let mut rng = seeded_rng(77);
+        for d in 0..6u64 {
+            cat.roll_in(key(1, d), sample(d * 100..(d + 1) * 100, &mut rng))
+                .unwrap();
+        }
+        let a = cat
+            .union_sample(DatasetId(1), |_| true, 1e-3, &mut rng)
+            .unwrap();
+        let merges_after_first = cat.metrics.union_merges.get();
+        let b = cat
+            .union_sample(DatasetId(1), |_| true, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(a, b, "hit must return the cached merge byte-identically");
+        assert_eq!(
+            cat.metrics.union_merges.get(),
+            merges_after_first,
+            "repeat union must not merge again"
+        );
+        assert_eq!(cache.stats(), (2, 1));
+        // Any roll-in invalidates the dataset's entries; the next union
+        // recomputes over the new selection.
+        cat.roll_in(key(1, 6), sample(600..700, &mut rng)).unwrap();
+        assert!(cache.is_empty(), "roll-in must invalidate cached unions");
+        let c = cat
+            .union_sample(DatasetId(1), |_| true, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(c.parent_size(), 700);
+        // The borrowed path shares the cache: same selection now hits.
+        let d = cat
+            .union_sample_borrowed(DatasetId(1), |_| true, 1e-3, &mut rng)
+            .unwrap();
+        assert_eq!(c, d);
     }
 
     #[test]

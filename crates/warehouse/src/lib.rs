@@ -23,6 +23,8 @@
 //!   write path, with injectable failpoints for crash testing.
 //! * [`window`] — sliding-window roll-in/roll-out (daily partitions merged
 //!   into weekly/monthly samples, approximating stream-sampling schemes).
+//! * [`lifecycle`] — background compaction of hot partitions into warm/cold
+//!   roll-ups, the merged-union cache, and retention policies.
 //! * [`warehouse`] — the [`SampleWarehouse`] facade tying it together.
 
 pub mod catalog;
@@ -31,6 +33,7 @@ pub mod durable;
 pub mod fullstore;
 pub mod ids;
 pub mod ingest;
+pub mod lifecycle;
 pub mod maintenance;
 pub mod parallel;
 pub mod registry;
@@ -48,6 +51,11 @@ pub use fullstore::FullStore;
 pub use ids::{DatasetId, PartitionId, PartitionKey};
 pub use ingest::{
     RatioBoundedPartitioner, SamplerConfig, SplitPolicy, StreamRouter, TimePartitioner,
+};
+pub use lifecycle::{
+    recover_store, CacheKey, CompactionReport, CompactorHandle, LifecycleError, LifecycleManager,
+    LifecyclePolicy, RecoveryReport, Tier, TombRecord, UnionCache, COLD_STREAM_BIT,
+    WARM_STREAM_BIT,
 };
 pub use maintenance::IncrementalSample;
 pub use parallel::sample_partitions_parallel;

@@ -78,8 +78,16 @@ impl DiskStore {
         &self.root
     }
 
-    fn dataset_dir(&self, dataset: DatasetId) -> PathBuf {
+    /// Directory holding a dataset's partition files (`<root>/ds<N>`). The
+    /// lifecycle compactor writes its tombstone intents beside the partition
+    /// files, so the layout is part of the store's public contract.
+    pub fn dataset_dir(&self, dataset: DatasetId) -> PathBuf {
         self.root.join(format!("ds{}", dataset.0))
+    }
+
+    /// Whether a sample file exists under `key` (no decode, no read).
+    pub fn contains(&self, key: PartitionKey) -> bool {
+        self.file_path(key).exists()
     }
 
     fn file_path(&self, key: PartitionKey) -> PathBuf {
